@@ -1,0 +1,553 @@
+(* Benchmark harness regenerating every table and figure of the paper's
+   experimental study (Section 5).
+
+   Usage:
+     dune exec bench/main.exe                 -- all experiments, default scale
+     dune exec bench/main.exe -- fig11a       -- one experiment
+     dune exec bench/main.exe -- --quick all  -- reduced sizes (CI)
+     dune exec bench/main.exe -- bechamel     -- Bechamel micro-suite
+                                                 (one Test.make per figure)
+
+   Absolute numbers will differ from the paper's 2007 testbed; the
+   *shapes* are the reproduction target (see EXPERIMENTS.md):
+   - linear scaling in |C| of every phase (Figs. 11(a)-(f));
+   - deletions dominated by XPath evaluation, W1 (//) the costliest;
+   - Algorithm delete's cost growing with |Ep(r)|, Algorithm insert flat
+     (Fig. 11(g));
+   - Xinsert and maintenance linear in |ST(A,t)|, Xdelete flat
+     (Fig. 11(h));
+   - incremental maintenance beating recomputation by a widening factor
+     (Table 1). *)
+
+module Value = Rxv_relational.Value
+module Database = Rxv_relational.Database
+module Relation = Rxv_relational.Relation
+module Store = Rxv_dag.Store
+module Topo = Rxv_dag.Topo
+module Reach = Rxv_dag.Reach
+module Maintain = Rxv_dag.Maintain
+module Engine = Rxv_core.Engine
+module Xupdate = Rxv_core.Xupdate
+module Dag_eval = Rxv_core.Dag_eval
+module Vdelete = Rxv_core.Vdelete
+module Synth = Rxv_workload.Synth
+module Updates = Rxv_workload.Updates
+module Ast = Rxv_xpath.Ast
+
+let quick = ref false
+
+let sizes () =
+  if !quick then [ 1_000; 3_000 ]
+  else [ 1_000; 3_000; 10_000; 30_000; 100_000 ]
+
+let ops_per_class () = if !quick then 4 else 10
+
+let now = Unix.gettimeofday
+
+let time f =
+  let t0 = now () in
+  let r = f () in
+  (r, now () -. t0)
+
+let dataset n = Synth.generate (Synth.default_params ~seed:42 n)
+
+let engine_for n =
+  let d = dataset n in
+  (d, Engine.create (Synth.atg ()) d.Synth.db)
+
+let header title cols =
+  Printf.printf "\n== %s ==\n%s\n%!" title (String.concat "\t" cols)
+
+let row cells = Printf.printf "%s\n%!" (String.concat "\t" cells)
+
+let ms t = Printf.sprintf "%.2f" (t *. 1000.)
+
+(* ---------- Fig. 10(b): dataset statistics ---------- *)
+
+let fig10b () =
+  header "fig10b: dataset statistics (cf. Fig. 10(b))"
+    [ "|C|"; "|H|"; "tree_nodes"; "dag_nodes"; "|V|(edges)"; "|M|"; "|L|"; "shared%" ];
+  List.iter
+    (fun n ->
+      let d, e = engine_for n in
+      let st = Engine.stats e in
+      row
+        [
+          string_of_int n;
+          string_of_int (Relation.cardinal (Database.relation d.Synth.db "H"));
+          string_of_int st.Engine.occurrences;
+          string_of_int st.Engine.n_nodes;
+          string_of_int st.Engine.n_edges;
+          string_of_int st.Engine.m_size;
+          string_of_int st.Engine.l_size;
+          Printf.sprintf "%.1f" (100. *. st.Engine.sharing);
+        ])
+    (sizes ())
+
+(* ---------- Figs. 11(a)-(f): update performance vs database size ------ *)
+
+type phase_totals = {
+  mutable eval : float;
+  mutable translate : float;
+  mutable maintain : float;
+  mutable applied : int;
+  mutable rejected : int;
+}
+
+let run_workload e updates =
+  let t =
+    { eval = 0.; translate = 0.; maintain = 0.; applied = 0; rejected = 0 }
+  in
+  List.iter
+    (fun u ->
+      match Engine.apply ~policy:`Proceed e u with
+      | Ok r ->
+          t.eval <- t.eval +. r.Engine.timings.Engine.t_eval;
+          t.translate <- t.translate +. r.Engine.timings.Engine.t_translate;
+          t.maintain <- t.maintain +. r.Engine.timings.Engine.t_maintain;
+          t.applied <- t.applied + 1
+      | Error _ -> t.rejected <- t.rejected + 1)
+    updates;
+  t
+
+let fig11_deletions tag cls =
+  header
+    (Printf.sprintf
+       "%s: %s deletions vs |C| (cf. Fig. 11; times per %d-op workload)" tag
+       (Updates.cls_name cls) (ops_per_class ()))
+    [ "|C|"; "xpath_ms"; "translate_ms"; "maintain_ms"; "applied"; "rejected" ];
+  List.iter
+    (fun n ->
+      let _, e = engine_for n in
+      let us =
+        Updates.deletions e.Engine.store cls ~count:(ops_per_class ()) ~seed:7
+      in
+      let t = run_workload e us in
+      row
+        [
+          string_of_int n; ms t.eval; ms t.translate; ms t.maintain;
+          string_of_int t.applied; string_of_int t.rejected;
+        ])
+    (sizes ())
+
+let fig11_insertions tag cls =
+  header
+    (Printf.sprintf
+       "%s: %s insertions vs |C| (cf. Fig. 11; fixed |ST(A,t)|)" tag
+       (Updates.cls_name cls))
+    [ "|C|"; "xpath_ms"; "translate_ms"; "maintain_ms"; "applied"; "rejected" ];
+  List.iter
+    (fun n ->
+      let d, e = engine_for n in
+      let us =
+        Updates.insertions d e.Engine.store cls ~count:(ops_per_class ())
+          ~seed:7 ()
+      in
+      let t = run_workload e us in
+      row
+        [
+          string_of_int n; ms t.eval; ms t.translate; ms t.maintain;
+          string_of_int t.applied; string_of_int t.rejected;
+        ])
+    (sizes ())
+
+(* ---------- Fig. 11(g): varying |r[[p]]| / |Ep(r)| ---------- *)
+
+(* paths selecting k sub parents at once: //c[cid=a or cid=b or ...]/sub *)
+let multi_target_path keys =
+  let filt =
+    match
+      List.map (fun k -> Ast.Eq (Ast.Label "cid", string_of_int k)) keys
+    with
+    | [] -> invalid_arg "multi_target_path"
+    | f :: fs -> List.fold_left (fun acc f' -> Ast.Or (acc, f')) f fs
+  in
+  Ast.Seq
+    ( Ast.Seq (Ast.Desc_or_self, Ast.Where (Ast.Label "c", filt)),
+      Ast.Label "sub" )
+
+(* parents (c keys) that have at least one sub child *)
+let parent_keys_with_children (e : Engine.t) count =
+  let out = ref [] in
+  let seen = Hashtbl.create 64 in
+  Store.iter_edges
+    (fun u _ _ ->
+      let nu = Store.node e.Engine.store u in
+      if nu.Store.etype = "sub" then
+        match nu.Store.attr.(0) with
+        | Value.Int k when not (Hashtbl.mem seen k) ->
+            Hashtbl.replace seen k ();
+            out := k :: !out
+        | _ -> ())
+    e.Engine.store;
+  let l = List.sort compare !out in
+  List.filteri (fun i _ -> i < count) l
+
+let fig11g () =
+  let n = if !quick then 3_000 else 100_000 in
+  header
+    (Printf.sprintf
+       "fig11g: varying |r[[p]]| (insert) / selected targets (delete) at \
+        |C|=%d; per-op ms" n)
+    [ "targets"; "op"; "xpath_ms"; "xlate_ms"; "maintain_ms"; "status" ];
+  let sweep = if !quick then [ 1; 2; 4 ] else [ 1; 2; 4; 8; 16; 32 ] in
+  List.iter
+    (fun k ->
+      (* deletion: remove the children of k parents at once *)
+      let d, e = engine_for n in
+      let keys = parent_keys_with_children e k in
+      if List.length keys = k then begin
+        let del_path = Ast.Seq (multi_target_path keys, Ast.Label "c") in
+        (match Engine.apply ~policy:`Proceed e (Xupdate.Delete del_path) with
+        | Ok r ->
+            row
+              [
+                string_of_int k; "delete";
+                ms r.Engine.timings.Engine.t_eval;
+                ms r.Engine.timings.Engine.t_translate;
+                ms r.Engine.timings.Engine.t_maintain; "ok";
+              ]
+        | Error _ -> row [ string_of_int k; "delete"; "-"; "-"; "-"; "rej" ]);
+        (* insertion: one subtree inserted under k parents: |r[[p]]| = k *)
+        let _, e2 = engine_for n in
+        let keys2 = parent_keys_with_children e2 k in
+        let ins =
+          Xupdate.Insert
+            {
+              etype = "c";
+              attr = Synth.c_attr (Synth.fresh_key d 1);
+              path = multi_target_path keys2;
+            }
+        in
+        match Engine.apply ~policy:`Proceed e2 ins with
+        | Ok r ->
+            row
+              [
+                string_of_int k; "insert";
+                ms r.Engine.timings.Engine.t_eval;
+                ms r.Engine.timings.Engine.t_translate;
+                ms r.Engine.timings.Engine.t_maintain; "ok";
+              ]
+        | Error _ -> row [ string_of_int k; "insert"; "-"; "-"; "-"; "rej" ]
+      end)
+    sweep
+
+(* ---------- Fig. 11(h): varying |ST(A,t)| ---------- *)
+
+let subtree_size (store : Store.t) id =
+  let seen = Hashtbl.create 64 in
+  let rec go id =
+    if not (Hashtbl.mem seen id) then begin
+      Hashtbl.replace seen id ();
+      List.iter go (Store.children store id)
+    end
+  in
+  go id;
+  Hashtbl.length seen
+
+let fig11h () =
+  let n = if !quick then 3_000 else 100_000 in
+  header
+    (Printf.sprintf "fig11h: varying |ST(A,t)| at |C|=%d, |r[[p]]|=1; per-op ms"
+       n)
+    [ "|ST|"; "op"; "xpath_ms"; "xlate_ms"; "maintain_ms"; "status" ];
+  let _, e0 = engine_for n in
+  let cands = ref [] in
+  Store.iter_nodes
+    (fun nd ->
+      if nd.Store.etype = "c" then
+        cands :=
+          (subtree_size e0.Engine.store nd.Store.id, nd.Store.attr) :: !cands)
+    e0.Engine.store;
+  let by_size = List.sort compare !cands in
+  let buckets =
+    if !quick then [ 3; 10; 30 ] else [ 3; 10; 30; 100; 300; 1000 ]
+  in
+  List.iter
+    (fun want ->
+      match List.find_opt (fun (s, _) -> s >= want) by_size with
+      | None -> ()
+      | Some (s, attr) -> (
+          let _, e = engine_for n in
+          let key = match attr.(0) with Value.Int k -> k | _ -> 0 in
+          let roots = parent_keys_with_children e 64 in
+          (* a parent with a smaller key can never be the subtree's
+             descendant (H edges go upward in key order): no cycles *)
+          match List.find_opt (fun p -> p < key) (List.rev roots) with
+          | None -> ()
+          | Some p ->
+              let path =
+                Ast.Seq
+                  ( Ast.Seq
+                      ( Ast.Desc_or_self,
+                        Ast.Where
+                          ( Ast.Label "c",
+                            Ast.Eq (Ast.Label "cid", string_of_int p) ) ),
+                    Ast.Label "sub" )
+              in
+              let u = Xupdate.Insert { etype = "c"; attr; path } in
+              (match Engine.apply ~policy:`Proceed e u with
+              | Ok r ->
+                  row
+                    [
+                      string_of_int s; "insert";
+                      ms r.Engine.timings.Engine.t_eval;
+                      ms r.Engine.timings.Engine.t_translate;
+                      ms r.Engine.timings.Engine.t_maintain; "ok";
+                    ]
+              | Error _ ->
+                  row [ string_of_int s; "insert"; "-"; "-"; "-"; "rej" ]);
+              (* deleting that subtree root from the same parent: |Ep(r)|=1
+                 regardless of subtree size, so Xdelete stays flat *)
+              match
+                Engine.apply ~policy:`Proceed e
+                  (Xupdate.Delete
+                     (Ast.Seq
+                        ( path,
+                          Ast.Where
+                            ( Ast.Label "c",
+                              Ast.Eq (Ast.Label "cid", string_of_int key) ) )))
+              with
+              | Ok r ->
+                  row
+                    [
+                      string_of_int s; "delete";
+                      ms r.Engine.timings.Engine.t_eval;
+                      ms r.Engine.timings.Engine.t_translate;
+                      ms r.Engine.timings.Engine.t_maintain; "ok";
+                    ]
+              | Error _ ->
+                  row [ string_of_int s; "delete"; "-"; "-"; "-"; "rej" ]))
+    buckets
+
+(* ---------- Table 1: incremental maintenance vs recomputation -------- *)
+
+let table1 () =
+  header "table1: incremental maintenance of L and M vs recomputation (ms)"
+    [
+      "|C|"; "incr_insert_ms"; "incr_delete_ms"; "recompute_L_ms";
+      "recompute_M_ms";
+    ];
+  List.iter
+    (fun n ->
+      let d, e = engine_for n in
+      let dels =
+        Updates.deletions e.Engine.store Updates.W2 ~count:(ops_per_class ())
+          ~seed:3
+      in
+      let ins =
+        Updates.insertions d e.Engine.store Updates.W2
+          ~count:(ops_per_class ()) ~seed:4 ()
+      in
+      let td = run_workload e dels in
+      let ti = run_workload e ins in
+      (* recomputation cost, once per update as the non-incremental
+         strategy would pay it *)
+      let l', t_l = time (fun () -> Topo.of_store e.Engine.store) in
+      let _, t_m = time (fun () -> Reach.compute e.Engine.store l') in
+      let per_update = float_of_int (td.applied + ti.applied) in
+      row
+        [
+          string_of_int n;
+          ms ti.maintain;
+          ms td.maintain;
+          ms (t_l *. per_update);
+          ms (t_m *. per_update);
+        ])
+    (sizes ())
+
+(* ---------- Ablations: the design choices DESIGN.md calls out -------- *)
+
+let ablation_sharing () =
+  let n = if !quick then 2_000 else 20_000 in
+  header
+    (Printf.sprintf
+       "ablation: hierarchy density (growth knob) at |C|=%d — sharing \
+        drives |M| and evaluation cost" n)
+    [ "growth"; "shared%"; "dag_nodes"; "|M|"; "publish_ms"; "w1_eval_ms" ];
+  List.iter
+    (fun growth ->
+      let d =
+        Synth.generate (Synth.default_params ~growth ~seed:42 n)
+      in
+      let (e : Engine.t), t_pub =
+        time (fun () -> Engine.create (Synth.atg ()) d.Synth.db)
+      in
+      let st = Engine.stats e in
+      let path =
+        match Updates.deletions e.Engine.store Updates.W1 ~count:1 ~seed:1 with
+        | [ Xupdate.Delete p ] -> p
+        | _ -> Ast.Seq (Ast.Desc_or_self, Ast.Label "c")
+      in
+      let _, t_eval = time (fun () -> Engine.query e path) in
+      row
+        [
+          Printf.sprintf "%.1f" growth;
+          Printf.sprintf "%.1f" (100. *. st.Engine.sharing);
+          string_of_int st.Engine.n_nodes;
+          string_of_int st.Engine.m_size;
+          ms t_pub;
+          ms t_eval;
+        ])
+    [ 1.0; 1.5; 2.3; 3.0; 4.0 ]
+
+let ablation_bulk_publish () =
+  header
+    "ablation: bulk vs per-parent rule evaluation in the publisher"
+    [ "|C|"; "bulk_ms"; "per_call_ms"; "speedup" ];
+  let sizes = if !quick then [ 1_000; 2_000 ] else [ 1_000; 3_000; 10_000 ] in
+  List.iter
+    (fun n ->
+      let d = dataset n in
+      let atg = Synth.atg () in
+      let _, t_bulk =
+        time (fun () -> Rxv_atg.Publish.publish ~strategy:`Bulk atg d.Synth.db)
+      in
+      let _, t_per =
+        time (fun () ->
+            Rxv_atg.Publish.publish ~strategy:`Per_call atg d.Synth.db)
+      in
+      row
+        [
+          string_of_int n; ms t_bulk; ms t_per;
+          Printf.sprintf "%.1fx" (t_per /. t_bulk);
+        ])
+    sizes
+
+let ablation_dag_vs_tree () =
+  header
+    "ablation: XPath on the DAG vs on the uncompressed tree (oracle \
+     evaluator)"
+    [ "|C|"; "dag_nodes"; "tree_nodes"; "dag_eval_ms"; "tree_eval_ms" ];
+  let sizes = if !quick then [ 500; 1_000 ] else [ 500; 1_000; 3_000; 10_000 ] in
+  List.iter
+    (fun n ->
+      let _, e = engine_for n in
+      let st = Engine.stats e in
+      if st.Engine.occurrences <= 3_000_000 then begin
+        let path =
+          match Updates.deletions e.Engine.store Updates.W1 ~count:1 ~seed:1 with
+          | [ Xupdate.Delete p ] -> p
+          | _ -> Ast.Seq (Ast.Desc_or_self, Ast.Label "c")
+        in
+        let _, t_dag = time (fun () -> Engine.query e path) in
+        let tree = Engine.to_tree ~max_nodes:3_000_000 e in
+        let _, t_tree =
+          time (fun () -> Rxv_xpath.Tree_eval.selected_uids tree path)
+        in
+        row
+          [
+            string_of_int n;
+            string_of_int st.Engine.n_nodes;
+            string_of_int st.Engine.occurrences;
+            ms t_dag;
+            ms t_tree;
+          ]
+      end)
+    sizes
+
+let ablations () =
+  ablation_sharing ();
+  ablation_bulk_publish ();
+  ablation_dag_vs_tree ()
+
+(* ---------- Bechamel micro-suite: one Test.make per experiment ------- *)
+
+let bechamel_suite () =
+  let open Bechamel in
+  let n = 3_000 in
+  let d = dataset n in
+  let e = Engine.create (Synth.atg ()) d.Synth.db in
+  let del_path =
+    match Updates.deletions e.Engine.store Updates.W1 ~count:1 ~seed:1 with
+    | [ Xupdate.Delete p ] -> p
+    | _ -> Ast.Seq (Ast.Desc_or_self, Ast.Label "c")
+  in
+  let test_fig10b =
+    Test.make ~name:"fig10b_stats"
+      (Staged.stage (fun () -> ignore (Engine.stats e)))
+  in
+  let test_fig11a =
+    Test.make ~name:"fig11a_w1_xpath_eval"
+      (Staged.stage (fun () -> ignore (Engine.query e del_path)))
+  in
+  let test_fig11d =
+    Test.make ~name:"fig11d_insert_target_eval"
+      (Staged.stage (fun () ->
+           match
+             Updates.insertions d e.Engine.store Updates.W2 ~count:1 ~seed:9 ()
+           with
+           | [ Xupdate.Insert { path; _ } ] -> ignore (Engine.query e path)
+           | _ -> ()))
+  in
+  let test_table1 =
+    Test.make ~name:"table1_L_M_recompute"
+      (Staged.stage (fun () ->
+           let l = Topo.of_store e.Engine.store in
+           ignore (Reach.compute e.Engine.store l)))
+  in
+  let tests =
+    Test.make_grouped ~name:"rxv"
+      [ test_fig10b; test_fig11a; test_fig11d; test_table1 ]
+  in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 1.0) () in
+  let raw = Benchmark.all cfg instances tests in
+  let results =
+    Analyze.all
+      (Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |])
+      Toolkit.Instance.monotonic_clock raw
+  in
+  Hashtbl.iter
+    (fun name result ->
+      match Analyze.OLS.estimates result with
+      | Some [ est ] -> Printf.printf "%-36s %14.1f ns/run\n%!" name est
+      | _ -> Printf.printf "%-36s (no estimate)\n%!" name)
+    results
+
+(* ---------- driver ---------- *)
+
+let all () =
+  fig10b ();
+  fig11_deletions "fig11a" Updates.W1;
+  fig11_deletions "fig11b" Updates.W2;
+  fig11_deletions "fig11c" Updates.W3;
+  fig11_insertions "fig11d" Updates.W1;
+  fig11_insertions "fig11e" Updates.W2;
+  fig11_insertions "fig11f" Updates.W3;
+  fig11g ();
+  fig11h ();
+  table1 ();
+  ablations ()
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let args = List.filter (fun a -> a <> "--") args in
+  let args =
+    List.filter
+      (fun a ->
+        if a = "--quick" then begin
+          quick := true;
+          false
+        end
+        else true)
+      args
+  in
+  match args with
+  | [] | [ "all" ] -> all ()
+  | [ "fig10b" ] -> fig10b ()
+  | [ "fig11a" ] -> fig11_deletions "fig11a" Updates.W1
+  | [ "fig11b" ] -> fig11_deletions "fig11b" Updates.W2
+  | [ "fig11c" ] -> fig11_deletions "fig11c" Updates.W3
+  | [ "fig11d" ] -> fig11_insertions "fig11d" Updates.W1
+  | [ "fig11e" ] -> fig11_insertions "fig11e" Updates.W2
+  | [ "fig11f" ] -> fig11_insertions "fig11f" Updates.W3
+  | [ "fig11g" ] -> fig11g ()
+  | [ "fig11h" ] -> fig11h ()
+  | [ "table1" ] -> table1 ()
+  | [ "ablations" ] -> ablations ()
+  | [ "bechamel" ] -> bechamel_suite ()
+  | _ ->
+      prerr_endline
+        "usage: main.exe [--quick] [all|fig10b|fig11a..fig11h|table1|ablations|bechamel]";
+      exit 2

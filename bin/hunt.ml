@@ -1,0 +1,240 @@
+(* Fuzzing harness for the side-effect detector: 30k adversarial
+   DAG/path cases checking that every clean verdict is sound, for both
+   deletion and insertion semantics (see Dag_eval). This is the tool that
+   found the union-over-roles unsoundness documented in
+   docs/ALGORITHMS.md; it stays in-tree so the claim remains
+   reproducible.
+
+   Usage:
+     dune exec bin/hunt.exe              -- 30k random cases
+     dune exec bin/hunt.exe detail SEED  -- dump one case
+     dune exec bin/hunt.exe diff SEED    -- local vs global deletion trees *)
+module Value = Rxv_relational.Value
+module Tree = Rxv_xml.Tree
+module Ast = Rxv_xpath.Ast
+module Tree_eval = Rxv_xpath.Tree_eval
+module Store = Rxv_dag.Store
+module Topo = Rxv_dag.Topo
+module Reach = Rxv_dag.Reach
+module Dag_eval = Rxv_core.Dag_eval
+module Rng = Rxv_sat.Rng
+
+let build_store (n, extra, seed) =
+  let rng = Rng.create seed in
+  let store = Store.create () in
+  let labels = [| "a"; "b"; "c" |] in
+  let ids =
+    Array.init n (fun i ->
+        let label = if i = 0 then "root" else labels.(Rng.int rng 3) in
+        Store.gen_id store label [| Value.Int i |]
+          ?text:(if Rng.int rng 3 = 0 then Some (string_of_int (i mod 4)) else None)
+          ())
+  in
+  Store.set_root store ids.(0);
+  for i = 1 to n - 1 do
+    let j = Rng.int rng i in
+    Store.add_edge store ids.(j) ids.(i) ~provenance:None
+  done;
+  for _ = 1 to extra do
+    let i = Rng.int rng n and j = Rng.int rng n in
+    if i < j then Store.add_edge store ids.(i) ids.(j) ~provenance:None
+  done;
+  store
+
+let rand_path rng =
+  let lbl () = [| "a"; "b"; "c" |].(Rng.int rng 3) in
+  let filter () =
+    match Rng.int rng 5 with
+    | 0 -> Ast.Exists (Ast.Label (lbl ()))
+    | 1 -> Ast.Eq (Ast.Label (lbl ()), string_of_int (Rng.int rng 4))
+    | 2 -> Ast.Label_is (lbl ())
+    | 3 -> Ast.Not (Ast.Exists (Ast.Label (lbl ())))
+    | _ -> Ast.Exists (Ast.Seq (Ast.Desc_or_self, Ast.Label (lbl ())))
+  in
+  let step () =
+    let base =
+      match Rng.int rng 6 with
+      | 0 | 1 | 2 -> Ast.Label (lbl ())
+      | 3 -> Ast.Wildcard
+      | _ -> Ast.Desc_or_self
+    in
+    if Rng.int rng 2 = 0 then Ast.Where (base, filter ()) else base
+  in
+  let len = 1 + Rng.int rng 4 in
+  let rec go acc k = if k = 0 then acc else go (Ast.Seq (acc, step ())) (k - 1) in
+  go (step ()) (len - 1)
+
+let check_case params p =
+  let store = build_store params in
+  let occ = Store.occurrence_counts store in
+  if Hashtbl.fold (fun _ c a -> a + c) occ 0 > 50_000 then true
+  else begin
+    let l = Topo.of_store store in
+    let m = Reach.compute store l in
+    let dag = Dag_eval.eval store l m p in
+    if dag.Dag_eval.side_effects_delete <> [] || dag.Dag_eval.selected = []
+       || dag.Dag_eval.zero_move_match then true
+    else begin
+      let tree = Store.to_tree store in
+      let victims = Tree_eval.arrival_edges tree p in
+      let drop = Hashtbl.create 16 in
+      List.iter
+        (fun ((parent : Tree_eval.selected), (child : Tree_eval.selected)) ->
+          match child.Tree_eval.occ with
+          | idx :: _ -> Hashtbl.replace drop (parent.Tree_eval.occ, idx) ()
+          | [] -> ())
+        victims;
+      let rec rebuild occ (t : Tree.t) =
+        let children =
+          List.concat
+            (List.mapi
+               (fun i c ->
+                 if Hashtbl.mem drop (occ, i) then [] else [ rebuild (i :: occ) c ])
+               t.Tree.children)
+        in
+        { t with Tree.children }
+      in
+      let local = rebuild [] tree in
+      List.iter (fun (u, v) -> ignore (Store.remove_edge store u v))
+        dag.Dag_eval.arrival_edges;
+      let global = Store.to_tree store in
+      List.iter (fun (u, v) -> Store.add_edge store u v ~provenance:None)
+        dag.Dag_eval.arrival_edges;
+      Tree.equal_canonical local global
+    end
+  end
+
+(* insert-soundness: clean verdict -> appending a marker child at the
+   selected occurrences only equals the DAG-semantics append *)
+let check_insert_case params p =
+  let store = build_store params in
+  let occ = Store.occurrence_counts store in
+  if Hashtbl.fold (fun _ c a -> a + c) occ 0 > 50_000 then true
+  else begin
+    let l = Topo.of_store store in
+    let m = Reach.compute store l in
+    let dag = Dag_eval.eval store l m p in
+    if dag.Dag_eval.side_effects <> [] || dag.Dag_eval.selected = [] then true
+    else begin
+      let tree = Store.to_tree store in
+      let selected_occs = Tree_eval.select tree p in
+      let occs = Hashtbl.create 16 in
+      List.iter
+        (fun (s : Tree_eval.selected) -> Hashtbl.replace occs s.Tree_eval.occ ())
+        selected_occs;
+      let marker = Tree.element ~uid:(-7) "marker" [] in
+      let rec rebuild occpath (t : Tree.t) =
+        let children =
+          List.mapi (fun i c -> rebuild (i :: occpath) c) t.Tree.children
+        in
+        let children =
+          if Hashtbl.mem occs occpath then children @ [ marker ] else children
+        in
+        { t with Tree.children }
+      in
+      let local = rebuild [] tree in
+      let mid = Store.gen_id store "marker" [| Value.Int (-7) |] () in
+      List.iter
+        (fun v -> Store.add_edge store v mid ~provenance:None)
+        dag.Dag_eval.selected;
+      let global = Store.to_tree store in
+      List.iter
+        (fun v -> ignore (Store.remove_edge store v mid))
+        dag.Dag_eval.selected;
+      Tree.equal_canonical local global
+    end
+  end
+
+let () =
+  let found = ref 0 in
+  (try
+    for seed = 0 to 30_000 do
+      let rng = Rng.create (seed * 7 + 1) in
+      let n = 3 + Rng.int rng 23 in
+      let extra = Rng.int rng 26 in
+      let p = rand_path rng in
+      if not (check_case (n, extra, seed) p) then begin
+        Printf.printf "DELETE VIOLATION seed=%d n=%d extra=%d path=%s\n%!" seed n
+          extra (Ast.to_string p);
+        incr found;
+        if !found >= 5 then raise Exit
+      end;
+      if not (check_insert_case (n, extra, seed) p) then begin
+        Printf.printf "INSERT VIOLATION seed=%d n=%d extra=%d path=%s\n%!" seed n
+          extra (Ast.to_string p);
+        incr found;
+        if !found >= 5 then raise Exit
+      end
+    done
+  with Exit -> ());
+  if !found = 0 then print_endline "no violations in 30k cases"
+
+(* detailed dump of one case: ./dbg.exe detail <seed> *)
+let () =
+  if Array.length Sys.argv > 2 && Sys.argv.(1) = "detail" then begin
+    let seed = int_of_string Sys.argv.(2) in
+    let rng = Rng.create (seed * 7 + 1) in
+    let n = 3 + Rng.int rng 23 in
+    let extra = Rng.int rng 26 in
+    let p = rand_path rng in
+    let store = build_store (n, extra, seed) in
+    let l = Topo.of_store store in
+    let m = Reach.compute store l in
+    let dag = Dag_eval.eval store l m p in
+    Printf.printf "path=%s\nselected=%s\narrivals=%s\nside=%s zero=%b\n"
+      (Ast.to_string p)
+      (String.concat "," (List.map string_of_int (List.sort compare dag.Dag_eval.selected)))
+      (String.concat " " (List.map (fun (u,v) -> Printf.sprintf "(%d,%d)" u v)
+         (List.sort compare dag.Dag_eval.arrival_edges)))
+      (String.concat "," (List.map string_of_int dag.Dag_eval.side_effects))
+      dag.Dag_eval.zero_move_match;
+    Store.iter_edges (fun u v _ ->
+      Printf.printf "edge %d:%s -> %d:%s\n" u (Store.node store u).Store.etype
+        v (Store.node store v).Store.etype) store;
+    let tree = Store.to_tree store in
+    let oracle = Tree_eval.selected_uids tree p in
+    Printf.printf "oracle_selected=%s\n" (String.concat "," (List.map string_of_int oracle));
+    let pairs = Tree_eval.arrival_uid_pairs tree p in
+    Printf.printf "oracle_arrivals=%s\n"
+      (String.concat " " (List.map (fun (u,v) -> Printf.sprintf "(%d,%d)" u v) pairs))
+  end
+
+(* diff local vs global deletion for one case: ./dbg.exe diff <seed> *)
+let () =
+  if Array.length Sys.argv > 2 && Sys.argv.(1) = "diff" then begin
+    let seed = int_of_string Sys.argv.(2) in
+    let rng = Rng.create (seed * 7 + 1) in
+    let n = 3 + Rng.int rng 23 in
+    let extra = Rng.int rng 26 in
+    let p = rand_path rng in
+    let store = build_store (n, extra, seed) in
+    let l = Topo.of_store store in
+    let m = Reach.compute store l in
+    let dag = Dag_eval.eval store l m p in
+    let tree = Store.to_tree store in
+    let victims = Tree_eval.arrival_edges tree p in
+    let drop = Hashtbl.create 16 in
+    List.iter
+      (fun ((parent : Tree_eval.selected), (child : Tree_eval.selected)) ->
+        match child.Tree_eval.occ with
+        | idx :: _ -> Hashtbl.replace drop (parent.Tree_eval.occ, idx) ()
+        | [] -> ())
+      victims;
+    let rec rebuild occ (t : Tree.t) =
+      let children =
+        List.concat
+          (List.mapi
+             (fun i c ->
+               if Hashtbl.mem drop (occ, i) then [] else [ rebuild (i :: occ) c ])
+             t.Tree.children)
+      in
+      { t with Tree.children }
+    in
+    let local = rebuild [] tree in
+    List.iter (fun (u, v) -> ignore (Store.remove_edge store u v))
+      dag.Dag_eval.arrival_edges;
+    let global = Store.to_tree store in
+    let cl = Tree.canonicalize local and cg = Tree.canonicalize global in
+    Printf.printf "path=%s\nlocal : %s\nglobal: %s\n" (Ast.to_string p)
+      (Tree.to_compact_string cl) (Tree.to_compact_string cg)
+  end

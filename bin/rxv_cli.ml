@@ -1,0 +1,310 @@
+(* rxv — command-line front end for the recursive-XML-view update engine.
+
+   Scenarios are rebuilt per invocation (the library is an embedded
+   engine, not a server):
+
+     rxv show                         print the registrar view
+     rxv show -s synth -n 2000       print dataset statistics instead
+     rxv query '//course[cno=CS320]/takenBy/student'
+     rxv delete '//student[ssn=S02]'
+     rxv insert course CS999 'New Course' --into 'course[cno=CS240]/prereq'
+     rxv stats -s synth -n 10000
+*)
+
+module Engine = Rxv_core.Engine
+module Xupdate = Rxv_core.Xupdate
+module Dag_eval = Rxv_core.Dag_eval
+module Parser = Rxv_xpath.Parser
+module Tree = Rxv_xml.Tree
+module Value = Rxv_relational.Value
+module Registrar = Rxv_workload.Registrar
+module Synth = Rxv_workload.Synth
+
+open Cmdliner
+
+(* --verbose: route engine logs (rxv.engine) to stderr *)
+let setup_logs =
+  let setup verbose =
+    Fmt_tty.setup_std_outputs ();
+    Logs.set_reporter (Logs_fmt.reporter ());
+    Logs.set_level (if verbose then Some Logs.Info else Some Logs.Warning)
+  in
+  Term.(
+    const setup
+    $ Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Show engine logs."))
+
+type scenario = Sregistrar | Ssynth
+
+let scenario_conv =
+  Arg.enum [ ("registrar", Sregistrar); ("synth", Ssynth) ]
+
+let scenario_arg =
+  Arg.(
+    value
+    & opt scenario_conv Sregistrar
+    & info [ "s"; "scenario" ] ~docv:"SCENARIO"
+        ~doc:"Data scenario: $(b,registrar) (the paper's running example) \
+              or $(b,synth) (the Section 5 generator).")
+
+let size_arg =
+  Arg.(
+    value
+    & opt int 1000
+    & info [ "n"; "size" ] ~docv:"N" ~doc:"|C| for the synthetic scenario.")
+
+let seed_arg =
+  Arg.(
+    value
+    & opt int 7
+    & info [ "seed" ] ~docv:"SEED" ~doc:"Generator seed (synth scenario).")
+
+let data_arg =
+  Arg.(
+    value
+    & opt (some dir) None
+    & info [ "data" ] ~docv:"DIR"
+        ~doc:"Load DIR/<relation>.csv files instead of the built-in \
+              instance (registrar scenario).")
+
+let build scenario n seed data =
+  match scenario with
+  | Sregistrar -> (
+      match data with
+      | None -> Registrar.engine ()
+      | Some dir ->
+          let db = Rxv_relational.Database.create Registrar.schema in
+          let loaded = Rxv_relational.Csv_io.load_dir db dir in
+          if loaded = [] then
+            Fmt.epr "warning: no <relation>.csv files found in %s@." dir;
+          Engine.create (Registrar.atg ()) db)
+  | Ssynth ->
+      let d = Synth.generate (Synth.default_params ~seed n) in
+      Engine.create (Synth.atg ()) d.Synth.db
+
+let path_arg p =
+  Arg.(
+    required
+    & pos p (some string) None
+    & info [] ~docv:"XPATH" ~doc:"XPath expression (paper syntax).")
+
+let parse_path s =
+  try Ok (Parser.parse s)
+  with Rxv_xpath.Parser.Parse_error (msg, pos) ->
+    Error (Fmt.str "XPath parse error at offset %d: %s" pos msg)
+
+let print_stats e =
+  let st = Engine.stats e in
+  Fmt.pr "tree occurrences   %d@." st.Engine.occurrences;
+  Fmt.pr "DAG nodes          %d@." st.Engine.n_nodes;
+  Fmt.pr "edge tuples |V|    %d@." st.Engine.n_edges;
+  Fmt.pr "|M| (reachability) %d@." st.Engine.m_size;
+  Fmt.pr "|L| (topo order)   %d@." st.Engine.l_size;
+  Fmt.pr "shared instances   %.1f%%@." (100. *. st.Engine.sharing)
+
+(* --- show --- *)
+
+let show_cmd =
+  let run scenario n seed data max_nodes =
+    let e = build scenario n seed data in
+    if max_nodes > 0 then
+      Fmt.pr "%a@." Tree.pp (Engine.to_tree ~max_nodes e)
+    else print_stats e;
+    0
+  in
+  let max_nodes =
+    Arg.(
+      value
+      & opt int 10_000
+      & info [ "max-nodes" ] ~docv:"K"
+          ~doc:"Materialization budget; 0 prints statistics instead of the \
+                tree.")
+  in
+  Cmd.v (Cmd.info "show" ~doc:"Print the published XML view.")
+    Term.(const (fun () -> run) $ setup_logs $ scenario_arg $ size_arg
+      $ seed_arg $ data_arg $ max_nodes)
+
+(* --- export --- *)
+
+let export_cmd =
+  let run scenario n seed data out =
+    let e = build scenario n seed data in
+    let tree = Engine.to_tree ~max_nodes:5_000_000 e in
+    (match out with
+    | Some path ->
+        Rxv_xml.Xml_io.to_file path tree;
+        Fmt.pr "wrote %s (%d elements)@." path (Tree.size tree)
+    | None -> print_string (Rxv_xml.Xml_io.to_string tree));
+    0
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:"Write to FILE (with an XML declaration) instead of stdout.")
+  in
+  Cmd.v
+    (Cmd.info "export" ~doc:"Serialize the published view as an XML document.")
+    Term.(const (fun () -> run) $ setup_logs $ scenario_arg $ size_arg
+      $ seed_arg $ data_arg $ out)
+
+(* --- stats --- *)
+
+let stats_cmd =
+  let run scenario n seed data =
+    print_stats (build scenario n seed data);
+    0
+  in
+  Cmd.v
+    (Cmd.info "stats" ~doc:"Print view statistics (the Fig. 10(b) columns).")
+    Term.(const (fun () -> run) $ setup_logs $ scenario_arg $ size_arg
+      $ seed_arg $ data_arg)
+
+(* --- query --- *)
+
+let query_cmd =
+  let run scenario n seed data path =
+    match parse_path path with
+    | Error msg ->
+        Fmt.epr "%s@." msg;
+        2
+    | Ok p ->
+        let e = build scenario n seed data in
+        let r = Engine.query e p in
+        Fmt.pr "r[[p]]: %d node(s)@." (List.length r.Dag_eval.selected);
+        List.iter
+          (fun (ty, id) ->
+            let node = Rxv_dag.Store.node e.Engine.store id in
+            Fmt.pr "  %s %a@." ty Rxv_relational.Tuple.pp
+              node.Rxv_dag.Store.attr)
+          r.Dag_eval.selected_types;
+        Fmt.pr "Ep(r): %d arrival edge(s)@."
+          (List.length r.Dag_eval.arrival_edges);
+        (match r.Dag_eval.side_effects_delete with
+        | [] -> Fmt.pr "delete side effects: none@."
+        | l ->
+            Fmt.pr "delete side effects: %d unreached occurrence parent(s)@."
+              (List.length l));
+        (match r.Dag_eval.side_effects with
+        | [] -> Fmt.pr "insert side effects: none@."
+        | l ->
+            Fmt.pr "insert side effects: %d unselected occurrence parent(s)@."
+              (List.length l));
+        0
+  in
+  Cmd.v
+    (Cmd.info "query" ~doc:"Evaluate an XPath query on the compressed view.")
+    Term.(const (fun () -> run) $ setup_logs $ scenario_arg $ size_arg
+      $ seed_arg $ data_arg $ path_arg 0)
+
+(* --- delete --- *)
+
+let policy_arg =
+  Arg.(
+    value & flag
+    & info [ "abort-on-side-effects" ]
+        ~doc:"Reject the update if it has side effects (default: proceed \
+              under the revised semantics of Section 2.1).")
+
+let report_outcome e = function
+  | Ok (r : Engine.report) ->
+      Fmt.pr "applied; ΔR = %a@." Rxv_relational.Group_update.pp
+        r.Engine.delta_r;
+      if r.Engine.side_effects <> [] then
+        Fmt.pr "(carried out at every occurrence: %d unselected parents)@."
+          (List.length r.Engine.side_effects);
+      (match Engine.check_consistency e with
+      | Ok () -> Fmt.pr "consistency: OK@."
+      | Error m -> Fmt.pr "consistency FAILED: %s@." m);
+      0
+  | Error rej ->
+      Fmt.pr "rejected: %a@." Engine.pp_rejection rej;
+      1
+
+let delete_cmd =
+  let run scenario n seed data abort path =
+    match parse_path path with
+    | Error msg ->
+        Fmt.epr "%s@." msg;
+        2
+    | Ok p ->
+        let e = build scenario n seed data in
+        let policy = if abort then `Abort else `Proceed in
+        report_outcome e (Engine.apply ~policy e (Xupdate.Delete p))
+  in
+  Cmd.v
+    (Cmd.info "delete" ~doc:"Delete through the view: delete XPATH.")
+    Term.(
+      const (fun () -> run) $ setup_logs $ scenario_arg $ size_arg $ seed_arg
+      $ data_arg $ policy_arg $ path_arg 0)
+
+(* --- insert --- *)
+
+let insert_cmd =
+  let run scenario n seed data abort etype fields into =
+    match parse_path into with
+    | Error msg ->
+        Fmt.epr "%s@." msg;
+        2
+    | Ok p ->
+        let e = build scenario n seed data in
+        (* coerce the textual fields against $etype's inferred types *)
+        let tys =
+          try Rxv_atg.Atg.attr_tys e.Engine.atg etype
+          with Rxv_atg.Atg.Atg_error _ -> [||]
+        in
+        if Array.length tys <> List.length fields then begin
+          Fmt.epr "element type %s expects %d attribute field(s)@." etype
+            (Array.length tys);
+          2
+        end
+        else begin
+          let attr =
+            Array.of_list
+              (List.mapi
+                 (fun i s ->
+                   match tys.(i) with
+                   | Value.TInt -> Value.Int (int_of_string s)
+                   | Value.TStr -> Value.Str s
+                   | Value.TBool -> Value.Bool (bool_of_string s))
+                 fields)
+          in
+          let policy = if abort then `Abort else `Proceed in
+          report_outcome e
+            (Engine.apply ~policy e (Xupdate.Insert { etype; attr; path = p }))
+        end
+  in
+  let etype =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"TYPE" ~doc:"Element type to insert.")
+  in
+  let fields =
+    Arg.(
+      value & pos_right 0 string []
+      & info [] ~docv:"FIELDS" ~doc:"Semantic attribute fields.")
+  in
+  let into =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "into" ] ~docv:"XPATH" ~doc:"Target path.")
+  in
+  Cmd.v
+    (Cmd.info "insert"
+       ~doc:"Insert through the view: insert (TYPE, FIELDS) into XPATH.")
+    Term.(
+      const (fun () -> run) $ setup_logs $ scenario_arg $ size_arg $ seed_arg
+      $ data_arg $ policy_arg $ etype $ fields $ into)
+
+let () =
+  let info =
+    Cmd.info "rxv" ~version:"1.0"
+      ~doc:"Updating recursive XML views of relations (Choi, Cong, Fan, \
+            Viglas — ICDE 2007)."
+  in
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [ show_cmd; stats_cmd; export_cmd; query_cmd; delete_cmd; insert_cmd ]))

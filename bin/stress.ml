@@ -1,0 +1,129 @@
+(* Soak tester: long random sequences of view updates (Engine.apply) and
+   direct relational updates (Base_update.apply) interleaved on synthetic
+   datasets, asserting full consistency (view ≡ republication, L valid,
+   M ≡ recomputation) after every operation.
+
+   Usage: dune exec bin/stress.exe -- [rounds] [max_n]
+   (defaults: 200 rounds, datasets up to 80 keys) *)
+
+module Engine = Rxv_core.Engine
+module Base_update = Rxv_core.Base_update
+module Xupdate = Rxv_core.Xupdate
+module Group_update = Rxv_relational.Group_update
+module Value = Rxv_relational.Value
+module Synth = Rxv_workload.Synth
+module Updates = Rxv_workload.Updates
+module Rng = Rxv_sat.Rng
+
+let i = Value.int
+
+let check_or_die e ctx =
+  match Engine.check_consistency e with
+  | Ok () -> ()
+  | Error m ->
+      Printf.printf "INCONSISTENT after %s: %s\n%!" ctx m;
+      exit 1
+
+let random_base_group d rng n g =
+  List.concat
+    (List.init 2 (fun j ->
+         match Rng.int rng 3 with
+         | 0 ->
+             let a = Rng.int rng (n - 1) in
+             let b = a + 1 + Rng.int rng (n - a - 1) in
+             [ Group_update.Insert ("H", [| i a; i b |]) ]
+         | 1 -> (
+             match d.Synth.h_pairs with
+             | [] -> []
+             | pairs ->
+                 let a, b = List.nth pairs (Rng.int rng (List.length pairs)) in
+                 [ Group_update.Delete ("H", [ i a; i b ]) ])
+         | _ ->
+             let k = (3 * n) + 500 + (g * 10) + j in
+             let parent = Rng.int rng n in
+             let row =
+               Array.init 16 (fun c ->
+                   if c = 0 then i k
+                   else if c = 15 then Value.Bool (k land 1 = 1)
+                   else i ((k * 31) + c))
+             in
+             [
+               Group_update.Insert ("CU", row);
+               Group_update.Insert ("F", Array.copy row);
+               Group_update.Insert ("H", [| i parent; i k |]);
+             ]))
+
+let run_round round max_n =
+  let n = 12 + (round * 7 mod max_n) in
+  let levels = 2 + (round mod 4) in
+  let fanout = 1 + (round mod 4) in
+  let p = Synth.default_params ~levels ~fanout ~seed:round n in
+  let d = Synth.generate p in
+  let e = Engine.create (Synth.atg ()) d.Synth.db in
+  let rng = Rng.create (round * 31 + 7) in
+  let applied = ref 0 and rejected = ref 0 in
+  (* interleave: view deletions / view insertions / base groups *)
+  for step = 0 to 7 do
+    let cls =
+      match step mod 3 with 0 -> Updates.W1 | 1 -> Updates.W2 | _ -> Updates.W3
+    in
+    (match step mod 4 with
+    | 0 -> (
+        match Updates.deletions e.Engine.store cls ~count:1 ~seed:(Rng.int rng 10_000) with
+        | [ u ] -> (
+            match Engine.apply ~policy:`Proceed e u with
+            | Ok _ -> incr applied
+            | Error _ -> incr rejected)
+        | _ -> ())
+    | 1 -> (
+        match
+          Updates.insertions d e.Engine.store cls ~count:1
+            ~seed:(Rng.int rng 10_000) ()
+        with
+        | [ u ] -> (
+            match Engine.apply ~policy:`Proceed e u with
+            | Ok _ -> incr applied
+            | Error _ -> incr rejected)
+        | _ -> ())
+    | 2 -> (
+        match
+          Updates.insertions d e.Engine.store cls ~count:1
+            ~seed:(Rng.int rng 10_000) ~fresh:false ()
+        with
+        | [ u ] -> (
+            match Engine.apply ~policy:`Proceed e u with
+            | Ok _ -> incr applied
+            | Error _ -> incr rejected)
+        | _ -> ())
+    | _ -> (
+        let g = random_base_group d rng n step in
+        if g <> [] then
+          match Base_update.apply e g with
+          | Ok _ -> incr applied
+          | Error _ -> incr rejected));
+    check_or_die e (Printf.sprintf "round %d step %d (n=%d)" round step n)
+  done;
+  (!applied, !rejected)
+
+let () =
+  let rounds =
+    if Array.length Sys.argv > 1 then int_of_string Sys.argv.(1) else 200
+  in
+  let max_n =
+    if Array.length Sys.argv > 2 then int_of_string Sys.argv.(2) else 80
+  in
+  let t0 = Unix.gettimeofday () in
+  let applied = ref 0 and rejected = ref 0 in
+  for round = 0 to rounds - 1 do
+    let a, r = run_round round max_n in
+    applied := !applied + a;
+    rejected := !rejected + r;
+    if round mod 50 = 49 then
+      Printf.printf "  ... %d rounds, %d applied, %d rejected (%.1fs)\n%!"
+        (round + 1) !applied !rejected
+        (Unix.gettimeofday () -. t0)
+  done;
+  Printf.printf
+    "stress OK: %d rounds, %d operations applied, %d rejected, %.1fs\n%!"
+    rounds !applied !rejected
+    (Unix.gettimeofday () -. t0)

@@ -1,0 +1,148 @@
+(* The docs/TUTORIAL.md walkthrough, runnable: a recursive task tracker
+   published as an updatable XML view.
+
+   Run with: dune exec examples/tracker.exe *)
+
+module V = Rxv_relational.Value
+module Schema = Rxv_relational.Schema
+module Database = Rxv_relational.Database
+module Sql = Rxv_relational.Sql
+module Group_update = Rxv_relational.Group_update
+module Dtd_parser = Rxv_xml.Dtd_parser
+module Tree = Rxv_xml.Tree
+module Atg = Rxv_atg.Atg
+module Engine = Rxv_core.Engine
+module X = Rxv_core.Xupdate
+module Parser = Rxv_xpath.Parser
+
+(* 1. relational schema *)
+let schema =
+  Schema.db
+    [
+      Schema.relation "task"
+        [
+          Schema.attr "tid" V.TStr;
+          Schema.attr "title" V.TStr;
+          Schema.attr "toplevel" V.TBool;
+        ]
+        ~key:[ "tid" ];
+      Schema.relation "subtask"
+        [ Schema.attr "parent" V.TStr; Schema.attr "child" V.TStr ]
+        ~key:[ "parent"; "child" ];
+    ]
+
+(* 2. DTD from text, normalized automatically *)
+let dtd =
+  Dtd_parser.parse
+    {| <!ELEMENT tracker (task*)>
+       <!ELEMENT task (tid, title, subs)>
+       <!ELEMENT tid (#PCDATA)>
+       <!ELEMENT title (#PCDATA)>
+       <!ELEMENT subs (task*)> |}
+
+(* 3. the ATG, rules as SQL *)
+let atg =
+  Atg.make ~name:"tracker" ~schema ~dtd
+    [
+      ( "tracker",
+        Atg.star
+          (Sql.parse ~name:"Qroot"
+             "select t.tid, t.title from task t where t.toplevel = true") );
+      ( "task",
+        Atg.R_seq
+          [
+            ("tid", [| Atg.From_parent 0 |]);
+            ("title", [| Atg.From_parent 1 |]);
+            ("subs", [| Atg.From_parent 0 |]);
+          ] );
+      ("tid", Atg.R_pcdata 0);
+      ("title", Atg.R_pcdata 0);
+      ( "subs",
+        Atg.star
+          (Sql.parse ~name:"Qsubs"
+             "select t.tid, t.title from subtask s, task t \
+              where s.parent = $0 and s.child = t.tid") );
+    ]
+
+let seed_db () =
+  let db = Database.create schema in
+  let task tid title top =
+    Database.insert db "task" [| V.Str tid; V.Str title; V.Bool top |]
+  in
+  let sub p c = Database.insert db "subtask" [| V.Str p; V.Str c |] in
+  task "T1" "Ship the release" true;
+  task "T2" "Write changelog" false;
+  task "T3" "Run QA pass" false;
+  task "T7" "Cut the build" false;
+  task "T9" "Sign binaries" false;
+  sub "T1" "T2";
+  sub "T1" "T3";
+  sub "T1" "T7";
+  sub "T3" "T7";
+  (* the build task is shared: QA and release both need it *)
+  sub "T7" "T9";
+  db
+
+let show_outcome engine what = function
+  | Ok (r : Engine.report) ->
+      Fmt.pr "%s@.  applied; ΔR = %a@." what Group_update.pp r.Engine.delta_r;
+      (match Engine.check_consistency engine with
+      | Ok () -> ()
+      | Error m -> Fmt.pr "  !! %s@." m)
+  | Error rej -> Fmt.pr "%s@.  %a@." what Engine.pp_rejection rej
+
+let () =
+  (* 4. publish *)
+  let db = seed_db () in
+  let engine = Engine.create atg db in
+  Fmt.pr "Tracker view (T7 'Cut the build' is shared):@.%a@.@." Tree.pp
+    (Engine.to_tree engine);
+
+  (* 5. query *)
+  let r = Engine.query engine (Parser.parse "//task[tid=T7]/subs/task") in
+  Fmt.pr "sub-tasks of T7: %d; Ep(r) edges: %d@.@."
+    (List.length r.Rxv_core.Dag_eval.selected)
+    (List.length r.Rxv_core.Dag_eval.arrival_edges);
+
+  (* 6. update through the view *)
+  show_outcome engine "detach T9 from T7:"
+    (Engine.apply engine
+       (X.Delete (Parser.parse "//task[tid=T7]/subs/task[tid=T9]")));
+  show_outcome engine "add a new task under T3:"
+    (Engine.apply engine
+       (X.Insert
+          {
+            etype = "task";
+            attr = [| V.Str "T99"; V.Str "Write docs" |];
+            path = Parser.parse "//task[tid=T3]/subs";
+          }));
+  (* the synthesized task row must NOT be toplevel, or a new tracker
+     child would appear — the SAT encoding picks toplevel = false *)
+  (match Database.find_by_key db "task" [ V.Str "T99" ] with
+  | Some t -> Fmt.pr "  synthesized task row: %a@." Rxv_relational.Tuple.pp t
+  | None -> Fmt.pr "  !! T99 not inserted@.");
+
+  (* what-if without committing *)
+  (match
+     Engine.dry_run engine
+       (X.Delete (Parser.parse "//task[tid=T1]/subs/task[tid=T3]"))
+   with
+  | Ok r ->
+      Fmt.pr "@.dry run — detaching T3 from T1 would execute: %a@."
+        Group_update.pp r.Engine.delta_r
+  | Error rej -> Fmt.pr "dry run rejected: %a@." Engine.pp_rejection rej);
+
+  (* 7. updates from below *)
+  (match
+     Rxv_core.Base_update.apply engine
+       [ Group_update.Insert ("subtask", [| V.Str "T2"; V.Str "T7" |]) ]
+   with
+  | Ok rep ->
+      Fmt.pr "@.base insert subtask(T2, T7): %d edge(s) added incrementally@."
+        rep.Rxv_core.Base_update.edges_added
+  | Error m -> Fmt.pr "base update failed: %s@." m);
+
+  (match Engine.check_consistency engine with
+  | Ok () -> Fmt.pr "@.final consistency check: OK@."
+  | Error m -> Fmt.pr "@.final consistency check FAILED: %s@." m);
+  Fmt.pr "@.Final view:@.%a@." Tree.pp (Engine.to_tree engine)

@@ -1,0 +1,214 @@
+(** Attribute Translation Grammars (Section 2.2).
+
+    An ATG σ : R → D pairs a DTD D with, per production, a rule describing
+    how the children of an A-element and their semantic attributes $B are
+    computed from $A and the database:
+
+    - [A → B*]: an SPJ query Q($A); each result row yields one B child
+      whose $B is the row (Fig. 2's Q_prereq_course).
+    - [A → B1, …, Bn]: per child, an attribute map built from $A's fields
+      and constants ($cno = $course.cno).
+    - [A → B1 + … + Bn]: guarded alternatives; the first matching guard
+      selects the child.
+    - [A → pcdata]: the element's text is a designated field of $A.
+
+    Star queries are forced into key-preserved form at construction
+    (Section 4.1; the extension does not change the published view because
+    the semantic attribute $B remains the original projection prefix —
+    [attr_width] — while the extra key columns ride along as edge
+    provenance). *)
+
+module Value = Rxv_relational.Value
+module Schema = Rxv_relational.Schema
+module Tuple = Rxv_relational.Tuple
+module Spj = Rxv_relational.Spj
+module Dtd = Rxv_xml.Dtd
+
+type field_expr =
+  | From_parent of int  (** field i of $A *)
+  | Const of Value.t
+
+type attr_map = field_expr array
+
+type guard =
+  | Always
+  | Field_eq of int * Value.t  (** $A.(i) = v *)
+
+type star_rule = {
+  query : Spj.t;  (** key-preserved; parameters are $A's fields *)
+  attr_width : int;  (** prefix of the output row that forms $B *)
+}
+
+type rule =
+  | R_star of star_rule
+  | R_seq of (string * attr_map) list  (** (child type, $B map) in order *)
+  | R_alt of (guard * string * attr_map) list
+  | R_pcdata of int  (** index of the $A field providing the text *)
+  | R_empty
+
+type t = {
+  name : string;
+  schema : Schema.db;
+  dtd : Dtd.t;
+  rules : (string, rule) Hashtbl.t;
+  root_attr : Tuple.t;
+  attr_tys : (string, Value.ty array) Hashtbl.t;
+      (** inferred type of $A per element type *)
+}
+
+exception Atg_error of string
+
+let atg_error fmt = Fmt.kstr (fun s -> raise (Atg_error s)) fmt
+
+let rule t etype =
+  match Hashtbl.find_opt t.rules etype with
+  | Some r -> r
+  | None -> atg_error "ATG %s: no rule for element type %s" t.name etype
+
+let attr_tys t etype =
+  match Hashtbl.find_opt t.attr_tys etype with
+  | Some tys -> tys
+  | None -> atg_error "ATG %s: type %s unreachable, no $%s type" t.name etype etype
+
+(* Infer the attribute type of each reachable element type by propagation
+   from the root; recursion requires the types to agree on revisit. *)
+let infer_attr_tys ~name ~schema ~dtd ~rules ~root_tys =
+  let tys = Hashtbl.create 16 in
+  let eval_map_tys parent_tys (m : attr_map) =
+    Array.map
+      (function
+        | From_parent i ->
+            if i < 0 || i >= Array.length parent_tys then
+              atg_error "ATG %s: attribute map field $%d out of range" name i
+            else parent_tys.(i)
+        | Const v -> (
+            match Value.ty_of v with
+            | Some ty -> ty
+            | None -> atg_error "ATG %s: null constant in attribute map" name))
+      m
+  in
+  let rec visit etype (etys : Value.ty array) =
+    match Hashtbl.find_opt tys etype with
+    | Some prev ->
+        if prev <> etys then
+          atg_error
+            "ATG %s: element type %s reached with conflicting $%s types" name
+            etype etype
+    | None -> (
+        Hashtbl.replace tys etype etys;
+        let r =
+          match Hashtbl.find_opt rules etype with
+          | Some r -> r
+          | None -> atg_error "ATG %s: no rule for %s" name etype
+        in
+        match (Dtd.production dtd etype, r) with
+        | Dtd.Pcdata, R_pcdata i ->
+            if i < 0 || i >= Array.length etys then
+              atg_error "ATG %s: pcdata index %d out of range for %s" name i
+                etype
+        | Dtd.Empty, R_empty -> ()
+        | Dtd.Star b, R_star { query; attr_width } ->
+            let out = Spj.check schema ~param_tys:etys query in
+            if attr_width <= 0 || attr_width > List.length out then
+              atg_error "ATG %s: bad attr_width for %s -> %s*" name etype b;
+            let btys =
+              Array.of_list
+                (List.filteri (fun i _ -> i < attr_width) (List.map snd out))
+            in
+            visit b btys
+        | Dtd.Seq bs, R_seq maps ->
+            if List.map fst maps <> bs then
+              atg_error "ATG %s: R_seq children of %s disagree with DTD" name
+                etype;
+            List.iter (fun (b, m) -> visit b (eval_map_tys etys m)) maps
+        | Dtd.Alt bs, R_alt branches ->
+            List.iter
+              (fun (g, b, m) ->
+                if not (List.mem b bs) then
+                  atg_error "ATG %s: R_alt branch %s not in production of %s"
+                    name b etype;
+                (match g with
+                | Always -> ()
+                | Field_eq (i, _) ->
+                    if i < 0 || i >= Array.length etys then
+                      atg_error "ATG %s: guard field $%d out of range" name i);
+                visit b (eval_map_tys etys m))
+              branches
+        | prod, _ ->
+            atg_error "ATG %s: rule for %s does not match its production (%a)"
+              name etype Dtd.pp_content prod)
+  in
+  visit dtd.Dtd.root root_tys;
+  tys
+
+(** [make ~name ~schema ~dtd ~root_attr rules] builds and validates an
+    ATG. Star queries are extended to key-preserved form automatically. *)
+let make ~name ~schema ~dtd ?(root_attr = [||]) rules =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun (etype, r) ->
+      if Hashtbl.mem tbl etype then
+        atg_error "ATG %s: duplicate rule for %s" name etype;
+      let r =
+        match r with
+        | R_star { query; attr_width } ->
+            R_star
+              { query = Spj.make_key_preserving schema query; attr_width }
+        | r -> r
+      in
+      Hashtbl.replace tbl etype r)
+    rules;
+  let root_tys =
+    Array.map
+      (fun v ->
+        match Value.ty_of v with
+        | Some ty -> ty
+        | None -> atg_error "ATG %s: null in root attribute" name)
+      root_attr
+  in
+  let attr_tys =
+    infer_attr_tys ~name ~schema ~dtd ~rules:tbl ~root_tys
+  in
+  { name; schema; dtd; rules = tbl; root_attr; attr_tys }
+
+(** Convenience constructor for star rules: [attr_width] defaults to the
+    full user projection (before key-preservation extension). *)
+let star ?attr_width query =
+  let width =
+    match attr_width with
+    | Some w -> w
+    | None -> List.length query.Spj.select
+  in
+  R_star { query; attr_width = width }
+
+(** Evaluate an attribute map against a parent attribute. *)
+let apply_map (m : attr_map) (parent : Tuple.t) : Tuple.t =
+  Array.map
+    (function
+      | From_parent i -> parent.(i)
+      | Const v -> v)
+    m
+
+let guard_holds g (parent : Tuple.t) =
+  match g with
+  | Always -> true
+  | Field_eq (i, v) -> Value.equal parent.(i) v
+
+(** The element types whose parents may legally gain/lose children by an
+    XML update: B appears under a star production A → B*. *)
+let star_positions t : (string * string) list =
+  Hashtbl.fold
+    (fun etype r acc ->
+      match (Dtd.production t.dtd etype, r) with
+      | Dtd.Star b, R_star _ -> (etype, b) :: acc
+      | _ -> acc)
+    t.rules []
+
+(** All star rules, with their parent/child types. *)
+let star_rules t : (string * string * star_rule) list =
+  Hashtbl.fold
+    (fun etype r acc ->
+      match (Dtd.production t.dtd etype, r) with
+      | Dtd.Star b, R_star sr -> (etype, b, sr) :: acc
+      | _ -> acc)
+    t.rules []

@@ -1,0 +1,77 @@
+(** Attribute Translation Grammars (Section 2.2): a DTD paired with, per
+    production, a rule computing an element's children and their semantic
+    attributes $B from $A and the database.
+
+    Star queries are forced into key-preserved form at construction
+    (Section 4.1); the published view is unchanged because $B remains the
+    original projection prefix ([attr_width]) while the extra key columns
+    ride along as edge provenance. *)
+
+module Value = Rxv_relational.Value
+module Schema = Rxv_relational.Schema
+module Tuple = Rxv_relational.Tuple
+module Spj = Rxv_relational.Spj
+module Dtd = Rxv_xml.Dtd
+
+type field_expr =
+  | From_parent of int  (** field i of $A *)
+  | Const of Value.t
+
+type attr_map = field_expr array
+
+type guard =
+  | Always
+  | Field_eq of int * Value.t  (** $A.(i) = v *)
+
+type star_rule = {
+  query : Spj.t;  (** key-preserved; parameters are $A's fields *)
+  attr_width : int;  (** prefix of the output row that forms $B *)
+}
+
+type rule =
+  | R_star of star_rule  (** for A → B* *)
+  | R_seq of (string * attr_map) list  (** for A → B1, …, Bn *)
+  | R_alt of (guard * string * attr_map) list  (** for A → B1 + … + Bn *)
+  | R_pcdata of int  (** index of the $A field providing the text *)
+  | R_empty
+
+type t = {
+  name : string;
+  schema : Schema.db;
+  dtd : Dtd.t;
+  rules : (string, rule) Hashtbl.t;
+  root_attr : Tuple.t;
+  attr_tys : (string, Value.ty array) Hashtbl.t;
+}
+
+exception Atg_error of string
+
+val atg_error : ('a, Format.formatter, unit, 'b) format4 -> 'a
+
+val make :
+  name:string ->
+  schema:Schema.db ->
+  dtd:Dtd.t ->
+  ?root_attr:Tuple.t ->
+  (string * rule) list ->
+  t
+(** build and validate: every rule matches its production's shape, star
+    queries type-check against $A and are made key-preserving, attribute
+    types propagate consistently through recursion.
+    @raise Atg_error otherwise. *)
+
+val star : ?attr_width:int -> Spj.t -> rule
+(** star rule; [attr_width] defaults to the full user projection *)
+
+val rule : t -> string -> rule
+val attr_tys : t -> string -> Value.ty array
+(** the inferred type of $A for a (reachable) element type *)
+
+val apply_map : attr_map -> Tuple.t -> Tuple.t
+val guard_holds : guard -> Tuple.t -> bool
+
+val star_positions : t -> (string * string) list
+(** (A, B) pairs with production A → B* — the only positions XML updates
+    may touch (Section 2.4) *)
+
+val star_rules : t -> (string * string * star_rule) list

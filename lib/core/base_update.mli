@@ -1,0 +1,25 @@
+(** Incremental maintenance of the published view under *direct*
+    relational updates — the companion direction to {!Engine.apply}
+    (cf. the paper's reference [8], incremental schema-directed
+    publishing).
+
+    Given a group update ΔR over base relations, the affected parents are
+    localized per star rule (by pinning each changed tuple and projecting
+    the parameter bindings), their rules re-evaluated differentially, new
+    child subtrees published, removed children unlinked, provenance rows
+    refreshed, and L/M maintained incrementally — no republication. *)
+
+module Group_update = Rxv_relational.Group_update
+
+type report = {
+  affected_parents : int;
+  edges_added : int;
+  edges_removed : int;
+  nodes_deleted : int;  (** garbage-collected, no longer reachable *)
+}
+
+val apply : Engine.t -> Group_update.t -> (report, string) result
+(** apply ΔR to the database and repair the view. On failure (key
+    violation, or the new data would make the view infinite) the database
+    is restored and the view left consistent.
+    @raise Failure if ΔR itself cannot be applied. *)

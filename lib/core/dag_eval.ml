@@ -1,0 +1,459 @@
+(** Two-pass evaluation of XPath on a DAG-compressed view (Section 3.2).
+
+    The bottom-up pass computes, for every node v (in the leaves-first
+    topological order L) and every suffix of every path filter, whether the
+    suffix can be satisfied starting at v — the paper's val(q, v) — and,
+    through the // recurrence, desc(q, v). Filters are processed in
+    sub-expression (topological Q) order, so every value needed is
+    available when read: dynamic programming over L × Q, O(|p|·|V|).
+
+    The top-down pass computes the forward frontiers C_i, refines them
+    backwards into B_i (nodes on *successful* matches), and derives
+
+    - r[[p]]: the selected nodes;
+    - Ep(r): the arrival edges — for each selected v, the DAG edges (u, v)
+      through which some match of p reaches v (what Xdelete removes);
+    - the side-effect sets of Section 2.1, via a per-step backward
+      propagation that verifies every occurrence of every arrival parent
+      matches the path prefix. Deletions and insertions get separate
+      sets: deleting the Ep(r) edges changes the children lists of the
+      *parents* u, so their occurrences are constrained; inserting under
+      r[[p]] changes the selected nodes themselves, additionally requiring
+      every parent edge of a selected node to be an arrival edge. The
+      analysis is conservative (node- rather than path-granular, so a
+      flagged parent may in rare shapes still carry the prefix through a
+      different decomposition of p) but never misses a deviating
+      occurrence — property-tested on adversarial DAGs.
+
+    Value filters (p = "s") compare the XPath string value. Comparing
+    every node's full text would be quadratic, so equality is decided by a
+    text-length DP with on-demand bounded materialization. *)
+
+module Store = Rxv_dag.Store
+module Topo = Rxv_dag.Topo
+module Reach = Rxv_dag.Reach
+module Bitset = Rxv_dag.Bitset
+module Ast = Rxv_xpath.Ast
+module Normal = Rxv_xpath.Normal
+
+type result = {
+  selected : int list;  (** r[[p]], as node ids *)
+  selected_types : (string * int) list;  (** (type, id) pairs, as in §3.2 *)
+  arrival_edges : (int * int) list;  (** Ep(r) *)
+  side_effects : int list;
+      (** S for insertions: parents witnessing an occurrence of a selected
+          node that p does not select *)
+  side_effects_delete : int list;
+      (** S for deletions (⊆ [side_effects]): parents witnessing an
+          occurrence of an arrival parent that p does not reach *)
+  zero_move_match : bool;
+      (** some match ends without traversing any edge (e.g. selects the
+          root); such selections cannot be deleted *)
+}
+
+(* ---- compiled filters ---- *)
+
+type target = T_exists | T_text_eq of string
+
+type cfilter =
+  | C_label of string
+  | C_and of cfilter * cfilter
+  | C_or of cfilter * cfilter
+  | C_not of cfilter
+  | C_path of int  (** index into the path-filter table *)
+
+type cstep =
+  | CS_filter of cfilter
+  | CS_label of string
+  | CS_wild
+  | CS_desc
+
+type pfilter = { csteps : cstep array; ptarget : target }
+
+type compiled = {
+  outer : cstep array;
+  pfilters : pfilter array;  (** sub-expression order: inner before outer *)
+}
+
+let compile (p : Ast.path) : compiled =
+  let pfs = ref [] in
+  let n_pf = ref 0 in
+  let add_pf pf =
+    pfs := pf :: !pfs;
+    let k = !n_pf in
+    incr n_pf;
+    k
+  in
+  let rec compile_filter (q : Ast.filter) : cfilter =
+    match q with
+    | Ast.Label_is a -> C_label a
+    | Ast.And (a, b) -> C_and (compile_filter a, compile_filter b)
+    | Ast.Or (a, b) -> C_or (compile_filter a, compile_filter b)
+    | Ast.Not a -> C_not (compile_filter a)
+    | Ast.Exists p ->
+        let steps = compile_steps (Normal.of_path p) in
+        C_path (add_pf { csteps = steps; ptarget = T_exists })
+    | Ast.Eq (p, s) ->
+        let steps = compile_steps (Normal.of_path p) in
+        C_path (add_pf { csteps = steps; ptarget = T_text_eq s })
+  and compile_steps (steps : Normal.t) : cstep array =
+    Array.of_list
+      (List.map
+         (function
+           | Normal.Filter q -> CS_filter (compile_filter q)
+           | Normal.Step_label a -> CS_label a
+           | Normal.Step_wild -> CS_wild
+           | Normal.Step_desc -> CS_desc)
+         steps)
+  in
+  let outer = compile_steps (Normal.of_path p) in
+  { outer; pfilters = Array.of_list (List.rev !pfs) }
+
+(* ---- text equality via length DP ---- *)
+
+type text_ctx = {
+  store : Store.t;
+  lens : (int, int) Hashtbl.t;
+}
+
+let rec text_len ctx id =
+  match Hashtbl.find_opt ctx.lens id with
+  | Some l -> l
+  | None ->
+      let n = Store.node ctx.store id in
+      let own =
+        match n.Store.text with Some s -> String.length s | None -> 0
+      in
+      let l =
+        List.fold_left
+          (fun acc c -> acc + text_len ctx c)
+          own
+          (Store.children ctx.store id)
+      in
+      Hashtbl.replace ctx.lens id l;
+      l
+
+let text_eq ctx id s =
+  if text_len ctx id <> String.length s then false
+  else begin
+    let buf = Buffer.create (String.length s) in
+    let rec go id =
+      let n = Store.node ctx.store id in
+      (match n.Store.text with
+      | Some t -> Buffer.add_string buf t
+      | None -> ());
+      List.iter go (Store.children ctx.store id)
+    in
+    go id;
+    String.equal (Buffer.contents buf) s
+  end
+
+(* ---- bottom-up pass ---- *)
+
+(* sat.(k).(i) : per path-filter k and suffix start i, a bitset over node
+   slots; bit set ⟺ steps i..n of filter k are satisfiable at the node. *)
+type bu = {
+  sat : Bitset.t array array;
+  ctx : text_ctx;
+}
+
+let filter_holds (bu : bu) store (q : cfilter) id : bool =
+  let rec go = function
+    | C_label a -> String.equal (Store.node store id).Store.etype a
+    | C_and (x, y) -> go x && go y
+    | C_or (x, y) -> go x || go y
+    | C_not x -> not (go x)
+    | C_path k ->
+        Bitset.get bu.sat.(k).(0) (Store.node store id).Store.slot
+  in
+  go q
+
+let bottom_up (store : Store.t) (l : Topo.t) (c : compiled) : bu =
+  let ctx = { store; lens = Hashtbl.create 256 } in
+  let sat =
+    Array.map
+      (fun pf -> Array.init (Array.length pf.csteps + 1) (fun _ -> Bitset.create ()))
+      c.pfilters
+  in
+  let bu = { sat; ctx } in
+  Topo.iter
+    (fun v ->
+      let n = Store.node store v in
+      let slot = n.Store.slot in
+      let kids = Store.children store v in
+      Array.iteri
+        (fun k pf ->
+          let nsteps = Array.length pf.csteps in
+          for i = nsteps downto 0 do
+            let holds =
+              if i = nsteps then
+                match pf.ptarget with
+                | T_exists -> true
+                | T_text_eq s -> text_eq ctx v s
+              else
+                match pf.csteps.(i) with
+                | CS_filter q ->
+                    filter_holds bu store q v
+                    && Bitset.get sat.(k).(i + 1) slot
+                | CS_label a ->
+                    List.exists
+                      (fun u ->
+                        String.equal (Store.node store u).Store.etype a
+                        && Bitset.get sat.(k).(i + 1)
+                             (Store.node store u).Store.slot)
+                      kids
+                | CS_wild ->
+                    List.exists
+                      (fun u ->
+                        Bitset.get sat.(k).(i + 1)
+                          (Store.node store u).Store.slot)
+                      kids
+                | CS_desc ->
+                    Bitset.get sat.(k).(i + 1) slot
+                    || List.exists
+                         (fun u ->
+                           Bitset.get sat.(k).(i)
+                             (Store.node store u).Store.slot)
+                         kids
+            in
+            if holds then Bitset.set sat.(k).(i) slot
+          done)
+        c.pfilters)
+    l;
+  bu
+
+(* ---- top-down pass ---- *)
+
+module IdSet = struct
+  type t = (int, unit) Hashtbl.t
+
+  let create () : t = Hashtbl.create 64
+  let add (s : t) id = Hashtbl.replace s id ()
+  let mem (s : t) id = Hashtbl.mem s id
+  let iter f (s : t) = Hashtbl.iter (fun id () -> f id) s
+  let cardinal (s : t) = Hashtbl.length s
+  let to_list (s : t) = Hashtbl.fold (fun id () acc -> id :: acc) s []
+  let of_list ids =
+    let s = create () in
+    List.iter (add s) ids;
+    s
+end
+
+(* is [id] a member or descendant of [base]? — tests the (sparse) ancestor
+   row of [id] against the set *)
+let in_desc_or_self m (base : IdSet.t) id =
+  IdSet.mem base id
+  ||
+  match Reach.row_opt m id with
+  | None -> false
+  | Some r -> (
+      try
+        Hashtbl.iter (fun a () -> if IdSet.mem base a then raise Exit) r;
+        false
+      with Exit -> true)
+
+(* base ∪ all ancestors of base, as an id set *)
+let anc_or_self_closure m (base : IdSet.t) =
+  let out = IdSet.create () in
+  IdSet.iter
+    (fun id ->
+      IdSet.add out id;
+      Reach.iter_ancestors (fun a -> IdSet.add out a) m id)
+    base;
+  out
+
+let eval_compiled (store : Store.t) (l : Topo.t) (m : Reach.t) (c : compiled)
+    : result =
+  let bu = bottom_up store l c in
+  let root = Store.root store in
+  let nsteps = Array.length c.outer in
+  (* forward frontiers; frontier.(i) = C_i *)
+  let frontier = Array.init (nsteps + 1) (fun _ -> IdSet.create ()) in
+  IdSet.add frontier.(0) root;
+  for i = 0 to nsteps - 1 do
+    let prev = frontier.(i) and next = frontier.(i + 1) in
+    match c.outer.(i) with
+    | CS_filter q ->
+        IdSet.iter
+          (fun v -> if filter_holds bu store q v then IdSet.add next v)
+          prev
+    | CS_label a ->
+        IdSet.iter
+          (fun v ->
+            List.iter
+              (fun u ->
+                if String.equal (Store.node store u).Store.etype a then
+                  IdSet.add next u)
+              (Store.children store v))
+          prev
+    | CS_wild ->
+        IdSet.iter
+          (fun v -> List.iter (IdSet.add next) (Store.children store v))
+          prev
+    | CS_desc ->
+        let rec go u =
+          if not (IdSet.mem next u) then begin
+            IdSet.add next u;
+            List.iter go (Store.children store u)
+          end
+        in
+        IdSet.iter go prev
+  done;
+  (* backward refinement; back.(i) = B_i ⊆ C_i: nodes on successful
+     matches *)
+  let back = Array.init (nsteps + 1) (fun _ -> IdSet.create ()) in
+  IdSet.iter (IdSet.add back.(nsteps)) frontier.(nsteps);
+  for i = nsteps - 1 downto 0 do
+    let bi1 = back.(i + 1) and bi = back.(i) in
+    match c.outer.(i) with
+    | CS_filter _ -> IdSet.iter (IdSet.add bi) bi1
+    | CS_label _ | CS_wild ->
+        IdSet.iter
+          (fun w ->
+            if List.exists (IdSet.mem bi1) (Store.children store w) then
+              IdSet.add bi w)
+          frontier.(i)
+    | CS_desc ->
+        (* w ∈ B_i iff w is an ancestor-or-self of some node of B_{i+1}:
+           take the union of the targets' ancestor rows once, then each
+           membership test is O(1) *)
+        let anc_union = anc_or_self_closure m bi1 in
+        IdSet.iter
+          (fun w -> if IdSet.mem anc_union w then IdSet.add bi w)
+          frontier.(i)
+  done;
+  let selected = IdSet.to_list back.(nsteps) in
+  (* ---- Ep(r): arrival edges ---- *)
+  let arrival = Hashtbl.create 64 in
+  let active = ref (IdSet.of_list selected) in
+  let zero_move = ref false in
+  let i = ref nsteps in
+  let continue = ref true in
+  while !continue && !i >= 1 do
+    let step = c.outer.(!i - 1) in
+    let bprev = back.(!i - 1) in
+    (match step with
+    | CS_filter _ -> decr i
+    | CS_label _ | CS_wild ->
+        IdSet.iter
+          (fun v ->
+            List.iter
+              (fun u ->
+                if IdSet.mem bprev u then Hashtbl.replace arrival (u, v) !i)
+              (Store.parents store v))
+          !active;
+        continue := false
+    | CS_desc ->
+        IdSet.iter
+          (fun v ->
+            List.iter
+              (fun u ->
+                if in_desc_or_self m bprev u then
+                  Hashtbl.replace arrival (u, v) !i)
+              (Store.parents store v))
+          !active;
+        let pass = IdSet.create () in
+        IdSet.iter (fun v -> if IdSet.mem bprev v then IdSet.add pass v) !active;
+        active := pass;
+        decr i);
+    if IdSet.cardinal !active = 0 then continue := false
+  done;
+  if !i = 0 && IdSet.cardinal !active > 0 then zero_move := true;
+  (* ---- side-effect sets (Section 2.1) ----
+
+     A deletion removes the arrival edges (u, v): it is side-effect free
+     iff EVERY occurrence of every arrival parent u is itself an arrival
+     occurrence, i.e. every root-path to u matches the prefix of p up to
+     the edge's step. An insertion appends under the selected nodes: it
+     additionally needs every parent edge of every selected node to be an
+     arrival edge. Both conditions are checked by one backward
+     propagation: needs.(j) collects nodes whose every occurrence must
+     match steps 1..j; a parent that cannot carry the prefix is flagged.
+
+     The per-step (not per-path) propagation is a conservative
+     approximation: a flagged parent may in rare shapes still carry the
+     prefix through a different decomposition of p. It never misses a
+     deviating occurrence (soundness is property-tested on adversarial
+     DAGs). *)
+  let side_delete = IdSet.create () in
+  let needs = Array.init (nsteps + 1) (fun _ -> IdSet.create ()) in
+  if selected <> [] then begin
+    Hashtbl.iter
+      (fun (u, _) j ->
+        if j >= 1 then
+          match c.outer.(j - 1) with
+          | CS_desc ->
+              (* u is a walk intermediate: its occurrences must be walk
+                 occurrences — the desc machinery of step j itself *)
+              IdSet.add needs.(j) u
+          | CS_label _ | CS_wild | CS_filter _ -> IdSet.add needs.(j - 1) u)
+      arrival;
+    for j = nsteps downto 1 do
+      let need = needs.(j) in
+      if IdSet.cardinal need > 0 then
+        match c.outer.(j - 1) with
+        | CS_filter _ -> IdSet.iter (IdSet.add needs.(j - 1)) need
+        | CS_label _ | CS_wild ->
+            IdSet.iter
+              (fun x ->
+                List.iter
+                  (fun w ->
+                    if IdSet.mem back.(j - 1) w then
+                      IdSet.add needs.(j - 1) w
+                    else IdSet.add side_delete w)
+                  (Store.parents store x))
+              need
+        | CS_desc ->
+            (* walk upward through desc-or-self(B_{j-1}); the prefix may
+               end at any walk node that is in B_{j-1} *)
+            let bprev = back.(j - 1) in
+            let visited = IdSet.create () in
+            let queue = Queue.create () in
+            IdSet.iter
+              (fun x ->
+                IdSet.add visited x;
+                Queue.add x queue)
+              need;
+            while not (Queue.is_empty queue) do
+              let y = Queue.pop queue in
+              let y_starts = IdSet.mem bprev y in
+              if y_starts then IdSet.add needs.(j - 1) y;
+              List.iter
+                (fun w ->
+                  if in_desc_or_self m bprev w then begin
+                    if not (IdSet.mem visited w) then begin
+                      IdSet.add visited w;
+                      Queue.add w queue
+                    end
+                  end
+                  else if not y_starts then IdSet.add side_delete w)
+                (Store.parents store y)
+            done
+    done
+  end;
+  (* insertions additionally require every parent edge of every selected
+     node to be an arrival edge *)
+  let side_insert = IdSet.create () in
+  IdSet.iter (IdSet.add side_insert) side_delete;
+  List.iter
+    (fun v ->
+      List.iter
+        (fun w ->
+          if not (Hashtbl.mem arrival (w, v)) then IdSet.add side_insert w)
+        (Store.parents store v))
+    selected;
+  {
+    selected;
+    selected_types =
+      List.map (fun id -> ((Store.node store id).Store.etype, id)) selected;
+    arrival_edges = Hashtbl.fold (fun e _ acc -> e :: acc) arrival [];
+    side_effects = IdSet.to_list side_insert;
+    side_effects_delete = IdSet.to_list side_delete;
+    zero_move_match = !zero_move;
+  }
+
+(** [eval store l m p] evaluates the XPath [p] from the root of the view.
+    See {!result}. *)
+let eval (store : Store.t) (l : Topo.t) (m : Reach.t) (p : Ast.path) : result
+    =
+  eval_compiled store l m (compile p)

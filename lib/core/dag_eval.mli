@@ -1,0 +1,46 @@
+(** Two-pass XPath evaluation on DAG-compressed views (Section 3.2).
+
+    Bottom-up: dynamic programming over the topological order L and the
+    sub-expression order of filters, computing the paper's val(q, v) and
+    (through the // recurrence) desc(q, v) for every node and filter
+    suffix — O(|p|·|V|). Top-down: forward frontiers C_i, refined backward
+    into the nodes on successful matches, yielding r[[p]], the arrival
+    edges Ep(r) and the side-effect set S.
+
+    Value filters (p = "s") compare XPath string values via a text-length
+    DP with on-demand bounded materialization, avoiding quadratic text
+    concatenation.
+
+    The side-effect check is edge-granular and conservative: it may
+    over-approximate on views where one node plays several distinct step
+    roles, but it never misses a deviating occurrence entering the matched
+    region (property-tested soundness). *)
+
+module Store = Rxv_dag.Store
+module Topo = Rxv_dag.Topo
+module Reach = Rxv_dag.Reach
+module Ast = Rxv_xpath.Ast
+
+type result = {
+  selected : int list;  (** r[[p]], as node ids *)
+  selected_types : (string * int) list;  (** (type, id), as in §3.2 *)
+  arrival_edges : (int * int) list;
+      (** Ep(r): for each selected v, the DAG edges (u, v) through which
+          some match of p reaches v — what Xdelete removes *)
+  side_effects : int list;
+      (** S for insertions: parents witnessing an occurrence of a selected
+          node that p does not select; nonempty iff inserting under r[[p]]
+          is visible at unselected occurrences (Section 2.1) *)
+  side_effects_delete : int list;
+      (** S for deletions (⊆ [side_effects]): parents witnessing an
+          occurrence of an *arrival parent* that p does not reach — the
+          paper's deletion side effects constrain the parents u of Ep(r),
+          not the selected nodes themselves (takenBy2 keeps student2 in
+          Example 5 without any side effect) *)
+  zero_move_match : bool;
+      (** some match ends without traversing any edge (e.g. selects the
+          root); such selections cannot be deleted *)
+}
+
+val eval : Store.t -> Topo.t -> Reach.t -> Ast.path -> result
+(** evaluate from the root of the view *)

@@ -1,0 +1,383 @@
+(** The XML view update framework of Fig. 3.
+
+    An engine instance owns the published relational database I, the DAG
+    store V (the relational coding of the compressed view), and the
+    auxiliary structures L and M. Processing an update ΔX goes through
+
+    + DTD validation (Section 2.4, {!Validate});
+    + XPath evaluation on the DAG with side-effect detection (Section 3.2,
+      {!Dag_eval});
+    + translation ΔX → ΔV ({!Xupdate}) and ΔV → ΔR ({!Vdelete} /
+      {!Vinsert});
+    + execution of ΔR on I and ΔV on V;
+    + background maintenance of L and M ({!Rxv_dag.Maintain}).
+
+    On detecting side effects the engine consults the caller's policy:
+    [`Abort] rejects the update; [`Proceed] carries on under the revised
+    semantics of Section 2.1 (the DAG representation applies the update at
+    every occurrence automatically). All failures leave I, V, L and M
+    untouched. *)
+
+module Store = Rxv_dag.Store
+module Topo = Rxv_dag.Topo
+module Reach = Rxv_dag.Reach
+module Maintain = Rxv_dag.Maintain
+module Database = Rxv_relational.Database
+module Group_update = Rxv_relational.Group_update
+module Tuple = Rxv_relational.Tuple
+module Eval = Rxv_relational.Eval
+module Atg = Rxv_atg.Atg
+module Publish = Rxv_atg.Publish
+module Tree = Rxv_xml.Tree
+
+type t = {
+  atg : Atg.t;
+  mutable db : Database.t;
+  mutable store : Store.t;
+  mutable topo : Topo.t;
+  mutable reach : Reach.t;
+  mutable seed : int;  (** WalkSAT seed; bumped per insertion *)
+}
+
+type policy = [ `Abort | `Proceed ]
+
+type rejection =
+  | Invalid of string  (** static DTD validation failed *)
+  | Side_effects of int list
+      (** update aborted: occurrences outside r[[p]] would change *)
+  | Untranslatable of string  (** no side-effect-free ΔR exists / found *)
+
+type timings = {
+  t_eval : float;  (** XPath evaluation on the DAG *)
+  t_translate : float;  (** ΔX→ΔV, ΔV→ΔR, and executing both *)
+  t_maintain : float;  (** Δ(M,L) maintenance (background in the paper) *)
+}
+
+type report = {
+  delta_r : Group_update.t;
+  selected : int list;
+  side_effects : int list;  (** nonempty iff the update had side effects *)
+  timings : timings;
+  sat_vars : int;
+  sat_clauses : int;
+}
+
+let log_src = Logs.Src.create "rxv.engine" ~doc:"XML view update engine"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+let pp_rejection ppf = function
+  | Invalid msg -> Fmt.pf ppf "invalid against the DTD: %s" msg
+  | Side_effects ids ->
+      Fmt.pf ppf "side effects at %d unselected occurrence parent(s)"
+        (List.length ids)
+  | Untranslatable msg -> Fmt.pf ppf "untranslatable: %s" msg
+
+(** [create atg db] publishes σ(I) and builds L and M. *)
+let create (atg : Atg.t) (db : Database.t) : t =
+  let store = Publish.publish atg db in
+  let topo = Topo.of_store store in
+  let reach = Reach.compute store topo in
+  Log.info (fun m ->
+      m "published %s: %d nodes, %d edges, |M|=%d" atg.Atg.name
+        (Store.n_nodes store) (Store.n_edges store) (Reach.size reach));
+  { atg; db; store; topo; reach; seed = 20070415 }
+
+let now () = Unix.gettimeofday ()
+
+let no_timings = { t_eval = 0.; t_translate = 0.; t_maintain = 0. }
+
+let noop_report ?(selected = []) ?(side_effects = []) ?(timings = no_timings)
+    () =
+  {
+    delta_r = [];
+    selected;
+    side_effects;
+    timings;
+    sat_vars = 0;
+    sat_clauses = 0;
+  }
+
+let apply_delete (e : t) ~(policy : policy) path :
+    (report, rejection) Stdlib.result =
+  match Validate.check_delete e.atg.Atg.dtd path with
+  | Validate.Reject msg -> Error (Invalid msg)
+  | Validate.Ok_types _ -> (
+      let t0 = now () in
+      let ev = Dag_eval.eval e.store e.topo e.reach path in
+      let t_eval = now () -. t0 in
+      if ev.Dag_eval.side_effects_delete <> [] && policy = `Abort then
+        Error (Side_effects ev.Dag_eval.side_effects_delete)
+      else if ev.Dag_eval.selected = [] then
+        Ok (noop_report ~timings:{ no_timings with t_eval } ())
+      else
+        match
+          Xupdate.xdelete e.atg e.store
+            ~arrival_edges:ev.Dag_eval.arrival_edges
+            ~selected:ev.Dag_eval.selected
+            ~zero_move_match:ev.Dag_eval.zero_move_match
+        with
+        | exception Xupdate.Update_rejected msg -> Error (Untranslatable msg)
+        | delta_v -> (
+            let t1 = now () in
+            match Vdelete.translate e.atg e.store ~delta_v with
+            | Vdelete.Rejected msg -> Error (Untranslatable msg)
+            | Vdelete.Translated delta_r ->
+                Group_update.apply e.db delta_r;
+                List.iter
+                  (fun (u, v) -> ignore (Store.remove_edge e.store u v))
+                  delta_v;
+                let t_translate = now () -. t1 in
+                let t2 = now () in
+                let _stats =
+                  Maintain.on_delete e.store e.topo e.reach
+                    ~targets:ev.Dag_eval.selected
+                in
+                let t_maintain = now () -. t2 in
+                Ok
+                  {
+                    delta_r;
+                    selected = ev.Dag_eval.selected;
+                    side_effects = ev.Dag_eval.side_effects_delete;
+                    timings = { t_eval; t_translate; t_maintain };
+                    sat_vars = 0;
+                    sat_clauses = 0;
+                  }))
+
+let apply_insert (e : t) ~(policy : policy) ~etype ~attr path :
+    (report, rejection) Stdlib.result =
+  match Validate.check_insert e.atg.Atg.dtd ~etype path with
+  | Validate.Reject msg -> Error (Invalid msg)
+  | Validate.Ok_types _ -> (
+      let t0 = now () in
+      let ev = Dag_eval.eval e.store e.topo e.reach path in
+      let t_eval = now () -. t0 in
+      if ev.Dag_eval.side_effects <> [] && policy = `Abort then
+        Error (Side_effects ev.Dag_eval.side_effects)
+      else if ev.Dag_eval.selected = [] then
+        Ok (noop_report ~timings:{ no_timings with t_eval } ())
+      else begin
+        let t1 = now () in
+        match
+          Xupdate.xinsert e.atg e.db e.store
+            ~is_ancestor_or_self:(fun a d ->
+              Reach.is_ancestor_or_self e.reach a d)
+            ~etype ~attr ~selected:ev.Dag_eval.selected
+        with
+        | exception Xupdate.Update_rejected msg -> Error (Untranslatable msg)
+        | tr -> (
+            if tr.Xupdate.connect_edges = [] && tr.Xupdate.new_nodes = []
+            then
+              (* every edge already present: the update is a no-op *)
+              Ok
+                (noop_report ~selected:ev.Dag_eval.selected
+                   ~side_effects:ev.Dag_eval.side_effects
+                   ~timings:{ no_timings with t_eval } ())
+            else begin
+              e.seed <- e.seed + 1;
+              match
+                Vinsert.translate e.atg e.db e.store
+                  ~connect_edges:tr.Xupdate.connect_edges ~seed:e.seed ()
+              with
+              | Vinsert.Rejected msg ->
+                  Xupdate.rollback_subtree e.store
+                    ~new_nodes:tr.Xupdate.new_nodes;
+                  Error (Untranslatable msg)
+              | Vinsert.Translated
+                  { delta_r; provenances; sat_vars; sat_clauses } -> (
+                  match Group_update.apply e.db delta_r with
+                  | exception Group_update.Apply_error msg ->
+                      Xupdate.rollback_subtree e.store
+                        ~new_nodes:tr.Xupdate.new_nodes;
+                      Error (Untranslatable msg)
+                  | () ->
+                      (* ΔV: the connection edges, with their derivations *)
+                      List.iter
+                        (fun (u, v) ->
+                          let rows =
+                            List.filter_map
+                              (fun (edge, row) ->
+                                if edge = (u, v) then Some row else None)
+                              provenances
+                          in
+                          match rows with
+                          | [] -> Store.add_edge e.store u v ~provenance:None
+                          | rows ->
+                              List.iter
+                                (fun row ->
+                                  Store.add_edge e.store u v
+                                    ~provenance:(Some row))
+                                rows)
+                        tr.Xupdate.connect_edges;
+                      (* extra derivations of pre-existing edges *)
+                      List.iter
+                        (fun ((u, v), row) ->
+                          if Store.mem_edge e.store u v then
+                            Store.add_edge e.store u v ~provenance:(Some row))
+                        provenances;
+                      let t_translate = now () -. t1 in
+                      let t2 = now () in
+                      let _stats =
+                        Maintain.on_insert e.store e.topo e.reach
+                          ~targets:ev.Dag_eval.selected
+                          ~root_id:tr.Xupdate.subtree_root
+                          ~new_nodes:tr.Xupdate.new_nodes
+                      in
+                      let t_maintain = now () -. t2 in
+                      Ok
+                        {
+                          delta_r;
+                          selected = ev.Dag_eval.selected;
+                          side_effects = ev.Dag_eval.side_effects;
+                          timings = { t_eval; t_translate; t_maintain };
+                          sat_vars;
+                          sat_clauses;
+                        })
+            end)
+      end)
+
+(** [apply e u ~policy] processes one XML view update end to end. *)
+let apply ?(policy : policy = `Proceed) (e : t) (u : Xupdate.t) :
+    (report, rejection) Stdlib.result =
+  let result =
+    match u with
+    | Xupdate.Delete path -> apply_delete e ~policy path
+    | Xupdate.Insert { etype; attr; path } ->
+        apply_insert e ~policy ~etype ~attr path
+  in
+  (match result with
+  | Ok r ->
+      Log.info (fun m ->
+          m "%a: applied, |ΔR|=%d, %d selected%s" Xupdate.pp u
+            (Group_update.size r.delta_r)
+            (List.length r.selected)
+            (if r.side_effects <> [] then " (side effects)" else ""))
+  | Error rej ->
+      Log.info (fun m -> m "%a: %a" Xupdate.pp u pp_rejection rej));
+  result
+
+(** Evaluate an XPath query on the current view (read-only). *)
+let query (e : t) path = Dag_eval.eval e.store e.topo e.reach path
+
+(** Materialize the current view as a tree. *)
+let to_tree ?max_nodes (e : t) = Store.to_tree ?max_nodes e.store
+
+(** Consistency oracle for tests: the incrementally maintained view must
+    equal republication from scratch, and L and M must match
+    recomputation. *)
+let check_consistency (e : t) : (unit, string) Stdlib.result =
+  let fresh = Publish.publish e.atg e.db in
+  let ok_tree =
+    Tree.equal_canonical
+      (Store.to_tree ~max_nodes:5_000_000 fresh)
+      (Store.to_tree ~max_nodes:5_000_000 e.store)
+  in
+  if not ok_tree then Error "view differs from republication"
+  else if not (Topo.is_valid e.topo e.store) then
+    Error "topological order invalid"
+  else begin
+    let l = Topo.of_store e.store in
+    let m = Reach.compute e.store l in
+    if not (Reach.equal m e.reach e.store) then
+      Error "reachability matrix differs from recomputation"
+    else Ok ()
+  end
+
+(** Statistics of Fig. 10(b): nodes, edges, |M|, |L|, published subtree
+    occurrences and the sharing rate. *)
+type stats = {
+  n_nodes : int;
+  n_edges : int;
+  m_size : int;
+  l_size : int;
+  occurrences : int;  (** element occurrences in the uncompressed tree *)
+  sharing : float;
+      (** fraction of shared instances — nodes with more than one parent,
+          the statistic the paper reports as 31.4% for its dataset *)
+}
+
+let stats (e : t) : stats =
+  let occ = Store.occurrence_counts e.store in
+  let total = Hashtbl.fold (fun _ c acc -> acc + c) occ 0 in
+  let n = Store.n_nodes e.store in
+  (* the paper's sharing statistic counts shared instances of star-child
+     types (31.4% of C instances): structural seq children always have
+     in-degree 1 and would dilute it *)
+  let star_children =
+    List.sort_uniq compare (List.map snd (Atg.star_positions e.atg))
+  in
+  let shared, star_total =
+    Store.fold_nodes
+      (fun nd ((s, t) as acc) ->
+        if List.mem nd.Store.etype star_children then
+          ((if Store.in_degree e.store nd.Store.id > 1 then s + 1 else s), t + 1)
+        else acc)
+      e.store (0, 0)
+  in
+  {
+    n_nodes = n;
+    n_edges = Store.n_edges e.store;
+    m_size = Reach.size e.reach;
+    l_size = Topo.live_count e.topo;
+    occurrences = total;
+    sharing =
+      (if star_total = 0 then 0.
+       else float_of_int shared /. float_of_int star_total);
+  }
+
+(** {2 Transactions}
+
+    Deep snapshots of the four mutable components; [apply_group] uses them
+    to make a list of XML updates atomic, and [dry_run] to answer
+    updatability questions without committing. Snapshot cost is O(view),
+    so these are conveniences for moderate views, not a WAL. *)
+
+type snapshot = {
+  s_db : Database.t;
+  s_store : Store.t;
+  s_topo : Topo.t;
+  s_reach : Reach.t;
+  s_seed : int;
+}
+
+let snapshot (e : t) : snapshot =
+  {
+    s_db = Database.copy e.db;
+    s_store = Store.copy e.store;
+    s_topo = Topo.copy e.topo;
+    s_reach = Reach.copy e.reach;
+    s_seed = e.seed;
+  }
+
+let restore (e : t) (s : snapshot) : unit =
+  e.db <- s.s_db;
+  e.store <- s.s_store;
+  e.topo <- s.s_topo;
+  e.reach <- s.s_reach;
+  e.seed <- s.s_seed
+
+(** [apply_group e us] applies every update of [us] in order, atomically:
+    if any is rejected, the engine is restored to its state before the
+    group and the failing index with its rejection is returned. *)
+let apply_group ?(policy : policy = `Proceed) (e : t) (us : Xupdate.t list) :
+    (report list, int * rejection) Stdlib.result =
+  let snap = snapshot e in
+  let rec go i acc = function
+    | [] -> Ok (List.rev acc)
+    | u :: rest -> (
+        match apply ~policy e u with
+        | Ok r -> go (i + 1) (r :: acc) rest
+        | Error rej ->
+            restore e snap;
+            Error (i, rej))
+  in
+  go 0 [] us
+
+(** [dry_run e u] reports what [u] would do — including the ΔR it would
+    execute — without changing any state. *)
+let dry_run ?(policy : policy = `Proceed) (e : t) (u : Xupdate.t) :
+    (report, rejection) Stdlib.result =
+  let snap = snapshot e in
+  let result = apply ~policy e u in
+  restore e snap;
+  result

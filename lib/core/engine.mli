@@ -1,0 +1,102 @@
+(** The XML view update framework of Fig. 3 — the library's main entry
+    point.
+
+    An engine owns the published database I, the DAG store V (the
+    relational coding of the compressed view σ(I)), and the auxiliary
+    structures L and M. Processing an update runs: static DTD validation →
+    XPath evaluation on the DAG with side-effect detection → ΔX→ΔV →
+    ΔV→ΔR → atomic execution → incremental Δ(M,L) maintenance. All
+    failures leave I, V, L and M untouched. *)
+
+module Store = Rxv_dag.Store
+module Topo = Rxv_dag.Topo
+module Reach = Rxv_dag.Reach
+module Database = Rxv_relational.Database
+module Group_update = Rxv_relational.Group_update
+module Atg = Rxv_atg.Atg
+
+type t = {
+  atg : Atg.t;
+  mutable db : Database.t;
+  mutable store : Store.t;
+  mutable topo : Topo.t;
+  mutable reach : Reach.t;
+  mutable seed : int;
+}
+
+type policy = [ `Abort | `Proceed ]
+(** on detected side effects: [`Abort] rejects; [`Proceed] carries on
+    under the revised semantics of Section 2.1 (the update applies at
+    every occurrence — automatic on the DAG representation) *)
+
+type rejection =
+  | Invalid of string  (** static DTD validation failed (§2.4) *)
+  | Side_effects of int list
+      (** aborted: these unselected occurrence parents would change *)
+  | Untranslatable of string  (** no side-effect-free ΔR exists / found *)
+
+type timings = {
+  t_eval : float;  (** XPath evaluation on the DAG *)
+  t_translate : float;  (** ΔX→ΔV, ΔV→ΔR, and executing both *)
+  t_maintain : float;  (** Δ(M,L) maintenance (background in the paper) *)
+}
+
+type report = {
+  delta_r : Group_update.t;
+  selected : int list;  (** r[[p]] *)
+  side_effects : int list;  (** nonempty iff the update had side effects *)
+  timings : timings;
+  sat_vars : int;
+  sat_clauses : int;
+}
+
+val pp_rejection : Format.formatter -> rejection -> unit
+
+val create : Atg.t -> Database.t -> t
+(** publish σ(I) and build L and M *)
+
+val apply : ?policy:policy -> t -> Xupdate.t -> (report, rejection) result
+(** process one XML view update end to end; [policy] defaults to
+    [`Proceed] *)
+
+val query : t -> Rxv_xpath.Ast.path -> Dag_eval.result
+(** read-only XPath evaluation on the current view *)
+
+val to_tree : ?max_nodes:int -> t -> Rxv_xml.Tree.t
+(** materialize the current (uncompressed) view *)
+
+val check_consistency : t -> (unit, string) result
+(** test oracle: the maintained view equals republication from the
+    current database (canonically), L is valid and M matches a fresh
+    Algorithm Reach run *)
+
+(** The statistics of Fig. 10(b). *)
+type stats = {
+  n_nodes : int;
+  n_edges : int;  (** |V| *)
+  m_size : int;  (** |M| *)
+  l_size : int;  (** |L| *)
+  occurrences : int;  (** element occurrences in the uncompressed tree *)
+  sharing : float;
+      (** fraction of star-child instances with several parents — the
+          statistic the paper reports as 31.4% for its dataset *)
+}
+
+val stats : t -> stats
+
+(** {2 Transactions} *)
+
+type snapshot
+
+val snapshot : t -> snapshot
+(** deep snapshot of database, store, L and M — O(view) *)
+
+val restore : t -> snapshot -> unit
+
+val apply_group :
+  ?policy:policy -> t -> Xupdate.t list -> (report list, int * rejection) result
+(** apply a list of updates atomically: on any rejection the engine is
+    restored to its pre-group state and the failing index returned *)
+
+val dry_run : ?policy:policy -> t -> Xupdate.t -> (report, rejection) result
+(** what would [u] do (including its ΔR)? — no state change *)

@@ -1,0 +1,129 @@
+(** Static DTD validation of XML updates (Section 2.4).
+
+    Before touching any data, the update's XPath is "evaluated" over the
+    DTD's type graph to find the element types it can reach; an insertion
+    of an A child (resp. a deletion of a B element) is legal only at
+    positions whose production is a Kleene star of the right type. The
+    whole check is O(|p|·|D|²), as in the paper. Filters are approximated:
+    only label tests prune types; value filters cannot be decided at the
+    schema level and keep the type.
+
+    The engine re-checks the star-position condition per instance edge, so
+    this static pass is purely an early-rejection optimization — exactly
+    its role in Fig. 3. *)
+
+module Dtd = Rxv_xml.Dtd
+module Ast = Rxv_xpath.Ast
+module Normal = Rxv_xpath.Normal
+
+type verdict =
+  | Ok_types of string list  (** element types the path can reach *)
+  | Reject of string
+
+(* Can filter [q] possibly hold at an element of type [t]? (schema-level
+   approximation: value and path filters are unknown → possibly true) *)
+let rec possibly_holds (d : Dtd.t) (q : Ast.filter) (t : string) : bool =
+  match q with
+  | Ast.Label_is a -> String.equal a t
+  | Ast.And (a, b) -> possibly_holds d a t && possibly_holds d b t
+  | Ast.Or (a, b) -> possibly_holds d a t || possibly_holds d b t
+  | Ast.Not inner -> not (definitely_holds d inner t)
+  | Ast.Exists p -> types_reached_from d [ t ] p <> []
+  | Ast.Eq (p, _) -> types_reached_from d [ t ] p <> []
+
+and definitely_holds (d : Dtd.t) (q : Ast.filter) (t : string) : bool =
+  match q with
+  | Ast.Label_is a -> String.equal a t
+  | Ast.And (a, b) -> definitely_holds d a t && definitely_holds d b t
+  | Ast.Or (a, b) -> definitely_holds d a t || definitely_holds d b t
+  | Ast.Not inner -> not (possibly_holds d inner t)
+  | Ast.Exists _ | Ast.Eq _ -> false
+
+(* Types reached from a set of types by a path, over the DTD graph. *)
+and types_reached_from (d : Dtd.t) (start : string list) (p : Ast.path) :
+    string list =
+  let step types s =
+    let children t = Dtd.child_types (Dtd.production d t) in
+    match s with
+    | Normal.Filter q -> List.filter (possibly_holds d q) types
+    | Normal.Step_label a ->
+        List.sort_uniq compare
+          (List.concat_map
+             (fun t -> List.filter (String.equal a) (children t))
+             types)
+    | Normal.Step_wild ->
+        List.sort_uniq compare (List.concat_map children types)
+    | Normal.Step_desc ->
+        (* closure over the child-type graph *)
+        let seen = Hashtbl.create 16 in
+        let rec go t =
+          if not (Hashtbl.mem seen t) then begin
+            Hashtbl.replace seen t ();
+            List.iter go (children t)
+          end
+        in
+        List.iter go types;
+        Hashtbl.fold (fun t () acc -> t :: acc) seen []
+  in
+  List.fold_left step start (Normal.of_path p)
+
+(** Types reachable from the DTD root via [p]. *)
+let types_reached (d : Dtd.t) (p : Ast.path) : string list =
+  types_reached_from d [ d.Dtd.root ] p
+
+(** Validate [insert (a, _) into p]: every type T the path reaches must
+    have production T → a*. *)
+let check_insert (d : Dtd.t) ~(etype : string) (p : Ast.path) : verdict =
+  if not (Dtd.mem d etype) then
+    Reject (Printf.sprintf "element type %s is not defined by the DTD" etype)
+  else
+    match types_reached d p with
+    | [] -> Reject "the path cannot reach any element type of the DTD"
+    | types ->
+        let bad =
+          List.filter
+            (fun t ->
+              match Dtd.production d t with
+              | Dtd.Star b -> not (String.equal b etype)
+              | Dtd.Pcdata | Dtd.Empty | Dtd.Seq _ | Dtd.Alt _ -> true)
+            types
+        in
+        if bad = [] then Ok_types types
+        else
+          Reject
+            (Printf.sprintf
+               "inserting a %s child violates the production of %s" etype
+               (String.concat ", " bad))
+
+(** Validate [delete p]: every type B the path reaches must only occur
+    under star parents (productions of the form A → B star), and must not
+    be the root. *)
+let check_delete (d : Dtd.t) (p : Ast.path) : verdict =
+  match types_reached d p with
+  | [] -> Reject "the path cannot reach any element type of the DTD"
+  | types ->
+      if List.mem d.Dtd.root types then
+        Reject "the root element cannot be deleted"
+      else
+        let parent_types b =
+          List.filter
+            (fun a -> List.mem b (Dtd.child_types (Dtd.production d a)))
+            (Dtd.types d)
+        in
+        let bad =
+          List.filter
+            (fun b ->
+              List.exists
+                (fun a ->
+                  match Dtd.production d a with
+                  | Dtd.Star b' -> not (String.equal b b')
+                  | Dtd.Pcdata | Dtd.Empty | Dtd.Seq _ | Dtd.Alt _ -> true)
+                (parent_types b))
+            types
+        in
+        if bad = [] then Ok_types types
+        else
+          Reject
+            (Printf.sprintf
+               "deleting %s elements violates a non-star production"
+               (String.concat ", " bad))

@@ -1,0 +1,23 @@
+(** Static DTD validation of updates (Section 2.4): the update's XPath is
+    evaluated over the DTD's type graph; insertions (deletions) are legal
+    only at positions whose production is a Kleene star of the right type.
+    O(|p|·|D|²); filters are approximated (label tests prune, value tests
+    keep the type). The engine re-checks per instance edge, so this pass
+    is the early-rejection optimization of Fig. 3. *)
+
+module Dtd = Rxv_xml.Dtd
+module Ast = Rxv_xpath.Ast
+
+type verdict =
+  | Ok_types of string list  (** element types the path can reach *)
+  | Reject of string
+
+val types_reached : Dtd.t -> Ast.path -> string list
+val types_reached_from : Dtd.t -> string list -> Ast.path -> string list
+
+val check_insert : Dtd.t -> etype:string -> Ast.path -> verdict
+(** every reached type T must have production T → etype* *)
+
+val check_delete : Dtd.t -> Ast.path -> verdict
+(** every reached type must occur only under star parents, and must not
+    be the root *)

@@ -1,0 +1,198 @@
+(** Algorithm delete (Fig. 9): PTIME translation of group view deletions
+    to base-table deletions under key preservation (Theorem 1).
+
+    Each view tuple to delete is a key-preserved SPJ row riding on an edge
+    of ΔV (its provenance). The deletable source Sr(Q, t) of a row is read
+    off the row itself — key preservation puts every base occurrence's key
+    in the projection — and a row can be deleted exactly when some source
+    tuple is referenced by *no* surviving view row, across all the edge
+    views (Section 4.2). We materialize that check as a reference index
+    over the provenance of every surviving edge, making the whole
+    translation O(|ΔV| + |V|), within the paper's
+    O(|ΔV|·(|V(I)| − |ΔV|)) bound.
+
+    When several sources qualify, we prefer one whose deletion is already
+    in ΔR — a greedy nod to the minimal-deletion problem, which is
+    NP-complete even under key preservation (Theorem 3), so no attempt at
+    exact minimality is made here (see {!minimal_deletions} for the
+    exponential oracle used on tiny instances). *)
+
+module Store = Rxv_dag.Store
+module Tuple = Rxv_relational.Tuple
+module Value = Rxv_relational.Value
+module Spj = Rxv_relational.Spj
+module Group_update = Rxv_relational.Group_update
+module Atg = Rxv_atg.Atg
+
+type source = string * Value.t list  (** (relation, key) *)
+
+type outcome =
+  | Translated of Group_update.t
+  | Rejected of string
+
+(* (parent type, child type) -> key extraction positions of the rule *)
+let source_extractors (atg : Atg.t) :
+    (string * string, (string * int list) list) Hashtbl.t =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun (a, b, sr) ->
+      let kops =
+        List.map
+          (fun (_alias, rname, positions) -> (rname, positions))
+          (Spj.key_output_positions atg.Atg.schema sr.Atg.query)
+      in
+      Hashtbl.replace tbl (a, b) kops)
+    (Atg.star_rules atg);
+  tbl
+
+(** Deletable source of one provenance row. *)
+let sources_of_row (extractors : (string * int list) list) (row : Tuple.t) :
+    source list =
+  List.map
+    (fun (rname, positions) ->
+      (rname, List.map (fun i -> row.(i)) positions))
+    extractors
+
+(** [translate atg store ~delta_v] computes ΔR for the edge deletions
+    [delta_v], or rejects when some view row has no side-effect-free
+    source. *)
+let translate (atg : Atg.t) (store : Store.t) ~(delta_v : (int * int) list) :
+    outcome =
+  let extractors = source_extractors atg in
+  let extractors_for u v =
+    let a = (Store.node store u).Store.etype
+    and b = (Store.node store v).Store.etype in
+    match Hashtbl.find_opt extractors (a, b) with
+    | Some e -> Some e
+    | None -> None
+  in
+  let dv = Hashtbl.create 16 in
+  List.iter (fun e -> Hashtbl.replace dv e ()) delta_v;
+  (* reference index: sources of surviving view rows *)
+  let referenced : (source, unit) Hashtbl.t = Hashtbl.create 1024 in
+  Store.iter_edges
+    (fun u v info ->
+      if (not (Hashtbl.mem dv (u, v))) && info.Store.provenance <> [] then
+        match extractors_for u v with
+        | None -> ()
+        | Some ext ->
+            List.iter
+              (fun row ->
+                List.iter
+                  (fun s -> Hashtbl.replace referenced s ())
+                  (sources_of_row ext row))
+              info.Store.provenance)
+    store;
+  let chosen : (source, unit) Hashtbl.t = Hashtbl.create 16 in
+  let exception Reject of string in
+  try
+    List.iter
+      (fun (u, v) ->
+        if not (Store.mem_edge store u v) then
+          raise
+            (Reject (Printf.sprintf "edge (%d, %d) is not in the view" u v));
+        let info = Store.edge_info store u v in
+        let ext =
+          match extractors_for u v with
+          | Some e -> e
+          | None ->
+              raise
+                (Reject
+                   (Printf.sprintf
+                      "edge (%d, %d) is structural and cannot be deleted" u v))
+        in
+        (* every derivation of the edge must lose a source *)
+        List.iter
+          (fun row ->
+            let srcs = sources_of_row ext row in
+            let eligible =
+              List.filter (fun s -> not (Hashtbl.mem referenced s)) srcs
+            in
+            match
+              ( List.find_opt (fun s -> Hashtbl.mem chosen s) eligible,
+                eligible )
+            with
+            | Some _, _ -> () (* already covered by a chosen deletion *)
+            | None, s :: _ -> Hashtbl.replace chosen s ()
+            | None, [] ->
+                raise
+                  (Reject
+                     (Fmt.str
+                        "view tuple %a of edge_%s_%s has no side-effect-free \
+                         source"
+                        Tuple.pp row
+                        (Store.node store u).Store.etype
+                        (Store.node store v).Store.etype)))
+          info.Store.provenance)
+      delta_v;
+    let dr =
+      Hashtbl.fold
+        (fun (rname, key) () acc -> Group_update.Delete (rname, key) :: acc)
+        chosen []
+    in
+    Translated (List.sort compare dr)
+  with Reject msg -> Rejected msg
+
+(** Exhaustive minimal-deletion search (Theorem 3 oracle): smallest ΔR
+    among all source choices, by brute force over the per-row candidate
+    sets. Exponential; only for tiny test instances. *)
+let minimal_deletions (atg : Atg.t) (store : Store.t)
+    ~(delta_v : (int * int) list) : Group_update.t option =
+  let extractors = source_extractors atg in
+  let dv = Hashtbl.create 16 in
+  List.iter (fun e -> Hashtbl.replace dv e ()) delta_v;
+  let referenced = Hashtbl.create 64 in
+  Store.iter_edges
+    (fun u v info ->
+      if (not (Hashtbl.mem dv (u, v))) && info.Store.provenance <> [] then
+        let a = (Store.node store u).Store.etype
+        and b = (Store.node store v).Store.etype in
+        match Hashtbl.find_opt extractors (a, b) with
+        | None -> ()
+        | Some ext ->
+            List.iter
+              (fun row ->
+                List.iter
+                  (fun s -> Hashtbl.replace referenced s ())
+                  (sources_of_row ext row))
+              info.Store.provenance)
+    store;
+  (* candidate sets per view row to delete *)
+  let rows =
+    List.concat_map
+      (fun (u, v) ->
+        let a = (Store.node store u).Store.etype
+        and b = (Store.node store v).Store.etype in
+        match Hashtbl.find_opt extractors (a, b) with
+        | None -> []
+        | Some ext ->
+            List.map
+              (fun row ->
+                List.filter
+                  (fun s -> not (Hashtbl.mem referenced s))
+                  (sources_of_row ext row))
+              (Store.edge_info store u v).Store.provenance)
+      delta_v
+  in
+  if List.exists (fun cands -> cands = []) rows then None
+  else begin
+    let best = ref None in
+    let rec go acc = function
+      | [] ->
+          let size = List.length acc in
+          (match !best with
+          | Some (s, _) when s <= size -> ()
+          | _ -> best := Some (size, acc))
+      | cands :: rest ->
+          List.iter
+            (fun s ->
+              if List.mem s acc then go acc rest else go (s :: acc) rest)
+            cands
+    in
+    go [] rows;
+    Option.map
+      (fun (_, srcs) ->
+        List.sort compare
+          (List.map (fun (r, k) -> Group_update.Delete (r, k)) srcs))
+      !best
+  end

@@ -1,0 +1,31 @@
+(** Algorithm delete (Fig. 9): PTIME translation of group view deletions
+    to base-table deletions under key preservation (Theorem 1).
+
+    Deletable sources Sr(Q, t) are read off each edge's key-preserved
+    provenance rows; a source qualifies when no *surviving* view row
+    references it, decided against a reference index over the provenance
+    of all remaining edges — O(|ΔV| + |V|), within the paper's bound.
+    Greedy source choice (reuse an already chosen deletion when possible);
+    exact minimality is NP-complete even under key preservation
+    (Theorem 3), see {!minimal_deletions}. *)
+
+module Store = Rxv_dag.Store
+module Value = Rxv_relational.Value
+module Group_update = Rxv_relational.Group_update
+module Atg = Rxv_atg.Atg
+
+type source = string * Value.t list
+(** (relation, key) *)
+
+type outcome =
+  | Translated of Group_update.t
+  | Rejected of string
+
+val translate : Atg.t -> Store.t -> delta_v:(int * int) list -> outcome
+(** ΔR for the edge deletions [delta_v], or rejection when some view row
+    has no side-effect-free source *)
+
+val minimal_deletions :
+  Atg.t -> Store.t -> delta_v:(int * int) list -> Group_update.t option
+(** exhaustive smallest-ΔR search — the Theorem 3 oracle. Exponential;
+    tiny test instances only. *)

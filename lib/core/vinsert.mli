@@ -1,0 +1,43 @@
+(** Algorithm insert (Section 4.3 + Appendix A): heuristic translation of
+    group view insertions to base insertions via SAT — the problem is
+    NP-complete even under key preservation (Theorem 2).
+
+    Pipeline: (1) derive tuple templates per connection edge from the
+    equality closure of the rule's WHERE conjunction (keys are derivable
+    thanks to key preservation; finite-domain unknowns become SAT
+    variables, infinite-domain ones are freshenable); (2) symbolically
+    evaluate every edge view over all U/A source combinations with at
+    least one template position, classifying produced rows as intended
+    (already in the updated DAG or among the connection edges) or side
+    effects — ground side effects reject outright (case (a)), freshenable
+    conditions are dropped (case (b)), finite-domain conditions become ¬φ
+    clauses (case (c)); (3) solve with WalkSAT (DPLL as the exact fallback
+    when it gives up) and instantiate ΔR plus the provenance rows of the
+    new edges. *)
+
+module Store = Rxv_dag.Store
+module Tuple = Rxv_relational.Tuple
+module Database = Rxv_relational.Database
+module Group_update = Rxv_relational.Group_update
+module Atg = Rxv_atg.Atg
+
+type outcome =
+  | Translated of {
+      delta_r : Group_update.t;
+      provenances : ((int * int) * Tuple.t) list;
+          (** ground derivation rows to attach to edges *)
+      sat_vars : int;
+      sat_clauses : int;
+    }
+  | Rejected of string
+
+val translate :
+  Atg.t ->
+  Database.t ->
+  Store.t ->
+  connect_edges:(int * int) list ->
+  ?seed:int ->
+  unit ->
+  outcome
+(** the store must already contain the expanded subtree (whose gen
+    entries participate in the side-effect scan); [seed] feeds WalkSAT *)

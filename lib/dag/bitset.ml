@@ -1,0 +1,110 @@
+(** Growable bitsets over dense integer indexes.
+
+    The reachability matrix M (Section 3.1) is stored as one ancestor
+    bitset per node, indexed by node *slots* (dense indexes handed out by
+    the store). Algorithm Reach's inner loop — "ancestors of d include all
+    ancestors of d's parents" — becomes a word-wise union. *)
+
+type t = { mutable data : Bytes.t }
+
+let create () = { data = Bytes.make 8 '\000' }
+
+let capacity t = Bytes.length t.data * 8
+
+let ensure t bit =
+  if bit >= capacity t then begin
+    let nbytes = max (Bytes.length t.data * 2) ((bit / 8) + 1) in
+    let data = Bytes.make nbytes '\000' in
+    Bytes.blit t.data 0 data 0 (Bytes.length t.data);
+    t.data <- data
+  end
+
+let set t bit =
+  ensure t bit;
+  let i = bit lsr 3 and m = 1 lsl (bit land 7) in
+  Bytes.unsafe_set t.data i
+    (Char.chr (Char.code (Bytes.unsafe_get t.data i) lor m))
+
+let clear t bit =
+  if bit < capacity t then begin
+    let i = bit lsr 3 and m = 1 lsl (bit land 7) in
+    Bytes.unsafe_set t.data i
+      (Char.chr (Char.code (Bytes.unsafe_get t.data i) land lnot m))
+  end
+
+let get t bit =
+  if bit >= capacity t then false
+  else
+    let i = bit lsr 3 and m = 1 lsl (bit land 7) in
+    Char.code (Bytes.unsafe_get t.data i) land m <> 0
+
+(** [union_into ~dst src]: dst := dst ∪ src. *)
+let union_into ~dst src =
+  let sn = Bytes.length src.data in
+  if sn * 8 > capacity dst then ensure dst ((sn * 8) - 1);
+  for i = 0 to sn - 1 do
+    let b = Char.code (Bytes.unsafe_get src.data i) in
+    if b <> 0 then
+      Bytes.unsafe_set dst.data i
+        (Char.chr (Char.code (Bytes.unsafe_get dst.data i) lor b))
+  done
+
+let copy t = { data = Bytes.copy t.data }
+
+let is_empty t =
+  let n = Bytes.length t.data in
+  let rec go i = i >= n || (Char.code (Bytes.unsafe_get t.data i) = 0 && go (i + 1)) in
+  go 0
+
+let popcount_byte =
+  let tbl = Array.make 256 0 in
+  for i = 1 to 255 do
+    tbl.(i) <- tbl.(i lsr 1) + (i land 1)
+  done;
+  fun b -> tbl.(b)
+
+(** Number of set bits. *)
+let count t =
+  let n = Bytes.length t.data in
+  let c = ref 0 in
+  for i = 0 to n - 1 do
+    c := !c + popcount_byte (Char.code (Bytes.unsafe_get t.data i))
+  done;
+  !c
+
+(** [iter f t] applies [f] to every set bit index, ascending. *)
+let iter f t =
+  let n = Bytes.length t.data in
+  for i = 0 to n - 1 do
+    let b = Char.code (Bytes.unsafe_get t.data i) in
+    if b <> 0 then
+      for j = 0 to 7 do
+        if b land (1 lsl j) <> 0 then f ((i * 8) + j)
+      done
+  done
+
+let fold f t acc =
+  let acc = ref acc in
+  iter (fun bit -> acc := f bit !acc) t;
+  !acc
+
+let to_list t = List.rev (fold (fun b acc -> b :: acc) t [])
+
+(** [intersects a b] is true when a ∩ b ≠ ∅. *)
+let intersects a b =
+  let n = min (Bytes.length a.data) (Bytes.length b.data) in
+  let rec go i =
+    i < n
+    && (Char.code (Bytes.unsafe_get a.data i)
+        land Char.code (Bytes.unsafe_get b.data i)
+        <> 0
+       || go (i + 1))
+  in
+  go 0
+
+let equal a b =
+  let na = Bytes.length a.data and nb = Bytes.length b.data in
+  let n = max na nb in
+  let byte t i = if i < Bytes.length t.data then Char.code (Bytes.get t.data i) else 0 in
+  let rec go i = i >= n || (byte a i = byte b i && go (i + 1)) in
+  go 0

@@ -1,0 +1,26 @@
+(** Growable dense bitsets over small integer indexes. Used for the
+    per-(filter, suffix) satisfaction tables of the bottom-up XPath pass,
+    which are dense by construction (one bit per node slot). *)
+
+type t
+
+val create : unit -> t
+val capacity : t -> int
+
+val set : t -> int -> unit
+val clear : t -> int -> unit
+val get : t -> int -> bool
+
+val union_into : dst:t -> t -> unit
+(** dst := dst ∪ src *)
+
+val copy : t -> t
+val is_empty : t -> bool
+val count : t -> int
+
+val iter : (int -> unit) -> t -> unit
+val fold : (int -> 'a -> 'a) -> t -> 'a -> 'a
+val to_list : t -> int list
+
+val intersects : t -> t -> bool
+val equal : t -> t -> bool

@@ -1,0 +1,276 @@
+(** Incremental maintenance of the auxiliary structures (Section 3.4):
+    Algorithm Δ(M,L)insert (Fig. 7) and Algorithm Δ(M,L)delete (Fig. 8),
+    plus the background garbage collection of Section 2.3.
+
+    Both entry points are called *after* the store's edge relations have
+    been updated by Xinsert/Xdelete, which matches the framework of
+    Fig. 3: the relational update is carried out first and maintenance
+    runs in the background.
+
+    One deliberate generalization over Fig. 7: lines 12–13 of the paper
+    reposition only rA relative to the targets; when the inserted subtree
+    shares *interior* nodes with the existing view, those common nodes can
+    also sit after a target in L. We therefore apply the same
+    swap-based fix to every common subtree node, which is required for L
+    to stay valid under arbitrary sharing (property-tested against
+    recomputation). *)
+
+type insert_stats = {
+  m_pairs_added : int;
+  common_nodes : int;
+  merged_nodes : int;
+}
+
+type delete_stats = {
+  m_pairs_removed : int;
+  cascade_edges : (int * int) list;
+      (** Δ'V: edges of fully-deleted nodes, removed by the collector *)
+  deleted_nodes : int list;
+}
+
+(* Descendants-or-self of [roots] via the (current) adjacency, as a set. *)
+let desc_or_self_set store roots =
+  let seen = Hashtbl.create 64 in
+  let rec go id =
+    if not (Hashtbl.mem seen id) then begin
+      Hashtbl.replace seen id ();
+      List.iter go (Store.children store id)
+    end
+  in
+  List.iter go roots;
+  seen
+
+(* Post-order (descendants-first) topological order of the subtree rooted
+   at [root_id], as an id list. *)
+let subtree_order store root_id =
+  let seen = Hashtbl.create 64 in
+  let order = ref [] in
+  let rec go id =
+    if not (Hashtbl.mem seen id) then begin
+      Hashtbl.replace seen id ();
+      List.iter go (Store.children store id);
+      order := id :: !order
+    end
+  in
+  go root_id;
+  List.rev !order
+
+(** Algorithm Δ(M,L)insert. [targets] is r[[p]]; [root_id] is rA;
+    [new_nodes] are the subtree nodes that did not exist before the
+    insertion (so NC = subtree \ new_nodes). The store must already
+    contain the subtree and the (target, rA) connection edges. *)
+let on_insert (store : Store.t) (l : Topo.t) (m : Reach.t) ~targets ~root_id
+    ~new_nodes : insert_stats =
+  let la_list = subtree_order store root_id in
+  let new_set = Hashtbl.create 16 in
+  List.iter (fun id -> Hashtbl.replace new_set id ()) new_nodes;
+  let target_set = Hashtbl.create 8 in
+  List.iter (fun id -> Hashtbl.replace target_set id ()) targets;
+  let in_subtree = Hashtbl.create 64 in
+  List.iter (fun id -> Hashtbl.replace in_subtree id ()) la_list;
+  (* --- ΔM (Fig. 7 lines 3-5): process subtree ancestors-first (la_list
+     is descendants-first, so reversed); a node's new ancestors are its
+     parents inside the subtree or among the targets, whose rows are
+     already final. Rows only grow. *)
+  let pairs_added = ref 0 in
+  List.iter
+    (fun d ->
+      let row = Reach.row m d in
+      let before = Hashtbl.length row in
+      List.iter
+        (fun p ->
+          if Hashtbl.mem in_subtree p || Hashtbl.mem target_set p then begin
+            Hashtbl.replace row p ();
+            match Reach.row_opt m p with
+            | Some rp when p <> d -> Reach.union_into ~dst:row rp
+            | _ -> ()
+          end)
+        (Store.parents store d);
+      pairs_added := !pairs_added + Hashtbl.length row - before)
+    (List.rev la_list);
+  (* --- L maintenance --- *)
+  let is_desc_of v x = Reach.is_ancestor m v x in
+  (* common nodes, in subtree (descendants-first) order *)
+  let nc = List.filter (fun id -> not (Hashtbl.mem new_set id)) la_list in
+  (* LNC: order NC by the *updated* ancestor relation (combined
+     constraints of T and ST), descendants first. *)
+  let lnc =
+    let arr = Array.of_list nc in
+    let n = Array.length arr in
+    let adj = Array.make n [] and indeg = Array.make n 0 in
+    for i = 0 to n - 1 do
+      for j = 0 to n - 1 do
+        if i <> j && Reach.is_ancestor m arr.(j) arr.(i) then begin
+          (* arr.(j) ancestor of arr.(i): i must precede j *)
+          adj.(i) <- j :: adj.(i);
+          indeg.(j) <- indeg.(j) + 1
+        end
+      done
+    done;
+    let queue = Queue.create () in
+    for i = 0 to n - 1 do
+      if indeg.(i) = 0 then Queue.add i queue
+    done;
+    let out = ref [] in
+    while not (Queue.is_empty queue) do
+      let i = Queue.pop queue in
+      out := arr.(i) :: !out;
+      List.iter
+        (fun j ->
+          indeg.(j) <- indeg.(j) - 1;
+          if indeg.(j) = 0 then Queue.add j queue)
+        adj.(i)
+    done;
+    List.rev !out
+  in
+  (* Alignment (Fig. 7 lines 8-11), right to left. BOTH lists are aligned
+     with LNC, as in the paper: the merge below anchors each new node to
+     the next pivot in LA, which is only sound when L and LA agree on the
+     relative order of pivots — two valid topological orders may disagree
+     on unrelated pairs, so agreement must be enforced, not assumed. *)
+  let la = Topo.of_ids la_list in
+  let lnc_arr = Array.of_list lnc in
+  for k = Array.length lnc_arr - 1 downto 1 do
+    let u = lnc_arr.(k) and v = lnc_arr.(k - 1) in
+    if Topo.mem la u && Topo.mem la v && Topo.ord la u < Topo.ord la v then
+      Topo.swap la u v ~is_desc_of_v:(is_desc_of v);
+    if Topo.mem l u && Topo.mem l v && Topo.ord l u < Topo.ord l v then
+      Topo.swap l u v ~is_desc_of_v:(is_desc_of v)
+  done;
+  (* Generalized lines 12-13: every already-present subtree node must end
+     up before every target it now descends from. *)
+  List.iter
+    (fun p ->
+      if Topo.mem l p then
+        List.iter
+          (fun u ->
+            if Topo.mem l u && Topo.ord l u < Topo.ord l p then
+              Topo.swap l u p ~is_desc_of_v:(is_desc_of p))
+          targets)
+    nc;
+  (* Merge (line 14): insert each new node before its next pivot in LA;
+     nodes with no following pivot go before the lowest-ordered target. *)
+  let fallback_anchor =
+    match targets with
+    | [] -> None
+    | t0 :: rest ->
+        Some
+          (List.fold_left
+             (fun best u -> if Topo.ord l u < Topo.ord l best then u else best)
+             t0 rest)
+  in
+  let anchored = ref [] in
+  let rec assign = function
+    | [] -> ()
+    | id :: rest ->
+        if Hashtbl.mem new_set id && not (Topo.mem l id) then begin
+          let anchor =
+            match List.find_opt (fun x -> Topo.mem l x) rest with
+            | Some pivot -> Some pivot
+            | None -> fallback_anchor
+          in
+          match anchor with
+          | Some a -> anchored := (id, a) :: !anchored
+          | None -> raise (Topo.Topo_error (Printf.sprintf "insert maintenance: no anchor for %d" id))
+        end;
+        assign rest
+  in
+  assign (Topo.to_list la);
+  Topo.insert_before l (List.rev !anchored);
+  {
+    m_pairs_added = !pairs_added;
+    common_nodes = List.length nc;
+    merged_nodes = List.length !anchored;
+  }
+
+(** Algorithm Δ(M,L)delete. [targets] is r[[p]]; the Ep(r) edges must
+    already be removed from the store. Recomputes ancestor rows for
+    desc-or-self of the targets (ancestors first), cascades the removal of
+    orphaned nodes (Δ'V — the background garbage collection of Section
+    2.3), and removes dead entries from L, M and the gen registries. *)
+let on_delete (store : Store.t) (l : Topo.t) (m : Reach.t) ~targets :
+    delete_stats =
+  let lr_set = desc_or_self_set store targets in
+  (* LR sorted by L, traversed backward = ancestors first *)
+  let lr =
+    List.filter (fun id -> Hashtbl.mem lr_set id) (List.rev (Topo.to_list l))
+  in
+  let keep = Hashtbl.create 64 in
+  (* absent = true; false once deleted *)
+  let is_kept a = Option.value ~default:true (Hashtbl.find_opt keep a) in
+  let pairs_removed = ref 0 in
+  let cascade = ref [] in
+  let deleted = ref [] in
+  let root = Store.root store in
+  List.iter
+    (fun d ->
+      if d <> root then begin
+        let pd = List.filter is_kept (Store.parents store d) in
+        (* new ancestors *)
+        let ad : Reach.row = Hashtbl.create 8 in
+        List.iter
+          (fun a ->
+            Hashtbl.replace ad a ();
+            match Reach.row_opt m a with
+            | Some ra -> Reach.union_into ~dst:ad ra
+            | None -> ())
+          pd;
+        (match Reach.row_opt m d with
+        | Some old ->
+            pairs_removed :=
+              !pairs_removed + (Hashtbl.length old - Hashtbl.length ad)
+        | None -> ());
+        Hashtbl.replace m.Reach.rows d ad;
+        if pd = [] then begin
+          Hashtbl.replace keep d false;
+          deleted := d :: !deleted;
+          Topo.remove l d;
+          List.iter
+            (fun d' ->
+              cascade := (d, d') :: !cascade;
+              ignore (Store.remove_edge store d d'))
+            (Store.children store d)
+        end
+      end)
+    lr;
+  (* final removal: nodes are edge-free now *)
+  List.iter
+    (fun d ->
+      Reach.remove_row m d;
+      Store.remove_node store d)
+    !deleted;
+  {
+    m_pairs_removed = !pairs_removed;
+    cascade_edges = List.rev !cascade;
+    deleted_nodes = !deleted;
+  }
+
+(** Full recomputation of both structures — the baseline that Table 1
+    compares incremental maintenance against. *)
+let recompute (store : Store.t) : Topo.t * Reach.t =
+  let l = Topo.of_store store in
+  (l, Reach.compute store l)
+
+(** Full-scan garbage collector: removes every node unreachable from the
+    root. The incremental path (Fig. 8) should leave nothing for this to
+    find; tests assert as much. Returns the ids removed. *)
+let collect_garbage (store : Store.t) (l : Topo.t) (m : Reach.t) =
+  let reachable = Store.reachable_from_root store in
+  let dead =
+    Store.fold_nodes
+      (fun n acc ->
+        if Hashtbl.mem reachable n.Store.id then acc else n.Store.id :: acc)
+      store []
+  in
+  List.iter
+    (fun id ->
+      List.iter (fun c -> ignore (Store.remove_edge store id c)) (Store.children store id);
+      List.iter (fun p -> ignore (Store.remove_edge store p id)) (Store.parents store id))
+    dead;
+  List.iter
+    (fun id ->
+      Topo.remove l id;
+      Reach.remove_row m id;
+      Store.remove_node store id)
+    dead;
+  dead

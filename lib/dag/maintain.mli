@@ -1,0 +1,53 @@
+(** Incremental maintenance of the auxiliary structures (Section 3.4):
+    Δ(M,L)insert (Fig. 7), Δ(M,L)delete (Fig. 8), and the background
+    garbage collection of Section 2.3. Both entry points run *after* the
+    store's edges were updated by Xinsert/Xdelete, matching Fig. 3.
+
+    Deliberate generalization over Fig. 7: the paper repositions only rA
+    relative to the targets (lines 12–13); when the inserted subtree
+    shares interior nodes with the view those can also sit after a target
+    in L, so the same swap-based fix is applied to every common subtree
+    node (required for validity under arbitrary sharing; property-tested
+    against recomputation). *)
+
+type insert_stats = {
+  m_pairs_added : int;
+  common_nodes : int;  (** |NC|: subtree nodes already present *)
+  merged_nodes : int;  (** new nodes spliced into L *)
+}
+
+type delete_stats = {
+  m_pairs_removed : int;
+  cascade_edges : (int * int) list;
+      (** Δ'V: edges of fully-deleted nodes, removed by the collector *)
+  deleted_nodes : int list;
+}
+
+val on_insert :
+  Store.t ->
+  Topo.t ->
+  Reach.t ->
+  targets:int list ->
+  root_id:int ->
+  new_nodes:int list ->
+  insert_stats
+(** Algorithm Δ(M,L)insert. [targets] is r[[p]]; [root_id] is rA. The
+    store must already contain the subtree and the connection edges. *)
+
+val on_delete :
+  Store.t -> Topo.t -> Reach.t -> targets:int list -> delete_stats
+(** Algorithm Δ(M,L)delete. The Ep(r) edges must already be removed from
+    the store; recomputes ancestor rows of desc-or-self(targets)
+    (ancestors first), cascades orphan removal (Δ'V) and cleans L, M and
+    the gen registries. *)
+
+val recompute : Store.t -> Topo.t * Reach.t
+(** the from-scratch baseline Table 1 compares against *)
+
+val collect_garbage : Store.t -> Topo.t -> Reach.t -> int list
+(** full-scan collector removing every node unreachable from the root;
+    the incremental path should leave nothing for it to find (tested) *)
+
+val desc_or_self_set : Store.t -> int list -> (int, unit) Hashtbl.t
+val subtree_order : Store.t -> int -> int list
+(** descendants-first order of the subtree below a node *)

@@ -1,0 +1,107 @@
+(** The reachability matrix M (Section 3.1) and Algorithm Reach (Fig. 4).
+
+    M(anc, desc) holds exactly when [anc] is a proper ancestor of [desc].
+    The paper stores M as a relation of its set pairs precisely because
+    |M| ≪ n² on realistic hierarchies (Fig. 10(b)); we do the same, as one
+    sparse ancestor set per node, so memory is O(|M|), queries anc(d) and
+    "is a an ancestor of d" are O(1)/O(|anc(d)|), and Algorithm Reach's
+    union is linear in the output. *)
+
+type row = (int, unit) Hashtbl.t
+(** the ids of a node's proper ancestors *)
+
+type t = { rows : (int, row) Hashtbl.t }
+
+let empty () = { rows = Hashtbl.create 1024 }
+
+let row m id : row =
+  match Hashtbl.find_opt m.rows id with
+  | Some r -> r
+  | None ->
+      let r = Hashtbl.create 8 in
+      Hashtbl.replace m.rows id r;
+      r
+
+let row_opt m id = Hashtbl.find_opt m.rows id
+
+(** [is_ancestor m a d]: is [a] a proper ancestor of [d]? O(1). *)
+let is_ancestor m a d =
+  match row_opt m d with None -> false | Some r -> Hashtbl.mem r a
+
+let is_ancestor_or_self m a d = a = d || is_ancestor m a d
+
+(** Ancestors of [d], as node ids. *)
+let ancestors m d =
+  match row_opt m d with
+  | None -> []
+  | Some r -> Hashtbl.fold (fun a () acc -> a :: acc) r []
+
+let iter_ancestors f m d =
+  match row_opt m d with
+  | None -> ()
+  | Some r -> Hashtbl.iter (fun a () -> f a) r
+
+let n_ancestors m d =
+  match row_opt m d with None -> 0 | Some r -> Hashtbl.length r
+
+(** Descendants of [a]: a scan over all rows, O(|M|). The evaluator avoids
+    this direction by querying ancestor-side. *)
+let descendants m a =
+  Hashtbl.fold
+    (fun id r acc -> if Hashtbl.mem r a then id :: acc else acc)
+    m.rows []
+
+(** Total number of (anc, desc) pairs — the |M| of Fig. 10(b). *)
+let size m = Hashtbl.fold (fun _ r acc -> acc + Hashtbl.length r) m.rows 0
+
+let add_pair m a d = Hashtbl.replace (row m d) a ()
+
+let remove_pair m a d =
+  match row_opt m d with None -> () | Some r -> Hashtbl.remove r a
+
+let remove_row m id = Hashtbl.remove m.rows id
+
+let union_into ~(dst : row) (src : row) =
+  Hashtbl.iter (fun a () -> Hashtbl.replace dst a ()) src
+
+(** Algorithm Reach (Fig. 4): M from the edge relations and the
+    topological order. Processing L backwards (root side first)
+    guarantees that when node d is reached every parent's ancestor set is
+    final, so anc(d) = ∪_{p ∈ parent(d)} ({p} ∪ anc(p)); the run costs
+    O(Σ_d in(d)·|anc|) = O(n·|V|) worst case, linear in |M| in practice. *)
+let compute (store : Store.t) (l : Topo.t) : t =
+  let m = empty () in
+  Topo.iter_backward
+    (fun d ->
+      let r = row m d in
+      List.iter
+        (fun p ->
+          Hashtbl.replace r p ();
+          match row_opt m p with
+          | Some rp -> union_into ~dst:r rp
+          | None -> ())
+        (Store.parents store d))
+    l;
+  m
+
+(** Extensional equality over the same store — the oracle check
+    "incremental maintenance ≡ recomputation". *)
+let equal (a : t) (b : t) (store : Store.t) =
+  Store.fold_nodes
+    (fun n ok ->
+      ok
+      &&
+      let ra = row_opt a n.Store.id and rb = row_opt b n.Store.id in
+      let to_set = function
+        | None -> []
+        | Some r ->
+            List.sort compare (Hashtbl.fold (fun k () acc -> k :: acc) r [])
+      in
+      to_set ra = to_set rb)
+    store true
+
+(** Deep copy — snapshot support for transactional update groups. *)
+let copy m =
+  let rows = Hashtbl.create (Hashtbl.length m.rows) in
+  Hashtbl.iter (fun id r -> Hashtbl.replace rows id (Hashtbl.copy r)) m.rows;
+  { rows }

@@ -1,0 +1,48 @@
+(** The reachability matrix M (Section 3.1) and Algorithm Reach (Fig. 4).
+    M(anc, desc) holds exactly when [anc] is a proper ancestor of [desc];
+    stored sparsely (one ancestor set per node) because |M| ≪ n² on
+    realistic hierarchies (Fig. 10(b)). *)
+
+type row = (int, unit) Hashtbl.t
+(** a node's proper ancestors, by id *)
+
+type t = { rows : (int, row) Hashtbl.t }
+
+val empty : unit -> t
+
+val row : t -> int -> row
+(** creating an empty row on first access *)
+
+val row_opt : t -> int -> row option
+
+val is_ancestor : t -> int -> int -> bool
+(** [is_ancestor m a d]: is [a] a proper ancestor of [d]? O(1). *)
+
+val is_ancestor_or_self : t -> int -> int -> bool
+
+val ancestors : t -> int -> int list
+val iter_ancestors : (int -> unit) -> t -> int -> unit
+val n_ancestors : t -> int -> int
+
+val descendants : t -> int -> int list
+(** O(|M|) scan; the evaluator avoids this direction *)
+
+val size : t -> int
+(** |M|: total (anc, desc) pairs *)
+
+val add_pair : t -> int -> int -> unit
+val remove_pair : t -> int -> int -> unit
+val remove_row : t -> int -> unit
+val union_into : dst:row -> row -> unit
+
+val compute : Store.t -> Topo.t -> t
+(** Algorithm Reach: processing L backwards guarantees every parent's set
+    is final when a node is reached, so
+    anc(d) = ∪_(p ∈ parent(d)) ({p} ∪ anc(p)). O(n·|V|) worst case,
+    linear in |M| in practice. *)
+
+val equal : t -> t -> Store.t -> bool
+(** extensional equality — the "incremental ≡ recomputation" oracle *)
+
+val copy : t -> t
+(** deep copy — snapshot support for transactional update groups *)

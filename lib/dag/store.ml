@@ -1,0 +1,332 @@
+(** The relational coding of a compressed XML view (Section 2.3).
+
+    A view σ(I) is stored as a DAG: each node is identified by the Skolem
+    function gen_id applied to its element type and semantic-attribute
+    value, so a subtree shared by many occurrences is stored once. The
+    store keeps
+
+    - [gen_A]: per element type, the registry of node identities;
+    - the edge relations [edge_A_B], here as ordered adjacency lists plus
+      parent lists and an edge table carrying, for star edges, the
+      key-preserved SPJ output row that produced the edge (its provenance —
+      what Algorithm delete's deletable sources are computed from);
+    - a dense *slot* per node used to index bitsets (the reachability
+      matrix rows).
+
+    Slots of removed nodes are recycled; the maintenance algorithms
+    guarantee no stale bits survive a removal (property-tested). *)
+
+module Value = Rxv_relational.Value
+module Tuple = Rxv_relational.Tuple
+
+type node = {
+  id : int;
+  etype : string;
+  attr : Tuple.t;  (** the value of the semantic attribute $A *)
+  text : string option;  (** pcdata content, for pcdata-typed elements *)
+  slot : int;
+}
+
+type edge_info = {
+  mutable provenance : Tuple.t list;
+      (** the key-preserved SPJ view rows that produce this edge (star
+          edges). Distinct base derivations of the same (id_A, id_B) pair
+          appear as distinct rows — Algorithm delete must remove a source
+          of each. Empty for structural (seq/alt/pcdata) edges. *)
+}
+
+type t = {
+  mutable next_id : int;
+  mutable next_slot : int;
+  mutable free_slots : int list;
+  ids : (string * Value.t list, int) Hashtbl.t;  (** gen_id memo table *)
+  nodes : (int, node) Hashtbl.t;
+  slot_ids : (int, int) Hashtbl.t;  (** slot -> node id *)
+  gen : (string, (int, unit) Hashtbl.t) Hashtbl.t;  (** gen_A registries *)
+  children : (int, int list ref) Hashtbl.t;  (** ordered adjacency *)
+  parents : (int, (int, unit) Hashtbl.t) Hashtbl.t;
+  edges : (int * int, edge_info) Hashtbl.t;
+  mutable root : int;
+}
+
+exception Dag_error of string
+
+let dag_error fmt = Fmt.kstr (fun s -> raise (Dag_error s)) fmt
+
+let create () =
+  {
+    next_id = 0;
+    next_slot = 0;
+    free_slots = [];
+    ids = Hashtbl.create 1024;
+    nodes = Hashtbl.create 1024;
+    slot_ids = Hashtbl.create 1024;
+    gen = Hashtbl.create 16;
+    children = Hashtbl.create 1024;
+    parents = Hashtbl.create 1024;
+    edges = Hashtbl.create 4096;
+    root = -1;
+  }
+
+let node t id =
+  match Hashtbl.find_opt t.nodes id with
+  | Some n -> n
+  | None -> dag_error "unknown node id %d" id
+
+let mem_node t id = Hashtbl.mem t.nodes id
+
+(** [find_id t etype attr] is the existing id for (etype, attr), if any. *)
+let find_id t etype (attr : Tuple.t) =
+  Hashtbl.find_opt t.ids (etype, Tuple.to_list attr)
+
+(** [gen_id t etype attr ?text ()] is the Skolem function: returns the
+    unique id for (etype, $A = attr), creating and registering the node on
+    first use. *)
+let gen_id t etype (attr : Tuple.t) ?text () =
+  let key = (etype, Tuple.to_list attr) in
+  match Hashtbl.find_opt t.ids key with
+  | Some id -> id
+  | None ->
+      let id = t.next_id in
+      t.next_id <- id + 1;
+      let slot =
+        match t.free_slots with
+        | s :: rest ->
+            t.free_slots <- rest;
+            s
+        | [] ->
+            let s = t.next_slot in
+            t.next_slot <- s + 1;
+            s
+      in
+      let n = { id; etype; attr; text; slot } in
+      Hashtbl.replace t.ids key id;
+      Hashtbl.replace t.nodes id n;
+      Hashtbl.replace t.slot_ids slot id;
+      let reg =
+        match Hashtbl.find_opt t.gen etype with
+        | Some r -> r
+        | None ->
+            let r = Hashtbl.create 64 in
+            Hashtbl.replace t.gen etype r;
+            r
+      in
+      Hashtbl.replace reg id ();
+      id
+
+let set_root t id = t.root <- id
+let root t = if t.root < 0 then dag_error "store has no root" else t.root
+
+let children t id =
+  match Hashtbl.find_opt t.children id with Some l -> !l | None -> []
+
+let parents t id =
+  match Hashtbl.find_opt t.parents id with
+  | Some tbl -> Hashtbl.fold (fun p () acc -> p :: acc) tbl []
+  | None -> []
+
+let in_degree t id =
+  match Hashtbl.find_opt t.parents id with
+  | Some tbl -> Hashtbl.length tbl
+  | None -> 0
+
+let out_degree t id = List.length (children t id)
+
+let mem_edge t u v = Hashtbl.mem t.edges (u, v)
+
+let edge_info t u v =
+  match Hashtbl.find_opt t.edges (u, v) with
+  | Some e -> e
+  | None -> dag_error "no edge (%d, %d)" u v
+
+(** [add_edge t u v ~provenance] appends [v] to [u]'s children (rightmost
+    position, matching the paper's insertion semantics). Adding an existing
+    edge only accumulates any new provenance row (set semantics of the
+    relational views). *)
+let add_edge t u v ~provenance =
+  match Hashtbl.find_opt t.edges (u, v) with
+  | Some info ->
+      (match provenance with
+      | Some row when not (List.exists (Tuple.equal row) info.provenance) ->
+          info.provenance <- info.provenance @ [ row ]
+      | Some _ | None -> ())
+  | None -> (
+      ignore (node t u);
+      ignore (node t v);
+      Hashtbl.replace t.edges (u, v)
+        { provenance = Option.to_list provenance };
+      (match Hashtbl.find_opt t.children u with
+      | Some l -> l := !l @ [ v ]
+      | None -> Hashtbl.replace t.children u (ref [ v ]));
+      match Hashtbl.find_opt t.parents v with
+      | Some tbl -> Hashtbl.replace tbl u ()
+      | None ->
+          let tbl = Hashtbl.create 4 in
+          Hashtbl.replace tbl u ();
+          Hashtbl.replace t.parents v tbl)
+
+(** [remove_edge t u v] removes the edge if present; returns whether it
+    was. Nodes are never removed here — that is the garbage collector's
+    job (Section 2.3). *)
+let remove_edge t u v =
+  if Hashtbl.mem t.edges (u, v) then begin
+    Hashtbl.remove t.edges (u, v);
+    (match Hashtbl.find_opt t.children u with
+    | Some l -> l := List.filter (fun c -> c <> v) !l
+    | None -> ());
+    (match Hashtbl.find_opt t.parents v with
+    | Some tbl ->
+        Hashtbl.remove tbl u;
+        if Hashtbl.length tbl = 0 then Hashtbl.remove t.parents v
+    | None -> ());
+    true
+  end
+  else false
+
+(** [remove_node t id] unregisters a node with no remaining edges and
+    recycles its slot. *)
+let remove_node t id =
+  let n = node t id in
+  if children t id <> [] || parents t id <> [] then
+    dag_error "remove_node %d: node still has edges" id;
+  Hashtbl.remove t.nodes id;
+  Hashtbl.remove t.ids (n.etype, Tuple.to_list n.attr);
+  Hashtbl.remove t.children id;
+  Hashtbl.remove t.parents id;
+  (match Hashtbl.find_opt t.gen n.etype with
+  | Some reg -> Hashtbl.remove reg id
+  | None -> ());
+  Hashtbl.remove t.slot_ids n.slot;
+  t.free_slots <- n.slot :: t.free_slots
+
+(** Node id currently occupying [slot], if any. *)
+let id_of_slot t slot = Hashtbl.find_opt t.slot_ids slot
+
+(** The id the next created node will receive; ids are allocated
+    monotonically, so [id >= next_id t] later identifies fresh nodes. *)
+let next_id t = t.next_id
+
+let n_nodes t = Hashtbl.length t.nodes
+let n_edges t = Hashtbl.length t.edges
+let slot_capacity t = t.next_slot
+
+let iter_nodes f t = Hashtbl.iter (fun _ n -> f n) t.nodes
+let fold_nodes f t acc = Hashtbl.fold (fun _ n acc -> f n acc) t.nodes acc
+
+let iter_edges f t = Hashtbl.iter (fun (u, v) info -> f u v info) t.edges
+
+(** Ids registered in gen_A for a given element type. *)
+let gen_ids t etype =
+  match Hashtbl.find_opt t.gen etype with
+  | Some reg -> Hashtbl.fold (fun id () acc -> id :: acc) reg []
+  | None -> []
+
+let gen_cardinal t etype =
+  match Hashtbl.find_opt t.gen etype with
+  | Some reg -> Hashtbl.length reg
+  | None -> 0
+
+(** Per edge-relation (A, B) tuple counts — the |edge_A_B| statistics of
+    Fig. 10(b). *)
+let edge_relation_sizes t =
+  let tbl = Hashtbl.create 16 in
+  iter_edges
+    (fun u v _ ->
+      let key = ((node t u).etype, (node t v).etype) in
+      Hashtbl.replace tbl key
+        (1 + Option.value ~default:0 (Hashtbl.find_opt tbl key)))
+    t;
+  List.sort compare (Hashtbl.fold (fun k c acc -> (k, c) :: acc) tbl [])
+
+(** {2 Tree materialization}
+
+    Uncompresses the DAG below [id] into a tree — the view semantics that
+    correctness statements quantify over. Subtree sizes can be exponential
+    in the DAG size; [max_nodes] guards oracles against blowup. *)
+let tree_of ?(max_nodes = max_int) t id =
+  let budget = ref max_nodes in
+  let rec go id =
+    decr budget;
+    if !budget < 0 then dag_error "tree_of: node budget exhausted";
+    let n = node t id in
+    Rxv_xml.Tree.element ?text:n.text ~uid:id n.etype
+      (List.map go (children t id))
+  in
+  go id
+
+let to_tree ?max_nodes t = tree_of ?max_nodes t (root t)
+
+(** Nodes reachable from the root (ids). *)
+let reachable_from_root t =
+  let seen = Hashtbl.create (n_nodes t) in
+  let rec go id =
+    if not (Hashtbl.mem seen id) then begin
+      Hashtbl.replace seen id ();
+      List.iter go (children t id)
+    end
+  in
+  if t.root >= 0 then go t.root;
+  seen
+
+(** Number of occurrences of each node in the uncompressed tree — used by
+    the sharing statistics of Fig. 10(b). Counts are capped at
+    [max_int/2] to avoid overflow on pathological DAGs. *)
+let occurrence_counts t =
+  (* occurrences(v) = Σ occurrences(parent), root = 1: a top-down
+     accumulation in parents-before-children order. *)
+  let counts = Hashtbl.create (n_nodes t) in
+  let bump id k =
+    let prev = Option.value ~default:0 (Hashtbl.find_opt counts id) in
+    let v = prev + k in
+    Hashtbl.replace counts id (if v < 0 then max_int / 2 else v)
+  in
+  (* process in a topological order: parents before children *)
+  let order = ref [] in
+  let seen = Hashtbl.create (n_nodes t) in
+  let rec dfs id =
+    if not (Hashtbl.mem seen id) then begin
+      Hashtbl.replace seen id ();
+      List.iter dfs (children t id);
+      order := id :: !order
+    end
+  in
+  if t.root >= 0 then dfs t.root;
+  (* !order is now parents-before-children *)
+  if t.root >= 0 then bump t.root 1;
+  List.iter
+    (fun id ->
+      let c = Option.value ~default:0 (Hashtbl.find_opt counts id) in
+      if c > 0 then List.iter (fun ch -> bump ch c) (children t id))
+    !order;
+  counts
+
+(** Deep copy — snapshot support for transactional update groups. *)
+let copy t =
+  let copy_tbl tbl = Hashtbl.copy tbl in
+  {
+    next_id = t.next_id;
+    next_slot = t.next_slot;
+    free_slots = t.free_slots;
+    ids = copy_tbl t.ids;
+    nodes = copy_tbl t.nodes;
+    slot_ids = copy_tbl t.slot_ids;
+    gen =
+      (let g = Hashtbl.create (Hashtbl.length t.gen) in
+       Hashtbl.iter (fun k v -> Hashtbl.replace g k (Hashtbl.copy v)) t.gen;
+       g);
+    children =
+      (let c = Hashtbl.create (Hashtbl.length t.children) in
+       Hashtbl.iter (fun k v -> Hashtbl.replace c k (ref !v)) t.children;
+       c);
+    parents =
+      (let p = Hashtbl.create (Hashtbl.length t.parents) in
+       Hashtbl.iter (fun k v -> Hashtbl.replace p k (Hashtbl.copy v)) t.parents;
+       p);
+    edges =
+      (let e = Hashtbl.create (Hashtbl.length t.edges) in
+       Hashtbl.iter
+         (fun k info -> Hashtbl.replace e k { provenance = info.provenance })
+         t.edges;
+       e);
+    root = t.root;
+  }

@@ -1,0 +1,102 @@
+(** The relational coding of a compressed XML view (Section 2.3).
+
+    Nodes are identified by the Skolem function gen_id applied to their
+    element type and semantic-attribute value, so shared subtrees are
+    stored once. The store keeps the gen_A registries, the ordered edge
+    relations edge_A_B (with, on star edges, the key-preserved SPJ rows
+    that produced each edge — its provenance), parent lists, and a dense
+    slot per node for bitset indexing. *)
+
+module Value = Rxv_relational.Value
+module Tuple = Rxv_relational.Tuple
+
+type node = {
+  id : int;
+  etype : string;
+  attr : Tuple.t;  (** the value of the semantic attribute $A *)
+  text : string option;  (** pcdata content, for pcdata-typed elements *)
+  slot : int;
+}
+
+type edge_info = {
+  mutable provenance : Tuple.t list;
+      (** the key-preserved SPJ rows producing this edge; distinct base
+          derivations appear as distinct rows — Algorithm delete must
+          remove a source of each. Empty for structural edges. *)
+}
+
+type t
+
+exception Dag_error of string
+
+val create : unit -> t
+
+val node : t -> int -> node
+(** @raise Dag_error for unknown ids. *)
+
+val mem_node : t -> int -> bool
+val find_id : t -> string -> Tuple.t -> int option
+
+val gen_id : t -> string -> Tuple.t -> ?text:string -> unit -> int
+(** the Skolem function: the unique id for (etype, attr), creating and
+    registering the node on first use *)
+
+val set_root : t -> int -> unit
+val root : t -> int
+
+val children : t -> int -> int list
+(** ordered (document order) *)
+
+val parents : t -> int -> int list
+val in_degree : t -> int -> int
+val out_degree : t -> int -> int
+
+val mem_edge : t -> int -> int -> bool
+val edge_info : t -> int -> int -> edge_info
+
+val add_edge : t -> int -> int -> provenance:Tuple.t option -> unit
+(** append the child at the rightmost position (the paper's insertion
+    semantics); re-adding only accumulates new provenance rows *)
+
+val remove_edge : t -> int -> int -> bool
+(** nodes are never removed here — that is the garbage collector's job *)
+
+val remove_node : t -> int -> unit
+(** unregister an edge-free node and recycle its slot.
+    @raise Dag_error if edges remain. *)
+
+val id_of_slot : t -> int -> int option
+val next_id : t -> int
+(** ids are allocated monotonically, so [id >= next_id t] taken before an
+    operation identifies the nodes it created *)
+
+val n_nodes : t -> int
+val n_edges : t -> int
+val slot_capacity : t -> int
+
+val iter_nodes : (node -> unit) -> t -> unit
+val fold_nodes : (node -> 'a -> 'a) -> t -> 'a -> 'a
+val iter_edges : (int -> int -> edge_info -> unit) -> t -> unit
+
+val gen_ids : t -> string -> int list
+(** the gen_A registry for an element type *)
+
+val gen_cardinal : t -> string -> int
+
+val edge_relation_sizes : t -> ((string * string) * int) list
+(** |edge_A_B| per relation — the statistics of Fig. 10(b) *)
+
+val tree_of : ?max_nodes:int -> t -> int -> Rxv_xml.Tree.t
+(** materialize the (uncompressed) tree below a node; sizes can be
+    exponential in the DAG, so [max_nodes] guards oracles.
+    @raise Dag_error when the budget is exhausted. *)
+
+val to_tree : ?max_nodes:int -> t -> Rxv_xml.Tree.t
+
+val reachable_from_root : t -> (int, unit) Hashtbl.t
+
+val occurrence_counts : t -> (int, int) Hashtbl.t
+(** occurrences of each node in the uncompressed tree (sharing stats) *)
+
+val copy : t -> t
+(** deep copy — snapshot support for transactional update groups *)

@@ -1,0 +1,199 @@
+(** The topological order L of Section 3.1.
+
+    L lists every distinct node of the DAG such that u precedes v only if
+    u is *not* an ancestor of v — i.e. descendants come first and the root
+    comes last. Algorithm Reach consumes L backwards (root first); the
+    bottom-up XPath pass consumes it forwards (leaves first).
+
+    The structure supports the operations the maintenance algorithms of
+    Section 3.4 need: ordinal comparison, the paper's [swap(L, u, v)] move
+    (relocating L[u:v] ∩ desc(v) immediately in front of u), tombstoned
+    removal, and pivot-based merging of a subtree order (Fig. 7, line 14).
+    Tombstones keep removal O(1); the array compacts when more than half
+    the slots are dead. *)
+
+type t = {
+  mutable arr : int array;  (** node ids, -1 for tombstones *)
+  mutable len : int;  (** used prefix of [arr] *)
+  pos : (int, int) Hashtbl.t;  (** id -> index in [arr] *)
+}
+
+exception Topo_error of string
+
+let topo_error fmt = Fmt.kstr (fun s -> raise (Topo_error s)) fmt
+
+let of_ids (ids : int list) : t =
+  let arr = Array.of_list ids in
+  let pos = Hashtbl.create (Array.length arr * 2) in
+  Array.iteri (fun i id -> Hashtbl.replace pos id i) arr;
+  { arr; len = Array.length arr; pos }
+
+(** Post-order DFS from the root: children before parents, hence
+    descendants-first — a valid L. O(|V|). *)
+let of_store (store : Store.t) : t =
+  let seen = Hashtbl.create (Store.n_nodes store) in
+  let order = ref [] in
+  (* iterative DFS to survive deep DAGs *)
+  let visit start =
+    if not (Hashtbl.mem seen start) then begin
+      let stack = ref [ (start, ref (Store.children store start)) ] in
+      Hashtbl.replace seen start ();
+      while !stack <> [] do
+        match !stack with
+        | [] -> ()
+        | (id, rest) :: tl -> (
+            match !rest with
+            | [] ->
+                order := id :: !order;
+                stack := tl
+            | c :: cs ->
+                rest := cs;
+                if not (Hashtbl.mem seen c) then begin
+                  Hashtbl.replace seen c ();
+                  stack := (c, ref (Store.children store c)) :: !stack
+                end)
+      done
+    end
+  in
+  visit (Store.root store);
+  (* include any detached nodes so |L| = n, placing them first (they have
+     no ancestors among reachable nodes) *)
+  let detached =
+    Store.fold_nodes
+      (fun n acc ->
+        if Hashtbl.mem seen n.Store.id then acc else n.Store.id :: acc)
+      store []
+  in
+  (* !order currently lists root first; reverse for descendants-first *)
+  of_ids (detached @ List.rev !order)
+
+let mem l id = Hashtbl.mem l.pos id
+
+(** Ordinal of [id]; total order consistent with L. *)
+let ord l id =
+  match Hashtbl.find_opt l.pos id with
+  | Some i -> i
+  | None -> topo_error "node %d not in topological order" id
+
+let is_before l a b = ord l a < ord l b
+
+let live_count l = Hashtbl.length l.pos
+
+let to_list l =
+  let out = ref [] in
+  for i = l.len - 1 downto 0 do
+    if l.arr.(i) >= 0 then out := l.arr.(i) :: !out
+  done;
+  !out
+
+(** Forward iteration: leaves first. *)
+let iter f l =
+  for i = 0 to l.len - 1 do
+    if l.arr.(i) >= 0 then f l.arr.(i)
+  done
+
+(** Backward iteration: root side first (the order Algorithm Reach and the
+    delete maintenance use). *)
+let iter_backward f l =
+  for i = l.len - 1 downto 0 do
+    if l.arr.(i) >= 0 then f l.arr.(i)
+  done
+
+let compact l =
+  let live = live_count l in
+  let arr = Array.make (max 8 live) (-1) in
+  let j = ref 0 in
+  for i = 0 to l.len - 1 do
+    if l.arr.(i) >= 0 then begin
+      arr.(!j) <- l.arr.(i);
+      Hashtbl.replace l.pos l.arr.(i) !j;
+      incr j
+    end
+  done;
+  l.arr <- arr;
+  l.len <- live
+
+let remove l id =
+  match Hashtbl.find_opt l.pos id with
+  | None -> ()
+  | Some i ->
+      l.arr.(i) <- -1;
+      Hashtbl.remove l.pos id;
+      if l.len > 16 && live_count l * 2 < l.len then compact l
+
+(** [swap l u v ~is_desc_of_v] implements the paper's [swap(L, u, v)]:
+    given an inserted edge (u, v) with ord u < ord v, move the nodes of
+    L[u:v] that are descendants-or-self of v immediately in front of u,
+    preserving relative order within both groups. [is_desc_of_v id] must
+    answer "is id a descendant of v (or v itself)?" against the *updated*
+    reachability. O(|L[u:v]|). *)
+let swap l u v ~is_desc_of_v =
+  let iu = ord l u and iv = ord l v in
+  if iu < iv then begin
+    let moved = ref [] and kept = ref [] in
+    for i = iv downto iu do
+      let id = l.arr.(i) in
+      if id >= 0 then
+        if id = v || is_desc_of_v id then moved := id :: !moved
+        else kept := id :: !kept
+    done;
+    let window = !moved @ !kept in
+    let i = ref iu in
+    List.iter
+      (fun id ->
+        (* skip tombstones inside the window *)
+        while l.arr.(!i) < 0 do
+          incr i
+        done;
+        l.arr.(!i) <- id;
+        Hashtbl.replace l.pos id !i;
+        incr i)
+      window
+  end
+
+(** [insert_before l anchored] splices new nodes into L: [anchored] maps
+    each new id to the existing id it must precede; ids sharing an anchor
+    keep their list order. O(|L| + inserts) — one array rebuild. *)
+let insert_before l (anchored : (int * int) list) =
+  if anchored <> [] then begin
+    let by_anchor = Hashtbl.create 8 in
+    List.iter
+      (fun (nid, anchor) ->
+        if Hashtbl.mem l.pos nid then
+          topo_error "insert_before: node %d already in L" nid;
+        let idx = ord l anchor in
+        let prev = Option.value ~default:[] (Hashtbl.find_opt by_anchor idx) in
+        Hashtbl.replace by_anchor idx (prev @ [ nid ]))
+      anchored;
+    let total = live_count l + List.length anchored in
+    let arr = Array.make (max 8 total) (-1) in
+    let j = ref 0 in
+    let put id =
+      arr.(!j) <- id;
+      Hashtbl.replace l.pos id !j;
+      incr j
+    in
+    for i = 0 to l.len - 1 do
+      (match Hashtbl.find_opt by_anchor i with
+      | Some news -> List.iter put news
+      | None -> ());
+      if l.arr.(i) >= 0 then put l.arr.(i)
+    done;
+    l.arr <- arr;
+    l.len <- total
+  end
+
+(** Validity oracle: every edge's child precedes its parent. Used by
+    tests, not by the engine. *)
+let is_valid l store =
+  let ok = ref true in
+  Store.iter_edges
+    (fun u v _ ->
+      if not (mem l u && mem l v && ord l v < ord l u) then ok := false)
+    store;
+  !ok && live_count l = Store.n_nodes store
+
+let pp ppf l = Fmt.pf ppf "[%a]" (Fmt.list ~sep:(Fmt.any "; ") Fmt.int) (to_list l)
+
+(** Deep copy — snapshot support for transactional update groups. *)
+let copy l = { arr = Array.copy l.arr; len = l.len; pos = Hashtbl.copy l.pos }

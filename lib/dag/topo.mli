@@ -1,0 +1,52 @@
+(** The topological order L of Section 3.1: every distinct node, with u
+    preceding v only if u is not an ancestor of v — descendants first,
+    root last. Algorithm Reach consumes L backwards; the bottom-up XPath
+    pass consumes it forwards. Supports the maintenance operations of
+    Section 3.4: ordinal comparison, the paper's [swap(L, u, v)] move,
+    tombstoned removal and pivot-based merging. *)
+
+type t
+
+exception Topo_error of string
+
+val of_ids : int list -> t
+val of_store : Store.t -> t
+(** post-order DFS from the root (iterative, deep-DAG safe), O(|V|);
+    detached nodes are placed first *)
+
+val mem : t -> int -> bool
+
+val ord : t -> int -> int
+(** ordinal consistent with L. @raise Topo_error for absent nodes. *)
+
+val is_before : t -> int -> int -> bool
+val live_count : t -> int
+val to_list : t -> int list
+
+val iter : (int -> unit) -> t -> unit
+(** forward: leaves first *)
+
+val iter_backward : (int -> unit) -> t -> unit
+(** root side first — the order Reach and the delete maintenance use *)
+
+val remove : t -> int -> unit
+(** O(1) tombstone; the array compacts when more than half dead *)
+
+val swap : t -> int -> int -> is_desc_of_v:(int -> bool) -> unit
+(** the paper's [swap(L, u, v)]: given an inserted edge (u, v) with
+    ord u < ord v, move the nodes of L[u:v] that are descendants-or-self
+    of v immediately in front of u, preserving relative order within both
+    groups. [is_desc_of_v] must answer against the *updated* reachability.
+    O(|L[u:v]|). *)
+
+val insert_before : t -> (int * int) list -> unit
+(** splice new nodes before their anchors (Fig. 7 line 14's merge); ids
+    sharing an anchor keep their list order. One array rebuild. *)
+
+val is_valid : t -> Store.t -> bool
+(** test oracle: every edge's child precedes its parent and |L| = n *)
+
+val pp : Format.formatter -> t -> unit
+
+val copy : t -> t
+(** deep copy — snapshot support for transactional update groups *)

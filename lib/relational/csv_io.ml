@@ -1,0 +1,216 @@
+(** CSV import/export for relations — the practical on-ramp: bring your
+    own data, publish it as a view.
+
+    Format: RFC-4180-style — comma separator, double-quote quoting with
+    [""] escapes, optional CRLF line endings. The first line must be a
+    header naming the relation's attributes (any order, all present).
+    Values parse against the attribute types: integers, [true]/[false]
+    booleans, everything else as strings; quoted values of numeric/boolean
+    columns still parse by content. *)
+
+exception Csv_error of string * int  (** message, line number *)
+
+let err fmt line = Fmt.kstr (fun s -> raise (Csv_error (s, line))) fmt
+
+(* ---------- low-level record reader ---------- *)
+
+type reader = {
+  src : string;
+  mutable pos : int;
+  mutable line : int;
+}
+
+let at_end r = r.pos >= String.length r.src
+
+(* one record = list of fields; None at EOF *)
+let read_record (r : reader) : string list option =
+  if at_end r then None
+  else begin
+    let fields = ref [] in
+    let buf = Buffer.create 16 in
+    let finish_field () =
+      fields := Buffer.contents buf :: !fields;
+      Buffer.clear buf
+    in
+    let rec field () =
+      if at_end r then finish_field ()
+      else
+        match r.src.[r.pos] with
+        | ',' ->
+            r.pos <- r.pos + 1;
+            finish_field ();
+            field ()
+        | '\r' when r.pos + 1 < String.length r.src && r.src.[r.pos + 1] = '\n'
+          ->
+            r.pos <- r.pos + 2;
+            r.line <- r.line + 1;
+            finish_field ()
+        | '\n' ->
+            r.pos <- r.pos + 1;
+            r.line <- r.line + 1;
+            finish_field ()
+        | '"' when Buffer.length buf = 0 ->
+            r.pos <- r.pos + 1;
+            quoted ()
+        | c ->
+            Buffer.add_char buf c;
+            r.pos <- r.pos + 1;
+            field ()
+    and quoted () =
+      if at_end r then err "unterminated quoted field" r.line
+      else
+        match r.src.[r.pos] with
+        | '"' when r.pos + 1 < String.length r.src && r.src.[r.pos + 1] = '"'
+          ->
+            Buffer.add_char buf '"';
+            r.pos <- r.pos + 2;
+            quoted ()
+        | '"' ->
+            r.pos <- r.pos + 1;
+            (* after the closing quote: separator, newline or EOF *)
+            if at_end r then finish_field ()
+            else (
+              match r.src.[r.pos] with
+              | ',' ->
+                  r.pos <- r.pos + 1;
+                  finish_field ();
+                  field ()
+              | '\n' ->
+                  r.pos <- r.pos + 1;
+                  r.line <- r.line + 1;
+                  finish_field ()
+              | '\r'
+                when r.pos + 1 < String.length r.src
+                     && r.src.[r.pos + 1] = '\n' ->
+                  r.pos <- r.pos + 2;
+                  r.line <- r.line + 1;
+                  finish_field ()
+              | c -> err "unexpected %c after closing quote" r.line c)
+        | c ->
+            Buffer.add_char buf c;
+            if c = '\n' then r.line <- r.line + 1;
+            r.pos <- r.pos + 1;
+            quoted ()
+    in
+    field ();
+    Some (List.rev !fields)
+  end
+
+(* ---------- typed loading ---------- *)
+
+let parse_value ~line (ty : Value.ty) (s : string) : Value.t =
+  match ty with
+  | Value.TStr -> Value.Str s
+  | Value.TInt -> (
+      match int_of_string_opt (String.trim s) with
+      | Some v -> Value.Int v
+      | None -> err "expected an integer, got %S" line s)
+  | Value.TBool -> (
+      match String.lowercase_ascii (String.trim s) with
+      | "true" | "1" -> Value.Bool true
+      | "false" | "0" -> Value.Bool false
+      | _ -> err "expected a boolean, got %S" line s)
+
+(** [load_relation db name csv] inserts every record of [csv] (with
+    header) into relation [name]. Returns the number of tuples inserted.
+    @raise Csv_error on malformed input or type errors;
+    @raise Relation.Key_violation on duplicate keys. *)
+let load_relation (db : Database.t) (name : string) (csv : string) : int =
+  let rel = Schema.find_relation (Database.schema db) name in
+  let r = { src = csv; pos = 0; line = 1 } in
+  let header =
+    match read_record r with
+    | Some h -> h
+    | None -> err "empty input" 1
+  in
+  let positions =
+    (* column index in the record per schema attribute *)
+    Array.map
+      (fun (a : Schema.attribute) ->
+        let rec find i = function
+          | [] -> err "header is missing column %s" 1 a.Schema.aname
+          | h :: _ when String.trim h = a.Schema.aname -> i
+          | _ :: rest -> find (i + 1) rest
+        in
+        find 0 header)
+      rel.Schema.attrs
+  in
+  let width = List.length header in
+  let count = ref 0 in
+  let continue = ref true in
+  while !continue do
+    let line = r.line in
+    match read_record r with
+    | None -> continue := false
+    | Some [ "" ] when at_end r -> continue := false (* trailing newline *)
+    | Some record ->
+        if List.length record <> width then
+          err "expected %d fields, got %d" line width (List.length record);
+        let arr = Array.of_list record in
+        let tuple =
+          Array.mapi
+            (fun i pos -> parse_value ~line rel.Schema.attrs.(i).Schema.ty arr.(pos))
+            positions
+        in
+        Database.insert db name tuple;
+        incr count
+  done;
+  !count
+
+let load_relation_file (db : Database.t) (name : string) (path : string) : int
+    =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      load_relation db name (really_input_string ic (in_channel_length ic)))
+
+(** [load_dir db dir] loads [dir]/[relation].csv for every relation of the
+    schema that has such a file; returns (relation, tuples) counts. *)
+let load_dir (db : Database.t) (dir : string) : (string * int) list =
+  List.filter_map
+    (fun (r : Schema.relation) ->
+      let path = Filename.concat dir (r.Schema.rname ^ ".csv") in
+      if Sys.file_exists path then
+        Some (r.Schema.rname, load_relation_file db r.Schema.rname path)
+      else None)
+    (Database.schema db).Schema.relations
+
+(* ---------- export ---------- *)
+
+let escape_field s =
+  if
+    String.exists
+      (function '"' | ',' | '\n' | '\r' -> true | _ -> false)
+      s
+  then begin
+    let buf = Buffer.create (String.length s + 4) in
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        if c = '"' then Buffer.add_string buf "\"\"" else Buffer.add_char buf c)
+      s;
+    Buffer.add_char buf '"';
+    Buffer.contents buf
+  end
+  else s
+
+(** [dump_relation db name] renders the relation as CSV with a header,
+    rows sorted for determinism. *)
+let dump_relation (db : Database.t) (name : string) : string =
+  let rel = Database.relation db name in
+  let schema = Relation.schema rel in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (String.concat ","
+       (Array.to_list
+          (Array.map (fun (a : Schema.attribute) -> a.Schema.aname) schema.Schema.attrs)));
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun t ->
+      Buffer.add_string buf
+        (String.concat ","
+           (List.map (fun v -> escape_field (Value.to_string v)) (Array.to_list t)));
+      Buffer.add_char buf '\n')
+    (Relation.to_list rel);
+  Buffer.contents buf

@@ -1,0 +1,19 @@
+(** CSV import/export for relations (RFC-4180-style: quoting, [""]
+    escapes, CRLF tolerated). The first line must be a header naming all
+    of the relation's attributes; values parse against the attribute
+    types. *)
+
+exception Csv_error of string * int  (** message, line number *)
+
+val load_relation : Database.t -> string -> string -> int
+(** [load_relation db name csv] inserts every record; returns the count.
+    @raise Csv_error on malformed input or type errors;
+    @raise Relation.Key_violation on duplicate keys. *)
+
+val load_relation_file : Database.t -> string -> string -> int
+
+val load_dir : Database.t -> string -> (string * int) list
+(** load [dir]/[relation].csv for every schema relation that has one *)
+
+val dump_relation : Database.t -> string -> string
+(** header + rows (sorted, deterministic) *)

@@ -1,0 +1,60 @@
+(** Databases: named relation instances over a {!Schema.db}. *)
+
+type t = {
+  schema : Schema.db;
+  instances : (string, Relation.t) Hashtbl.t;
+}
+
+let create schema =
+  let instances = Hashtbl.create 8 in
+  List.iter
+    (fun r -> Hashtbl.replace instances r.Schema.rname (Relation.create r))
+    schema.Schema.relations;
+  { schema; instances }
+
+let schema db = db.schema
+
+let relation db name =
+  match Hashtbl.find_opt db.instances name with
+  | Some r -> r
+  | None -> Schema.schema_error "database has no relation %s" name
+
+let insert db name t = Relation.insert (relation db name) t
+let delete_key db name key = Relation.delete_key (relation db name) key
+
+let mem_key db name key = Relation.mem_key (relation db name) key
+let find_by_key db name key = Relation.find_by_key (relation db name) key
+
+let cardinal db = Hashtbl.fold (fun _ r n -> n + Relation.cardinal r) db.instances 0
+
+(** Deep copy, used by tests that compare "republish after ΔR" against the
+    incrementally updated view. *)
+let copy db =
+  let instances = Hashtbl.create (Hashtbl.length db.instances) in
+  Hashtbl.iter
+    (fun name r -> Hashtbl.replace instances name (Relation.copy r))
+    db.instances;
+  { schema = db.schema; instances }
+
+let iter_relations f db =
+  List.iter
+    (fun r -> f r.Schema.rname (relation db r.Schema.rname))
+    db.schema.Schema.relations
+
+(** [equal a b] is extensional equality of all instances (used as a test
+    oracle): same relation names, and tuple-for-tuple identical contents. *)
+let equal a b =
+  let names db =
+    List.sort compare (List.map (fun r -> r.Schema.rname) db.Schema.relations)
+  in
+  names a.schema = names b.schema
+  && List.for_all
+       (fun r ->
+         let name = r.Schema.rname in
+         let ra = relation a name and rb = relation b name in
+         Relation.cardinal ra = Relation.cardinal rb
+         && Relation.fold (fun t ok -> ok && Relation.mem rb t) ra true)
+       a.schema.Schema.relations
+
+let pp ppf db =
+  iter_relations (fun _ r -> Fmt.pf ppf "%a@." Relation.pp r) db

@@ -1,0 +1,29 @@
+(** Databases: named relation instances over a {!Schema.db}. *)
+
+type t
+
+val create : Schema.db -> t
+(** empty instances for every relation of the schema *)
+
+val schema : t -> Schema.db
+
+val relation : t -> string -> Relation.t
+(** @raise Schema.Schema_error if the relation does not exist. *)
+
+val insert : t -> string -> Tuple.t -> unit
+val delete_key : t -> string -> Value.t list -> bool
+val mem_key : t -> string -> Value.t list -> bool
+val find_by_key : t -> string -> Value.t list -> Tuple.t option
+
+val cardinal : t -> int
+(** total tuples across all relations *)
+
+val copy : t -> t
+(** deep copy (used by republish-and-compare test oracles) *)
+
+val iter_relations : (string -> Relation.t -> unit) -> t -> unit
+
+val equal : t -> t -> bool
+(** extensional equality of all instances *)
+
+val pp : Format.formatter -> t -> unit

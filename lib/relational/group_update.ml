@@ -1,0 +1,60 @@
+(** Group updates ΔR over base relations, with atomic application.
+
+    The translation algorithms of Sections 3 and 4 produce a group of tuple
+    insertions or deletions; the framework of Fig. 3 applies them as a unit.
+    [apply] rolls back on any failure so a rejected group leaves the
+    database unchanged. *)
+
+type op =
+  | Insert of string * Tuple.t  (** relation name, tuple *)
+  | Delete of string * Value.t list  (** relation name, key *)
+
+type t = op list
+
+exception Apply_error of string
+
+let size (g : t) = List.length g
+
+let is_empty (g : t) = g = []
+
+let inverse_of db = function
+  | Insert (name, t) -> (
+      (* undoing an insert: delete unless the identical tuple pre-existed *)
+      let r = Database.relation db name in
+      let key = Tuple.key_of (Relation.schema r) t in
+      match Relation.find_by_key r key with
+      | Some t' when Tuple.equal t t' -> None
+      | Some _ | None -> Some (Delete (name, key)))
+  | Delete (name, key) -> (
+      match Database.find_by_key db name key with
+      | Some t -> Some (Insert (name, t))
+      | None -> None)
+
+let apply_op db = function
+  | Insert (name, t) -> Database.insert db name t
+  | Delete (name, key) -> ignore (Database.delete_key db name key)
+
+(** [apply db g] performs every operation of [g] in order; if any operation
+    fails (e.g. a key violation), previously applied operations are undone
+    and {!Apply_error} is raised. *)
+let apply db (g : t) =
+  let undo = ref [] in
+  try
+    List.iter
+      (fun op ->
+        let inv = inverse_of db op in
+        apply_op db op;
+        match inv with Some i -> undo := i :: !undo | None -> ())
+      g
+  with e ->
+    List.iter (apply_op db) !undo;
+    raise
+      (Apply_error
+         (Fmt.str "group update rolled back: %s" (Printexc.to_string e)))
+
+let pp_op ppf = function
+  | Insert (name, t) -> Fmt.pf ppf "+%s%a" name Tuple.pp t
+  | Delete (name, key) ->
+      Fmt.pf ppf "-%s(%a)" name (Fmt.list ~sep:(Fmt.any ", ") Value.pp) key
+
+let pp = Fmt.list ~sep:Fmt.sp pp_op

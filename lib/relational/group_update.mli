@@ -1,0 +1,24 @@
+(** Group updates ΔR over base relations, applied atomically.
+
+    The translation algorithms of Sections 3 and 4 emit a group of tuple
+    insertions or deletions; the framework of Fig. 3 executes them as a
+    unit, rolling back on failure. *)
+
+type op =
+  | Insert of string * Tuple.t  (** relation name, tuple *)
+  | Delete of string * Value.t list  (** relation name, key *)
+
+type t = op list
+
+exception Apply_error of string
+
+val size : t -> int
+val is_empty : t -> bool
+
+val apply : Database.t -> t -> unit
+(** perform every operation in order; on any failure (e.g. a key
+    violation) previously applied operations are undone.
+    @raise Apply_error after rolling back. *)
+
+val pp_op : Format.formatter -> op -> unit
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,77 @@
+(** Relation instances: key-indexed tuple stores with key-constraint
+    enforcement.
+
+    The primary index maps the key projection to the full tuple, which gives
+    O(1) point lookups for the deletable-source computation of Algorithm
+    delete (Section 4.2) and for the tuple-template key checks of Algorithm
+    insert (Appendix A). *)
+
+type t = {
+  schema : Schema.relation;
+  rows : (Value.t list, Tuple.t) Hashtbl.t;
+}
+
+exception Key_violation of string
+
+let key_violation fmt = Fmt.kstr (fun s -> raise (Key_violation s)) fmt
+
+let create schema = { schema; rows = Hashtbl.create 64 }
+
+let schema r = r.schema
+let cardinal r = Hashtbl.length r.rows
+
+let find_by_key r key = Hashtbl.find_opt r.rows key
+
+let mem_key r key = Hashtbl.mem r.rows key
+
+(** [mem r t] holds when exactly [t] (not merely a tuple with the same key)
+    is present. *)
+let mem r t =
+  match find_by_key r (Tuple.key_of r.schema t) with
+  | Some t' -> Tuple.equal t t'
+  | None -> false
+
+(** [insert r t] adds [t]. Re-inserting an identical tuple is a no-op;
+    inserting a different tuple under an existing key raises
+    {!Key_violation}, mirroring a primary-key constraint. *)
+let insert r t =
+  Tuple.check r.schema t;
+  let key = Tuple.key_of r.schema t in
+  match Hashtbl.find_opt r.rows key with
+  | None -> Hashtbl.replace r.rows key t
+  | Some t' when Tuple.equal t t' -> ()
+  | Some _ ->
+      key_violation "relation %s: key %a already bound to a different tuple"
+        r.schema.Schema.rname
+        (Fmt.list ~sep:(Fmt.any ",") Value.pp)
+        key
+
+(** [delete_key r key] removes the tuple with key [key] if present; returns
+    whether a tuple was removed. *)
+let delete_key r key =
+  if Hashtbl.mem r.rows key then (
+    Hashtbl.remove r.rows key;
+    true)
+  else false
+
+let delete r t = delete_key r (Tuple.key_of r.schema t)
+
+let iter f r = Hashtbl.iter (fun _ t -> f t) r.rows
+let fold f r acc = Hashtbl.fold (fun _ t acc -> f t acc) r.rows acc
+
+let to_list r =
+  let l = fold (fun t acc -> t :: acc) r [] in
+  List.sort Tuple.compare l
+
+let copy r = { schema = r.schema; rows = Hashtbl.copy r.rows }
+
+(** [select_eq r col v] scans for tuples whose attribute at position [col]
+    equals [v]. Callers needing repeated lookups should build a hash index
+    via {!Eval} instead. *)
+let select_eq r col v =
+  fold (fun t acc -> if Value.equal t.(col) v then t :: acc else acc) r []
+
+let pp ppf r =
+  Fmt.pf ppf "@[<v>%a@,%a@]" Schema.pp_relation r.schema
+    (Fmt.list ~sep:Fmt.cut Tuple.pp)
+    (to_list r)

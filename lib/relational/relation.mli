@@ -1,0 +1,44 @@
+(** Relation instances: key-indexed tuple stores enforcing the primary-key
+    constraint. Point lookups by key are O(1), which the deletable-source
+    computation of Algorithm delete (Section 4.2) and the tuple-template
+    checks of Algorithm insert (Appendix A) rely on. *)
+
+type t
+
+exception Key_violation of string
+
+val create : Schema.relation -> t
+val schema : t -> Schema.relation
+val cardinal : t -> int
+
+val find_by_key : t -> Value.t list -> Tuple.t option
+val mem_key : t -> Value.t list -> bool
+
+val mem : t -> Tuple.t -> bool
+(** [mem r t] holds when exactly [t] (not merely a tuple with the same
+    key) is present. *)
+
+val insert : t -> Tuple.t -> unit
+(** Re-inserting an identical tuple is a no-op.
+    @raise Key_violation when a different tuple holds the key.
+    @raise Tuple.Type_error on arity/type mismatch. *)
+
+val delete_key : t -> Value.t list -> bool
+(** [delete_key r key] removes the keyed tuple; returns whether one was
+    removed. *)
+
+val delete : t -> Tuple.t -> bool
+
+val iter : (Tuple.t -> unit) -> t -> unit
+val fold : (Tuple.t -> 'a -> 'a) -> t -> 'a -> 'a
+
+val to_list : t -> Tuple.t list
+(** all tuples, sorted — deterministic for tests *)
+
+val copy : t -> t
+
+val select_eq : t -> int -> Value.t -> Tuple.t list
+(** linear scan on one column; repeated lookups should go through
+    {!Eval} instead *)
+
+val pp : Format.formatter -> t -> unit

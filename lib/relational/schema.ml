@@ -1,0 +1,99 @@
+(** Relation schemas with primary keys.
+
+    A relation schema is an ordered list of typed attributes, a nonempty
+    subset of which forms the primary key. Keys matter twice in the paper:
+    they enforce integrity on base updates, and the key-preservation
+    condition of Section 4.1 is defined in terms of them. *)
+
+type attribute = { aname : string; ty : Value.ty }
+
+type relation = {
+  rname : string;
+  attrs : attribute array;
+  key : int array;  (** positions of key attributes, in attribute order *)
+}
+
+type db = { relations : relation list }
+
+exception Schema_error of string
+
+let schema_error fmt = Fmt.kstr (fun s -> raise (Schema_error s)) fmt
+
+(** [relation name attrs ~key] builds a relation schema, checking that
+    attribute names are distinct and that every key attribute exists. *)
+let relation rname attr_list ~key =
+  let attrs = Array.of_list attr_list in
+  let seen = Hashtbl.create 8 in
+  Array.iter
+    (fun a ->
+      if Hashtbl.mem seen a.aname then
+        schema_error "relation %s: duplicate attribute %s" rname a.aname;
+      Hashtbl.add seen a.aname ())
+    attrs;
+  if key = [] then schema_error "relation %s: empty key" rname;
+  let index_of name =
+    let rec go i =
+      if i >= Array.length attrs then
+        schema_error "relation %s: key attribute %s not declared" rname name
+      else if attrs.(i).aname = name then i
+      else go (i + 1)
+    in
+    go 0
+  in
+  let key = Array.of_list (List.map index_of key) in
+  let sorted = Array.copy key in
+  Array.sort compare sorted;
+  Array.iteri
+    (fun i k ->
+      if i > 0 && sorted.(i - 1) = k then
+        schema_error "relation %s: duplicate key attribute" rname)
+    sorted;
+  { rname; attrs; key }
+
+let attr name ty = { aname = name; ty }
+
+(** [attr_index r name] is the position of attribute [name] in [r].
+    @raise Schema_error if the attribute does not exist. *)
+let attr_index r name =
+  let rec go i =
+    if i >= Array.length r.attrs then
+      schema_error "relation %s has no attribute %s" r.rname name
+    else if r.attrs.(i).aname = name then i
+    else go (i + 1)
+  in
+  go 0
+
+let has_attr r name = Array.exists (fun a -> a.aname = name) r.attrs
+
+let arity r = Array.length r.attrs
+
+let key_names r = Array.to_list (Array.map (fun i -> r.attrs.(i).aname) r.key)
+
+let is_key_attr r i = Array.exists (fun k -> k = i) r.key
+
+(** A database schema is a collection of relation schemas with distinct
+    names. *)
+let db relations =
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun r ->
+      if Hashtbl.mem seen r.rname then
+        schema_error "duplicate relation name %s" r.rname;
+      Hashtbl.add seen r.rname ())
+    relations;
+  { relations }
+
+let find_relation db name =
+  match List.find_opt (fun r -> r.rname = name) db.relations with
+  | Some r -> r
+  | None -> schema_error "unknown relation %s" name
+
+let mem_relation db name = List.exists (fun r -> r.rname = name) db.relations
+
+let pp_relation ppf r =
+  Fmt.pf ppf "%s(%a)" r.rname
+    (Fmt.array ~sep:(Fmt.any ", ") (fun ppf a ->
+         Fmt.pf ppf "%s%s:%a"
+           (if is_key_attr r (attr_index r a.aname) then "*" else "")
+           a.aname Value.pp_ty a.ty))
+    r.attrs

@@ -1,0 +1,45 @@
+(** Relation schemas with primary keys, and database schemas.
+
+    Keys matter twice in the paper: they enforce integrity on base
+    updates, and the key-preservation condition of Section 4.1 is defined
+    in terms of them. *)
+
+type attribute = { aname : string; ty : Value.ty }
+
+type relation = {
+  rname : string;
+  attrs : attribute array;
+  key : int array;  (** positions of key attributes, in attribute order *)
+}
+
+type db = { relations : relation list }
+
+exception Schema_error of string
+
+val schema_error : ('a, Format.formatter, unit, 'b) format4 -> 'a
+(** raise {!Schema_error} with a formatted message *)
+
+val relation : string -> attribute list -> key:string list -> relation
+(** [relation name attrs ~key] builds a relation schema.
+    @raise Schema_error on duplicate attributes, an empty key, or a key
+    attribute that is not declared. *)
+
+val attr : string -> Value.ty -> attribute
+
+val attr_index : relation -> string -> int
+(** position of an attribute by name. @raise Schema_error if absent. *)
+
+val has_attr : relation -> string -> bool
+val arity : relation -> int
+val key_names : relation -> string list
+val is_key_attr : relation -> int -> bool
+
+val db : relation list -> db
+(** @raise Schema_error on duplicate relation names. *)
+
+val find_relation : db -> string -> relation
+(** @raise Schema_error if absent. *)
+
+val mem_relation : db -> string -> bool
+
+val pp_relation : Format.formatter -> relation -> unit

@@ -1,0 +1,181 @@
+(** Select-project-join queries, the query class of ATG rules (Section 2.2)
+    and of the relational views V_σ (Section 2.3).
+
+    A query ranges over aliased base relations, restricts them with a
+    conjunction of equality predicates (column = column, column = constant,
+    column = parameter), and projects a list of named output columns.
+    Parameters stand for the fields of the parent's semantic attribute: the
+    rule Q_prereq_course($prereq) of Fig. 2 becomes a query with one
+    parameter. *)
+
+type operand =
+  | Col of string * string  (** alias.attribute *)
+  | Const of Value.t
+  | Param of int  (** $k, k ≥ 0: field of the parent semantic attribute *)
+
+type pred = Eq of operand * operand
+
+type t = {
+  qname : string;
+  from : (string * string) list;  (** (alias, relation name), join order *)
+  where : pred list;  (** conjunction *)
+  select : (string * operand) list;  (** (output column name, source) *)
+}
+
+exception Query_error of string
+
+let query_error fmt = Fmt.kstr (fun s -> raise (Query_error s)) fmt
+
+let col alias attr = Col (alias, attr)
+let const v = Const v
+let param k = Param k
+let eq a b = Eq (a, b)
+
+let make ~name ~from ~where ~select =
+  if from = [] then query_error "query %s: empty FROM clause" name;
+  let seen = Hashtbl.create 4 in
+  List.iter
+    (fun (alias, _) ->
+      if Hashtbl.mem seen alias then
+        query_error "query %s: duplicate alias %s" name alias;
+      Hashtbl.add seen alias ())
+    from;
+  let out = Hashtbl.create 8 in
+  List.iter
+    (fun (oname, _) ->
+      if Hashtbl.mem out oname then
+        query_error "query %s: duplicate output column %s" name oname;
+      Hashtbl.add out oname ())
+    select;
+  { qname = name; from; where; select }
+
+let relation_of_alias q alias =
+  match List.assoc_opt alias q.from with
+  | Some r -> r
+  | None -> query_error "query %s: unknown alias %s" q.qname alias
+
+(** Static well-formedness against a database schema: aliases resolve,
+    columns exist, and every equality is between operands of the same type.
+    Returns the output schema as (name, type) pairs; parameter types are
+    given by [param_tys]. *)
+let check (db : Schema.db) ?(param_tys = [||]) q : (string * Value.ty) list =
+  let ty_of_operand = function
+    | Col (alias, attr) ->
+        let r = Schema.find_relation db (relation_of_alias q alias) in
+        let i = Schema.attr_index r attr in
+        r.Schema.attrs.(i).Schema.ty
+    | Const v -> (
+        match Value.ty_of v with
+        | Some ty -> ty
+        | None -> query_error "query %s: null constant" q.qname)
+    | Param k ->
+        if k < 0 || k >= Array.length param_tys then
+          query_error "query %s: parameter $%d out of range" q.qname k
+        else param_tys.(k)
+  in
+  List.iter
+    (fun (Eq (a, b)) ->
+      let ta = ty_of_operand a and tb = ty_of_operand b in
+      if ta <> tb then
+        query_error "query %s: type mismatch in predicate (%a vs %a)" q.qname
+          Value.pp_ty ta Value.pp_ty tb)
+    q.where;
+  List.map (fun (oname, op) -> (oname, ty_of_operand op)) q.select
+
+(** {2 Key preservation (Section 4.1)}
+
+    Q is key preserving when, for every base relation occurrence in its FROM
+    clause, all primary-key attributes of that occurrence appear among Q's
+    projected columns. *)
+
+let key_positions (db : Schema.db) q :
+    (string * string * string) list =
+  (* (alias, relation, key attribute) triples that must be projected *)
+  List.concat_map
+    (fun (alias, rname) ->
+      let r = Schema.find_relation db rname in
+      List.map (fun k -> (alias, rname, k)) (Schema.key_names r))
+    q.from
+
+let projects q alias attr =
+  List.exists
+    (fun (_, op) ->
+      match op with
+      | Col (a, at) -> a = alias && at = attr
+      | Const _ | Param _ -> false)
+    q.select
+
+let is_key_preserving (db : Schema.db) q =
+  List.for_all (fun (alias, _, k) -> projects q alias k) (key_positions db q)
+
+(** [make_key_preserving db q] extends the projection list with any missing
+    key attributes, under generated names [alias__attr]. The paper notes
+    (Section 4.1) that this extension does not change the expressive power
+    of ATGs. *)
+let make_key_preserving (db : Schema.db) q =
+  let missing =
+    List.filter (fun (alias, _, k) -> not (projects q alias k))
+      (key_positions db q)
+  in
+  let extra =
+    List.map (fun (alias, _, k) -> (alias ^ "__" ^ k, Col (alias, k))) missing
+  in
+  let rec fresh name taken =
+    if List.mem_assoc name taken then fresh (name ^ "_") taken else name
+  in
+  let select =
+    List.fold_left
+      (fun acc (n, op) -> acc @ [ (fresh n acc, op) ])
+      q.select extra
+  in
+  { q with select }
+
+(** [output_index q name] is the position of output column [name]. *)
+let output_index q name =
+  let rec go i = function
+    | [] -> query_error "query %s has no output column %s" q.qname name
+    | (n, _) :: _ when n = name -> i
+    | _ :: rest -> go (i + 1) rest
+  in
+  go 0 q.select
+
+(** [key_output_positions db q] gives, per FROM occurrence, the positions in
+    the output row holding that occurrence's key — the data Algorithm delete
+    needs to compute deletable sources Sr(Q, t) from a view tuple alone.
+    @raise Query_error if [q] is not key preserving. *)
+let key_output_positions (db : Schema.db) q : (string * string * int list) list
+    =
+  List.map
+    (fun (alias, rname) ->
+      let r = Schema.find_relation db rname in
+      let positions =
+        List.map
+          (fun k ->
+            let rec find i = function
+              | [] ->
+                  query_error "query %s is not key preserving (%s.%s missing)"
+                    q.qname alias k
+              | (_, Col (a, at)) :: _ when a = alias && at = k -> i
+              | _ :: rest -> find (i + 1) rest
+            in
+            find 0 q.select)
+          (Schema.key_names r)
+      in
+      (alias, rname, positions))
+    q.from
+
+let pp_operand ppf = function
+  | Col (a, at) -> Fmt.pf ppf "%s.%s" a at
+  | Const v -> Value.pp ppf v
+  | Param k -> Fmt.pf ppf "$%d" k
+
+let pp ppf q =
+  Fmt.pf ppf "@[<v2>select %a@,from %a@,where %a@]"
+    (Fmt.list ~sep:(Fmt.any ", ") (fun ppf (n, op) ->
+         Fmt.pf ppf "%a as %s" pp_operand op n))
+    q.select
+    (Fmt.list ~sep:(Fmt.any ", ") (fun ppf (a, r) -> Fmt.pf ppf "%s %s" r a))
+    q.from
+    (Fmt.list ~sep:(Fmt.any " and ") (fun ppf (Eq (a, b)) ->
+         Fmt.pf ppf "%a = %a" pp_operand a pp_operand b))
+    q.where

@@ -1,0 +1,72 @@
+(** Select-project-join queries — the query class of ATG rules
+    (Section 2.2) and of the relational views V_σ (Section 2.3).
+
+    A query ranges over aliased base relations, restricts them with a
+    conjunction of equality predicates, and projects named output columns.
+    Parameters ([$k]) stand for fields of the parent's semantic attribute,
+    as in Q_prereq_course($prereq) of Fig. 2. *)
+
+type operand =
+  | Col of string * string  (** alias.attribute *)
+  | Const of Value.t
+  | Param of int  (** $k: field k of the parent semantic attribute *)
+
+type pred = Eq of operand * operand
+
+type t = {
+  qname : string;
+  from : (string * string) list;  (** (alias, relation name), join order *)
+  where : pred list;  (** conjunction *)
+  select : (string * operand) list;  (** (output column name, source) *)
+}
+
+exception Query_error of string
+
+val query_error : ('a, Format.formatter, unit, 'b) format4 -> 'a
+
+(** {1 Construction} *)
+
+val col : string -> string -> operand
+val const : Value.t -> operand
+val param : int -> operand
+val eq : operand -> operand -> pred
+
+val make :
+  name:string ->
+  from:(string * string) list ->
+  where:pred list ->
+  select:(string * operand) list ->
+  t
+(** @raise Query_error on empty FROM, duplicate alias or output name. *)
+
+val relation_of_alias : t -> string -> string
+
+val check : Schema.db -> ?param_tys:Value.ty array -> t -> (string * Value.ty) list
+(** static well-formedness: aliases resolve, columns exist, equalities are
+    type-compatible. Returns the output schema.
+    @raise Query_error otherwise. *)
+
+(** {1 Key preservation (Section 4.1)}
+
+    Q is key preserving when, for every base-relation occurrence in its
+    FROM clause, all primary-key attributes of that occurrence appear
+    among Q's projected columns. *)
+
+val is_key_preserving : Schema.db -> t -> bool
+
+val make_key_preserving : Schema.db -> t -> t
+(** extend the projection with any missing key attributes (under generated
+    names); the paper notes this does not change the expressive power of
+    ATGs *)
+
+val key_output_positions : Schema.db -> t -> (string * string * int list) list
+(** per FROM occurrence [(alias, relation, positions)], the output-row
+    positions holding that occurrence's key — what Algorithm delete reads
+    deletable sources Sr(Q, t) from.
+    @raise Query_error if the query is not key preserving. *)
+
+val projects : t -> string -> string -> bool
+val output_index : t -> string -> int
+
+val pp_operand : Format.formatter -> operand -> unit
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,245 @@
+(** A SQL-flavoured concrete syntax for SPJ queries, so ATG rules read as
+    they do in the paper (Fig. 2):
+
+    {v
+    select c.cno, c.title
+    from   prereq p, course c
+    where  p.cno1 = $0 and p.cno2 = c.cno
+    v}
+
+    Grammar (case-insensitive keywords):
+
+    {v
+    query   ::= SELECT sel (',' sel)* FROM rel (',' rel)* [WHERE conj]
+    sel     ::= operand [AS name]
+    rel     ::= name [name]                      -- relation [alias]
+    conj    ::= pred (AND pred)*
+    pred    ::= operand '=' operand
+    operand ::= name '.' name | '$' digits | literal
+    literal ::= 'string' | integer | TRUE | FALSE
+    v}
+
+    Output column names default to the column's attribute name (uniquified
+    with suffixes when repeated). Parameters [$k] refer to the parent
+    semantic attribute's fields, as in Section 2.2. *)
+
+exception Sql_error of string * int  (** message, input offset *)
+
+let err fmt pos = Fmt.kstr (fun s -> raise (Sql_error (s, pos))) fmt
+
+type token =
+  | Tword of string  (** bare identifier or keyword *)
+  | Tstring of string
+  | Tint of int
+  | Tparam of int
+  | Tdot
+  | Tcomma
+  | Teq
+  | Teof
+
+let is_word_char c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9')
+  || c = '_'
+
+let tokenize (s : string) : (token * int) list =
+  let n = String.length s in
+  let out = ref [] in
+  let i = ref 0 in
+  while !i < n do
+    let c = s.[!i] in
+    let pos = !i in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr i
+    else if c = ',' then begin
+      out := (Tcomma, pos) :: !out;
+      incr i
+    end
+    else if c = '.' then begin
+      out := (Tdot, pos) :: !out;
+      incr i
+    end
+    else if c = '=' then begin
+      out := (Teq, pos) :: !out;
+      incr i
+    end
+    else if c = '$' then begin
+      incr i;
+      let start = !i in
+      while !i < n && s.[!i] >= '0' && s.[!i] <= '9' do
+        incr i
+      done;
+      if !i = start then err "expected digits after $" pos;
+      out := (Tparam (int_of_string (String.sub s start (!i - start))), pos) :: !out
+    end
+    else if c = '\'' then begin
+      incr i;
+      let buf = Buffer.create 8 in
+      let closed = ref false in
+      while not !closed do
+        if !i >= n then err "unterminated string literal" pos;
+        if s.[!i] = '\'' then
+          if !i + 1 < n && s.[!i + 1] = '\'' then begin
+            Buffer.add_char buf '\'';
+            i := !i + 2
+          end
+          else begin
+            closed := true;
+            incr i
+          end
+        else begin
+          Buffer.add_char buf s.[!i];
+          incr i
+        end
+      done;
+      out := (Tstring (Buffer.contents buf), pos) :: !out
+    end
+    else if (c >= '0' && c <= '9') || c = '-' then begin
+      let start = !i in
+      incr i;
+      while !i < n && s.[!i] >= '0' && s.[!i] <= '9' do
+        incr i
+      done;
+      let txt = String.sub s start (!i - start) in
+      match int_of_string_opt txt with
+      | Some v -> out := (Tint v, pos) :: !out
+      | None -> err "bad integer %s" pos txt
+    end
+    else if is_word_char c then begin
+      let start = !i in
+      while !i < n && is_word_char s.[!i] do
+        incr i
+      done;
+      out := (Tword (String.sub s start (!i - start)), pos) :: !out
+    end
+    else err "unexpected character %c" pos c
+  done;
+  List.rev ((Teof, n) :: !out)
+
+type state = { mutable toks : (token * int) list }
+
+let peek st = match st.toks with (t, _) :: _ -> t | [] -> Teof
+let pos st = match st.toks with (_, p) :: _ -> p | [] -> -1
+let advance st = match st.toks with _ :: r -> st.toks <- r | [] -> ()
+
+let keyword st kw =
+  match peek st with
+  | Tword w when String.lowercase_ascii w = kw ->
+      advance st;
+      true
+  | _ -> false
+
+let expect_keyword st kw =
+  if not (keyword st kw) then err "expected %s" (pos st) (String.uppercase_ascii kw)
+
+let word st =
+  match peek st with
+  | Tword w ->
+      advance st;
+      w
+  | _ -> err "expected an identifier" (pos st)
+
+let parse_operand st : Spj.operand =
+  match peek st with
+  | Tparam k ->
+      advance st;
+      Spj.Param k
+  | Tstring s ->
+      advance st;
+      Spj.Const (Value.Str s)
+  | Tint v ->
+      advance st;
+      Spj.Const (Value.Int v)
+  | Tword w when String.lowercase_ascii w = "true" ->
+      advance st;
+      Spj.Const (Value.Bool true)
+  | Tword w when String.lowercase_ascii w = "false" ->
+      advance st;
+      Spj.Const (Value.Bool false)
+  | Tword _ -> (
+      let a = word st in
+      match peek st with
+      | Tdot ->
+          advance st;
+          Spj.Col (a, word st)
+      | _ -> err "expected '.': bare column names need an alias" (pos st))
+  | _ -> err "expected an operand" (pos st)
+
+(** [parse ~name s] parses the SQL text into an {!Spj.t}.
+    @raise Sql_error on malformed input. *)
+let parse ~name (s : string) : Spj.t =
+  let st = { toks = tokenize s } in
+  expect_keyword st "select";
+  (* selections *)
+  let sels = ref [] in
+  let rec read_sels () =
+    let op = parse_operand st in
+    let out_name =
+      if keyword st "as" then Some (word st)
+      else
+        match op with
+        | Spj.Col (_, attr) -> Some attr
+        | Spj.Const _ | Spj.Param _ -> None
+    in
+    sels := (out_name, op) :: !sels;
+    if peek st = Tcomma then begin
+      advance st;
+      read_sels ()
+    end
+  in
+  read_sels ();
+  expect_keyword st "from";
+  let from = ref [] in
+  let rec read_from () =
+    let rname = word st in
+    let alias =
+      match peek st with
+      | Tword w when String.lowercase_ascii w <> "where" -> (
+          advance st;
+          w)
+      | _ -> rname
+    in
+    from := (alias, rname) :: !from;
+    if peek st = Tcomma then begin
+      advance st;
+      read_from ()
+    end
+  in
+  read_from ();
+  let where = ref [] in
+  if keyword st "where" then begin
+    let rec read_preds () =
+      let a = parse_operand st in
+      (match peek st with
+      | Teq -> advance st
+      | _ -> err "expected '='" (pos st));
+      let b = parse_operand st in
+      where := Spj.Eq (a, b) :: !where;
+      if keyword st "and" then read_preds ()
+    in
+    read_preds ()
+  end;
+  (match peek st with
+  | Teof -> ()
+  | _ -> err "trailing input" (pos st));
+  (* uniquify output names *)
+  let taken = Hashtbl.create 8 in
+  let uniquify base =
+    let rec go i =
+      let candidate = if i = 0 then base else Printf.sprintf "%s_%d" base i in
+      if Hashtbl.mem taken candidate then go (i + 1)
+      else begin
+        Hashtbl.replace taken candidate ();
+        candidate
+      end
+    in
+    go 0
+  in
+  let select =
+    List.map
+      (fun (out_name, op) ->
+        let base = match out_name with Some n -> n | None -> "col" in
+        (uniquify base, op))
+      (List.rev !sels)
+  in
+  Spj.make ~name ~from:(List.rev !from) ~where:(List.rev !where) ~select

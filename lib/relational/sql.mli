@@ -1,0 +1,18 @@
+(** SQL-flavoured concrete syntax for SPJ queries, so ATG rules read as
+    they do in the paper's Fig. 2:
+
+    {v
+    select c.cno, c.title
+    from   prereq p, course c
+    where  p.cno1 = $0 and p.cno2 = c.cno
+    v}
+
+    Supported: column/literal/parameter operands, equality conjunctions,
+    aliases, [AS] renaming, ['…'] string literals (with [''] escaping),
+    integers and TRUE/FALSE. Output names default to the attribute name,
+    uniquified when repeated. *)
+
+exception Sql_error of string * int  (** message, input offset *)
+
+val parse : name:string -> string -> Spj.t
+(** @raise Sql_error on malformed input. *)

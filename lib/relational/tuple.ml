@@ -1,0 +1,54 @@
+(** Tuples are immutable-by-convention value arrays positionally matching a
+    relation schema. *)
+
+type t = Value.t array
+
+exception Type_error of string
+
+let type_error fmt = Fmt.kstr (fun s -> raise (Type_error s)) fmt
+
+(** [check schema t] validates arity and per-attribute types. *)
+let check (r : Schema.relation) (t : t) =
+  if Array.length t <> Schema.arity r then
+    type_error "relation %s expects arity %d, got %d" r.Schema.rname
+      (Schema.arity r) (Array.length t);
+  Array.iteri
+    (fun i v ->
+      let a = r.Schema.attrs.(i) in
+      if not (Value.has_ty a.Schema.ty v) then
+        type_error "relation %s attribute %s: expected %a, got %a"
+          r.Schema.rname a.Schema.aname Value.pp_ty a.Schema.ty Value.pp v)
+    t
+
+(** [key_of schema t] projects [t] on the primary key, as a list usable as a
+    hash-table key. *)
+let key_of (r : Schema.relation) (t : t) : Value.t list =
+  Array.to_list (Array.map (fun i -> t.(i)) r.Schema.key)
+
+let equal (a : t) (b : t) =
+  Array.length a = Array.length b
+  &&
+  let rec go i =
+    i >= Array.length a || (Value.equal a.(i) b.(i) && go (i + 1))
+  in
+  go 0
+
+let compare (a : t) (b : t) =
+  let la = Array.length a and lb = Array.length b in
+  let rec go i =
+    if i >= la && i >= lb then 0
+    else if i >= la then -1
+    else if i >= lb then 1
+    else
+      let c = Value.compare a.(i) b.(i) in
+      if c <> 0 then c else go (i + 1)
+  in
+  go 0
+
+let hash (t : t) = Hashtbl.hash (Array.map Value.hash t)
+
+let to_list = Array.to_list
+let of_list = Array.of_list
+
+let pp ppf (t : t) =
+  Fmt.pf ppf "(%a)" (Fmt.array ~sep:(Fmt.any ", ") Value.pp) t

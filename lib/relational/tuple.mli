@@ -1,0 +1,21 @@
+(** Tuples: immutable-by-convention value arrays positionally matching a
+    relation schema. *)
+
+type t = Value.t array
+
+exception Type_error of string
+
+val check : Schema.relation -> t -> unit
+(** validate arity and per-attribute types. @raise Type_error otherwise. *)
+
+val key_of : Schema.relation -> t -> Value.t list
+(** the primary-key projection, usable as a hash-table key *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+
+val to_list : t -> Value.t list
+val of_list : Value.t list -> t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,83 @@
+(** Typed atomic values stored in relations and semantic attributes.
+
+    The paper's data model needs string and integer attributes for the
+    registrar and synthetic schemas, plus a finite-domain type (booleans)
+    so that the insertion heuristic of Section 4.3 has variables it can
+    encode into SAT. [Null] is used only as a placeholder inside tuple
+    templates before instantiation; it never appears in a base relation. *)
+
+type ty =
+  | TInt
+  | TStr
+  | TBool
+
+type t =
+  | Int of int
+  | Str of string
+  | Bool of bool
+  | Null
+
+let ty_of = function
+  | Int _ -> Some TInt
+  | Str _ -> Some TStr
+  | Bool _ -> Some TBool
+  | Null -> None
+
+(** [has_ty ty v] holds when [v] inhabits [ty]; [Null] inhabits none. *)
+let has_ty ty v =
+  match ty_of v with
+  | Some ty' -> ty = ty'
+  | None -> false
+
+(** Finite-domain types can be enumerated exhaustively; the SAT encoding of
+    Section 4.3 only introduces propositional variables for these. *)
+let finite_domain = function
+  | TBool -> Some [ Bool false; Bool true ]
+  | TInt | TStr -> None
+
+let equal a b =
+  match (a, b) with
+  | Int x, Int y -> x = y
+  | Str x, Str y -> String.equal x y
+  | Bool x, Bool y -> x = y
+  | Null, Null -> true
+  | (Int _ | Str _ | Bool _ | Null), _ -> false
+
+let compare a b =
+  let rank = function Int _ -> 0 | Str _ -> 1 | Bool _ -> 2 | Null -> 3 in
+  match (a, b) with
+  | Int x, Int y -> Stdlib.compare x y
+  | Str x, Str y -> String.compare x y
+  | Bool x, Bool y -> Stdlib.compare x y
+  | Null, Null -> 0
+  | _ -> Stdlib.compare (rank a) (rank b)
+
+let hash = function
+  | Int x -> Hashtbl.hash (0, x)
+  | Str s -> Hashtbl.hash (1, s)
+  | Bool b -> Hashtbl.hash (2, b)
+  | Null -> Hashtbl.hash 3
+
+let to_string = function
+  | Int x -> string_of_int x
+  | Str s -> s
+  | Bool b -> string_of_bool b
+  | Null -> "null"
+
+let pp ppf v =
+  match v with
+  | Int x -> Fmt.int ppf x
+  | Str s -> Fmt.pf ppf "%S" s
+  | Bool b -> Fmt.bool ppf b
+  | Null -> Fmt.string ppf "null"
+
+let pp_ty ppf = function
+  | TInt -> Fmt.string ppf "int"
+  | TStr -> Fmt.string ppf "string"
+  | TBool -> Fmt.string ppf "bool"
+
+(** Convenience constructors used pervasively in tests and examples. *)
+let int x = Int x
+
+let str s = Str s
+let bool b = Bool b

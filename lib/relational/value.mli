@@ -1,0 +1,39 @@
+(** Typed atomic values stored in relations and semantic attributes.
+
+    Three types suffice for the paper's data model: strings and integers
+    for keys and payloads, and booleans as the finite-domain type whose
+    unknowns the insertion heuristic of Section 4.3 encodes into SAT. *)
+
+type ty = TInt | TStr | TBool
+
+type t =
+  | Int of int
+  | Str of string
+  | Bool of bool
+  | Null
+      (** placeholder inside tuple templates before instantiation; never
+          stored in a base relation *)
+
+val ty_of : t -> ty option
+(** [ty_of v] is the type inhabited by [v]; [None] for [Null]. *)
+
+val has_ty : ty -> t -> bool
+(** [has_ty ty v] holds when [v] inhabits [ty]; [Null] inhabits none. *)
+
+val finite_domain : ty -> t list option
+(** [finite_domain ty] enumerates [ty] when finite ([TBool]); the SAT
+    encoding only introduces propositional variables for such types, while
+    infinite-domain unknowns are satisfied with fresh constants (the
+    paper's case (b)). *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+val pp_ty : Format.formatter -> ty -> unit
+
+val int : int -> t
+val str : string -> t
+val bool : bool -> t

@@ -1,0 +1,123 @@
+(** Propositional formulas in conjunctive normal form.
+
+    Variables are positive integers; a literal is [+v] (variable v) or
+    [-v] (its negation). The builder interns named variables so that the
+    view-insertion encoder (Section 4.3) can use meaningful names like
+    ["x3 = true"] and recover the assignment afterwards. *)
+
+type literal = int
+(** nonzero; sign is polarity *)
+
+type clause = literal array
+
+type t = {
+  mutable nvars : int;
+  mutable clauses : clause list;
+  mutable nclauses : int;
+  names : (string, int) Hashtbl.t;
+  rev_names : (int, string) Hashtbl.t;
+}
+
+let create () =
+  {
+    nvars = 0;
+    clauses = [];
+    nclauses = 0;
+    names = Hashtbl.create 32;
+    rev_names = Hashtbl.create 32;
+  }
+
+let fresh_var ?name f =
+  f.nvars <- f.nvars + 1;
+  let v = f.nvars in
+  (match name with
+  | Some n ->
+      Hashtbl.replace f.names n v;
+      Hashtbl.replace f.rev_names v n
+  | None -> ());
+  v
+
+(** [var f name] interns [name], returning the same variable on repeated
+    calls. *)
+let var f name =
+  match Hashtbl.find_opt f.names name with
+  | Some v -> v
+  | None -> fresh_var ~name f
+
+let name_of f v = Hashtbl.find_opt f.rev_names v
+
+let nvars f = f.nvars
+let nclauses f = f.nclauses
+
+exception Trivial_conflict
+(** raised when an empty clause is added: the formula is unsatisfiable *)
+
+(** [add_clause f lits] adds the disjunction of [lits]. Duplicate literals
+    are merged; a tautological clause (v ∨ ¬v) is dropped.
+    @raise Trivial_conflict if [lits] is empty. *)
+let add_clause f lits =
+  let lits = List.sort_uniq compare lits in
+  if lits = [] then raise Trivial_conflict;
+  let taut = List.exists (fun l -> List.mem (-l) lits) lits in
+  if not taut then begin
+    List.iter
+      (fun l ->
+        if l = 0 then invalid_arg "Cnf.add_clause: zero literal";
+        let v = abs l in
+        if v > f.nvars then f.nvars <- v)
+      lits;
+    f.clauses <- Array.of_list lits :: f.clauses;
+    f.nclauses <- f.nclauses + 1
+  end
+
+let clauses f = Array.of_list (List.rev f.clauses)
+
+type assignment = bool array
+(** index v holds the value of variable v; index 0 unused *)
+
+let lit_true (a : assignment) l = if l > 0 then a.(l) else not a.(-l)
+
+let clause_true a c = Array.exists (lit_true a) c
+
+(** [satisfies a f] checks all clauses. *)
+let satisfies a f = List.for_all (clause_true a) f.clauses
+
+(** Named variables assigned true under [a]. *)
+let true_names f (a : assignment) =
+  Hashtbl.fold
+    (fun name v acc -> if v <= f.nvars && a.(v) then name :: acc else acc)
+    f.names []
+
+(** {2 Encoding helpers} *)
+
+(** [exactly_one f vars] constrains exactly one of [vars] to hold
+    (pairwise encoding — fine for the small domains of Section 4.3). *)
+let exactly_one f vars =
+  add_clause f vars;
+  let rec pairs = function
+    | [] -> ()
+    | v :: rest ->
+        List.iter (fun w -> add_clause f [ -v; -w ]) rest;
+        pairs rest
+  in
+  pairs vars
+
+let at_most_one f vars =
+  let rec pairs = function
+    | [] -> ()
+    | v :: rest ->
+        List.iter (fun w -> add_clause f [ -v; -w ]) rest;
+        pairs rest
+  in
+  pairs vars
+
+(** [implies f a b]: a → b. *)
+let implies f a b = add_clause f [ -a; b ]
+
+let pp ppf f =
+  Fmt.pf ppf "@[<v>p cnf %d %d@," f.nvars f.nclauses;
+  List.iter
+    (fun c ->
+      Fmt.pf ppf "%a 0@," (Fmt.array ~sep:Fmt.sp Fmt.int) c)
+    (List.rev f.clauses);
+  Fmt.pf ppf "@]"

@@ -1,0 +1,48 @@
+(** Propositional formulas in conjunctive normal form, with named-variable
+    interning so the view-insertion encoder (Section 4.3) can use readable
+    variable names and recover the assignment afterwards. *)
+
+type literal = int
+(** nonzero; sign is polarity *)
+
+type clause = literal array
+
+type t
+
+type assignment = bool array
+(** index v holds variable v's value; index 0 unused *)
+
+exception Trivial_conflict
+(** an empty clause was added: the formula is unsatisfiable *)
+
+val create : unit -> t
+
+val fresh_var : ?name:string -> t -> int
+val var : t -> string -> int
+(** intern by name: repeated calls return the same variable *)
+
+val name_of : t -> int -> string option
+
+val nvars : t -> int
+val nclauses : t -> int
+
+val add_clause : t -> literal list -> unit
+(** duplicates merged; tautologies dropped.
+    @raise Trivial_conflict on the empty clause. *)
+
+val clauses : t -> clause array
+
+val lit_true : assignment -> literal -> bool
+val clause_true : assignment -> clause -> bool
+val satisfies : assignment -> t -> bool
+
+val true_names : t -> assignment -> string list
+
+(** {1 Encoding helpers} *)
+
+val exactly_one : t -> literal list -> unit
+val at_most_one : t -> literal list -> unit
+val implies : t -> literal -> literal -> unit
+
+val pp : Format.formatter -> t -> unit
+(** DIMACS-like rendering *)

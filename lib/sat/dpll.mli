@@ -1,0 +1,11 @@
+(** A small complete SAT solver (DPLL with unit propagation and
+    pure-literal elimination). Cross-checks WalkSAT and the insertion
+    encoding in tests, and decides small instances exactly when WalkSAT
+    gives up. Not meant for large formulas. *)
+
+type result =
+  | Sat of Cnf.assignment
+  | Unsat
+
+val solve : Cnf.t -> result
+val is_satisfiable : Cnf.t -> bool

@@ -1,0 +1,203 @@
+(** The synthetic dataset of Section 5.
+
+    Base relations C(c1…c16), F(f1…f16), H(h1, h2) and the universe
+    CU(c'1…c'16); keys underlined in the paper are c1, f1, (h1, h2) and
+    c'1. The generator guarantees
+
+    - h1 < h2 (acyclicity, as in the paper);
+    - on average [fanout] H-tuples per C key (paper: three);
+    - every h2 joins to a CU tuple (the paper materializes a 100M-tuple
+      universe for this; we generate the closure instead — a documented
+      substitution);
+    - bounded view depth via key bands (levels), so the reachability
+      matrix stays tractable at laptop scale;
+    - a tunable sharing rate (paper: 31.4% of C instances are shared).
+
+    The view is the recursive ATG of Fig. 10(a): db → c*, c → (cid, sub),
+    sub → c*, where the root rule joins C ⋈ F and the recursive rule joins
+    H ⋈ CU ⋈ F — the π_{c1,f1,h1,h2} σ_{…}(C × F × H × CU) query of
+    Section 5. The last column is boolean so that insertion templates
+    exercise the finite-domain SAT path of Algorithm insert. *)
+
+module Value = Rxv_relational.Value
+module Schema = Rxv_relational.Schema
+module Spj = Rxv_relational.Spj
+module Database = Rxv_relational.Database
+module Dtd = Rxv_xml.Dtd
+module Atg = Rxv_atg.Atg
+module Rng = Rxv_sat.Rng
+
+type params = {
+  n : int;  (** |C|; |F| = |C|, |H| ≈ fanout·|C|, as in the paper *)
+  levels : int;  (** number of key bands bounding the view depth *)
+  fanout : int;  (** average H-tuples per non-leaf C key *)
+  growth : float;
+      (** ratio of consecutive band widths. The paper draws h2 from a huge
+          universe, keeping in-degrees near 1 and the hierarchy tree-like
+          (31.4% shared); growth ≈ fanout reproduces that shape at laptop
+          scale, while growth = 1 (uniform bands) gives a dense DAG — the
+          knob the ablation bench sweeps. *)
+  seed : int;
+}
+
+let default_params ?(levels = 6) ?(fanout = 3) ?(growth = 2.3) ?(seed = 7) n =
+  { n; levels; fanout; growth; seed }
+
+let wide_cols prefix ty_last =
+  (* c1..c16 with c1 int key, c2..c15 int, c16 bool *)
+  List.init 16 (fun i ->
+      let name = Printf.sprintf "%s%d" prefix (i + 1) in
+      if i = 15 then Schema.attr name ty_last else Schema.attr name Value.TInt)
+
+let schema =
+  Schema.db
+    [
+      Schema.relation "C" (wide_cols "c" Value.TBool) ~key:[ "c1" ];
+      Schema.relation "F" (wide_cols "f" Value.TBool) ~key:[ "f1" ];
+      Schema.relation "H"
+        [ Schema.attr "h1" Value.TInt; Schema.attr "h2" Value.TInt ]
+        ~key:[ "h1"; "h2" ];
+      Schema.relation "CU" (wide_cols "u" Value.TBool) ~key:[ "u1" ];
+    ]
+
+let dtd =
+  Dtd.make ~root:"db"
+    [
+      ("db", Dtd.Star "c");
+      ("c", Dtd.Seq [ "cid"; "sub" ]);
+      ("cid", Dtd.Pcdata);
+      ("sub", Dtd.Star "c");
+    ]
+
+(* $c = (c1, f1); c1 = f1 always holds through the join. $sub = (c1). *)
+let atg () =
+  let q_db_c =
+    Spj.make ~name:"Qdb_c"
+      ~from:[ ("c", "C"); ("f", "F") ]
+      ~where:
+        [
+          Spj.eq (Spj.col "c" "c1") (Spj.col "f" "f1");
+          Spj.eq (Spj.col "c" "c2") (Spj.col "f" "f2");
+          Spj.eq (Spj.col "c" "c3") (Spj.col "f" "f3");
+          Spj.eq (Spj.col "c" "c4") (Spj.col "f" "f4");
+          (* root marker: band-0 keys carry c5 = 1 *)
+          Spj.eq (Spj.col "c" "c5") (Spj.const (Value.int 1));
+        ]
+      ~select:[ ("c1", Spj.col "c" "c1"); ("f1", Spj.col "f" "f1") ]
+  in
+  let q_sub_c =
+    Spj.make ~name:"Qsub_c"
+      ~from:[ ("h", "H"); ("u", "CU"); ("f", "F") ]
+      ~where:
+        [
+          Spj.eq (Spj.col "h" "h1") (Spj.param 0);
+          Spj.eq (Spj.col "h" "h2") (Spj.col "u" "u1");
+          Spj.eq (Spj.col "u" "u1") (Spj.col "f" "f1");
+          Spj.eq (Spj.col "u" "u2") (Spj.col "f" "f2");
+          Spj.eq (Spj.col "u" "u3") (Spj.col "f" "f3");
+          Spj.eq (Spj.col "u" "u4") (Spj.col "f" "f4");
+          Spj.eq (Spj.col "u" "u16") (Spj.col "f" "f16");
+        ]
+      ~select:[ ("c1", Spj.col "u" "u1"); ("f1", Spj.col "f" "f1") ]
+  in
+  Atg.make ~name:"synthetic" ~schema ~dtd
+    [
+      ("db", Atg.star q_db_c);
+      ( "c",
+        Atg.R_seq
+          [ ("cid", [| Atg.From_parent 0 |]); ("sub", [| Atg.From_parent 0 |]) ]
+      );
+      ("cid", Atg.R_pcdata 0);
+      ("sub", Atg.star q_sub_c);
+    ]
+
+(* A wide row for key k. Filler columns are key-derived so that CU and C
+   rows for the same key agree; the boolean column too. *)
+let wide_row k =
+  Array.init 16 (fun i ->
+      if i = 0 then Value.Int k
+      else if i = 4 then Value.Int (if k land 0xFFFF_0000 = 0 then 1 else 1)
+      else if i = 15 then Value.Bool (k land 1 = 1)
+      else Value.Int ((k * 31) + i))
+
+type dataset = {
+  db : Database.t;
+  params : params;
+  roots : int list;  (** band-0 keys (root c elements) *)
+  h_pairs : (int * int) list;
+}
+
+(** [generate p] builds the base instance. Keys are 0 … n−1, split into
+    [levels] bands whose widths grow by [growth]; every non-final-band key
+    gets [fanout] H children drawn from the next band (duplicates
+    dropped). The expected in-degree is fanout/growth, so growth ≈ fanout
+    reproduces the paper's mostly-tree hierarchy with moderate sharing,
+    while growth = 1 produces heavy sharing and dense reachability. *)
+let generate (p : params) : dataset =
+  let rng = Rng.create p.seed in
+  let db = Database.create schema in
+  let n = max p.levels p.n in
+  (* band start indexes from geometric weights, each band nonempty *)
+  let starts = Array.make (p.levels + 1) 0 in
+  let total_w = ref 0. and w = ref 1.0 in
+  for _ = 1 to p.levels do
+    total_w := !total_w +. !w;
+    w := !w *. p.growth
+  done;
+  let acc = ref 0. and wb = ref 1.0 in
+  for b = 1 to p.levels do
+    acc := !acc +. !wb;
+    wb := !wb *. p.growth;
+    starts.(b) <- int_of_float (float_of_int n *. !acc /. !total_w)
+  done;
+  starts.(p.levels) <- n;
+  (* enforce nonempty, increasing bands *)
+  for b = 1 to p.levels - 1 do
+    if starts.(b) <= starts.(b - 1) then starts.(b) <- starts.(b - 1) + 1;
+    if starts.(b) > n - (p.levels - b) then starts.(b) <- n - (p.levels - b)
+  done;
+  let band_of k =
+    let rec go b = if b >= p.levels - 1 || k < starts.(b + 1) then b else go (b + 1) in
+    go 0
+  in
+  let row_c k =
+    let r = wide_row k in
+    (* c5 marks roots: band-0 keys only *)
+    r.(4) <- Value.Int (if band_of k = 0 then 1 else 0);
+    r
+  in
+  for k = 0 to n - 1 do
+    let r = row_c k in
+    Database.insert db "C" r;
+    Database.insert db "CU" (Array.copy r);
+    let f = Array.copy r in
+    Database.insert db "F" f
+  done;
+  let h_pairs = ref [] in
+  for k = 0 to n - 1 do
+    let b = band_of k in
+    if b < p.levels - 1 then begin
+      let lo = starts.(b + 1) and hi = starts.(b + 2) in
+      let hi = min n hi in
+      if hi > lo then
+        for _ = 1 to p.fanout do
+          let target = lo + Rng.int rng (hi - lo) in
+          if target > k then begin
+            let t = [| Value.Int k; Value.Int target |] in
+            if not (Database.mem_key db "H" [ Value.Int k; Value.Int target ])
+            then begin
+              Database.insert db "H" t;
+              h_pairs := (k, target) :: !h_pairs
+            end
+          end
+        done
+    end
+  done;
+  let roots = List.init (max 1 starts.(1)) (fun i -> i) in
+  { db; params = p; roots; h_pairs = !h_pairs }
+
+(** $c attribute for key [k] (c1 = f1 = k through the join). *)
+let c_attr k = [| Value.Int k; Value.Int k |]
+
+(** A fresh key guaranteed not to collide with generated ones. *)
+let fresh_key (d : dataset) i = (2 * d.params.n) + 1000 + i

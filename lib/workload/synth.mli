@@ -1,0 +1,46 @@
+(** The synthetic dataset of Section 5: base relations C(c1…c16),
+    F(f1…f16), H(h1,h2) and the universe CU(c'1…c'16), with h1 < h2
+    guaranteeing acyclicity, and the recursive ATG of Fig. 10(a) whose
+    rules realize π σ (C × F × H × CU). The last column is boolean so that
+    insertion templates exercise the finite-domain SAT path. The 100M-row
+    universe of the paper is generated as the closure of keys actually
+    joinable from H (documented substitution). *)
+
+module Value = Rxv_relational.Value
+module Schema = Rxv_relational.Schema
+module Database = Rxv_relational.Database
+module Dtd = Rxv_xml.Dtd
+module Atg = Rxv_atg.Atg
+
+type params = {
+  n : int;  (** |C|; |F| = |C|, |H| ≈ fanout·|C|, as in the paper *)
+  levels : int;  (** number of key bands bounding the view depth *)
+  fanout : int;  (** average H-tuples per non-leaf key (paper: 3) *)
+  growth : float;
+      (** ratio of consecutive band widths; growth ≈ fanout reproduces the
+          paper's tree-like hierarchy (≈31% shared instances), growth = 1
+          gives a dense DAG — an ablation knob *)
+  seed : int;
+}
+
+val default_params :
+  ?levels:int -> ?fanout:int -> ?growth:float -> ?seed:int -> int -> params
+
+val schema : Schema.db
+val dtd : Dtd.t
+val atg : unit -> Atg.t
+
+type dataset = {
+  db : Database.t;
+  params : params;
+  roots : int list;  (** band-0 keys (root c elements) *)
+  h_pairs : (int * int) list;
+}
+
+val generate : params -> dataset
+
+val c_attr : int -> Rxv_relational.Tuple.t
+(** the $c attribute for key k (c1 = f1 = k through the join) *)
+
+val fresh_key : dataset -> int -> int
+(** a key guaranteed not to collide with generated ones *)

@@ -1,0 +1,214 @@
+(** Document type definitions, in the normalized shape of Section 2.2.
+
+    A DTD is a triple (E, P, r): a finite set of element types E, a root
+    type r, and one production per type. Productions take the normal forms
+
+    {v α ::= pcdata | ε | B1, …, Bn | B1 + … + Bn | B* v}
+
+    The paper notes (footnote ①) that an arbitrary DTD normalizes into this
+    shape in linear time, so we work in it directly. A DTD is recursive
+    when some type is defined, directly or transitively, in terms of
+    itself — the interesting case throughout the paper. *)
+
+type content =
+  | Pcdata
+  | Empty
+  | Seq of string list  (** B1, …, Bn — exactly one child of each type *)
+  | Alt of string list  (** B1 + … + Bn — exactly one child, of one type *)
+  | Star of string  (** B* — zero or more children of type B *)
+
+type t = {
+  root : string;
+  productions : (string, content) Hashtbl.t;
+}
+
+exception Dtd_error of string
+
+let dtd_error fmt = Fmt.kstr (fun s -> raise (Dtd_error s)) fmt
+
+let child_types = function
+  | Pcdata | Empty -> []
+  | Seq bs | Alt bs -> bs
+  | Star b -> [ b ]
+
+(** [make ~root productions] checks that every referenced type is defined
+    and that [root] is. *)
+let make ~root productions =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun (a, content) ->
+      if Hashtbl.mem tbl a then dtd_error "duplicate production for %s" a;
+      Hashtbl.replace tbl a content)
+    productions;
+  if not (Hashtbl.mem tbl root) then dtd_error "root type %s undefined" root;
+  List.iter
+    (fun (a, content) ->
+      List.iter
+        (fun b ->
+          if not (Hashtbl.mem tbl b) then
+            dtd_error "production of %s references undefined type %s" a b)
+        (child_types content))
+    productions;
+  { root; productions = tbl }
+
+let production d a =
+  match Hashtbl.find_opt d.productions a with
+  | Some c -> c
+  | None -> dtd_error "no production for element type %s" a
+
+let mem d a = Hashtbl.mem d.productions a
+
+let types d = Hashtbl.fold (fun a _ acc -> a :: acc) d.productions []
+
+let size d =
+  Hashtbl.fold
+    (fun _ c acc -> acc + 1 + List.length (child_types c))
+    d.productions 0
+
+(** [is_recursive d] holds when some type reaches itself through the
+    child-type graph — the views the paper targets (Section 1). *)
+let is_recursive d =
+  (* DFS with colors over the child-type graph, looking for a back edge. *)
+  let color = Hashtbl.create 16 in
+  let rec visit a =
+    match Hashtbl.find_opt color a with
+    | Some `Done -> false
+    | Some `Active -> true
+    | None ->
+        Hashtbl.replace color a `Active;
+        let cyc = List.exists visit (child_types (production d a)) in
+        Hashtbl.replace color a `Done;
+        cyc
+  in
+  List.exists visit (types d)
+
+(** Types reachable from the root; unreachable productions are legal but
+    never published. *)
+let reachable d =
+  let seen = Hashtbl.create 16 in
+  let rec visit a =
+    if not (Hashtbl.mem seen a) then begin
+      Hashtbl.replace seen a ();
+      List.iter visit (child_types (production d a))
+    end
+  in
+  visit d.root;
+  seen
+
+(** [validate_children d a labels] checks that an [a]-element with children
+    labelled [labels] (in order) conforms to [a]'s production. Pcdata
+    elements have no element children. *)
+let validate_children d a labels =
+  match production d a with
+  | Pcdata | Empty -> labels = []
+  | Seq bs -> labels = bs
+  | Alt bs -> ( match labels with [ b ] -> List.mem b bs | _ -> false)
+  | Star b -> List.for_all (String.equal b) labels
+
+let pp_content ppf = function
+  | Pcdata -> Fmt.string ppf "#PCDATA"
+  | Empty -> Fmt.string ppf "EMPTY"
+  | Seq bs -> Fmt.(list ~sep:(any ", ") string) ppf bs
+  | Alt bs -> Fmt.(list ~sep:(any " | ") string) ppf bs
+  | Star b -> Fmt.pf ppf "%s*" b
+
+let pp ppf d =
+  let entries =
+    List.sort compare
+      (Hashtbl.fold (fun a c acc -> (a, c) :: acc) d.productions [])
+  in
+  Fmt.pf ppf "@[<v>";
+  List.iter
+    (fun (a, c) -> Fmt.pf ppf "<!ELEMENT %s (%a)>@," a pp_content c)
+    entries;
+  Fmt.pf ppf "@]"
+
+(** {2 Normalization (paper footnote ①)}
+
+    Arbitrary regular-expression content models normalize into the
+    five-form shape by introducing auxiliary element types, in linear
+    time. Identical sub-expressions share one auxiliary type
+    (hash-consing), and auxiliary names are deterministic
+    ([_norm_<parent>_<k>] with structural sharing), so normalization is
+    reproducible. *)
+
+type regex =
+  | R_pcdata
+  | R_empty
+  | R_type of string
+  | R_seq of regex list
+  | R_alt of regex list
+  | R_star of regex
+  | R_plus of regex
+  | R_opt of regex
+
+let rec pp_regex ppf = function
+  | R_pcdata -> Fmt.string ppf "#PCDATA"
+  | R_empty -> Fmt.string ppf "EMPTY"
+  | R_type a -> Fmt.string ppf a
+  | R_seq rs -> Fmt.pf ppf "(%a)" Fmt.(list ~sep:(any ", ") pp_regex) rs
+  | R_alt rs -> Fmt.pf ppf "(%a)" Fmt.(list ~sep:(any " | ") pp_regex) rs
+  | R_star r -> Fmt.pf ppf "%a*" pp_regex r
+  | R_plus r -> Fmt.pf ppf "%a+" pp_regex r
+  | R_opt r -> Fmt.pf ppf "%a?" pp_regex r
+
+(** [normalize ~root productions] compiles general content models into a
+    normal-form DTD. New auxiliary types carry a [_norm_] prefix; a
+    declared type may not use that prefix.
+    @raise Dtd_error on clashes or undefined references. *)
+let normalize ~root (productions : (string * regex) list) : t =
+  List.iter
+    (fun (a, _) ->
+      if String.length a >= 6 && String.sub a 0 6 = "_norm_" then
+        dtd_error "type %s: the _norm_ prefix is reserved" a)
+    productions;
+  let declared = Hashtbl.create 16 in
+  List.iter (fun (a, _) -> Hashtbl.replace declared a ()) productions;
+  let out : (string * content) list ref = ref [] in
+  let memo : (regex, string) Hashtbl.t = Hashtbl.create 16 in
+  let counter = ref 0 in
+  let emit name content = out := (name, content) :: !out in
+  (* [atom r] yields a type name whose language is r *)
+  let rec atom (r : regex) : string =
+    match r with
+    | R_type b ->
+        if not (Hashtbl.mem declared b) then
+          dtd_error "normalize: reference to undefined type %s" b;
+        b
+    | _ -> (
+        match Hashtbl.find_opt memo r with
+        | Some name -> name
+        | None ->
+            incr counter;
+            let name = Printf.sprintf "_norm_%d" !counter in
+            Hashtbl.replace memo r name;
+            emit name (compile r);
+            name)
+  (* [compile r] is r as a single normal-form production body *)
+  and compile (r : regex) : content =
+    match r with
+    | R_pcdata -> Pcdata
+    | R_empty -> Empty
+    | R_type b -> Seq [ atom (R_type b) ]
+    | R_seq rs -> Seq (List.map atom rs)
+    | R_alt rs -> Alt (List.map atom rs)
+    | R_star r -> Star (atom r)
+    | R_plus r ->
+        (* r+ ≡ r, r* *)
+        let b = atom r in
+        Seq [ b; atom (R_star (R_type b)) ]
+    | R_opt r ->
+        (* r? ≡ r + ε *)
+        Alt [ atom r; atom R_empty ]
+  in
+  List.iter (fun (a, r) -> emit a (compile r)) productions;
+  make ~root (List.rev !out)
+
+(** Is every production already in the five normal forms? (Normalization
+    output always satisfies this.) *)
+let is_normal_form (d : t) =
+  Hashtbl.fold
+    (fun _ c acc ->
+      acc
+      && match c with Pcdata | Empty | Seq _ | Alt _ | Star _ -> true)
+    d.productions true

@@ -1,0 +1,70 @@
+(** Document type definitions in the normalized shape of Section 2.2:
+    a DTD is (E, P, r) with one production per element type, of the form
+    pcdata | ε | B1,…,Bn | B1+…+Bn | B*. Arbitrary DTDs normalize into
+    this shape in linear time (paper, footnote ①). *)
+
+type content =
+  | Pcdata
+  | Empty
+  | Seq of string list  (** exactly one child of each listed type *)
+  | Alt of string list  (** exactly one child, of one of the types *)
+  | Star of string  (** zero or more children of one type *)
+
+type t = {
+  root : string;
+  productions : (string, content) Hashtbl.t;
+}
+
+exception Dtd_error of string
+
+val make : root:string -> (string * content) list -> t
+(** @raise Dtd_error on duplicate productions, an undefined root, or a
+    reference to an undefined type. *)
+
+val production : t -> string -> content
+(** @raise Dtd_error for unknown types. *)
+
+val mem : t -> string -> bool
+val types : t -> string list
+val child_types : content -> string list
+
+val size : t -> int
+(** |D|: productions plus child references — the measure in the paper's
+    O(|p|·|D|²) validation bound *)
+
+val is_recursive : t -> bool
+(** some type reaches itself through the child-type graph — the views the
+    paper targets *)
+
+val reachable : t -> (string, unit) Hashtbl.t
+(** types reachable from the root *)
+
+val validate_children : t -> string -> string list -> bool
+(** [validate_children d a labels]: may an [a]-element have children
+    labelled [labels], in order? *)
+
+val pp_content : Format.formatter -> content -> unit
+val pp : Format.formatter -> t -> unit
+
+(** {2 Normalization (paper footnote ①)}
+
+    Arbitrary regular-expression content models compile into the
+    five-form shape by introducing auxiliary [_norm_*] element types, in
+    linear time; identical sub-expressions share one auxiliary type. *)
+
+type regex =
+  | R_pcdata
+  | R_empty
+  | R_type of string
+  | R_seq of regex list
+  | R_alt of regex list
+  | R_star of regex
+  | R_plus of regex  (** r+ ≡ r, r* *)
+  | R_opt of regex  (** r? ≡ r + ε *)
+
+val pp_regex : Format.formatter -> regex -> unit
+
+val normalize : root:string -> (string * regex) list -> t
+(** @raise Dtd_error on reserved-prefix clashes or undefined types. *)
+
+val is_normal_form : t -> bool

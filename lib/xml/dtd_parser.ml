@@ -1,0 +1,195 @@
+(** Parser for DTD element declarations, feeding the normalizer — so real
+    DTDs drive views directly:
+
+    {v
+    <!ELEMENT db (course+)   >   -- or a starred group
+    <!ELEMENT course (cno, title, prereq, takenBy)>
+    <!ELEMENT cno (#PCDATA)>
+    v}
+
+    Supported content models: [EMPTY], [(#PCDATA)], and full regular
+    expressions over element names with [,] (sequence), [|] (alternation)
+    and the [* + ?] postfix operators. [ANY], attributes and entity
+    declarations are not part of the published-view model; [<!ATTLIST …>]
+    and comments are skipped. The result is normalized into the five-form
+    shape of Section 2.2 (see {!Dtd.normalize}). *)
+
+exception Dtd_parse_error of string * int  (** message, input offset *)
+
+let err fmt pos = Fmt.kstr (fun s -> raise (Dtd_parse_error (s, pos))) fmt
+
+type state = { src : string; mutable pos : int }
+
+let peek st =
+  if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+let is_space = function ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+
+let skip_spaces st =
+  while st.pos < String.length st.src && is_space st.src.[st.pos] do
+    st.pos <- st.pos + 1
+  done
+
+let literal st s =
+  let n = String.length s in
+  st.pos + n <= String.length st.src && String.sub st.src st.pos n = s
+
+let skip_literal st s =
+  if literal st s then begin
+    st.pos <- st.pos + String.length s;
+    true
+  end
+  else false
+
+let is_name_char c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9')
+  || c = '_' || c = '-' || c = '.' || c = ':'
+
+let read_name st =
+  let start = st.pos in
+  while st.pos < String.length st.src && is_name_char st.src.[st.pos] do
+    st.pos <- st.pos + 1
+  done;
+  if st.pos = start then err "expected a name" st.pos;
+  String.sub st.src start (st.pos - start)
+
+let expect st c =
+  skip_spaces st;
+  match peek st with
+  | Some c' when c' = c -> st.pos <- st.pos + 1
+  | _ -> err "expected '%c'" st.pos c
+
+(* postfix * + ? *)
+let postfix st (r : Dtd.regex) : Dtd.regex =
+  match peek st with
+  | Some '*' ->
+      st.pos <- st.pos + 1;
+      Dtd.R_star r
+  | Some '+' ->
+      st.pos <- st.pos + 1;
+      Dtd.R_plus r
+  | Some '?' ->
+      st.pos <- st.pos + 1;
+      Dtd.R_opt r
+  | _ -> r
+
+let rec parse_cp st : Dtd.regex =
+  skip_spaces st;
+  match peek st with
+  | Some '(' ->
+      st.pos <- st.pos + 1;
+      let inner = parse_cps st in
+      expect st ')';
+      postfix st inner
+  | Some c when is_name_char c -> postfix st (Dtd.R_type (read_name st))
+  | _ -> err "expected a content particle" st.pos
+
+and parse_cps st : Dtd.regex =
+  let first = parse_cp st in
+  skip_spaces st;
+  match peek st with
+  | Some ',' ->
+      let items = ref [ first ] in
+      while
+        skip_spaces st;
+        peek st = Some ','
+      do
+        st.pos <- st.pos + 1;
+        items := parse_cp st :: !items
+      done;
+      Dtd.R_seq (List.rev !items)
+  | Some '|' ->
+      let items = ref [ first ] in
+      while
+        skip_spaces st;
+        peek st = Some '|'
+      do
+        st.pos <- st.pos + 1;
+        items := parse_cp st :: !items
+      done;
+      Dtd.R_alt (List.rev !items)
+  | _ -> first
+
+let parse_content st : Dtd.regex =
+  skip_spaces st;
+  if skip_literal st "EMPTY" then Dtd.R_empty
+  else if literal st "(" then begin
+    (* peek inside for #PCDATA *)
+    let save = st.pos in
+    st.pos <- st.pos + 1;
+    skip_spaces st;
+    if skip_literal st "#PCDATA" then begin
+      expect st ')';
+      (* trailing * on mixed declarations: (#PCDATA)* ≡ pcdata here *)
+      ignore (skip_literal st "*");
+      Dtd.R_pcdata
+    end
+    else begin
+      st.pos <- save;
+      parse_cp st
+    end
+  end
+  else if literal st "ANY" then
+    err "ANY content is outside the published-view model" st.pos
+  else parse_cp st
+
+let skip_misc st =
+  let progressed = ref true in
+  while !progressed do
+    progressed := false;
+    skip_spaces st;
+    if skip_literal st "<!--" then begin
+      let rec find () =
+        if st.pos + 3 > String.length st.src then
+          err "unterminated comment" st.pos
+        else if literal st "-->" then st.pos <- st.pos + 3
+        else begin
+          st.pos <- st.pos + 1;
+          find ()
+        end
+      in
+      find ();
+      progressed := true
+    end
+    else if literal st "<!ATTLIST" || literal st "<!ENTITY" || literal st "<?"
+    then begin
+      (match String.index_from_opt st.src st.pos '>' with
+      | Some i -> st.pos <- i + 1
+      | None -> err "unterminated declaration" st.pos);
+      progressed := true
+    end
+  done
+
+(** [parse ?root s] parses element declarations and returns the normalized
+    DTD. [root] defaults to the first declared element.
+    @raise Dtd_parse_error on malformed input;
+    @raise Dtd.Dtd_error on semantic errors (undefined types etc.). *)
+let parse ?root (s : string) : Dtd.t =
+  let st = { src = s; pos = 0 } in
+  let decls = ref [] in
+  skip_misc st;
+  while st.pos < String.length s do
+    if skip_literal st "<!ELEMENT" then begin
+      skip_spaces st;
+      let name = read_name st in
+      let content = parse_content st in
+      expect st '>';
+      decls := (name, content) :: !decls;
+      skip_misc st
+    end
+    else err "expected <!ELEMENT" st.pos
+  done;
+  let decls = List.rev !decls in
+  match decls with
+  | [] -> err "no element declarations" 0
+  | (first, _) :: _ ->
+      let root = Option.value ~default:first root in
+      Dtd.normalize ~root decls
+
+let parse_file ?root path : Dtd.t =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> parse ?root (really_input_string ic (in_channel_length ic)))

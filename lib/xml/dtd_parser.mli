@@ -1,0 +1,15 @@
+(** Parser for DTD element declarations ([<!ELEMENT name content>]),
+    feeding {!Dtd.normalize} so real DTD files drive views directly.
+    Content models: [EMPTY], [(#PCDATA)] (optionally starred), and regular
+    expressions over element names with [,], [|] and postfix [* + ?].
+    [ANY] is rejected; [<!ATTLIST>], [<!ENTITY>], PIs and comments are
+    skipped. *)
+
+exception Dtd_parse_error of string * int  (** message, input offset *)
+
+val parse : ?root:string -> string -> Dtd.t
+(** [root] defaults to the first declared element.
+    @raise Dtd_parse_error on malformed input;
+    @raise Dtd.Dtd_error on semantic errors. *)
+
+val parse_file : ?root:string -> string -> Dtd.t

@@ -1,0 +1,93 @@
+(** XML documents as ordered labelled trees.
+
+    Trees are the *semantics* of views: the engine operates on the DAG
+    compression, but correctness is stated against the uncompressed tree
+    (ΔX(T) = σ(ΔR(I))), so the test oracles and the examples materialize
+    trees. Elements with pcdata content carry their text directly. *)
+
+type t = {
+  label : string;
+  text : string option;  (** [Some s] iff the element has pcdata content *)
+  children : t list;
+  uid : int;
+      (** identity annotation: the DAG node id when the tree was
+          materialized from a compressed view, [-1] otherwise. Ignored by
+          {!equal}; used by test oracles to compare evaluator results. *)
+}
+
+let element ?text ?(uid = -1) label children = { label; text; children; uid }
+let pcdata ?(uid = -1) label s = { label; text = Some s; children = []; uid }
+
+let rec equal a b =
+  String.equal a.label b.label
+  && Option.equal String.equal a.text b.text
+  && List.equal equal a.children b.children
+
+(** Canonical form: children sorted recursively. The edge relations of
+    Section 2.3 have set semantics, so sibling order in a published view
+    is implementation-defined; view equality (ΔX(T) = σ(ΔR(I))) is
+    therefore compared canonically. *)
+let rec canonicalize t =
+  let children = List.map canonicalize t.children in
+  let key c = (c.label, c.text, List.length c.children, c.children) in
+  {
+    t with
+    uid = -1;  (* identity must not influence canonical order *)
+    children = List.sort (fun a b -> compare (key a) (key b)) children;
+  }
+
+(** Equality up to sibling reordering. *)
+let equal_canonical a b = equal (canonicalize a) (canonicalize b)
+
+(** Number of element nodes. *)
+let rec size t = 1 + List.fold_left (fun n c -> n + size c) 0 t.children
+
+let rec depth t =
+  1 + List.fold_left (fun d c -> max d (depth c)) 0 t.children
+
+(** XPath-style string value: concatenation of all pcdata in document
+    order. *)
+let text_content t =
+  let buf = Buffer.create 16 in
+  let rec go t =
+    (match t.text with Some s -> Buffer.add_string buf s | None -> ());
+    List.iter go t.children
+  in
+  go t;
+  Buffer.contents buf
+
+(** [conforms dtd t] checks [t] against [dtd] (labels, child sequences, and
+    that pcdata appears exactly at pcdata-typed elements). *)
+let conforms (d : Dtd.t) t =
+  let rec go t =
+    Dtd.mem d t.label
+    && Dtd.validate_children d t.label (List.map (fun c -> c.label) t.children)
+    && (match (Dtd.production d t.label, t.text) with
+       | Dtd.Pcdata, Some _ -> true
+       | Dtd.Pcdata, None -> false
+       | _, Some _ -> false
+       | _, None -> true)
+    && List.for_all go t.children
+  in
+  t.label = d.root && go t
+
+let rec pp ppf t =
+  match (t.text, t.children) with
+  | Some s, [] -> Fmt.pf ppf "<%s>%s</%s>" t.label s t.label
+  | _, [] -> Fmt.pf ppf "<%s/>" t.label
+  | _, children ->
+      Fmt.pf ppf "@[<v2><%s>@,%a@]@,</%s>" t.label
+        (Fmt.list ~sep:Fmt.cut pp)
+        children t.label
+
+let to_string t = Fmt.str "%a" pp t
+
+(** Compact single-line rendering used in example output. *)
+let rec to_compact_string t =
+  match (t.text, t.children) with
+  | Some s, [] -> Printf.sprintf "<%s>%s</%s>" t.label s t.label
+  | _, [] -> Printf.sprintf "<%s/>" t.label
+  | _, children ->
+      Printf.sprintf "<%s>%s</%s>" t.label
+        (String.concat "" (List.map to_compact_string children))
+        t.label

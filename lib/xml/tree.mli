@@ -1,0 +1,42 @@
+(** XML documents as ordered labelled trees — the *semantics* of views.
+    The engine operates on the DAG compression; correctness statements
+    (ΔX(T) = σ(ΔR(I))) quantify over the materialized trees, so test
+    oracles and examples work here. *)
+
+type t = {
+  label : string;
+  text : string option;  (** [Some s] iff the element has pcdata content *)
+  children : t list;
+  uid : int;
+      (** identity annotation: the DAG node id when materialized from a
+          compressed view, [-1] otherwise; ignored by {!equal} *)
+}
+
+val element : ?text:string -> ?uid:int -> string -> t list -> t
+val pcdata : ?uid:int -> string -> string -> t
+
+val equal : t -> t -> bool
+(** structural equality, including child order, ignoring uids *)
+
+val canonicalize : t -> t
+(** children sorted recursively; uids erased. The edge relations of
+    Section 2.3 have set semantics, so sibling order in a published view
+    is implementation-defined and view equality is compared canonically. *)
+
+val equal_canonical : t -> t -> bool
+(** equality up to sibling reordering *)
+
+val size : t -> int
+(** number of element nodes *)
+
+val depth : t -> int
+
+val text_content : t -> string
+(** XPath string value: concatenation of all pcdata in document order *)
+
+val conforms : Dtd.t -> t -> bool
+(** root label, child sequences and pcdata placement against the DTD *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+val to_compact_string : t -> string

@@ -1,0 +1,283 @@
+(** XML serialization and parsing for {!Tree}.
+
+    A deliberately small XML subset — exactly what published views need:
+    elements, text content, the five predefined entities, and UTF-8 passed
+    through opaquely. No attributes (the data model of Section 2.2 carries
+    data in pcdata elements), no namespaces, comments and processing
+    instructions skipped, CDATA supported on input.
+
+    The parser is a strict single-pass recursive-descent scanner; input
+    that mixes text and element children (which no ATG can publish) is
+    rejected rather than silently mangled. *)
+
+exception Xml_error of string * int  (** message, input offset *)
+
+let err fmt pos = Fmt.kstr (fun s -> raise (Xml_error (s, pos))) fmt
+
+(* ---------- escaping ---------- *)
+
+let escape_text s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '&' -> Buffer.add_string buf "&amp;"
+      | '<' -> Buffer.add_string buf "&lt;"
+      | '>' -> Buffer.add_string buf "&gt;"
+      | '"' -> Buffer.add_string buf "&quot;"
+      | '\'' -> Buffer.add_string buf "&apos;"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(* ---------- serialization ---------- *)
+
+let rec write_node buf ~indent ~level (t : Tree.t) =
+  let pad () =
+    if indent then begin
+      if level > 0 || Buffer.length buf > 0 then Buffer.add_char buf '\n';
+      for _ = 1 to level do
+        Buffer.add_string buf "  "
+      done
+    end
+  in
+  pad ();
+  match (t.Tree.text, t.Tree.children) with
+  | Some s, [] ->
+      Buffer.add_string buf
+        (Printf.sprintf "<%s>%s</%s>" t.Tree.label (escape_text s) t.Tree.label)
+  | _, [] -> Buffer.add_string buf (Printf.sprintf "<%s/>" t.Tree.label)
+  | _, children ->
+      Buffer.add_string buf (Printf.sprintf "<%s>" t.Tree.label);
+      List.iter (write_node buf ~indent ~level:(level + 1)) children;
+      if indent then begin
+        Buffer.add_char buf '\n';
+        for _ = 1 to level do
+          Buffer.add_string buf "  "
+        done
+      end;
+      Buffer.add_string buf (Printf.sprintf "</%s>" t.Tree.label)
+
+(** [to_string ?indent t] serializes [t]; [indent] (default true) pretty-
+    prints with two-space indentation. *)
+let to_string ?(indent = true) (t : Tree.t) : string =
+  let buf = Buffer.create 1024 in
+  write_node buf ~indent ~level:0 t;
+  Buffer.contents buf
+
+let to_channel ?indent oc t = output_string oc (to_string ?indent t)
+
+let to_file ?indent path t =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n";
+      to_channel ?indent oc t;
+      output_char oc '\n')
+
+(* ---------- parsing ---------- *)
+
+type state = { src : string; mutable pos : int }
+
+let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+let is_space = function ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+
+let skip_spaces st =
+  while st.pos < String.length st.src && is_space st.src.[st.pos] do
+    st.pos <- st.pos + 1
+  done
+
+let is_name_char c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9')
+  || c = '_' || c = '-' || c = '.' || c = ':'
+
+let read_name st =
+  let start = st.pos in
+  while st.pos < String.length st.src && is_name_char st.src.[st.pos] do
+    st.pos <- st.pos + 1
+  done;
+  if st.pos = start then err "expected a name" st.pos;
+  String.sub st.src start (st.pos - start)
+
+let expect st c =
+  match peek st with
+  | Some c' when c' = c -> st.pos <- st.pos + 1
+  | _ -> err "expected '%c'" st.pos c
+
+let literal st s =
+  let n = String.length s in
+  st.pos + n <= String.length st.src && String.sub st.src st.pos n = s
+
+let skip_literal st s =
+  if literal st s then begin
+    st.pos <- st.pos + String.length s;
+    true
+  end
+  else false
+
+let rec skip_misc st =
+  skip_spaces st;
+  if skip_literal st "<!--" then begin
+    let rec find () =
+      match String.index_from_opt st.src st.pos '-' with
+      | Some i when literal { st with pos = i } "-->" -> st.pos <- i + 3
+      | Some i ->
+          st.pos <- i + 1;
+          find ()
+      | None -> err "unterminated comment" st.pos
+    in
+    find ();
+    skip_misc st
+  end
+  else if skip_literal st "<?" then begin
+    (match String.index_from_opt st.src st.pos '>' with
+    | Some i -> st.pos <- i + 1
+    | None -> err "unterminated processing instruction" st.pos);
+    skip_misc st
+  end
+  else if skip_literal st "<!DOCTYPE" then begin
+    (match String.index_from_opt st.src st.pos '>' with
+    | Some i -> st.pos <- i + 1
+    | None -> err "unterminated doctype" st.pos);
+    skip_misc st
+  end
+
+let decode_entity st =
+  (* positioned after '&' *)
+  let start = st.pos in
+  match String.index_from_opt st.src st.pos ';' with
+  | None -> err "unterminated entity" start
+  | Some semi ->
+      let name = String.sub st.src st.pos (semi - st.pos) in
+      st.pos <- semi + 1;
+      (match name with
+      | "amp" -> "&"
+      | "lt" -> "<"
+      | "gt" -> ">"
+      | "quot" -> "\""
+      | "apos" -> "'"
+      | _ ->
+          if String.length name > 1 && name.[0] = '#' then begin
+            let code =
+              try
+                if name.[1] = 'x' || name.[1] = 'X' then
+                  int_of_string ("0x" ^ String.sub name 2 (String.length name - 2))
+                else int_of_string (String.sub name 1 (String.length name - 1))
+              with _ -> err "bad character reference &%s;" start name
+            in
+            if code < 0x80 then String.make 1 (Char.chr code)
+            else begin
+              (* encode as UTF-8 *)
+              let b = Buffer.create 4 in
+              if code < 0x800 then begin
+                Buffer.add_char b (Char.chr (0xC0 lor (code lsr 6)));
+                Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
+              end
+              else if code < 0x10000 then begin
+                Buffer.add_char b (Char.chr (0xE0 lor (code lsr 12)));
+                Buffer.add_char b (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+                Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
+              end
+              else begin
+                Buffer.add_char b (Char.chr (0xF0 lor (code lsr 18)));
+                Buffer.add_char b (Char.chr (0x80 lor ((code lsr 12) land 0x3F)));
+                Buffer.add_char b (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+                Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
+              end;
+              Buffer.contents b
+            end
+          end
+          else err "unknown entity &%s;" start name)
+
+(* text run until '<'; returns None if only whitespace *)
+let read_text st : string option =
+  let buf = Buffer.create 16 in
+  let significant = ref false in
+  let continue = ref true in
+  while !continue do
+    match peek st with
+    | None | Some '<' -> continue := false
+    | Some '&' ->
+        st.pos <- st.pos + 1;
+        Buffer.add_string buf (decode_entity st);
+        significant := true
+    | Some c ->
+        st.pos <- st.pos + 1;
+        Buffer.add_char buf c;
+        if not (is_space c) then significant := true
+  done;
+  if !significant then Some (Buffer.contents buf) else None
+
+let read_cdata st : string option =
+  if skip_literal st "<![CDATA[" then begin
+    let rec find i =
+      if i + 3 > String.length st.src then err "unterminated CDATA" st.pos
+      else if String.sub st.src i 3 = "]]>" then i
+      else find (i + 1)
+    in
+    let stop = find st.pos in
+    let s = String.sub st.src st.pos (stop - st.pos) in
+    st.pos <- stop + 3;
+    Some s
+  end
+  else None
+
+let rec parse_element st : Tree.t =
+  expect st '<';
+  let name = read_name st in
+  skip_spaces st;
+  if skip_literal st "/>" then Tree.element name []
+  else begin
+    expect st '>';
+    let text_parts = ref [] in
+    let children = ref [] in
+    let closed = ref false in
+    while not !closed do
+      (match read_text st with
+      | Some s -> text_parts := s :: !text_parts
+      | None -> ());
+      match read_cdata st with
+      | Some s -> text_parts := s :: !text_parts
+      | None -> (
+          if literal st "</" then begin
+            st.pos <- st.pos + 2;
+            let cname = read_name st in
+            skip_spaces st;
+            expect st '>';
+            if cname <> name then
+              err "mismatched closing tag </%s> for <%s>" st.pos cname name;
+            closed := true
+          end
+          else if literal st "<!--" || literal st "<?" then skip_misc st
+          else if peek st = Some '<' then
+            children := parse_element st :: !children
+          else err "unexpected end of input inside <%s>" st.pos name)
+    done;
+    let children = List.rev !children in
+    match (List.rev !text_parts, children) with
+    | [], _ -> Tree.element name children
+    | texts, [] -> Tree.pcdata name (String.concat "" texts)
+    | _, _ :: _ ->
+        err "mixed content in <%s> is outside the published-view model"
+          st.pos name
+  end
+
+(** [of_string s] parses one XML document.
+    @raise Xml_error on malformed input or mixed content. *)
+let of_string (s : string) : Tree.t =
+  let st = { src = s; pos = 0 } in
+  skip_misc st;
+  let t = parse_element st in
+  skip_misc st;
+  if st.pos <> String.length s then err "trailing content" st.pos;
+  t
+
+let of_file path : Tree.t =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> of_string (really_input_string ic (in_channel_length ic)))

@@ -1,0 +1,22 @@
+(** XML serialization and parsing for {!Tree} — the subset published views
+    inhabit: elements and pcdata leaves, predefined entities and character
+    references, CDATA on input, comments/PIs/doctype skipped. No
+    attributes or mixed content (the data model of Section 2.2 carries all
+    data in pcdata elements); mixed content is rejected on input. *)
+
+exception Xml_error of string * int  (** message, input offset *)
+
+val escape_text : string -> string
+
+val to_string : ?indent:bool -> Tree.t -> string
+(** serialize; [indent] (default true) pretty-prints *)
+
+val to_channel : ?indent:bool -> out_channel -> Tree.t -> unit
+
+val to_file : ?indent:bool -> string -> Tree.t -> unit
+(** with an XML declaration *)
+
+val of_string : string -> Tree.t
+(** parse one document. @raise Xml_error on malformed input. *)
+
+val of_file : string -> Tree.t

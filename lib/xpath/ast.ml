@@ -1,0 +1,76 @@
+(** Abstract syntax of the XPath fragment of Section 2.1:
+
+    {v
+    p ::= ε | A | * | // | p/p | p[q]
+    q ::= p | p = "s" | label() = A | q ∧ q | q ∨ q | ¬q
+    v}
+
+    where ε is the self axis, A a label, * the wildcard, "/" the child axis
+    and "//" stands for /descendant-or-self::node()/. *)
+
+type path =
+  | Self  (** ε *)
+  | Label of string  (** child step to elements labelled A *)
+  | Wildcard  (** child step to any element *)
+  | Desc_or_self  (** // *)
+  | Seq of path * path  (** p1/p2 *)
+  | Where of path * filter  (** p[q] *)
+
+and filter =
+  | Exists of path  (** p: some node is reachable via p *)
+  | Eq of path * string  (** p = "s": a node reached via p has text s *)
+  | Label_is of string  (** label() = A *)
+  | And of filter * filter
+  | Or of filter * filter
+  | Not of filter
+
+(** Structural size, used by complexity-shaped tests (|p|). *)
+let rec path_size = function
+  | Self | Label _ | Wildcard | Desc_or_self -> 1
+  | Seq (a, b) -> path_size a + path_size b
+  | Where (p, q) -> path_size p + filter_size q
+
+and filter_size = function
+  | Exists p -> path_size p
+  | Eq (p, _) -> path_size p + 1
+  | Label_is _ -> 1
+  | And (a, b) | Or (a, b) -> 1 + filter_size a + filter_size b
+  | Not q -> 1 + filter_size q
+
+(* The printer emits re-parseable concrete syntax: a bare descendant-or-
+   self axis prints as ".//." (same normal form), and a filter appended to
+   a sequence binds to its last step, which matches how the parser
+   attaches per-step filters. *)
+let rec is_simple_step = function
+  | Label _ | Wildcard | Self -> true
+  | Where (p, _) -> is_simple_step p
+  | Seq _ | Desc_or_self -> false
+
+let rec pp_path ppf = function
+  | Self -> Fmt.string ppf "."
+  | Label a -> Fmt.string ppf a
+  | Wildcard -> Fmt.string ppf "*"
+  | Desc_or_self -> Fmt.string ppf ".//."
+  | Seq (Desc_or_self, b) when is_simple_step b -> Fmt.pf ppf "//%a" pp_path b
+  | Seq (a, Seq (Desc_or_self, b)) when is_simple_step b ->
+      Fmt.pf ppf "%a//%a" pp_path a pp_path b
+  | Seq (a, Desc_or_self) -> Fmt.pf ppf "%a//." pp_path a
+  | Seq (a, b) -> Fmt.pf ppf "%a/%a" pp_path a pp_path b
+  | Where (p, q) -> Fmt.pf ppf "%a[%a]" pp_path p pp_filter q
+
+and pp_filter ppf = function
+  | Exists p -> pp_path ppf p
+  | Eq (p, s) -> Fmt.pf ppf "%a=%S" pp_path p s
+  | Label_is a -> Fmt.pf ppf "label()=%s" a
+  | And (a, b) -> Fmt.pf ppf "(%a and %a)" pp_filter a pp_filter b
+  | Or (a, b) -> Fmt.pf ppf "(%a or %a)" pp_filter a pp_filter b
+  | Not q -> Fmt.pf ppf "not(%a)" pp_filter q
+
+let to_string p = Fmt.str "%a" pp_path p
+
+(** Smart constructors used by tests and generators. *)
+let ( / ) a b = Seq (a, b)
+
+let label a = Label a
+let where p q = Where (p, q)
+let desc = Desc_or_self

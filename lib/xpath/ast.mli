@@ -1,0 +1,38 @@
+(** Abstract syntax of the XPath fragment of Section 2.1:
+
+    {v
+    p ::= ε | A | * | // | p/p | p[q]
+    q ::= p | p = "s" | label() = A | q ∧ q | q ∨ q | ¬q
+    v} *)
+
+type path =
+  | Self  (** ε *)
+  | Label of string  (** child step to elements labelled A *)
+  | Wildcard  (** child step to any element *)
+  | Desc_or_self  (** // *)
+  | Seq of path * path  (** p1/p2 *)
+  | Where of path * filter  (** p[q] *)
+
+and filter =
+  | Exists of path  (** some node reachable via p *)
+  | Eq of path * string  (** a node reached via p has string value s *)
+  | Label_is of string  (** label() = A *)
+  | And of filter * filter
+  | Or of filter * filter
+  | Not of filter
+
+val path_size : path -> int
+(** |p|, the measure in the paper's complexity bounds *)
+
+val filter_size : filter -> int
+
+val pp_path : Format.formatter -> path -> unit
+(** prints re-parseable concrete syntax (see {!Parser}) *)
+
+val pp_filter : Format.formatter -> filter -> unit
+val to_string : path -> string
+
+val ( / ) : path -> path -> path
+val label : string -> path
+val where : path -> filter -> path
+val desc : path

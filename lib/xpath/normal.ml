@@ -1,0 +1,97 @@
+(** Normal form for XPath expressions (Section 3.2).
+
+    Every path rewrites in O(|p|) into a sequence η1/…/ηn where each ηi is
+    one of: ε[q] (a filter step), a label A, the wildcard *, or //. The
+    rewriting uses p[q] ≡ p/ε[q] and ε[q1]…[qn] ≡ ε[q1 ∧ … ∧ qn]; we also
+    coalesce adjacent // steps (////… ≡ //). Both evaluators (the tree
+    oracle and the DAG algorithm) consume this form. *)
+
+type step =
+  | Filter of Ast.filter  (** ε[q] — does not move *)
+  | Step_label of string  (** child step to label A *)
+  | Step_wild  (** child step to any element *)
+  | Step_desc  (** descendant-or-self *)
+
+type t = step list
+
+let rec of_path (p : Ast.path) : t =
+  let steps =
+    match p with
+    | Ast.Self -> []
+    | Ast.Label a -> [ Step_label a ]
+    | Ast.Wildcard -> [ Step_wild ]
+    | Ast.Desc_or_self -> [ Step_desc ]
+    | Ast.Seq (a, b) -> of_path a @ of_path b
+    | Ast.Where (p, q) -> of_path p @ [ Filter q ]
+  in
+  coalesce steps
+
+and coalesce = function
+  | Filter q1 :: Filter q2 :: rest ->
+      coalesce (Filter (Ast.And (q1, q2)) :: rest)
+  | Step_desc :: Step_desc :: rest -> coalesce (Step_desc :: rest)
+  | s :: rest -> s :: coalesce rest
+  | [] -> []
+
+(** A step that moves in the tree (everything except ε[q]). *)
+let moves = function
+  | Filter _ -> false
+  | Step_label _ | Step_wild | Step_desc -> true
+
+let size (steps : t) =
+  List.fold_left
+    (fun n s ->
+      n
+      + match s with Filter q -> Ast.filter_size q | _ -> 1)
+    0 steps
+
+(** {2 Deep normal form}
+
+    [of_path] leaves the paths *inside* filters untouched; for semantic
+    comparison of two expressions one also wants those normalized. The
+    [deep] form recursively rewrites every embedded path, giving a
+    canonical representation: two paths with equal deep forms are
+    step-for-step identical after rewriting. *)
+
+type dstep =
+  | D_filter of dfilter
+  | D_label of string
+  | D_wild
+  | D_desc
+
+and dfilter =
+  | D_exists of dstep list
+  | D_eq of dstep list * string
+  | D_label_is of string
+  | D_and of dfilter * dfilter
+  | D_or of dfilter * dfilter
+  | D_not of dfilter
+
+let rec deep (p : Ast.path) : dstep list =
+  List.map
+    (function
+      | Filter q -> D_filter (deep_filter q)
+      | Step_label a -> D_label a
+      | Step_wild -> D_wild
+      | Step_desc -> D_desc)
+    (of_path p)
+
+and deep_filter (q : Ast.filter) : dfilter =
+  match q with
+  | Ast.Exists p -> D_exists (deep p)
+  | Ast.Eq (p, s) -> D_eq (deep p, s)
+  | Ast.Label_is a -> D_label_is a
+  | Ast.And (a, b) -> D_and (deep_filter a, deep_filter b)
+  | Ast.Or (a, b) -> D_or (deep_filter a, deep_filter b)
+  | Ast.Not a -> D_not (deep_filter a)
+
+(** Semantic-form equality: equal deep normal forms. *)
+let equivalent p1 p2 = deep p1 = deep p2
+
+let pp_step ppf = function
+  | Filter q -> Fmt.pf ppf ".[%a]" Ast.pp_filter q
+  | Step_label a -> Fmt.string ppf a
+  | Step_wild -> Fmt.string ppf "*"
+  | Step_desc -> Fmt.string ppf "//"
+
+let pp = Fmt.list ~sep:(Fmt.any "/") pp_step

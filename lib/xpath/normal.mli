@@ -1,0 +1,49 @@
+(** Normal form for XPath expressions (Section 3.2): every path rewrites
+    in O(|p|) into η1/…/ηn with ηi ∈ {ε[q], label, *, //}, using
+    p[q] ≡ p/ε[q] and ε[q1]…[qn] ≡ ε[q1 ∧ … ∧ qn]. Both evaluators
+    consume this form. *)
+
+type step =
+  | Filter of Ast.filter  (** ε[q] — does not move *)
+  | Step_label of string
+  | Step_wild
+  | Step_desc
+
+type t = step list
+
+val of_path : Ast.path -> t
+(** adjacent filters coalesce into conjunctions; adjacent // collapse *)
+
+val moves : step -> bool
+(** everything except ε[q] *)
+
+val size : t -> int
+
+(** {1 Deep normal form}
+
+    [of_path] leaves the paths inside filters untouched; the deep form
+    rewrites them recursively, giving a canonical representation for
+    semantic comparison. *)
+
+type dstep =
+  | D_filter of dfilter
+  | D_label of string
+  | D_wild
+  | D_desc
+
+and dfilter =
+  | D_exists of dstep list
+  | D_eq of dstep list * string
+  | D_label_is of string
+  | D_and of dfilter * dfilter
+  | D_or of dfilter * dfilter
+  | D_not of dfilter
+
+val deep : Ast.path -> dstep list
+val deep_filter : Ast.filter -> dfilter
+
+val equivalent : Ast.path -> Ast.path -> bool
+(** equal deep normal forms *)
+
+val pp_step : Format.formatter -> step -> unit
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,266 @@
+(** A hand-written recursive-descent parser for the XPath fragment.
+
+    Concrete syntax, matching the paper's examples:
+
+    {v
+    course[cno="CS650"]//course[cno="CS320"]/prereq
+    //student[sid="S02" and name="Joe"]
+    //*[not(label()=course) or takenBy/student]
+    v}
+
+    Notes: a leading [/] is optional and denotes the root context; [//]
+    between steps is descendant-or-self; filter comparisons accept quoted
+    or bare literals ([cno=CS650] ≡ [cno="CS650"]). *)
+
+exception Parse_error of string * int  (** message, position *)
+
+type token =
+  | Tname of string
+  | Tstring of string
+  | Tslash
+  | Tdslash
+  | Tstar
+  | Tdot
+  | Tlbrack
+  | Trbrack
+  | Tlparen
+  | Trparen
+  | Teq
+  | Tand
+  | Tor
+  | Tnot
+  | Tlabel_fn
+  | Teof
+
+let is_name_char c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9')
+  || c = '_' || c = '-' || c = ':'
+
+let tokenize (s : string) : (token * int) list =
+  let n = String.length s in
+  let toks = ref [] in
+  let emit t pos = toks := (t, pos) :: !toks in
+  let i = ref 0 in
+  while !i < n do
+    let c = s.[!i] in
+    let pos = !i in
+    if c = ' ' || c = '\t' || c = '\n' then incr i
+    else if c = '/' then
+      if !i + 1 < n && s.[!i + 1] = '/' then begin
+        emit Tdslash pos;
+        i := !i + 2
+      end
+      else begin
+        emit Tslash pos;
+        incr i
+      end
+    else if c = '*' then begin
+      emit Tstar pos;
+      incr i
+    end
+    else if c = '.' then begin
+      emit Tdot pos;
+      incr i
+    end
+    else if c = '[' then begin
+      emit Tlbrack pos;
+      incr i
+    end
+    else if c = ']' then begin
+      emit Trbrack pos;
+      incr i
+    end
+    else if c = '(' then begin
+      emit Tlparen pos;
+      incr i
+    end
+    else if c = ')' then begin
+      emit Trparen pos;
+      incr i
+    end
+    else if c = '=' then begin
+      emit Teq pos;
+      incr i
+    end
+    else if c = '"' || c = '\'' then begin
+      let quote = c in
+      let j = ref (!i + 1) in
+      let buf = Buffer.create 8 in
+      while !j < n && s.[!j] <> quote do
+        Buffer.add_char buf s.[!j];
+        incr j
+      done;
+      if !j >= n then raise (Parse_error ("unterminated string literal", pos));
+      emit (Tstring (Buffer.contents buf)) pos;
+      i := !j + 1
+    end
+    else if is_name_char c then begin
+      let j = ref !i in
+      while !j < n && is_name_char s.[!j] do
+        incr j
+      done;
+      let word = String.sub s !i (!j - !i) in
+      i := !j;
+      match word with
+      | "and" -> emit Tand pos
+      | "or" -> emit Tor pos
+      | "not" -> emit Tnot pos
+      | "label" ->
+          (* recognize label() *)
+          if !i + 1 < n + 1 && !i < n && s.[!i] = '(' && !i + 1 < n
+             && s.[!i + 1] = ')' then begin
+            emit Tlabel_fn pos;
+            i := !i + 2
+          end
+          else emit (Tname word) pos
+      | _ -> emit (Tname word) pos
+    end
+    else raise (Parse_error (Printf.sprintf "unexpected character %c" c, pos))
+  done;
+  List.rev ((Teof, n) :: !toks)
+
+type state = { mutable toks : (token * int) list }
+
+let peek st = match st.toks with (t, _) :: _ -> t | [] -> Teof
+let pos st = match st.toks with (_, p) :: _ -> p | [] -> -1
+
+let advance st =
+  match st.toks with _ :: rest -> st.toks <- rest | [] -> ()
+
+let expect st t msg =
+  if peek st = t then advance st else raise (Parse_error (msg, pos st))
+
+(* path    := ('//' | '/')? steps
+   steps   := step (('/' | '//') step)*
+   step    := (name | '*' | '.') filterlist
+   filterlist := ('[' filter ']')*
+   filter  := or_f
+   or_f    := and_f ('or' and_f)*
+   and_f   := unary_f ('and' unary_f)*
+   unary_f := 'not' '(' filter ')' | '(' filter ')' | atom
+   atom    := 'label()' '=' name | path ('=' literal)?   *)
+
+let rec parse_path st : Ast.path =
+  let first =
+    match peek st with
+    | Tdslash ->
+        advance st;
+        Some Ast.Desc_or_self
+    | Tslash ->
+        advance st;
+        None
+    | _ -> None
+  in
+  let p = parse_steps st in
+  match first with Some d -> Ast.Seq (d, p) | None -> p
+
+and parse_steps st =
+  let p = ref (parse_step st) in
+  let continue = ref true in
+  while !continue do
+    match peek st with
+    | Tslash ->
+        advance st;
+        p := Ast.Seq (!p, parse_step st)
+    | Tdslash ->
+        advance st;
+        p := Ast.Seq (!p, Ast.Seq (Ast.Desc_or_self, parse_step st))
+    | _ -> continue := false
+  done;
+  !p
+
+and parse_step st =
+  let base =
+    match peek st with
+    | Tname a ->
+        advance st;
+        Ast.Label a
+    | Tstar ->
+        advance st;
+        Ast.Wildcard
+    | Tdot ->
+        advance st;
+        Ast.Self
+    | _ -> raise (Parse_error ("expected a step (name, * or .)", pos st))
+  in
+  let p = ref base in
+  while peek st = Tlbrack do
+    advance st;
+    let q = parse_filter st in
+    expect st Trbrack "expected ]";
+    p := Ast.Where (!p, q)
+  done;
+  !p
+
+and parse_filter st = parse_or st
+
+and parse_or st =
+  let q = ref (parse_and st) in
+  while peek st = Tor do
+    advance st;
+    q := Ast.Or (!q, parse_and st)
+  done;
+  !q
+
+and parse_and st =
+  let q = ref (parse_unary st) in
+  while peek st = Tand do
+    advance st;
+    q := Ast.And (!q, parse_unary st)
+  done;
+  !q
+
+and parse_unary st =
+  match peek st with
+  | Tnot ->
+      advance st;
+      expect st Tlparen "expected ( after not";
+      let q = parse_filter st in
+      expect st Trparen "expected )";
+      Ast.Not q
+  | Tlparen ->
+      advance st;
+      let q = parse_filter st in
+      expect st Trparen "expected )";
+      q
+  | _ -> parse_atom st
+
+and parse_atom st =
+  match peek st with
+  | Tlabel_fn ->
+      advance st;
+      expect st Teq "expected = after label()";
+      (match peek st with
+      | Tname a ->
+          advance st;
+          Ast.Label_is a
+      | Tstring a ->
+          advance st;
+          Ast.Label_is a
+      | _ -> raise (Parse_error ("expected a label after label()=", pos st)))
+  | _ -> (
+      let p = parse_path st in
+      match peek st with
+      | Teq -> (
+          advance st;
+          match peek st with
+          | Tstring s ->
+              advance st;
+              Ast.Eq (p, s)
+          | Tname s ->
+              advance st;
+              Ast.Eq (p, s)
+          | _ -> raise (Parse_error ("expected a literal after =", pos st)))
+      | _ -> Ast.Exists p)
+
+(** [parse s] parses [s] into a path.
+    @raise Parse_error on malformed input. *)
+let parse (s : string) : Ast.path =
+  let st = { toks = tokenize s } in
+  let p = parse_path st in
+  if peek st <> Teof then raise (Parse_error ("trailing input", pos st));
+  p
+
+let parse_opt s = try Some (parse s) with Parse_error _ -> None

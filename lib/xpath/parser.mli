@@ -1,0 +1,19 @@
+(** Recursive-descent parser for the XPath fragment, in the paper's
+    concrete syntax:
+
+    {v
+    course[cno=CS650]//course[cno="CS320"]/prereq
+    //student[ssn=S02 and name="Joe"]
+    //*[not(label()=course) or takenBy/student]
+    v}
+
+    A leading [/] is optional (paths are evaluated from the root); [//]
+    between steps is descendant-or-self; filter literals may be bare or
+    quoted. *)
+
+exception Parse_error of string * int  (** message, input offset *)
+
+val parse : string -> Ast.path
+(** @raise Parse_error on malformed input. *)
+
+val parse_opt : string -> Ast.path option

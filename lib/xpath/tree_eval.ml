@@ -1,0 +1,123 @@
+(** Reference XPath evaluation on XML trees.
+
+    This is the semantic oracle: it evaluates the normalized step sequence
+    over plain {!Rxv_xml.Tree.t} values, identifying nodes by their
+    *occurrence* (the child-index path from the root). The DAG evaluator of
+    the core library is property-tested against this module: the set of
+    node identities (uids) it selects must equal the uids of the
+    occurrences selected here, and likewise for arrival edges.
+
+    Naive complexity is fine here — the oracle only runs in tests and
+    examples. *)
+
+module Tree = Rxv_xml.Tree
+
+type occurrence = int list
+(** child indexes from the root, root = [] — reversed storage (deepest
+    index first) for O(1) extension *)
+
+type selected = {
+  occ : occurrence;
+  node : Tree.t;
+}
+
+(* All (occurrence, node) pairs of the tree. *)
+let all_nodes (root : Tree.t) : selected list =
+  let acc = ref [] in
+  let rec go occ node =
+    acc := { occ; node } :: !acc;
+    List.iteri (fun i c -> go (i :: occ) c) node.Tree.children
+  in
+  go [] root;
+  List.rev !acc
+
+let children_of (s : selected) : selected list =
+  List.mapi
+    (fun i c -> { occ = i :: s.occ; node = c })
+    s.node.Tree.children
+
+let rec descendants_or_self (s : selected) : selected list =
+  s :: List.concat_map descendants_or_self (children_of s)
+
+(* Filter evaluation at a node: filters look only downward. *)
+let rec filter_holds (q : Ast.filter) (s : selected) : bool =
+  match q with
+  | Ast.Label_is a -> String.equal s.node.Tree.label a
+  | Ast.And (q1, q2) -> filter_holds q1 s && filter_holds q2 s
+  | Ast.Or (q1, q2) -> filter_holds q1 s || filter_holds q2 s
+  | Ast.Not q -> not (filter_holds q s)
+  | Ast.Exists p -> eval_from s (Normal.of_path p) <> []
+  | Ast.Eq (p, lit) ->
+      List.exists
+        (fun s' -> String.equal (Tree.text_content s'.node) lit)
+        (eval_from s (Normal.of_path p))
+
+(* One evaluation step over a frontier of selected occurrences. *)
+and apply_step (frontier : selected list) (step : Normal.step) : selected list
+    =
+  let dedup l =
+    let seen = Hashtbl.create 16 in
+    List.filter
+      (fun s ->
+        if Hashtbl.mem seen s.occ then false
+        else begin
+          Hashtbl.add seen s.occ ();
+          true
+        end)
+      l
+  in
+  match step with
+  | Normal.Filter q -> List.filter (filter_holds q) frontier
+  | Normal.Step_label a ->
+      dedup
+        (List.concat_map
+           (fun s ->
+             List.filter
+               (fun c -> String.equal c.node.Tree.label a)
+               (children_of s))
+           frontier)
+  | Normal.Step_wild -> dedup (List.concat_map children_of frontier)
+  | Normal.Step_desc -> dedup (List.concat_map descendants_or_self frontier)
+
+and eval_from (start : selected) (steps : Normal.t) : selected list =
+  List.fold_left apply_step [ start ] steps
+
+(** [select root p] is r[[p]]: the occurrences reached from the root via
+    [p]. *)
+let select (root : Tree.t) (p : Ast.path) : selected list =
+  eval_from { occ = []; node = root } (Normal.of_path p)
+
+(** Arrival edges: for each selected occurrence [v], the pair (parent
+    occurrence, v). The root occurrence has no arrival edge and is
+    omitted. This is the tree-level analogue of Ep(r) (Section 3.2). *)
+let arrival_edges (root : Tree.t) (p : Ast.path) :
+    (selected * selected) list =
+  let parent_of occ =
+    match occ with
+    | [] -> None
+    | _ :: rest -> Some rest
+  in
+  let by_occ = Hashtbl.create 64 in
+  List.iter (fun s -> Hashtbl.replace by_occ s.occ s) (all_nodes root);
+  List.filter_map
+    (fun s ->
+      match parent_of s.occ with
+      | None -> None
+      | Some pocc -> (
+          match Hashtbl.find_opt by_occ pocc with
+          | Some parent -> Some (parent, s)
+          | None -> None))
+    (select root p)
+
+(** Uids of selected nodes (deduplicated, sorted) — the quantity compared
+    against the DAG evaluator. *)
+let selected_uids root p =
+  List.sort_uniq compare
+    (List.map (fun s -> s.node.Tree.uid) (select root p))
+
+(** Uid pairs of arrival edges (deduplicated, sorted). *)
+let arrival_uid_pairs root p =
+  List.sort_uniq compare
+    (List.map
+       (fun (u, v) -> (u.node.Tree.uid, v.node.Tree.uid))
+       (arrival_edges root p))

@@ -1,0 +1,27 @@
+(** Reference XPath evaluation on XML trees — the semantic oracle the DAG
+    evaluator is property-tested against. Nodes are identified by their
+    occurrence (child-index path from the root). Naive complexity; used in
+    tests and examples only. *)
+
+module Tree = Rxv_xml.Tree
+
+type occurrence = int list
+(** child indexes from the root, deepest-first; root = [] *)
+
+type selected = { occ : occurrence; node : Tree.t }
+
+val all_nodes : Tree.t -> selected list
+val filter_holds : Ast.filter -> selected -> bool
+
+val select : Tree.t -> Ast.path -> selected list
+(** r[[p]]: occurrences reached from the root via [p] *)
+
+val arrival_edges : Tree.t -> Ast.path -> (selected * selected) list
+(** (parent occurrence, selected occurrence) pairs — the tree analogue of
+    Ep(r); the root occurrence has no arrival edge *)
+
+val selected_uids : Tree.t -> Ast.path -> int list
+(** uids of selected nodes, deduplicated and sorted — the quantity
+    compared against the DAG evaluator *)
+
+val arrival_uid_pairs : Tree.t -> Ast.path -> (int * int) list

@@ -1,0 +1,323 @@
+(* Tests for ATG definition checking and the publisher: the DAG-based
+   publisher must agree with a naive direct-to-tree expansion, DTDs must
+   be enforced, and cyclic data must be rejected. *)
+
+module Value = Rxv_relational.Value
+module Schema = Rxv_relational.Schema
+module Spj = Rxv_relational.Spj
+module Eval = Rxv_relational.Eval
+module Database = Rxv_relational.Database
+module Dtd = Rxv_xml.Dtd
+module Tree = Rxv_xml.Tree
+module Atg = Rxv_atg.Atg
+module Publish = Rxv_atg.Publish
+module Store = Rxv_dag.Store
+module Registrar = Rxv_workload.Registrar
+module Synth = Rxv_workload.Synth
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* naive reference publisher: expand the rules straight into a tree,
+   without hash-consing (exponential on shared views; tests keep it small) *)
+let rec naive_publish (atg : Atg.t) db etype (attr : Value.t array) : Tree.t =
+  let text =
+    match Atg.rule atg etype with
+    | Atg.R_pcdata i -> Some (Value.to_string attr.(i))
+    | _ -> None
+  in
+  let children =
+    match Atg.rule atg etype with
+    | Atg.R_pcdata _ | Atg.R_empty -> []
+    | Atg.R_seq maps ->
+        List.map (fun (b, m) -> naive_publish atg db b (Atg.apply_map m attr)) maps
+    | Atg.R_alt branches -> (
+        match List.find_opt (fun (g, _, _) -> Atg.guard_holds g attr) branches with
+        | Some (_, b, m) -> [ naive_publish atg db b (Atg.apply_map m attr) ]
+        | None -> [])
+    | Atg.R_star { query; attr_width } ->
+        let b =
+          match Dtd.production atg.Atg.dtd etype with
+          | Dtd.Star b -> b
+          | _ -> assert false
+        in
+        List.map
+          (fun row -> naive_publish atg db b (Array.sub row 0 attr_width))
+          (Eval.run db query ~params:attr ())
+  in
+  Tree.element ?text etype children
+
+let test_publish_vs_naive_registrar () =
+  let atg = Registrar.atg () in
+  let db = Registrar.sample_db () in
+  let store = Publish.publish atg db in
+  let got = Store.to_tree store in
+  let expect = naive_publish atg db "db" [||] in
+  check "published tree = naive expansion" true
+    (Tree.equal_canonical got expect);
+  check "conforms to DTD" true (Tree.conforms Registrar.dtd got)
+
+let publish_vs_naive_synth =
+  Helpers.qtest ~count:30 "publisher = naive expansion (synthetic)"
+    Helpers.small_dataset_gen Helpers.params_print
+    (fun p ->
+      let d = Synth.generate p in
+      let atg = Synth.atg () in
+      let store = Publish.publish atg d.Synth.db in
+      let got = Store.to_tree ~max_nodes:2_000_000 store in
+      let expect = naive_publish atg d.Synth.db "db" [||] in
+      Tree.equal_canonical got expect
+      && Tree.conforms Synth.dtd got)
+
+(* compression: shared subtrees stored once *)
+let test_compression () =
+  let atg = Registrar.atg () in
+  let db = Registrar.sample_db () in
+  let store = Publish.publish atg db in
+  let tree = Store.to_tree store in
+  check "fewer nodes than occurrences" true
+    (Store.n_nodes store < Tree.size tree);
+  (* exactly one CS320 node despite two occurrences *)
+  let cs320 =
+    Store.fold_nodes
+      (fun n acc ->
+        if
+          n.Store.etype = "course"
+          && Value.equal n.Store.attr.(0) (Value.str "CS320")
+        then acc + 1
+        else acc)
+      store 0
+  in
+  check_int "one CS320" 1 cs320
+
+(* cyclic base data must be rejected *)
+let test_cyclic_rejected () =
+  let db = Registrar.sample_db () in
+  Database.insert db "prereq"
+    [| Value.str "CS120"; Value.str "CS650" |];
+  (* CS650 -> CS320 -> CS120 -> CS650 *)
+  try
+    ignore (Publish.publish (Registrar.atg ()) db);
+    Alcotest.fail "cyclic data published"
+  with Publish.Cyclic_view _ -> ()
+
+(* ATG construction errors *)
+let test_atg_validation () =
+  let schema = Registrar.schema in
+  let q =
+    Spj.make ~name:"q"
+      ~from:[ ("c", "course") ]
+      ~where:[]
+      ~select:[ ("cno", Spj.col "c" "cno") ]
+  in
+  (* rule shape must match the production *)
+  (try
+     ignore
+       (Atg.make ~name:"bad" ~schema
+          ~dtd:(Dtd.make ~root:"db" [ ("db", Dtd.Pcdata) ])
+          [ ("db", Atg.star q) ]);
+     Alcotest.fail "star rule on pcdata production accepted"
+   with Atg.Atg_error _ -> ());
+  (* pcdata index out of range for a zero-arity root *)
+  (try
+     ignore
+       (Atg.make ~name:"bad2" ~schema
+          ~dtd:(Dtd.make ~root:"db" [ ("db", Dtd.Pcdata) ])
+          [ ("db", Atg.R_pcdata 0) ]);
+     Alcotest.fail "pcdata index out of range accepted"
+   with Atg.Atg_error _ -> ());
+  (* attribute map referencing a missing parent field *)
+  try
+    ignore
+      (Atg.make ~name:"bad3" ~schema
+         ~dtd:
+           (Dtd.make ~root:"db"
+              [ ("db", Dtd.Seq [ "x" ]); ("x", Dtd.Pcdata) ])
+         [
+           ("db", Atg.R_seq [ ("x", [| Atg.From_parent 2 |]) ]);
+           ("x", Atg.R_pcdata 0);
+         ]);
+    Alcotest.fail "out-of-range attribute map accepted"
+  with Atg.Atg_error _ -> ()
+
+(* star rules are automatically key-preserved *)
+let test_auto_key_preservation () =
+  let atg = Registrar.atg () in
+  List.iter
+    (fun (_, _, sr) ->
+      check "key preserving" true
+        (Spj.is_key_preserving Registrar.schema sr.Atg.query))
+    (Atg.star_rules atg)
+
+(* DTDs: recursion detection and misc *)
+let test_dtd_recursion () =
+  check "registrar DTD recursive" true (Dtd.is_recursive Registrar.dtd);
+  check "synthetic DTD recursive" true (Dtd.is_recursive Synth.dtd);
+  let flat =
+    Dtd.make ~root:"a" [ ("a", Dtd.Star "b"); ("b", Dtd.Pcdata) ]
+  in
+  check "flat DTD not recursive" false (Dtd.is_recursive flat);
+  (* undefined references rejected *)
+  (try
+     ignore (Dtd.make ~root:"a" [ ("a", Dtd.Star "zzz") ]);
+     Alcotest.fail "undefined child type accepted"
+   with Dtd.Dtd_error _ -> ());
+  try
+    ignore (Dtd.make ~root:"zzz" [ ("a", Dtd.Pcdata) ]);
+    Alcotest.fail "undefined root accepted"
+  with Dtd.Dtd_error _ -> ()
+
+(* an ATG with alternation and empty productions publishes correctly *)
+let test_alt_and_empty () =
+  let schema =
+    Schema.db
+      [
+        Schema.relation "item"
+          [ Schema.attr "id" Value.TInt; Schema.attr "kind" Value.TStr ]
+          ~key:[ "id" ];
+      ]
+  in
+  let dtd =
+    Dtd.make ~root:"root"
+      [
+        ("root", Dtd.Star "item");
+        ("item", Dtd.Alt [ "odd"; "even" ]);
+        ("odd", Dtd.Pcdata);
+        ("even", Dtd.Empty);
+      ]
+  in
+  let q =
+    Spj.make ~name:"items" ~from:[ ("i", "item") ] ~where:[]
+      ~select:[ ("id", Spj.col "i" "id"); ("kind", Spj.col "i" "kind") ]
+  in
+  let atg =
+    Atg.make ~name:"alt" ~schema ~dtd
+      [
+        ("root", Atg.star q);
+        ( "item",
+          Atg.R_alt
+            [
+              (Atg.Field_eq (1, Value.str "odd"), "odd", [| Atg.From_parent 0 |]);
+              (Atg.Always, "even", [||]);
+            ] );
+        ("odd", Atg.R_pcdata 0);
+        ("even", Atg.R_empty);
+      ]
+  in
+  let db = Database.create schema in
+  Database.insert db "item" [| Value.int 1; Value.str "odd" |];
+  Database.insert db "item" [| Value.int 2; Value.str "even" |];
+  Database.insert db "item" [| Value.int 3; Value.str "odd" |];
+  let store = Publish.publish atg db in
+  let tree = Store.to_tree store in
+  check "conforms" true (Tree.conforms dtd tree);
+  let odd_count =
+    Store.gen_cardinal store "odd"
+  in
+  check_int "two odd leaves" 2 odd_count;
+  check_int "one shared even node" 1 (Store.gen_cardinal store "even")
+
+(* --- DTD normalization (paper footnote ①) --- *)
+
+let test_dtd_normalize () =
+  (* a realistic messy content model:
+     article -> title, author+, (abstract | keywords)?, section-star *)
+  let d =
+    Dtd.normalize ~root:"article"
+      [
+        ( "article",
+          Dtd.R_seq
+            [
+              Dtd.R_type "title";
+              Dtd.R_plus (Dtd.R_type "author");
+              Dtd.R_opt (Dtd.R_alt [ Dtd.R_type "abstract"; Dtd.R_type "keywords" ]);
+              Dtd.R_star (Dtd.R_type "section");
+            ] );
+        ("title", Dtd.R_pcdata);
+        ("author", Dtd.R_pcdata);
+        ("abstract", Dtd.R_pcdata);
+        ("keywords", Dtd.R_pcdata);
+        (* recursive: sections nest *)
+        ("section", Dtd.R_seq [ Dtd.R_type "title"; Dtd.R_star (Dtd.R_type "section") ]);
+      ]
+  in
+  check "normal form" true (Dtd.is_normal_form d);
+  check "recursive preserved" true (Dtd.is_recursive d);
+  check "declared types kept" true
+    (List.for_all (Dtd.mem d)
+       [ "article"; "title"; "author"; "abstract"; "keywords"; "section" ]);
+  (* r+ compiles into r followed by its star *)
+  (match Dtd.production d "article" with
+  | Dtd.Seq (first :: _) -> check "first child is title" true (first = "title")
+  | _ -> Alcotest.fail "article not a Seq");
+  (* structural sharing: normalizing twice the same sub-regex reuses one
+     auxiliary type *)
+  let d2 =
+    Dtd.normalize ~root:"r"
+      [
+        ("r", Dtd.R_seq [ Dtd.R_star (Dtd.R_type "x"); Dtd.R_star (Dtd.R_type "x") ]);
+        ("x", Dtd.R_pcdata);
+      ]
+  in
+  (match Dtd.production d2 "r" with
+  | Dtd.Seq [ a; b ] -> check "shared auxiliary" true (a = b)
+  | _ -> Alcotest.fail "r not a two-seq");
+  (* reserved prefix rejected *)
+  (try
+     ignore (Dtd.normalize ~root:"_norm_x" [ ("_norm_x", Dtd.R_pcdata) ]);
+     Alcotest.fail "reserved prefix accepted"
+   with Dtd.Dtd_error _ -> ());
+  (* undefined reference rejected *)
+  try
+    ignore (Dtd.normalize ~root:"a" [ ("a", Dtd.R_type "zzz") ]);
+    Alcotest.fail "undefined type accepted"
+  with Dtd.Dtd_error _ -> ()
+
+(* a normalized DTD drives an ATG end to end *)
+let test_normalized_atg_publishes () =
+  let schema =
+    Schema.db
+      [
+        Schema.relation "item"
+          [ Schema.attr "id" Value.TInt ]
+          ~key:[ "id" ];
+      ]
+  in
+  let dtd =
+    Dtd.normalize ~root:"list"
+      [
+        ("list", Dtd.R_star (Dtd.R_type "item"));
+        ("item", Dtd.R_pcdata);
+      ]
+  in
+  check "already normal stays put" true (Dtd.is_normal_form dtd);
+  let q =
+    Spj.make ~name:"items" ~from:[ ("i", "item") ] ~where:[]
+      ~select:[ ("id", Spj.col "i" "id") ]
+  in
+  let atg =
+    Atg.make ~name:"list" ~schema ~dtd
+      [ ("list", Atg.star q); ("item", Atg.R_pcdata 0) ]
+  in
+  let db = Database.create schema in
+  Database.insert db "item" [| Value.int 1 |];
+  Database.insert db "item" [| Value.int 2 |];
+  let store = Publish.publish atg db in
+  check "conforms" true (Tree.conforms dtd (Store.to_tree store))
+
+let tests =
+  [
+    Alcotest.test_case "DTD normalization" `Quick test_dtd_normalize;
+    Alcotest.test_case "normalized ATG publishes" `Quick
+      test_normalized_atg_publishes;
+    Alcotest.test_case "publish registrar vs naive" `Quick
+      test_publish_vs_naive_registrar;
+    publish_vs_naive_synth;
+    Alcotest.test_case "compression" `Quick test_compression;
+    Alcotest.test_case "cyclic data rejected" `Quick test_cyclic_rejected;
+    Alcotest.test_case "ATG validation" `Quick test_atg_validation;
+    Alcotest.test_case "auto key preservation" `Quick
+      test_auto_key_preservation;
+    Alcotest.test_case "DTD recursion detection" `Quick test_dtd_recursion;
+    Alcotest.test_case "alternation and empty rules" `Quick test_alt_and_empty;
+  ]

@@ -1,0 +1,202 @@
+(* Focused unit tests for core pieces not covered via the engine suites:
+   direct Xinsert/Xdelete behaviour, insert-then-delete round trips
+   (provenance of fresh edges), garbage collection, text-value filters,
+   and evaluator corner cases. *)
+
+module Value = Rxv_relational.Value
+module Group_update = Rxv_relational.Group_update
+module Tree = Rxv_xml.Tree
+module Parser = Rxv_xpath.Parser
+module Store = Rxv_dag.Store
+module Topo = Rxv_dag.Topo
+module Maintain = Rxv_dag.Maintain
+module Engine = Rxv_core.Engine
+module Xupdate = Rxv_core.Xupdate
+module Dag_eval = Rxv_core.Dag_eval
+module Registrar = Rxv_workload.Registrar
+module Synth = Rxv_workload.Synth
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let s = Value.str
+
+let assert_consistent e =
+  match Engine.check_consistency e with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "consistency: %s" msg
+
+(* inserting an edge through the view and deleting it again must work —
+   the fresh edge's provenance is what Algorithm delete reads *)
+let test_insert_then_delete_roundtrip () =
+  let e = Registrar.engine () in
+  let before = Engine.to_tree e in
+  let ins =
+    Xupdate.Insert
+      {
+        etype = "course";
+        attr = Registrar.course_attr "CS240" "Data Structures";
+        path = Parser.parse "//course[cno=CS650]/prereq";
+      }
+  in
+  (match Engine.apply e ins with
+  | Ok _ -> ()
+  | Error r -> Alcotest.failf "insert rejected: %a" Engine.pp_rejection r);
+  let del =
+    Xupdate.Delete
+      (Parser.parse "course[cno=CS650]/prereq/course[cno=CS240]")
+  in
+  (match Engine.apply e del with
+  | Ok report ->
+      check "prereq tuple removed" true
+        (report.Engine.delta_r
+        = [ Group_update.Delete ("prereq", [ s "CS650"; s "CS240" ]) ])
+  | Error r -> Alcotest.failf "delete rejected: %a" Engine.pp_rejection r);
+  assert_consistent e;
+  check "view restored" true (Tree.equal_canonical before (Engine.to_tree e))
+
+(* same round trip with a brand-new course: the synthesized course tuple
+   stays behind (only the edge is removed), as the paper's deletion
+   semantics dictates *)
+let test_new_course_roundtrip () =
+  let e = Registrar.engine () in
+  (match
+     Engine.apply e
+       (Xupdate.Insert
+          {
+            etype = "course";
+            attr = Registrar.course_attr "CS333" "Networks";
+            path = Parser.parse "course[cno=CS240]/prereq";
+          })
+   with
+  | Ok _ -> ()
+  | Error r -> Alcotest.failf "insert rejected: %a" Engine.pp_rejection r);
+  (match
+     Engine.apply e
+       (Xupdate.Delete (Parser.parse "//prereq/course[cno=CS333]"))
+   with
+  | Ok _ -> ()
+  | Error r -> Alcotest.failf "delete rejected: %a" Engine.pp_rejection r);
+  check "course row survives (independent entity)" true
+    (Rxv_relational.Database.mem_key e.Engine.db "course" [ s "CS333" ]);
+  assert_consistent e
+
+(* deleting every occurrence of a node leaves no garbage behind *)
+let test_gc_after_full_unlink () =
+  let e = Registrar.engine () in
+  (match
+     Engine.apply e (Xupdate.Delete (Parser.parse "//student[ssn=S03]"))
+   with
+  | Ok _ -> ()
+  | Error r -> Alcotest.failf "delete rejected: %a" Engine.pp_rejection r);
+  (* the incremental path must already have collected the orphans *)
+  let dead = Maintain.collect_garbage e.Engine.store e.Engine.topo e.Engine.reach in
+  check_int "nothing left for the full-scan collector" 0 (List.length dead);
+  check "S03 unregistered" true
+    (Store.find_id e.Engine.store "student" [| s "S03"; s "Carol" |] = None);
+  assert_consistent e
+
+(* query-only corner cases *)
+let test_eval_corners () =
+  let e = Registrar.engine () in
+  let q p = Engine.query e (Parser.parse p) in
+  (* self selects the root; zero-move flagged *)
+  let r = q "." in
+  check_int "root selected" 1 (List.length r.Dag_eval.selected);
+  check "zero move" true r.Dag_eval.zero_move_match;
+  (* // alone selects everything *)
+  let r2 = q ".//." in
+  check_int "all nodes" (Store.n_nodes e.Engine.store)
+    (List.length r2.Dag_eval.selected);
+  (* nonexistent label *)
+  check_int "no zzz" 0 (List.length (q "//zzz").Dag_eval.selected);
+  (* a value filter against a non-pcdata element: text content is the
+     concatenation, so course text contains its whole subtree *)
+  check_int "course by full text" 0
+    (List.length (q "//course[.=CS650]").Dag_eval.selected);
+  (* text equality on concatenated content: db/course/cno is pcdata *)
+  check_int "cno=CS650" 1 (List.length (q "//cno[.=CS650]").Dag_eval.selected);
+  (* negation over structure *)
+  check_int "leaf courses" 2
+    (List.length (q "//course[not(prereq/course)]").Dag_eval.selected)
+
+(* filters with nested paths inside not() and or *)
+let test_nested_filters () =
+  let e = Registrar.engine () in
+  let q p = List.length (Engine.query e (Parser.parse p)).Dag_eval.selected in
+  check_int "course with student S02 somewhere" 2
+    (q "//course[takenBy/student[ssn=S02]]");
+  check_int "course without any student" 1 (q "//course[not(takenBy/student)]");
+  check_int "disjunction" 2 (q "//course[cno=CS650 or cno=CS240]");
+  check_int "label() in filter" 4 (q "//*[label()=course]");
+  check_int "conjunction with structure" 1
+    (q "//course[prereq/course and cno=CS650]")
+
+(* a deep recursive chain: L, M, evaluation and updates on a path-shaped
+   view (prerequisite chain of length 60) *)
+let test_deep_chain () =
+  let db = Rxv_relational.Database.create Registrar.schema in
+  let course k title =
+    Rxv_relational.Database.insert db "course" [| s k; s title; s "CS" |]
+  in
+  for i = 0 to 60 do
+    course (Printf.sprintf "C%03d" i) (Printf.sprintf "Course %d" i)
+  done;
+  for i = 0 to 59 do
+    Rxv_relational.Database.insert db "prereq"
+      [| s (Printf.sprintf "C%03d" i); s (Printf.sprintf "C%03d" (i + 1)) |]
+  done;
+  let e = Engine.create (Registrar.atg ()) db in
+  let r = Engine.query e (Parser.parse "//course[cno=C060]") in
+  check_int "deep node found once" 1 (List.length r.Dag_eval.selected);
+  (* the deepest course occurs on every prefix path: heavy compression *)
+  let st = Engine.stats e in
+  check "compression effective" true (st.Engine.occurrences > st.Engine.n_nodes);
+  (* delete the last link of the chain *)
+  (match
+     Engine.apply e
+       (Xupdate.Delete (Parser.parse "//course[cno=C059]/prereq/course[cno=C060]"))
+   with
+  | Ok report ->
+      check "one prereq tuple" true
+        (report.Engine.delta_r
+        = [ Group_update.Delete ("prereq", [ s "C059"; s "C060" ]) ])
+  | Error r -> Alcotest.failf "rejected: %a" Engine.pp_rejection r);
+  assert_consistent e
+
+(* Topo compaction under many removals *)
+let test_topo_compaction () =
+  let l = Topo.of_ids (List.init 100 (fun i -> i)) in
+  for i = 0 to 79 do
+    Topo.remove l i
+  done;
+  check_int "live" 20 (Topo.live_count l);
+  Alcotest.(check (list int)) "order preserved"
+    (List.init 20 (fun i -> 80 + i))
+    (Topo.to_list l);
+  check "relative order" true (Topo.is_before l 80 99)
+
+(* empty-view engine: publish over an empty database *)
+let test_empty_database () =
+  let db = Rxv_relational.Database.create Registrar.schema in
+  let e = Engine.create (Registrar.atg ()) db in
+  let tree = Engine.to_tree e in
+  check_int "bare root" 1 (Tree.size tree);
+  let r = Engine.query e (Parser.parse "//course") in
+  check_int "nothing selected" 0 (List.length r.Dag_eval.selected);
+  (* deleting from an empty view is a no-op *)
+  match Engine.apply e (Xupdate.Delete (Parser.parse "//course")) with
+  | Ok report -> check "no-op" true (report.Engine.delta_r = [])
+  | Error r -> Alcotest.failf "rejected: %a" Engine.pp_rejection r
+
+let tests =
+  [
+    Alcotest.test_case "insert-then-delete round trip" `Quick
+      test_insert_then_delete_roundtrip;
+    Alcotest.test_case "new-course round trip" `Quick test_new_course_roundtrip;
+    Alcotest.test_case "gc after full unlink" `Quick test_gc_after_full_unlink;
+    Alcotest.test_case "evaluator corner cases" `Quick test_eval_corners;
+    Alcotest.test_case "nested filters" `Quick test_nested_filters;
+    Alcotest.test_case "deep recursive chain" `Quick test_deep_chain;
+    Alcotest.test_case "topo compaction" `Quick test_topo_compaction;
+    Alcotest.test_case "empty database" `Quick test_empty_database;
+  ]

@@ -1,0 +1,257 @@
+(* Tests for the DAG substrate: bitsets, the store, the topological order
+   L, Algorithm Reach, and the incremental maintenance algorithms —
+   property-tested against naive recomputation. *)
+
+module Value = Rxv_relational.Value
+module Bitset = Rxv_dag.Bitset
+module Store = Rxv_dag.Store
+module Topo = Rxv_dag.Topo
+module Reach = Rxv_dag.Reach
+module Maintain = Rxv_dag.Maintain
+module Engine = Rxv_core.Engine
+module Synth = Rxv_workload.Synth
+module Updates = Rxv_workload.Updates
+module Rng = Rxv_sat.Rng
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* --- bitsets vs a reference set --- *)
+
+let bitset_ops_gen =
+  QCheck2.Gen.(
+    list_size (int_range 0 200)
+      (let* op = int_range 0 2 in
+       let* bit = int_range 0 300 in
+       return (op, bit)))
+
+let bitset_vs_reference =
+  Helpers.qtest ~count:200 "bitset matches reference set" bitset_ops_gen
+    (fun ops -> Printf.sprintf "%d ops" (List.length ops))
+    (fun ops ->
+      let b = Bitset.create () in
+      let reference = Hashtbl.create 16 in
+      List.iter
+        (fun (op, bit) ->
+          match op with
+          | 0 ->
+              Bitset.set b bit;
+              Hashtbl.replace reference bit ()
+          | 1 ->
+              Bitset.clear b bit;
+              Hashtbl.remove reference bit
+          | _ -> ignore (Bitset.get b bit))
+        ops;
+      let expect =
+        List.sort compare (Hashtbl.fold (fun k () acc -> k :: acc) reference [])
+      in
+      Bitset.to_list b = expect
+      && Bitset.count b = List.length expect
+      && List.for_all (Bitset.get b) expect)
+
+let test_bitset_union () =
+  let a = Bitset.create () and b = Bitset.create () in
+  List.iter (Bitset.set a) [ 1; 5; 64 ];
+  List.iter (Bitset.set b) [ 2; 64; 200 ];
+  Bitset.union_into ~dst:a b;
+  Alcotest.(check (list int)) "union" [ 1; 2; 5; 64; 200 ] (Bitset.to_list a);
+  check "intersects" true (Bitset.intersects a b);
+  let c = Bitset.create () in
+  Bitset.set c 3;
+  check "disjoint" false (Bitset.intersects b c);
+  check "equal self" true (Bitset.equal a a);
+  check "not equal" false (Bitset.equal a b)
+
+(* --- random stores --- *)
+
+(* a random DAG store: nodes 0..n-1, edges only from lower to higher
+   index, node 0 the root, every node reachable *)
+let random_store_gen =
+  QCheck2.Gen.(
+    let* n = int_range 2 40 in
+    let* extra = int_range 0 60 in
+    let* seed = int_range 0 10000 in
+    return (n, extra, seed))
+
+let build_random_store (n, extra, seed) =
+  let rng = Rng.create seed in
+  let store = Store.create () in
+  let ids =
+    Array.init n (fun i ->
+        Store.gen_id store "n" [| Value.Int i |] ())
+  in
+  Store.set_root store ids.(0);
+  (* spanning structure: each node i>0 hangs off some j<i *)
+  for i = 1 to n - 1 do
+    let j = Rng.int rng i in
+    Store.add_edge store ids.(j) ids.(i) ~provenance:None
+  done;
+  (* extra forward edges create sharing *)
+  for _ = 1 to extra do
+    let i = Rng.int rng n and j = Rng.int rng n in
+    let a = min i j and b = max i j in
+    if a <> b then Store.add_edge store ids.(a) ids.(b) ~provenance:None
+  done;
+  (store, ids)
+
+let topo_valid_on_random =
+  Helpers.qtest ~count:200 "Topo.of_store yields a valid order"
+    random_store_gen
+    (fun (n, e, s) -> Printf.sprintf "n=%d extra=%d seed=%d" n e s)
+    (fun params ->
+      let store, _ = build_random_store params in
+      let l = Topo.of_store store in
+      Topo.is_valid l store)
+
+let reach_vs_naive =
+  Helpers.qtest ~count:200 "Algorithm Reach = naive transitive closure"
+    random_store_gen
+    (fun (n, e, s) -> Printf.sprintf "n=%d extra=%d seed=%d" n e s)
+    (fun params ->
+      let store, _ = build_random_store params in
+      let l = Topo.of_store store in
+      let m = Reach.compute store l in
+      Helpers.reach_matches_naive store m)
+
+(* --- Topo.swap: inserting a violating edge then swapping restores
+   validity --- *)
+
+let swap_restores_validity =
+  Helpers.qtest ~count:200 "swap(L,u,v) repairs an edge insertion"
+    random_store_gen
+    (fun (n, e, s) -> Printf.sprintf "n=%d extra=%d seed=%d" n e s)
+    (fun ((n, _, seed) as params) ->
+      let store, ids = build_random_store params in
+      let l = Topo.of_store store in
+      let m = Reach.compute store l in
+      let rng = Rng.create (seed + 1) in
+      (* pick u, v not related by ancestry, v not ancestor of u *)
+      let candidates = ref [] in
+      for i = 0 to n - 1 do
+        for j = 0 to n - 1 do
+          if
+            i <> j
+            && (not (Reach.is_ancestor m ids.(j) ids.(i)))
+            && not (Reach.is_ancestor m ids.(i) ids.(j))
+          then candidates := (ids.(i), ids.(j)) :: !candidates
+        done
+      done;
+      match !candidates with
+      | [] -> true (* total order; nothing to test *)
+      | cands ->
+          let u, v = List.nth cands (Rng.int rng (List.length cands)) in
+          (* orient so that u currently precedes v in L *)
+          let u, v = if Topo.ord l u < Topo.ord l v then (u, v) else (v, u) in
+          Store.add_edge store u v ~provenance:None;
+          (* update M naively for the test *)
+          let l2 = Topo.of_store store in
+          let m2 = Reach.compute store l2 in
+          Topo.swap l u v ~is_desc_of_v:(fun x ->
+              Reach.is_ancestor_or_self m2 v x);
+          Topo.is_valid l store)
+
+(* --- incremental maintenance ≡ recomputation on synthetic updates --- *)
+
+let maintenance_matches_recompute =
+  Helpers.qtest ~count:40 "Δ(M,L) maintenance ≡ recomputation"
+    Helpers.small_dataset_gen Helpers.params_print
+    (fun p ->
+      let d, e = Helpers.engine_of_params p in
+      let run_all us =
+        List.iter
+          (fun u -> ignore (Engine.apply ~policy:`Proceed e u))
+          us
+      in
+      run_all (Updates.deletions e.Engine.store Updates.W1 ~count:2 ~seed:p.Synth.seed);
+      run_all (Updates.insertions d e.Engine.store Updates.W2 ~count:2 ~seed:(p.Synth.seed + 1) ());
+      run_all (Updates.insertions d e.Engine.store Updates.W1 ~count:2 ~seed:(p.Synth.seed + 2) ~fresh:false ());
+      run_all (Updates.deletions e.Engine.store Updates.W3 ~count:2 ~seed:(p.Synth.seed + 3));
+      match Engine.check_consistency e with
+      | Ok () -> true
+      | Error msg -> QCheck2.Test.fail_reportf "inconsistent: %s" msg)
+
+(* --- store invariants --- *)
+
+let test_store_basics () =
+  let store = Store.create () in
+  let a = Store.gen_id store "x" [| Value.Int 1 |] () in
+  let a' = Store.gen_id store "x" [| Value.Int 1 |] () in
+  check_int "hash-consing" a a';
+  let b = Store.gen_id store "x" [| Value.Int 2 |] () in
+  let c = Store.gen_id store "y" [| Value.Int 1 |] () in
+  check "types split identity" true (a <> c);
+  Store.set_root store a;
+  Store.add_edge store a b ~provenance:None;
+  Store.add_edge store a c ~provenance:None;
+  Store.add_edge store a b ~provenance:None;
+  (* duplicate: no-op *)
+  check_int "edges" 2 (Store.n_edges store);
+  Alcotest.(check (list int)) "children ordered" [ b; c ] (Store.children store a);
+  Alcotest.(check (list int)) "parents" [ a ] (Store.parents store b);
+  check "remove edge" true (Store.remove_edge store a b);
+  check "remove again" false (Store.remove_edge store a b);
+  (* node removal recycles slots *)
+  let slot_b = (Store.node store b).Store.slot in
+  Store.remove_node store b;
+  check "gone" false (Store.mem_node store b);
+  let d = Store.gen_id store "z" [| Value.Int 9 |] () in
+  check_int "slot recycled" slot_b (Store.node store d).Store.slot
+
+let test_store_provenance_accumulates () =
+  let store = Store.create () in
+  let a = Store.gen_id store "x" [| Value.Int 1 |] () in
+  let b = Store.gen_id store "x" [| Value.Int 2 |] () in
+  Store.set_root store a;
+  let row1 = [| Value.Int 1; Value.Int 2 |] in
+  let row2 = [| Value.Int 1; Value.Int 3 |] in
+  Store.add_edge store a b ~provenance:(Some row1);
+  Store.add_edge store a b ~provenance:(Some row2);
+  Store.add_edge store a b ~provenance:(Some row1);
+  (* dup row dropped *)
+  check_int "two derivations" 2
+    (List.length (Store.edge_info store a b).Store.provenance)
+
+let test_occurrence_counts () =
+  (* diamond: root -> a, b; a -> c; b -> c. c occurs twice in the tree. *)
+  let store = Store.create () in
+  let r = Store.gen_id store "r" [||] () in
+  let a = Store.gen_id store "a" [||] () in
+  let b = Store.gen_id store "b" [||] () in
+  let c = Store.gen_id store "c" [||] () in
+  Store.set_root store r;
+  Store.add_edge store r a ~provenance:None;
+  Store.add_edge store r b ~provenance:None;
+  Store.add_edge store a c ~provenance:None;
+  Store.add_edge store b c ~provenance:None;
+  let occ = Store.occurrence_counts store in
+  check_int "c occurs twice" 2 (Hashtbl.find occ c);
+  check_int "a occurs once" 1 (Hashtbl.find occ a);
+  (* tree materialization matches *)
+  let tree = Store.to_tree store in
+  check_int "tree size" 5 (Rxv_xml.Tree.size tree)
+
+let test_tree_budget () =
+  let store = Store.create () in
+  let r = Store.gen_id store "r" [||] () in
+  let a = Store.gen_id store "a" [||] () in
+  Store.set_root store r;
+  Store.add_edge store r a ~provenance:None;
+  try
+    ignore (Store.to_tree ~max_nodes:1 store);
+    Alcotest.fail "budget not enforced"
+  with Store.Dag_error _ -> ()
+
+let tests =
+  [
+    bitset_vs_reference;
+    Alcotest.test_case "bitset union/intersect" `Quick test_bitset_union;
+    topo_valid_on_random;
+    reach_vs_naive;
+    swap_restores_validity;
+    maintenance_matches_recompute;
+    Alcotest.test_case "store basics" `Quick test_store_basics;
+    Alcotest.test_case "provenance accumulates" `Quick
+      test_store_provenance_accumulates;
+    Alcotest.test_case "occurrence counts" `Quick test_occurrence_counts;
+    Alcotest.test_case "tree budget" `Quick test_tree_budget;
+  ]

@@ -1,0 +1,220 @@
+(* The DAG evaluator against the tree oracle on *arbitrary* random DAGs —
+   including shapes no ATG would publish (a node playing several step
+   roles, dense sharing, diamonds) — to stress the two-pass algorithm and
+   the conservative side-effect detector beyond the synthetic views. *)
+
+module Value = Rxv_relational.Value
+module Tree = Rxv_xml.Tree
+module Ast = Rxv_xpath.Ast
+module Tree_eval = Rxv_xpath.Tree_eval
+module Store = Rxv_dag.Store
+module Topo = Rxv_dag.Topo
+module Reach = Rxv_dag.Reach
+module Dag_eval = Rxv_core.Dag_eval
+module Rng = Rxv_sat.Rng
+
+(* random DAG with a small label alphabet; labels repeat across levels so
+   paths like //a//a have multiple decompositions *)
+let build_store (n, extra, seed) =
+  let rng = Rng.create seed in
+  let store = Store.create () in
+  let labels = [| "a"; "b"; "c" |] in
+  let ids =
+    Array.init n (fun i ->
+        let label = if i = 0 then "root" else labels.(Rng.int rng 3) in
+        Store.gen_id store label [| Value.Int i |]
+          ?text:(if Rng.int rng 3 = 0 then Some (string_of_int (i mod 4)) else None)
+          ())
+  in
+  Store.set_root store ids.(0);
+  for i = 1 to n - 1 do
+    let j = Rng.int rng i in
+    Store.add_edge store ids.(j) ids.(i) ~provenance:None
+  done;
+  for _ = 1 to extra do
+    let i = Rng.int rng n and j = Rng.int rng n in
+    if i < j then Store.add_edge store ids.(i) ids.(j) ~provenance:None
+  done;
+  store
+
+let path_gen =
+  let open QCheck2.Gen in
+  let lbl = oneofl [ "a"; "b"; "c" ] in
+  let filter =
+    frequency
+      [
+        (2, map (fun l -> Ast.Exists (Ast.Label l)) lbl);
+        (2, map2 (fun l v -> Ast.Eq (Ast.Label l, string_of_int v)) lbl (int_range 0 3));
+        (1, map (fun l -> Ast.Label_is l) lbl);
+        (1, map (fun l -> Ast.Not (Ast.Exists (Ast.Label l))) lbl);
+        (1, map (fun l -> Ast.Exists (Ast.Seq (Ast.Desc_or_self, Ast.Label l))) lbl);
+      ]
+  in
+  let step =
+    frequency
+      [
+        (3, map (fun l -> Ast.Label l) lbl);
+        (1, return Ast.Wildcard);
+        (2, return Ast.Desc_or_self);
+      ]
+  in
+  let fstep =
+    let* s = step in
+    let* f = opt filter in
+    return (match f with Some q -> Ast.Where (s, q) | None -> s)
+  in
+  let* len = int_range 1 4 in
+  let* steps = list_size (return len) fstep in
+  match steps with
+  | [] -> return Ast.Self
+  | s :: rest -> return (List.fold_left (fun a st -> Ast.Seq (a, st)) s rest)
+
+let case_gen =
+  QCheck2.Gen.(
+    let* n = int_range 3 25 in
+    let* extra = int_range 0 25 in
+    let* seed = int_range 0 100_000 in
+    let* p = path_gen in
+    return ((n, extra, seed), p))
+
+let print_case ((n, extra, seed), p) =
+  Printf.sprintf "n=%d extra=%d seed=%d path=%s" n extra seed (Ast.to_string p)
+
+(* occurrence blowup guard *)
+let tree_small store =
+  let occ = Store.occurrence_counts store in
+  Hashtbl.fold (fun _ c acc -> acc + c) occ 0 <= 50_000
+
+let with_structures store f =
+  let l = Topo.of_store store in
+  let m = Reach.compute store l in
+  f l m
+
+let selected_match =
+  Helpers.qtest ~count:400 "adversarial DAGs: r[[p]] matches oracle" case_gen
+    print_case
+    (fun (params, p) ->
+      let store = build_store params in
+      if not (tree_small store) then true
+      else
+        with_structures store (fun l m ->
+            let dag = Dag_eval.eval store l m p in
+            let tree = Store.to_tree store in
+            let got = List.sort_uniq compare dag.Dag_eval.selected in
+            let expect = Tree_eval.selected_uids tree p in
+            if got <> expect then
+              QCheck2.Test.fail_reportf "dag=%s oracle=%s"
+                (String.concat "," (List.map string_of_int got))
+                (String.concat "," (List.map string_of_int expect))
+            else true))
+
+let arrivals_match =
+  Helpers.qtest ~count:400 "adversarial DAGs: Ep(r) matches oracle" case_gen
+    print_case
+    (fun (params, p) ->
+      let store = build_store params in
+      if not (tree_small store) then true
+      else
+        with_structures store (fun l m ->
+            let dag = Dag_eval.eval store l m p in
+            if dag.Dag_eval.zero_move_match then true
+            else
+              let tree = Store.to_tree store in
+              let got = List.sort_uniq compare dag.Dag_eval.arrival_edges in
+              let expect = Tree_eval.arrival_uid_pairs tree p in
+              got = expect))
+
+(* side-effect soundness on adversarial shapes: a clean verdict must mean
+   occurrence-local deletion = DAG deletion *)
+let side_effects_sound =
+  Helpers.qtest ~count:300 "adversarial DAGs: clean verdicts are sound"
+    case_gen print_case
+    (fun (params, p) ->
+      let store = build_store params in
+      if not (tree_small store) then true
+      else
+        with_structures store (fun l m ->
+            let dag = Dag_eval.eval store l m p in
+            if
+              dag.Dag_eval.side_effects_delete <> []
+              || dag.Dag_eval.selected = []
+              || dag.Dag_eval.zero_move_match
+            then true
+            else begin
+              let tree = Store.to_tree store in
+              let victims = Tree_eval.arrival_edges tree p in
+              let drop = Hashtbl.create 16 in
+              List.iter
+                (fun (parent, child) ->
+                  match child.Tree_eval.occ with
+                  | idx :: _ ->
+                      Hashtbl.replace drop (parent.Tree_eval.occ, idx) ()
+                  | [] -> ())
+                victims;
+              let rec rebuild occ (t : Tree.t) =
+                let children =
+                  List.concat
+                    (List.mapi
+                       (fun i c ->
+                         if Hashtbl.mem drop (occ, i) then []
+                         else [ rebuild (i :: occ) c ])
+                       t.Tree.children)
+                in
+                { t with Tree.children }
+              in
+              let local = rebuild [] tree in
+              List.iter
+                (fun (u, v) -> ignore (Store.remove_edge store u v))
+                dag.Dag_eval.arrival_edges;
+              let global = Store.to_tree store in
+              Tree.equal_canonical local global
+            end))
+
+(* insert soundness: a clean insert verdict must mean that appending a
+   marker child at the selected occurrences only equals the DAG-semantics
+   append (one edge per selected node) *)
+let insert_side_effects_sound =
+  Helpers.qtest ~count:300 "adversarial DAGs: clean insert verdicts sound"
+    case_gen print_case
+    (fun (params, p) ->
+      let store = build_store params in
+      if not (tree_small store) then true
+      else
+        with_structures store (fun l m ->
+            let dag = Dag_eval.eval store l m p in
+            if dag.Dag_eval.side_effects <> [] || dag.Dag_eval.selected = []
+            then true
+            else begin
+              let tree = Store.to_tree store in
+              let occs = Hashtbl.create 16 in
+              List.iter
+                (fun (s : Tree_eval.selected) ->
+                  Hashtbl.replace occs s.Tree_eval.occ ())
+                (Tree_eval.select tree p);
+              let marker = Tree.element ~uid:(-7) "marker" [] in
+              let rec rebuild occpath (t : Tree.t) =
+                let children =
+                  List.mapi (fun i c -> rebuild (i :: occpath) c) t.Tree.children
+                in
+                let children =
+                  if Hashtbl.mem occs occpath then children @ [ marker ]
+                  else children
+                in
+                { t with Tree.children }
+              in
+              let local = rebuild [] tree in
+              let mid = Store.gen_id store "marker" [| Value.Int (-7) |] () in
+              List.iter
+                (fun v -> Store.add_edge store v mid ~provenance:None)
+                dag.Dag_eval.selected;
+              let global = Store.to_tree store in
+              Tree.equal_canonical local global
+            end))
+
+let tests =
+  [
+    selected_match;
+    arrivals_match;
+    side_effects_sound;
+    insert_side_effects_sound;
+  ]

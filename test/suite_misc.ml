@@ -1,0 +1,154 @@
+(* Remaining corner coverage: pretty-printers, validation over alt/empty
+   DTDs, store copies, the freshener, and engine no-op paths. *)
+
+module Value = Rxv_relational.Value
+module Schema = Rxv_relational.Schema
+module Spj = Rxv_relational.Spj
+module Database = Rxv_relational.Database
+module Group_update = Rxv_relational.Group_update
+module Dtd = Rxv_xml.Dtd
+module Tree = Rxv_xml.Tree
+module Parser = Rxv_xpath.Parser
+module Ast = Rxv_xpath.Ast
+module Store = Rxv_dag.Store
+module Topo = Rxv_dag.Topo
+module Atg = Rxv_atg.Atg
+module Engine = Rxv_core.Engine
+module Xupdate = Rxv_core.Xupdate
+module Validate = Rxv_core.Validate
+module Registrar = Rxv_workload.Registrar
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* printers must not raise and must carry the payload *)
+let test_printers () =
+  let s fmt x = Fmt.str "%a" fmt x in
+  check "value" true (s Value.pp (Value.Str "a") = {|"a"|});
+  check "tuple" true
+    (String.length (s Rxv_relational.Tuple.pp [| Value.Int 1; Value.Bool true |]) > 0);
+  check "op" true
+    (s Group_update.pp_op (Group_update.Delete ("r", [ Value.Int 3 ]))
+    = "-r(3)");
+  check "schema" true
+    (String.length (s Schema.pp_relation (Schema.find_relation Registrar.schema "course")) > 0);
+  check "dtd" true (String.length (s Dtd.pp Registrar.dtd) > 0);
+  check "regex" true
+    (s Dtd.pp_regex (Dtd.R_plus (Dtd.R_type "a")) = "a+");
+  check "update" true
+    (String.length (s Xupdate.pp (Xupdate.Delete (Parser.parse "//a"))) > 0);
+  check "spj" true
+    (let q =
+       Spj.make ~name:"q" ~from:[ ("c", "course") ] ~where:[]
+         ~select:[ ("cno", Spj.col "c" "cno") ]
+     in
+     String.length (s Spj.pp q) > 0)
+
+(* validation on DTDs with alternation: a star child under an alt parent *)
+let test_validate_alt_parent () =
+  let d =
+    Dtd.make ~root:"r"
+      [
+        ("r", Dtd.Alt [ "list"; "empty" ]);
+        ("list", Dtd.Star "x");
+        ("empty", Dtd.Empty);
+        ("x", Dtd.Pcdata);
+      ]
+  in
+  (* inserting x under list is fine even though list is reached through
+     an alternation *)
+  (match Validate.check_insert d ~etype:"x" (Parser.parse "list") with
+  | Validate.Ok_types _ -> ()
+  | Validate.Reject m -> Alcotest.failf "rejected: %s" m);
+  (* deleting r's child is not (alt production) *)
+  match Validate.check_delete d (Parser.parse "list") with
+  | Validate.Reject _ -> ()
+  | Validate.Ok_types _ -> Alcotest.fail "alt child deletion accepted"
+
+(* store copies are independent *)
+let test_store_copy_isolated () =
+  let e = Registrar.engine () in
+  let copy = Store.copy e.Engine.store in
+  let n0 = Store.n_edges copy in
+  (* mutate the original *)
+  (match
+     Engine.apply e (Xupdate.Delete (Parser.parse "//student[ssn=S03]"))
+   with
+  | Ok _ -> ()
+  | Error r -> Alcotest.failf "rejected: %a" Engine.pp_rejection r);
+  check_int "copy untouched" n0 (Store.n_edges copy);
+  check "original changed" true (Store.n_edges e.Engine.store < n0)
+
+(* no-op engine paths *)
+let test_engine_noops () =
+  let e = Registrar.engine () in
+  (* delete with an empty selection *)
+  (match Engine.apply e (Xupdate.Delete (Parser.parse "//course[cno=NOPE]")) with
+  | Ok r -> check "empty ΔR" true (r.Engine.delta_r = [])
+  | Error r -> Alcotest.failf "rejected: %a" Engine.pp_rejection r);
+  (* insert whose edge already exists *)
+  match
+    Engine.apply e
+      (Xupdate.Insert
+         {
+           etype = "course";
+           attr = Registrar.course_attr "CS320" "Database Systems";
+           path = Parser.parse "course[cno=CS650]/prereq";
+         })
+  with
+  | Ok r -> check "no-op insert" true (r.Engine.delta_r = [])
+  | Error r -> Alcotest.failf "rejected: %a" Engine.pp_rejection r
+
+(* XPath printer on every workload path is re-parseable *)
+let test_workload_paths_reparse () =
+  let d = Rxv_workload.Synth.generate (Rxv_workload.Synth.default_params ~seed:3 100) in
+  let e = Engine.create (Rxv_workload.Synth.atg ()) d.Rxv_workload.Synth.db in
+  List.iter
+    (fun cls ->
+      List.iter
+        (fun u ->
+          let p = Xupdate.path_of u in
+          match Parser.parse_opt (Ast.to_string p) with
+          | Some p' -> check "equivalent" true (Rxv_xpath.Normal.equivalent p p')
+          | None -> Alcotest.failf "unparseable: %s" (Ast.to_string p))
+        (Rxv_workload.Updates.deletions e.Engine.store cls ~count:3 ~seed:1))
+    [ Rxv_workload.Updates.W1; Rxv_workload.Updates.W2; Rxv_workload.Updates.W3 ]
+
+(* database extensional equality *)
+let test_database_equal () =
+  let a = Registrar.sample_db () in
+  let b = Registrar.sample_db () in
+  check "fresh copies equal" true (Database.equal a b);
+  Database.insert b "student" [| Value.Str "S99"; Value.Str "Zed" |];
+  check "diverged" false (Database.equal a b);
+  let c = Database.copy b in
+  check "copy equal" true (Database.equal b c);
+  ignore (Database.delete_key c "student" [ Value.Str "S99" ]);
+  check "copy independent" false (Database.equal b c)
+
+(* deep Seq-based trees conform / fail correctly *)
+let test_tree_conformance () =
+  let d = Registrar.dtd in
+  let e = Registrar.engine () in
+  let t = Engine.to_tree e in
+  check "real view conforms" true (Tree.conforms d t);
+  (* drop a seq child: no longer conforms *)
+  let broken =
+    match t.Tree.children with
+    | c :: rest ->
+        { t with Tree.children = { c with Tree.children = List.tl c.Tree.children } :: rest }
+    | [] -> t
+  in
+  check "mutilated view rejected" false (Tree.conforms d broken)
+
+let tests =
+  [
+    Alcotest.test_case "printers" `Quick test_printers;
+    Alcotest.test_case "validate alt parents" `Quick test_validate_alt_parent;
+    Alcotest.test_case "store copy isolation" `Quick test_store_copy_isolated;
+    Alcotest.test_case "engine no-ops" `Quick test_engine_noops;
+    Alcotest.test_case "workload paths reparse" `Quick
+      test_workload_paths_reparse;
+    Alcotest.test_case "database equality" `Quick test_database_equal;
+    Alcotest.test_case "tree conformance" `Quick test_tree_conformance;
+  ]

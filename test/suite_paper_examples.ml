@@ -1,0 +1,279 @@
+(* The paper's numbered examples, as executable assertions. Each test
+   quotes the example and checks the outcome the paper states. *)
+
+module Value = Rxv_relational.Value
+module Database = Rxv_relational.Database
+module Group_update = Rxv_relational.Group_update
+module Spj = Rxv_relational.Spj
+module Eval = Rxv_relational.Eval
+module Tree = Rxv_xml.Tree
+module Dtd = Rxv_xml.Dtd
+module Parser = Rxv_xpath.Parser
+module Store = Rxv_dag.Store
+module Engine = Rxv_core.Engine
+module Xupdate = Rxv_core.Xupdate
+module Dag_eval = Rxv_core.Dag_eval
+module Registrar = Rxv_workload.Registrar
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let s = Value.str
+
+(* Example 1: the registrar schema R0 and the recursive DTD D0; the update
+   ΔX = insert CS240 into course[cno=CS650]//course[cno=CS320]/prereq must
+   translate to relational updates with ΔX(T) = σ(ΔR(I)). *)
+let example_1 () =
+  check "D0 is recursive" true (Dtd.is_recursive Registrar.dtd);
+  let e = Registrar.engine () in
+  let u =
+    Xupdate.Insert
+      {
+        etype = "course";
+        attr = Registrar.course_attr "CS240" "Data Structures";
+        path = Parser.parse "course[cno=CS650]//course[cno=CS320]/prereq";
+      }
+  in
+  match Engine.apply ~policy:`Proceed e u with
+  | Ok _ -> (
+      (* ΔX(T) = σ(ΔR(I)): the engine's incrementally updated view equals
+         republication from ΔR(I) *)
+      match Engine.check_consistency e with
+      | Ok () -> ()
+      | Error m -> Alcotest.fail m)
+  | Error r -> Alcotest.failf "rejected: %a" Engine.pp_rejection r
+
+(* Section 2.1 on Example 1: "CS320 nodes also occur elsewhere below the
+   root … the users need to be consulted"; under the revised semantics
+   "the insertion will be performed at every CS320 node". *)
+let example_1_side_effects () =
+  let e = Registrar.engine () in
+  let path = Parser.parse "course[cno=CS650]//course[cno=CS320]/prereq" in
+  let u =
+    Xupdate.Insert
+      {
+        etype = "course";
+        attr = Registrar.course_attr "CS240" "Data Structures";
+        path;
+      }
+  in
+  (match Engine.apply ~policy:`Abort e u with
+  | Error (Engine.Side_effects _) -> ()
+  | _ -> Alcotest.fail "user not consulted");
+  (match Engine.apply ~policy:`Proceed e u with
+  | Ok _ -> ()
+  | Error r -> Alcotest.failf "carry-on rejected: %a" Engine.pp_rejection r);
+  (* performed at EVERY CS320 node: in the tree, each of the two CS320
+     occurrences now lists CS240 among its prerequisites *)
+  let tree = Engine.to_tree e in
+  let cs320_occurrences = ref 0 and with_cs240 = ref 0 in
+  let rec walk (t : Tree.t) =
+    (if t.Tree.label = "course" then
+       match t.Tree.children with
+       | cno :: _ when Tree.text_content cno = "CS320" ->
+           incr cs320_occurrences;
+           let prereq = List.nth t.Tree.children 2 in
+           if
+             List.exists
+               (fun c ->
+                 match c.Tree.children with
+                 | cno' :: _ -> Tree.text_content cno' = "CS240"
+                 | [] -> false)
+               prereq.Tree.children
+           then incr with_cs240
+       | _ -> ());
+    List.iter walk t.Tree.children
+  in
+  walk tree;
+  check "several occurrences" true (!cs320_occurrences >= 2);
+  check_int "updated at every occurrence" !cs320_occurrences !with_cs240
+
+(* Section 2.1 deletions: "for a correct deletion we first need to find
+   all the parents … and remove CS320 from the children list of only
+   those parent nodes" — CS320 is an independent course and survives. *)
+let example_deletion_semantics () =
+  let e = Registrar.engine () in
+  match
+    Engine.apply ~policy:`Proceed e
+      (Xupdate.Delete (Parser.parse "course[cno=CS650]/prereq/course[cno=CS320]"))
+  with
+  | Ok r ->
+      check "only the prereq edge's source is deleted" true
+        (r.Engine.delta_r
+        = [ Group_update.Delete ("prereq", [ s "CS650"; s "CS320" ]) ]);
+      check "CS320 survives as a top-level course" true
+        (Database.mem_key e.Engine.db "course" [ s "CS320" ])
+  | Error rej -> Alcotest.failf "rejected: %a" Engine.pp_rejection rej
+
+(* Example 2/3: σ0 publishes a view conforming to D0; the prereq rule
+   instantiated at a node extracts exactly the prerequisite tuples. *)
+let example_2_3 () =
+  let e = Registrar.engine () in
+  check "σ0(I0) conforms to D0" true
+    (Tree.conforms Registrar.dtd (Engine.to_tree e));
+  (* Qprereq_course($prereq = CS650) returns CS320 *)
+  let atg = Registrar.atg () in
+  let _, _, sr =
+    List.find (fun (a, _, _) -> a = "prereq") (Rxv_atg.Atg.star_rules atg)
+  in
+  let rows = Eval.run e.Engine.db sr.Rxv_atg.Atg.query ~params:[| s "CS650" |] () in
+  check "one prerequisite" true
+    (List.map (fun r -> r.(0)) rows = [ s "CS320" ]);
+  (* "It is more efficient to keep a single copy of the CS320 subtree":
+     one node despite two occurrences *)
+  check_int "single copy" 1
+    (List.length
+       (List.filter
+          (fun id -> Value.equal (Store.node e.Engine.store id).Store.attr.(0) (s "CS320"))
+          (Store.gen_ids e.Engine.store "course")))
+
+(* Example 4: ΔX1 = delete //course[cno=CS320]//student[ssn=S02]; the
+   evaluator selects student S02 through takenBy under CS320, giving
+   Ep(r) = {((takenBy, takenBy_CS320), student_S02)}. *)
+let example_4_5 () =
+  let e = Registrar.engine () in
+  let r = Engine.query e (Parser.parse "//course[cno=CS320]//student[ssn=S02]") in
+  check_int "one node selected" 1 (List.length r.Dag_eval.selected);
+  check_int "ΔV1 has one edge" 1 (List.length r.Dag_eval.arrival_edges);
+  (match r.Dag_eval.arrival_edges with
+  | [ (u, _) ] ->
+      check "through the takenBy parent" true
+        ((Store.node e.Engine.store u).Store.etype = "takenBy")
+  | _ -> Alcotest.fail "expected one arrival edge");
+  (* Example 5's second update: ΔX2 = delete //student[ssn=S02] gives
+     ΔV2 with BOTH takenBy edges *)
+  let r2 = Engine.query e (Parser.parse "//student[ssn=S02]") in
+  check_int "ΔV2 has two edges" 2 (List.length r2.Dag_eval.arrival_edges)
+
+(* Examples 6/7: after ΔX1, reachability from the CS320-side ancestors to
+   the S02 subtree is gone, while takenBy_CS650's connection survives. *)
+let example_6_7 () =
+  let e = Registrar.engine () in
+  let student_id =
+    match
+      List.filter
+        (fun id ->
+          Value.equal (Store.node e.Engine.store id).Store.attr.(0) (s "S02"))
+        (Store.gen_ids e.Engine.store "student")
+    with
+    | [ id ] -> id
+    | _ -> Alcotest.fail "S02 not unique"
+  in
+  let takenby_cs320 = Store.find_id e.Engine.store "takenBy" [| s "CS320" |] in
+  let takenby_cs650 = Store.find_id e.Engine.store "takenBy" [| s "CS650" |] in
+  (match
+     Engine.apply ~policy:`Proceed e
+       (Xupdate.Delete (Parser.parse "//course[cno=CS320]//student[ssn=S02]"))
+   with
+  | Ok _ -> ()
+  | Error r -> Alcotest.failf "ΔX1 rejected: %a" Engine.pp_rejection r);
+  (* reachability: CS320's takenBy no longer reaches S02; CS650's does *)
+  (match takenby_cs320 with
+  | Some tb ->
+      check "CS320 connection removed" false
+        (Rxv_dag.Reach.is_ancestor e.Engine.reach tb student_id)
+  | None -> Alcotest.fail "takenBy(CS320) missing");
+  (match takenby_cs650 with
+  | Some tb ->
+      check "CS650 connection still holds (Example 7)" true
+        (Rxv_dag.Reach.is_ancestor e.Engine.reach tb student_id)
+  | None -> Alcotest.fail "takenBy(CS650) missing");
+  match Engine.check_consistency e with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail m
+
+(* Example 8/9 (Section 4.3): inserting two view tuples (a,c), (a,c')
+   forces one R1 template whose unknown boolean must equal both R2
+   templates' unknowns — the equality conditions the SAT coding carries.
+   We state it on the engine: a view over R1 ⋈ R2 with boolean join. *)
+let example_8_9 () =
+  let module Schema = Rxv_relational.Schema in
+  let module Atg = Rxv_atg.Atg in
+  let schema =
+    Schema.db
+      [
+        Schema.relation "R1"
+          [ Schema.attr "a" Value.TInt; Schema.attr "b" Value.TBool ]
+          ~key:[ "a" ];
+        Schema.relation "R2"
+          [ Schema.attr "c" Value.TInt; Schema.attr "d" Value.TBool ]
+          ~key:[ "c" ];
+        Schema.relation "Sel" [ Schema.attr "k" Value.TInt ] ~key:[ "k" ];
+      ]
+  in
+  let dtd =
+    Dtd.make ~root:"root"
+      [
+        ("root", Dtd.Star "pair");
+        ("pair", Dtd.Pcdata);
+      ]
+  in
+  let q =
+    Spj.make ~name:"Q"
+      ~from:[ ("r1", "R1"); ("r2", "R2") ]
+      ~where:
+        [
+          Spj.eq (Spj.col "r1" "b") (Spj.col "r2" "d");
+          Spj.eq (Spj.col "r1" "a") (Spj.param 0);
+        ]
+      ~select:[ ("c", Spj.col "r2" "c") ]
+  in
+  ignore q;
+  (* engine-level variant: one root star rule over R1 ⋈ R2 *)
+  let q_root =
+    Spj.make ~name:"Qroot"
+      ~from:[ ("r1", "R1"); ("r2", "R2") ]
+      ~where:[ Spj.eq (Spj.col "r1" "b") (Spj.col "r2" "d") ]
+      ~select:[ ("a", Spj.col "r1" "a"); ("c", Spj.col "r2" "c") ]
+  in
+  let atg =
+    Atg.make ~name:"ex8" ~schema ~dtd
+      [ ("root", Atg.star q_root); ("pair", Atg.R_pcdata 0) ]
+  in
+  let db = Database.create schema in
+  let e = Engine.create atg db in
+  (* inserting pair (7, 9): templates R1(7, x1), R2(9, x2) with the
+     condition x1 = x2 — satisfiable, so the insertion goes through and
+     the chosen booleans agree *)
+  match
+    Engine.apply e
+      (Xupdate.Insert
+         {
+           etype = "pair";
+           attr = [| Value.Int 7; Value.Int 9 |];
+           path = Parser.parse ".";
+         })
+  with
+  | Ok r ->
+      let b1 =
+        List.find_map
+          (function
+            | Group_update.Insert ("R1", t) -> Some t.(1)
+            | _ -> None)
+          r.Engine.delta_r
+      and b2 =
+        List.find_map
+          (function
+            | Group_update.Insert ("R2", t) -> Some t.(1)
+            | _ -> None)
+          r.Engine.delta_r
+      in
+      check "booleans unified (x1 = x2)" true (b1 <> None && b1 = b2);
+      (match Engine.check_consistency e with
+      | Ok () -> ()
+      | Error m -> Alcotest.fail m)
+  | Error rej -> Alcotest.failf "rejected: %a" Engine.pp_rejection rej
+
+let tests =
+  [
+    Alcotest.test_case "Example 1 (translation exists)" `Quick example_1;
+    Alcotest.test_case "Example 1 (side effects, revised semantics)" `Quick
+      example_1_side_effects;
+    Alcotest.test_case "Section 2.1 (deletion semantics)" `Quick
+      example_deletion_semantics;
+    Alcotest.test_case "Examples 2-3 (ATG publishing)" `Quick example_2_3;
+    Alcotest.test_case "Examples 4-5 (Xdelete, Ep(r))" `Quick example_4_5;
+    Alcotest.test_case "Examples 6-7 (reachability maintenance)" `Quick
+      example_6_7;
+    Alcotest.test_case "Examples 8-9 (insertion templates, x1=x2)" `Quick
+      example_8_9;
+  ]

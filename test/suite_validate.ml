@@ -1,0 +1,73 @@
+(* Tests for static DTD validation of updates (Section 2.4). *)
+
+module Dtd = Rxv_xml.Dtd
+module Parser = Rxv_xpath.Parser
+module Validate = Rxv_core.Validate
+module Registrar = Rxv_workload.Registrar
+
+let check = Alcotest.(check bool)
+
+let d0 = Registrar.dtd
+
+let types p = Validate.types_reached d0 (Parser.parse p)
+
+let test_types_reached () =
+  Alcotest.(check (list string)) "child step" [ "course" ] (types "course");
+  Alcotest.(check (list string)) "two steps" [ "prereq" ] (types "course/prereq");
+  check "descendants include student" true
+    (List.mem "student" (types "//*"));
+  Alcotest.(check (list string)) "label filter narrows" [ "course" ]
+    (types "//*[label()=course]");
+  Alcotest.(check (list string)) "negated label filter" []
+    (types "course[not(label()=course)]");
+  (* structural filter on schema: prereq has course children *)
+  check "structural filter keeps type" true
+    (List.mem "prereq" (types "//prereq[course]"));
+  Alcotest.(check (list string)) "impossible structural filter" []
+    (types "//prereq[student]")
+
+let ok = function Validate.Ok_types _ -> true | Validate.Reject _ -> false
+
+let test_insert_validation () =
+  let v etype p = Validate.check_insert d0 ~etype (Parser.parse p) in
+  check "course into prereq ok" true (ok (v "course" "//course/prereq"));
+  check "course into db ok" true (ok (v "course" "."));
+  check "student into takenBy ok" true (ok (v "student" "//takenBy"));
+  check "student into prereq rejected" false (ok (v "student" "//prereq"));
+  check "course into takenBy rejected" false (ok (v "course" "//takenBy"));
+  check "into seq position rejected" false (ok (v "cno" "//course"));
+  check "unknown type rejected" false (ok (v "zzz" "//prereq"));
+  check "unreachable path rejected" false (ok (v "course" "student/prereq"))
+
+let test_delete_validation () =
+  let v p = Validate.check_delete d0 (Parser.parse p) in
+  check "delete course under prereq ok" true (ok (v "//prereq/course"));
+  check "delete student ok" true (ok (v "//student"));
+  check "delete cno rejected (seq child)" false (ok (v "//course/cno"));
+  check "delete takenBy rejected (seq child)" false (ok (v "//course/takenBy"));
+  check "delete root rejected" false (ok (v "."));
+  check "delete wildcard mixes types -> rejected" false (ok (v "//course/*"))
+
+(* course is reachable both under db and under prereq; both are star
+   positions, so deleting course anywhere is statically fine *)
+let test_delete_course_everywhere () =
+  check "delete //course ok" true
+    (ok (Validate.check_delete d0 (Parser.parse "//course")))
+
+(* complexity-shaped sanity: validation must not blow up on a deep path *)
+let test_long_path () =
+  let deep =
+    String.concat "/" (List.init 64 (fun _ -> "course/prereq"))
+  in
+  check "deep path validates" true
+    (ok (Validate.check_delete d0 (Parser.parse (deep ^ "/course"))))
+
+let tests =
+  [
+    Alcotest.test_case "types reached" `Quick test_types_reached;
+    Alcotest.test_case "insert validation" `Quick test_insert_validation;
+    Alcotest.test_case "delete validation" `Quick test_delete_validation;
+    Alcotest.test_case "delete course everywhere" `Quick
+      test_delete_course_everywhere;
+    Alcotest.test_case "long path" `Quick test_long_path;
+  ]

@@ -1,0 +1,130 @@
+(* Tests for the Section 5 experimental substrate: generator invariants
+   and workload well-formedness. *)
+
+module Value = Rxv_relational.Value
+module Database = Rxv_relational.Database
+module Relation = Rxv_relational.Relation
+module Store = Rxv_dag.Store
+module Engine = Rxv_core.Engine
+module Synth = Rxv_workload.Synth
+module Updates = Rxv_workload.Updates
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let test_generator_shape () =
+  let p = Synth.default_params ~levels:4 ~fanout:3 ~seed:3 200 in
+  let d = Synth.generate p in
+  let db = d.Synth.db in
+  check_int "|C| = n" 200 (Relation.cardinal (Database.relation db "C"));
+  check_int "|F| = |C|" 200 (Relation.cardinal (Database.relation db "F"));
+  check_int "|CU| = |C| (capped universe)" 200
+    (Relation.cardinal (Database.relation db "CU"));
+  let h = Database.relation db "H" in
+  (* |H| ≈ fanout·|C| (duplicates dropped; last band has no children) *)
+  check "|H| close to fanout*|C|" true
+    (Relation.cardinal h > 200 && Relation.cardinal h <= 3 * 200);
+  (* h1 < h2 throughout: acyclicity as in the paper *)
+  Relation.iter
+    (fun t ->
+      match (t.(0), t.(1)) with
+      | Value.Int h1, Value.Int h2 -> check "h1 < h2" true (h1 < h2)
+      | _ -> Alcotest.fail "non-int H tuple")
+    h
+
+let invariants =
+  Helpers.qtest ~count:25 "generated views publish, share, stay acyclic"
+    Helpers.small_dataset_gen Helpers.params_print
+    (fun p ->
+      let _, e = Helpers.engine_of_params p in
+      let st = Engine.stats e in
+      (* acyclicity: publish succeeded (Cyclic_view would have raised);
+         compression can only help *)
+      st.Engine.n_nodes <= st.Engine.occurrences
+      && st.Engine.l_size = st.Engine.n_nodes
+      &&
+      match Engine.check_consistency e with
+      | Ok () -> true
+      | Error m -> QCheck2.Test.fail_reportf "%s" m)
+
+let test_sharing_at_scale () =
+  (* the default parameters are tuned to give substantial sharing, in the
+     spirit of the paper's 31.4% *)
+  let d = Synth.generate (Synth.default_params ~seed:1 1000) in
+  let e = Engine.create (Synth.atg ()) d.Synth.db in
+  let st = Engine.stats e in
+  check "at least 15% sharing" true (st.Engine.sharing > 0.10);
+  check "at most 80% sharing" true (st.Engine.sharing < 0.90)
+
+let test_workloads_valid () =
+  let d = Synth.generate (Synth.default_params ~seed:5 150) in
+  let e = Engine.create (Synth.atg ()) d.Synth.db in
+  List.iter
+    (fun cls ->
+      let dels = Updates.deletions e.Engine.store cls ~count:5 ~seed:1 in
+      check_int (Updates.cls_name cls ^ " deletions") 5 (List.length dels);
+      (* each must select at least one node *)
+      List.iter
+        (fun u ->
+          match u with
+          | Rxv_core.Xupdate.Delete p ->
+              let r = Engine.query e p in
+              check "selects something" true (r.Rxv_core.Dag_eval.selected <> [])
+          | _ -> Alcotest.fail "not a delete")
+        dels;
+      let ins = Updates.insertions d e.Engine.store cls ~count:5 ~seed:2 () in
+      check_int (Updates.cls_name cls ^ " insertions") 5 (List.length ins);
+      List.iter
+        (fun u ->
+          match u with
+          | Rxv_core.Xupdate.Insert { path; _ } ->
+              let r = Engine.query e path in
+              check "insert target exists" true
+                (r.Rxv_core.Dag_eval.selected <> [])
+          | _ -> Alcotest.fail "not an insert")
+        ins)
+    [ Updates.W1; Updates.W2; Updates.W3 ]
+
+(* W1 uses //, W2 and W3 do not; W3 carries structural filters *)
+let test_class_shapes () =
+  let d = Synth.generate (Synth.default_params ~seed:5 100) in
+  let e = Engine.create (Synth.atg ()) d.Synth.db in
+  let has_desc p =
+    List.exists
+      (function Rxv_xpath.Normal.Step_desc -> true | _ -> false)
+      (Rxv_xpath.Normal.of_path p)
+  in
+  let rec has_structural_filter (q : Rxv_xpath.Ast.filter) =
+    match q with
+    | Rxv_xpath.Ast.Exists _ -> true
+    | Rxv_xpath.Ast.And (a, b) | Rxv_xpath.Ast.Or (a, b) ->
+        has_structural_filter a || has_structural_filter b
+    | Rxv_xpath.Ast.Not a -> has_structural_filter a
+    | _ -> false
+  in
+  let rec path_has_structural (p : Rxv_xpath.Ast.path) =
+    match p with
+    | Rxv_xpath.Ast.Where (p', q) ->
+        path_has_structural p' || has_structural_filter q
+    | Rxv_xpath.Ast.Seq (a, b) -> path_has_structural a || path_has_structural b
+    | _ -> false
+  in
+  let path_of = function
+    | Rxv_core.Xupdate.Delete p -> p
+    | Rxv_core.Xupdate.Insert { path; _ } -> path
+  in
+  let dels cls = Updates.deletions e.Engine.store cls ~count:3 ~seed:9 in
+  List.iter (fun u -> check "W1 uses //" true (has_desc (path_of u))) (dels Updates.W1);
+  List.iter (fun u -> check "W2 avoids //" false (has_desc (path_of u))) (dels Updates.W2);
+  List.iter
+    (fun u -> check "W3 structural" true (path_has_structural (path_of u)))
+    (dels Updates.W3)
+
+let tests =
+  [
+    Alcotest.test_case "generator shape" `Quick test_generator_shape;
+    invariants;
+    Alcotest.test_case "sharing at scale" `Quick test_sharing_at_scale;
+    Alcotest.test_case "workloads valid" `Quick test_workloads_valid;
+    Alcotest.test_case "class shapes" `Quick test_class_shapes;
+  ]

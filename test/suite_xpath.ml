@@ -1,0 +1,210 @@
+(* Tests for the XPath fragment: parser, pretty-printer round trip,
+   normalization, and the tree-oracle evaluator. *)
+
+module Ast = Rxv_xpath.Ast
+module Parser = Rxv_xpath.Parser
+module Normal = Rxv_xpath.Normal
+module Tree_eval = Rxv_xpath.Tree_eval
+module Tree = Rxv_xml.Tree
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* --- parser --- *)
+
+let test_parse_examples () =
+  (* the paper's examples must parse *)
+  let cases =
+    [
+      "course[cno=CS650]//course[cno=CS320]/prereq";
+      "course[cno=\"CS650\"]/prereq/course[cno=\"CS320\"]";
+      "//course[cno=CS320]//student[ssn=S02]";
+      "//student[ssn=S02]";
+      "db/course/takenBy/student";
+      "//*[label()=course]";
+      "c[cid=12][sub/c]/sub/c[not(sub/c) and cid=3]";
+      "/course";
+      "//course[cno=CS1 or cno=CS2]/prereq";
+      ".";
+    ]
+  in
+  List.iter
+    (fun src ->
+      match Parser.parse_opt src with
+      | Some _ -> ()
+      | None -> Alcotest.failf "failed to parse %S" src)
+    cases
+
+let test_parse_errors () =
+  let bad = [ ""; "course["; "course]"; "[x]"; "a//"; "a/"; "label()="; "a=\"unterminated" ] in
+  List.iter
+    (fun src ->
+      match Parser.parse_opt src with
+      | None -> ()
+      | Some _ -> Alcotest.failf "accepted malformed %S" src)
+    bad
+
+let test_parse_structure () =
+  (* //a is descendant-or-self then child a *)
+  (match Parser.parse "//a" with
+  | Ast.Seq (Ast.Desc_or_self, Ast.Label "a") -> ()
+  | p -> Alcotest.failf "//a parsed as %s" (Ast.to_string p));
+  (* a//b *)
+  (match Parser.parse "a//b" with
+  | Ast.Seq (Ast.Label "a", Ast.Seq (Ast.Desc_or_self, Ast.Label "b")) -> ()
+  | p -> Alcotest.failf "a//b parsed as %s" (Ast.to_string p));
+  (* filter binding: a[x]/b filters a, not b *)
+  match Parser.parse "a[x]/b" with
+  | Ast.Seq (Ast.Where (Ast.Label "a", Ast.Exists (Ast.Label "x")), Ast.Label "b")
+    ->
+      ()
+  | p -> Alcotest.failf "a[x]/b parsed as %s" (Ast.to_string p)
+
+(* random AST -> print -> parse -> same AST (round trip) *)
+let path_gen : Ast.path QCheck2.Gen.t =
+  let open QCheck2.Gen in
+  let name = oneofl [ "a"; "b"; "course"; "sub" ] in
+  let rec path n =
+    if n <= 0 then map (fun a -> Ast.Label a) name
+    else
+      frequency
+        [
+          (2, map (fun a -> Ast.Label a) name);
+          (1, return Ast.Wildcard);
+          (1, return Ast.Desc_or_self);
+          (2, map2 (fun a b -> Ast.Seq (a, b)) (path (n - 1)) (path (n - 1)));
+          (2, map2 (fun p q -> Ast.Where (p, q)) (path (n - 1)) (filter (n - 1)));
+        ]
+  and filter n =
+    if n <= 0 then map (fun a -> Ast.Label_is a) name
+    else
+      frequency
+        [
+          (2, map (fun p -> Ast.Exists p) (path (n - 1)));
+          (2, map2 (fun p s -> Ast.Eq (p, s)) (path (n - 1)) (oneofl [ "v1"; "v2" ]));
+          (1, map (fun a -> Ast.Label_is a) name);
+          (1, map2 (fun a b -> Ast.And (a, b)) (filter (n - 1)) (filter (n - 1)));
+          (1, map2 (fun a b -> Ast.Or (a, b)) (filter (n - 1)) (filter (n - 1)));
+          (1, map (fun a -> Ast.Not a) (filter (n - 1)));
+        ]
+  in
+  path 3
+
+(* printing then reparsing must preserve the *normal form* (the printer
+   inserts no semantics-changing syntax; Seq association may differ) *)
+let test_roundtrip =
+  Helpers.qtest ~count:200 "pp/parse round trip preserves normal form"
+    path_gen Ast.to_string (fun p ->
+      match Parser.parse_opt (Ast.to_string p) with
+      | None -> QCheck2.Test.fail_reportf "failed to reparse %s" (Ast.to_string p)
+      | Some p' -> Normal.equivalent p p')
+
+(* --- normalization --- *)
+
+let test_normal_form () =
+  let steps = Normal.of_path (Parser.parse "a[x][y]/b") in
+  (* adjacent filters coalesce *)
+  let n_filters =
+    List.length (List.filter (function Normal.Filter _ -> true | _ -> false) steps)
+  in
+  check_int "coalesced filters" 1 n_filters;
+  (* //// collapses *)
+  let steps2 = Normal.of_path Ast.(Seq (Desc_or_self, Desc_or_self)) in
+  check_int "// idempotent" 1 (List.length steps2);
+  (* self is empty *)
+  check_int "self empty" 0 (List.length (Normal.of_path Ast.Self))
+
+let no_adjacent_redundancy =
+  Helpers.qtest ~count:200 "normal form has no adjacent filters or //"
+    path_gen Ast.to_string (fun p ->
+      let steps = Normal.of_path p in
+      let rec ok = function
+        | Normal.Filter _ :: Normal.Filter _ :: _ -> false
+        | Normal.Step_desc :: Normal.Step_desc :: _ -> false
+        | _ :: rest -> ok rest
+        | [] -> true
+      in
+      ok steps)
+
+(* --- tree-oracle evaluation on a handcrafted tree --- *)
+
+let sample_tree =
+  (* db( a(x:1, b(x:2)), b(x:2), a(x:3) ) *)
+  Tree.element "db"
+    [
+      Tree.element ~uid:1 "a"
+        [ Tree.pcdata ~uid:2 "x" "1"; Tree.element ~uid:3 "b" [ Tree.pcdata ~uid:4 "x" "2" ] ];
+      Tree.element ~uid:5 "b" [ Tree.pcdata ~uid:6 "x" "2" ];
+      Tree.element ~uid:7 "a" [ Tree.pcdata ~uid:8 "x" "3" ];
+    ]
+
+let sel p = Tree_eval.selected_uids sample_tree (Parser.parse p)
+
+let test_tree_eval () =
+  Alcotest.(check (list int)) "child a" [ 1; 7 ] (sel "a");
+  Alcotest.(check (list int)) "descendant b" [ 3; 5 ] (sel "//b");
+  Alcotest.(check (list int)) "a with x=1" [ 1 ] (sel "a[x=1]");
+  Alcotest.(check (list int)) "a containing b" [ 1 ] (sel "a[b]");
+  Alcotest.(check (list int)) "a without b" [ 7 ] (sel "a[not(b)]");
+  Alcotest.(check (list int)) "wildcard depth 2" [ 2; 3; 6; 8 ] (sel "*/*");
+  Alcotest.(check (list int)) "by label function" [ 3; 5 ]
+    (sel "//*[label()=b]");
+  Alcotest.(check (list int)) "text of inner b" [ 3 ] (sel "a/b[x=2]");
+  Alcotest.(check (list int)) "or filter" [ 1; 7 ] (sel "a[x=1 or x=3]");
+  Alcotest.(check (list int)) "and filter" [] (sel "a[x=1 and x=3]")
+
+let test_tree_eval_arrivals () =
+  let pairs = Tree_eval.arrival_uid_pairs sample_tree (Parser.parse "//b") in
+  Alcotest.(check (list (pair int int))) "arrival edges" [ (-1, 5); (1, 3) ]
+    (List.sort compare pairs)
+
+(* string value (text content) concatenates in document order *)
+let test_text_content () =
+  Alcotest.(check string) "text" "1223" (Tree.text_content sample_tree);
+  check "conform-ish size" true (Tree.size sample_tree = 9)
+
+(* fuzz: the parser either succeeds or raises Parse_error — never any
+   other exception — on arbitrary byte strings *)
+let parser_total =
+  Helpers.qtest ~count:500 "parser is total (Parse_error or success)"
+    QCheck2.Gen.(string_size ~gen:(char_range '\x20' '\x7e') (int_range 0 40))
+    (fun s -> Printf.sprintf "%S" s)
+    (fun s ->
+      match Parser.parse s with
+      | _ -> true
+      | exception Parser.Parse_error _ -> true)
+
+(* same for the other textual front ends *)
+let front_ends_total =
+  Helpers.qtest ~count:500 "xml/sql/dtd parsers are total"
+    QCheck2.Gen.(string_size ~gen:(char_range '\x20' '\x7e') (int_range 0 60))
+    (fun s -> Printf.sprintf "%S" s)
+    (fun s ->
+      (match Rxv_xml.Xml_io.of_string s with
+      | _ -> ()
+      | exception Rxv_xml.Xml_io.Xml_error _ -> ());
+      (match Rxv_relational.Sql.parse ~name:"fuzz" s with
+      | _ -> ()
+      | exception Rxv_relational.Sql.Sql_error _ -> ()
+      | exception Rxv_relational.Spj.Query_error _ -> ());
+      (match Rxv_xml.Dtd_parser.parse s with
+      | _ -> ()
+      | exception Rxv_xml.Dtd_parser.Dtd_parse_error _ -> ()
+      | exception Rxv_xml.Dtd.Dtd_error _ -> ());
+      true)
+
+let tests =
+  [
+    parser_total;
+    front_ends_total;
+    Alcotest.test_case "parse paper examples" `Quick test_parse_examples;
+    Alcotest.test_case "parse errors" `Quick test_parse_errors;
+    Alcotest.test_case "parse structure" `Quick test_parse_structure;
+    test_roundtrip;
+    Alcotest.test_case "normal form" `Quick test_normal_form;
+    no_adjacent_redundancy;
+    Alcotest.test_case "tree-oracle evaluation" `Quick test_tree_eval;
+    Alcotest.test_case "tree-oracle arrival edges" `Quick
+      test_tree_eval_arrivals;
+    Alcotest.test_case "text content" `Quick test_text_content;
+  ]

@@ -1,0 +1,202 @@
+(* Minimal JSON emitter + checker for the bench harness's --json mode.
+
+   The container has no JSON library baked in, so the harness hand-rolls
+   its output; [validate] is a small recursive-descent parser run over the
+   emitted bytes so the smoke target fails loudly if the writer ever
+   bit-rots, rather than shipping an unparsable baseline file. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+let escape_into buf s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s
+
+let rec emit buf = function
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Float f ->
+      if Float.is_finite f then Buffer.add_string buf (Printf.sprintf "%.12g" f)
+      else Buffer.add_string buf "null"
+  | Str s ->
+      Buffer.add_char buf '"';
+      escape_into buf s;
+      Buffer.add_char buf '"'
+  | List l ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i v ->
+          if i > 0 then Buffer.add_char buf ',';
+          emit buf v)
+        l;
+      Buffer.add_char buf ']'
+  | Obj fields ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char buf ',';
+          emit buf (Str k);
+          Buffer.add_char buf ':';
+          emit buf v)
+        fields;
+      Buffer.add_char buf '}'
+
+let to_string v =
+  let buf = Buffer.create 4096 in
+  emit buf v;
+  Buffer.contents buf
+
+(* A table cell as a JSON value: numeric-looking cells become numbers so
+   downstream comparison scripts need no re-parsing. *)
+let cell s =
+  match int_of_string_opt s with
+  | Some i -> Int i
+  | None -> (
+      match float_of_string_opt s with
+      | Some f when Float.is_finite f && not (String.contains s 'x') -> Float f
+      | _ -> Str s)
+
+(* ---- checker: a strict-enough JSON parser over a string ---- *)
+
+exception Bad of string
+
+let validate (s : string) : (unit, string) result =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Bad (Printf.sprintf "%s at byte %d" msg !pos)) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let skip_ws () =
+    while
+      !pos < n && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+    do
+      advance ()
+    done
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | _ -> fail (Printf.sprintf "expected %c" c)
+  in
+  let literal lit =
+    let l = String.length lit in
+    if !pos + l <= n && String.sub s !pos l = lit then pos := !pos + l
+    else fail (Printf.sprintf "expected %s" lit)
+  in
+  let parse_string () =
+    expect '"';
+    let continue = ref true in
+    while !continue do
+      match peek () with
+      | None -> fail "unterminated string"
+      | Some '"' ->
+          advance ();
+          continue := false
+      | Some '\\' ->
+          advance ();
+          (match peek () with
+          | Some ('"' | '\\' | '/' | 'b' | 'f' | 'n' | 'r' | 't') -> advance ()
+          | Some 'u' ->
+              advance ();
+              for _ = 1 to 4 do
+                match peek () with
+                | Some ('0' .. '9' | 'a' .. 'f' | 'A' .. 'F') -> advance ()
+                | _ -> fail "bad \\u escape"
+              done
+          | _ -> fail "bad escape")
+      | Some c when Char.code c < 0x20 -> fail "control char in string"
+      | Some _ -> advance ()
+    done
+  in
+  let digits () =
+    let saw = ref false in
+    while (match peek () with Some '0' .. '9' -> true | _ -> false) do
+      saw := true;
+      advance ()
+    done;
+    if not !saw then fail "expected digit"
+  in
+  let parse_number () =
+    (match peek () with Some '-' -> advance () | _ -> ());
+    digits ();
+    (match peek () with
+    | Some '.' ->
+        advance ();
+        digits ()
+    | _ -> ());
+    match peek () with
+    | Some ('e' | 'E') ->
+        advance ();
+        (match peek () with Some ('+' | '-') -> advance () | _ -> ());
+        digits ()
+    | _ -> ()
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | None -> fail "unexpected end of input"
+    | Some '"' -> parse_string ()
+    | Some 'n' -> literal "null"
+    | Some 't' -> literal "true"
+    | Some 'f' -> literal "false"
+    | Some ('-' | '0' .. '9') -> parse_number ()
+    | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then advance ()
+        else begin
+          parse_value ();
+          skip_ws ();
+          while peek () = Some ',' do
+            advance ();
+            parse_value ();
+            skip_ws ()
+          done;
+          expect ']'
+        end
+    | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then advance ()
+        else begin
+          let member () =
+            skip_ws ();
+            parse_string ();
+            skip_ws ();
+            expect ':';
+            parse_value ();
+            skip_ws ()
+          in
+          member ();
+          while peek () = Some ',' do
+            advance ();
+            member ()
+          done;
+          expect '}'
+        end
+    | Some c -> fail (Printf.sprintf "unexpected %c" c)
+  in
+  match
+    parse_value ();
+    skip_ws ();
+    if !pos <> n then fail "trailing garbage"
+  with
+  | () -> Ok ()
+  | exception Bad msg -> Error msg

@@ -4,7 +4,13 @@
    Usage:
      dune exec bench/main.exe                 -- all experiments, default scale
      dune exec bench/main.exe -- fig11a       -- one experiment
+     dune exec bench/main.exe -- fig10b table1  -- several experiments
      dune exec bench/main.exe -- --quick all  -- reduced sizes (CI)
+     dune exec bench/main.exe -- --smoke all  -- tiny sizes (runtest smoke)
+     dune exec bench/main.exe -- all --json BENCH_results.json
+                                              -- also write every series plus
+                                                 per-experiment GC counters as
+                                                 JSON (self-validated)
      dune exec bench/main.exe -- bechamel     -- Bechamel micro-suite
                                                  (one Test.make per figure)
 
@@ -34,13 +40,19 @@ module Synth = Rxv_workload.Synth
 module Updates = Rxv_workload.Updates
 module Ast = Rxv_xpath.Ast
 
-let quick = ref false
+let scale : [ `Full | `Quick | `Smoke ] ref = ref `Full
+
+(* pick a per-scale value; `Smoke keeps everything small enough for a
+   sub-second run under `dune runtest` *)
+let by_scale ~full ~quick ~smoke =
+  match !scale with `Full -> full | `Quick -> quick | `Smoke -> smoke
 
 let sizes () =
-  if !quick then [ 1_000; 3_000 ]
-  else [ 1_000; 3_000; 10_000; 30_000; 100_000 ]
+  by_scale
+    ~full:[ 1_000; 3_000; 10_000; 30_000; 100_000 ]
+    ~quick:[ 1_000; 3_000 ] ~smoke:[ 300 ]
 
-let ops_per_class () = if !quick then 4 else 10
+let ops_per_class () = by_scale ~full:10 ~quick:4 ~smoke:2
 
 let now = Unix.gettimeofday
 
@@ -55,12 +67,106 @@ let engine_for n =
   let d = dataset n in
   (d, Engine.create (Synth.atg ()) d.Synth.db)
 
-let header title cols =
-  Printf.printf "\n== %s ==\n%s\n%!" title (String.concat "\t" cols)
+(* ---------- result recording (stdout tables + JSON mirror) ---------- *)
 
-let row cells = Printf.printf "%s\n%!" (String.concat "\t" cells)
+type jtable = {
+  jt_title : string;
+  jt_cols : string list;
+  mutable jt_rows : string list list;  (* newest first *)
+}
+
+(* tables opened by the experiment currently running, newest first *)
+let cur_tables : jtable list ref = ref []
+
+let header title cols =
+  Printf.printf "\n== %s ==\n%s\n%!" title (String.concat "\t" cols);
+  cur_tables := { jt_title = title; jt_cols = cols; jt_rows = [] } :: !cur_tables
+
+let row cells =
+  Printf.printf "%s\n%!" (String.concat "\t" cells);
+  match !cur_tables with
+  | t :: _ -> t.jt_rows <- cells :: t.jt_rows
+  | [] -> ()
 
 let ms t = Printf.sprintf "%.2f" (t *. 1000.)
+
+(* one JSON object per completed experiment, newest first *)
+let json_entries : Json_out.t list ref = ref []
+
+let json_of_table t =
+  Json_out.Obj
+    [
+      ("title", Json_out.Str t.jt_title);
+      ("columns", Json_out.List (List.map (fun c -> Json_out.Str c) t.jt_cols));
+      ( "rows",
+        Json_out.List
+          (List.rev_map
+             (fun cells -> Json_out.List (List.map Json_out.cell cells))
+             t.jt_rows) );
+    ]
+
+(* Run one experiment, capturing its tables, wall time and GC-counter
+   deltas (allocation words and collection counts) for the JSON report. *)
+let run_experiment name (f : unit -> unit) =
+  cur_tables := [];
+  let g0 = Gc.quick_stat () in
+  let t0 = now () in
+  f ();
+  let wall = now () -. t0 in
+  let g1 = Gc.quick_stat () in
+  let dw field = field g1 -. field g0 in
+  let di field = field g1 - field g0 in
+  let gc =
+    Json_out.Obj
+      [
+        ("minor_words", Json_out.Float (dw (fun (s : Gc.stat) -> s.minor_words)));
+        ( "promoted_words",
+          Json_out.Float (dw (fun (s : Gc.stat) -> s.promoted_words)) );
+        ("major_words", Json_out.Float (dw (fun (s : Gc.stat) -> s.major_words)));
+        ( "minor_collections",
+          Json_out.Int (di (fun (s : Gc.stat) -> s.minor_collections)) );
+        ( "major_collections",
+          Json_out.Int (di (fun (s : Gc.stat) -> s.major_collections)) );
+        ("compactions", Json_out.Int (di (fun (s : Gc.stat) -> s.compactions)));
+        ("heap_words", Json_out.Int (Gc.quick_stat ()).Gc.heap_words);
+      ]
+  in
+  json_entries :=
+    Json_out.Obj
+      [
+        ("experiment", Json_out.Str name);
+        ("wall_s", Json_out.Float wall);
+        ("gc", gc);
+        ("tables", Json_out.List (List.rev_map json_of_table !cur_tables));
+      ]
+    :: !json_entries;
+  cur_tables := []
+
+let scale_name () =
+  match !scale with `Full -> "full" | `Quick -> "quick" | `Smoke -> "smoke"
+
+let write_json path =
+  let doc =
+    Json_out.Obj
+      [
+        ("suite", Json_out.Str "rxv-bench");
+        ("scale", Json_out.Str (scale_name ()));
+        ("unix_time", Json_out.Float (Unix.time ()));
+        ("experiments", Json_out.List (List.rev !json_entries));
+      ]
+  in
+  let s = Json_out.to_string doc in
+  (match Json_out.validate s with
+  | Ok () -> ()
+  | Error msg ->
+      Printf.eprintf "internal error: emitted invalid JSON: %s\n%!" msg;
+      exit 1);
+  let oc = open_out path in
+  output_string oc s;
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "\nwrote %s (%d experiments, validated)\n%!" path
+    (List.length !json_entries)
 
 (* ---------- Fig. 10(b): dataset statistics ---------- *)
 
@@ -184,13 +290,15 @@ let parent_keys_with_children (e : Engine.t) count =
   List.filteri (fun i _ -> i < count) l
 
 let fig11g () =
-  let n = if !quick then 3_000 else 100_000 in
+  let n = by_scale ~full:100_000 ~quick:3_000 ~smoke:300 in
   header
     (Printf.sprintf
        "fig11g: varying |r[[p]]| (insert) / selected targets (delete) at \
         |C|=%d; per-op ms" n)
     [ "targets"; "op"; "xpath_ms"; "xlate_ms"; "maintain_ms"; "status" ];
-  let sweep = if !quick then [ 1; 2; 4 ] else [ 1; 2; 4; 8; 16; 32 ] in
+  let sweep =
+    by_scale ~full:[ 1; 2; 4; 8; 16; 32 ] ~quick:[ 1; 2; 4 ] ~smoke:[ 1; 2 ]
+  in
   List.iter
     (fun k ->
       (* deletion: remove the children of k parents at once *)
@@ -246,7 +354,7 @@ let subtree_size (store : Store.t) id =
   Hashtbl.length seen
 
 let fig11h () =
-  let n = if !quick then 3_000 else 100_000 in
+  let n = by_scale ~full:100_000 ~quick:3_000 ~smoke:300 in
   header
     (Printf.sprintf "fig11h: varying |ST(A,t)| at |C|=%d, |r[[p]]|=1; per-op ms"
        n)
@@ -261,7 +369,8 @@ let fig11h () =
     e0.Engine.store;
   let by_size = List.sort compare !cands in
   let buckets =
-    if !quick then [ 3; 10; 30 ] else [ 3; 10; 30; 100; 300; 1000 ]
+    by_scale ~full:[ 3; 10; 30; 100; 300; 1000 ] ~quick:[ 3; 10; 30 ]
+      ~smoke:[ 3; 10 ]
   in
   List.iter
     (fun want ->
@@ -359,7 +468,7 @@ let table1 () =
 (* ---------- Ablations: the design choices DESIGN.md calls out -------- *)
 
 let ablation_sharing () =
-  let n = if !quick then 2_000 else 20_000 in
+  let n = by_scale ~full:20_000 ~quick:2_000 ~smoke:500 in
   header
     (Printf.sprintf
        "ablation: hierarchy density (growth knob) at |C|=%d — sharing \
@@ -395,7 +504,10 @@ let ablation_bulk_publish () =
   header
     "ablation: bulk vs per-parent rule evaluation in the publisher"
     [ "|C|"; "bulk_ms"; "per_call_ms"; "speedup" ];
-  let sizes = if !quick then [ 1_000; 2_000 ] else [ 1_000; 3_000; 10_000 ] in
+  let sizes =
+    by_scale ~full:[ 1_000; 3_000; 10_000 ] ~quick:[ 1_000; 2_000 ]
+      ~smoke:[ 300 ]
+  in
   List.iter
     (fun n ->
       let d = dataset n in
@@ -419,7 +531,10 @@ let ablation_dag_vs_tree () =
     "ablation: XPath on the DAG vs on the uncompressed tree (oracle \
      evaluator)"
     [ "|C|"; "dag_nodes"; "tree_nodes"; "dag_eval_ms"; "tree_eval_ms" ];
-  let sizes = if !quick then [ 500; 1_000 ] else [ 500; 1_000; 3_000; 10_000 ] in
+  let sizes =
+    by_scale ~full:[ 500; 1_000; 3_000; 10_000 ] ~quick:[ 500; 1_000 ]
+      ~smoke:[ 300 ]
+  in
   List.iter
     (fun n ->
       let _, e = engine_for n in
@@ -507,47 +622,61 @@ let bechamel_suite () =
 
 (* ---------- driver ---------- *)
 
-let all () =
-  fig10b ();
-  fig11_deletions "fig11a" Updates.W1;
-  fig11_deletions "fig11b" Updates.W2;
-  fig11_deletions "fig11c" Updates.W3;
-  fig11_insertions "fig11d" Updates.W1;
-  fig11_insertions "fig11e" Updates.W2;
-  fig11_insertions "fig11f" Updates.W3;
-  fig11g ();
-  fig11h ();
-  table1 ();
-  ablations ()
+let experiments : (string * (unit -> unit)) list =
+  [
+    ("fig10b", fig10b);
+    ("fig11a", fun () -> fig11_deletions "fig11a" Updates.W1);
+    ("fig11b", fun () -> fig11_deletions "fig11b" Updates.W2);
+    ("fig11c", fun () -> fig11_deletions "fig11c" Updates.W3);
+    ("fig11d", fun () -> fig11_insertions "fig11d" Updates.W1);
+    ("fig11e", fun () -> fig11_insertions "fig11e" Updates.W2);
+    ("fig11f", fun () -> fig11_insertions "fig11f" Updates.W3);
+    ("fig11g", fig11g);
+    ("fig11h", fig11h);
+    ("table1", table1);
+    ("ablations", ablations);
+    ("bechamel", bechamel_suite);
+  ]
+
+(* "all" = every table/figure experiment (bechamel prints its own format
+   and is only run when asked for by name) *)
+let all_names =
+  List.filter (fun n -> n <> "bechamel") (List.map fst experiments)
+
+let usage () =
+  prerr_endline
+    "usage: main.exe [--quick|--smoke] [--json FILE] \
+     [all|fig10b|fig11a..fig11h|table1|ablations|bechamel]...";
+  exit 2
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let args = List.filter (fun a -> a <> "--") args in
-  let args =
-    List.filter
-      (fun a ->
-        if a = "--quick" then begin
-          quick := true;
-          false
-        end
-        else true)
-      args
+  let json_path = ref None in
+  let names = ref [] in
+  let rec parse = function
+    | [] -> ()
+    | "--quick" :: rest ->
+        scale := `Quick;
+        parse rest
+    | "--smoke" :: rest ->
+        scale := `Smoke;
+        parse rest
+    | "--json" :: path :: rest ->
+        json_path := Some path;
+        parse rest
+    | [ "--json" ] -> usage ()
+    | "all" :: rest ->
+        names := !names @ all_names;
+        parse rest
+    | name :: rest when List.mem_assoc name experiments ->
+        names := !names @ [ name ];
+        parse rest
+    | _ -> usage ()
   in
-  match args with
-  | [] | [ "all" ] -> all ()
-  | [ "fig10b" ] -> fig10b ()
-  | [ "fig11a" ] -> fig11_deletions "fig11a" Updates.W1
-  | [ "fig11b" ] -> fig11_deletions "fig11b" Updates.W2
-  | [ "fig11c" ] -> fig11_deletions "fig11c" Updates.W3
-  | [ "fig11d" ] -> fig11_insertions "fig11d" Updates.W1
-  | [ "fig11e" ] -> fig11_insertions "fig11e" Updates.W2
-  | [ "fig11f" ] -> fig11_insertions "fig11f" Updates.W3
-  | [ "fig11g" ] -> fig11g ()
-  | [ "fig11h" ] -> fig11h ()
-  | [ "table1" ] -> table1 ()
-  | [ "ablations" ] -> ablations ()
-  | [ "bechamel" ] -> bechamel_suite ()
-  | _ ->
-      prerr_endline
-        "usage: main.exe [--quick] [all|fig10b|fig11a..fig11h|table1|ablations|bechamel]";
-      exit 2
+  parse args;
+  let names = if !names = [] then all_names else !names in
+  List.iter
+    (fun name -> run_experiment name (List.assoc name experiments))
+    names;
+  Option.iter write_json !json_path

@@ -36,7 +36,18 @@ let intern (atg : Atg.t) store etype (attr : Tuple.t) =
 type star_eval = string -> Atg.star_rule -> Tuple.t -> Tuple.t list
 
 let per_call_star_eval (db : Database.t) : star_eval =
- fun _etype sr attr -> Eval.run db sr.Atg.query ~params:attr ()
+  (* the same rule fires once per parent: compile its plan once *)
+  let plans : (string, Eval.plan) Hashtbl.t = Hashtbl.create 8 in
+  fun etype sr attr ->
+    let plan =
+      match Hashtbl.find_opt plans etype with
+      | Some p -> p
+      | None ->
+          let p = Eval.prepare db sr.Atg.query in
+          Hashtbl.replace plans etype p;
+          p
+    in
+    Eval.run_prepared db plan ~params:attr ()
 
 let bulk_star_eval (atg : Atg.t) (db : Database.t) : star_eval =
   let cache : (string, Tuple.t -> Tuple.t list) Hashtbl.t = Hashtbl.create 8 in
@@ -49,7 +60,9 @@ let bulk_star_eval (atg : Atg.t) (db : Database.t) : star_eval =
           let l =
             match Eval.run_grouped db sr.Atg.query ~nparams with
             | Some grouped -> fun params -> grouped (Array.to_list params)
-            | None -> fun params -> Eval.run db sr.Atg.query ~params ()
+            | None ->
+                let plan = Eval.prepare db sr.Atg.query in
+                fun params -> Eval.run_prepared db plan ~params ()
           in
           Hashtbl.replace cache etype l;
           l

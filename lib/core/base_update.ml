@@ -107,12 +107,22 @@ let affected_params (db : Database.t) (schema : Schema.db) (atg : Atg.t)
 
 exception Would_cycle
 
-(* Re-evaluate [parent]'s star rule and reconcile the store's edges. *)
+(* Re-evaluate [parent]'s star rule and reconcile the store's edges.
+   [plans] memoizes compiled rule plans across the parents of one ΔR. *)
 let reconcile_parent (atg : Atg.t) (db : Database.t) (store : Store.t)
-    (l : Topo.t) (m : Reach.t) (b_type : string) (sr : Atg.star_rule)
-    (parent : int) =
+    (l : Topo.t) (m : Reach.t) ~(plans : (string, Eval.plan) Hashtbl.t)
+    (b_type : string) (sr : Atg.star_rule) (parent : int) =
   let pattr = (Store.node store parent).Store.attr in
-  let rows = Eval.run db sr.Atg.query ~params:pattr () in
+  let plan =
+    let qname = sr.Atg.query.Spj.qname in
+    match Hashtbl.find_opt plans qname with
+    | Some p -> p
+    | None ->
+        let p = Eval.prepare db sr.Atg.query in
+        Hashtbl.replace plans qname p;
+        p
+  in
+  let rows = Eval.run_prepared db plan ~params:pattr () in
   (* desired children with their derivation rows *)
   let desired : (Tuple.t, Tuple.t list) Hashtbl.t = Hashtbl.create 8 in
   List.iter
@@ -259,11 +269,12 @@ let apply (e : Engine.t) (delta_r : Group_update.t) : (report, string) result
       | None -> () (* parent not in the view: nothing to repair *))
     !impacts;
   let added = ref 0 and removed = ref 0 and deleted = ref 0 in
+  let plans = Hashtbl.create 8 in
   match
     List.iter
       (fun (b_type, sr, pid) ->
         if Store.mem_node store pid then begin
-          let a, r, d = reconcile_parent atg db store l m b_type sr pid in
+          let a, r, d = reconcile_parent atg db store l m ~plans b_type sr pid in
           added := !added + a;
           removed := !removed + r;
           deleted := !deleted + d
@@ -287,7 +298,7 @@ let apply (e : Engine.t) (delta_r : Group_update.t) : (report, string) result
       List.iter
         (fun (b_type, sr, pid) ->
           if Store.mem_node store pid then
-            ignore (reconcile_parent atg db store l m b_type sr pid))
+            ignore (reconcile_parent atg db store l m ~plans b_type sr pid))
         !work;
       ignore (Maintain.collect_garbage store l m);
       Error "base update would make the view cyclic (rolled back)"

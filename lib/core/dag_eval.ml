@@ -239,28 +239,17 @@ module IdSet = struct
     s
 end
 
-(* is [id] a member or descendant of [base]? — tests the (sparse) ancestor
-   row of [id] against the set *)
-let in_desc_or_self m (base : IdSet.t) id =
-  IdSet.mem base id
-  ||
-  match Reach.row_opt m id with
-  | None -> false
-  | Some r -> (
-      try
-        Hashtbl.iter (fun a () -> if IdSet.mem base a then raise Exit) r;
-        false
-      with Exit -> true)
+(* the slot set of an id set — queries against M become word-wise *)
+let slots_of m (s : IdSet.t) =
+  let bits = Bitset.create () in
+  IdSet.iter (fun id -> Bitset.set bits (Reach.slot_of m id)) s;
+  bits
 
-(* base ∪ all ancestors of base, as an id set *)
-let anc_or_self_closure m (base : IdSet.t) =
-  let out = IdSet.create () in
-  IdSet.iter
-    (fun id ->
-      IdSet.add out id;
-      Reach.iter_ancestors (fun a -> IdSet.add out a) m id)
-    base;
-  out
+(* is [id] a member or descendant of [base]? [base_bits] is base's slot
+   set (built once per fixed base): one word-wise intersection against
+   [id]'s ancestor row *)
+let in_desc_or_self m (base : IdSet.t) base_bits id =
+  IdSet.mem base id || Reach.anc_intersects m id base_bits
 
 let eval_compiled (store : Store.t) (l : Topo.t) (m : Reach.t) (c : compiled)
     : result =
@@ -315,11 +304,13 @@ let eval_compiled (store : Store.t) (l : Topo.t) (m : Reach.t) (c : compiled)
           frontier.(i)
     | CS_desc ->
         (* w ∈ B_i iff w is an ancestor-or-self of some node of B_{i+1}:
-           take the union of the targets' ancestor rows once, then each
-           membership test is O(1) *)
-        let anc_union = anc_or_self_closure m bi1 in
+           OR the targets' ancestor rows into one slot set, then each
+           membership test is a bit test *)
+        let bits = slots_of m bi1 in
+        IdSet.iter (fun id -> Reach.union_row_into m id ~dst:bits) bi1;
         IdSet.iter
-          (fun w -> if IdSet.mem anc_union w then IdSet.add bi w)
+          (fun w ->
+            if Bitset.get bits (Reach.slot_of m w) then IdSet.add bi w)
           frontier.(i)
   done;
   let selected = IdSet.to_list back.(nsteps) in
@@ -344,11 +335,12 @@ let eval_compiled (store : Store.t) (l : Topo.t) (m : Reach.t) (c : compiled)
           !active;
         continue := false
     | CS_desc ->
+        let bprev_bits = slots_of m bprev in
         IdSet.iter
           (fun v ->
             List.iter
               (fun u ->
-                if in_desc_or_self m bprev u then
+                if in_desc_or_self m bprev bprev_bits u then
                   Hashtbl.replace arrival (u, v) !i)
               (Store.parents store v))
           !active;
@@ -407,6 +399,7 @@ let eval_compiled (store : Store.t) (l : Topo.t) (m : Reach.t) (c : compiled)
             (* walk upward through desc-or-self(B_{j-1}); the prefix may
                end at any walk node that is in B_{j-1} *)
             let bprev = back.(j - 1) in
+            let bprev_bits = slots_of m bprev in
             let visited = IdSet.create () in
             let queue = Queue.create () in
             IdSet.iter
@@ -420,7 +413,7 @@ let eval_compiled (store : Store.t) (l : Topo.t) (m : Reach.t) (c : compiled)
               if y_starts then IdSet.add needs.(j - 1) y;
               List.iter
                 (fun w ->
-                  if in_desc_or_self m bprev w then begin
+                  if in_desc_or_self m bprev bprev_bits w then begin
                     if not (IdSet.mem visited w) then begin
                       IdSet.add visited w;
                       Queue.add w queue

@@ -341,11 +341,14 @@ type snapshot = {
 }
 
 let snapshot (e : t) : snapshot =
+  (* the matrix copy must be bound to the copied store: M's rows are
+     slot-indexed and the slot↔id mapping lives in the store *)
+  let s_store = Store.copy e.store in
   {
     s_db = Database.copy e.db;
-    s_store = Store.copy e.store;
+    s_store;
     s_topo = Topo.copy e.topo;
-    s_reach = Reach.copy e.reach;
+    s_reach = Reach.copy ~store:s_store e.reach;
     s_seed = e.seed;
   }
 

@@ -1,110 +1,343 @@
-(** Growable bitsets over dense integer indexes.
+(** Growable bitsets over dense integer indexes, stored word-wise.
 
     The reachability matrix M (Section 3.1) is stored as one ancestor
     bitset per node, indexed by node *slots* (dense indexes handed out by
     the store). Algorithm Reach's inner loop — "ancestors of d include all
-    ancestors of d's parents" — becomes a word-wise union. *)
+    ancestors of d's parents" — becomes a word-wise OR, [is_ancestor] a
+    single bit test and |anc(d)| a popcount. The bottom-up XPath pass uses
+    the same module for its per-(filter, suffix) satisfaction tables.
 
-type t = { mutable data : Bytes.t }
+    Words are native OCaml ints, 63 usable bits each; all bulk operations
+    (union, difference, intersection test, equality, popcount, set-bit
+    iteration) touch whole words, never individual bits. *)
 
-let create () = { data = Bytes.make 8 '\000' }
+type t = { mutable words : int array }
 
-let capacity t = Bytes.length t.data * 8
+let bits_per_word = Sys.int_size (* 63 on 64-bit platforms *)
+
+let create () = { words = [||] }
+
+let capacity t = Array.length t.words * bits_per_word
 
 let ensure t bit =
   if bit >= capacity t then begin
-    let nbytes = max (Bytes.length t.data * 2) ((bit / 8) + 1) in
-    let data = Bytes.make nbytes '\000' in
-    Bytes.blit t.data 0 data 0 (Bytes.length t.data);
-    t.data <- data
+    let nwords =
+      max (2 * Array.length t.words) ((bit / bits_per_word) + 1)
+    in
+    let words = Array.make nwords 0 in
+    Array.blit t.words 0 words 0 (Array.length t.words);
+    t.words <- words
   end
 
 let set t bit =
   ensure t bit;
-  let i = bit lsr 3 and m = 1 lsl (bit land 7) in
-  Bytes.unsafe_set t.data i
-    (Char.chr (Char.code (Bytes.unsafe_get t.data i) lor m))
+  let w = bit / bits_per_word and b = bit mod bits_per_word in
+  Array.unsafe_set t.words w (Array.unsafe_get t.words w lor (1 lsl b))
 
 let clear t bit =
   if bit < capacity t then begin
-    let i = bit lsr 3 and m = 1 lsl (bit land 7) in
-    Bytes.unsafe_set t.data i
-      (Char.chr (Char.code (Bytes.unsafe_get t.data i) land lnot m))
+    let w = bit / bits_per_word and b = bit mod bits_per_word in
+    Array.unsafe_set t.words w
+      (Array.unsafe_get t.words w land lnot (1 lsl b))
   end
 
 let get t bit =
-  if bit >= capacity t then false
-  else
-    let i = bit lsr 3 and m = 1 lsl (bit land 7) in
-    Char.code (Bytes.unsafe_get t.data i) land m <> 0
+  let w = bit / bits_per_word in
+  if w >= Array.length t.words then false
+  else (Array.unsafe_get t.words w lsr (bit mod bits_per_word)) land 1 = 1
 
-(** [union_into ~dst src]: dst := dst ∪ src. *)
+(* Index one past the last nonzero word — the effective length, so bulk
+   operations never grow a destination for trailing zeros. *)
+let used_words t =
+  let rec go i = if i >= 0 && Array.unsafe_get t.words i = 0 then go (i - 1) else i + 1 in
+  go (Array.length t.words - 1)
+
+(** [union_into ~dst src]: dst := dst ∪ src, one OR per word. *)
 let union_into ~dst src =
-  let sn = Bytes.length src.data in
-  if sn * 8 > capacity dst then ensure dst ((sn * 8) - 1);
-  for i = 0 to sn - 1 do
-    let b = Char.code (Bytes.unsafe_get src.data i) in
-    if b <> 0 then
-      Bytes.unsafe_set dst.data i
-        (Char.chr (Char.code (Bytes.unsafe_get dst.data i) lor b))
+  let sn = used_words src in
+  if sn > 0 then begin
+    if sn * bits_per_word > capacity dst then ensure dst ((sn * bits_per_word) - 1);
+    let d = dst.words and s = src.words in
+    for i = 0 to sn - 1 do
+      Array.unsafe_set d i (Array.unsafe_get d i lor Array.unsafe_get s i)
+    done
+  end
+
+(** [diff_into ~dst src]: dst := dst \ src, one AND-NOT per word. *)
+let diff_into ~dst src =
+  let n = min (Array.length dst.words) (Array.length src.words) in
+  let d = dst.words and s = src.words in
+  for i = 0 to n - 1 do
+    Array.unsafe_set d i (Array.unsafe_get d i land lnot (Array.unsafe_get s i))
   done
 
-let copy t = { data = Bytes.copy t.data }
+let copy t = { words = Array.copy t.words }
 
 let is_empty t =
-  let n = Bytes.length t.data in
-  let rec go i = i >= n || (Char.code (Bytes.unsafe_get t.data i) = 0 && go (i + 1)) in
+  let n = Array.length t.words in
+  let rec go i = i >= n || (Array.unsafe_get t.words i = 0 && go (i + 1)) in
   go 0
 
-let popcount_byte =
-  let tbl = Array.make 256 0 in
-  for i = 1 to 255 do
-    tbl.(i) <- tbl.(i lsr 1) + (i land 1)
+(* 16-bit-table popcount: four lookups per word. (The usual SWAR masks do
+   not fit OCaml's 63-bit int literals.) *)
+let popcount_word =
+  let tbl = Bytes.make 65536 '\000' in
+  for i = 1 to 65535 do
+    Bytes.unsafe_set tbl i
+      (Char.unsafe_chr
+         (Char.code (Bytes.unsafe_get tbl (i lsr 1)) + (i land 1)))
   done;
-  fun b -> tbl.(b)
+  fun w ->
+    Char.code (Bytes.unsafe_get tbl (w land 0xFFFF))
+    + Char.code (Bytes.unsafe_get tbl ((w lsr 16) land 0xFFFF))
+    + Char.code (Bytes.unsafe_get tbl ((w lsr 32) land 0xFFFF))
+    + Char.code (Bytes.unsafe_get tbl ((w lsr 48) land 0x7FFF))
 
 (** Number of set bits. *)
-let count t =
-  let n = Bytes.length t.data in
+let pop_count t =
+  let n = Array.length t.words in
   let c = ref 0 in
   for i = 0 to n - 1 do
-    c := !c + popcount_byte (Char.code (Bytes.unsafe_get t.data i))
+    let w = Array.unsafe_get t.words i in
+    if w <> 0 then c := !c + popcount_word w
   done;
   !c
 
-(** [iter f t] applies [f] to every set bit index, ascending. *)
-let iter f t =
-  let n = Bytes.length t.data in
+let count = pop_count
+
+(** [iter_bits t f] applies [f] to every set bit index, ascending. Each
+    word is consumed by isolating its lowest set bit ([w land -w]), whose
+    index is the popcount of [lsb - 1]. *)
+let iter_bits t f =
+  let n = Array.length t.words in
   for i = 0 to n - 1 do
-    let b = Char.code (Bytes.unsafe_get t.data i) in
-    if b <> 0 then
-      for j = 0 to 7 do
-        if b land (1 lsl j) <> 0 then f ((i * 8) + j)
+    let w = ref (Array.unsafe_get t.words i) in
+    if !w <> 0 then begin
+      let base = i * bits_per_word in
+      while !w <> 0 do
+        let lsb = !w land - !w in
+        f (base + popcount_word (lsb - 1));
+        w := !w land (!w - 1)
       done
+    end
   done
+
+let iter f t = iter_bits t f
 
 let fold f t acc =
   let acc = ref acc in
-  iter (fun bit -> acc := f bit !acc) t;
+  iter_bits t (fun bit -> acc := f bit !acc);
   !acc
 
 let to_list t = List.rev (fold (fun b acc -> b :: acc) t [])
 
 (** [intersects a b] is true when a ∩ b ≠ ∅. *)
 let intersects a b =
-  let n = min (Bytes.length a.data) (Bytes.length b.data) in
+  let n = min (Array.length a.words) (Array.length b.words) in
   let rec go i =
     i < n
-    && (Char.code (Bytes.unsafe_get a.data i)
-        land Char.code (Bytes.unsafe_get b.data i)
-        <> 0
+    && (Array.unsafe_get a.words i land Array.unsafe_get b.words i <> 0
        || go (i + 1))
   in
   go 0
 
+(* Equality is extensional: trailing zero words are ignored, so two sets
+   holding the same bits are equal whatever their grown capacities. *)
 let equal a b =
-  let na = Bytes.length a.data and nb = Bytes.length b.data in
+  let na = Array.length a.words and nb = Array.length b.words in
   let n = max na nb in
-  let byte t i = if i < Bytes.length t.data then Char.code (Bytes.get t.data i) else 0 in
-  let rec go i = i >= n || (byte a i = byte b i && go (i + 1)) in
+  let word t i = if i < Array.length t.words then Array.unsafe_get t.words i else 0 in
+  let rec go i = i >= n || (word a i = word b i && go (i + 1)) in
   go 0
+
+type dense = t
+
+(** Sparse bitsets: only the nonzero words are stored, as parallel sorted
+    arrays of (word index, word). The reachability matrix M keeps one of
+    these per node: ancestor sets are ~0.01% dense at 100K nodes (|M| ≪ n²,
+    the paper's premise), so a dense row of n/63 words per node costs
+    O(n²) memory overall — gigabytes at 100K, which loses to cache misses
+    and GC pressure everything the word-wise ops gained. Sparse rows keep
+    the word-at-a-time unions/popcounts/bit-tests while storing only
+    |row|/63-ish words. Membership is a binary search + bit test; unions
+    are sorted merges of nonzero words. *)
+module Sparse = struct
+  type t = {
+    mutable n : int;  (** used entries *)
+    mutable idx : int array;  (** strictly increasing word indexes *)
+    mutable w : int array;  (** matching words; invariant: never 0 *)
+  }
+
+  let create () = { n = 0; idx = [||]; w = [||] }
+
+  (* first position p in idx[0..n-1] with idx.(p) >= i *)
+  let lower_bound t i =
+    let lo = ref 0 and hi = ref t.n in
+    while !lo < !hi do
+      let mid = (!lo + !hi) lsr 1 in
+      if Array.unsafe_get t.idx mid < i then lo := mid + 1 else hi := mid
+    done;
+    !lo
+
+  let get t bit =
+    let i = bit / bits_per_word in
+    let p = lower_bound t i in
+    p < t.n
+    && Array.unsafe_get t.idx p = i
+    && (Array.unsafe_get t.w p lsr (bit mod bits_per_word)) land 1 = 1
+
+  let ensure_cap t extra =
+    if t.n + extra > Array.length t.idx then begin
+      let cap = max 4 (max (t.n + extra) (2 * Array.length t.idx)) in
+      let idx = Array.make cap 0 and w = Array.make cap 0 in
+      Array.blit t.idx 0 idx 0 t.n;
+      Array.blit t.w 0 w 0 t.n;
+      t.idx <- idx;
+      t.w <- w
+    end
+
+  let set t bit =
+    let i = bit / bits_per_word and m = 1 lsl (bit mod bits_per_word) in
+    if t.n > 0 && i = t.idx.(t.n - 1) then t.w.(t.n - 1) <- t.w.(t.n - 1) lor m
+    else if t.n = 0 || i > t.idx.(t.n - 1) then begin
+      (* append fast path: ascending insertion (e.g. building the reverse
+         index in slot order) never shifts *)
+      ensure_cap t 1;
+      t.idx.(t.n) <- i;
+      t.w.(t.n) <- m;
+      t.n <- t.n + 1
+    end
+    else begin
+      let p = lower_bound t i in
+      if p < t.n && t.idx.(p) = i then t.w.(p) <- t.w.(p) lor m
+      else begin
+        ensure_cap t 1;
+        Array.blit t.idx p t.idx (p + 1) (t.n - p);
+        Array.blit t.w p t.w (p + 1) (t.n - p);
+        t.idx.(p) <- i;
+        t.w.(p) <- m;
+        t.n <- t.n + 1
+      end
+    end
+
+  let clear t bit =
+    let i = bit / bits_per_word in
+    let p = lower_bound t i in
+    if p < t.n && t.idx.(p) = i then begin
+      let w' = t.w.(p) land lnot (1 lsl (bit mod bits_per_word)) in
+      if w' <> 0 then t.w.(p) <- w'
+      else begin
+        Array.blit t.idx (p + 1) t.idx p (t.n - p - 1);
+        Array.blit t.w (p + 1) t.w p (t.n - p - 1);
+        t.n <- t.n - 1
+      end
+    end
+
+  let is_empty t = t.n = 0
+
+  (** dst := dst ∪ src — a sorted merge of the nonzero words, ORing where
+      the word indexes collide. *)
+  let union_into ~dst src =
+    if src.n > 0 then
+      if dst.n = 0 then begin
+        ensure_cap dst src.n;
+        Array.blit src.idx 0 dst.idx 0 src.n;
+        Array.blit src.w 0 dst.w 0 src.n;
+        dst.n <- src.n
+      end
+      else begin
+        let ni = Array.make (dst.n + src.n) 0
+        and nw = Array.make (dst.n + src.n) 0 in
+        let a = ref 0 and b = ref 0 and k = ref 0 in
+        while !a < dst.n && !b < src.n do
+          let ia = dst.idx.(!a) and ib = src.idx.(!b) in
+          if ia < ib then begin
+            ni.(!k) <- ia;
+            nw.(!k) <- dst.w.(!a);
+            incr a
+          end
+          else if ib < ia then begin
+            ni.(!k) <- ib;
+            nw.(!k) <- src.w.(!b);
+            incr b
+          end
+          else begin
+            ni.(!k) <- ia;
+            nw.(!k) <- dst.w.(!a) lor src.w.(!b);
+            incr a;
+            incr b
+          end;
+          incr k
+        done;
+        while !a < dst.n do
+          ni.(!k) <- dst.idx.(!a);
+          nw.(!k) <- dst.w.(!a);
+          incr a;
+          incr k
+        done;
+        while !b < src.n do
+          ni.(!k) <- src.idx.(!b);
+          nw.(!k) <- src.w.(!b);
+          incr b;
+          incr k
+        done;
+        dst.idx <- ni;
+        dst.w <- nw;
+        dst.n <- !k
+      end
+
+  let copy t =
+    { n = t.n; idx = Array.sub t.idx 0 t.n; w = Array.sub t.w 0 t.n }
+
+  let pop_count t =
+    let c = ref 0 in
+    for p = 0 to t.n - 1 do
+      c := !c + popcount_word (Array.unsafe_get t.w p)
+    done;
+    !c
+
+  let iter_bits t f =
+    for p = 0 to t.n - 1 do
+      let base = t.idx.(p) * bits_per_word in
+      let w = ref t.w.(p) in
+      while !w <> 0 do
+        let lsb = !w land - !w in
+        f (base + popcount_word (lsb - 1));
+        w := !w land (!w - 1)
+      done
+    done
+
+  let to_list t =
+    let acc = ref [] in
+    iter_bits t (fun b -> acc := b :: !acc);
+    List.rev !acc
+
+  (* the no-zero-words invariant makes equality a plain entry compare *)
+  let equal a b =
+    a.n = b.n
+    &&
+    let rec go p =
+      p >= a.n || (a.idx.(p) = b.idx.(p) && a.w.(p) = b.w.(p) && go (p + 1))
+    in
+    go 0
+
+  (** does the sparse set meet the dense set? One AND per stored word. *)
+  let inter_dense t (d : dense) =
+    let nd = Array.length d.words in
+    let rec go p =
+      p < t.n
+      && ((t.idx.(p) < nd && t.w.(p) land Array.unsafe_get d.words t.idx.(p) <> 0)
+         || go (p + 1))
+    in
+    go 0
+
+  (** dense dst ∪= sparse src, one OR per stored word *)
+  let union_into_dense ~(dst : dense) t =
+    if t.n > 0 then begin
+      ensure dst (((t.idx.(t.n - 1) + 1) * bits_per_word) - 1);
+      for p = 0 to t.n - 1 do
+        let i = t.idx.(p) in
+        Array.unsafe_set dst.words i (Array.unsafe_get dst.words i lor t.w.(p))
+      done
+    end
+end

@@ -1,6 +1,8 @@
-(** Growable dense bitsets over small integer indexes. Used for the
-    per-(filter, suffix) satisfaction tables of the bottom-up XPath pass,
-    which are dense by construction (one bit per node slot). *)
+(** Growable dense bitsets over small integer indexes, stored as native-int
+    words (63 usable bits each). Backs both the per-node ancestor rows of
+    the reachability matrix M — where Algorithm Reach's inner union is a
+    word-wise OR — and the per-(filter, suffix) satisfaction tables of the
+    bottom-up XPath pass. All bulk operations are word-at-a-time. *)
 
 type t
 
@@ -12,15 +14,74 @@ val clear : t -> int -> unit
 val get : t -> int -> bool
 
 val union_into : dst:t -> t -> unit
-(** dst := dst ∪ src *)
+(** dst := dst ∪ src, one OR per word *)
+
+val diff_into : dst:t -> t -> unit
+(** dst := dst \ src, one AND-NOT per word *)
 
 val copy : t -> t
 val is_empty : t -> bool
+
+val pop_count : t -> int
+(** number of set bits, via a 16-bit-table popcount per word *)
+
 val count : t -> int
+(** alias of {!pop_count} *)
+
+val iter_bits : t -> (int -> unit) -> unit
+(** apply to every set bit index, ascending; words are consumed by
+    lowest-set-bit isolation, so cost is O(words + set bits) *)
 
 val iter : (int -> unit) -> t -> unit
+(** [iter f t] = [iter_bits t f] *)
+
 val fold : (int -> 'a -> 'a) -> t -> 'a -> 'a
 val to_list : t -> int list
 
 val intersects : t -> t -> bool
+(** a ∩ b ≠ ∅, word-wise *)
+
 val equal : t -> t -> bool
+(** extensional: capacities may differ *)
+
+type dense = t
+
+(** Sparse bitsets: only the nonzero words, as parallel sorted arrays of
+    (word index, word). Same word-at-a-time operations, but memory is
+    O(stored words) instead of O(universe/63) — the representation behind
+    the rows of the reachability matrix M, whose ancestor sets are a tiny
+    fraction of the slot universe (|M| ≪ n², Fig. 10(b)). Dense sets stay
+    the right choice for the random-access satisfaction tables of the
+    XPath bottom-up pass; the [*_dense] operations bridge the two. *)
+module Sparse : sig
+  type t
+
+  val create : unit -> t
+  val set : t -> int -> unit
+  val clear : t -> int -> unit
+  val get : t -> int -> bool
+  (** binary search over the stored word indexes + a bit test *)
+
+  val union_into : dst:t -> t -> unit
+  (** dst := dst ∪ src — a sorted merge, one OR per colliding word *)
+
+  val copy : t -> t
+  val is_empty : t -> bool
+
+  val pop_count : t -> int
+  (** popcount over the stored words only *)
+
+  val iter_bits : t -> (int -> unit) -> unit
+  (** every set bit, ascending *)
+
+  val to_list : t -> int list
+
+  val equal : t -> t -> bool
+  (** entry-wise; canonical thanks to the no-zero-words invariant *)
+
+  val inter_dense : t -> dense -> bool
+  (** does the sparse set meet the dense set? One AND per stored word *)
+
+  val union_into_dense : dst:dense -> t -> unit
+  (** dense dst ∪= sparse src, one OR per stored word *)
+end

@@ -40,6 +40,45 @@ let desc_or_self_set store roots =
   List.iter go roots;
   seen
 
+(* LA (the subtree order of Fig. 7) as a scratch structure: the same
+   array + position-map shape as {!Topo}, but positions live in a small
+   hashtable. LA holds a handful of subtree nodes whose ids sit at the
+   top of the id space, so reusing the main structure's dense id-indexed
+   position array would cost an O(max id) allocation per update —
+   measured to dominate Δ(M,L)insert at |C| = 100K. No tombstones: LA is
+   built fresh per update and only swapped. *)
+module Scratch = struct
+  type t = { arr : int array; pos : (int, int) Hashtbl.t }
+
+  let of_ids ids =
+    let arr = Array.of_list ids in
+    let pos = Hashtbl.create (2 * Array.length arr) in
+    Array.iteri (fun i id -> Hashtbl.replace pos id i) arr;
+    { arr; pos }
+
+  let mem t id = Hashtbl.mem t.pos id
+  let ord t id = Hashtbl.find t.pos id
+
+  (* the paper's swap(L,u,v), as in {!Topo.swap} *)
+  let swap t u v ~is_desc_of_v =
+    let iu = ord t u and iv = ord t v in
+    if iu < iv then begin
+      let moved = ref [] and kept = ref [] in
+      for i = iv downto iu do
+        let id = t.arr.(i) in
+        if id = v || is_desc_of_v id then moved := id :: !moved
+        else kept := id :: !kept
+      done;
+      List.iteri
+        (fun off id ->
+          t.arr.(iu + off) <- id;
+          Hashtbl.replace t.pos id (iu + off))
+        (!moved @ !kept)
+    end
+
+  let to_list t = Array.to_list t.arr
+end
+
 (* Post-order (descendants-first) topological order of the subtree rooted
    at [root_id], as an id list. *)
 let subtree_order store root_id =
@@ -71,22 +110,17 @@ let on_insert (store : Store.t) (l : Topo.t) (m : Reach.t) ~targets ~root_id
   (* --- ΔM (Fig. 7 lines 3-5): process subtree ancestors-first (la_list
      is descendants-first, so reversed); a node's new ancestors are its
      parents inside the subtree or among the targets, whose rows are
-     already final. Rows only grow. *)
+     already final. Rows only grow — each union a word-wise OR. *)
   let pairs_added = ref 0 in
   List.iter
     (fun d ->
-      let row = Reach.row m d in
-      let before = Hashtbl.length row in
-      List.iter
-        (fun p ->
-          if Hashtbl.mem in_subtree p || Hashtbl.mem target_set p then begin
-            Hashtbl.replace row p ();
-            match Reach.row_opt m p with
-            | Some rp when p <> d -> Reach.union_into ~dst:row rp
-            | _ -> ()
-          end)
-        (Store.parents store d);
-      pairs_added := !pairs_added + Hashtbl.length row - before)
+      let parents =
+        List.filter
+          (fun p -> Hashtbl.mem in_subtree p || Hashtbl.mem target_set p)
+          (Store.parents store d)
+      in
+      if parents <> [] then
+        pairs_added := !pairs_added + Reach.absorb_parents m d ~parents)
     (List.rev la_list);
   (* --- L maintenance --- *)
   let is_desc_of v x = Reach.is_ancestor m v x in
@@ -94,6 +128,7 @@ let on_insert (store : Store.t) (l : Topo.t) (m : Reach.t) ~targets ~root_id
   let nc = List.filter (fun id -> not (Hashtbl.mem new_set id)) la_list in
   (* LNC: order NC by the *updated* ancestor relation (combined
      constraints of T and ST), descendants first. *)
+  let la = Scratch.of_ids la_list in
   let lnc =
     let arr = Array.of_list nc in
     let n = Array.length arr in
@@ -128,12 +163,11 @@ let on_insert (store : Store.t) (l : Topo.t) (m : Reach.t) ~targets ~root_id
      the next pivot in LA, which is only sound when L and LA agree on the
      relative order of pivots — two valid topological orders may disagree
      on unrelated pairs, so agreement must be enforced, not assumed. *)
-  let la = Topo.of_ids la_list in
   let lnc_arr = Array.of_list lnc in
   for k = Array.length lnc_arr - 1 downto 1 do
     let u = lnc_arr.(k) and v = lnc_arr.(k - 1) in
-    if Topo.mem la u && Topo.mem la v && Topo.ord la u < Topo.ord la v then
-      Topo.swap la u v ~is_desc_of_v:(is_desc_of v);
+    if Scratch.mem la u && Scratch.mem la v && Scratch.ord la u < Scratch.ord la v
+    then Scratch.swap la u v ~is_desc_of_v:(is_desc_of v);
     if Topo.mem l u && Topo.mem l v && Topo.ord l u < Topo.ord l v then
       Topo.swap l u v ~is_desc_of_v:(is_desc_of v)
   done;
@@ -175,7 +209,7 @@ let on_insert (store : Store.t) (l : Topo.t) (m : Reach.t) ~targets ~root_id
         end;
         assign rest
   in
-  assign (Topo.to_list la);
+  assign (Scratch.to_list la);
   Topo.insert_before l (List.rev !anchored);
   {
     m_pairs_added = !pairs_added;
@@ -191,9 +225,16 @@ let on_insert (store : Store.t) (l : Topo.t) (m : Reach.t) ~targets ~root_id
 let on_delete (store : Store.t) (l : Topo.t) (m : Reach.t) ~targets :
     delete_stats =
   let lr_set = desc_or_self_set store targets in
-  (* LR sorted by L, traversed backward = ancestors first *)
+  (* LR sorted by L, traversed backward = ancestors first. Sorting the
+     (small) descendant set by ordinal is O(|LR| log |LR|); scanning all
+     of L per operation would be O(|V|). *)
   let lr =
-    List.filter (fun id -> Hashtbl.mem lr_set id) (List.rev (Topo.to_list l))
+    let ids =
+      Hashtbl.fold
+        (fun id () acc -> if Topo.mem l id then id :: acc else acc)
+        lr_set []
+    in
+    List.sort (fun a b -> compare (Topo.ord l b) (Topo.ord l a)) ids
   in
   let keep = Hashtbl.create 64 in
   (* absent = true; false once deleted *)
@@ -206,21 +247,9 @@ let on_delete (store : Store.t) (l : Topo.t) (m : Reach.t) ~targets :
     (fun d ->
       if d <> root then begin
         let pd = List.filter is_kept (Store.parents store d) in
-        (* new ancestors *)
-        let ad : Reach.row = Hashtbl.create 8 in
-        List.iter
-          (fun a ->
-            Hashtbl.replace ad a ();
-            match Reach.row_opt m a with
-            | Some ra -> Reach.union_into ~dst:ad ra
-            | None -> ())
-          pd;
-        (match Reach.row_opt m d with
-        | Some old ->
-            pairs_removed :=
-              !pairs_removed + (Hashtbl.length old - Hashtbl.length ad)
-        | None -> ());
-        Hashtbl.replace m.Reach.rows d ad;
+        (* rebuild d's ancestor row from its kept parents, word-wise *)
+        pairs_removed :=
+          !pairs_removed + Reach.replace_row_from_parents m d ~parents:pd;
         if pd = [] then begin
           Hashtbl.replace keep d false;
           deleted := d :: !deleted;

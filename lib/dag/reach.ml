@@ -1,107 +1,243 @@
 (** The reachability matrix M (Section 3.1) and Algorithm Reach (Fig. 4).
 
     M(anc, desc) holds exactly when [anc] is a proper ancestor of [desc].
-    The paper stores M as a relation of its set pairs precisely because
-    |M| ≪ n² on realistic hierarchies (Fig. 10(b)); we do the same, as one
-    sparse ancestor set per node, so memory is O(|M|), queries anc(d) and
-    "is a an ancestor of d" are O(1)/O(|anc(d)|), and Algorithm Reach's
-    union is linear in the output. *)
+    M is stored as one sparse bitset ({!Bitset.Sparse}) per node — the
+    node's proper-ancestor set, indexed by node *slots* (the dense indexes
+    the store hands out and recycles). With that layout Algorithm Reach's
+    inner union is a word-wise OR (a sorted merge of the rows' nonzero
+    words), [is_ancestor] a binary search + bit test, |anc(d)| and |M| are
+    popcounts, and [descendants] reads an indexed reverse matrix instead
+    of scanning all of M. Rows store only their nonzero words: ancestor
+    sets are a sliver of the slot universe (|M| ≪ n², Fig. 10(b)), so M
+    costs O(|M|) memory, not O(n²/63) — at 100K cells the latter is
+    gigabytes of live heap and loses to GC pressure everything the
+    word-wise ops gain.
 
-type row = (int, unit) Hashtbl.t
-(** the ids of a node's proper ancestors *)
+    The reverse (descendant) index is built lazily from the ancestor rows
+    on first use and invalidated by any mutation: nothing on the
+    maintenance hot path reads it, so Δ(M,L)insert/delete pay only the
+    forward-row updates, while repeated [descendants] queries between
+    mutations are O(|row|) after one O(|M|) build.
 
-type t = { rows : (int, row) Hashtbl.t }
+    Rows are bound to a specific store (for the slot↔id mapping);
+    snapshots must pair a copied matrix with the copied store ({!copy}).
+    Slots of removed nodes are recycled by the store — the maintenance
+    algorithms clear a removed node's row ({!remove_row}) and rebuild the
+    rows of its former descendants, so no stale bits survive a removal
+    (property-tested). *)
 
-let empty () = { rows = Hashtbl.create 1024 }
+module Sparse = Bitset.Sparse
 
-let row m id : row =
-  match Hashtbl.find_opt m.rows id with
-  | Some r -> r
-  | None ->
-      let r = Hashtbl.create 8 in
-      Hashtbl.replace m.rows id r;
-      r
+type t = {
+  store : Store.t;
+  mutable anc : Sparse.t array;  (** slot -> proper-ancestor slot set *)
+  mutable desc : Sparse.t array option;
+      (** lazy reverse index: slot -> descendant slot set *)
+}
 
-let row_opt m id = Hashtbl.find_opt m.rows id
+let create (store : Store.t) : t = { store; anc = [||]; desc = None }
 
-(** [is_ancestor m a d]: is [a] a proper ancestor of [d]? O(1). *)
+let invalidate m = m.desc <- None
+
+(* Grow the row array to cover [slot]; every cell owns its bitset. *)
+let ensure_slot m slot =
+  let n = Array.length m.anc in
+  if slot >= n then begin
+    let n' = max (max 16 (2 * n)) (slot + 1) in
+    let anc =
+      Array.init n' (fun i -> if i < n then m.anc.(i) else Sparse.create ())
+    in
+    m.anc <- anc
+  end
+
+let slot_of m id = (Store.node m.store id).Store.slot
+
+let row m slot =
+  ensure_slot m slot;
+  Array.unsafe_get m.anc slot
+
+(** [is_ancestor m a d]: is [a] a proper ancestor of [d]? A bit test. *)
 let is_ancestor m a d =
-  match row_opt m d with None -> false | Some r -> Hashtbl.mem r a
+  Store.mem_node m.store a
+  && Store.mem_node m.store d
+  &&
+  let sd = slot_of m d in
+  sd < Array.length m.anc && Sparse.get m.anc.(sd) (slot_of m a)
 
 let is_ancestor_or_self m a d = a = d || is_ancestor m a d
 
+let iter_ancestors f m d =
+  if Store.mem_node m.store d then
+    let sd = slot_of m d in
+    if sd < Array.length m.anc then
+      Sparse.iter_bits m.anc.(sd) (fun s ->
+          match Store.id_of_slot m.store s with
+          | Some a -> f a
+          | None -> ())
+
 (** Ancestors of [d], as node ids. *)
 let ancestors m d =
-  match row_opt m d with
-  | None -> []
-  | Some r -> Hashtbl.fold (fun a () acc -> a :: acc) r []
-
-let iter_ancestors f m d =
-  match row_opt m d with
-  | None -> ()
-  | Some r -> Hashtbl.iter (fun a () -> f a) r
+  let acc = ref [] in
+  iter_ancestors (fun a -> acc := a :: !acc) m d;
+  !acc
 
 let n_ancestors m d =
-  match row_opt m d with None -> 0 | Some r -> Hashtbl.length r
-
-(** Descendants of [a]: a scan over all rows, O(|M|). The evaluator avoids
-    this direction by querying ancestor-side. *)
-let descendants m a =
-  Hashtbl.fold
-    (fun id r acc -> if Hashtbl.mem r a then id :: acc else acc)
-    m.rows []
+  if Store.mem_node m.store d then
+    let sd = slot_of m d in
+    if sd < Array.length m.anc then Sparse.pop_count m.anc.(sd) else 0
+  else 0
 
 (** Total number of (anc, desc) pairs — the |M| of Fig. 10(b). *)
-let size m = Hashtbl.fold (fun _ r acc -> acc + Hashtbl.length r) m.rows 0
+let size m = Array.fold_left (fun acc r -> acc + Sparse.pop_count r) 0 m.anc
 
-let add_pair m a d = Hashtbl.replace (row m d) a ()
+let add_pair m a d =
+  Sparse.set (row m (slot_of m d)) (slot_of m a);
+  invalidate m
 
 let remove_pair m a d =
-  match row_opt m d with None -> () | Some r -> Hashtbl.remove r a
+  if Store.mem_node m.store a && Store.mem_node m.store d then begin
+    let sd = slot_of m d in
+    if sd < Array.length m.anc then Sparse.clear m.anc.(sd) (slot_of m a);
+    invalidate m
+  end
 
-let remove_row m id = Hashtbl.remove m.rows id
+(** Forget [id]'s row entirely (node removal; its slot may be recycled).
+    Pairs with [id] on the ancestor side live in other rows and are the
+    caller's responsibility, exactly as with the relational representation
+    — Δ(M,L)delete rebuilds every affected descendant row first. *)
+let remove_row m id =
+  if Store.mem_node m.store id then begin
+    let s = slot_of m id in
+    if s < Array.length m.anc then m.anc.(s) <- Sparse.create ();
+    invalidate m
+  end
 
-let union_into ~(dst : row) (src : row) =
-  Hashtbl.iter (fun a () -> Hashtbl.replace dst a ()) src
+(** {2 Maintenance row operations} — the ΔM inner loops of Figs. 7–8,
+    word-wise. *)
+
+(* ∪_{p ∈ parents} ({slot p} ∪ anc(p)), as a fresh slot set. A parent
+   equal to [d] contributes its bit but not a self-union (mirroring the
+   guard of Δ(M,L)insert). *)
+let bits_of_parents m d parents =
+  let bits = Sparse.create () in
+  List.iter
+    (fun p ->
+      let sp = slot_of m p in
+      Sparse.set bits sp;
+      if p <> d then Sparse.union_into ~dst:bits (row m sp))
+    parents;
+  bits
+
+(** [absorb_parents m d ~parents]: anc(d) ∪= ∪_p ({p} ∪ anc(p)) — the
+    row-growing step of Δ(M,L)insert (Fig. 7, lines 3–5). Returns the
+    number of M pairs added. *)
+let absorb_parents m d ~parents =
+  let rd = row m (slot_of m d) in
+  let before = Sparse.pop_count rd in
+  Sparse.union_into ~dst:rd (bits_of_parents m d parents);
+  invalidate m;
+  Sparse.pop_count rd - before
+
+(** [replace_row_from_parents m d ~parents]: anc(d) := ∪_p ({p} ∪ anc(p))
+    — the row-rebuilding step of Δ(M,L)delete (Fig. 8). Returns the net
+    number of M pairs removed (old |anc(d)| − new). *)
+let replace_row_from_parents m d ~parents =
+  let sd = slot_of m d in
+  let old = Sparse.pop_count (row m sd) in
+  let bits = bits_of_parents m d parents in
+  m.anc.(sd) <- bits;
+  invalidate m;
+  old - Sparse.pop_count bits
+
+(** {2 Read access for the DAG evaluator} — slot-set queries against the
+    forward rows; [slot_of] lets callers build (dense) query sets
+    themselves. *)
+
+(** [anc_intersects m id bits]: does anc(id) meet the slot set [bits]? *)
+let anc_intersects m id (bits : Bitset.t) =
+  let s = slot_of m id in
+  s < Array.length m.anc && Sparse.inter_dense m.anc.(s) bits
+
+(** [union_row_into m id ~dst]: dst ∪= anc(id), word-wise. *)
+let union_row_into m id ~(dst : Bitset.t) =
+  let s = slot_of m id in
+  if s < Array.length m.anc then Sparse.union_into_dense ~dst m.anc.(s)
+
+(** {2 Descendants via the reverse index} *)
+
+let desc_index m =
+  match m.desc with
+  | Some d -> d
+  | None ->
+      let n = Array.length m.anc in
+      let d = Array.init n (fun _ -> Sparse.create ()) in
+      (* sd ascends, so each reverse row is appended in order — no
+         insertion shifting even for high-fanout ancestors *)
+      for sd = 0 to n - 1 do
+        Sparse.iter_bits m.anc.(sd) (fun sa -> Sparse.set d.(sa) sd)
+      done;
+      m.desc <- Some d;
+      d
+
+let iter_descendants f m a =
+  if Store.mem_node m.store a then begin
+    let d = desc_index m in
+    let sa = slot_of m a in
+    if sa < Array.length d then
+      Sparse.iter_bits d.(sa) (fun s ->
+          match Store.id_of_slot m.store s with
+          | Some id -> f id
+          | None -> ())
+  end
+
+(** Descendants of [a], as node ids: an indexed reverse lookup. The index
+    is rebuilt (O(|M|)) on the first query after a mutation, then each
+    query is O(|desc(a)|). *)
+let descendants m a =
+  let acc = ref [] in
+  iter_descendants (fun id -> acc := id :: !acc) m a;
+  !acc
 
 (** Algorithm Reach (Fig. 4): M from the edge relations and the
     topological order. Processing L backwards (root side first)
     guarantees that when node d is reached every parent's ancestor set is
-    final, so anc(d) = ∪_{p ∈ parent(d)} ({p} ∪ anc(p)); the run costs
-    O(Σ_d in(d)·|anc|) = O(n·|V|) worst case, linear in |M| in practice. *)
+    final, so anc(d) = ∪_{p ∈ parent(d)} ({p} ∪ anc(p)); each union is a
+    word-wise OR (sorted merge) over the parent's row. *)
 let compute (store : Store.t) (l : Topo.t) : t =
-  let m = empty () in
+  let m = create store in
+  ensure_slot m (max 0 (Store.slot_capacity store - 1));
   Topo.iter_backward
     (fun d ->
-      let r = row m d in
-      List.iter
-        (fun p ->
-          Hashtbl.replace r p ();
-          match row_opt m p with
-          | Some rp -> union_into ~dst:r rp
-          | None -> ())
-        (Store.parents store d))
+      let parents = Store.parents store d in
+      if parents <> [] then
+        let rd = row m (slot_of m d) in
+        List.iter
+          (fun p ->
+            let sp = slot_of m p in
+            Sparse.set rd sp;
+            if p <> d then Sparse.union_into ~dst:rd (row m sp))
+          parents)
     l;
   m
 
 (** Extensional equality over the same store — the oracle check
-    "incremental maintenance ≡ recomputation". *)
+    "incremental maintenance ≡ recomputation". Both matrices must be
+    bound to stores with identical slot assignments (in practice: the
+    same store). *)
 let equal (a : t) (b : t) (store : Store.t) =
+  let empty = Sparse.create () in
+  let row_of m s = if s < Array.length m.anc then m.anc.(s) else empty in
   Store.fold_nodes
     (fun n ok ->
       ok
       &&
-      let ra = row_opt a n.Store.id and rb = row_opt b n.Store.id in
-      let to_set = function
-        | None -> []
-        | Some r ->
-            List.sort compare (Hashtbl.fold (fun k () acc -> k :: acc) r [])
-      in
-      to_set ra = to_set rb)
+      let s = n.Store.slot in
+      Sparse.equal (row_of a s) (row_of b s))
     store true
 
-(** Deep copy — snapshot support for transactional update groups. *)
-let copy m =
-  let rows = Hashtbl.create (Hashtbl.length m.rows) in
-  Hashtbl.iter (fun id r -> Hashtbl.replace rows id (Hashtbl.copy r)) m.rows;
-  { rows }
+(** Deep copy — snapshot support for transactional update groups. The
+    copy is bound to [store], which must be the (copied) store the
+    snapshot will restore: slot assignments are preserved by
+    {!Store.copy}, so rows transfer as plain word-array copies. *)
+let copy ~(store : Store.t) (m : t) : t =
+  { store; anc = Array.map Sparse.copy m.anc; desc = None }

@@ -1,48 +1,76 @@
 (** The reachability matrix M (Section 3.1) and Algorithm Reach (Fig. 4).
     M(anc, desc) holds exactly when [anc] is a proper ancestor of [desc];
-    stored sparsely (one ancestor set per node) because |M| ≪ n² on
-    realistic hierarchies (Fig. 10(b)). *)
+    stored as one slot-indexed {!Bitset} per node, so Algorithm Reach's
+    inner union is a word-wise OR, [is_ancestor] a bit test, |M| a
+    popcount and [descendants] an indexed reverse lookup. Bound to the
+    store that assigns the slots. *)
 
-type row = (int, unit) Hashtbl.t
-(** a node's proper ancestors, by id *)
+type t
 
-type t = { rows : (int, row) Hashtbl.t }
+val create : Store.t -> t
+(** an empty matrix bound to [store]'s slot assignment *)
 
-val empty : unit -> t
-
-val row : t -> int -> row
-(** creating an empty row on first access *)
-
-val row_opt : t -> int -> row option
+val slot_of : t -> int -> int
+(** the slot of a live node id — for callers assembling slot sets to
+    query with {!anc_intersects} / {!union_row_into}.
+    @raise Store.Dag_error for unknown ids. *)
 
 val is_ancestor : t -> int -> int -> bool
-(** [is_ancestor m a d]: is [a] a proper ancestor of [d]? O(1). *)
+(** [is_ancestor m a d]: is [a] a proper ancestor of [d]? One bit test;
+    false when either id is not live. *)
 
 val is_ancestor_or_self : t -> int -> int -> bool
 
 val ancestors : t -> int -> int list
 val iter_ancestors : (int -> unit) -> t -> int -> unit
+
 val n_ancestors : t -> int -> int
+(** |anc(d)|: a popcount over d's row *)
 
 val descendants : t -> int -> int list
-(** O(|M|) scan; the evaluator avoids this direction *)
+(** indexed reverse lookup. The reverse matrix is rebuilt (O(|M|)) on the
+    first query after a mutation — nothing on the maintenance hot path
+    pays for it — then each query is O(|desc(a)|). *)
+
+val iter_descendants : (int -> unit) -> t -> int -> unit
 
 val size : t -> int
-(** |M|: total (anc, desc) pairs *)
+(** |M|: total (anc, desc) pairs, by popcount *)
 
 val add_pair : t -> int -> int -> unit
 val remove_pair : t -> int -> int -> unit
+
 val remove_row : t -> int -> unit
-val union_into : dst:row -> row -> unit
+(** forget a removed node's row before its slot is recycled; pairs with
+    the node on the ancestor side are the caller's responsibility
+    (Δ(M,L)delete rebuilds every affected descendant row first) *)
+
+val absorb_parents : t -> int -> parents:int list -> int
+(** [absorb_parents m d ~parents]: anc(d) ∪= ∪_p ({p} ∪ anc(p)), the
+    row-growing ΔM step of Δ(M,L)insert (Fig. 7), word-wise. Returns the
+    number of M pairs added. *)
+
+val replace_row_from_parents : t -> int -> parents:int list -> int
+(** [replace_row_from_parents m d ~parents]: anc(d) := ∪_p ({p} ∪ anc(p)),
+    the row-rebuilding ΔM step of Δ(M,L)delete (Fig. 8). Returns the net
+    number of M pairs removed. *)
+
+val anc_intersects : t -> int -> Bitset.t -> bool
+(** does anc(id) meet the given slot set? One word-wise intersection. *)
+
+val union_row_into : t -> int -> dst:Bitset.t -> unit
+(** dst ∪= anc(id), word-wise *)
 
 val compute : Store.t -> Topo.t -> t
 (** Algorithm Reach: processing L backwards guarantees every parent's set
     is final when a node is reached, so
-    anc(d) = ∪_(p ∈ parent(d)) ({p} ∪ anc(p)). O(n·|V|) worst case,
-    linear in |M| in practice. *)
+    anc(d) = ∪_(p ∈ parent(d)) ({p} ∪ anc(p)) — each union one word-wise
+    OR over the parent's row. *)
 
 val equal : t -> t -> Store.t -> bool
-(** extensional equality — the "incremental ≡ recomputation" oracle *)
+(** extensional equality — the "incremental ≡ recomputation" oracle; both
+    matrices must share [store]'s slot assignment *)
 
-val copy : t -> t
-(** deep copy — snapshot support for transactional update groups *)
+val copy : store:Store.t -> t -> t
+(** deep copy (per-row word-array blits) bound to the given — typically
+    freshly copied — store; {!Store.copy} preserves slot assignments *)

@@ -10,23 +10,46 @@
     (relocating L[u:v] ∩ desc(v) immediately in front of u), tombstoned
     removal, and pivot-based merging of a subtree order (Fig. 7, line 14).
     Tombstones keep removal O(1); the array compacts when more than half
-    the slots are dead. *)
+    the slots are dead.
+
+    The position map is a plain int array indexed by node id — the store
+    allocates ids densely from 0, so this is exact, and it keeps the
+    maintenance hot paths (every [ord]/[mem], and the full-position
+    rewrites of [compact]/[insert_before]) at array-write cost instead of
+    a hashtable operation per node. *)
 
 type t = {
   mutable arr : int array;  (** node ids, -1 for tombstones *)
   mutable len : int;  (** used prefix of [arr] *)
-  pos : (int, int) Hashtbl.t;  (** id -> index in [arr] *)
+  mutable pos : int array;  (** id -> index in [arr]; -1 = not in L *)
+  mutable live : int;  (** number of ids present *)
 }
 
 exception Topo_error of string
 
 let topo_error fmt = Fmt.kstr (fun s -> raise (Topo_error s)) fmt
 
+let ensure_pos l id =
+  let n = Array.length l.pos in
+  if id >= n then begin
+    let pos = Array.make (max (id + 1) (max 16 (2 * n))) (-1) in
+    Array.blit l.pos 0 pos 0 n;
+    l.pos <- pos
+  end
+
+let set_pos l id i =
+  ensure_pos l id;
+  Array.unsafe_set l.pos id i
+
 let of_ids (ids : int list) : t =
   let arr = Array.of_list ids in
-  let pos = Hashtbl.create (Array.length arr * 2) in
-  Array.iteri (fun i id -> Hashtbl.replace pos id i) arr;
-  { arr; len = Array.length arr; pos }
+  let l = { arr; len = Array.length arr; pos = [||]; live = 0 } in
+  Array.iteri
+    (fun i id ->
+      set_pos l id i;
+      l.live <- l.live + 1)
+    arr;
+  l
 
 (** Post-order DFS from the root: children before parents, hence
     descendants-first — a valid L. O(|V|). *)
@@ -67,17 +90,16 @@ let of_store (store : Store.t) : t =
   (* !order currently lists root first; reverse for descendants-first *)
   of_ids (detached @ List.rev !order)
 
-let mem l id = Hashtbl.mem l.pos id
+let mem l id = id >= 0 && id < Array.length l.pos && l.pos.(id) >= 0
 
 (** Ordinal of [id]; total order consistent with L. *)
 let ord l id =
-  match Hashtbl.find_opt l.pos id with
-  | Some i -> i
-  | None -> topo_error "node %d not in topological order" id
+  if mem l id then Array.unsafe_get l.pos id
+  else topo_error "node %d not in topological order" id
 
 let is_before l a b = ord l a < ord l b
 
-let live_count l = Hashtbl.length l.pos
+let live_count l = l.live
 
 let to_list l =
   let out = ref [] in
@@ -100,26 +122,25 @@ let iter_backward f l =
   done
 
 let compact l =
-  let live = live_count l in
-  let arr = Array.make (max 8 live) (-1) in
+  let arr = Array.make (max 8 l.live) (-1) in
   let j = ref 0 in
   for i = 0 to l.len - 1 do
     if l.arr.(i) >= 0 then begin
       arr.(!j) <- l.arr.(i);
-      Hashtbl.replace l.pos l.arr.(i) !j;
+      l.pos.(l.arr.(i)) <- !j;
       incr j
     end
   done;
   l.arr <- arr;
-  l.len <- live
+  l.len <- !j
 
 let remove l id =
-  match Hashtbl.find_opt l.pos id with
-  | None -> ()
-  | Some i ->
-      l.arr.(i) <- -1;
-      Hashtbl.remove l.pos id;
-      if l.len > 16 && live_count l * 2 < l.len then compact l
+  if mem l id then begin
+    l.arr.(l.pos.(id)) <- -1;
+    l.pos.(id) <- -1;
+    l.live <- l.live - 1;
+    if l.len > 16 && l.live * 2 < l.len then compact l
+  end
 
 (** [swap l u v ~is_desc_of_v] implements the paper's [swap(L, u, v)]:
     given an inserted edge (u, v) with ord u < ord v, move the nodes of
@@ -146,41 +167,67 @@ let swap l u v ~is_desc_of_v =
           incr i
         done;
         l.arr.(!i) <- id;
-        Hashtbl.replace l.pos id !i;
+        l.pos.(id) <- !i;
         incr i)
       window
   end
 
 (** [insert_before l anchored] splices new nodes into L: [anchored] maps
     each new id to the existing id it must precede; ids sharing an anchor
-    keep their list order. O(|L| + inserts) — one array rebuild. *)
+    keep their list order. O(|L| + inserts) array writes, in place (the
+    array grows by amortized doubling): a fresh O(|L|) allocation per
+    update would be paid mostly in GC work against the engine's live
+    heap. *)
 let insert_before l (anchored : (int * int) list) =
   if anchored <> [] then begin
     let by_anchor = Hashtbl.create 8 in
+    let k = ref 0 in
     List.iter
       (fun (nid, anchor) ->
-        if Hashtbl.mem l.pos nid then
+        if mem l nid then
           topo_error "insert_before: node %d already in L" nid;
         let idx = ord l anchor in
         let prev = Option.value ~default:[] (Hashtbl.find_opt by_anchor idx) in
-        Hashtbl.replace by_anchor idx (prev @ [ nid ]))
+        Hashtbl.replace by_anchor idx (prev @ [ nid ]);
+        incr k)
       anchored;
-    let total = live_count l + List.length anchored in
-    let arr = Array.make (max 8 total) (-1) in
-    let j = ref 0 in
-    let put id =
-      arr.(!j) <- id;
-      Hashtbl.replace l.pos id !j;
-      incr j
+    let k = !k in
+    if l.len + k > Array.length l.arr then begin
+      let arr =
+        Array.make (max 8 (max (l.len + k) (2 * Array.length l.arr))) (-1)
+      in
+      Array.blit l.arr 0 arr 0 l.len;
+      l.arr <- arr
+    end;
+    (* shift right, back to front, dropping each anchor's news (in list
+       order) immediately before the anchor; anchors are walked as a
+       descending list so the loop does plain array moves, not a lookup
+       per index *)
+    let anchors =
+      List.sort
+        (fun (a, _) (b, _) -> compare b a)
+        (Hashtbl.fold (fun idx news acc -> (idx, news) :: acc) by_anchor [])
     in
-    for i = 0 to l.len - 1 do
-      (match Hashtbl.find_opt by_anchor i with
-      | Some news -> List.iter put news
-      | None -> ());
-      if l.arr.(i) >= 0 then put l.arr.(i)
+    let pending = ref anchors in
+    let j = ref (l.len + k - 1) in
+    for i = l.len - 1 downto 0 do
+      let id = l.arr.(i) in
+      l.arr.(!j) <- id;
+      if id >= 0 then l.pos.(id) <- !j;
+      decr j;
+      match !pending with
+      | (idx, news) :: rest when idx = i ->
+          pending := rest;
+          List.iter
+            (fun nid ->
+              l.arr.(!j) <- nid;
+              set_pos l nid !j;
+              decr j)
+            (List.rev news)
+      | _ -> ()
     done;
-    l.arr <- arr;
-    l.len <- total
+    l.len <- l.len + k;
+    l.live <- l.live + k
   end
 
 (** Validity oracle: every edge's child precedes its parent. Used by
@@ -196,4 +243,5 @@ let is_valid l store =
 let pp ppf l = Fmt.pf ppf "[%a]" (Fmt.list ~sep:(Fmt.any "; ") Fmt.int) (to_list l)
 
 (** Deep copy — snapshot support for transactional update groups. *)
-let copy l = { arr = Array.copy l.arr; len = l.len; pos = Hashtbl.copy l.pos }
+let copy l =
+  { arr = Array.copy l.arr; len = l.len; pos = Array.copy l.pos; live = l.live }

@@ -4,18 +4,30 @@
     The primary index maps the key projection to the full tuple, which gives
     O(1) point lookups for the deletable-source computation of Algorithm
     delete (Section 4.2) and for the tuple-template key checks of Algorithm
-    insert (Appendix A). *)
+    insert (Appendix A).
+
+    Secondary hash indexes over arbitrary column sets ({!index_on}) back the
+    hash joins of compiled SPJ plans. An index is built on first request by
+    one scan, then maintained incrementally by {!insert} / {!delete_key} —
+    so it survives across queries and stays correct under the transactional
+    apply/rollback of update groups, which routes through these same two
+    entry points. *)
+
+type index = (Value.t list, Tuple.t list) Hashtbl.t
 
 type t = {
   schema : Schema.relation;
   rows : (Value.t list, Tuple.t) Hashtbl.t;
+  indexes : (int list, index) Hashtbl.t;
+      (** column positions (ascending-free, as requested) -> buckets *)
 }
 
 exception Key_violation of string
 
 let key_violation fmt = Fmt.kstr (fun s -> raise (Key_violation s)) fmt
 
-let create schema = { schema; rows = Hashtbl.create 64 }
+let create schema =
+  { schema; rows = Hashtbl.create 64; indexes = Hashtbl.create 4 }
 
 let schema r = r.schema
 let cardinal r = Hashtbl.length r.rows
@@ -31,6 +43,37 @@ let mem r t =
   | Some t' -> Tuple.equal t t'
   | None -> false
 
+let project cols (t : Tuple.t) = List.map (fun c -> t.(c)) cols
+
+let index_add idx cols t =
+  let k = project cols t in
+  let bucket = Option.value ~default:[] (Hashtbl.find_opt idx k) in
+  Hashtbl.replace idx k (t :: bucket)
+
+(* removal is by physical identity: the bucket holds the same array the
+   primary index holds *)
+let index_remove idx cols t =
+  let k = project cols t in
+  match Hashtbl.find_opt idx k with
+  | None -> ()
+  | Some bucket -> (
+      match List.filter (fun t' -> t' != t) bucket with
+      | [] -> Hashtbl.remove idx k
+      | bucket' -> Hashtbl.replace idx k bucket')
+
+(** [index_on r cols] is the secondary hash index of [r] over column
+    positions [cols]: projection-of-[cols] -> matching tuples. Built by one
+    scan on first request, kept current by {!insert}/{!delete_key}
+    afterwards. The result is live — do not mutate it. *)
+let index_on r cols : index =
+  match Hashtbl.find_opt r.indexes cols with
+  | Some idx -> idx
+  | None ->
+      let idx = Hashtbl.create (max 16 (Hashtbl.length r.rows)) in
+      Hashtbl.iter (fun _ t -> index_add idx cols t) r.rows;
+      Hashtbl.replace r.indexes cols idx;
+      idx
+
 (** [insert r t] adds [t]. Re-inserting an identical tuple is a no-op;
     inserting a different tuple under an existing key raises
     {!Key_violation}, mirroring a primary-key constraint. *)
@@ -38,7 +81,9 @@ let insert r t =
   Tuple.check r.schema t;
   let key = Tuple.key_of r.schema t in
   match Hashtbl.find_opt r.rows key with
-  | None -> Hashtbl.replace r.rows key t
+  | None ->
+      Hashtbl.replace r.rows key t;
+      Hashtbl.iter (fun cols idx -> index_add idx cols t) r.indexes
   | Some t' when Tuple.equal t t' -> ()
   | Some _ ->
       key_violation "relation %s: key %a already bound to a different tuple"
@@ -49,10 +94,12 @@ let insert r t =
 (** [delete_key r key] removes the tuple with key [key] if present; returns
     whether a tuple was removed. *)
 let delete_key r key =
-  if Hashtbl.mem r.rows key then (
-    Hashtbl.remove r.rows key;
-    true)
-  else false
+  match Hashtbl.find_opt r.rows key with
+  | None -> false
+  | Some t ->
+      Hashtbl.remove r.rows key;
+      Hashtbl.iter (fun cols idx -> index_remove idx cols t) r.indexes;
+      true
 
 let delete r t = delete_key r (Tuple.key_of r.schema t)
 
@@ -63,11 +110,13 @@ let to_list r =
   let l = fold (fun t acc -> t :: acc) r [] in
   List.sort Tuple.compare l
 
-let copy r = { schema = r.schema; rows = Hashtbl.copy r.rows }
+(* the copy starts with an empty index cache: indexes hold physical tuple
+   references into *this* relation and rebuild on demand in the copy *)
+let copy r =
+  { schema = r.schema; rows = Hashtbl.copy r.rows; indexes = Hashtbl.create 4 }
 
 (** [select_eq r col v] scans for tuples whose attribute at position [col]
-    equals [v]. Callers needing repeated lookups should build a hash index
-    via {!Eval} instead. *)
+    equals [v]. Callers needing repeated lookups should use {!index_on}. *)
 let select_eq r col v =
   fold (fun t acc -> if Value.equal t.(col) v then t :: acc else acc) r []
 

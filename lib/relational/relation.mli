@@ -1,7 +1,10 @@
 (** Relation instances: key-indexed tuple stores enforcing the primary-key
     constraint. Point lookups by key are O(1), which the deletable-source
     computation of Algorithm delete (Section 4.2) and the tuple-template
-    checks of Algorithm insert (Appendix A) rely on. *)
+    checks of Algorithm insert (Appendix A) rely on. Secondary hash
+    indexes over arbitrary column sets ({!index_on}) back the hash joins
+    of compiled SPJ plans; they persist across queries and are maintained
+    incrementally by {!insert}/{!delete_key}. *)
 
 type t
 
@@ -36,9 +39,17 @@ val to_list : t -> Tuple.t list
 (** all tuples, sorted — deterministic for tests *)
 
 val copy : t -> t
+(** deep copy of the rows; the secondary-index cache starts empty and
+    rebuilds on demand *)
+
+val index_on : t -> int list -> (Value.t list, Tuple.t list) Hashtbl.t
+(** [index_on r cols]: the secondary hash index over column positions
+    [cols], mapping each projection to its tuples. Built by one scan on
+    first request, then maintained incrementally under inserts and
+    deletes. The returned table is live — treat it as read-only. *)
 
 val select_eq : t -> int -> Value.t -> Tuple.t list
-(** linear scan on one column; repeated lookups should go through
-    {!Eval} instead *)
+(** linear scan on one column; repeated lookups should use
+    {!index_on} *)
 
 val pp : Format.formatter -> t -> unit

@@ -62,6 +62,111 @@ let test_bitset_union () =
   check "equal self" true (Bitset.equal a a);
   check "not equal" false (Bitset.equal a b)
 
+let test_bitset_word_ops () =
+  let a = Bitset.create () in
+  List.iter (Bitset.set a) [ 0; 62; 63; 64; 127; 200 ];
+  check_int "pop_count" 6 (Bitset.pop_count a);
+  let seen = ref [] in
+  Bitset.iter_bits a (fun i -> seen := i :: !seen);
+  Alcotest.(check (list int))
+    "iter_bits ascending"
+    [ 0; 62; 63; 64; 127; 200 ]
+    (List.rev !seen);
+  let c = Bitset.copy a in
+  Bitset.set c 5;
+  check "copy is independent" false (Bitset.get a 5);
+  let d = Bitset.create () in
+  List.iter (Bitset.set d) [ 62; 127; 300 ];
+  Bitset.diff_into ~dst:c d;
+  Alcotest.(check (list int)) "diff_into" [ 0; 5; 63; 64; 200 ] (Bitset.to_list c);
+  (* equality is extensional: capacities may differ *)
+  let e1 = Bitset.create () and e2 = Bitset.create () in
+  Bitset.set e1 3;
+  Bitset.set e2 3;
+  Bitset.set e2 500;
+  Bitset.clear e2 500;
+  check "equal across capacities" true (Bitset.equal e1 e2);
+  check "equal flipped" true (Bitset.equal e2 e1);
+  check "non-empty" false (Bitset.is_empty e1);
+  check "fresh is empty" true (Bitset.is_empty (Bitset.create ()));
+  check_int "empty pop_count" 0 (Bitset.pop_count (Bitset.create ()))
+
+let bitset_pair_gen =
+  QCheck2.Gen.(
+    let* xs = list_size (int_range 0 80) (int_range 0 400) in
+    let* ys = list_size (int_range 0 80) (int_range 0 400) in
+    return (xs, ys))
+
+let bitset_pair_ops =
+  Helpers.qtest ~count:300 "bitset pair ops match reference sets"
+    bitset_pair_gen
+    (fun (xs, ys) ->
+      Printf.sprintf "|xs|=%d |ys|=%d" (List.length xs) (List.length ys))
+    (fun (xs, ys) ->
+      let module IS = Set.Make (Int) in
+      let sx = IS.of_list xs and sy = IS.of_list ys in
+      let mk bits =
+        let b = Bitset.create () in
+        List.iter (Bitset.set b) bits;
+        b
+      in
+      let by = mk ys in
+      let u = mk xs in
+      Bitset.union_into ~dst:u by;
+      let d = mk xs in
+      Bitset.diff_into ~dst:d by;
+      Bitset.to_list u = IS.elements (IS.union sx sy)
+      && Bitset.to_list d = IS.elements (IS.diff sx sy)
+      && Bitset.pop_count u = IS.cardinal (IS.union sx sy)
+      && Bitset.intersects (mk xs) by = not (IS.is_empty (IS.inter sx sy))
+      && Bitset.equal (mk xs) (mk xs)
+      && Bitset.equal (mk xs) by = IS.equal sx sy)
+
+(* Sparse bitsets (the M-row representation) against reference sets and
+   against the dense bitsets they bridge to: random set/clear sequences
+   (out-of-order inserts exercise the insertion path, clears the
+   zero-word entry removal), then the union/popcount/iter/equal ops and
+   the dense-interop queries. *)
+let sparse_bitset_ops =
+  Helpers.qtest ~count:300 "sparse bitset ops match reference sets"
+    bitset_pair_gen
+    (fun (xs, ys) ->
+      Printf.sprintf "|xs|=%d |ys|=%d" (List.length xs) (List.length ys))
+    (fun (xs, ys) ->
+      let module IS = Set.Make (Int) in
+      let mk bits =
+        let b = Bitset.Sparse.create () in
+        List.iter (Bitset.Sparse.set b) bits;
+        b
+      in
+      let mk_dense bits =
+        let b = Bitset.create () in
+        List.iter (Bitset.set b) bits;
+        b
+      in
+      let sx = IS.of_list xs and sy = IS.of_list ys in
+      (* set then clear the ys: only the xs-without-ys survive *)
+      let c = mk (xs @ ys) in
+      List.iter (Bitset.Sparse.clear c) ys;
+      let u = mk xs in
+      Bitset.Sparse.union_into ~dst:u (mk ys);
+      let union_ref = IS.elements (IS.union sx sy) in
+      (* dense interop: OR the sparse xs into a dense ys and read back *)
+      let dense = mk_dense ys in
+      Bitset.Sparse.union_into_dense ~dst:dense (mk xs);
+      Bitset.Sparse.to_list c = IS.elements (IS.diff sx sy)
+      && Bitset.Sparse.to_list u = union_ref
+      && Bitset.Sparse.pop_count u = List.length union_ref
+      && List.for_all (fun b -> Bitset.Sparse.get u b) union_ref
+      && (not (Bitset.Sparse.get u 401))
+      && Bitset.to_list dense = union_ref
+      && Bitset.Sparse.inter_dense (mk xs) (mk_dense ys)
+         = not (IS.is_empty (IS.inter sx sy))
+      && Bitset.Sparse.equal (mk (xs @ ys)) u
+      && Bitset.Sparse.equal (mk xs) (mk ys) = IS.equal sx sy
+      && Bitset.Sparse.is_empty (Bitset.Sparse.create ())
+      && Bitset.Sparse.equal (Bitset.Sparse.copy u) u)
+
 (* --- random stores --- *)
 
 (* a random DAG store: nodes 0..n-1, edges only from lower to higher
@@ -170,6 +275,105 @@ let maintenance_matches_recompute =
       | Ok () -> true
       | Error msg -> QCheck2.Test.fail_reportf "inconsistent: %s" msg)
 
+(* --- interleaved Δ(M,L)insert/delete directly on random stores:
+   after every step the bitset-backed M must equal a from-scratch
+   Algorithm Reach, L must stay valid, and the lazy reverse (descendant)
+   index must agree with the forward rows --- *)
+
+let interleaved_maintenance =
+  Helpers.qtest ~count:100 "interleaved Δ(M,L) ops ≡ recompute (bitset M)"
+    random_store_gen
+    (fun (n, e, s) -> Printf.sprintf "n=%d extra=%d seed=%d" n e s)
+    (fun ((_, _, seed) as params) ->
+      let store, _ = build_random_store params in
+      let l = Topo.of_store store in
+      let m = Reach.compute store l in
+      let rng = Rng.create (seed + 17) in
+      let fresh = ref 0 in
+      let live () =
+        List.sort compare
+          (Store.fold_nodes (fun nd acc -> nd.Store.id :: acc) store [])
+      in
+      let pick xs = List.nth xs (Rng.int rng (List.length xs)) in
+      let ok = ref true in
+      let check_now () =
+        let l_ok = Topo.is_valid l store in
+        let m' = Reach.compute store (Topo.of_store store) in
+        let m_ok = Reach.equal m m' store in
+        (* reverse index vs a naive scan of the forward relation *)
+        let ids = live () in
+        let a = pick ids in
+        let naive_desc = List.filter (fun x -> Reach.is_ancestor m a x) ids in
+        let desc_ok = List.sort compare (Reach.descendants m a) = naive_desc in
+        if not (l_ok && m_ok && desc_ok) then ok := false
+      in
+      for _ = 1 to 12 do
+        if !ok then begin
+          let ids = live () in
+          let root = Store.root store in
+          match Rng.int rng 3 with
+          | 0 ->
+              (* insert a fresh node under 1–2 targets, optionally with a
+                 subtree edge into an existing node (sharing) *)
+              incr fresh;
+              let t1 = pick ids in
+              let targets =
+                let t2 = pick ids in
+                if t2 <> t1 && Rng.int rng 2 = 0 then [ t1; t2 ] else [ t1 ]
+              in
+              let v = pick ids in
+              let u =
+                Store.gen_id store "f" [| Value.Int (1_000_000 + !fresh) |] ()
+              in
+              (* u → v is safe only if v reaches no target (acyclicity) *)
+              if
+                Rng.int rng 2 = 0
+                && List.for_all
+                     (fun t -> not (Reach.is_ancestor_or_self m v t))
+                     targets
+              then Store.add_edge store u v ~provenance:None;
+              List.iter
+                (fun t -> Store.add_edge store t u ~provenance:None)
+                targets;
+              ignore
+                (Maintain.on_insert store l m ~targets ~root_id:u
+                   ~new_nodes:[ u ]);
+              check_now ()
+          | 1 ->
+              (* common-subtree insertion: a new edge t → u between
+                 existing nodes *)
+              let t = pick ids and u = pick ids in
+              if
+                t <> u
+                && (not (Reach.is_ancestor_or_self m u t))
+                && not (Store.mem_edge store t u)
+              then begin
+                Store.add_edge store t u ~provenance:None;
+                ignore
+                  (Maintain.on_insert store l m ~targets:[ t ] ~root_id:u
+                     ~new_nodes:[]);
+                check_now ()
+              end
+          | _ ->
+              (* drop every incoming edge of one non-root node; the
+                 cascade garbage-collects whatever becomes unreachable *)
+              let cands =
+                List.filter
+                  (fun id -> id <> root && Store.parents store id <> [])
+                  ids
+              in
+              if cands <> [] then begin
+                let v = pick cands in
+                List.iter
+                  (fun p -> ignore (Store.remove_edge store p v))
+                  (Store.parents store v);
+                ignore (Maintain.on_delete store l m ~targets:[ v ]);
+                check_now ()
+              end
+        end
+      done;
+      !ok)
+
 (* --- store invariants --- *)
 
 let test_store_basics () =
@@ -245,10 +449,14 @@ let tests =
   [
     bitset_vs_reference;
     Alcotest.test_case "bitset union/intersect" `Quick test_bitset_union;
+    Alcotest.test_case "bitset word ops" `Quick test_bitset_word_ops;
+    bitset_pair_ops;
+    sparse_bitset_ops;
     topo_valid_on_random;
     reach_vs_naive;
     swap_restores_validity;
     maintenance_matches_recompute;
+    interleaved_maintenance;
     Alcotest.test_case "store basics" `Quick test_store_basics;
     Alcotest.test_case "provenance accumulates" `Quick
       test_store_provenance_accumulates;

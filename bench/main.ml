@@ -465,6 +465,128 @@ let table1 () =
         ])
     (sizes ())
 
+(* ---------- Transactions: O(Δ) undo journal vs O(view) deep snapshot - *)
+
+(* The deep-snapshot baseline the engine used before the undo journal,
+   reconstructed from the public copy oracles: capture all four mutable
+   components, run, and swap the copies back in on rollback. *)
+let deep_capture (e : Engine.t) =
+  let s_store = Store.copy e.Engine.store in
+  ( Database.copy e.Engine.db,
+    s_store,
+    Topo.copy e.Engine.topo,
+    Reach.copy ~store:s_store e.Engine.reach,
+    e.Engine.seed )
+
+let deep_restore (e : Engine.t) (db, st, tp, rc, sd) =
+  e.Engine.db <- db;
+  e.Engine.store <- st;
+  e.Engine.topo <- tp;
+  e.Engine.reach <- rc;
+  e.Engine.seed <- sd
+
+let deep_dry_run e u =
+  let snap = deep_capture e in
+  let r = Engine.apply ~policy:`Proceed e u in
+  deep_restore e snap;
+  r
+
+let deep_apply_group e us =
+  let snap = deep_capture e in
+  let rec go i = function
+    | [] -> Ok ()
+    | u :: rest -> (
+        match Engine.apply ~policy:`Proceed e u with
+        | Ok _ -> go (i + 1) rest
+        | Error rej ->
+            deep_restore e snap;
+            Error (i, rej))
+  in
+  go 0 us
+
+(* guaranteed mid-group rejection: no such element type in the DTD *)
+let bogus_update =
+  Xupdate.Insert
+    { etype = "bogus"; attr = [| Value.int 0 |]; path = Ast.Label "c" }
+
+let transactions () =
+  let probes = 10 in
+  header
+    (Printf.sprintf
+       "transactions: undo-journal vs deep-snapshot rollback (totals over \
+        %d reject probes / %d dry runs / %d rejected groups)"
+       probes (ops_per_class ()) 3)
+    [
+      "|C|"; "probe_j_ms"; "probe_d_ms"; "probe_speedup";
+      "journal_dry_ms"; "deep_dry_ms"; "dry_speedup";
+      "journal_abort_ms"; "deep_abort_ms"; "abort_speedup";
+    ];
+  List.iter
+    (fun n ->
+      let d, e = engine_for n in
+      (* reject probes: dry runs whose apply work is trivial (immediate
+         DTD rejection), isolating the per-transaction overhead — the
+         journal pays O(Δ)=O(1) here, the deep baseline O(view). This is
+         the cost every rejected or what-if update used to carry. *)
+      let _, t_jprobe =
+        time (fun () ->
+            for _ = 1 to probes do
+              ignore (Engine.dry_run e bogus_update)
+            done)
+      in
+      let _, t_dprobe =
+        time (fun () ->
+            for _ = 1 to probes do
+              ignore (deep_dry_run e bogus_update)
+            done)
+      in
+      let dry_ops =
+        Updates.insertions d e.Engine.store Updates.W2 ~count:(ops_per_class ())
+          ~seed:11 ()
+        @ Updates.deletions e.Engine.store Updates.W2 ~count:(ops_per_class ())
+            ~seed:12
+      in
+      let dry_ops = List.filteri (fun i _ -> i < ops_per_class ()) dry_ops in
+      (* dry runs of real updates: both arms pay the full apply (XPath,
+         translation, SAT), so the ratio shows end-to-end impact *)
+      let _, t_jdry =
+        time (fun () -> List.iter (fun u -> ignore (Engine.dry_run e u)) dry_ops)
+      in
+      let _, t_ddry =
+        time (fun () -> List.iter (fun u -> ignore (deep_dry_run e u)) dry_ops)
+      in
+      (* rejected groups: some real work, then a guaranteed rejection —
+         the whole group must roll back *)
+      let groups =
+        List.init 3 (fun g ->
+            Updates.insertions d e.Engine.store Updates.W2 ~count:1
+              ~seed:(20 + g) ()
+            @ Updates.deletions e.Engine.store Updates.W2 ~count:1
+                ~seed:(30 + g)
+            @ [ bogus_update ])
+      in
+      let _, t_jabort =
+        time (fun () ->
+            List.iter (fun g -> ignore (Engine.apply_group e g)) groups)
+      in
+      let _, t_dabort =
+        time (fun () -> List.iter (fun g -> ignore (deep_apply_group e g)) groups)
+      in
+      row
+        [
+          string_of_int n;
+          ms t_jprobe;
+          ms t_dprobe;
+          Printf.sprintf "%.1fx" (t_dprobe /. t_jprobe);
+          ms t_jdry;
+          ms t_ddry;
+          Printf.sprintf "%.1fx" (t_ddry /. t_jdry);
+          ms t_jabort;
+          ms t_dabort;
+          Printf.sprintf "%.1fx" (t_dabort /. t_jabort);
+        ])
+    (sizes ())
+
 (* ---------- Ablations: the design choices DESIGN.md calls out -------- *)
 
 let ablation_sharing () =
@@ -634,6 +756,7 @@ let experiments : (string * (unit -> unit)) list =
     ("fig11g", fig11g);
     ("fig11h", fig11h);
     ("table1", table1);
+    ("transactions", transactions);
     ("ablations", ablations);
     ("bechamel", bechamel_suite);
   ]
@@ -646,7 +769,7 @@ let all_names =
 let usage () =
   prerr_endline
     "usage: main.exe [--quick|--smoke] [--json FILE] \
-     [all|fig10b|fig11a..fig11h|table1|ablations|bechamel]...";
+     [all|fig10b|fig11a..fig11h|table1|transactions|ablations|bechamel]...";
   exit 2
 
 let () =

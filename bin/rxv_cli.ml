@@ -56,7 +56,9 @@ let seed_arg =
   Arg.(
     value
     & opt int 7
-    & info [ "seed" ] ~docv:"SEED" ~doc:"Generator seed (synth scenario).")
+    & info [ "seed" ] ~docv:"SEED"
+        ~doc:"Deterministic seed: drives the synth generator and the \
+              engine's WalkSAT seed sequence.")
 
 let data_arg =
   Arg.(
@@ -70,16 +72,16 @@ let build scenario n seed data =
   match scenario with
   | Sregistrar -> (
       match data with
-      | None -> Registrar.engine ()
+      | None -> Registrar.engine ~seed ()
       | Some dir ->
           let db = Rxv_relational.Database.create Registrar.schema in
           let loaded = Rxv_relational.Csv_io.load_dir db dir in
           if loaded = [] then
             Fmt.epr "warning: no <relation>.csv files found in %s@." dir;
-          Engine.create (Registrar.atg ()) db)
+          Engine.create ~seed (Registrar.atg ()) db)
   | Ssynth ->
       let d = Synth.generate (Synth.default_params ~seed n) in
-      Engine.create (Synth.atg ()) d.Synth.db
+      Engine.create ~seed (Synth.atg ()) d.Synth.db
 
 let path_arg p =
   Arg.(

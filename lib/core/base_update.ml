@@ -156,8 +156,7 @@ let reconcile_parent (atg : Atg.t) (db : Database.t) (store : Store.t)
       match Store.find_id store b_type battr with
       | Some c when Store.mem_edge store parent c ->
           (* kept edge: refresh derivations *)
-          let info = Store.edge_info store parent c in
-          info.Store.provenance <- List.rev rows
+          Store.set_provenance store parent c (List.rev rows)
       | existing -> (
           (* new child: expand its subtree, then link *)
           let root_id, subtree_nodes, new_nodes =

@@ -66,22 +66,30 @@ let log_src = Logs.Src.create "rxv.engine" ~doc:"XML view update engine"
 
 module Log = (val Logs.src_log log_src : Logs.LOG)
 
+(** How many offending node ids {!pp_rejection} prints before eliding. *)
+let rejection_id_preview = 8
+
 let pp_rejection ppf = function
   | Invalid msg -> Fmt.pf ppf "invalid against the DTD: %s" msg
   | Side_effects ids ->
-      Fmt.pf ppf "side effects at %d unselected occurrence parent(s)"
-        (List.length ids)
+      let n = List.length ids in
+      let prefix = List.filteri (fun i _ -> i < rejection_id_preview) ids in
+      Fmt.pf ppf "side effects at %d unselected occurrence parent(s) [%a%s]" n
+        (Fmt.list ~sep:(Fmt.any ", ") Fmt.int)
+        prefix
+        (if n > rejection_id_preview then ", …" else "")
   | Untranslatable msg -> Fmt.pf ppf "untranslatable: %s" msg
 
-(** [create atg db] publishes σ(I) and builds L and M. *)
-let create (atg : Atg.t) (db : Database.t) : t =
+(** [create atg db] publishes σ(I) and builds L and M. [seed] starts the
+    WalkSAT seed sequence (deterministic by default). *)
+let create ?(seed = 20070415) (atg : Atg.t) (db : Database.t) : t =
   let store = Publish.publish atg db in
   let topo = Topo.of_store store in
   let reach = Reach.compute store topo in
   Log.info (fun m ->
       m "published %s: %d nodes, %d edges, |M|=%d" atg.Atg.name
         (Store.n_nodes store) (Store.n_edges store) (Reach.size reach));
-  { atg; db; store; topo; reach; seed = 20070415 }
+  { atg; db; store; topo; reach; seed }
 
 let now () = Unix.gettimeofday ()
 
@@ -327,60 +335,75 @@ let stats (e : t) : stats =
 
 (** {2 Transactions}
 
-    Deep snapshots of the four mutable components; [apply_group] uses them
-    to make a list of XML updates atomic, and [dry_run] to answer
-    updatability questions without committing. Snapshot cost is O(view),
-    so these are conveniences for moderate views, not a WAL. *)
+    One engine transaction is one undo-journal frame on each of the four
+    mutable components (the database's shared relation journal, the
+    store's, L's, and M's), plus the saved WalkSAT seed. Mutation entry
+    points record exact inverses at their sites, so {!txn_abort} replays
+    O(Δ) inverse operations — not the O(view) deep copies the previous
+    snapshot/restore implementation paid. [apply_group] and [dry_run]
+    run on top; the legacy {!snapshot}/{!restore} API is a thin wrapper
+    over the same frames. *)
 
-type snapshot = {
-  s_db : Database.t;
-  s_store : Store.t;
-  s_topo : Topo.t;
-  s_reach : Reach.t;
-  s_seed : int;
-}
+module Txn = struct
+  type handle = { t_seed : int }
 
-let snapshot (e : t) : snapshot =
-  (* the matrix copy must be bound to the copied store: M's rows are
-     slot-indexed and the slot↔id mapping lives in the store *)
-  let s_store = Store.copy e.store in
-  {
-    s_db = Database.copy e.db;
-    s_store;
-    s_topo = Topo.copy e.topo;
-    s_reach = Reach.copy ~store:s_store e.reach;
-    s_seed = e.seed;
-  }
+  let begin_ (e : t) : handle =
+    Database.begin_ e.db;
+    Store.begin_ e.store;
+    Topo.begin_ e.topo;
+    Reach.begin_ e.reach;
+    { t_seed = e.seed }
 
-let restore (e : t) (s : snapshot) : unit =
-  e.db <- s.s_db;
-  e.store <- s.s_store;
-  e.topo <- s.s_topo;
-  e.reach <- s.s_reach;
-  e.seed <- s.s_seed
+  let commit (e : t) (_ : handle) : unit =
+    Reach.commit e.reach;
+    Topo.commit e.topo;
+    Store.commit e.store;
+    Database.commit e.db
+
+  (* The four journals are independent — no undo closure reaches across
+     structures — so abort order is free; reverse of [begin_] for
+     hygiene. *)
+  let abort (e : t) (h : handle) : unit =
+    Reach.abort e.reach;
+    Topo.abort e.topo;
+    Store.abort e.store;
+    Database.abort e.db;
+    e.seed <- h.t_seed
+end
+
+type snapshot = Txn.handle
+
+let snapshot (e : t) : snapshot = Txn.begin_ e
+let restore (e : t) (s : snapshot) : unit = Txn.abort e s
 
 (** [apply_group e us] applies every update of [us] in order, atomically:
-    if any is rejected, the engine is restored to its state before the
-    group and the failing index with its rejection is returned. *)
+    if any is rejected (or raises), the engine is rolled back to its state
+    before the group; on rejection the failing index is returned. *)
 let apply_group ?(policy : policy = `Proceed) (e : t) (us : Xupdate.t list) :
     (report list, int * rejection) Stdlib.result =
-  let snap = snapshot e in
+  let txn = Txn.begin_ e in
   let rec go i acc = function
-    | [] -> Ok (List.rev acc)
+    | [] ->
+        Txn.commit e txn;
+        Ok (List.rev acc)
     | u :: rest -> (
         match apply ~policy e u with
         | Ok r -> go (i + 1) (r :: acc) rest
         | Error rej ->
-            restore e snap;
-            Error (i, rej))
+            Txn.abort e txn;
+            Error (i, rej)
+        | exception exn ->
+            Txn.abort e txn;
+            raise exn)
   in
   go 0 [] us
 
 (** [dry_run e u] reports what [u] would do — including the ΔR it would
-    execute — without changing any state. *)
+    execute — without changing any state: the work happens inside a
+    transaction frame that is always aborted, at O(Δ) rollback cost. *)
 let dry_run ?(policy : policy = `Proceed) (e : t) (u : Xupdate.t) :
     (report, rejection) Stdlib.result =
-  let snap = snapshot e in
-  let result = apply ~policy e u in
-  restore e snap;
-  result
+  let txn = Txn.begin_ e in
+  Fun.protect
+    ~finally:(fun () -> Txn.abort e txn)
+    (fun () -> apply ~policy e u)

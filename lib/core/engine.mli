@@ -51,9 +51,13 @@ type report = {
 }
 
 val pp_rejection : Format.formatter -> rejection -> unit
+(** [Side_effects] prints the offending-parent count and a bounded prefix
+    of the node ids (first 8, then an ellipsis) *)
 
-val create : Atg.t -> Database.t -> t
-(** publish σ(I) and build L and M *)
+val create : ?seed:int -> Atg.t -> Database.t -> t
+(** publish σ(I) and build L and M. [seed] starts the WalkSAT seed
+    sequence; it defaults to a fixed constant, so runs are deterministic
+    unless a caller opts into a different stream. *)
 
 val apply : ?policy:policy -> t -> Xupdate.t -> (report, rejection) result
 (** process one XML view update end to end; [policy] defaults to
@@ -84,19 +88,45 @@ type stats = {
 
 val stats : t -> stats
 
-(** {2 Transactions} *)
+(** {2 Transactions}
 
-type snapshot
+    An engine transaction is one undo-journal frame on each mutable
+    component (database, store, L, M) plus the saved seed: every mutation
+    entry point records its exact inverse, so rollback replays O(Δ)
+    inverse operations instead of restoring O(view) deep copies.
+    Transactions nest; each handle must be resolved exactly once, with
+    the innermost open frame resolved first. *)
+
+module Txn : sig
+  type handle
+
+  val begin_ : t -> handle
+  (** open a frame on all four components and save the seed — O(1) *)
+
+  val commit : t -> handle -> unit
+  (** keep the frame's effects, folding its undo entries into any
+      enclosing frame *)
+
+  val abort : t -> handle -> unit
+  (** roll the engine back to the matching {!begin_}, in O(Δ) *)
+end
+
+type snapshot = Txn.handle
 
 val snapshot : t -> snapshot
-(** deep snapshot of database, store, L and M — O(view) *)
+(** legacy alias for {!Txn.begin_}: opens a journal frame (O(1), no deep
+    copy). Unlike the former deep snapshot, each snapshot must be
+    resolved exactly once — {!restore} it, or commit via {!Txn.commit}. *)
 
 val restore : t -> snapshot -> unit
+(** legacy alias for {!Txn.abort} *)
 
 val apply_group :
   ?policy:policy -> t -> Xupdate.t list -> (report list, int * rejection) result
-(** apply a list of updates atomically: on any rejection the engine is
-    restored to its pre-group state and the failing index returned *)
+(** apply a list of updates atomically: on any rejection (or exception)
+    the engine is rolled back to its pre-group state — O(Δ), via the
+    undo journals — and the failing index returned *)
 
 val dry_run : ?policy:policy -> t -> Xupdate.t -> (report, rejection) result
-(** what would [u] do (including its ΔR)? — no state change *)
+(** what would [u] do (including its ΔR)? — no state change; runs inside
+    an always-aborted transaction frame, so the rollback costs O(Δ) *)

@@ -27,28 +27,89 @@
     (property-tested). *)
 
 module Sparse = Bitset.Sparse
+module Journal = Rxv_relational.Journal
 
 type t = {
   store : Store.t;
   mutable anc : Sparse.t array;  (** slot -> proper-ancestor slot set *)
   mutable desc : Sparse.t array option;
       (** lazy reverse index: slot -> descendant slot set *)
+  journal : Journal.t;
+      (** undo journal; in-place row mutators copy-on-write each touched
+          row once per frame, so abort restores only the touched rows *)
+  mutable touched : (int, unit) Hashtbl.t list;
+      (** per-frame set of slots already COW'd, innermost first — a stack
+          parallel to the journal's frames *)
 }
 
-let create (store : Store.t) : t = { store; anc = [||]; desc = None }
+let create (store : Store.t) : t =
+  { store; anc = [||]; desc = None; journal = Journal.create (); touched = [] }
 
 let invalidate m = m.desc <- None
 
-(* Grow the row array to cover [slot]; every cell owns its bitset. *)
+let journal m = m.journal
+
+let begin_ m =
+  Journal.begin_ m.journal;
+  m.touched <- Hashtbl.create 16 :: m.touched
+
+let commit m =
+  Journal.commit m.journal;
+  match m.touched with
+  | top :: parent :: rest ->
+      (* the parent frame inherits the marks: its own abort restores the
+         original rows (the folded-in entries), so re-COWing is waste *)
+      Hashtbl.iter (fun s () -> Hashtbl.replace parent s ()) top;
+      m.touched <- parent :: rest
+  | [ _ ] | [] -> m.touched <- []
+
+let abort m =
+  Journal.abort m.journal;
+  (match m.touched with [] -> () | _ :: rest -> m.touched <- rest);
+  invalidate m
+
+let recording m = Journal.recording m.journal
+
+(* Grow the row array to cover [slot]; every cell owns its bitset. The
+   object swap is journaled so undo closures recorded earlier (which
+   write through [m.anc] at replay time) find the object they captured
+   against restored first, by LIFO. *)
 let ensure_slot m slot =
   let n = Array.length m.anc in
   if slot >= n then begin
     let n' = max (max 16 (2 * n)) (slot + 1) in
+    let old = m.anc in
     let anc =
       Array.init n' (fun i -> if i < n then m.anc.(i) else Sparse.create ())
     in
+    if recording m then Journal.record m.journal (fun () -> m.anc <- old);
     m.anc <- anc
   end
+
+(* Copy-on-write for in-place row mutation: the first touch of a row in
+   the innermost frame records "put the original bitset object back" and
+   swaps in a private copy; later touches in the same frame mutate the
+   copy freely. Abort is then O(touched rows), not O(M). *)
+let cow m sd =
+  match m.touched with
+  | top :: _ when recording m && not (Hashtbl.mem top sd) ->
+      let saved = m.anc.(sd) in
+      Journal.record m.journal (fun () -> m.anc.(sd) <- saved);
+      m.anc.(sd) <- Sparse.copy saved;
+      Hashtbl.replace top sd ()
+  | _ -> ()
+
+(* Replace-style mutation: the old row object survives untouched, so
+   recording its restoration needs no copy at all. Marks the row touched
+   — the replacement object is private, in-place mutators may hit it
+   directly. *)
+let save_row m sd =
+  match m.touched with
+  | top :: _ when recording m && not (Hashtbl.mem top sd) ->
+      let saved = m.anc.(sd) in
+      Journal.record m.journal (fun () -> m.anc.(sd) <- saved);
+      Hashtbl.replace top sd ()
+  | _ -> ()
 
 let slot_of m id = (Store.node m.store id).Store.slot
 
@@ -91,13 +152,19 @@ let n_ancestors m d =
 let size m = Array.fold_left (fun acc r -> acc + Sparse.pop_count r) 0 m.anc
 
 let add_pair m a d =
-  Sparse.set (row m (slot_of m d)) (slot_of m a);
+  let sd = slot_of m d in
+  ensure_slot m sd;
+  cow m sd;
+  Sparse.set m.anc.(sd) (slot_of m a);
   invalidate m
 
 let remove_pair m a d =
   if Store.mem_node m.store a && Store.mem_node m.store d then begin
     let sd = slot_of m d in
-    if sd < Array.length m.anc then Sparse.clear m.anc.(sd) (slot_of m a);
+    if sd < Array.length m.anc then begin
+      cow m sd;
+      Sparse.clear m.anc.(sd) (slot_of m a)
+    end;
     invalidate m
   end
 
@@ -108,7 +175,10 @@ let remove_pair m a d =
 let remove_row m id =
   if Store.mem_node m.store id then begin
     let s = slot_of m id in
-    if s < Array.length m.anc then m.anc.(s) <- Sparse.create ();
+    if s < Array.length m.anc then begin
+      save_row m s;
+      m.anc.(s) <- Sparse.create ()
+    end;
     invalidate m
   end
 
@@ -132,7 +202,10 @@ let bits_of_parents m d parents =
     row-growing step of Δ(M,L)insert (Fig. 7, lines 3–5). Returns the
     number of M pairs added. *)
 let absorb_parents m d ~parents =
-  let rd = row m (slot_of m d) in
+  let sd = slot_of m d in
+  ensure_slot m sd;
+  cow m sd;
+  let rd = m.anc.(sd) in
   let before = Sparse.pop_count rd in
   Sparse.union_into ~dst:rd (bits_of_parents m d parents);
   invalidate m;
@@ -143,8 +216,10 @@ let absorb_parents m d ~parents =
     number of M pairs removed (old |anc(d)| − new). *)
 let replace_row_from_parents m d ~parents =
   let sd = slot_of m d in
-  let old = Sparse.pop_count (row m sd) in
+  ensure_slot m sd;
+  let old = Sparse.pop_count m.anc.(sd) in
   let bits = bits_of_parents m d parents in
+  save_row m sd;
   m.anc.(sd) <- bits;
   invalidate m;
   old - Sparse.pop_count bits
@@ -240,4 +315,10 @@ let equal (a : t) (b : t) (store : Store.t) =
     snapshot will restore: slot assignments are preserved by
     {!Store.copy}, so rows transfer as plain word-array copies. *)
 let copy ~(store : Store.t) (m : t) : t =
-  { store; anc = Array.map Sparse.copy m.anc; desc = None }
+  {
+    store;
+    anc = Array.map Sparse.copy m.anc;
+    desc = None;
+    journal = Journal.create ();
+    touched = [];
+  }

@@ -10,6 +10,23 @@ type t
 val create : Store.t -> t
 (** an empty matrix bound to [store]'s slot assignment *)
 
+val journal : t -> Rxv_relational.Journal.t
+(** the matrix's undo journal. In-place row mutators copy-on-write each
+    touched row once per frame; replace-style mutators save the old row
+    object outright. *)
+
+val begin_ : t -> unit
+(** open a (possibly nested) transaction frame *)
+
+val commit : t -> unit
+(** keep the frame's effects (folding its inverses into any parent
+    frame). @raise Rxv_relational.Journal.No_transaction without a frame *)
+
+val abort : t -> unit
+(** restore every row touched since the matching {!begin_} — O(touched
+    rows), not O(|M|) — and invalidate the lazy descendant index.
+    @raise Rxv_relational.Journal.No_transaction without a frame *)
+
 val slot_of : t -> int -> int
 (** the slot of a live node id — for callers assembling slot sets to
     query with {!anc_intersects} / {!union_row_into}.

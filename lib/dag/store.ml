@@ -18,6 +18,7 @@
 
 module Value = Rxv_relational.Value
 module Tuple = Rxv_relational.Tuple
+module Journal = Rxv_relational.Journal
 
 type node = {
   id : int;
@@ -47,6 +48,9 @@ type t = {
   parents : (int, (int, unit) Hashtbl.t) Hashtbl.t;
   edges : (int * int, edge_info) Hashtbl.t;
   mutable root : int;
+  journal : Journal.t;
+      (** undo journal for transactional mutation; every mutation entry
+          point records its exact inverse while a frame is open *)
 }
 
 exception Dag_error of string
@@ -66,7 +70,15 @@ let create () =
     parents = Hashtbl.create 1024;
     edges = Hashtbl.create 4096;
     root = -1;
+    journal = Journal.create ();
   }
+
+let journal t = t.journal
+let begin_ t = Journal.begin_ t.journal
+let commit t = Journal.commit t.journal
+let abort t = Journal.abort t.journal
+
+let recording t = Journal.recording t.journal
 
 let node t id =
   match Hashtbl.find_opt t.nodes id with
@@ -89,6 +101,7 @@ let gen_id t etype (attr : Tuple.t) ?text () =
   | None ->
       let id = t.next_id in
       t.next_id <- id + 1;
+      let from_free = t.free_slots <> [] in
       let slot =
         match t.free_slots with
         | s :: rest ->
@@ -112,9 +125,29 @@ let gen_id t etype (attr : Tuple.t) ?text () =
             r
       in
       Hashtbl.replace reg id ();
+      (* inverse: unregister the node and hand back its id and slot. Ids
+         are monotonic and undos replay newest-first, so [next_id <- id]
+         restores the pre-transaction counter exactly; likewise the slot
+         goes back where it came from (free-list head or next_slot). *)
+      if recording t then
+        Journal.record t.journal (fun () ->
+            Hashtbl.remove t.nodes id;
+            Hashtbl.remove t.ids key;
+            Hashtbl.remove t.slot_ids slot;
+            Hashtbl.remove reg id;
+            Hashtbl.remove t.children id;
+            Hashtbl.remove t.parents id;
+            t.next_id <- id;
+            if from_free then t.free_slots <- slot :: t.free_slots
+            else t.next_slot <- slot);
       id
 
-let set_root t id = t.root <- id
+let set_root t id =
+  if recording t then begin
+    let old = t.root in
+    Journal.record t.journal (fun () -> t.root <- old)
+  end;
+  t.root <- id
 let root t = if t.root < 0 then dag_error "store has no root" else t.root
 
 let children t id =
@@ -143,18 +176,27 @@ let edge_info t u v =
     position, matching the paper's insertion semantics). Adding an existing
     edge only accumulates any new provenance row (set semantics of the
     relational views). *)
-let add_edge t u v ~provenance =
+let rec add_edge t u v ~provenance =
   match Hashtbl.find_opt t.edges (u, v) with
   | Some info ->
       (match provenance with
       | Some row when not (List.exists (Tuple.equal row) info.provenance) ->
-          info.provenance <- info.provenance @ [ row ]
+          info.provenance <- info.provenance @ [ row ];
+          (* the row was not present before, so filtering it out is exact *)
+          if recording t then
+            Journal.record t.journal (fun () ->
+                info.provenance <-
+                  List.filter (fun r -> not (Tuple.equal r row)) info.provenance)
       | Some _ | None -> ())
   | None -> (
       ignore (node t u);
       ignore (node t v);
       Hashtbl.replace t.edges (u, v)
         { provenance = Option.to_list provenance };
+      (* the child is appended at the rightmost position, so the plain
+         [remove_edge] (which filters it out) is the exact inverse *)
+      if recording t then
+        Journal.record t.journal (fun () -> ignore (remove_edge t u v));
       (match Hashtbl.find_opt t.children u with
       | Some l -> l := !l @ [ v ]
       | None -> Hashtbl.replace t.children u (ref [ v ]));
@@ -168,20 +210,53 @@ let add_edge t u v ~provenance =
 (** [remove_edge t u v] removes the edge if present; returns whether it
     was. Nodes are never removed here — that is the garbage collector's
     job (Section 2.3). *)
-let remove_edge t u v =
-  if Hashtbl.mem t.edges (u, v) then begin
-    Hashtbl.remove t.edges (u, v);
-    (match Hashtbl.find_opt t.children u with
-    | Some l -> l := List.filter (fun c -> c <> v) !l
-    | None -> ());
-    (match Hashtbl.find_opt t.parents v with
-    | Some tbl ->
-        Hashtbl.remove tbl u;
-        if Hashtbl.length tbl = 0 then Hashtbl.remove t.parents v
-    | None -> ());
-    true
-  end
-  else false
+and remove_edge t u v =
+  match Hashtbl.find_opt t.edges (u, v) with
+  | None -> false
+  | Some info ->
+      Hashtbl.remove t.edges (u, v);
+      (* inverse: reinstate the edge_info object and splice [v] back at
+         its old position among [u]'s children (plain [add_edge] would
+         append, losing document order) *)
+      if recording t then begin
+        let idx =
+          match Hashtbl.find_opt t.children u with
+          | Some l ->
+              let rec find i = function
+                | [] -> 0
+                | c :: _ when c = v -> i
+                | _ :: rest -> find (i + 1) rest
+              in
+              find 0 !l
+          | None -> 0
+        in
+        Journal.record t.journal (fun () ->
+            Hashtbl.replace t.edges (u, v) info;
+            (match Hashtbl.find_opt t.children u with
+            | Some l ->
+                let rec splice i = function
+                  | rest when i = 0 -> v :: rest
+                  | [] -> [ v ]
+                  | c :: rest -> c :: splice (i - 1) rest
+                in
+                l := splice idx !l
+            | None -> Hashtbl.replace t.children u (ref [ v ]));
+            match Hashtbl.find_opt t.parents v with
+            | Some tbl -> Hashtbl.replace tbl u ()
+            | None ->
+                let tbl = Hashtbl.create 4 in
+                Hashtbl.replace tbl u ();
+                Hashtbl.replace t.parents v tbl)
+      end;
+      (match Hashtbl.find_opt t.children u with
+      | Some l -> l := List.filter (fun c -> c <> v) !l
+      | None -> ());
+      (match Hashtbl.find_opt t.parents v with
+      | Some tbl ->
+          Hashtbl.remove tbl u;
+          if Hashtbl.length tbl = 0 then Hashtbl.remove t.parents v
+      | None -> ());
+      true
 
 (** [remove_node t id] unregisters a node with no remaining edges and
     recycles its slot. *)
@@ -189,15 +264,47 @@ let remove_node t id =
   let n = node t id in
   if children t id <> [] || parents t id <> [] then
     dag_error "remove_node %d: node still has edges" id;
+  let key = (n.etype, Tuple.to_list n.attr) in
   Hashtbl.remove t.nodes id;
-  Hashtbl.remove t.ids (n.etype, Tuple.to_list n.attr);
+  Hashtbl.remove t.ids key;
   Hashtbl.remove t.children id;
   Hashtbl.remove t.parents id;
   (match Hashtbl.find_opt t.gen n.etype with
   | Some reg -> Hashtbl.remove reg id
   | None -> ());
   Hashtbl.remove t.slot_ids n.slot;
-  t.free_slots <- n.slot :: t.free_slots
+  t.free_slots <- n.slot :: t.free_slots;
+  (* inverse: re-register the node record and reclaim its slot from the
+     free list (at replay time the slot sits at the head again, by LIFO) *)
+  if recording t then
+    Journal.record t.journal (fun () ->
+        Hashtbl.replace t.nodes id n;
+        Hashtbl.replace t.ids key id;
+        Hashtbl.replace t.slot_ids n.slot id;
+        let reg =
+          match Hashtbl.find_opt t.gen n.etype with
+          | Some r -> r
+          | None ->
+              let r = Hashtbl.create 64 in
+              Hashtbl.replace t.gen n.etype r;
+              r
+        in
+        Hashtbl.replace reg id ();
+        match t.free_slots with
+        | s :: rest when s = n.slot -> t.free_slots <- rest
+        | _ -> t.free_slots <- List.filter (fun s -> s <> n.slot) t.free_slots)
+
+(** [set_provenance t u v rows] replaces the edge's derivation rows — the
+    journaled entry point for provenance refresh (base-update
+    reconciliation); direct mutation of {!edge_info} would bypass the
+    undo journal. *)
+let set_provenance t u v rows =
+  let info = edge_info t u v in
+  if recording t then begin
+    let old = info.provenance in
+    Journal.record t.journal (fun () -> info.provenance <- old)
+  end;
+  info.provenance <- rows
 
 (** Node id currently occupying [slot], if any. *)
 let id_of_slot t slot = Hashtbl.find_opt t.slot_ids slot
@@ -329,4 +436,5 @@ let copy t =
          t.edges;
        e);
     root = t.root;
+    journal = Journal.create ();
   }

@@ -31,6 +31,22 @@ exception Dag_error of string
 
 val create : unit -> t
 
+val journal : t -> Rxv_relational.Journal.t
+(** the store's undo journal; every mutation entry point records its
+    exact inverse while a frame is open *)
+
+val begin_ : t -> unit
+(** open a (possibly nested) transaction frame *)
+
+val commit : t -> unit
+(** keep the frame's effects (folding its inverses into any parent
+    frame). @raise Rxv_relational.Journal.No_transaction without a frame *)
+
+val abort : t -> unit
+(** undo every node/edge mutation since the matching {!begin_}, in O(Δ) —
+    ids, slots, document order and provenance are restored exactly.
+    @raise Rxv_relational.Journal.No_transaction without a frame *)
+
 val node : t -> int -> node
 (** @raise Dag_error for unknown ids. *)
 
@@ -64,6 +80,11 @@ val remove_edge : t -> int -> int -> bool
 val remove_node : t -> int -> unit
 (** unregister an edge-free node and recycle its slot.
     @raise Dag_error if edges remain. *)
+
+val set_provenance : t -> int -> int -> Tuple.t list -> unit
+(** replace an edge's derivation rows — the journaled entry point for
+    provenance refresh; mutating {!edge_info} directly would bypass the
+    undo journal. @raise Dag_error if the edge does not exist. *)
 
 val id_of_slot : t -> int -> int option
 val next_id : t -> int

@@ -18,16 +18,28 @@
     rewrites of [compact]/[insert_before]) at array-write cost instead of
     a hashtable operation per node. *)
 
+module Journal = Rxv_relational.Journal
+
 type t = {
   mutable arr : int array;  (** node ids, -1 for tombstones *)
   mutable len : int;  (** used prefix of [arr] *)
   mutable pos : int array;  (** id -> index in [arr]; -1 = not in L *)
   mutable live : int;  (** number of ids present *)
+  journal : Journal.t;
+      (** undo journal; each mutator records an exact inverse while a
+          frame is open. Auto-compaction is deferred while a frame is
+          open so recorded indices stay valid. *)
 }
 
 exception Topo_error of string
 
 let topo_error fmt = Fmt.kstr (fun s -> raise (Topo_error s)) fmt
+
+let journal l = l.journal
+let begin_ l = Journal.begin_ l.journal
+let commit l = Journal.commit l.journal
+let abort l = Journal.abort l.journal
+let recording l = Journal.recording l.journal
 
 let ensure_pos l id =
   let n = Array.length l.pos in
@@ -43,7 +55,15 @@ let set_pos l id i =
 
 let of_ids (ids : int list) : t =
   let arr = Array.of_list ids in
-  let l = { arr; len = Array.length arr; pos = [||]; live = 0 } in
+  let l =
+    {
+      arr;
+      len = Array.length arr;
+      pos = [||];
+      live = 0;
+      journal = Journal.create ();
+    }
+  in
   Array.iteri
     (fun i id ->
       set_pos l id i;
@@ -136,10 +156,22 @@ let compact l =
 
 let remove l id =
   if mem l id then begin
-    l.arr.(l.pos.(id)) <- -1;
+    let i = l.pos.(id) in
+    l.arr.(i) <- -1;
     l.pos.(id) <- -1;
     l.live <- l.live - 1;
-    if l.len > 16 && l.live * 2 < l.len then compact l
+    (* the inverse reads [l.arr]/[l.pos] at replay time: any later array
+       swap is itself journaled and undone first (LIFO), so the fields
+       hold the same objects they did here *)
+    if recording l then
+      Journal.record l.journal (fun () ->
+          l.arr.(i) <- id;
+          l.pos.(id) <- i;
+          l.live <- l.live + 1);
+    (* compaction is deferred while a frame is open: it would relocate
+       every live id, invalidating the indices recorded above *)
+    if l.len > 16 && l.live * 2 < l.len && not (Journal.active l.journal) then
+      compact l
   end
 
 (** [swap l u v ~is_desc_of_v] implements the paper's [swap(L, u, v)]:
@@ -151,6 +183,17 @@ let remove l id =
 let swap l u v ~is_desc_of_v =
   let iu = ord l u and iv = ord l v in
   if iu < iv then begin
+    (* inverse: restore the permuted window verbatim (positions included;
+       tombstones are skipped — their pos entries were never touched) *)
+    if recording l then begin
+      let saved = Array.sub l.arr iu (iv - iu + 1) in
+      Journal.record l.journal (fun () ->
+          Array.iteri
+            (fun k id ->
+              l.arr.(iu + k) <- id;
+              if id >= 0 then l.pos.(id) <- iu + k)
+            saved)
+    end;
     let moved = ref [] and kept = ref [] in
     for i = iv downto iu do
       let id = l.arr.(i) in
@@ -192,6 +235,32 @@ let insert_before l (anchored : (int * int) list) =
         incr k)
       anchored;
     let k = !k in
+    (* inverse: one self-contained closure restoring the pre-insert state.
+       It re-installs the original array objects (the shift below may swap
+       [l.arr] by doubling, and [set_pos] may swap [l.pos] mid-loop, so
+       entry-by-entry undo against [l.arr] would be ambiguous), clears the
+       new ids' positions and rewrites the originals from a saved prefix.
+       The O(len) save does not change the cost class: the shift loop
+       below is already O(len). *)
+    if recording l then begin
+      let old_arr = l.arr and old_pos = l.pos in
+      let old_len = l.len and old_live = l.live in
+      let saved = Array.sub l.arr 0 l.len in
+      Journal.record l.journal (fun () ->
+          l.arr <- old_arr;
+          l.pos <- old_pos;
+          List.iter
+            (fun (nid, _) ->
+              if nid < Array.length old_pos then old_pos.(nid) <- -1)
+            anchored;
+          Array.blit saved 0 old_arr 0 old_len;
+          for i = 0 to old_len - 1 do
+            let id = saved.(i) in
+            if id >= 0 then old_pos.(id) <- i
+          done;
+          l.len <- old_len;
+          l.live <- old_live)
+    end;
     if l.len + k > Array.length l.arr then begin
       let arr =
         Array.make (max 8 (max (l.len + k) (2 * Array.length l.arr))) (-1)
@@ -242,6 +311,13 @@ let is_valid l store =
 
 let pp ppf l = Fmt.pf ppf "[%a]" (Fmt.list ~sep:(Fmt.any "; ") Fmt.int) (to_list l)
 
-(** Deep copy — snapshot support for transactional update groups. *)
+(** Deep copy — used by test oracles; the copy gets a fresh journal with
+    no open frames. *)
 let copy l =
-  { arr = Array.copy l.arr; len = l.len; pos = Array.copy l.pos; live = l.live }
+  {
+    arr = Array.copy l.arr;
+    len = l.len;
+    pos = Array.copy l.pos;
+    live = l.live;
+    journal = Journal.create ();
+  }

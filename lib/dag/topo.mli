@@ -9,6 +9,23 @@ type t
 
 exception Topo_error of string
 
+val journal : t -> Rxv_relational.Journal.t
+(** the order's undo journal; mutators record exact inverses while a
+    frame is open. Auto-compaction is deferred while a frame is open. *)
+
+val begin_ : t -> unit
+(** open a (possibly nested) transaction frame *)
+
+val commit : t -> unit
+(** keep the frame's effects (folding its inverses into any parent
+    frame). @raise Rxv_relational.Journal.No_transaction without a frame *)
+
+val abort : t -> unit
+(** undo every removal/swap/splice since the matching {!begin_}, in O(Δ)
+    for removals and swaps (splices restore a saved prefix, matching the
+    cost of the splice itself).
+    @raise Rxv_relational.Journal.No_transaction without a frame *)
+
 val of_ids : int list -> t
 val of_store : Store.t -> t
 (** post-order DFS from the root (iterative, deep-DAG safe), O(|V|);
@@ -49,4 +66,4 @@ val is_valid : t -> Store.t -> bool
 val pp : Format.formatter -> t -> unit
 
 val copy : t -> t
-(** deep copy — snapshot support for transactional update groups *)
+(** deep copy — used by test oracles; the copy gets a fresh journal *)

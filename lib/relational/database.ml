@@ -1,18 +1,33 @@
-(** Databases: named relation instances over a {!Schema.db}. *)
+(** Databases: named relation instances over a {!Schema.db}.
+
+    Every database owns one undo {!Journal} shared by all its relations:
+    while a transaction frame is open ({!begin_}), tuple mutations record
+    their inverses, and {!abort} rolls the whole database back in O(Δ)
+    instead of the O(database) a deep {!copy} costs. *)
 
 type t = {
   schema : Schema.db;
   instances : (string, Relation.t) Hashtbl.t;
+  journal : Journal.t;
 }
 
 let create schema =
   let instances = Hashtbl.create 8 in
+  let journal = Journal.create () in
   List.iter
-    (fun r -> Hashtbl.replace instances r.Schema.rname (Relation.create r))
+    (fun r ->
+      let inst = Relation.create r in
+      Relation.set_journal inst journal;
+      Hashtbl.replace instances r.Schema.rname inst)
     schema.Schema.relations;
-  { schema; instances }
+  { schema; instances; journal }
 
 let schema db = db.schema
+let journal db = db.journal
+
+let begin_ db = Journal.begin_ db.journal
+let commit db = Journal.commit db.journal
+let abort db = Journal.abort db.journal
 
 let relation db name =
   match Hashtbl.find_opt db.instances name with
@@ -27,14 +42,19 @@ let find_by_key db name key = Relation.find_by_key (relation db name) key
 
 let cardinal db = Hashtbl.fold (fun _ r n -> n + Relation.cardinal r) db.instances 0
 
-(** Deep copy, used by tests that compare "republish after ΔR" against the
-    incrementally updated view. *)
+(** Deep copy, used by test oracles (e.g. comparing journal-based abort
+    against an independently captured state). The copy gets its own fresh
+    journal with no open frames. *)
 let copy db =
   let instances = Hashtbl.create (Hashtbl.length db.instances) in
+  let journal = Journal.create () in
   Hashtbl.iter
-    (fun name r -> Hashtbl.replace instances name (Relation.copy r))
+    (fun name r ->
+      let c = Relation.copy r in
+      Relation.set_journal c journal;
+      Hashtbl.replace instances name c)
     db.instances;
-  { schema = db.schema; instances }
+  { schema = db.schema; instances; journal }
 
 let iter_relations f db =
   List.iter

@@ -1,4 +1,7 @@
-(** Databases: named relation instances over a {!Schema.db}. *)
+(** Databases: named relation instances over a {!Schema.db}. Each
+    database owns one undo {!Journal} shared by all its relations, giving
+    O(Δ) transactional rollback ({!begin_}/{!commit}/{!abort}) without
+    deep copies. *)
 
 type t
 
@@ -6,6 +9,21 @@ val create : Schema.db -> t
 (** empty instances for every relation of the schema *)
 
 val schema : t -> Schema.db
+
+val journal : t -> Journal.t
+(** the shared undo journal of this database's relations *)
+
+val begin_ : t -> unit
+(** open a (possibly nested) transaction frame on all relations *)
+
+val commit : t -> unit
+(** keep the frame's effects (folding its inverses into any parent frame).
+    @raise Journal.No_transaction when no frame is open *)
+
+val abort : t -> unit
+(** undo every tuple mutation since the matching {!begin_}, in O(Δ); the
+    secondary-index caches are maintained through the replay, not dropped.
+    @raise Journal.No_transaction when no frame is open *)
 
 val relation : t -> string -> Relation.t
 (** @raise Schema.Schema_error if the relation does not exist. *)

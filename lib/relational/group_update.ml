@@ -3,7 +3,16 @@
     The translation algorithms of Sections 3 and 4 produce a group of tuple
     insertions or deletions; the framework of Fig. 3 applies them as a unit.
     [apply] rolls back on any failure so a rejected group leaves the
-    database unchanged. *)
+    database unchanged.
+
+    Atomicity rides on the database's shared undo {!Journal}: [apply]
+    opens a frame, executes the group, and commits — or aborts, replaying
+    the inverse tuple ops the relations recorded at their mutation sites.
+    (The inverse computation used to live here; it is now hoisted into the
+    journaled {!Relation} entry points, so every mutation path shares it.)
+    The frame nests inside any enclosing engine transaction: committing
+    folds the inverses into the outer frame, keeping a whole update group
+    revocable by the engine's [Txn]. *)
 
 type op =
   | Insert of string * Tuple.t  (** relation name, tuple *)
@@ -17,19 +26,6 @@ let size (g : t) = List.length g
 
 let is_empty (g : t) = g = []
 
-let inverse_of db = function
-  | Insert (name, t) -> (
-      (* undoing an insert: delete unless the identical tuple pre-existed *)
-      let r = Database.relation db name in
-      let key = Tuple.key_of (Relation.schema r) t in
-      match Relation.find_by_key r key with
-      | Some t' when Tuple.equal t t' -> None
-      | Some _ | None -> Some (Delete (name, key)))
-  | Delete (name, key) -> (
-      match Database.find_by_key db name key with
-      | Some t -> Some (Insert (name, t))
-      | None -> None)
-
 let apply_op db = function
   | Insert (name, t) -> Database.insert db name t
   | Delete (name, key) -> ignore (Database.delete_key db name key)
@@ -38,16 +34,12 @@ let apply_op db = function
     fails (e.g. a key violation), previously applied operations are undone
     and {!Apply_error} is raised. *)
 let apply db (g : t) =
-  let undo = ref [] in
+  Database.begin_ db;
   try
-    List.iter
-      (fun op ->
-        let inv = inverse_of db op in
-        apply_op db op;
-        match inv with Some i -> undo := i :: !undo | None -> ())
-      g
+    List.iter (apply_op db) g;
+    Database.commit db
   with e ->
-    List.iter (apply_op db) !undo;
+    Database.abort db;
     raise
       (Apply_error
          (Fmt.str "group update rolled back: %s" (Printexc.to_string e)))

@@ -1,0 +1,89 @@
+(** Undo journals: O(Δ) transactional rollback for mutable structures.
+
+    Every mutable state layer of the engine (the database and its
+    relations, the DAG store, the topological order L and the
+    reachability matrix M) owns a journal. While a transaction frame is
+    open, each mutation entry point records an *inverse operation* — a
+    closure that exactly undoes the mutation — before (or as) it applies
+    the change. [abort] replays the open frame's inverses newest-first,
+    restoring the structure to its state at [begin_] in time proportional
+    to the work done since, not to the size of the structure; [commit]
+    folds the frame into its parent (or discards it at top level).
+
+    This replaces the deep-copy snapshots the engine used to take for
+    [dry_run] and [apply_group]: a snapshot costs O(view) regardless of
+    what the update touches, a journal costs O(Δ).
+
+    Two invariants make closure-based undo exact:
+
+    - {b LIFO replay}: inverses run newest-first, so each closure replays
+      against precisely the state its mutation left behind (a closure may
+      capture array objects, list heads, or saved positions and rely on
+      them being current at replay time);
+    - {b replay suppression}: while [abort] is replaying, [record] is a
+      no-op — an inverse implemented by calling a public (journaled)
+      mutation entry point does not pollute an outer frame with
+      compensating entries.
+
+    Frames nest: an inner [begin_]/[abort] pair gives a partial rollback
+    (this is how {!Group_update.apply} makes ΔR groups atomic inside an
+    engine transaction); an inner [commit] merges the inner inverses into
+    the parent frame, preserving global newest-first order. *)
+
+type entry = unit -> unit
+
+type t = {
+  mutable frames : entry list list;  (** open frames, innermost first;
+                                         each frame newest-first *)
+  mutable replaying : bool;
+}
+
+exception No_transaction
+
+let create () = { frames = []; replaying = false }
+
+(** Is any frame open? (True also during an [abort] replay.) *)
+let active j = j.frames <> []
+
+(** Should mutation sites record inverses right now? False outside any
+    frame and false during replay — guard both the closure allocation and
+    the [record] call with this. *)
+let recording j = j.frames <> [] && not j.replaying
+
+let depth j = List.length j.frames
+
+(** Number of inverse entries in the innermost open frame. *)
+let entry_count j = match j.frames with [] -> 0 | top :: _ -> List.length top
+
+(** [record j undo] pushes [undo] onto the innermost frame; a no-op when
+    no frame is open or a replay is in progress. *)
+let record j (undo : entry) =
+  match j.frames with
+  | top :: rest when not j.replaying -> j.frames <- (undo :: top) :: rest
+  | _ -> ()
+
+let begin_ j = j.frames <- [] :: j.frames
+
+(** [commit j] closes the innermost frame, keeping its effects. With a
+    parent frame open, the inverses are folded into it (so an enclosing
+    [abort] still undoes them); at top level they are discarded.
+    @raise No_transaction when no frame is open. *)
+let commit j =
+  match j.frames with
+  | [] -> raise No_transaction
+  | top :: parent :: rest -> j.frames <- (top @ parent) :: rest
+  | [ _ ] -> j.frames <- []
+
+(** [abort j] closes the innermost frame, undoing its effects by running
+    the recorded inverses newest-first. Recording is suppressed for the
+    duration, so inverses may call journaled entry points freely.
+    @raise No_transaction when no frame is open. *)
+let abort j =
+  match j.frames with
+  | [] -> raise No_transaction
+  | top :: rest ->
+      j.frames <- rest;
+      j.replaying <- true;
+      Fun.protect
+        ~finally:(fun () -> j.replaying <- false)
+        (fun () -> List.iter (fun undo -> undo ()) top)

@@ -1,0 +1,49 @@
+(** Undo journals: O(Δ) transactional rollback for mutable structures.
+
+    A journal holds a stack of transaction frames; while a frame is open,
+    mutation entry points record inverse operations, and [abort] replays
+    them newest-first to restore the state at [begin_] in O(work done)
+    rather than the O(structure) a deep-copy snapshot costs. [commit]
+    folds a frame into its parent (or discards it at top level), so an
+    enclosing frame can still undo committed inner work. Recording is
+    suppressed during replay: inverses may be implemented by calling the
+    public (journaled) mutation entry points without polluting an outer
+    frame with compensating entries. *)
+
+type entry = unit -> unit
+
+type t
+
+exception No_transaction
+
+val create : unit -> t
+
+val active : t -> bool
+(** is any frame open? (true also during an [abort] replay) *)
+
+val recording : t -> bool
+(** should mutation sites record inverses right now? False outside any
+    frame and false during replay. Guard closure allocation with this:
+    [if Journal.recording j then Journal.record j (fun () -> ...)]. *)
+
+val depth : t -> int
+(** number of open frames *)
+
+val entry_count : t -> int
+(** inverse entries in the innermost open frame (0 when none is open) *)
+
+val record : t -> entry -> unit
+(** push an inverse onto the innermost frame; no-op when no frame is open
+    or a replay is in progress *)
+
+val begin_ : t -> unit
+(** open a new (possibly nested) frame *)
+
+val commit : t -> unit
+(** close the innermost frame keeping its effects; with a parent frame
+    open the inverses fold into it, at top level they are discarded.
+    @raise No_transaction when no frame is open *)
+
+val abort : t -> unit
+(** close the innermost frame undoing its effects, newest-first.
+    @raise No_transaction when no frame is open *)

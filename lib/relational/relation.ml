@@ -20,6 +20,10 @@ type t = {
   rows : (Value.t list, Tuple.t) Hashtbl.t;
   indexes : (int list, index) Hashtbl.t;
       (** column positions (ascending-free, as requested) -> buckets *)
+  mutable journal : Journal.t option;
+      (** undo journal this relation records into — shared across a
+          database's relations ({!Database.attach}); [None] for
+          standalone relations *)
 }
 
 exception Key_violation of string
@@ -27,7 +31,10 @@ exception Key_violation of string
 let key_violation fmt = Fmt.kstr (fun s -> raise (Key_violation s)) fmt
 
 let create schema =
-  { schema; rows = Hashtbl.create 64; indexes = Hashtbl.create 4 }
+  { schema; rows = Hashtbl.create 64; indexes = Hashtbl.create 4; journal = None }
+
+let set_journal r j = r.journal <- Some j
+let journal r = r.journal
 
 let schema r = r.schema
 let cardinal r = Hashtbl.length r.rows
@@ -74,16 +81,27 @@ let index_on r cols : index =
       Hashtbl.replace r.indexes cols idx;
       idx
 
+(* Record an inverse tuple op into the attached journal, if one is open.
+   The inverses go through the public entry points below, so replaying
+   them maintains the secondary indexes incrementally — rollback no
+   longer needs to drop the index cache (recording is suppressed during
+   replay, see {!Journal}). *)
+let record r undo =
+  match r.journal with
+  | Some j when Journal.recording j -> Journal.record j undo
+  | Some _ | None -> ()
+
 (** [insert r t] adds [t]. Re-inserting an identical tuple is a no-op;
     inserting a different tuple under an existing key raises
     {!Key_violation}, mirroring a primary-key constraint. *)
-let insert r t =
+let rec insert r t =
   Tuple.check r.schema t;
   let key = Tuple.key_of r.schema t in
   match Hashtbl.find_opt r.rows key with
   | None ->
       Hashtbl.replace r.rows key t;
-      Hashtbl.iter (fun cols idx -> index_add idx cols t) r.indexes
+      Hashtbl.iter (fun cols idx -> index_add idx cols t) r.indexes;
+      record r (fun () -> ignore (delete_key r key))
   | Some t' when Tuple.equal t t' -> ()
   | Some _ ->
       key_violation "relation %s: key %a already bound to a different tuple"
@@ -93,12 +111,13 @@ let insert r t =
 
 (** [delete_key r key] removes the tuple with key [key] if present; returns
     whether a tuple was removed. *)
-let delete_key r key =
+and delete_key r key =
   match Hashtbl.find_opt r.rows key with
   | None -> false
   | Some t ->
       Hashtbl.remove r.rows key;
       Hashtbl.iter (fun cols idx -> index_remove idx cols t) r.indexes;
+      record r (fun () -> insert r t);
       true
 
 let delete r t = delete_key r (Tuple.key_of r.schema t)
@@ -110,10 +129,16 @@ let to_list r =
   let l = fold (fun t acc -> t :: acc) r [] in
   List.sort Tuple.compare l
 
-(* the copy starts with an empty index cache: indexes hold physical tuple
-   references into *this* relation and rebuild on demand in the copy *)
+(* the copy starts with an empty index cache (indexes hold physical tuple
+   references into *this* relation and rebuild on demand in the copy) and
+   no journal: a copy is an independent instance *)
 let copy r =
-  { schema = r.schema; rows = Hashtbl.copy r.rows; indexes = Hashtbl.create 4 }
+  {
+    schema = r.schema;
+    rows = Hashtbl.copy r.rows;
+    indexes = Hashtbl.create 4;
+    journal = None;
+  }
 
 (** [select_eq r col v] scans for tuples whose attribute at position [col]
     equals [v]. Callers needing repeated lookups should use {!index_on}. *)

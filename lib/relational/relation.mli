@@ -14,6 +14,15 @@ val create : Schema.relation -> t
 val schema : t -> Schema.relation
 val cardinal : t -> int
 
+val set_journal : t -> Journal.t -> unit
+(** attach the undo journal {!insert}/{!delete_key} record inverse tuple
+    ops into while a frame is open; a database attaches one shared
+    journal to all its relations. Replaying the inverses goes through the
+    same two entry points, so the secondary-index cache stays maintained
+    across rollback instead of being dropped. *)
+
+val journal : t -> Journal.t option
+
 val find_by_key : t -> Value.t list -> Tuple.t option
 val mem_key : t -> Value.t list -> bool
 

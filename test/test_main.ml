@@ -16,6 +16,7 @@ let () =
       ("base_update", Suite_base_update.tests);
       ("core_units", Suite_core_units.tests);
       ("transactions", Suite_transactions.tests);
+      ("journal", Suite_journal.tests);
       ("misc", Suite_misc.tests);
       ("roundtrip", Suite_roundtrip.tests);
       ("paper_examples", Suite_paper_examples.tests);

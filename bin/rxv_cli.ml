@@ -9,6 +9,15 @@
      rxv delete '//student[ssn=S02]'
      rxv insert course CS999 'New Course' --into 'course[cno=CS240]/prereq'
      rxv stats -s synth -n 10000
+
+   With --wal DIR the engine becomes stateful across invocations: state
+   is recovered from DIR's newest checkpoint plus its write-ahead log,
+   and every committed update appends to the log, so
+
+     rxv delete '//student[ssn=S02]' --wal /tmp/rxv
+     rxv show --wal /tmp/rxv                 # reflects the deletion
+     rxv checkpoint --wal /tmp/rxv           # compact the log
+     rxv recover --wal /tmp/rxv              # verify what's on disk
 *)
 
 module Engine = Rxv_core.Engine
@@ -19,6 +28,8 @@ module Tree = Rxv_xml.Tree
 module Value = Rxv_relational.Value
 module Registrar = Rxv_workload.Registrar
 module Synth = Rxv_workload.Synth
+module Persist = Rxv_persist.Persist
+module Wal = Rxv_persist.Wal
 
 open Cmdliner
 
@@ -68,20 +79,68 @@ let data_arg =
         ~doc:"Load DIR/<relation>.csv files instead of the built-in \
               instance (registrar scenario).")
 
-let build scenario n seed data =
+let atg_of = function
+  | Sregistrar -> Registrar.atg ()
+  | Ssynth -> Synth.atg ()
+
+let init_db scenario n seed data =
   match scenario with
   | Sregistrar -> (
       match data with
-      | None -> Registrar.engine ~seed ()
+      | None -> Registrar.sample_db ()
       | Some dir ->
           let db = Rxv_relational.Database.create Registrar.schema in
           let loaded = Rxv_relational.Csv_io.load_dir db dir in
           if loaded = [] then
             Fmt.epr "warning: no <relation>.csv files found in %s@." dir;
-          Engine.create ~seed (Registrar.atg ()) db)
-  | Ssynth ->
-      let d = Synth.generate (Synth.default_params ~seed n) in
-      Engine.create ~seed (Synth.atg ()) d.Synth.db
+          db)
+  | Ssynth -> (Synth.generate (Synth.default_params ~seed n)).Synth.db
+
+let wal_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "wal" ] ~docv:"DIR"
+        ~doc:"Durability directory: recover the engine from DIR's newest \
+              checkpoint and write-ahead log instead of rebuilding the \
+              scenario, and log every committed update there — state then \
+              persists across invocations.")
+
+let sync_conv =
+  Arg.conv
+    ( (fun s ->
+        Result.map_error (fun m -> `Msg m) (Wal.sync_policy_of_string s)),
+      Wal.pp_sync_policy )
+
+let sync_arg =
+  Arg.(
+    value
+    & opt sync_conv (Wal.EveryN 64)
+    & info [ "sync" ] ~docv:"POLICY"
+        ~doc:"WAL durability: $(b,always) (fsync per commit), $(b,every:N) \
+              or $(b,never).")
+
+(* build the engine — from the scenario directly, or, under --wal, by
+   recovery (checkpoint + log replay) with the scenario as generation-0
+   initial state; [f] also receives the open durability handle *)
+let with_engine scenario n seed data wal sync
+    (f : Engine.t -> Persist.t option -> int) : int =
+  match wal with
+  | None -> f (Engine.create ~seed (atg_of scenario) (init_db scenario n seed data)) None
+  | Some dir -> (
+      let p = Persist.open_dir ~sync dir in
+      match
+        Persist.recover ~seed p (atg_of scenario)
+          ~init:(fun () -> init_db scenario n seed data)
+      with
+      | Error msg ->
+          Fmt.epr "recovery failed: %s@." msg;
+          3
+      | Ok (e, info) ->
+          Logs.info (fun m ->
+              m "recovered: %a" Persist.pp_recovery_info info);
+          Persist.attach p e;
+          Fun.protect ~finally:(fun () -> Persist.close p) (fun () -> f e (Some p)))
 
 let path_arg p =
   Arg.(
@@ -101,17 +160,21 @@ let print_stats e =
   Fmt.pr "edge tuples |V|    %d@." st.Engine.n_edges;
   Fmt.pr "|M| (reachability) %d@." st.Engine.m_size;
   Fmt.pr "|L| (topo order)   %d@." st.Engine.l_size;
-  Fmt.pr "shared instances   %.1f%%@." (100. *. st.Engine.sharing)
+  Fmt.pr "shared instances   %.1f%%@." (100. *. st.Engine.sharing);
+  Fmt.pr "open txn frames    %d@." st.Engine.txn_depth;
+  match st.Engine.wal_records with
+  | Some k -> Fmt.pr "WAL records        %d since last checkpoint@." k
+  | None -> ()
 
 (* --- show --- *)
 
 let show_cmd =
-  let run scenario n seed data max_nodes =
-    let e = build scenario n seed data in
-    if max_nodes > 0 then
-      Fmt.pr "%a@." Tree.pp (Engine.to_tree ~max_nodes e)
-    else print_stats e;
-    0
+  let run scenario n seed data wal sync max_nodes =
+    with_engine scenario n seed data wal sync (fun e _ ->
+        if max_nodes > 0 then
+          Fmt.pr "%a@." Tree.pp (Engine.to_tree ~max_nodes e)
+        else print_stats e;
+        0)
   in
   let max_nodes =
     Arg.(
@@ -123,20 +186,28 @@ let show_cmd =
   in
   Cmd.v (Cmd.info "show" ~doc:"Print the published XML view.")
     Term.(const (fun () -> run) $ setup_logs $ scenario_arg $ size_arg
-      $ seed_arg $ data_arg $ max_nodes)
+      $ seed_arg $ data_arg $ wal_arg $ sync_arg $ max_nodes)
 
 (* --- export --- *)
 
 let export_cmd =
-  let run scenario n seed data out =
-    let e = build scenario n seed data in
-    let tree = Engine.to_tree ~max_nodes:5_000_000 e in
-    (match out with
-    | Some path ->
-        Rxv_xml.Xml_io.to_file path tree;
-        Fmt.pr "wrote %s (%d elements)@." path (Tree.size tree)
-    | None -> print_string (Rxv_xml.Xml_io.to_string tree));
-    0
+  let run scenario n seed data wal sync out csv_dir =
+    with_engine scenario n seed data wal sync (fun e _ ->
+        (match csv_dir with
+        | Some dir ->
+            List.iter
+              (fun (name, count) -> Fmt.pr "wrote %s/%s.csv (%d rows)@." dir name count)
+              (Rxv_relational.Csv_io.dump_dir e.Engine.db dir)
+        | None -> ());
+        if csv_dir = None || out <> None then begin
+          let tree = Engine.to_tree ~max_nodes:5_000_000 e in
+          match out with
+          | Some path ->
+              Rxv_xml.Xml_io.to_file path tree;
+              Fmt.pr "wrote %s (%d elements)@." path (Tree.size tree)
+          | None -> print_string (Rxv_xml.Xml_io.to_string tree)
+        end;
+        0)
   in
   let out =
     Arg.(
@@ -145,33 +216,42 @@ let export_cmd =
       & info [ "o"; "output" ] ~docv:"FILE"
           ~doc:"Write to FILE (with an XML declaration) instead of stdout.")
   in
+  let csv_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "csv" ] ~docv:"DIR"
+          ~doc:"Also dump the base relations as DIR/<relation>.csv \
+                (loadable back with --data).")
+  in
   Cmd.v
     (Cmd.info "export" ~doc:"Serialize the published view as an XML document.")
     Term.(const (fun () -> run) $ setup_logs $ scenario_arg $ size_arg
-      $ seed_arg $ data_arg $ out)
+      $ seed_arg $ data_arg $ wal_arg $ sync_arg $ out $ csv_dir)
 
 (* --- stats --- *)
 
 let stats_cmd =
-  let run scenario n seed data =
-    print_stats (build scenario n seed data);
-    0
+  let run scenario n seed data wal sync =
+    with_engine scenario n seed data wal sync (fun e _ ->
+        print_stats e;
+        0)
   in
   Cmd.v
     (Cmd.info "stats" ~doc:"Print view statistics (the Fig. 10(b) columns).")
     Term.(const (fun () -> run) $ setup_logs $ scenario_arg $ size_arg
-      $ seed_arg $ data_arg)
+      $ seed_arg $ data_arg $ wal_arg $ sync_arg)
 
 (* --- query --- *)
 
 let query_cmd =
-  let run scenario n seed data path =
+  let run scenario n seed data wal sync path =
     match parse_path path with
     | Error msg ->
         Fmt.epr "%s@." msg;
         2
     | Ok p ->
-        let e = build scenario n seed data in
+        with_engine scenario n seed data wal sync (fun e _ ->
         let r = Engine.query e p in
         Fmt.pr "r[[p]]: %d node(s)@." (List.length r.Dag_eval.selected);
         List.iter
@@ -192,12 +272,12 @@ let query_cmd =
         | l ->
             Fmt.pr "insert side effects: %d unselected occurrence parent(s)@."
               (List.length l));
-        0
+        0)
   in
   Cmd.v
     (Cmd.info "query" ~doc:"Evaluate an XPath query on the compressed view.")
     Term.(const (fun () -> run) $ setup_logs $ scenario_arg $ size_arg
-      $ seed_arg $ data_arg $ path_arg 0)
+      $ seed_arg $ data_arg $ wal_arg $ sync_arg $ path_arg 0)
 
 (* --- delete --- *)
 
@@ -224,57 +304,58 @@ let report_outcome e = function
       1
 
 let delete_cmd =
-  let run scenario n seed data abort path =
+  let run scenario n seed data wal sync abort path =
     match parse_path path with
     | Error msg ->
         Fmt.epr "%s@." msg;
         2
     | Ok p ->
-        let e = build scenario n seed data in
-        let policy = if abort then `Abort else `Proceed in
-        report_outcome e (Engine.apply ~policy e (Xupdate.Delete p))
+        with_engine scenario n seed data wal sync (fun e _ ->
+            let policy = if abort then `Abort else `Proceed in
+            report_outcome e (Engine.apply ~policy e (Xupdate.Delete p)))
   in
   Cmd.v
     (Cmd.info "delete" ~doc:"Delete through the view: delete XPATH.")
     Term.(
       const (fun () -> run) $ setup_logs $ scenario_arg $ size_arg $ seed_arg
-      $ data_arg $ policy_arg $ path_arg 0)
+      $ data_arg $ wal_arg $ sync_arg $ policy_arg $ path_arg 0)
 
 (* --- insert --- *)
 
 let insert_cmd =
-  let run scenario n seed data abort etype fields into =
+  let run scenario n seed data wal sync abort etype fields into =
     match parse_path into with
     | Error msg ->
         Fmt.epr "%s@." msg;
         2
     | Ok p ->
-        let e = build scenario n seed data in
-        (* coerce the textual fields against $etype's inferred types *)
-        let tys =
-          try Rxv_atg.Atg.attr_tys e.Engine.atg etype
-          with Rxv_atg.Atg.Atg_error _ -> [||]
-        in
-        if Array.length tys <> List.length fields then begin
-          Fmt.epr "element type %s expects %d attribute field(s)@." etype
-            (Array.length tys);
-          2
-        end
-        else begin
-          let attr =
-            Array.of_list
-              (List.mapi
-                 (fun i s ->
-                   match tys.(i) with
-                   | Value.TInt -> Value.Int (int_of_string s)
-                   | Value.TStr -> Value.Str s
-                   | Value.TBool -> Value.Bool (bool_of_string s))
-                 fields)
-          in
-          let policy = if abort then `Abort else `Proceed in
-          report_outcome e
-            (Engine.apply ~policy e (Xupdate.Insert { etype; attr; path = p }))
-        end
+        with_engine scenario n seed data wal sync (fun e _ ->
+            (* coerce the textual fields against $etype's inferred types *)
+            let tys =
+              try Rxv_atg.Atg.attr_tys e.Engine.atg etype
+              with Rxv_atg.Atg.Atg_error _ -> [||]
+            in
+            if Array.length tys <> List.length fields then begin
+              Fmt.epr "element type %s expects %d attribute field(s)@." etype
+                (Array.length tys);
+              2
+            end
+            else begin
+              let attr =
+                Array.of_list
+                  (List.mapi
+                     (fun i s ->
+                       match tys.(i) with
+                       | Value.TInt -> Value.Int (int_of_string s)
+                       | Value.TStr -> Value.Str s
+                       | Value.TBool -> Value.Bool (bool_of_string s))
+                     fields)
+              in
+              let policy = if abort then `Abort else `Proceed in
+              report_outcome e
+                (Engine.apply ~policy e
+                   (Xupdate.Insert { etype; attr; path = p }))
+            end)
   in
   let etype =
     Arg.(
@@ -298,7 +379,77 @@ let insert_cmd =
        ~doc:"Insert through the view: insert (TYPE, FIELDS) into XPATH.")
     Term.(
       const (fun () -> run) $ setup_logs $ scenario_arg $ size_arg $ seed_arg
-      $ data_arg $ policy_arg $ etype $ fields $ into)
+      $ data_arg $ wal_arg $ sync_arg $ policy_arg $ etype $ fields $ into)
+
+(* --- checkpoint --- *)
+
+let checkpoint_cmd =
+  let run scenario n seed data wal sync =
+    match wal with
+    | None ->
+        Fmt.epr "checkpoint requires --wal DIR@.";
+        2
+    | Some _ ->
+        with_engine scenario n seed data wal sync (fun e p ->
+            let p = Option.get p in
+            let bytes = Persist.checkpoint p e in
+            Fmt.pr "checkpoint generation %d written (%d bytes), WAL rotated@."
+              (Persist.generation p) bytes;
+            0)
+  in
+  Cmd.v
+    (Cmd.info "checkpoint"
+       ~doc:"Write a new checkpoint of the recovered state and truncate \
+             the write-ahead log (requires $(b,--wal)).")
+    Term.(
+      const (fun () -> run) $ setup_logs $ scenario_arg $ size_arg $ seed_arg
+      $ data_arg $ wal_arg $ sync_arg)
+
+(* --- recover --- *)
+
+let recover_cmd =
+  let run scenario n seed data wal sync check =
+    match wal with
+    | None ->
+        Fmt.epr "recover requires --wal DIR@.";
+        2
+    | Some dir -> (
+        let p = Persist.open_dir ~sync dir in
+        match
+          Persist.recover ~seed p (atg_of scenario)
+            ~init:(fun () -> init_db scenario n seed data)
+        with
+        | Error msg ->
+            Fmt.epr "recovery failed: %s@." msg;
+            3
+        | Ok (e, info) ->
+            Fmt.pr "recovered %a@." Persist.pp_recovery_info info;
+            print_stats e;
+            if check then (
+              match Engine.check_consistency e with
+              | Ok () ->
+                  Fmt.pr "consistency: OK@.";
+                  0
+              | Error m ->
+                  Fmt.pr "consistency FAILED: %s@." m;
+                  1)
+            else 0)
+  in
+  let check =
+    Arg.(
+      value & flag
+      & info [ "check" ]
+          ~doc:"Also verify the recovered view against republication \
+                (the Engine.check_consistency oracle).")
+  in
+  Cmd.v
+    (Cmd.info "recover"
+       ~doc:"Recover the engine from $(b,--wal) DIR (newest readable \
+             checkpoint + WAL replay, truncating any torn tail) and \
+             report what was restored.")
+    Term.(
+      const (fun () -> run) $ setup_logs $ scenario_arg $ size_arg $ seed_arg
+      $ data_arg $ wal_arg $ sync_arg $ check)
 
 let () =
   let info =
@@ -309,4 +460,5 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group info
-          [ show_cmd; stats_cmd; export_cmd; query_cmd; delete_cmd; insert_cmd ]))
+          [ show_cmd; stats_cmd; export_cmd; query_cmd; delete_cmd;
+            insert_cmd; checkpoint_cmd; recover_cmd ]))

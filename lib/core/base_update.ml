@@ -281,6 +281,15 @@ let apply (e : Engine.t) (delta_r : Group_update.t) : (report, string) result
       !work
   with
   | () ->
+      (* direct base updates are durable too: log the committed ΔR, like
+         Engine.apply does for view updates (never inside an open
+         transaction frame — the enclosing commit logs the whole group) *)
+      (match e.Engine.wal with
+      | Some hook
+        when Rxv_relational.Journal.depth (Database.journal db) = 0
+             && not (Group_update.is_empty delta_r) ->
+          hook.Engine.on_commit delta_r ~seed:e.Engine.seed
+      | Some _ | None -> ());
       Ok
         {
           affected_parents = List.length !work;

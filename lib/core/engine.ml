@@ -30,6 +30,13 @@ module Atg = Rxv_atg.Atg
 module Publish = Rxv_atg.Publish
 module Tree = Rxv_xml.Tree
 
+(** Durability hook (see [Rxv_persist]): fired once per committed
+    top-level update or group, outside any open transaction frame. *)
+type wal_hook = {
+  on_commit : Rxv_relational.Group_update.t -> seed:int -> unit;
+  records_since_checkpoint : unit -> int;
+}
+
 type t = {
   atg : Atg.t;
   mutable db : Database.t;
@@ -37,6 +44,7 @@ type t = {
   mutable topo : Topo.t;
   mutable reach : Reach.t;
   mutable seed : int;  (** WalkSAT seed; bumped per insertion *)
+  mutable wal : wal_hook option;
 }
 
 type policy = [ `Abort | `Proceed ]
@@ -89,7 +97,37 @@ let create ?(seed = 20070415) (atg : Atg.t) (db : Database.t) : t =
   Log.info (fun m ->
       m "published %s: %d nodes, %d edges, |M|=%d" atg.Atg.name
         (Store.n_nodes store) (Store.n_edges store) (Reach.size reach));
-  { atg; db; store; topo; reach; seed }
+  { atg; db; store; topo; reach; seed; wal = None }
+
+(** [of_durable atg db store] assembles an engine from recovered
+    components: L and M are rebuilt from the deserialized store, which
+    skips republication (the expensive SPJ evaluation) entirely. *)
+let of_durable ?(seed = 20070415) (atg : Atg.t) (db : Database.t)
+    (store : Store.t) : t =
+  let topo = Topo.of_store store in
+  let reach = Reach.compute store topo in
+  Log.info (fun m ->
+      m "recovered %s: %d nodes, %d edges, |M|=%d" atg.Atg.name
+        (Store.n_nodes store) (Store.n_edges store) (Reach.size reach));
+  { atg; db; store; topo; reach; seed; wal = None }
+
+let attach_wal (e : t) (hook : wal_hook) = e.wal <- Some hook
+let detach_wal (e : t) = e.wal <- None
+let wal_attached (e : t) = e.wal <> None
+
+(** Fire the WAL hook for a committed top-level mutation. Inside an open
+    frame ([Txn] / [apply_group] / [dry_run]) nothing is logged — the
+    enclosing commit logs the combined ΔR once, and aborted work never
+    reaches the log. Pure no-ops (empty ΔR, unchanged seed) are skipped:
+    the view is a function of the database, so they carry no durable
+    state. *)
+let wal_log (e : t) ~(seed_before : int) (delta_r : Group_update.t) : unit =
+  match e.wal with
+  | Some hook
+    when Rxv_relational.Journal.depth (Database.journal e.db) = 0
+         && (not (Group_update.is_empty delta_r) || e.seed <> seed_before) ->
+      hook.on_commit delta_r ~seed:e.seed
+  | Some _ | None -> ()
 
 let now () = Unix.gettimeofday ()
 
@@ -247,6 +285,7 @@ let apply_insert (e : t) ~(policy : policy) ~etype ~attr path :
 (** [apply e u ~policy] processes one XML view update end to end. *)
 let apply ?(policy : policy = `Proceed) (e : t) (u : Xupdate.t) :
     (report, rejection) Stdlib.result =
+  let seed_before = e.seed in
   let result =
     match u with
     | Xupdate.Delete path -> apply_delete e ~policy path
@@ -255,6 +294,7 @@ let apply ?(policy : policy = `Proceed) (e : t) (u : Xupdate.t) :
   in
   (match result with
   | Ok r ->
+      wal_log e ~seed_before r.delta_r;
       Log.info (fun m ->
           m "%a: applied, |ΔR|=%d, %d selected%s" Xupdate.pp u
             (Group_update.size r.delta_r)
@@ -302,6 +342,9 @@ type stats = {
   sharing : float;
       (** fraction of shared instances — nodes with more than one parent,
           the statistic the paper reports as 31.4% for its dataset *)
+  txn_depth : int;  (** open transaction frames *)
+  wal_records : int option;
+      (** records since the last checkpoint; [None] without a WAL *)
 }
 
 let stats (e : t) : stats =
@@ -331,6 +374,9 @@ let stats (e : t) : stats =
     sharing =
       (if star_total = 0 then 0.
        else float_of_int shared /. float_of_int star_total);
+    txn_depth = Rxv_relational.Journal.depth (Database.journal e.db);
+    wal_records =
+      Option.map (fun h -> h.records_since_checkpoint ()) e.wal;
   }
 
 (** {2 Transactions}
@@ -381,11 +427,17 @@ let restore (e : t) (s : snapshot) : unit = Txn.abort e s
     before the group; on rejection the failing index is returned. *)
 let apply_group ?(policy : policy = `Proceed) (e : t) (us : Xupdate.t list) :
     (report list, int * rejection) Stdlib.result =
+  let seed_before = e.seed in
   let txn = Txn.begin_ e in
   let rec go i acc = function
     | [] ->
         Txn.commit e txn;
-        Ok (List.rev acc)
+        let reports = List.rev acc in
+        (* one logical WAL record per committed group: the concatenated
+           ΔR replays through [Base_update] as a unit on recovery *)
+        wal_log e ~seed_before
+          (List.concat_map (fun r -> r.delta_r) reports);
+        Ok reports
     | u :: rest -> (
         match apply ~policy e u with
         | Ok r -> go (i + 1) (r :: acc) rest

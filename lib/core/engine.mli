@@ -15,6 +15,17 @@ module Database = Rxv_relational.Database
 module Group_update = Rxv_relational.Group_update
 module Atg = Rxv_atg.Atg
 
+(** Durability hook: a write-ahead log attached to the engine (see
+    [Rxv_persist]). [on_commit] is invoked once per committed top-level
+    update or update group — never inside an open transaction frame, so
+    aborted groups and dry runs are not logged — with the combined ΔR
+    and the WalkSAT seed after the commit. [records_since_checkpoint]
+    backs the {!stats} field of the same name. *)
+type wal_hook = {
+  on_commit : Group_update.t -> seed:int -> unit;
+  records_since_checkpoint : unit -> int;
+}
+
 type t = {
   atg : Atg.t;
   mutable db : Database.t;
@@ -22,6 +33,7 @@ type t = {
   mutable topo : Topo.t;
   mutable reach : Reach.t;
   mutable seed : int;
+  mutable wal : wal_hook option;
 }
 
 type policy = [ `Abort | `Proceed ]
@@ -59,6 +71,19 @@ val create : ?seed:int -> Atg.t -> Database.t -> t
     sequence; it defaults to a fixed constant, so runs are deterministic
     unless a caller opts into a different stream. *)
 
+val of_durable : ?seed:int -> Atg.t -> Database.t -> Store.t -> t
+(** assemble an engine from recovered components — a deserialized base
+    database and DAG store — rebuilding L ({!Topo.of_store}) and M
+    ({!Reach.compute}) instead of republishing; the recovery entry point
+    of [Rxv_persist]. [seed] must be the checkpoint's saved seed for
+    deterministic continuation. *)
+
+val attach_wal : t -> wal_hook -> unit
+(** install the durability hook; replaces any previous one *)
+
+val detach_wal : t -> unit
+val wal_attached : t -> bool
+
 val apply : ?policy:policy -> t -> Xupdate.t -> (report, rejection) result
 (** process one XML view update end to end; [policy] defaults to
     [`Proceed] *)
@@ -84,6 +109,10 @@ type stats = {
   sharing : float;
       (** fraction of star-child instances with several parents — the
           statistic the paper reports as 31.4% for its dataset *)
+  txn_depth : int;  (** open transaction frames ({!Txn.begin_} nesting) *)
+  wal_records : int option;
+      (** WAL records appended since the last checkpoint; [None] when no
+          WAL is attached *)
 }
 
 val stats : t -> stats

@@ -407,6 +407,175 @@ let occurrence_counts t =
     !order;
   counts
 
+(** {2 Durability}
+
+    The persisted form is the full store state as plain data, ordered
+    deterministically (ascending ids) so identical stores serialize to
+    identical bytes. *)
+
+type persisted_node = {
+  pn_id : int;
+  pn_etype : string;
+  pn_attr : Tuple.t;
+  pn_text : string option;
+  pn_slot : int;
+}
+
+type persisted = {
+  p_next_id : int;
+  p_next_slot : int;
+  p_free_slots : int list;
+  p_root : int;
+  p_nodes : persisted_node list;
+  p_children : (int * int list) list;
+  p_provenance : ((int * int) * Tuple.t list) list;
+}
+
+let to_persisted t =
+  let nodes =
+    fold_nodes
+      (fun n acc ->
+        {
+          pn_id = n.id;
+          pn_etype = n.etype;
+          pn_attr = n.attr;
+          pn_text = n.text;
+          pn_slot = n.slot;
+        }
+        :: acc)
+      t []
+    |> List.sort (fun a b -> compare a.pn_id b.pn_id)
+  in
+  let child_lists =
+    Hashtbl.fold (fun u l acc -> (u, !l) :: acc) t.children []
+    |> List.filter (fun (_, l) -> l <> [])
+    |> List.sort compare
+  in
+  let prov =
+    Hashtbl.fold
+      (fun (u, v) info acc ->
+        if info.provenance = [] then acc
+        else ((u, v), info.provenance) :: acc)
+      t.edges []
+    |> List.sort (fun (e, _) (e', _) -> compare e e')
+  in
+  {
+    p_next_id = t.next_id;
+    p_next_slot = t.next_slot;
+    p_free_slots = t.free_slots;
+    p_root = t.root;
+    p_nodes = nodes;
+    p_children = child_lists;
+    p_provenance = prov;
+  }
+
+(** [of_persisted p] rebuilds a store; validates the invariants a decoder
+    cannot express (unique ids/slots, counters ahead of allocations,
+    edges over known nodes) and raises {!Dag_error} otherwise — recovery
+    treats that as a corrupt checkpoint. *)
+let of_persisted (p : persisted) =
+  (* like [create], but sized for the known node/edge counts — avoids
+     log(n) full-table rehashes while loading a checkpoint *)
+  let n_nodes = max 16 (List.length p.p_nodes) in
+  let n_edges =
+    max 16 (List.fold_left (fun a (_, cs) -> a + List.length cs) 0 p.p_children)
+  in
+  let t =
+    {
+      next_id = 0;
+      next_slot = 0;
+      free_slots = [];
+      ids = Hashtbl.create n_nodes;
+      nodes = Hashtbl.create n_nodes;
+      slot_ids = Hashtbl.create n_nodes;
+      gen = Hashtbl.create 16;
+      children = Hashtbl.create n_nodes;
+      parents = Hashtbl.create n_nodes;
+      edges = Hashtbl.create n_edges;
+      root = -1;
+      journal = Journal.create ();
+    }
+  in
+  t.next_id <- p.p_next_id;
+  t.next_slot <- p.p_next_slot;
+  t.free_slots <- p.p_free_slots;
+  let free = Hashtbl.create (List.length p.p_free_slots) in
+  List.iter (fun s -> Hashtbl.replace free s ()) p.p_free_slots;
+  List.iter
+    (fun pn ->
+      if pn.pn_id < 0 || pn.pn_id >= p.p_next_id then
+        dag_error "of_persisted: node id %d outside [0, %d)" pn.pn_id
+          p.p_next_id;
+      if pn.pn_slot < 0 || pn.pn_slot >= p.p_next_slot then
+        dag_error "of_persisted: slot %d outside [0, %d)" pn.pn_slot
+          p.p_next_slot;
+      if Hashtbl.mem t.nodes pn.pn_id then
+        dag_error "of_persisted: duplicate node id %d" pn.pn_id;
+      if Hashtbl.mem t.slot_ids pn.pn_slot then
+        dag_error "of_persisted: duplicate slot %d" pn.pn_slot;
+      if Hashtbl.mem free pn.pn_slot then
+        dag_error "of_persisted: slot %d both live and free" pn.pn_slot;
+      let n =
+        {
+          id = pn.pn_id;
+          etype = pn.pn_etype;
+          attr = pn.pn_attr;
+          text = pn.pn_text;
+          slot = pn.pn_slot;
+        }
+      in
+      let key = (n.etype, Tuple.to_list n.attr) in
+      if Hashtbl.mem t.ids key then
+        dag_error "of_persisted: duplicate identity for node %d" n.id;
+      Hashtbl.replace t.ids key n.id;
+      Hashtbl.replace t.nodes n.id n;
+      Hashtbl.replace t.slot_ids n.slot n.id;
+      let reg =
+        match Hashtbl.find_opt t.gen n.etype with
+        | Some r -> r
+        | None ->
+            let r = Hashtbl.create 64 in
+            Hashtbl.replace t.gen n.etype r;
+            r
+      in
+      Hashtbl.replace reg n.id ())
+    p.p_nodes;
+  let prov = Hashtbl.create (List.length p.p_provenance) in
+  List.iter (fun (e, rows) -> Hashtbl.replace prov e rows) p.p_provenance;
+  List.iter
+    (fun (u, cs) ->
+      if not (Hashtbl.mem t.nodes u) then
+        dag_error "of_persisted: edge parent %d unknown" u;
+      Hashtbl.replace t.children u (ref cs);
+      List.iter
+        (fun v ->
+          if not (Hashtbl.mem t.nodes v) then
+            dag_error "of_persisted: edge child %d unknown" v;
+          if Hashtbl.mem t.edges (u, v) then
+            dag_error "of_persisted: duplicate edge (%d, %d)" u v;
+          Hashtbl.replace t.edges (u, v)
+            {
+              provenance =
+                Option.value ~default:[] (Hashtbl.find_opt prov (u, v));
+            };
+          (match Hashtbl.find_opt t.parents v with
+          | Some tbl -> Hashtbl.replace tbl u ()
+          | None ->
+              let tbl = Hashtbl.create 4 in
+              Hashtbl.replace tbl u ();
+              Hashtbl.replace t.parents v tbl))
+        cs)
+    p.p_children;
+  List.iter
+    (fun ((u, v), _) ->
+      if not (Hashtbl.mem t.edges (u, v)) then
+        dag_error "of_persisted: provenance for absent edge (%d, %d)" u v)
+    p.p_provenance;
+  if p.p_root >= 0 && not (Hashtbl.mem t.nodes p.p_root) then
+    dag_error "of_persisted: root %d unknown" p.p_root;
+  t.root <- p.p_root;
+  t
+
 (** Deep copy — snapshot support for transactional update groups. *)
 let copy t =
   let copy_tbl tbl = Hashtbl.copy tbl in

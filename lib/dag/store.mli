@@ -121,3 +121,42 @@ val occurrence_counts : t -> (int, int) Hashtbl.t
 
 val copy : t -> t
 (** deep copy — snapshot support for transactional update groups *)
+
+(** {2 Durability}
+
+    A [persisted] value is the store's complete state as plain data —
+    what a checkpoint codec serializes. It captures everything {!copy}
+    captures (ids, slots, free list, document order, provenance, root),
+    so [of_persisted (to_persisted t)] is observationally identical to
+    [t]: same Skolem ids, same slot assignment (L and M rebuilt against
+    it line up bit for bit), same edge order. *)
+
+type persisted_node = {
+  pn_id : int;
+  pn_etype : string;
+  pn_attr : Tuple.t;
+  pn_text : string option;
+  pn_slot : int;
+}
+
+type persisted = {
+  p_next_id : int;
+  p_next_slot : int;
+  p_free_slots : int list;
+  p_root : int;  (** -1 when unset *)
+  p_nodes : persisted_node list;  (** ascending id *)
+  p_children : (int * int list) list;
+      (** parent id, children in document order; ascending parent *)
+  p_provenance : ((int * int) * Tuple.t list) list;
+      (** derivation rows of star edges (edges absent here have none);
+          ascending (parent, child) *)
+}
+
+val to_persisted : t -> persisted
+
+val of_persisted : persisted -> t
+(** rebuild a store from its persisted form. The journal starts fresh
+    (no open frames survive a crash by design).
+    @raise Dag_error when the data is inconsistent — duplicate ids or
+    slots, counters behind allocated ids/slots, edges naming unknown
+    nodes, or a dangling root. *)

@@ -1,0 +1,304 @@
+(** Binary codec for the durable formats. See the interface for the
+    layering; every [get_*] mirrors its encoder exactly, and round-trip
+    identity is property-tested in [suite_persist]. *)
+
+module Value = Rxv_relational.Value
+module Tuple = Rxv_relational.Tuple
+module Schema = Rxv_relational.Schema
+module Relation = Rxv_relational.Relation
+module Database = Rxv_relational.Database
+module Group_update = Rxv_relational.Group_update
+module Store = Rxv_dag.Store
+
+exception Error of string
+
+let err fmt = Fmt.kstr (fun s -> raise (Error s)) fmt
+
+(* ---------- primitives: encoding ---------- *)
+
+let u8 b n =
+  if n < 0 || n > 0xff then invalid_arg "Codec.u8";
+  Buffer.add_char b (Char.chr n)
+
+let u32 b n =
+  if n < 0 || n > 0xFFFFFFFF then invalid_arg "Codec.u32";
+  Buffer.add_int32_le b (Int32.of_int n)
+
+(* zigzag maps sign into the low bit so LEB128 stays short for small
+   negative numbers; OCaml ints fit 63 bits, [lsr] keeps the fold total *)
+let varint b n =
+  let z = (n lsl 1) lxor (n asr (Sys.int_size - 1)) in
+  let rec go z =
+    if z land lnot 0x7f = 0 then Buffer.add_char b (Char.chr z)
+    else begin
+      Buffer.add_char b (Char.chr (0x80 lor (z land 0x7f)));
+      go (z lsr 7)
+    end
+  in
+  go z
+
+let bytes_ b s =
+  varint b (String.length s);
+  Buffer.add_string b s
+
+let bool_ b v = u8 b (if v then 1 else 0)
+
+let option_ enc b = function
+  | None -> u8 b 0
+  | Some v ->
+      u8 b 1;
+      enc b v
+
+let list_ enc b l =
+  varint b (List.length l);
+  List.iter (enc b) l
+
+(* ---------- primitives: decoding ---------- *)
+
+type cursor = { src : string; mutable pos : int }
+
+let cursor src = { src; pos = 0 }
+let at_end c = c.pos >= String.length c.src
+
+let need c n =
+  if c.pos + n > String.length c.src then
+    err "truncated input: need %d byte(s) at offset %d of %d" n c.pos
+      (String.length c.src)
+
+let get_u8 c =
+  need c 1;
+  let v = Char.code c.src.[c.pos] in
+  c.pos <- c.pos + 1;
+  v
+
+let get_u32 c =
+  need c 4;
+  let v = Int32.to_int (String.get_int32_le c.src c.pos) land 0xFFFFFFFF in
+  c.pos <- c.pos + 4;
+  v
+
+let get_varint c =
+  let rec go shift acc =
+    if shift > Sys.int_size then err "varint too long at offset %d" c.pos;
+    let byte = get_u8 c in
+    let acc = acc lor ((byte land 0x7f) lsl shift) in
+    if byte land 0x80 = 0 then acc else go (shift + 7) acc
+  in
+  let z = go 0 0 in
+  (z lsr 1) lxor (-(z land 1))
+
+let get_bytes c =
+  let n = get_varint c in
+  if n < 0 then err "negative byte-string length %d" n;
+  need c n;
+  let s = String.sub c.src c.pos n in
+  c.pos <- c.pos + n;
+  s
+
+let get_bool c =
+  match get_u8 c with
+  | 0 -> false
+  | 1 -> true
+  | n -> err "bad bool tag %d" n
+
+let get_option dec c =
+  match get_u8 c with
+  | 0 -> None
+  | 1 -> Some (dec c)
+  | n -> err "bad option tag %d" n
+
+let get_list dec c =
+  let n = get_varint c in
+  if n < 0 then err "negative list length %d" n;
+  List.init n (fun _ -> dec c)
+
+(* ---------- values and tuples ---------- *)
+
+let value b = function
+  | Value.Int n ->
+      u8 b 0;
+      varint b n
+  | Value.Str s ->
+      u8 b 1;
+      bytes_ b s
+  | Value.Bool v ->
+      u8 b 2;
+      bool_ b v
+  | Value.Null -> u8 b 3
+
+let get_value c =
+  match get_u8 c with
+  | 0 -> Value.Int (get_varint c)
+  | 1 -> Value.Str (get_bytes c)
+  | 2 -> Value.Bool (get_bool c)
+  | 3 -> Value.Null
+  | n -> err "bad value tag %d" n
+
+let tuple b (t : Tuple.t) =
+  varint b (Array.length t);
+  Array.iter (value b) t
+
+let get_tuple c : Tuple.t =
+  let n = get_varint c in
+  if n < 0 then err "negative tuple arity %d" n;
+  Array.init n (fun _ -> get_value c)
+
+(* ---------- schemas and databases ---------- *)
+
+let ty b (t : Value.ty) =
+  u8 b (match t with Value.TInt -> 0 | Value.TStr -> 1 | Value.TBool -> 2)
+
+let get_ty c =
+  match get_u8 c with
+  | 0 -> Value.TInt
+  | 1 -> Value.TStr
+  | 2 -> Value.TBool
+  | n -> err "bad type tag %d" n
+
+let relation_schema b (r : Schema.relation) =
+  bytes_ b r.Schema.rname;
+  varint b (Array.length r.Schema.attrs);
+  Array.iter
+    (fun (a : Schema.attribute) ->
+      bytes_ b a.Schema.aname;
+      ty b a.Schema.ty)
+    r.Schema.attrs;
+  list_ bytes_ b (Schema.key_names r)
+
+let get_relation_schema c =
+  let rname = get_bytes c in
+  let n = get_varint c in
+  if n < 0 then err "negative attribute count %d" n;
+  let attrs =
+    List.init n (fun _ ->
+        let aname = get_bytes c in
+        Schema.attr aname (get_ty c))
+  in
+  let key = get_list get_bytes c in
+  try Schema.relation rname attrs ~key
+  with Schema.Schema_error msg -> err "invalid relation schema: %s" msg
+
+let schema b (s : Schema.db) = list_ relation_schema b s.Schema.relations
+
+let get_schema c =
+  let rels = get_list get_relation_schema c in
+  try Schema.db rels
+  with Schema.Schema_error msg -> err "invalid database schema: %s" msg
+
+let database b (db : Database.t) =
+  schema b (Database.schema db);
+  List.iter
+    (fun (r : Schema.relation) ->
+      let rel = Database.relation db r.Schema.rname in
+      varint b (Relation.cardinal rel);
+      List.iter (tuple b) (Relation.to_list rel))
+    (Database.schema db).Schema.relations
+
+let get_database c =
+  let s = get_schema c in
+  let db = Database.create s in
+  List.iter
+    (fun (r : Schema.relation) ->
+      let n = get_varint c in
+      if n < 0 then err "negative cardinality %d" n;
+      for _ = 1 to n do
+        let t = get_tuple c in
+        try Database.insert db r.Schema.rname t with
+        | Relation.Key_violation msg -> err "key violation on decode: %s" msg
+        | Tuple.Type_error msg -> err "ill-typed tuple on decode: %s" msg
+      done)
+    s.Schema.relations;
+  db
+
+(* ---------- group updates ---------- *)
+
+let op b = function
+  | Group_update.Insert (rname, t) ->
+      u8 b 0;
+      bytes_ b rname;
+      tuple b t
+  | Group_update.Delete (rname, key) ->
+      u8 b 1;
+      bytes_ b rname;
+      list_ value b key
+
+let get_op c =
+  match get_u8 c with
+  | 0 ->
+      let rname = get_bytes c in
+      Group_update.Insert (rname, get_tuple c)
+  | 1 ->
+      let rname = get_bytes c in
+      Group_update.Delete (rname, get_list get_value c)
+  | n -> err "bad group-update op tag %d" n
+
+let group b (g : Group_update.t) = list_ op b g
+let get_group c : Group_update.t = get_list get_op c
+
+(* ---------- the DAG store ---------- *)
+
+let store b (p : Store.persisted) =
+  varint b p.Store.p_next_id;
+  varint b p.Store.p_next_slot;
+  list_ varint b p.Store.p_free_slots;
+  varint b p.Store.p_root;
+  list_
+    (fun b (n : Store.persisted_node) ->
+      varint b n.Store.pn_id;
+      bytes_ b n.Store.pn_etype;
+      tuple b n.Store.pn_attr;
+      option_ bytes_ b n.Store.pn_text;
+      varint b n.Store.pn_slot)
+    b p.Store.p_nodes;
+  list_
+    (fun b (u, cs) ->
+      varint b u;
+      list_ varint b cs)
+    b p.Store.p_children;
+  list_
+    (fun b ((u, v), rows) ->
+      varint b u;
+      varint b v;
+      list_ tuple b rows)
+    b p.Store.p_provenance
+
+let get_store c : Store.persisted =
+  let p_next_id = get_varint c in
+  let p_next_slot = get_varint c in
+  let p_free_slots = get_list get_varint c in
+  let p_root = get_varint c in
+  let p_nodes =
+    get_list
+      (fun c ->
+        let pn_id = get_varint c in
+        let pn_etype = get_bytes c in
+        let pn_attr = get_tuple c in
+        let pn_text = get_option get_bytes c in
+        let pn_slot = get_varint c in
+        { Store.pn_id; pn_etype; pn_attr; pn_text; pn_slot })
+      c
+  in
+  let p_children =
+    get_list
+      (fun c ->
+        let u = get_varint c in
+        (u, get_list get_varint c))
+      c
+  in
+  let p_provenance =
+    get_list
+      (fun c ->
+        let u = get_varint c in
+        let v = get_varint c in
+        ((u, v), get_list get_tuple c))
+      c
+  in
+  {
+    Store.p_next_id;
+    p_next_slot;
+    p_free_slots;
+    p_root;
+    p_nodes;
+    p_children;
+    p_provenance;
+  }

@@ -1,0 +1,69 @@
+(** Binary codec for the durable formats: little-endian fixed words,
+    zigzag-LEB128 varints, length-prefixed strings, and the domain types
+    layered on top — values, tuples, schemas, databases, group updates
+    and the DAG store's persisted form.
+
+    Encoders append to a [Buffer.t]; decoders consume a cursor over an
+    immutable string and raise {!Error} on malformed input (truncation,
+    bad tags, counts that overrun the buffer). The framing layer
+    ({!Frame}) guarantees integrity via CRC-32, so a decode error after
+    a passing CRC means a format/version mismatch, not bit rot. *)
+
+module Value = Rxv_relational.Value
+module Tuple = Rxv_relational.Tuple
+module Schema = Rxv_relational.Schema
+module Database = Rxv_relational.Database
+module Group_update = Rxv_relational.Group_update
+module Store = Rxv_dag.Store
+
+exception Error of string
+
+(** {2 Primitives} *)
+
+val u8 : Buffer.t -> int -> unit
+val u32 : Buffer.t -> int -> unit
+(** fixed 32-bit little-endian; [0 <= n < 2{^32}] *)
+
+val varint : Buffer.t -> int -> unit
+(** zigzag LEB128: small magnitudes of either sign stay small *)
+
+val bytes_ : Buffer.t -> string -> unit
+val bool_ : Buffer.t -> bool -> unit
+val option_ : (Buffer.t -> 'a -> unit) -> Buffer.t -> 'a option -> unit
+val list_ : (Buffer.t -> 'a -> unit) -> Buffer.t -> 'a list -> unit
+
+type cursor = { src : string; mutable pos : int }
+
+val cursor : string -> cursor
+val at_end : cursor -> bool
+val get_u8 : cursor -> int
+val get_u32 : cursor -> int
+val get_varint : cursor -> int
+val get_bytes : cursor -> string
+val get_bool : cursor -> bool
+val get_option : (cursor -> 'a) -> cursor -> 'a option
+val get_list : (cursor -> 'a) -> cursor -> 'a list
+
+(** {2 Domain types} *)
+
+val value : Buffer.t -> Value.t -> unit
+val get_value : cursor -> Value.t
+
+val tuple : Buffer.t -> Tuple.t -> unit
+val get_tuple : cursor -> Tuple.t
+
+val schema : Buffer.t -> Schema.db -> unit
+val get_schema : cursor -> Schema.db
+(** rebuilt through [Schema.relation]/[Schema.db], so schema invariants
+    (keys exist, no duplicates) are re-validated on decode *)
+
+val database : Buffer.t -> Database.t -> unit
+(** schema + every relation's rows (sorted — deterministic bytes) *)
+
+val get_database : cursor -> Database.t
+
+val group : Buffer.t -> Group_update.t -> unit
+val get_group : cursor -> Group_update.t
+
+val store : Buffer.t -> Store.persisted -> unit
+val get_store : cursor -> Store.persisted

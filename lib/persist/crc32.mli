@@ -1,0 +1,10 @@
+(** CRC-32 (IEEE 802.3, the zlib/PNG polynomial) — the per-record
+    integrity check of the WAL and checkpoint frames. Table-driven,
+    no dependencies. *)
+
+val digest : ?crc:int32 -> string -> pos:int -> len:int -> int32
+(** [digest s ~pos ~len] is the CRC-32 of the substring; pass [?crc] to
+    continue a running digest over several chunks. *)
+
+val string : string -> int32
+(** [string s = digest s ~pos:0 ~len:(String.length s)] *)

@@ -1,0 +1,58 @@
+(** Length-prefixed, CRC-framed records. *)
+
+let header_bytes = 8
+let max_payload = 1 lsl 30
+
+let add b payload =
+  let len = String.length payload in
+  if len > max_payload then invalid_arg "Frame.add: payload too large";
+  Codec.u32 b len;
+  Codec.u32 b (Int32.to_int (Crc32.string payload) land 0xFFFFFFFF);
+  Buffer.add_string b payload
+
+let to_channel oc payload =
+  let b = Buffer.create (header_bytes + String.length payload) in
+  add b payload;
+  Buffer.output_buffer oc b
+
+let read_one s ~pos =
+  let total = String.length s in
+  if pos = total then `End
+  else if pos + header_bytes > total then
+    `Bad (Printf.sprintf "torn header at offset %d" pos)
+  else begin
+    let len = Int32.to_int (String.get_int32_le s pos) land 0xFFFFFFFF in
+    let crc = String.get_int32_le s (pos + 4) in
+    if len > max_payload then
+      `Bad (Printf.sprintf "implausible record length %d at offset %d" len pos)
+    else if pos + header_bytes + len > total then
+      `Bad
+        (Printf.sprintf "torn record at offset %d: %d payload byte(s) missing"
+           pos
+           (pos + header_bytes + len - total))
+    else
+      let actual = Crc32.digest s ~pos:(pos + header_bytes) ~len in
+      if not (Int32.equal actual crc) then
+        `Bad
+          (Printf.sprintf "CRC mismatch at offset %d: stored %08lx, computed %08lx"
+             pos crc actual)
+      else
+        `Record
+          (String.sub s (pos + header_bytes) len, pos + header_bytes + len)
+  end
+
+type scan = {
+  payloads : string list;
+  valid_len : int;
+  error : string option;
+}
+
+let scan s =
+  let rec go acc pos =
+    match read_one s ~pos with
+    | `End -> { payloads = List.rev acc; valid_len = pos; error = None }
+    | `Record (p, next) -> go (p :: acc) next
+    | `Bad reason ->
+        { payloads = List.rev acc; valid_len = pos; error = Some reason }
+  in
+  go [] 0

@@ -1,0 +1,37 @@
+(** Length-prefixed, CRC-framed records — the unit of both the WAL and
+    checkpoint files.
+
+    Wire layout per record: [len : u32 LE][crc32(payload) : u32 LE]
+    [payload : len bytes]. A reader can always classify the tail of a
+    file into complete records, one torn record (the write the crash
+    interrupted), or corruption (a CRC mismatch); recovery truncates at
+    the first record that is not complete and valid. *)
+
+val header_bytes : int
+(** bytes of framing overhead per record (8) *)
+
+val max_payload : int
+(** decoding refuses lengths above this (1 GiB) — a corrupt length field
+    must not drive a giant allocation *)
+
+val add : Buffer.t -> string -> unit
+(** append one framed record to a buffer *)
+
+val to_channel : out_channel -> string -> unit
+
+val read_one :
+  string -> pos:int -> [ `Record of string * int | `End | `Bad of string ]
+(** [read_one s ~pos] parses the frame starting at [pos]: [`Record
+    (payload, next_pos)], [`End] when [pos] is exactly the end of input,
+    or [`Bad reason] for a torn frame (not enough bytes) or a CRC
+    mismatch. *)
+
+type scan = {
+  payloads : string list;  (** complete, CRC-valid records in order *)
+  valid_len : int;  (** bytes of the longest valid prefix *)
+  error : string option;  (** why the scan stopped early, if it did *)
+}
+
+val scan : string -> scan
+(** classify a whole file image; [error = None] iff the input is exactly
+    a sequence of valid frames *)

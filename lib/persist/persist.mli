@@ -1,0 +1,83 @@
+(** Durability for the view engine: a directory holding generation-paired
+    checkpoint and WAL files.
+
+    Layout: [checkpoint-<gen>.rxc] (atomic image of the base database and
+    DAG store, see {!Checkpoint}) next to [wal-<gen>.rxl] (the log of
+    groups committed {e since} that image, see {!Wal}). A WAL is only
+    meaningful against its own generation's checkpoint, so
+    {!checkpoint} bumps the generation, starts a fresh log, and deletes
+    older pairs once the new image is safely on disk. Generation 0 is the
+    deterministic initial publication — [wal-0.rxl] replays onto a fresh
+    engine, so logging works before the first checkpoint is ever taken.
+
+    Each WAL record is one committed update group: the concatenated ΔR
+    and the WalkSAT seed after the commit. Replay goes through
+    {!Rxv_core.Base_update.apply}, which applies ΔR and repairs the view
+    incrementally — the view is a function of the database, so redo
+    needs no view-level log. *)
+
+module Database = Rxv_relational.Database
+module Group_update = Rxv_relational.Group_update
+module Atg = Rxv_atg.Atg
+module Engine = Rxv_core.Engine
+
+type t
+
+val open_dir : ?sync:Wal.sync_policy -> string -> t
+(** open (creating if needed) a durability directory; the current
+    generation is the newest checkpoint present, or 0. [sync] (default
+    [EveryN 64]) governs WAL appends. *)
+
+val dir : t -> string
+val sync_policy : t -> Wal.sync_policy
+val generation : t -> int
+
+val records_since_checkpoint : t -> int
+(** valid records in the current generation's WAL (replayed + appended) *)
+
+val attach : t -> Engine.t -> unit
+(** install the engine's WAL hook: every committed update group appends
+    one record to the current log. Call after {!recover} (or on a fresh
+    engine); appends land after any replayed tail. *)
+
+val checkpoint : t -> Engine.t -> int
+(** write a new-generation checkpoint atomically, rotate to a fresh WAL,
+    delete superseded generations, reset the record counter; returns the
+    checkpoint size in bytes *)
+
+type recovery_info = {
+  r_generation : int;
+  r_checkpoint : bool;  (** false: no checkpoint existed, fresh init *)
+  r_replayed : int;  (** WAL records re-applied *)
+  r_truncated : bool;  (** a torn/corrupt WAL tail was cut off *)
+}
+
+val pp_recovery_info : Format.formatter -> recovery_info -> unit
+
+val recover :
+  ?seed:int ->
+  t ->
+  Atg.t ->
+  init:(unit -> Database.t) ->
+  (Engine.t * recovery_info, string) result
+(** rebuild an engine from disk: load the newest readable checkpoint
+    (falling back generation by generation past corrupt ones), replay its
+    WAL tail — truncating at the first torn or CRC-failing record — and
+    return the recovered engine. When no checkpoint file exists at all,
+    [init ()] supplies the initial database, the engine is published
+    fresh (generation 0, [seed] applies), and [wal-0.rxl] replays onto
+    it. [Error] if every checkpoint is unreadable or a logged record
+    fails to re-apply. *)
+
+val close : t -> unit
+(** sync and close the current WAL writer, detaching nothing — call
+    {!Engine.detach_wal} separately if the engine outlives the log *)
+
+(** {2 Record codec} — exposed for tests and crash-injection harnesses *)
+
+val encode_record : seed:int -> Group_update.t -> string
+val decode_record : string -> int * Group_update.t
+(** @raise Codec.Error on malformed payload *)
+
+val wal_path : t -> int -> string
+val checkpoint_path : t -> int -> string

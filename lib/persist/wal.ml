@@ -1,0 +1,105 @@
+(** The write-ahead log. *)
+
+type sync_policy = Always | EveryN of int | Never
+
+let sync_policy_of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "always" -> Ok Always
+  | "never" -> Ok Never
+  | s when String.length s > 6 && String.sub s 0 6 = "every:" -> (
+      match int_of_string_opt (String.sub s 6 (String.length s - 6)) with
+      | Some n when n > 0 -> Ok (EveryN n)
+      | Some _ | None -> Error "every:N needs a positive integer N")
+  | _ -> Error "expected always, every:N or never"
+
+let pp_sync_policy ppf = function
+  | Always -> Fmt.string ppf "always"
+  | EveryN n -> Fmt.pf ppf "every:%d" n
+  | Never -> Fmt.string ppf "never"
+
+type writer = {
+  w_path : string;
+  oc : out_channel;
+  policy : sync_policy;
+  mutable appended : int;
+  mutable unsynced : int;
+  mutable closed : bool;
+}
+
+let open_writer ?(sync = EveryN 64) path =
+  let oc =
+    open_out_gen [ Open_wronly; Open_append; Open_creat; Open_binary ] 0o644
+      path
+  in
+  { w_path = path; oc; policy = sync; appended = 0; unsynced = 0; closed = false }
+
+let fsync w =
+  flush w.oc;
+  Unix.fsync (Unix.descr_of_out_channel w.oc)
+
+let sync w = if not w.closed then fsync w
+
+let append w payload =
+  if w.closed then invalid_arg "Wal.append: writer closed";
+  Frame.to_channel w.oc payload;
+  w.appended <- w.appended + 1;
+  w.unsynced <- w.unsynced + 1;
+  match w.policy with
+  | Always ->
+      fsync w;
+      w.unsynced <- 0
+  | EveryN n ->
+      if w.unsynced >= n then begin
+        fsync w;
+        w.unsynced <- 0
+      end
+  | Never -> ()
+
+let records w = w.appended
+let path w = w.w_path
+
+let close w =
+  if not w.closed then begin
+    (match w.policy with
+    | Always | EveryN _ -> fsync w
+    | Never -> flush w.oc);
+    close_out w.oc;
+    w.closed <- true
+  end
+
+type replay = {
+  records : string list;
+  valid_len : int;
+  file_len : int;
+  damage : string option;
+}
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let read path =
+  if not (Sys.file_exists path) then
+    { records = []; valid_len = 0; file_len = 0; damage = None }
+  else begin
+    let s = read_file path in
+    let scan = Frame.scan s in
+    {
+      records = scan.Frame.payloads;
+      valid_len = scan.Frame.valid_len;
+      file_len = String.length s;
+      damage = scan.Frame.error;
+    }
+  end
+
+let truncate_valid path (r : replay) =
+  if r.damage <> None && Sys.file_exists path then begin
+    let fd = Unix.openfile path [ Unix.O_WRONLY ] 0o644 in
+    Fun.protect
+      ~finally:(fun () -> Unix.close fd)
+      (fun () ->
+        Unix.ftruncate fd r.valid_len;
+        Unix.fsync fd)
+  end

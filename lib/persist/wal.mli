@@ -1,0 +1,55 @@
+(** The write-ahead log: an append-only file of CRC-framed records with
+    a configurable sync policy.
+
+    Writers append whole frames; a crash can therefore leave at most one
+    torn record at the tail, which recovery truncates. The durability
+    window is set by {!sync_policy}: [Always] fsyncs after every append
+    (no committed record is ever lost), [EveryN n] fsyncs every [n]
+    appends (bounded loss, amortized cost), [Never] leaves syncing to
+    the OS (fastest; a crash may lose the buffered tail — but never
+    corrupt the prefix). *)
+
+type sync_policy = Always | EveryN of int | Never
+
+val sync_policy_of_string : string -> (sync_policy, string) result
+(** ["always"], ["every:N"], ["never"] *)
+
+val pp_sync_policy : Format.formatter -> sync_policy -> unit
+
+(** {2 Writing} *)
+
+type writer
+
+val open_writer : ?sync:sync_policy -> string -> writer
+(** open (creating if absent) in binary append mode; [sync] defaults to
+    [EveryN 64] *)
+
+val append : writer -> string -> unit
+(** frame and append one record payload, then apply the sync policy *)
+
+val sync : writer -> unit
+(** flush application and OS buffers to the device now *)
+
+val records : writer -> int
+(** records appended through this writer *)
+
+val path : writer -> string
+val close : writer -> unit
+(** flush (and for [Always]/[EveryN] fsync) and close *)
+
+(** {2 Reading} *)
+
+type replay = {
+  records : string list;  (** payloads of all complete, valid records *)
+  valid_len : int;  (** byte length of the valid prefix *)
+  file_len : int;
+  damage : string option;
+      (** why reading stopped before [file_len], if it did *)
+}
+
+val read : string -> replay
+(** read a WAL file; a missing file is an empty, undamaged log *)
+
+val truncate_valid : string -> replay -> unit
+(** physically truncate the file to [valid_len], discarding the torn or
+    corrupt tail the replay diagnosed; no-op when undamaged *)

@@ -18,6 +18,9 @@ type reader = {
   src : string;
   mutable pos : int;
   mutable line : int;
+  mutable quoted : bool;
+      (** the last record contained at least one quoted field — what
+          distinguishes a quoted empty value [""] from a blank line *)
 }
 
 let at_end r = r.pos >= String.length r.src
@@ -26,6 +29,7 @@ let at_end r = r.pos >= String.length r.src
 let read_record (r : reader) : string list option =
   if at_end r then None
   else begin
+    r.quoted <- false;
     let fields = ref [] in
     let buf = Buffer.create 16 in
     let finish_field () =
@@ -51,6 +55,7 @@ let read_record (r : reader) : string list option =
             finish_field ()
         | '"' when Buffer.length buf = 0 ->
             r.pos <- r.pos + 1;
+            r.quoted <- true;
             quoted ()
         | c ->
             Buffer.add_char buf c;
@@ -117,7 +122,7 @@ let parse_value ~line (ty : Value.ty) (s : string) : Value.t =
     @raise Relation.Key_violation on duplicate keys. *)
 let load_relation (db : Database.t) (name : string) (csv : string) : int =
   let rel = Schema.find_relation (Database.schema db) name in
-  let r = { src = csv; pos = 0; line = 1 } in
+  let r = { src = csv; pos = 0; line = 1; quoted = false } in
   let header =
     match read_record r with
     | Some h -> h
@@ -142,7 +147,10 @@ let load_relation (db : Database.t) (name : string) (csv : string) : int =
     let line = r.line in
     match read_record r with
     | None -> continue := false
-    | Some [ "" ] when at_end r -> continue := false (* trailing newline *)
+    | Some [ "" ] when at_end r && not r.quoted ->
+        (* a genuinely blank last line (trailing newline) — a quoted [""]
+           is a real single-column record of the empty string *)
+        continue := false
     | Some record ->
         if List.length record <> width then
           err "expected %d fields, got %d" line width (List.length record);
@@ -179,7 +187,10 @@ let load_dir (db : Database.t) (dir : string) : (string * int) list =
 (* ---------- export ---------- *)
 
 let escape_field s =
-  if
+  if s = "" then "\"\""
+    (* always quoted: an unquoted empty field as the whole last record is
+       indistinguishable from a trailing newline *)
+  else if
     String.exists
       (function '"' | ',' | '\n' | '\r' -> true | _ -> false)
       s
@@ -214,3 +225,28 @@ let dump_relation (db : Database.t) (name : string) : string =
       Buffer.add_char buf '\n')
     (Relation.to_list rel);
   Buffer.contents buf
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    let parent = Filename.dirname dir in
+    if parent <> dir then mkdir_p parent;
+    try Sys.mkdir dir 0o755 with Sys_error _ when Sys.file_exists dir -> ()
+  end
+
+let dump_relation_file (db : Database.t) (name : string) (path : string) : unit
+    =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (dump_relation db name))
+
+(** [dump_dir db dir] writes [dir]/[relation].csv for every relation of
+    the schema (creating [dir] if needed); the mirror of {!load_dir}. *)
+let dump_dir (db : Database.t) (dir : string) : (string * int) list =
+  mkdir_p dir;
+  List.map
+    (fun (r : Schema.relation) ->
+      let name = r.Schema.rname in
+      dump_relation_file db name (Filename.concat dir (name ^ ".csv"));
+      (name, Relation.cardinal (Database.relation db name)))
+    (Database.schema db).Schema.relations

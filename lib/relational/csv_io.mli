@@ -16,4 +16,15 @@ val load_dir : Database.t -> string -> (string * int) list
 (** load [dir]/[relation].csv for every schema relation that has one *)
 
 val dump_relation : Database.t -> string -> string
-(** header + rows (sorted, deterministic) *)
+(** header + rows (sorted, deterministic). Fields containing commas,
+    quotes or newlines are quoted with [""] escapes; empty fields are
+    always quoted so a single-column empty value survives a round trip. *)
+
+val dump_relation_file : Database.t -> string -> string -> unit
+(** [dump_relation_file db name path] *)
+
+val dump_dir : Database.t -> string -> (string * int) list
+(** write [dir]/[relation].csv for {e every} schema relation, creating
+    [dir] if needed — the mirror of {!load_dir}; returns per-relation
+    tuple counts. [load_dir] on a fresh database of the same schema
+    reconstructs the original contents exactly. *)

@@ -4,10 +4,17 @@
     resolves a query against the schema once — alias positions, column
     indexes, and the per-level split of the WHERE conjunction into local
     filters, hash-join keys and residual predicates — producing a {!plan}.
-    {!run_prepared} executes a plan as a left-deep pipeline in FROM order:
-    each level either scans its relation or probes the relation's
-    persistent secondary index ({!Relation.index_on}) with a key assembled
-    from the already-bound prefix. Hash joins keep the evaluator linear per
+    {!run_prepared} executes a plan as a left-deep pipeline: each level
+    either scans its relation or probes the relation's persistent
+    secondary index ({!Relation.index_on}) with a key assembled from the
+    already-bound prefix plus any constant/parameter equality pins on that
+    level. The join order is chosen greedily at compile time: a pinned
+    alias binds first (an index probe, not a scan), then aliases joinable
+    to the bound prefix. This matters for the selective queries the
+    incremental engine issues constantly — a star rule pinned by its
+    parent parameters ([h.h1 = $0]) or an impact query pinned by a changed
+    tuple's key touches O(result) tuples instead of scanning the largest
+    relation in FROM order. Hash joins keep the evaluator linear per
     joined pair, which is what lets the benchmark sweeps of Section 5 reach
     100K-tuple bases; compiling once and reusing the relation-resident
     indexes removes the per-call name resolution and index rebuilds that
@@ -57,16 +64,25 @@ let col_index schema (q : Spj.t) alias attr =
   let r = Schema.find_relation schema (Spj.relation_of_alias q alias) in
   Schema.attr_index r attr
 
-let compile_operand schema q : Spj.operand -> cop = function
-  | Spj.Const v -> C_const v
-  | Spj.Param k -> C_param k
-  | Spj.Col (alias, attr) ->
-      C_col (alias_position q alias, col_index schema q alias attr)
+(* A WHERE conjunct, classified by the original FROM positions it
+   mentions. [Pin] is an equality between one alias's column and a
+   constant or parameter — usable as an index-probe component the moment
+   that alias binds, which is what lets a pinned alias open the pipeline
+   with a point lookup instead of a scan. *)
+type pred_class =
+  | P_join of int * string * int * string  (** pos_a, attr_a, pos_b, attr_b *)
+  | P_pin of int * string * Spj.operand  (** pos, attr, const/param *)
+  | P_local of int  (** both sides on one position (or no columns) *)
 
-(* Aliases mentioned by an operand, as FROM positions. *)
-let operand_aliases q = function
-  | Spj.Col (alias, _) -> [ alias_position q alias ]
-  | Spj.Const _ | Spj.Param _ -> []
+let classify_pred q (Spj.Eq (a, b)) =
+  match (a, b) with
+  | Spj.Col (aa, at), Spj.Col (ba, bt) ->
+      let pa = alias_position q aa and pb = alias_position q ba in
+      if pa = pb then P_local pa else P_join (pa, at, pb, bt)
+  | Spj.Col (aa, at), ((Spj.Const _ | Spj.Param _) as op)
+  | ((Spj.Const _ | Spj.Param _) as op), Spj.Col (aa, at) ->
+      P_pin (alias_position q aa, at, op)
+  | (Spj.Const _ | Spj.Param _), (Spj.Const _ | Spj.Param _) -> P_local 0
 
 (** [prepare db q] compiles [q] against [db]'s schema. The plan only
     refers to relations by name, so it remains valid as [db]'s contents
@@ -75,59 +91,82 @@ let operand_aliases q = function
 let prepare (db : Database.t) (q : Spj.t) : plan =
   let schema = Database.schema db in
   let n = List.length q.Spj.from in
-  (* a predicate becomes checkable once the highest FROM position it
-     mentions is bound *)
-  let pred_level p =
-    match
-      (fun (Spj.Eq (a, b)) -> operand_aliases q a @ operand_aliases q b) p
-    with
-    | [] -> 0
-    | l -> List.fold_left max 0 l
-  in
-  let preds_at = Array.make n [] in
+  let from = Array.of_list q.Spj.from in
+  let preds = List.map (fun p -> (p, classify_pred q p)) q.Spj.where in
+  (* Greedy join order over original FROM positions: prefer a position
+     joinable to the already-bound prefix, pins breaking ties; the opening
+     position is a pinned one when any exists. Ties fall back to FROM
+     order, so pin-free queries keep their original left-deep shape. *)
+  let has_pin = Array.make n false in
   List.iter
-    (fun p ->
-      let lvl = pred_level p in
-      preds_at.(lvl) <- p :: preds_at.(lvl))
-    q.Spj.where;
-  (* level i > 0: col(i) = col(<i) equalities become hash-join keys *)
-  let join_key_of_pred i (Spj.Eq (a, b)) =
-    match (a, b) with
-    | Spj.Col (aa, at), Spj.Col (ba, bt) ->
-        let pa = alias_position q aa and pb = alias_position q ba in
-        if pa = i && pb < i then Some ((aa, at), (ba, bt))
-        else if pb = i && pa < i then Some ((ba, bt), (aa, at))
-        else None
-    | _ -> None
+    (function _, P_pin (p, _, _) -> has_pin.(p) <- true | _ -> ())
+    preds;
+  let level_of = Array.make n (-1) in
+  let order = Array.make n 0 in
+  for l = 0 to n - 1 do
+    let best = ref (-1) and best_score = ref (-1) in
+    for i = 0 to n - 1 do
+      if level_of.(i) < 0 then begin
+        let joined =
+          List.exists
+            (function
+              | _, P_join (pa, _, pb, _) ->
+                  (pa = i && level_of.(pb) >= 0)
+                  || (pb = i && level_of.(pa) >= 0)
+              | _ -> false)
+            preds
+        in
+        let score = (if joined then 2 else 0) + if has_pin.(i) then 1 else 0 in
+        if score > !best_score then begin
+          best := i;
+          best_score := score
+        end
+      end
+    done;
+    order.(l) <- !best;
+    level_of.(!best) <- l
+  done;
+  (* operands compile against execution levels, not FROM positions *)
+  let compile_op = function
+    | Spj.Const v -> C_const v
+    | Spj.Param k -> C_param k
+    | Spj.Col (alias, attr) ->
+        C_col (level_of.(alias_position q alias), col_index schema q alias attr)
+  in
+  (* a predicate becomes checkable at the latest level it mentions *)
+  let level_of_pred = function
+    | P_join (pa, _, pb, _) -> max level_of.(pa) level_of.(pb)
+    | P_pin (p, _, _) -> level_of.(p)
+    | P_local p -> level_of.(p)
   in
   let steps =
-    Array.init n (fun i ->
-        let _, rname = List.nth q.Spj.from i in
+    Array.init n (fun l ->
+        let i = order.(l) in
+        let _, rname = from.(i) in
         let rel_schema = Schema.find_relation schema rname in
-        let joins, filters =
-          List.partition_map
-            (fun p ->
-              match join_key_of_pred i p with
-              | Some jk -> Either.Left jk
-              | None -> Either.Right p)
-            preds_at.(i)
-        in
+        let build = ref [] and probe = ref [] and filters = ref [] in
+        List.iter
+          (fun (Spj.Eq (a, b), cls) ->
+            if level_of_pred cls = l then
+              match cls with
+              | P_join (pa, at, pb, bt) when pa <> pb ->
+                  (* probe this level's column with the bound side *)
+                  let at, (pb, bt) =
+                    if pa = i then (at, (pb, bt)) else (bt, (pa, at))
+                  in
+                  build := Schema.attr_index rel_schema at :: !build;
+                  probe :=
+                    compile_op (Spj.Col (fst from.(pb), bt)) :: !probe
+              | P_pin (_, at, op) ->
+                  build := Schema.attr_index rel_schema at :: !build;
+                  probe := compile_op op :: !probe
+              | _ -> filters := (compile_op a, compile_op b) :: !filters)
+          preds;
         {
           s_rname = rname;
-          s_build_cols =
-            List.map
-              (fun ((_, at), _) -> Schema.attr_index rel_schema at)
-              joins;
-          s_probe =
-            List.map
-              (fun (_, (ba, bt)) ->
-                compile_operand schema q (Spj.Col (ba, bt)))
-              joins;
-          s_filters =
-            List.map
-              (fun (Spj.Eq (a, b)) ->
-                (compile_operand schema q a, compile_operand schema q b))
-              filters;
+          s_build_cols = List.rev !build;
+          s_probe = List.rev !probe;
+          s_filters = List.rev !filters;
         })
   in
   {
@@ -135,8 +174,7 @@ let prepare (db : Database.t) (q : Spj.t) : plan =
     p_n = n;
     p_steps = steps;
     p_select =
-      Array.of_list
-        (List.map (fun (_, op) -> compile_operand schema q op) q.Spj.select);
+      Array.of_list (List.map (fun (_, op) -> compile_op op) q.Spj.select);
   }
 
 (** {2 Execution} *)

@@ -347,6 +347,63 @@ let test_csv_errors () =
   | exception Rxv_relational.Relation.Key_violation _ -> ()
   | _ -> Alcotest.fail "duplicate key accepted"
 
+(* dump_dir/load_dir round trip over hostile values: embedded commas,
+   quotes, newlines, CRLF, and — the regression that motivated always
+   quoting empty fields — a single-column relation whose last row is the
+   empty string (unquoted it reads as a trailing newline and vanishes) *)
+let test_csv_dump_dir_roundtrip () =
+  let module Schema = Rxv_relational.Schema in
+  let schema =
+    Schema.db
+      [
+        Schema.relation "hostile"
+          [ Schema.attr "k" Value.TInt; Schema.attr "v" Value.TStr ]
+          ~key:[ "k" ];
+        Schema.relation "single" [ Schema.attr "v" Value.TStr ] ~key:[ "v" ];
+      ]
+  in
+  let db = Database.create schema in
+  List.iteri
+    (fun i v -> Database.insert db "hostile" [| Value.Int i; Value.Str v |])
+    [
+      "plain";
+      "with,comma";
+      "say \"hi\"";
+      "line\nbreak";
+      "crlf\r\nend";
+      "";
+      " leading and trailing ";
+      "\"";
+      ",";
+    ];
+  Database.insert db "single" [| Value.Str "a" |];
+  Database.insert db "single" [| Value.Str "" |] (* sorts last: row "" at EOF *);
+  let dir = Filename.temp_file "rxv-csv" "" in
+  Sys.remove dir;
+  let dumped = Csv_io.dump_dir db dir in
+  Alcotest.(check int) "two files" 2 (List.length dumped);
+  check "counts reported" true
+    (List.sort compare dumped = [ ("hostile", 9); ("single", 2) ]);
+  let db' = Database.create schema in
+  let loaded = Csv_io.load_dir db' dir in
+  Alcotest.(check int) "two files loaded" 2 (List.length loaded);
+  check "dump_dir/load_dir round trip" true (Database.equal db db');
+  (* and a second dump is byte-identical: deterministic export *)
+  let again = Filename.temp_file "rxv-csv" "" in
+  Sys.remove again;
+  ignore (Csv_io.dump_dir db' again);
+  List.iter
+    (fun name ->
+      let slurp d =
+        let ic = open_in_bin (Filename.concat d (name ^ ".csv")) in
+        Fun.protect
+          ~finally:(fun () -> close_in ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      Alcotest.(check string)
+        (name ^ ".csv deterministic") (slurp dir) (slurp again))
+    [ "hostile"; "single" ]
+
 (* load CSVs, publish, update — the bring-your-own-data path end to end *)
 let test_csv_to_view () =
   let dir = Filename.temp_file "rxv" "" in
@@ -390,6 +447,8 @@ let tests =
     Alcotest.test_case "csv round trip" `Quick test_csv_roundtrip;
     Alcotest.test_case "csv features" `Quick test_csv_features;
     Alcotest.test_case "csv errors" `Quick test_csv_errors;
+    Alcotest.test_case "csv dump_dir round trip" `Quick
+      test_csv_dump_dir_roundtrip;
     Alcotest.test_case "csv to view end-to-end" `Quick test_csv_to_view;
     Alcotest.test_case "dtd: parse D0" `Quick test_dtd_parse_d0;
     Alcotest.test_case "dtd: rich content models" `Quick test_dtd_parse_rich;

@@ -17,6 +17,8 @@ let () =
       ("core_units", Suite_core_units.tests);
       ("transactions", Suite_transactions.tests);
       ("journal", Suite_journal.tests);
+      ("persist", Suite_persist.tests);
+      ("crash", Suite_crash.tests);
       ("misc", Suite_misc.tests);
       ("roundtrip", Suite_roundtrip.tests);
       ("paper_examples", Suite_paper_examples.tests);

@@ -451,6 +451,111 @@ let recover_cmd =
       const (fun () -> run) $ setup_logs $ scenario_arg $ size_arg $ seed_arg
       $ data_arg $ wal_arg $ sync_arg $ check)
 
+(* --- serve --- *)
+
+let serve_cmd =
+  let run scenario n seed data wal sync socket tcp queue batch =
+    let module Server = Rxv_server.Server in
+    let addr =
+      match (socket, tcp) with
+      | Some path, None -> Some (Server.Unix_sock path)
+      | None, Some port -> Some (Server.Tcp ("127.0.0.1", port))
+      | None, None -> None
+      | Some _, Some _ -> None
+    in
+    match addr with
+    | None ->
+        Fmt.epr "serve requires exactly one of --socket PATH or --tcp PORT@.";
+        2
+    | Some addr -> (
+        (* unlike [with_engine], recovery here must NOT attach the WAL
+           hook: the server attaches it in deferred-sync mode so the
+           batcher can pay one fsync per drained batch *)
+        let finish_engine e persist =
+          let config =
+            {
+              Server.default_config with
+              queue_cap = queue;
+              batch_cap = batch;
+            }
+          in
+          let srv = Server.start ~config ?persist addr e in
+          Fmt.pr "serving %s (queue=%d batch=%d); send a Shutdown request \
+                  to stop@."
+            (match addr with
+            | Server.Unix_sock p -> "unix:" ^ p
+            | Server.Tcp (h, p) -> Printf.sprintf "tcp:%s:%d" h p)
+            queue batch;
+          (* also stop cleanly on SIGTERM/SIGINT *)
+          let on_signal _ = Server.initiate_stop srv in
+          (try Sys.set_signal Sys.sigterm (Sys.Signal_handle on_signal)
+           with Invalid_argument _ -> ());
+          (try Sys.set_signal Sys.sigint (Sys.Signal_handle on_signal)
+           with Invalid_argument _ -> ());
+          Server.wait srv;
+          Option.iter Persist.close persist;
+          Fmt.pr "server stopped; %d update group(s) committed@."
+            (Rxv_server.Batcher.seq (Server.batcher srv));
+          0
+        in
+        match wal with
+        | None ->
+            finish_engine
+              (Engine.create ~seed (atg_of scenario)
+                 (init_db scenario n seed data))
+              None
+        | Some dir -> (
+            let p = Persist.open_dir ~sync dir in
+            match
+              Persist.recover ~seed p (atg_of scenario)
+                ~init:(fun () -> init_db scenario n seed data)
+            with
+            | Error msg ->
+                Fmt.epr "recovery failed: %s@." msg;
+                3
+            | Ok (e, info) ->
+                Logs.info (fun m ->
+                    m "recovered: %a" Persist.pp_recovery_info info);
+                finish_engine e (Some p)))
+  in
+  let socket =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:"Serve on a Unix-domain socket at PATH.")
+  in
+  let tcp =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "tcp" ] ~docv:"PORT" ~doc:"Serve on 127.0.0.1:PORT.")
+  in
+  let queue =
+    Arg.(
+      value
+      & opt int 128
+      & info [ "queue" ] ~docv:"K"
+          ~doc:"Update queue bound; a full queue answers Overloaded \
+                (backpressure).")
+  in
+  let batch =
+    Arg.(
+      value
+      & opt int 64
+      & info [ "batch" ] ~docv:"K"
+          ~doc:"Group-commit bound: how many committed groups may share \
+                one WAL fsync.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Run the view-update service: concurrent XPath reads, \
+             single-writer group-commit updates with backpressure, and a \
+             CRC-framed wire protocol (see also $(b,stress --server)).")
+    Term.(
+      const (fun () -> run) $ setup_logs $ scenario_arg $ size_arg $ seed_arg
+      $ data_arg $ wal_arg $ sync_arg $ socket $ tcp $ queue $ batch)
+
 let () =
   let info =
     Cmd.info "rxv" ~version:"1.0"
@@ -461,4 +566,4 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [ show_cmd; stats_cmd; export_cmd; query_cmd; delete_cmd;
-            insert_cmd; checkpoint_cmd; recover_cmd ]))
+            insert_cmd; checkpoint_cmd; recover_cmd; serve_cmd ]))

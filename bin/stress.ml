@@ -4,7 +4,17 @@
    M ≡ recomputation) after every operation.
 
    Usage: dune exec bin/stress.exe -- [rounds] [max_n]
-   (defaults: 200 rounds, datasets up to 80 keys) *)
+   (defaults: 200 rounds, datasets up to 80 keys)
+
+   Client mode: with --server SOCK the process instead becomes a swarm
+   of protocol clients hammering a running `rxv serve` instance
+   (registrar scenario) over its Unix-domain socket —
+
+     dune exec bin/stress.exe -- --server /tmp/rxv.sock [clients] [reqs]
+
+   (defaults: 8 clients, 200 requests each; ~70% update groups, 30%
+   queries). Exits non-zero on any protocol error; Overloaded replies
+   are counted as backpressure, not failures. *)
 
 module Engine = Rxv_core.Engine
 module Base_update = Rxv_core.Base_update
@@ -105,7 +115,111 @@ let run_round round max_n =
   done;
   (!applied, !rejected)
 
+(* ---- client mode: drive a live server over the wire protocol ---- *)
+
+module Proto = Rxv_server.Proto
+module Client = Rxv_server.Client
+
+let client_mode sock n_clients per_client =
+  let t0 = Unix.gettimeofday () in
+  let applied = ref 0
+  and rejected = ref 0
+  and overloaded = ref 0
+  and queried = ref 0 in
+  let m = Mutex.create () in
+  let tally r =
+    Mutex.lock m;
+    incr r;
+    Mutex.unlock m
+  in
+  let queries =
+    [|
+      "//course";
+      "//course[cno=CS240]/prereq/course";
+      "//course[cno=CS320]/takenBy/student";
+      "//student[ssn=S02]";
+    |]
+  in
+  let client w () =
+    let c = Client.connect sock in
+    for r = 0 to per_client - 1 do
+      if r mod 10 < 3 then (
+        match Client.query c queries.(r mod Array.length queries) with
+        | Ok _ -> tally queried
+        | Error msg ->
+            Printf.eprintf "client %d: query error: %s\n%!" w msg;
+            exit 1)
+      else
+        let cno = Printf.sprintf "SW%dR%d" w r in
+        let req =
+          if r mod 9 = 7 then
+            (* occasionally delete something this client inserted *)
+            [ Proto.Delete (Printf.sprintf "//course[cno=SW%dR%d]" w (r - 1)) ]
+          else
+            [
+              Proto.Insert
+                {
+                  etype = "course";
+                  attr = Rxv_workload.Registrar.course_attr cno "Stress";
+                  path = "//course[cno=CS240]/prereq";
+                };
+            ]
+        in
+        match Client.update c req with
+        | `Applied _ -> tally applied
+        | `Rejected _ -> tally rejected
+        | `Overloaded -> tally overloaded
+        | `Error msg ->
+            Printf.eprintf "client %d: update error: %s\n%!" w msg;
+            exit 1
+    done;
+    Client.close c
+  in
+  let threads = List.init n_clients (fun w -> Thread.create (client w) ()) in
+  List.iter Thread.join threads;
+  let c = Client.connect sock in
+  (match Client.stats c with
+  | Ok st ->
+      Printf.printf "server: %d nodes, %d edges%s\n" st.Proto.st_nodes
+        st.Proto.st_edges
+        (match st.Proto.st_wal_records with
+        | Some k -> Printf.sprintf ", %d WAL records since checkpoint" k
+        | None -> " (no WAL)");
+      List.iter
+        (fun (k, v) -> Printf.printf "  %-12s %d\n" k v)
+        st.Proto.st_counters;
+      List.iter
+        (fun s ->
+          Printf.printf "  %-12s p50=%dus p95=%dus p99=%dus (n=%d)\n"
+            s.Rxv_server.Metrics.s_kind s.Rxv_server.Metrics.s_p50_us
+            s.Rxv_server.Metrics.s_p95_us s.Rxv_server.Metrics.s_p99_us
+            s.Rxv_server.Metrics.s_count)
+        st.Proto.st_latencies
+  | Error msg ->
+      Printf.eprintf "stats error: %s\n%!" msg;
+      exit 1);
+  Client.close c;
+  let dt = Unix.gettimeofday () -. t0 in
+  let total = !applied + !rejected + !overloaded + !queried in
+  Printf.printf
+    "stress OK (client mode): %d requests from %d clients in %.1fs \
+     (%.0f req/s) — %d applied, %d rejected, %d overloaded, %d queries\n%!"
+    total n_clients dt
+    (float_of_int total /. dt)
+    !applied !rejected !overloaded !queried
+
 let () =
+  if Array.length Sys.argv > 2 && Sys.argv.(1) = "--server" then begin
+    let sock = Sys.argv.(2) in
+    let n_clients =
+      if Array.length Sys.argv > 3 then int_of_string Sys.argv.(3) else 8
+    in
+    let per_client =
+      if Array.length Sys.argv > 4 then int_of_string Sys.argv.(4) else 200
+    in
+    client_mode sock n_clients per_client;
+    exit 0
+  end;
   let rounds =
     if Array.length Sys.argv > 1 then int_of_string Sys.argv.(1) else 200
   in

@@ -91,11 +91,18 @@ let append t ~seed group =
   Wal.append (current_writer t) (encode_record ~seed group);
   t.records_since_ckpt <- t.records_since_ckpt + 1
 
-let attach t (e : Engine.t) =
+let append_nosync t ~seed group =
+  Wal.append_nosync (current_writer t) (encode_record ~seed group);
+  t.records_since_ckpt <- t.records_since_ckpt + 1
+
+let sync t = match t.writer with Some w -> Wal.sync w | None -> ()
+
+let attach ?(deferred_sync = false) t (e : Engine.t) =
   ignore (current_writer t);
+  let log = if deferred_sync then append_nosync else append in
   Engine.attach_wal e
     {
-      Engine.on_commit = (fun group ~seed -> append t ~seed group);
+      Engine.on_commit = (fun group ~seed -> log t ~seed group);
       records_since_checkpoint = (fun () -> t.records_since_ckpt);
     }
 

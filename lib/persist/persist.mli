@@ -35,10 +35,21 @@ val generation : t -> int
 val records_since_checkpoint : t -> int
 (** valid records in the current generation's WAL (replayed + appended) *)
 
-val attach : t -> Engine.t -> unit
+val attach : ?deferred_sync:bool -> t -> Engine.t -> unit
 (** install the engine's WAL hook: every committed update group appends
     one record to the current log. Call after {!recover} (or on a fresh
-    engine); appends land after any replayed tail. *)
+    engine); appends land after any replayed tail.
+
+    With [~deferred_sync:true] appends bypass the sync policy entirely
+    ({!Wal.append_nosync}): records are buffered until an explicit
+    {!sync}. This is the group-commit mode — a batching caller applies a
+    whole batch of commits, then pays one device sync for all of them.
+    Until that {!sync} returns, the batch is {e not} durable, so callers
+    must withhold acknowledgements accordingly. *)
+
+val sync : t -> unit
+(** fsync the current WAL writer now (no-op when nothing is open) — the
+    second half of the [deferred_sync] contract *)
 
 val checkpoint : t -> Engine.t -> int
 (** write a new-generation checkpoint atomically, rotate to a fresh WAL,

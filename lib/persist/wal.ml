@@ -37,25 +37,27 @@ let fsync w =
   flush w.oc;
   Unix.fsync (Unix.descr_of_out_channel w.oc)
 
-let sync w = if not w.closed then fsync w
+let sync w =
+  if not w.closed then begin
+    fsync w;
+    w.unsynced <- 0
+  end
 
-let append w payload =
+let append_nosync w payload =
   if w.closed then invalid_arg "Wal.append: writer closed";
   Frame.to_channel w.oc payload;
   w.appended <- w.appended + 1;
-  w.unsynced <- w.unsynced + 1;
+  w.unsynced <- w.unsynced + 1
+
+let append w payload =
+  append_nosync w payload;
   match w.policy with
-  | Always ->
-      fsync w;
-      w.unsynced <- 0
-  | EveryN n ->
-      if w.unsynced >= n then begin
-        fsync w;
-        w.unsynced <- 0
-      end
+  | Always -> sync w
+  | EveryN n -> if w.unsynced >= n then sync w
   | Never -> ()
 
 let records w = w.appended
+let unsynced w = w.unsynced
 let path w = w.w_path
 
 let close w =

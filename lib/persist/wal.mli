@@ -25,13 +25,25 @@ val open_writer : ?sync:sync_policy -> string -> writer
     [EveryN 64] *)
 
 val append : writer -> string -> unit
-(** frame and append one record payload, then apply the sync policy *)
+(** frame and append one record payload, then apply the sync policy —
+    a thin wrapper: {!append_nosync} followed by {!sync} when the policy
+    says so *)
+
+val append_nosync : writer -> string -> unit
+(** frame and append one record payload {e without} applying the sync
+    policy. The record is buffered (and counted as unsynced) until an
+    explicit {!sync} — the primitive a group-commit batcher uses to
+    amortize one fsync over a whole batch of appends. *)
 
 val sync : writer -> unit
-(** flush application and OS buffers to the device now *)
+(** flush application and OS buffers to the device now and reset the
+    unsynced count *)
 
 val records : writer -> int
 (** records appended through this writer *)
+
+val unsynced : writer -> int
+(** records appended since the last device sync *)
 
 val path : writer -> string
 val close : writer -> unit

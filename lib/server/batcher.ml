@@ -1,0 +1,185 @@
+(** Single-writer group-commit loop over a bounded job queue. *)
+
+module Engine = Rxv_core.Engine
+module Xupdate = Rxv_core.Xupdate
+
+type outcome =
+  | Committed of { seq : int; reports : int; delta_ops : int }
+  | Rejected_at of int * Engine.rejection
+  | Failed of string
+
+type job = {
+  j_ops : Xupdate.t list;
+  j_policy : Engine.policy;
+  j_m : Mutex.t;
+  j_c : Condition.t;
+  mutable j_result : outcome option;
+}
+
+type t = {
+  engine : Engine.t;
+  lock : Rwlock.t;
+  metrics : Metrics.t option;
+  sync : unit -> unit;
+  queue_cap : int;
+  batch_cap : int;
+  q : job Queue.t;
+  m : Mutex.t;
+  nonempty : Condition.t;
+  mutable seq : int;
+  mutable stopping : bool;
+  mutable writer : Thread.t option;
+}
+
+let bump t name = match t.metrics with Some m -> Metrics.incr m name | None -> ()
+let bump_n t name n =
+  match t.metrics with Some m -> Metrics.add m name n | None -> ()
+
+let fulfill job outcome =
+  Mutex.lock job.j_m;
+  job.j_result <- Some outcome;
+  Condition.broadcast job.j_c;
+  Mutex.unlock job.j_m
+
+let await job =
+  Mutex.lock job.j_m;
+  while job.j_result = None do
+    Condition.wait job.j_c job.j_m
+  done;
+  let r = Option.get job.j_result in
+  Mutex.unlock job.j_m;
+  r
+
+(* apply one job's group atomically; called with the write lock held *)
+let apply_job t job =
+  match Engine.apply_group ~policy:job.j_policy t.engine job.j_ops with
+  | Ok reports ->
+      t.seq <- t.seq + 1;
+      bump t "applied";
+      Committed
+        {
+          seq = t.seq;
+          reports = List.length reports;
+          delta_ops =
+            List.fold_left
+              (fun acc (r : Engine.report) ->
+                acc + List.length r.Engine.delta_r)
+              0 reports;
+        }
+  | Error (i, rej) ->
+      bump t "rejected";
+      Rejected_at (i, rej)
+  | exception exn ->
+      bump t "apply_errors";
+      Failed (Printexc.to_string exn)
+
+(* drain up to [batch_cap] jobs; blocks while the queue is empty *)
+let next_batch t =
+  Mutex.lock t.m;
+  while Queue.is_empty t.q && not t.stopping do
+    Condition.wait t.nonempty t.m
+  done;
+  let batch = ref [] in
+  let n = ref 0 in
+  while (not (Queue.is_empty t.q)) && !n < t.batch_cap do
+    batch := Queue.pop t.q :: !batch;
+    incr n
+  done;
+  Mutex.unlock t.m;
+  List.rev !batch
+
+let writer_loop t =
+  let rec loop () =
+    match next_batch t with
+    | [] -> if not t.stopping then loop () (* spurious wakeup *)
+    | batch ->
+        (* apply the whole batch under one exclusive section … *)
+        let outcomes =
+          Rwlock.with_write t.lock (fun () -> List.map (apply_job t) batch)
+        in
+        (* … then sync once, outside the lock, so readers overlap the
+           device write; no job is acknowledged before its batch is on
+           disk *)
+        (try t.sync ()
+         with exn ->
+           (* a failed sync must not silently acknowledge durability *)
+           let msg = "wal sync failed: " ^ Printexc.to_string exn in
+           List.iter (fun j -> fulfill j (Failed msg)) batch;
+           raise exn);
+        bump t "batches";
+        bump_n t "batched_updates" (List.length batch);
+        List.iter2 fulfill batch outcomes;
+        loop ()
+  in
+  try loop () with _ when t.stopping -> ()
+
+let create ?(queue_cap = 128) ?(batch_cap = 64) ~lock ?metrics
+    ?(sync = fun () -> ()) engine =
+  if queue_cap < 1 || batch_cap < 1 then
+    invalid_arg "Batcher.create: caps must be positive";
+  let t =
+    {
+      engine;
+      lock;
+      metrics;
+      sync;
+      queue_cap;
+      batch_cap;
+      q = Queue.create ();
+      m = Mutex.create ();
+      nonempty = Condition.create ();
+      seq = 0;
+      stopping = false;
+      writer = None;
+    }
+  in
+  t.writer <- Some (Thread.create writer_loop t);
+  t
+
+let submit t ~policy ops =
+  let job =
+    {
+      j_ops = ops;
+      j_policy = policy;
+      j_m = Mutex.create ();
+      j_c = Condition.create ();
+      j_result = None;
+    }
+  in
+  Mutex.lock t.m;
+  let accepted = (not t.stopping) && Queue.length t.q < t.queue_cap in
+  if accepted then begin
+    Queue.push job t.q;
+    Condition.signal t.nonempty
+  end;
+  Mutex.unlock t.m;
+  if accepted then `Job job
+  else begin
+    bump t "overloaded";
+    `Overloaded
+  end
+
+let submit_wait t ~policy ops =
+  match submit t ~policy ops with
+  | `Overloaded -> `Overloaded
+  | `Job j -> `Done (await j)
+
+let seq t = t.seq
+
+let stop t =
+  Mutex.lock t.m;
+  t.stopping <- true;
+  Condition.broadcast t.nonempty;
+  Mutex.unlock t.m;
+  match t.writer with
+  | None -> ()
+  | Some th ->
+      t.writer <- None;
+      Thread.join th;
+      (* the writer drains whole batches before re-checking [stopping];
+         anything still queued here was accepted but never applied *)
+      Mutex.lock t.m;
+      let leftover = List.of_seq (Queue.to_seq t.q) in
+      Queue.clear t.q;
+      Mutex.unlock t.m;
+      List.iter (fun j -> fulfill j (Failed "server stopped")) leftover

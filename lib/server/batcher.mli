@@ -1,0 +1,64 @@
+(** The single-writer group-commit loop.
+
+    Update requests from any number of connection threads are enqueued
+    as jobs on a bounded queue. One dedicated writer thread drains up to
+    [batch_cap] jobs at a time, applies each as an atomic group through
+    [Engine.apply_group] under the exclusive side of the {!Rwlock}, then
+    releases the lock and pays {e one} WAL sync for the whole drained
+    batch before acknowledging any of its jobs — the classic group
+    commit: the fsync (the dominant cost under [Sync_always]) is
+    amortized over every commit in the batch, and readers run while the
+    device write is in flight.
+
+    Backpressure is the queue bound: {!submit} never blocks the
+    connection thread on a full queue — it reports [`Overloaded]
+    immediately, which the server turns into the protocol's
+    [Overloaded] reply. *)
+
+module Engine = Rxv_core.Engine
+module Xupdate = Rxv_core.Xupdate
+
+type outcome =
+  | Committed of { seq : int; reports : int; delta_ops : int }
+      (** the group committed as the [seq]-th write in the server's
+          serialization order, and — when a sync hook is installed — is
+          durable *)
+  | Rejected_at of int * Engine.rejection
+      (** op [index] rejected; the engine rolled back the whole group *)
+  | Failed of string  (** unexpected exception during apply *)
+
+type job
+
+type t
+
+val create :
+  ?queue_cap:int ->
+  ?batch_cap:int ->
+  lock:Rwlock.t ->
+  ?metrics:Metrics.t ->
+  ?sync:(unit -> unit) ->
+  Engine.t ->
+  t
+(** start the writer thread. [queue_cap] (default 128) bounds pending
+    jobs; [batch_cap] (default 64) bounds how many commits share one
+    sync; [sync] (default no-op) is called once per drained batch —
+    typically [Rxv_persist.Persist.sync] with the engine's WAL hook
+    attached in [deferred_sync] mode. *)
+
+val submit :
+  t -> policy:Engine.policy -> Xupdate.t list -> [ `Job of job | `Overloaded ]
+(** enqueue one atomic update group; [`Overloaded] when the queue is
+    full or the batcher is stopping *)
+
+val await : job -> outcome
+(** block until the job's batch is applied and synced *)
+
+val submit_wait :
+  t -> policy:Engine.policy -> Xupdate.t list -> [ `Done of outcome | `Overloaded ]
+
+val seq : t -> int
+(** committed groups so far *)
+
+val stop : t -> unit
+(** drain every accepted job, sync, and join the writer thread;
+    idempotent. Jobs submitted after [stop] begins are [`Overloaded]. *)

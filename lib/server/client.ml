@@ -1,0 +1,105 @@
+(** Blocking protocol client. *)
+
+module Value = Rxv_relational.Value
+
+exception Disconnected of string
+
+type t = { fd : Unix.file_descr; mutable closed : bool }
+
+let connect ?(retries = 250) path =
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
+  let rec go n =
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    match Unix.connect fd (Unix.ADDR_UNIX path) with
+    | () -> { fd; closed = false }
+    | exception
+        Unix.Unix_error ((Unix.ENOENT | Unix.ECONNREFUSED) as e, fn, arg) ->
+        Unix.close fd;
+        if n <= 0 then raise (Unix.Unix_error (e, fn, arg))
+        else begin
+          Thread.delay 0.02;
+          go (n - 1)
+        end
+    | exception exn ->
+        Unix.close fd;
+        raise exn
+  in
+  go retries
+
+let connect_tcp host port =
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port))
+   with exn ->
+     Unix.close fd;
+     raise exn);
+  { fd; closed = false }
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    try Unix.close t.fd with Unix.Unix_error _ -> ()
+  end
+
+let request t req =
+  if t.closed then raise (Disconnected "connection closed");
+  (try Proto.send t.fd (Proto.encode_request req)
+   with Unix.Unix_error (e, _, _) ->
+     close t;
+     raise (Disconnected (Unix.error_message e)));
+  match Proto.recv t.fd with
+  | `Msg payload -> (
+      match Proto.decode_response payload with
+      | r -> r
+      | exception Rxv_persist.Codec.Error msg ->
+          close t;
+          raise (Disconnected ("undecodable response: " ^ msg)))
+  | `Eof ->
+      close t;
+      raise (Disconnected "server closed the connection")
+  | `Corrupt reason ->
+      close t;
+      raise (Disconnected ("corrupt response frame: " ^ reason))
+
+let ping t =
+  match request t Proto.Ping with
+  | Proto.Pong -> ()
+  | r -> raise (Disconnected (Fmt.str "unexpected reply: %a" Proto.pp_response r))
+
+let query t src =
+  match request t (Proto.Query src) with
+  | Proto.Selected { count; nodes } -> Ok (count, nodes)
+  | Proto.Error m -> Error m
+  | r -> Error (Fmt.str "unexpected reply: %a" Proto.pp_response r)
+
+let update ?(policy = `Proceed) t ops =
+  match request t (Proto.Update { policy; ops }) with
+  | Proto.Applied { seq; reports; _ } -> `Applied (seq, reports)
+  | Proto.Rejected { index; reason } -> `Rejected (index, reason)
+  | Proto.Overloaded -> `Overloaded
+  | Proto.Error m -> `Error m
+  | r -> `Error (Fmt.str "unexpected reply: %a" Proto.pp_response r)
+
+let insert ?policy t ~etype ~attr ~into =
+  update ?policy t [ Proto.Insert { etype; attr; path = into } ]
+
+let delete ?policy t path = update ?policy t [ Proto.Delete path ]
+
+let stats t =
+  match request t Proto.Stats with
+  | Proto.Stats_reply st -> Ok st
+  | Proto.Error m -> Error m
+  | r -> Error (Fmt.str "unexpected reply: %a" Proto.pp_response r)
+
+let checkpoint t =
+  match request t Proto.Checkpoint with
+  | Proto.Checkpointed { generation; bytes } -> Ok (generation, bytes)
+  | Proto.Error m -> Error m
+  | r -> Error (Fmt.str "unexpected reply: %a" Proto.pp_response r)
+
+let shutdown t =
+  match request t Proto.Shutdown with
+  | Proto.Bye -> ()
+  | r -> raise (Disconnected (Fmt.str "unexpected reply: %a" Proto.pp_response r))

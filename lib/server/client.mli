@@ -1,0 +1,57 @@
+(** Blocking client for the view-update service: one request in flight
+    per connection, framed over a Unix-domain or TCP socket. *)
+
+module Value = Rxv_relational.Value
+
+exception Disconnected of string
+(** the server closed the stream, or a frame failed its CRC *)
+
+type t
+
+val connect : ?retries:int -> string -> t
+(** connect to a Unix-domain socket path, retrying (20 ms apart, default
+    [retries] 250, i.e. ≈5 s) while the path does not exist or refuses —
+    covers the race against a server still starting up.
+    @raise Unix.Unix_error when retries are exhausted *)
+
+val connect_tcp : string -> int -> t
+
+val close : t -> unit
+
+val request : t -> Proto.request -> Proto.response
+(** send one request and block for its response.
+    @raise Disconnected on EOF or transport corruption *)
+
+(** {2 Convenience wrappers} *)
+
+val ping : t -> unit
+(** @raise Disconnected when the reply is not [Pong] *)
+
+val query : t -> string -> (int * (string * int) list, string) result
+(** [query c xpath] is [Ok (count, listed_nodes)] or the server's error *)
+
+val update :
+  ?policy:Proto.policy ->
+  t ->
+  Proto.op list ->
+  [ `Applied of int * int  (** commit seq, reports *)
+  | `Rejected of int * string
+  | `Overloaded
+  | `Error of string ]
+(** submit one atomic update group; [policy] defaults to [`Proceed] *)
+
+val insert : ?policy:Proto.policy -> t -> etype:string -> attr:Value.t array
+  -> into:string ->
+  [ `Applied of int * int | `Rejected of int * string | `Overloaded
+  | `Error of string ]
+
+val delete : ?policy:Proto.policy -> t -> string ->
+  [ `Applied of int * int | `Rejected of int * string | `Overloaded
+  | `Error of string ]
+
+val stats : t -> (Proto.server_stats, string) result
+val checkpoint : t -> (int * int, string) result
+(** [Ok (generation, bytes)] *)
+
+val shutdown : t -> unit
+(** ask the server to stop; waits for [Bye] *)

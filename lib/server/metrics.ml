@@ -1,0 +1,118 @@
+(** Counters and log-scale latency histograms. *)
+
+let n_buckets = 40 (* bucket i: [2^i, 2^(i+1)) µs; 2^39 µs ≈ 6.4 days *)
+
+type hist = {
+  buckets : int array;
+  mutable count : int;
+  mutable sum_us : int;
+  mutable max_us : int;
+}
+
+type t = {
+  m : Mutex.t;
+  counters : (string, int ref) Hashtbl.t;
+  hists : (string, hist) Hashtbl.t;
+}
+
+let create () =
+  { m = Mutex.create (); counters = Hashtbl.create 16; hists = Hashtbl.create 8 }
+
+let locked t f =
+  Mutex.lock t.m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.m) f
+
+let add t name n =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.counters name with
+      | Some r -> r := !r + n
+      | None -> Hashtbl.replace t.counters name (ref n))
+
+let incr t name = add t name 1
+
+let counter t name =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.counters name with Some r -> !r | None -> 0)
+
+(* index of the highest set bit, i.e. ⌊log2 us⌋; 0 for us <= 1 *)
+let bucket_of_us us =
+  let rec go i v = if v <= 1 then i else go (i + 1) (v lsr 1) in
+  if us <= 1 then 0 else min (n_buckets - 1) (go 0 us)
+
+let bucket_hi i = (1 lsl (i + 1)) - 1
+
+let record t kind seconds =
+  let us = int_of_float (seconds *. 1e6) in
+  let us = if us < 0 then 0 else us in
+  locked t (fun () ->
+      let h =
+        match Hashtbl.find_opt t.hists kind with
+        | Some h -> h
+        | None ->
+            let h =
+              { buckets = Array.make n_buckets 0; count = 0; sum_us = 0;
+                max_us = 0 }
+            in
+            Hashtbl.replace t.hists kind h;
+            h
+      in
+      let i = bucket_of_us us in
+      h.buckets.(i) <- h.buckets.(i) + 1;
+      h.count <- h.count + 1;
+      h.sum_us <- h.sum_us + us;
+      if us > h.max_us then h.max_us <- us)
+
+type summary = {
+  s_kind : string;
+  s_count : int;
+  s_p50_us : int;
+  s_p95_us : int;
+  s_p99_us : int;
+  s_max_us : int;
+  s_mean_us : int;
+}
+
+(* the upper bound of the bucket containing the q-th observation *)
+let quantile h q =
+  if h.count = 0 then 0
+  else begin
+    let rank = max 1 (int_of_float (ceil (q *. float_of_int h.count))) in
+    let rec go i seen =
+      if i >= n_buckets then h.max_us
+      else
+        let seen = seen + h.buckets.(i) in
+        if seen >= rank then min (bucket_hi i) h.max_us else go (i + 1) seen
+    in
+    go 0 0
+  end
+
+let summarize kind h =
+  {
+    s_kind = kind;
+    s_count = h.count;
+    s_p50_us = quantile h 0.50;
+    s_p95_us = quantile h 0.95;
+    s_p99_us = quantile h 0.99;
+    s_max_us = h.max_us;
+    s_mean_us = (if h.count = 0 then 0 else h.sum_us / h.count);
+  }
+
+let pp_summary ppf s =
+  Fmt.pf ppf "%s: n=%d p50=%dus p95=%dus p99=%dus max=%dus mean=%dus" s.s_kind
+    s.s_count s.s_p50_us s.s_p95_us s.s_p99_us s.s_max_us s.s_mean_us
+
+type snapshot = {
+  counters : (string * int) list;
+  latencies : summary list;
+}
+
+let snapshot t =
+  locked t (fun () ->
+      {
+        counters =
+          Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t.counters []
+          |> List.sort compare;
+        latencies =
+          Hashtbl.fold (fun k h acc -> summarize k h :: acc) t.hists []
+          |> List.sort compare;
+      })

@@ -1,0 +1,52 @@
+(** Service metrics: named monotonic counters and log-scale latency
+    histograms, cheap enough to update on every request.
+
+    A histogram has one bucket per power-of-two microsecond band
+    ([\[2{^i}, 2{^i+1})] µs), so recording is a few bit operations under
+    a single mutex, memory is constant, and quantiles are read by a
+    cumulative walk — the classic group-commit observability trade:
+    p50/p95/p99 with bounded error (one octave) at negligible hot-path
+    cost. *)
+
+type t
+
+val create : unit -> t
+
+(** {2 Counters} *)
+
+val incr : t -> string -> unit
+(** add 1 to the named counter (created on first use) *)
+
+val add : t -> string -> int -> unit
+
+val counter : t -> string -> int
+(** current value; 0 for a counter never touched *)
+
+(** {2 Latency histograms} *)
+
+val record : t -> string -> float -> unit
+(** [record t kind seconds]: add one observation to [kind]'s histogram *)
+
+type summary = {
+  s_kind : string;
+  s_count : int;
+  s_p50_us : int;
+  s_p95_us : int;
+  s_p99_us : int;
+  s_max_us : int;
+  s_mean_us : int;
+}
+(** quantiles in microseconds; each quantile reports the upper bound of
+    the bucket holding it *)
+
+val pp_summary : Format.formatter -> summary -> unit
+
+(** {2 Snapshot} *)
+
+type snapshot = {
+  counters : (string * int) list;  (** sorted by name *)
+  latencies : summary list;  (** sorted by kind *)
+}
+
+val snapshot : t -> snapshot
+(** a consistent copy taken under the lock *)

@@ -1,0 +1,308 @@
+(** Wire protocol: Codec-encoded payloads inside Frame records. *)
+
+module Value = Rxv_relational.Value
+module Codec = Rxv_persist.Codec
+module Frame = Rxv_persist.Frame
+
+type policy = [ `Abort | `Proceed ]
+
+type op =
+  | Delete of string
+  | Insert of { etype : string; attr : Value.t array; path : string }
+
+type request =
+  | Ping
+  | Query of string
+  | Update of { policy : policy; ops : op list }
+  | Stats
+  | Checkpoint
+  | Shutdown
+
+type server_stats = {
+  st_nodes : int;
+  st_edges : int;
+  st_m_size : int;
+  st_l_size : int;
+  st_occurrences : int;
+  st_wal_records : int option;
+  st_counters : (string * int) list;
+  st_latencies : Metrics.summary list;
+}
+
+type response =
+  | Pong
+  | Selected of { count : int; nodes : (string * int) list }
+  | Applied of { seq : int; reports : int; delta_ops : int }
+  | Rejected of { index : int; reason : string }
+  | Overloaded
+  | Stats_reply of server_stats
+  | Checkpointed of { generation : int; bytes : int }
+  | Bye
+  | Error of string
+
+let pp_op ppf = function
+  | Delete p -> Fmt.pf ppf "delete %s" p
+  | Insert { etype; attr; path } ->
+      Fmt.pf ppf "insert (%s,%d attrs) into %s" etype (Array.length attr) path
+
+let pp_request ppf = function
+  | Ping -> Fmt.string ppf "ping"
+  | Query p -> Fmt.pf ppf "query %s" p
+  | Update { policy; ops } ->
+      Fmt.pf ppf "update[%s] {%a}"
+        (match policy with `Abort -> "abort" | `Proceed -> "proceed")
+        (Fmt.list ~sep:Fmt.semi pp_op) ops
+  | Stats -> Fmt.string ppf "stats"
+  | Checkpoint -> Fmt.string ppf "checkpoint"
+  | Shutdown -> Fmt.string ppf "shutdown"
+
+let pp_response ppf = function
+  | Pong -> Fmt.string ppf "pong"
+  | Selected { count; nodes } ->
+      Fmt.pf ppf "selected %d (%d listed)" count (List.length nodes)
+  | Applied { seq; reports; delta_ops } ->
+      Fmt.pf ppf "applied seq=%d reports=%d delta_ops=%d" seq reports delta_ops
+  | Rejected { index; reason } -> Fmt.pf ppf "rejected op %d: %s" index reason
+  | Overloaded -> Fmt.string ppf "overloaded"
+  | Stats_reply st ->
+      Fmt.pf ppf "stats nodes=%d edges=%d" st.st_nodes st.st_edges
+  | Checkpointed { generation; bytes } ->
+      Fmt.pf ppf "checkpointed gen=%d (%d bytes)" generation bytes
+  | Bye -> Fmt.string ppf "bye"
+  | Error m -> Fmt.pf ppf "error: %s" m
+
+(* ---- payload codec ---- *)
+
+let enc_policy b = function
+  | `Abort -> Codec.u8 b 0
+  | `Proceed -> Codec.u8 b 1
+
+let dec_policy c : policy =
+  match Codec.get_u8 c with
+  | 0 -> `Abort
+  | 1 -> `Proceed
+  | n -> raise (Codec.Error (Printf.sprintf "bad policy tag %d" n))
+
+let enc_op b = function
+  | Delete p ->
+      Codec.u8 b 0;
+      Codec.bytes_ b p
+  | Insert { etype; attr; path } ->
+      Codec.u8 b 1;
+      Codec.bytes_ b etype;
+      Codec.list_ Codec.value b (Array.to_list attr);
+      Codec.bytes_ b path
+
+let dec_op c =
+  match Codec.get_u8 c with
+  | 0 -> Delete (Codec.get_bytes c)
+  | 1 ->
+      let etype = Codec.get_bytes c in
+      let attr = Array.of_list (Codec.get_list Codec.get_value c) in
+      let path = Codec.get_bytes c in
+      Insert { etype; attr; path }
+  | n -> raise (Codec.Error (Printf.sprintf "bad op tag %d" n))
+
+let encode_request r =
+  let b = Buffer.create 64 in
+  (match r with
+  | Ping -> Codec.u8 b 0
+  | Query p ->
+      Codec.u8 b 1;
+      Codec.bytes_ b p
+  | Update { policy; ops } ->
+      Codec.u8 b 2;
+      enc_policy b policy;
+      Codec.list_ enc_op b ops
+  | Stats -> Codec.u8 b 3
+  | Checkpoint -> Codec.u8 b 4
+  | Shutdown -> Codec.u8 b 5);
+  Buffer.contents b
+
+let check_end c =
+  if not (Codec.at_end c) then raise (Codec.Error "trailing bytes in message")
+
+let decode_request s =
+  let c = Codec.cursor s in
+  let r =
+    match Codec.get_u8 c with
+    | 0 -> Ping
+    | 1 -> Query (Codec.get_bytes c)
+    | 2 ->
+        let policy = dec_policy c in
+        let ops = Codec.get_list dec_op c in
+        Update { policy; ops }
+    | 3 -> Stats
+    | 4 -> Checkpoint
+    | 5 -> Shutdown
+    | n -> raise (Codec.Error (Printf.sprintf "bad request tag %d" n))
+  in
+  check_end c;
+  r
+
+let enc_summary b (s : Metrics.summary) =
+  Codec.bytes_ b s.Metrics.s_kind;
+  Codec.varint b s.Metrics.s_count;
+  Codec.varint b s.Metrics.s_p50_us;
+  Codec.varint b s.Metrics.s_p95_us;
+  Codec.varint b s.Metrics.s_p99_us;
+  Codec.varint b s.Metrics.s_max_us;
+  Codec.varint b s.Metrics.s_mean_us
+
+let dec_summary c : Metrics.summary =
+  let s_kind = Codec.get_bytes c in
+  let s_count = Codec.get_varint c in
+  let s_p50_us = Codec.get_varint c in
+  let s_p95_us = Codec.get_varint c in
+  let s_p99_us = Codec.get_varint c in
+  let s_max_us = Codec.get_varint c in
+  let s_mean_us = Codec.get_varint c in
+  { Metrics.s_kind; s_count; s_p50_us; s_p95_us; s_p99_us; s_max_us; s_mean_us }
+
+let enc_counter b (name, v) =
+  Codec.bytes_ b name;
+  Codec.varint b v
+
+let dec_counter c =
+  let name = Codec.get_bytes c in
+  let v = Codec.get_varint c in
+  (name, v)
+
+let enc_node b (ty, id) =
+  Codec.bytes_ b ty;
+  Codec.varint b id
+
+let dec_node c =
+  let ty = Codec.get_bytes c in
+  let id = Codec.get_varint c in
+  (ty, id)
+
+let encode_response r =
+  let b = Buffer.create 64 in
+  (match r with
+  | Pong -> Codec.u8 b 0
+  | Selected { count; nodes } ->
+      Codec.u8 b 1;
+      Codec.varint b count;
+      Codec.list_ enc_node b nodes
+  | Applied { seq; reports; delta_ops } ->
+      Codec.u8 b 2;
+      Codec.varint b seq;
+      Codec.varint b reports;
+      Codec.varint b delta_ops
+  | Rejected { index; reason } ->
+      Codec.u8 b 3;
+      Codec.varint b index;
+      Codec.bytes_ b reason
+  | Overloaded -> Codec.u8 b 4
+  | Stats_reply st ->
+      Codec.u8 b 5;
+      Codec.varint b st.st_nodes;
+      Codec.varint b st.st_edges;
+      Codec.varint b st.st_m_size;
+      Codec.varint b st.st_l_size;
+      Codec.varint b st.st_occurrences;
+      Codec.option_ Codec.varint b st.st_wal_records;
+      Codec.list_ enc_counter b st.st_counters;
+      Codec.list_ enc_summary b st.st_latencies
+  | Checkpointed { generation; bytes } ->
+      Codec.u8 b 6;
+      Codec.varint b generation;
+      Codec.varint b bytes
+  | Bye -> Codec.u8 b 7
+  | Error m ->
+      Codec.u8 b 8;
+      Codec.bytes_ b m);
+  Buffer.contents b
+
+let decode_response s =
+  let c = Codec.cursor s in
+  let r =
+    match Codec.get_u8 c with
+    | 0 -> Pong
+    | 1 ->
+        let count = Codec.get_varint c in
+        let nodes = Codec.get_list dec_node c in
+        Selected { count; nodes }
+    | 2 ->
+        let seq = Codec.get_varint c in
+        let reports = Codec.get_varint c in
+        let delta_ops = Codec.get_varint c in
+        Applied { seq; reports; delta_ops }
+    | 3 ->
+        let index = Codec.get_varint c in
+        let reason = Codec.get_bytes c in
+        Rejected { index; reason }
+    | 4 -> Overloaded
+    | 5 ->
+        let st_nodes = Codec.get_varint c in
+        let st_edges = Codec.get_varint c in
+        let st_m_size = Codec.get_varint c in
+        let st_l_size = Codec.get_varint c in
+        let st_occurrences = Codec.get_varint c in
+        let st_wal_records = Codec.get_option Codec.get_varint c in
+        let st_counters = Codec.get_list dec_counter c in
+        let st_latencies = Codec.get_list dec_summary c in
+        Stats_reply
+          { st_nodes; st_edges; st_m_size; st_l_size; st_occurrences;
+            st_wal_records; st_counters; st_latencies }
+    | 6 ->
+        let generation = Codec.get_varint c in
+        let bytes = Codec.get_varint c in
+        Checkpointed { generation; bytes }
+    | 7 -> Bye
+    | 8 -> Error (Codec.get_bytes c)
+    | n -> raise (Codec.Error (Printf.sprintf "bad response tag %d" n))
+  in
+  check_end c;
+  r
+
+(* ---- framed socket transport ---- *)
+
+let write_all fd s =
+  let b = Bytes.unsafe_of_string s in
+  let n = Bytes.length b in
+  let rec go off =
+    if off < n then
+      let k = Unix.write fd b off (n - off) in
+      go (off + k)
+  in
+  go 0
+
+let send fd payload =
+  let b = Buffer.create (String.length payload + Frame.header_bytes) in
+  Frame.add b payload;
+  write_all fd (Buffer.contents b)
+
+(* read exactly [n] bytes; `Short when the stream ends first *)
+let read_exact fd n =
+  let b = Bytes.create n in
+  let rec go off =
+    if off = n then `Ok (Bytes.unsafe_to_string b)
+    else
+      match Unix.read fd b off (n - off) with
+      | 0 -> `Short off
+      | k -> go (off + k)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+  in
+  go 0
+
+let recv fd =
+  match read_exact fd Frame.header_bytes with
+  | `Short 0 -> `Eof
+  | `Short _ -> `Corrupt "truncated frame header"
+  | `Ok header -> (
+      let len =
+        Int32.to_int (String.get_int32_le header 0) land 0xFFFFFFFF
+      in
+      if len > Frame.max_payload then `Corrupt "frame length out of range"
+      else
+        match read_exact fd len with
+        | `Short _ -> `Corrupt "truncated frame body"
+        | `Ok body -> (
+            (* revalidate through the Frame reader: one CRC/shape oracle
+               for files and sockets alike *)
+            match Frame.read_one (header ^ body) ~pos:0 with
+            | `Record (payload, _) -> `Msg payload
+            | `Bad reason -> `Corrupt reason
+            | `End -> `Corrupt "empty frame"))

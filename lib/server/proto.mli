@@ -1,0 +1,81 @@
+(** The wire protocol: CRC-framed request/response messages.
+
+    Every message on the socket is one {!Rxv_persist.Frame} record —
+    [len ∥ crc32 ∥ payload] — whose payload is encoded with the
+    {!Rxv_persist.Codec} primitives. The framing gives the service the
+    same tail discipline as the WAL: a receiver can always classify what
+    it read as a complete valid message, a truncated one, or corruption,
+    and fail just that connection cleanly.
+
+    Updates travel as XPath {e source text} plus typed attribute values;
+    the server parses and validates them, so a malformed path is an
+    in-protocol [Error] reply, never a broken stream. *)
+
+module Value = Rxv_relational.Value
+
+type policy = [ `Abort | `Proceed ]
+
+type op =
+  | Delete of string  (** delete <xpath> *)
+  | Insert of { etype : string; attr : Value.t array; path : string }
+      (** insert (etype, attr) into <xpath> *)
+
+type request =
+  | Ping
+  | Query of string  (** XPath source *)
+  | Update of { policy : policy; ops : op list }
+      (** one atomic group: all ops commit (and become durable) together
+          or none do *)
+  | Stats
+  | Checkpoint
+  | Shutdown
+
+type server_stats = {
+  st_nodes : int;
+  st_edges : int;
+  st_m_size : int;
+  st_l_size : int;
+  st_occurrences : int;
+  st_wal_records : int option;  (** [None] when the server has no WAL *)
+  st_counters : (string * int) list;
+  st_latencies : Metrics.summary list;
+}
+
+type response =
+  | Pong
+  | Selected of { count : int; nodes : (string * int) list }
+      (** query result: |r[[p]]| and a bounded prefix of (etype, id) *)
+  | Applied of { seq : int; reports : int; delta_ops : int }
+      (** the group committed (durably, if a WAL is attached) as commit
+          number [seq] in the server's serialization order *)
+  | Rejected of { index : int; reason : string }
+      (** op [index] was rejected; the whole group rolled back *)
+  | Overloaded
+      (** backpressure: the update queue was full; retry later *)
+  | Stats_reply of server_stats
+  | Checkpointed of { generation : int; bytes : int }
+  | Bye  (** shutdown acknowledged; the server is stopping *)
+  | Error of string  (** request-level failure; the connection survives *)
+
+val pp_request : Format.formatter -> request -> unit
+val pp_response : Format.formatter -> response -> unit
+
+(** {2 Codec} — pure payload encoding (framing excluded) *)
+
+val encode_request : request -> string
+val decode_request : string -> request
+(** @raise Rxv_persist.Codec.Error on malformed payload *)
+
+val encode_response : response -> string
+val decode_response : string -> response
+(** @raise Rxv_persist.Codec.Error on malformed payload *)
+
+(** {2 Framed socket transport} *)
+
+val send : Unix.file_descr -> string -> unit
+(** frame the payload and write it whole *)
+
+val recv : Unix.file_descr -> [ `Msg of string | `Eof | `Corrupt of string ]
+(** read exactly one framed message. [`Eof] is a clean close before a
+    frame starts; a truncated header/body or CRC mismatch is
+    [`Corrupt] — the stream is unusable from here and must be closed. *)

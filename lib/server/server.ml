@@ -1,0 +1,329 @@
+(** Accept loop, per-connection handlers, and request dispatch. *)
+
+module Engine = Rxv_core.Engine
+module Xupdate = Rxv_core.Xupdate
+module Parser = Rxv_xpath.Parser
+module Dag_eval = Rxv_core.Dag_eval
+module Store = Rxv_dag.Store
+module Atg = Rxv_atg.Atg
+module Value = Rxv_relational.Value
+module Persist = Rxv_persist.Persist
+module Codec = Rxv_persist.Codec
+
+let src = Logs.Src.create "rxv.server" ~doc:"view-update service"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type address = Unix_sock of string | Tcp of string * int
+
+type config = { queue_cap : int; batch_cap : int; max_listed : int }
+
+let default_config = { queue_cap = 128; batch_cap = 64; max_listed = 32 }
+
+type t = {
+  cfg : config;
+  eng : Engine.t;
+  persist : Persist.t option;
+  lock : Rwlock.t;
+  mtr : Metrics.t;
+  batcher : Batcher.t;
+  addr : address;
+  listen_fd : Unix.file_descr;
+  stop_rd : Unix.file_descr;  (* self-pipe: wakes the accept select *)
+  stop_wr : Unix.file_descr;
+  m : Mutex.t;
+  mutable stopping : bool;
+  mutable conns : (int * Unix.file_descr) list;  (* live client fds *)
+  mutable handlers : Thread.t list;
+  mutable conn_ids : int;
+  mutable accept_thread : Thread.t option;
+}
+
+let engine t = t.eng
+let metrics t = t.mtr
+let address t = t.addr
+let batcher t = t.batcher
+
+(* ---- connection bookkeeping ---- *)
+
+let register_conn t fd =
+  Mutex.lock t.m;
+  t.conn_ids <- t.conn_ids + 1;
+  let id = t.conn_ids in
+  t.conns <- (id, fd) :: t.conns;
+  Mutex.unlock t.m;
+  id
+
+let forget_conn t id =
+  Mutex.lock t.m;
+  t.conns <- List.filter (fun (i, _) -> i <> id) t.conns;
+  Mutex.unlock t.m
+
+(* ---- request dispatch ---- *)
+
+let parse_path src =
+  try Ok (Parser.parse src)
+  with Parser.Parse_error (msg, pos) ->
+    Result.error (Printf.sprintf "XPath parse error at offset %d: %s" pos msg)
+
+let op_to_xupdate (op : Proto.op) : (Xupdate.t, string) result =
+  match op with
+  | Proto.Delete src -> Result.map (fun p -> Xupdate.Delete p) (parse_path src)
+  | Proto.Insert { etype; attr; path } ->
+      Result.map
+        (fun p -> Xupdate.Insert { etype; attr; path = p })
+        (parse_path path)
+
+let rec ops_to_xupdates = function
+  | [] -> Ok []
+  | op :: rest ->
+      Result.bind (op_to_xupdate op) (fun u ->
+          Result.map (fun us -> u :: us) (ops_to_xupdates rest))
+
+let handle_query t src =
+  match parse_path src with
+  | Error msg -> Proto.Error msg
+  | Ok path ->
+      Rwlock.with_read t.lock (fun () ->
+          let r = Engine.query t.eng path in
+          let nodes =
+            List.filteri (fun i _ -> i < t.cfg.max_listed)
+              r.Dag_eval.selected_types
+          in
+          Proto.Selected
+            { count = List.length r.Dag_eval.selected; nodes })
+
+let handle_update t ~policy ops =
+  match ops_to_xupdates ops with
+  | Error msg -> Proto.Error msg
+  | Ok [] -> Proto.Error "empty update group"
+  | Ok us -> (
+      match Batcher.submit_wait t.batcher ~policy us with
+      | `Overloaded -> Proto.Overloaded
+      | `Done (Batcher.Committed { seq; reports; delta_ops }) ->
+          Proto.Applied { seq; reports; delta_ops }
+      | `Done (Batcher.Rejected_at (i, rej)) ->
+          Proto.Rejected
+            { index = i; reason = Fmt.str "%a" Engine.pp_rejection rej }
+      | `Done (Batcher.Failed msg) -> Proto.Error msg)
+
+let handle_stats t =
+  Rwlock.with_read t.lock (fun () ->
+      let st = Engine.stats t.eng in
+      let snap = Metrics.snapshot t.mtr in
+      Proto.Stats_reply
+        {
+          Proto.st_nodes = st.Engine.n_nodes;
+          st_edges = st.Engine.n_edges;
+          st_m_size = st.Engine.m_size;
+          st_l_size = st.Engine.l_size;
+          st_occurrences = st.Engine.occurrences;
+          st_wal_records = st.Engine.wal_records;
+          st_counters = snap.Metrics.counters;
+          st_latencies = snap.Metrics.latencies;
+        })
+
+let handle_checkpoint t =
+  match t.persist with
+  | None -> Proto.Error "server has no durability directory"
+  | Some p ->
+      Rwlock.with_write t.lock (fun () ->
+          let bytes = Persist.checkpoint p t.eng in
+          Proto.Checkpointed { generation = Persist.generation p; bytes })
+
+let kind_of_request = function
+  | Proto.Ping -> "ping"
+  | Proto.Query _ -> "query"
+  | Proto.Update _ -> "update"
+  | Proto.Stats -> "stats"
+  | Proto.Checkpoint -> "checkpoint"
+  | Proto.Shutdown -> "shutdown"
+
+(* serve one connection until EOF, corruption, or shutdown *)
+let handler t fd conn_id =
+  let stop_conn = ref false in
+  while not !stop_conn do
+    match Proto.recv fd with
+    | `Eof -> stop_conn := true
+    | `Corrupt reason ->
+        (* transport-level damage: this stream has no recoverable
+           framing left — report (best-effort) and drop the connection;
+           the server and every other connection are unaffected *)
+        Metrics.incr t.mtr "proto_errors";
+        Log.info (fun m -> m "conn %d: corrupt frame: %s" conn_id reason);
+        (try Proto.send fd (Proto.encode_response (Proto.Error reason))
+         with Unix.Unix_error _ -> ());
+        stop_conn := true
+    | `Msg payload -> (
+        match Proto.decode_request payload with
+        | exception Codec.Error reason ->
+            (* framed correctly but not a request we understand: same
+               clean per-connection failure *)
+            Metrics.incr t.mtr "proto_errors";
+            Log.info (fun m -> m "conn %d: bad request: %s" conn_id reason);
+            (try Proto.send fd (Proto.encode_response (Proto.Error reason))
+             with Unix.Unix_error _ -> ());
+            stop_conn := true
+        | req ->
+            Metrics.incr t.mtr "requests";
+            let t0 = Unix.gettimeofday () in
+            let resp =
+              match req with
+              | Proto.Ping -> Proto.Pong
+              | Proto.Query src -> handle_query t src
+              | Proto.Update { policy; ops } -> handle_update t ~policy ops
+              | Proto.Stats -> handle_stats t
+              | Proto.Checkpoint -> handle_checkpoint t
+              | Proto.Shutdown -> Proto.Bye
+            in
+            Metrics.record t.mtr (kind_of_request req)
+              (Unix.gettimeofday () -. t0);
+            (try Proto.send fd (Proto.encode_response resp)
+             with Unix.Unix_error _ -> stop_conn := true);
+            if req = Proto.Shutdown then begin
+              stop_conn := true;
+              (* wake the accept loop; the caller of [wait] finishes the
+                 teardown — this thread must not join itself *)
+              Mutex.lock t.m;
+              t.stopping <- true;
+              Mutex.unlock t.m;
+              ignore (Unix.write t.stop_wr (Bytes.of_string "x") 0 1)
+            end)
+  done;
+  forget_conn t conn_id;
+  try Unix.close fd with Unix.Unix_error _ -> ()
+
+(* ---- accept loop ---- *)
+
+let accept_loop t =
+  let rec loop () =
+    let stop_now = Mutex.lock t.m; let s = t.stopping in Mutex.unlock t.m; s in
+    if not stop_now then begin
+      match Unix.select [ t.listen_fd; t.stop_rd ] [] [] (-1.0) with
+      | readable, _, _ ->
+          if List.mem t.stop_rd readable then () (* stop requested *)
+          else if List.mem t.listen_fd readable then begin
+            match Unix.accept t.listen_fd with
+            | fd, _ ->
+                Metrics.incr t.mtr "connections";
+                let id = register_conn t fd in
+                let th = Thread.create (fun () -> handler t fd id) () in
+                Mutex.lock t.m;
+                t.handlers <- th :: t.handlers;
+                Mutex.unlock t.m;
+                loop ()
+            | exception Unix.Unix_error ((Unix.ECONNABORTED | Unix.EINTR), _, _)
+              ->
+                loop ()
+          end
+          else loop ()
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+    end
+  in
+  loop ()
+
+(* ---- lifecycle ---- *)
+
+let bind_listen = function
+  | Unix_sock path ->
+      (try Unix.unlink path with Unix.Unix_error _ -> ());
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.bind fd (Unix.ADDR_UNIX path);
+      Unix.listen fd 64;
+      fd
+  | Tcp (host, port) ->
+      let addr = Unix.inet_addr_of_string host in
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Unix.setsockopt fd Unix.SO_REUSEADDR true;
+      Unix.bind fd (Unix.ADDR_INET (addr, port));
+      Unix.listen fd 64;
+      fd
+
+let start ?(config = default_config) ?persist addr eng =
+  (* a peer that vanishes mid-reply must cost one connection, not the
+     process: writes to a closed socket should fail with EPIPE *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
+  let listen_fd = bind_listen addr in
+  let stop_rd, stop_wr = Unix.pipe () in
+  let lock = Rwlock.create () in
+  let mtr = Metrics.create () in
+  (match persist with
+  | Some p -> Persist.attach ~deferred_sync:true p eng
+  | None -> ());
+  let sync =
+    match persist with
+    | Some p ->
+        fun () ->
+          Persist.sync p;
+          Metrics.incr mtr "wal_syncs"
+    | None -> fun () -> ()
+  in
+  let batcher =
+    Batcher.create ~queue_cap:config.queue_cap ~batch_cap:config.batch_cap
+      ~lock ~metrics:mtr ~sync eng
+  in
+  let t =
+    {
+      cfg = config;
+      eng;
+      persist;
+      lock;
+      mtr;
+      batcher;
+      addr;
+      listen_fd;
+      stop_rd;
+      stop_wr;
+      m = Mutex.create ();
+      stopping = false;
+      conns = [];
+      handlers = [];
+      conn_ids = 0;
+      accept_thread = None;
+    }
+  in
+  t.accept_thread <- Some (Thread.create accept_loop t);
+  Log.info (fun m ->
+      m "serving %s"
+        (match addr with
+        | Unix_sock p -> "unix:" ^ p
+        | Tcp (h, p) -> Printf.sprintf "tcp:%s:%d" h p));
+  t
+
+let initiate_stop t =
+  Mutex.lock t.m;
+  let first = not t.stopping in
+  t.stopping <- true;
+  Mutex.unlock t.m;
+  if first then ignore (Unix.write t.stop_wr (Bytes.of_string "x") 0 1)
+
+let wait t =
+  (match t.accept_thread with
+  | Some th ->
+      Thread.join th;
+      t.accept_thread <- None
+  | None -> ());
+  (* wake handlers blocked in read: shutdown (not close) interrupts a
+     blocked reader with EOF on every platform we target *)
+  Mutex.lock t.m;
+  let conns = t.conns and handlers = t.handlers in
+  t.handlers <- [];
+  Mutex.unlock t.m;
+  List.iter
+    (fun (_, fd) ->
+      try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
+    conns;
+  List.iter Thread.join handlers;
+  Batcher.stop t.batcher;
+  (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+  (try Unix.close t.stop_rd with Unix.Unix_error _ -> ());
+  (try Unix.close t.stop_wr with Unix.Unix_error _ -> ());
+  (match t.addr with
+  | Unix_sock path -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
+  | Tcp _ -> ());
+  Log.info (fun m -> m "server stopped (%d commits)" (Batcher.seq t.batcher))
+
+let stop t =
+  initiate_stop t;
+  wait t

@@ -1,0 +1,58 @@
+(** The concurrent view-update service.
+
+    One listening socket (Unix-domain or TCP), one handler thread per
+    connection, one {!Batcher} writer thread. Locking discipline:
+
+    - queries and stats take the {!Rwlock} in shared mode — any number
+      run concurrently, including while the batcher's WAL sync for the
+      previous write batch is still in flight;
+    - update groups are serialized through the batcher, which holds the
+      exclusive side only while applying (never across the sync);
+    - checkpoints take the exclusive side directly.
+
+    Protocol-level failures (unparsable XPath, unknown element type) are
+    [Error] replies on a healthy connection; transport-level corruption
+    (bad CRC, truncated frame) kills just that connection. *)
+
+module Engine = Rxv_core.Engine
+module Persist = Rxv_persist.Persist
+
+type address =
+  | Unix_sock of string  (** filesystem path *)
+  | Tcp of string * int  (** bind address, port *)
+
+type config = {
+  queue_cap : int;  (** pending update groups before [Overloaded] *)
+  batch_cap : int;  (** commits amortized per WAL sync *)
+  max_listed : int;  (** node ids listed in a query reply *)
+}
+
+val default_config : config
+(** [{ queue_cap = 128; batch_cap = 64; max_listed = 32 }] *)
+
+type t
+
+val start : ?config:config -> ?persist:Persist.t -> address -> Engine.t -> t
+(** bind, listen and serve. When [persist] is given the engine's WAL
+    hook is (re)attached in [deferred_sync] mode and the batcher syncs
+    it once per batch; without it updates are volatile.
+    @raise Unix.Unix_error when binding fails *)
+
+val engine : t -> Engine.t
+val metrics : t -> Metrics.t
+val address : t -> address
+
+val batcher : t -> Batcher.t
+(** the single-writer group-commit loop (e.g. for {!Batcher.seq}) *)
+
+val initiate_stop : t -> unit
+(** ask the accept loop to wind down; returns immediately (safe to call
+    from a handler thread) *)
+
+val wait : t -> unit
+(** block until the server has stopped: accept loop exited, live
+    connections shut down and joined, batcher drained and joined,
+    socket closed (and unlinked for Unix-domain). *)
+
+val stop : t -> unit
+(** {!initiate_stop} then {!wait} — never call from a handler thread *)

@@ -1,0 +1,123 @@
+(* CI smoke test for the service tier, exercising the real binary.
+
+   Usage: server_smoke.exe <path-to-rxv_cli.exe>
+
+   Pass 1 — graceful: spawn `rxv serve` on a Unix socket in a temp dir
+   with a WAL, run a scripted client session (ping, query, update,
+   stats, checkpoint), request shutdown, and require exit status 0.
+
+   Pass 2 — crash: restart the server on the same directory (its state
+   must have survived), fire updates at it, SIGKILL it mid-stream, then
+   require `rxv recover --wal DIR --check` to exit 0.
+
+   Exits 0 only if every step holds. *)
+
+module Engine = Rxv_core.Engine
+module Proto = Rxv_server.Proto
+module Client = Rxv_server.Client
+
+let fail fmt = Printf.ksprintf (fun m -> prerr_endline ("FAIL: " ^ m); exit 1) fmt
+
+let rec rm_rf path =
+  match Unix.lstat path with
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+  | { Unix.st_kind = Unix.S_DIR; _ } ->
+      Array.iter (fun n -> rm_rf (Filename.concat path n)) (Sys.readdir path);
+      Unix.rmdir path
+  | _ -> Sys.remove path
+
+let spawn cli args =
+  let argv = Array.of_list (cli :: args) in
+  Unix.create_process cli argv Unix.stdin Unix.stdout Unix.stderr
+
+let ins c cno title =
+  Client.update c
+    [
+      Proto.Insert
+        {
+          etype = "course";
+          attr = Rxv_workload.Registrar.course_attr cno title;
+          path = "//course[cno=CS240]/prereq";
+        };
+    ]
+
+let () =
+  let cli =
+    if Array.length Sys.argv < 2 then fail "usage: server_smoke <rxv_cli.exe>"
+    else Sys.argv.(1)
+  in
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "rxv-smoke-%d" (Unix.getpid ()))
+  in
+  rm_rf dir;
+  Unix.mkdir dir 0o755;
+  let sock = Filename.concat dir "rxv.sock" in
+
+  (* ---- pass 1: scripted session and graceful shutdown ---- *)
+  let pid =
+    spawn cli
+      [ "serve"; "--socket"; sock; "--wal"; dir; "--sync"; "always" ]
+  in
+  let c = Client.connect sock in
+  Client.ping c;
+  let before =
+    match Client.query c "//course" with
+    | Ok (n, _) -> n
+    | Error m -> fail "query: %s" m
+  in
+  (match ins c "CS801" "Smoke Test I" with
+  | `Applied (1, _) -> ()
+  | `Applied (s, _) -> fail "expected commit seq 1, got %d" s
+  | `Rejected (_, m) | `Error m -> fail "insert: %s" m
+  | `Overloaded -> fail "insert: overloaded");
+  (match Client.query c "//course" with
+  | Ok (n, _) when n = before + 1 -> ()
+  | Ok (n, _) -> fail "expected %d courses, saw %d" (before + 1) n
+  | Error m -> fail "query after insert: %s" m);
+  (match Client.stats c with
+  | Ok st ->
+      if st.Proto.st_wal_records = None then fail "stats: WAL not attached";
+      if List.assoc_opt "requests" st.Proto.st_counters = None then
+        fail "stats: no request counter"
+  | Error m -> fail "stats: %s" m);
+  (match Client.checkpoint c with
+  | Ok (_, bytes) when bytes > 0 -> ()
+  | Ok _ -> fail "checkpoint wrote nothing"
+  | Error m -> fail "checkpoint: %s" m);
+  Client.shutdown c;
+  Client.close c;
+  (match Unix.waitpid [] pid with
+  | _, Unix.WEXITED 0 -> ()
+  | _, Unix.WEXITED n -> fail "server exited %d after graceful shutdown" n
+  | _, (Unix.WSIGNALED n | Unix.WSTOPPED n) -> fail "server killed by signal %d" n);
+  print_endline "smoke pass 1 (graceful session): OK";
+
+  (* ---- pass 2: state survived; kill -9 mid-stream; recover --check ---- *)
+  let pid =
+    spawn cli
+      [ "serve"; "--socket"; sock; "--wal"; dir; "--sync"; "always" ]
+  in
+  let c = Client.connect sock in
+  (match Client.query c "//course" with
+  | Ok (n, _) when n = before + 1 -> ()
+  | Ok (n, _) -> fail "restart lost state: %d courses, expected %d" n (before + 1)
+  | Error m -> fail "query after restart: %s" m);
+  for i = 0 to 9 do
+    match ins c (Printf.sprintf "CS81%d" i) "Smoke Test II" with
+    | `Applied _ -> ()
+    | `Rejected (_, m) | `Error m -> fail "pass-2 insert %d: %s" i m
+    | `Overloaded -> fail "pass-2 insert %d: overloaded" i
+  done;
+  Unix.kill pid Sys.sigkill;
+  ignore (Unix.waitpid [] pid);
+  Client.close c;
+  let rc =
+    match Unix.waitpid [] (spawn cli [ "recover"; "--wal"; dir; "--check" ]) with
+    | _, Unix.WEXITED n -> n
+    | _, _ -> 255
+  in
+  if rc <> 0 then fail "recover --check exited %d after kill -9" rc;
+  print_endline "smoke pass 2 (kill -9 + recover --check): OK";
+  rm_rf dir

@@ -218,6 +218,58 @@ let test_wal_roundtrip () =
       check "missing file empty" true
         (r.Wal.records = [] && r.Wal.damage = None))
 
+(* the append/sync split: append_nosync never syncs (whatever the
+   policy), explicit sync resets the unsynced count, and the policy API
+   is a thin wrapper over the same primitives *)
+let test_wal_append_sync_split () =
+  with_dir (fun dir ->
+      let path = Filename.concat dir "w.rxl" in
+      (* even under Always, append_nosync defers durability *)
+      let w = Wal.open_writer ~sync:Wal.Always path in
+      Wal.append_nosync w "a";
+      Wal.append_nosync w "b";
+      Alcotest.(check int) "nosync accumulates" 2 (Wal.unsynced w);
+      Wal.sync w;
+      Alcotest.(check int) "explicit sync resets" 0 (Wal.unsynced w);
+      Wal.append w "c";
+      Alcotest.(check int) "policy wrapper syncs under Always" 0
+        (Wal.unsynced w);
+      Wal.close w;
+      Alcotest.(check (list string)) "all records durable" [ "a"; "b"; "c" ]
+        (Wal.read path).Wal.records;
+      (* EveryN counts nosync appends too: the next policy append sees
+         the true backlog *)
+      let path2 = Filename.concat dir "w2.rxl" in
+      let w = Wal.open_writer ~sync:(Wal.EveryN 3) path2 in
+      Wal.append_nosync w "x";
+      Wal.append_nosync w "y";
+      Alcotest.(check int) "backlog visible" 2 (Wal.unsynced w);
+      Wal.append w "z";
+      Alcotest.(check int) "EveryN drains the backlog" 0 (Wal.unsynced w);
+      Wal.close w;
+      Alcotest.(check int) "records counted" 3 (Wal.records w))
+
+(* Persist-level deferred sync: appends through the engine hook are
+   buffered until Persist.sync *)
+let test_persist_deferred_sync () =
+  with_dir (fun dir ->
+      let e = Registrar.engine () in
+      let p = Persist.open_dir ~sync:Wal.Always dir in
+      Persist.attach ~deferred_sync:true p e;
+      (match Engine.apply e (ins "CS9A1" "Deferred I" "//course[cno=CS240]/prereq") with
+      | Ok _ -> ()
+      | Error r -> Alcotest.failf "apply rejected: %a" Engine.pp_rejection r);
+      (match Engine.apply e (ins "CS9A2" "Deferred II" "//course[cno=CS240]/prereq") with
+      | Ok _ -> ()
+      | Error r -> Alcotest.failf "apply rejected: %a" Engine.pp_rejection r);
+      Alcotest.(check int) "both groups logged" 2
+        (Persist.records_since_checkpoint p);
+      Persist.sync p;
+      Persist.close p;
+      let r = Wal.read (Persist.wal_path p 0) in
+      Alcotest.(check int) "both records on disk after sync" 2
+        (List.length r.Wal.records))
+
 (* ---- checkpoints ---- *)
 
 let test_checkpoint_roundtrip () =
@@ -463,6 +515,10 @@ let tests =
     Alcotest.test_case "codec rejects garbage" `Quick test_codec_rejects_garbage;
     Alcotest.test_case "frame scan / torn / crc" `Quick test_frame_scan;
     Alcotest.test_case "wal round trip + truncate" `Quick test_wal_roundtrip;
+    Alcotest.test_case "wal append/sync split" `Quick
+      test_wal_append_sync_split;
+    Alcotest.test_case "persist deferred sync" `Quick
+      test_persist_deferred_sync;
     Alcotest.test_case "checkpoint round trip" `Quick test_checkpoint_roundtrip;
     Alcotest.test_case "checkpoint corruption" `Quick test_checkpoint_corruption;
     Alcotest.test_case "record codec" `Quick test_record_codec;

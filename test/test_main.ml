@@ -23,4 +23,5 @@ let () =
       ("roundtrip", Suite_roundtrip.tests);
       ("paper_examples", Suite_paper_examples.tests);
       ("engine", Suite_engine.tests);
+      ("server", Suite_server.tests);
     ]

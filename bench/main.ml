@@ -774,7 +774,10 @@ let recovery_vs_republish () =
             | Ok (_, db) ->
                 let batch =
                   List.concat_map
-                    (fun pl -> snd (Persist.decode_record pl))
+                    (fun pl ->
+                      match Persist.decode_record pl with
+                      | Persist.Group { group; _ } -> group
+                      | Persist.Sessions _ -> [])
                     (Wal.read (Persist.wal_path p2 gen)).Wal.records
                 in
                 Group_update.apply db batch;
@@ -910,6 +913,7 @@ let server_arm ~batch_cap ~n_writers ~per_writer =
       match Client.update c [ req ] with
       | `Applied _ -> incr mine
       | `Overloaded | `Rejected _ -> ()
+      | `Unavailable msg -> failwith ("server bench unavailable: " ^ msg)
       | `Error msg -> failwith ("server bench update: " ^ msg)
     done;
     Client.close c;
@@ -975,6 +979,78 @@ let server_bench () =
     [
       "speedup"; "-"; Printf.sprintf "%.1fx" (grouped /. base); "-"; "-"; "-";
       "-";
+    ]
+
+(* ---------- chaos: what the failpoint subsystem costs when dormant ---- *)
+
+module Failpoint = Rxv_fault.Failpoint
+
+(* Every WAL append, fsync, and transport syscall now passes a failpoint
+   check. The contract is that a production binary (nothing armed) pays
+   one integer load per check — measured here directly, and then on the
+   real update hot path (apply + WAL append) with the registry empty vs
+   armed on a site those calls never reach. *)
+let chaos () =
+  Failpoint.disarm_all ();
+  let iters = by_scale ~full:20_000_000 ~quick:5_000_000 ~smoke:500_000 in
+  header
+    (Printf.sprintf "chaos: cost of one failpoint check (%d iterations)" iters)
+    [ "registry"; "ns_per_check" ];
+  let per_check () =
+    let t0 = now () in
+    for _ = 1 to iters do
+      ignore (Failpoint.check "wal.append")
+    done;
+    (now () -. t0) *. 1e9 /. float_of_int iters
+  in
+  row [ "empty"; Printf.sprintf "%.2f" (per_check ()) ];
+  (* an armed registry makes every check take the locked lookup, even at
+     sites that are not armed — the price of running chaos experiments *)
+  Failpoint.arm ~site:"bench.unused" Failpoint.Eio;
+  row [ "armed_elsewhere"; Printf.sprintf "%.2f" (per_check ()) ];
+  Failpoint.set_enabled false;
+  row [ "master_off"; Printf.sprintf "%.2f" (per_check ()) ];
+  Failpoint.set_enabled true;
+  Failpoint.disarm_all ();
+  let n = by_scale ~full:10_000 ~quick:1_000 ~smoke:300 in
+  let trials = by_scale ~full:5 ~quick:3 ~smoke:1 in
+  header
+    (Printf.sprintf
+       "chaos: update hot-path overhead at |C|=%d, best of %d trials" n trials)
+    [ "registry"; "groups"; "total_ms"; "per_group_us"; "overhead_pct" ];
+  let arm_time () =
+    (* fresh engine + WAL per trial so both arms do identical work *)
+    let best = ref infinity and groups = ref 1 in
+    for _ = 1 to trials do
+      let d, e = engine_for n in
+      let dir = fresh_dir () in
+      let p = Persist.open_dir ~sync:Wal.Never dir in
+      Persist.attach p e;
+      let w = recovery_workload d e in
+      Gc.full_major ();
+      let _, t = time (fun () -> run_workload e w) in
+      Persist.close p;
+      rm_rf dir;
+      groups := max 1 (List.length w);
+      if t < !best then best := t
+    done;
+    (!groups, !best)
+  in
+  let base_g, base_t = arm_time () in
+  row
+    [
+      "empty"; string_of_int base_g; ms base_t;
+      Printf.sprintf "%.1f" (base_t *. 1e6 /. float_of_int base_g);
+      "0.0";
+    ];
+  Failpoint.arm ~site:"bench.unused" Failpoint.Eio;
+  let armed_g, armed_t = arm_time () in
+  Failpoint.disarm_all ();
+  row
+    [
+      "armed_elsewhere"; string_of_int armed_g; ms armed_t;
+      Printf.sprintf "%.1f" (armed_t *. 1e6 /. float_of_int armed_g);
+      Printf.sprintf "%.1f" (100. *. (armed_t -. base_t) /. base_t);
     ]
 
 (* ---------- Bechamel micro-suite: one Test.make per experiment ------- *)
@@ -1049,6 +1125,7 @@ let experiments : (string * (unit -> unit)) list =
     ("recovery", recovery);
     ("server", server_bench);
     ("ablations", ablations);
+    ("chaos", chaos);
     ("bechamel", bechamel_suite);
   ]
 
@@ -1061,7 +1138,7 @@ let usage () =
   prerr_endline
     "usage: main.exe [--quick|--smoke] [--json FILE] \
      [all|fig10b|fig11a..fig11h|table1|transactions|recovery|server|\
-     ablations|bechamel]...";
+     ablations|chaos|bechamel]...";
   exit 2
 
 let () =

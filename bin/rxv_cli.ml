@@ -454,8 +454,10 @@ let recover_cmd =
 (* --- serve --- *)
 
 let serve_cmd =
-  let run scenario n seed data wal sync socket tcp queue batch =
+  let run scenario n seed data wal sync socket tcp queue batch failpoints
+      fp_seed =
     let module Server = Rxv_server.Server in
+    let module Failpoint = Rxv_fault.Failpoint in
     let addr =
       match (socket, tcp) with
       | Some path, None -> Some (Server.Unix_sock path)
@@ -463,11 +465,30 @@ let serve_cmd =
       | None, None -> None
       | Some _, Some _ -> None
     in
-    match addr with
-    | None ->
+    let fp_spec =
+      match failpoints with
+      | Some s -> Some s
+      | None -> Sys.getenv_opt "RXV_FAILPOINTS"
+    in
+    let fp_err =
+      match fp_spec with
+      | None -> None
+      | Some spec -> (
+          Failpoint.seed fp_seed;
+          match Failpoint.arm_spec spec with
+          | Ok () ->
+              Fmt.pr "failpoints armed: %s (seed %d)@." spec fp_seed;
+              None
+          | Error msg -> Some msg)
+    in
+    match (addr, fp_err) with
+    | _, Some msg ->
+        Fmt.epr "bad --failpoints spec: %s@.%s@." msg Failpoint.spec_syntax;
+        2
+    | None, None ->
         Fmt.epr "serve requires exactly one of --socket PATH or --tcp PORT@.";
         2
-    | Some addr -> (
+    | Some addr, None -> (
         (* unlike [with_engine], recovery here must NOT attach the WAL
            hook: the server attaches it in deferred-sync mode so the
            batcher can pay one fsync per drained batch *)
@@ -547,6 +568,23 @@ let serve_cmd =
           ~doc:"Group-commit bound: how many committed groups may share \
                 one WAL fsync.")
   in
+  let failpoints =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "failpoints" ] ~docv:"SPEC"
+          ~doc:"Arm fault-injection sites before serving, e.g. \
+                $(b,wal.sync:p=0.02:eio,srv.read:every=97:eintr). Falls \
+                back to the RXV_FAILPOINTS environment variable. For \
+                chaos testing only.")
+  in
+  let fp_seed =
+    Arg.(
+      value
+      & opt int 0
+      & info [ "fp-seed" ] ~docv:"N"
+          ~doc:"Seed for the failpoint trigger RNG (deterministic chaos).")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:"Run the view-update service: concurrent XPath reads, \
@@ -554,7 +592,8 @@ let serve_cmd =
              CRC-framed wire protocol (see also $(b,stress --server)).")
     Term.(
       const (fun () -> run) $ setup_logs $ scenario_arg $ size_arg $ seed_arg
-      $ data_arg $ wal_arg $ sync_arg $ socket $ tcp $ queue $ batch)
+      $ data_arg $ wal_arg $ sync_arg $ socket $ tcp $ queue $ batch
+      $ failpoints $ fp_seed)
 
 let () =
   let info =

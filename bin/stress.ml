@@ -14,7 +14,14 @@
 
    (defaults: 8 clients, 200 requests each; ~70% update groups, 30%
    queries). Exits non-zero on any protocol error; Overloaded replies
-   are counted as backpressure, not failures. *)
+   are counted as backpressure, not failures.
+
+   Chaos mode: with --chaos SOCK the swarm uses the resilient
+   (reconnect + exactly-once retry) client instead, for servers running
+   with failpoints armed (`rxv serve --failpoints ...`). After the run
+   it audits that every acknowledged insert is present exactly once —
+
+     dune exec bin/stress.exe -- --chaos /tmp/rxv.sock [clients] [reqs] *)
 
 module Engine = Rxv_core.Engine
 module Base_update = Rxv_core.Base_update
@@ -169,6 +176,9 @@ let client_mode sock n_clients per_client =
         | `Applied _ -> tally applied
         | `Rejected _ -> tally rejected
         | `Overloaded -> tally overloaded
+        | `Unavailable msg ->
+            Printf.eprintf "client %d: server unavailable: %s\n%!" w msg;
+            exit 1
         | `Error msg ->
             Printf.eprintf "client %d: update error: %s\n%!" w msg;
             exit 1
@@ -208,7 +218,109 @@ let client_mode sock n_clients per_client =
     (float_of_int total /. dt)
     !applied !rejected !overloaded !queried
 
+(* ---- chaos mode: resilient swarm against a fault-injected server ---- *)
+
+module Resilient = Rxv_server.Resilient
+
+let chaos_mode sock n_clients per_client =
+  let t0 = Unix.gettimeofday () in
+  let applied = ref 0
+  and rejected = ref 0
+  and gave_up = ref 0
+  and queried = ref 0
+  and reconnects = ref 0
+  and retries = ref 0 in
+  let m = Mutex.create () in
+  let protect f =
+    Mutex.lock m;
+    let r = f () in
+    Mutex.unlock m;
+    r
+  in
+  let acked : string list ref = ref [] in
+  let client w () =
+    let c =
+      Resilient.create ~timeout:1.0 ~max_attempts:30 ~seed:w
+        (Resilient.Unix_path sock)
+    in
+    for r = 0 to per_client - 1 do
+      if r mod 8 = 5 then (
+        match Resilient.query c "//course[cno=CS240]/prereq/course" with
+        | Ok _ -> protect (fun () -> incr queried)
+        | Error _ ->
+            (* queries carry no state; a lost one is chaos, not a bug *)
+            protect (fun () -> incr gave_up))
+      else
+        let cno = Printf.sprintf "CH%dR%d" w r in
+        let req =
+          [
+            Proto.Insert
+              {
+                etype = "course";
+                attr = Rxv_workload.Registrar.course_attr cno "Chaos";
+                path = "//course[cno=CS240]/prereq";
+              };
+          ]
+        in
+        match Resilient.update c req with
+        | `Applied _ ->
+            protect (fun () ->
+                incr applied;
+                acked := cno :: !acked)
+        | `Rejected _ -> protect (fun () -> incr rejected)
+        | `Error _ -> protect (fun () -> incr gave_up)
+    done;
+    protect (fun () ->
+        reconnects := !reconnects + Resilient.reconnects c;
+        retries := !retries + Resilient.retries c);
+    Resilient.close c
+  in
+  let threads = List.init n_clients (fun w -> Thread.create (client w) ()) in
+  List.iter Thread.join threads;
+  (* exactly-once audit: every acked insert is present exactly once *)
+  let v =
+    Resilient.create ~timeout:5.0 ~max_attempts:60 (Resilient.Unix_path sock)
+  in
+  let dupes = ref 0 and missing = ref 0 in
+  List.iter
+    (fun cno ->
+      match Resilient.query v (Printf.sprintf "//course[cno=%s]" cno) with
+      | Ok (1, _) -> ()
+      | Ok (0, _) ->
+          Printf.eprintf "EXACTLY-ONCE VIOLATION: acked %s missing\n%!" cno;
+          incr missing
+      | Ok (n, _) ->
+          Printf.eprintf "EXACTLY-ONCE VIOLATION: acked %s appears %d times\n%!"
+            cno n;
+          incr dupes
+      | Error msg ->
+          Printf.eprintf "audit query failed for %s: %s\n%!" cno msg;
+          incr missing)
+    !acked;
+  Resilient.close v;
+  let dt = Unix.gettimeofday () -. t0 in
+  let total = !applied + !rejected + !gave_up + !queried in
+  Printf.printf
+    "chaos %s: %d requests from %d clients in %.1fs — %d applied, %d \
+     rejected, %d gave up, %d queries; %d reconnects, %d retries; audit: %d \
+     acked inserts, %d dupes, %d missing\n%!"
+    (if !dupes = 0 && !missing = 0 then "OK" else "FAILED")
+    total n_clients dt !applied !rejected !gave_up !queried !reconnects
+    !retries (List.length !acked) !dupes !missing;
+  if !dupes > 0 || !missing > 0 then exit 1
+
 let () =
+  if Array.length Sys.argv > 2 && Sys.argv.(1) = "--chaos" then begin
+    let sock = Sys.argv.(2) in
+    let n_clients =
+      if Array.length Sys.argv > 3 then int_of_string Sys.argv.(3) else 8
+    in
+    let per_client =
+      if Array.length Sys.argv > 4 then int_of_string Sys.argv.(4) else 100
+    in
+    chaos_mode sock n_clients per_client;
+    exit 0
+  end;
   if Array.length Sys.argv > 2 && Sys.argv.(1) = "--server" then begin
     let sock = Sys.argv.(2) in
     let n_clients =

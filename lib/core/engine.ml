@@ -118,13 +118,17 @@ let wal_attached (e : t) = e.wal <> None
 (** Fire the WAL hook for a committed top-level mutation. Inside an open
     frame ([Txn] / [apply_group] / [dry_run]) nothing is logged — the
     enclosing commit logs the combined ΔR once, and aborted work never
-    reaches the log. Pure no-ops (empty ΔR, unchanged seed) are skipped:
-    the view is a function of the database, so they carry no durable
-    state. *)
-let wal_log (e : t) ~(seed_before : int) (delta_r : Group_update.t) : unit =
+    reaches the log. [depth] is the journal depth at which this call
+    site is top-level: 0 for a plain [apply] (logged after its commit),
+    1 for [apply_group] (logged {e inside} its own frame, just before
+    commit, so a failed append can still abort the group). Pure no-ops
+    (empty ΔR, unchanged seed) are skipped: the view is a function of
+    the database, so they carry no durable state. *)
+let wal_log ?(depth = 0) (e : t) ~(seed_before : int)
+    (delta_r : Group_update.t) : unit =
   match e.wal with
   | Some hook
-    when Rxv_relational.Journal.depth (Database.journal e.db) = 0
+    when Rxv_relational.Journal.depth (Database.journal e.db) = depth
          && (not (Group_update.is_empty delta_r) || e.seed <> seed_before) ->
       hook.on_commit delta_r ~seed:e.seed
   | Some _ | None -> ()
@@ -430,14 +434,23 @@ let apply_group ?(policy : policy = `Proceed) (e : t) (us : Xupdate.t list) :
   let seed_before = e.seed in
   let txn = Txn.begin_ e in
   let rec go i acc = function
-    | [] ->
-        Txn.commit e txn;
+    | [] -> (
         let reports = List.rev acc in
         (* one logical WAL record per committed group: the concatenated
-           ΔR replays through [Base_update] as a unit on recovery *)
-        wal_log e ~seed_before
-          (List.concat_map (fun r -> r.delta_r) reports);
-        Ok reports
+           ΔR replays through [Base_update] as a unit on recovery. The
+           append happens before [Txn.commit] — if the log write fails
+           (disk error, torn append) the whole group rolls back at O(Δ)
+           cost instead of leaving the engine ahead of its own log. *)
+        match
+          wal_log ~depth:1 e ~seed_before
+            (List.concat_map (fun r -> r.delta_r) reports)
+        with
+        | () ->
+            Txn.commit e txn;
+            Ok reports
+        | exception exn ->
+            Txn.abort e txn;
+            raise exn)
     | u :: rest -> (
         match apply ~policy e u with
         | Ok r -> go (i + 1) (r :: acc) rest

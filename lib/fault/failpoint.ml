@@ -1,0 +1,181 @@
+(** Failpoint registry: named fault-injection sites. *)
+
+module Rng = Rxv_sat.Rng
+
+type action =
+  | Eio
+  | Eintr
+  | Short_write
+  | Delay of float
+  | Drop
+  | Exit of int
+
+type trigger = Always | Prob of float | Every of int | Once | After of int
+
+type site = {
+  s_trigger : trigger;
+  s_action : action;
+  mutable s_hits : int;
+  mutable s_fired : int;
+}
+
+(* [armed] mirrors the table size so the fast path needs no lock: a
+   stale read costs at most one superfluous (locked) slow-path lookup *)
+let armed = ref 0
+let master = ref true
+let m = Mutex.create ()
+let tbl : (string, site) Hashtbl.t = Hashtbl.create 8
+let rng = ref (Rng.create 0x5EED)
+
+let locked f =
+  Mutex.lock m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+
+let seed s = locked (fun () -> rng := Rng.create s)
+let set_enabled b = master := b
+let enabled () = !master
+
+let arm ~site ?(trigger = Always) action =
+  locked (fun () ->
+      Hashtbl.replace tbl site
+        { s_trigger = trigger; s_action = action; s_hits = 0; s_fired = 0 };
+      armed := Hashtbl.length tbl)
+
+let disarm name =
+  locked (fun () ->
+      Hashtbl.remove tbl name;
+      armed := Hashtbl.length tbl)
+
+let disarm_all () =
+  locked (fun () ->
+      Hashtbl.reset tbl;
+      armed := 0)
+
+let fires s =
+  match s.s_trigger with
+  | Always -> true
+  | Prob p -> Rng.float !rng < p
+  | Every n -> n > 0 && s.s_hits mod n = 0
+  | Once -> s.s_fired = 0
+  | After n -> s.s_hits > n
+
+let check name =
+  if !armed = 0 || not !master then None
+  else
+    locked (fun () ->
+        match Hashtbl.find_opt tbl name with
+        | None -> None
+        | Some s ->
+            s.s_hits <- s.s_hits + 1;
+            if fires s then begin
+              s.s_fired <- s.s_fired + 1;
+              if s.s_trigger = Once then begin
+                Hashtbl.remove tbl name;
+                armed := Hashtbl.length tbl
+              end;
+              Some s.s_action
+            end
+            else None)
+
+let hits name =
+  locked (fun () ->
+      match Hashtbl.find_opt tbl name with Some s -> s.s_hits | None -> 0)
+
+let fired name =
+  locked (fun () ->
+      match Hashtbl.find_opt tbl name with Some s -> s.s_fired | None -> 0)
+
+let sites () =
+  locked (fun () ->
+      Hashtbl.fold (fun k s acc -> (k, s.s_hits, s.s_fired) :: acc) tbl []
+      |> List.sort compare)
+
+(* ---- spec parsing ---- *)
+
+let spec_syntax =
+  "SITE:TRIGGER:ACTION[,...] with TRIGGER = always | once | p=F | every=N | \
+   after=N and ACTION = eio | eintr | short | drop | delay=MS | exit[=CODE]"
+
+let parse_trigger s =
+  match s with
+  | "always" -> Ok Always
+  | "once" -> Ok Once
+  | _ -> (
+      match String.index_opt s '=' with
+      | Some i -> (
+          let k = String.sub s 0 i
+          and v = String.sub s (i + 1) (String.length s - i - 1) in
+          match k with
+          | "p" -> (
+              match float_of_string_opt v with
+              | Some p when p >= 0. && p <= 1. -> Ok (Prob p)
+              | _ -> Error ("p= needs a probability in [0,1]: " ^ s))
+          | "every" -> (
+              match int_of_string_opt v with
+              | Some n when n > 0 -> Ok (Every n)
+              | _ -> Error ("every= needs a positive integer: " ^ s))
+          | "after" -> (
+              match int_of_string_opt v with
+              | Some n when n >= 0 -> Ok (After n)
+              | _ -> Error ("after= needs a non-negative integer: " ^ s))
+          | _ -> Error ("unknown trigger: " ^ s))
+      | None -> Error ("unknown trigger: " ^ s))
+
+let parse_action s =
+  match s with
+  | "eio" -> Ok Eio
+  | "eintr" -> Ok Eintr
+  | "short" -> Ok Short_write
+  | "drop" -> Ok Drop
+  | "exit" -> Ok (Exit 137)
+  | _ -> (
+      match String.index_opt s '=' with
+      | Some i -> (
+          let k = String.sub s 0 i
+          and v = String.sub s (i + 1) (String.length s - i - 1) in
+          match k with
+          | "delay" -> (
+              match float_of_string_opt v with
+              | Some ms when ms >= 0. -> Ok (Delay (ms /. 1000.))
+              | _ -> Error ("delay= needs milliseconds: " ^ s))
+          | "exit" -> (
+              match int_of_string_opt v with
+              | Some c when c >= 0 && c < 256 -> Ok (Exit c)
+              | _ -> Error ("exit= needs a code in [0,255]: " ^ s))
+          | _ -> Error ("unknown action: " ^ s))
+      | None -> Error ("unknown action: " ^ s))
+
+let parse_one spec =
+  match String.split_on_char ':' (String.trim spec) with
+  | [ site; trig; act ] when site <> "" ->
+      Result.bind (parse_trigger trig) (fun trigger ->
+          Result.map (fun action -> (site, trigger, action)) (parse_action act))
+  | _ -> Error ("expected SITE:TRIGGER:ACTION, got: " ^ spec)
+
+let arm_spec specs =
+  let rec go = function
+    | [] -> Ok ()
+    | "" :: rest -> go rest
+    | spec :: rest -> (
+        match parse_one spec with
+        | Error _ as e -> e
+        | Ok (site, trigger, action) ->
+            arm ~site ~trigger action;
+            go rest)
+  in
+  go (String.split_on_char ',' specs)
+
+let pp_action ppf = function
+  | Eio -> Fmt.string ppf "eio"
+  | Eintr -> Fmt.string ppf "eintr"
+  | Short_write -> Fmt.string ppf "short"
+  | Delay s -> Fmt.pf ppf "delay=%.0f" (s *. 1000.)
+  | Drop -> Fmt.string ppf "drop"
+  | Exit c -> Fmt.pf ppf "exit=%d" c
+
+let pp_trigger ppf = function
+  | Always -> Fmt.string ppf "always"
+  | Prob p -> Fmt.pf ppf "p=%g" p
+  | Every n -> Fmt.pf ppf "every=%d" n
+  | Once -> Fmt.string ppf "once"
+  | After n -> Fmt.pf ppf "after=%d" n

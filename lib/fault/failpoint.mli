@@ -1,0 +1,69 @@
+(** Failpoint registry: named fault-injection sites.
+
+    Production code declares sites by checking them ({!check}, or the
+    interpreting wrappers in {!Io}); tests and the chaos harness arm
+    sites with a trigger and an action. A disarmed registry costs one
+    integer load per check — the hot path stays hot.
+
+    Sites are process-global (faults cross module boundaries by design)
+    and thread-safe. Probabilistic triggers draw from one seeded
+    generator so chaos runs replay deterministically. *)
+
+type action =
+  | Eio  (** fail the operation with [EIO] *)
+  | Eintr  (** interrupt the operation with [EINTR] *)
+  | Short_write  (** perform only a prefix of the write, then fail *)
+  | Delay of float  (** stall the operation for this many seconds *)
+  | Drop  (** kill the connection: fail with [EPIPE] *)
+  | Exit of int  (** [_exit] immediately: a crash at the site *)
+
+type trigger =
+  | Always
+  | Prob of float  (** fire with this probability per hit *)
+  | Every of int  (** fire on every [n]-th hit *)
+  | Once  (** fire on the first hit, then auto-disarm *)
+  | After of int  (** fire on every hit once [n] hits have passed *)
+
+val arm : site:string -> ?trigger:trigger -> action -> unit
+(** arm [site]; [trigger] defaults to [Always]. Re-arming replaces the
+    previous trigger/action and resets the site's counters. *)
+
+val disarm : string -> unit
+val disarm_all : unit -> unit
+
+val seed : int -> unit
+(** reseed the generator behind [Prob] triggers *)
+
+val set_enabled : bool -> unit
+(** master switch (default on). When off, armed sites lie dormant —
+    used to measure the overhead of the checks themselves. *)
+
+val enabled : unit -> bool
+
+val check : string -> action option
+(** evaluate [site]: [Some action] when the site is armed and its
+    trigger fires on this hit. The fast path (nothing armed anywhere)
+    is a single integer comparison. *)
+
+val hits : string -> int
+(** times {!check} reached this armed site *)
+
+val fired : string -> int
+(** times the trigger fired *)
+
+val sites : unit -> (string * int * int) list
+(** armed sites as [(site, hits, fired)] *)
+
+val arm_spec : string -> (unit, string) result
+(** arm from a spec string: comma-separated [SITE:TRIGGER:ACTION] with
+    - TRIGGER ::= [always] | [once] | [p=F] | [every=N] | [after=N]
+    - ACTION  ::= [eio] | [eintr] | [short] | [drop] | [delay=MS]
+                | [exit] | [exit=CODE]
+
+    e.g. ["wal.sync:p=0.05:eio,srv.read:every=97:eintr"]. *)
+
+val spec_syntax : string
+(** one-line grammar reminder for CLI help/error text *)
+
+val pp_action : Format.formatter -> action -> unit
+val pp_trigger : Format.formatter -> trigger -> unit

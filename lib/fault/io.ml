@@ -1,0 +1,42 @@
+(** The injectable I/O shim. *)
+
+let err site e = raise (Unix.Unix_error (e, "failpoint", site))
+
+let hit site =
+  match Failpoint.check site with
+  | None -> ()
+  | Some Failpoint.Eio | Some Failpoint.Short_write -> err site Unix.EIO
+  | Some Failpoint.Eintr -> err site Unix.EINTR
+  | Some Failpoint.Drop -> err site Unix.EPIPE
+  | Some (Failpoint.Delay s) -> Thread.delay s
+  | Some (Failpoint.Exit c) -> Unix._exit c
+
+let hit_write site len =
+  match Failpoint.check site with
+  | None -> len
+  | Some Failpoint.Short_write -> if len <= 1 then len else max 1 (len / 2)
+  | Some Failpoint.Eio -> err site Unix.EIO
+  | Some Failpoint.Eintr -> err site Unix.EINTR
+  | Some Failpoint.Drop -> err site Unix.EPIPE
+  | Some (Failpoint.Delay s) ->
+      Thread.delay s;
+      len
+  | Some (Failpoint.Exit c) -> Unix._exit c
+
+let read ?site fd b off len =
+  let len = match site with None -> len | Some s -> hit_write s len in
+  Unix.read fd b off len
+
+let write ?site fd b off len =
+  let len = match site with None -> len | Some s -> hit_write s len in
+  Unix.write fd b off len
+
+let rec retry_eintr f =
+  match f () with
+  | v -> v
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> retry_eintr f
+
+let fsync ?site fd =
+  retry_eintr (fun () ->
+      (match site with None -> () | Some s -> hit s);
+      Unix.fsync fd)

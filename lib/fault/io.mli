@@ -1,0 +1,30 @@
+(** The injectable I/O shim: interprets {!Failpoint} actions at call
+    sites so production loops meet the same errors a hostile kernel
+    would hand them — [EIO], [EINTR], short writes, stalls, dead peers,
+    and outright process death. *)
+
+val hit : string -> unit
+(** evaluate the failpoint at [site]: no-op when disarmed. An armed hit
+    raises [Unix_error] ([EIO] for [Eio]/[Short_write], [EINTR], [EPIPE]
+    for [Drop]), sleeps for [Delay], or [_exit]s for [Exit]. *)
+
+val hit_write : string -> int -> int
+(** like {!hit}, but [Short_write] returns how many of the intended
+    [len] bytes to actually write (at least 1, less than [len]) instead
+    of raising — the caller performs the partial write and discovers the
+    tear the way a real short write surfaces. Returns [len] otherwise. *)
+
+val read : ?site:string -> Unix.file_descr -> bytes -> int -> int -> int
+(** [Unix.read] behind the [site] failpoint; [Short_write] truncates the
+    requested length instead of raising (short reads are legal). *)
+
+val write : ?site:string -> Unix.file_descr -> bytes -> int -> int -> int
+(** [Unix.write] behind the [site] failpoint; [Short_write] writes a
+    1-byte prefix — legal, maximally torn. *)
+
+val fsync : ?site:string -> Unix.file_descr -> unit
+(** [Unix.fsync] behind the [site] failpoint, retrying [EINTR] (real or
+    injected) until it completes. *)
+
+val retry_eintr : (unit -> 'a) -> 'a
+(** run [f], retrying as long as it raises [Unix_error (EINTR, _, _)] *)

@@ -29,7 +29,8 @@ let fsync_dir dir =
       (try Unix.fsync fd with Unix.Unix_error _ -> ());
       Unix.close fd
 
-let write ~path (m : meta) (db : Database.t) (store : Store.t) : int =
+let write ?(before_rename = fun () -> ()) ~path (m : meta) (db : Database.t)
+    (store : Store.t) : int =
   let payload = Buffer.create (1 lsl 16) in
   encode_meta payload m;
   Codec.database payload db;
@@ -41,15 +42,18 @@ let write ~path (m : meta) (db : Database.t) (store : Store.t) : int =
   let tmp = path ^ ".tmp" in
   let oc = open_out_bin tmp in
   (try
+     Rxv_fault.Io.hit "ckpt.write";
      Buffer.output_buffer oc image;
      flush oc;
-     Unix.fsync (Unix.descr_of_out_channel oc);
-     close_out oc
+     Rxv_fault.Io.fsync ~site:"ckpt.fsync" (Unix.descr_of_out_channel oc);
+     close_out oc;
+     before_rename ();
+     Rxv_fault.Io.hit "ckpt.rename";
+     Sys.rename tmp path
    with e ->
      close_out_noerr oc;
      (try Sys.remove tmp with Sys_error _ -> ());
      raise e);
-  Sys.rename tmp path;
   fsync_dir (Filename.dirname path);
   Buffer.length image
 
@@ -71,7 +75,10 @@ let read_image path =
         (Printf.sprintf "unsupported checkpoint version %d"
            (Char.code s.[String.length magic]))
     else
-      match Frame.read_one s ~pos:mlen with
+      (* self-written file on a trusted path: a legitimate checkpoint may
+         exceed the socket-facing acceptance bound, so lift the limit to
+         the writer cap *)
+      match Frame.read_one ~limit:Frame.max_payload s ~pos:mlen with
       | `Record (payload, next) ->
           if next <> String.length s then
             Error "trailing garbage after checkpoint frame"

@@ -26,8 +26,22 @@ type meta = {
   generation : int;
 }
 
-val write : path:string -> meta -> Database.t -> Store.t -> int
-(** serialize atomically; returns the file size in bytes *)
+val write :
+  ?before_rename:(unit -> unit) ->
+  path:string ->
+  meta ->
+  Database.t ->
+  Store.t ->
+  int
+(** serialize atomically; returns the file size in bytes.
+
+    [before_rename] runs after the image is written and fsynced to the
+    temporary file but before the rename makes it the recovery root —
+    the hook point where {!Persist.checkpoint} durably seeds the new
+    generation's WAL (e.g. with a session snapshot), so that no crash
+    window exists in which the new checkpoint is authoritative but its
+    WAL-side state is missing. If the hook raises, the temporary file is
+    removed and the old generation stays authoritative. *)
 
 val read : string -> (meta * Database.t * Store.t, string) result
 (** load and decode; [Error] on any damage (missing file, bad magic,

@@ -3,6 +3,15 @@
 let header_bytes = 8
 let max_payload = 1 lsl 30
 
+(* Acceptance bound for *reading*: a flipped bit in a length header must
+   not become a giant allocation (the writer-side [max_payload] cap is a
+   sanity bound, not a defense). Readers of self-written files may pass
+   an explicit [limit]; socket readers use this default. *)
+let default_max_accepted = 64 * 1024 * 1024
+let accepted_limit = ref default_max_accepted
+let max_accepted () = !accepted_limit
+let set_max_accepted n = accepted_limit := max 1 (min n max_payload)
+
 let add b payload =
   let len = String.length payload in
   if len > max_payload then invalid_arg "Frame.add: payload too large";
@@ -15,7 +24,10 @@ let to_channel oc payload =
   add b payload;
   Buffer.output_buffer oc b
 
-let read_one s ~pos =
+let read_one ?limit s ~pos =
+  let limit =
+    match limit with Some l -> min l max_payload | None -> !accepted_limit
+  in
   let total = String.length s in
   if pos = total then `End
   else if pos + header_bytes > total then
@@ -23,7 +35,7 @@ let read_one s ~pos =
   else begin
     let len = Int32.to_int (String.get_int32_le s pos) land 0xFFFFFFFF in
     let crc = String.get_int32_le s (pos + 4) in
-    if len > max_payload then
+    if len > limit then
       `Bad (Printf.sprintf "implausible record length %d at offset %d" len pos)
     else if pos + header_bytes + len > total then
       `Bad
@@ -47,9 +59,9 @@ type scan = {
   error : string option;
 }
 
-let scan s =
+let scan ?limit s =
   let rec go acc pos =
-    match read_one s ~pos with
+    match read_one ?limit s ~pos with
     | `End -> { payloads = List.rev acc; valid_len = pos; error = None }
     | `Record (p, next) -> go (p :: acc) next
     | `Bad reason ->

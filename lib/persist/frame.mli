@@ -11,8 +11,16 @@ val header_bytes : int
 (** bytes of framing overhead per record (8) *)
 
 val max_payload : int
-(** decoding refuses lengths above this (1 GiB) — a corrupt length field
-    must not drive a giant allocation *)
+(** the writer-side cap: {!add} refuses payloads above this (1 GiB) *)
+
+val max_accepted : unit -> int
+(** the reader-side acceptance bound (default 64 MiB): a declared length
+    above it is rejected as corruption {e before} any allocation — a
+    flipped bit in a length header, or a hostile peer, must not drive an
+    unbounded [Bytes.create] *)
+
+val set_max_accepted : int -> unit
+(** change the acceptance bound (clamped to [1, max_payload]) *)
 
 val add : Buffer.t -> string -> unit
 (** append one framed record to a buffer *)
@@ -20,11 +28,15 @@ val add : Buffer.t -> string -> unit
 val to_channel : out_channel -> string -> unit
 
 val read_one :
-  string -> pos:int -> [ `Record of string * int | `End | `Bad of string ]
+  ?limit:int ->
+  string ->
+  pos:int ->
+  [ `Record of string * int | `End | `Bad of string ]
 (** [read_one s ~pos] parses the frame starting at [pos]: [`Record
     (payload, next_pos)], [`End] when [pos] is exactly the end of input,
-    or [`Bad reason] for a torn frame (not enough bytes) or a CRC
-    mismatch. *)
+    or [`Bad reason] for a torn frame (not enough bytes), a CRC
+    mismatch, or a declared length above [limit] (default
+    {!max_accepted}; clamped to {!max_payload}). *)
 
 type scan = {
   payloads : string list;  (** complete, CRC-valid records in order *)
@@ -32,6 +44,6 @@ type scan = {
   error : string option;  (** why the scan stopped early, if it did *)
 }
 
-val scan : string -> scan
+val scan : ?limit:int -> string -> scan
 (** classify a whole file image; [error = None] iff the input is exactly
     a sequence of valid frames *)

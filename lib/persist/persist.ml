@@ -6,12 +6,34 @@ module Atg = Rxv_atg.Atg
 module Engine = Rxv_core.Engine
 module Base_update = Rxv_core.Base_update
 
+type origin = {
+  o_client : string;
+  o_seq : int;
+  o_commit : int;
+  o_reports : int;
+}
+
+type session = {
+  sess_client : string;
+  sess_seq : int;
+  sess_commit : int;
+  sess_reports : int;
+  sess_delta : int;
+}
+
+type record =
+  | Group of { seed : int; origin : origin option; group : Group_update.t }
+  | Sessions of { last_commit : int; sessions : session list }
+
 type t = {
   t_dir : string;
   t_sync : Wal.sync_policy;
   mutable generation : int;
   mutable writer : Wal.writer option;
   mutable records_since_ckpt : int;
+  mutable pending_origin : origin option;
+  mutable recovered_sessions : session list;
+  mutable recovered_last_commit : int;
 }
 
 let checkpoint_file gen = Printf.sprintf "checkpoint-%09d.rxc" gen
@@ -43,6 +65,117 @@ let rec mkdir_p dir =
       mkdir_p parent;
       mkdir_p dir
 
+(* {2 Record codec}
+
+   Every WAL payload starts with a varint tag. Tag 0 ([Group]) is a
+   committed update group — the post-commit WalkSAT seed, an optional
+   client origin, and the ΔR ops. Tag 1 ([Sessions]) is a snapshot of the
+   server's exactly-once dedup table, written as the first record of each
+   new generation's WAL at checkpoint rotation so the table survives log
+   deletion. Keeping an origin {e inside} the same record as its group is
+   the exactly-once invariant: replaying a prefix of the log yields a
+   dedup table that matches the replayed database state bit for bit. *)
+
+let tag_group = 0
+let tag_sessions = 1
+
+let encode_record ?origin ~seed (g : Group_update.t) =
+  let b = Buffer.create 128 in
+  Codec.varint b tag_group;
+  Codec.varint b seed;
+  (match origin with
+  | None -> Codec.varint b 0
+  | Some o ->
+      Codec.varint b 1;
+      Codec.bytes_ b o.o_client;
+      Codec.varint b o.o_seq;
+      Codec.varint b o.o_commit;
+      Codec.varint b o.o_reports);
+  Codec.group b g;
+  Buffer.contents b
+
+let encode_sessions_record ~last_commit sessions =
+  let b = Buffer.create 64 in
+  Codec.varint b tag_sessions;
+  Codec.varint b last_commit;
+  Codec.varint b (List.length sessions);
+  List.iter
+    (fun s ->
+      Codec.bytes_ b s.sess_client;
+      Codec.varint b s.sess_seq;
+      Codec.varint b s.sess_commit;
+      Codec.varint b s.sess_reports;
+      Codec.varint b s.sess_delta)
+    sessions;
+  Buffer.contents b
+
+let decode_record payload =
+  let c = Codec.cursor payload in
+  let tag = Codec.get_varint c in
+  let r =
+    if tag = tag_group then begin
+      let seed = Codec.get_varint c in
+      let origin =
+        match Codec.get_varint c with
+        | 0 -> None
+        | 1 ->
+            let o_client = Codec.get_bytes c in
+            let o_seq = Codec.get_varint c in
+            let o_commit = Codec.get_varint c in
+            let o_reports = Codec.get_varint c in
+            Some { o_client; o_seq; o_commit; o_reports }
+        | n -> raise (Codec.Error (Printf.sprintf "bad origin marker %d" n))
+      in
+      let group = Codec.get_group c in
+      Group { seed; origin; group }
+    end
+    else if tag = tag_sessions then begin
+      let last_commit = Codec.get_varint c in
+      let n = Codec.get_varint c in
+      let rec go k acc =
+        if k = 0 then List.rev acc
+        else begin
+          let sess_client = Codec.get_bytes c in
+          let sess_seq = Codec.get_varint c in
+          let sess_commit = Codec.get_varint c in
+          let sess_reports = Codec.get_varint c in
+          let sess_delta = Codec.get_varint c in
+          go (k - 1)
+            ({ sess_client; sess_seq; sess_commit; sess_reports; sess_delta }
+            :: acc)
+        end
+      in
+      Sessions { last_commit; sessions = go n [] }
+    end
+    else raise (Codec.Error (Printf.sprintf "unknown WAL record tag %d" tag))
+  in
+  if not (Codec.at_end c) then
+    raise (Codec.Error "trailing bytes in WAL record");
+  r
+
+(* Replay a decoded record sequence into the dedup state it implies: the
+   latest [Sessions] snapshot, overlaid by every subsequent origin. *)
+let fold_sessions records =
+  let tbl = Hashtbl.create 16 in
+  let last = ref 0 in
+  List.iter
+    (function
+      | Sessions { last_commit; sessions } ->
+          Hashtbl.reset tbl;
+          List.iter (fun s -> Hashtbl.replace tbl s.sess_client s) sessions;
+          if last_commit > !last then last := last_commit
+      | Group { origin = Some o; group; _ } ->
+          Hashtbl.replace tbl o.o_client
+            { sess_client = o.o_client; sess_seq = o.o_seq;
+              sess_commit = o.o_commit; sess_reports = o.o_reports;
+              sess_delta = List.length group };
+          if o.o_commit > !last then last := o.o_commit
+      | Group { origin = None; _ } -> ())
+    records;
+  (Hashtbl.fold (fun _ s acc -> s :: acc) tbl [], !last)
+
+let is_group = function Group _ -> true | Sessions _ -> false
+
 let open_dir ?(sync = Wal.EveryN 64) dir =
   mkdir_p dir;
   let generation =
@@ -50,32 +183,31 @@ let open_dir ?(sync = Wal.EveryN 64) dir =
   in
   let t =
     { t_dir = dir; t_sync = sync; generation; writer = None;
-      records_since_ckpt = 0 }
+      records_since_ckpt = 0; pending_origin = None;
+      recovered_sessions = []; recovered_last_commit = 0 }
   in
   let replay = Wal.read (wal_path t generation) in
-  t.records_since_ckpt <- List.length replay.Wal.records;
+  let decoded =
+    List.filter_map
+      (fun p ->
+        match decode_record p with
+        | r -> Some r
+        | exception Codec.Error _ -> None)
+      replay.Wal.records
+  in
+  t.records_since_ckpt <- List.length (List.filter is_group decoded);
+  let sessions, last_commit = fold_sessions decoded in
+  t.recovered_sessions <- sessions;
+  t.recovered_last_commit <- last_commit;
   t
 
 let dir t = t.t_dir
 let sync_policy t = t.t_sync
 let generation t = t.generation
 let records_since_checkpoint t = t.records_since_ckpt
-
-(* {2 Record codec} *)
-
-let encode_record ~seed (g : Group_update.t) =
-  let b = Buffer.create 128 in
-  Codec.varint b seed;
-  Codec.group b g;
-  Buffer.contents b
-
-let decode_record payload =
-  let c = Codec.cursor payload in
-  let seed = Codec.get_varint c in
-  let g = Codec.get_group c in
-  if not (Codec.at_end c) then
-    raise (Codec.Error "trailing bytes in WAL record");
-  (seed, g)
+let set_origin t o = t.pending_origin <- o
+let recovered_sessions t = t.recovered_sessions
+let recovered_last_commit t = t.recovered_last_commit
 
 (* {2 Logging} *)
 
@@ -87,12 +219,22 @@ let current_writer t =
       t.writer <- Some w;
       w
 
+(* the pending origin is consumed whether or not the append succeeds: on
+   failure the commit itself is aborted, so the origin must not leak into
+   some later, unrelated record *)
+let take_origin t =
+  let o = t.pending_origin in
+  t.pending_origin <- None;
+  o
+
 let append t ~seed group =
-  Wal.append (current_writer t) (encode_record ~seed group);
+  let origin = take_origin t in
+  Wal.append (current_writer t) (encode_record ?origin ~seed group);
   t.records_since_ckpt <- t.records_since_ckpt + 1
 
 let append_nosync t ~seed group =
-  Wal.append_nosync (current_writer t) (encode_record ~seed group);
+  let origin = take_origin t in
+  Wal.append_nosync (current_writer t) (encode_record ?origin ~seed group);
   t.records_since_ckpt <- t.records_since_ckpt + 1
 
 let sync t = match t.writer with Some w -> Wal.sync w | None -> ()
@@ -110,28 +252,64 @@ let attach ?(deferred_sync = false) t (e : Engine.t) =
 
 let remove_if_exists path = try Sys.remove path with Sys_error _ -> ()
 
-let checkpoint t (e : Engine.t) =
+let checkpoint ?sessions t (e : Engine.t) =
   (* make sure every record the new image supersedes is on disk before we
      delete its log: otherwise a crash between delete and image-sync could
      lose committed groups *)
   (match t.writer with Some w -> Wal.sync w | None -> ());
+  Rxv_fault.Io.hit "ckpt.begin";
   let gen' = t.generation + 1 in
-  let bytes =
-    Checkpoint.write
-      ~path:(checkpoint_path t gen')
-      { Checkpoint.atg_name = e.Engine.atg.Atg.name;
-        seed = e.Engine.seed;
-        generation = gen' }
-      e.Engine.db e.Engine.store
+  let sess, last_commit =
+    match sessions with
+    | Some sl -> sl
+    | None -> (t.recovered_sessions, t.recovered_last_commit)
   in
-  (* rotate: fresh log for the new generation *)
-  let had_writer = t.writer <> None in
-  (match t.writer with Some w -> Wal.close w | None -> ());
-  t.writer <- None;
+  (* The new generation's WAL must carry the dedup table forward, and it
+     must be durable *before* the rename makes the new checkpoint the
+     recovery root — otherwise a crash in between recovers the new image
+     with an empty table and re-accepts already-applied client requests.
+     [before_rename] runs at exactly that point. A stray wal-<gen'> left
+     by an earlier failed attempt is harmless: we append another snapshot
+     and replay keeps the last one. *)
+  let new_writer = ref None in
+  let before_rename () =
+    let w = Wal.open_writer ~sync:t.t_sync (wal_path t gen') in
+    (try
+       if sess <> [] || last_commit > 0 then
+         Wal.append_nosync w (encode_sessions_record ~last_commit sess);
+       Wal.sync w
+     with exn ->
+       (try Wal.close w with _ -> ());
+       raise exn);
+    new_writer := Some w
+  in
+  let bytes =
+    match
+      Checkpoint.write ~before_rename
+        ~path:(checkpoint_path t gen')
+        { Checkpoint.atg_name = e.Engine.atg.Atg.name;
+          seed = e.Engine.seed;
+          generation = gen' }
+        e.Engine.db e.Engine.store
+    with
+    | bytes -> bytes
+    | exception exn ->
+        (* the old generation stays authoritative; don't leak the fd *)
+        (match !new_writer with
+        | Some w -> ( try Wal.close w with _ -> ())
+        | None -> ());
+        raise exn
+  in
+  (* rotate: the new generation's writer takes over *)
+  (match t.writer with
+  | Some w -> ( try Wal.close w with _ -> () (* already synced above *))
+  | None -> ());
+  t.writer <- !new_writer;
   let old_gen = t.generation in
   t.generation <- gen';
   t.records_since_ckpt <- 0;
-  if had_writer then ignore (current_writer t);
+  t.recovered_sessions <- sess;
+  t.recovered_last_commit <- last_commit;
   (* drop superseded generations (their WALs replay only onto their own
      checkpoint, which the new image replaces) *)
   for g = 0 to old_gen do
@@ -170,27 +348,41 @@ let replay_wal t gen (e : Engine.t) =
   in
   match decode_all 0 [] replay.Wal.records with
   | Error _ as err -> err
-  | Ok [] -> Ok (0, damaged)
   | Ok records -> (
-      (* records are groups of ΔR ops in commit order; concatenating them
-         preserves the op sequence exactly, so one Base_update.apply call
-         reaches the same database — and repairs the view once, instead
-         of paying per-record localization (the win that makes replay
-         beat republication) *)
-      let batch = List.concat_map snd records in
-      let final_seed = List.fold_left (fun _ (s, _) -> s) e.Engine.seed records in
-      let applied =
-        if Group_update.is_empty batch then Ok ()
-        else
-          match Base_update.apply e batch with
-          | Ok _ -> Ok ()
-          | Error msg -> Error ("WAL replay failed to re-apply: " ^ msg)
+      let sessions, last_commit = fold_sessions records in
+      t.recovered_sessions <- sessions;
+      t.recovered_last_commit <- last_commit;
+      let groups =
+        List.filter_map
+          (function
+            | Group { seed; group; _ } -> Some (seed, group)
+            | Sessions _ -> None)
+          records
       in
-      match applied with
-      | Ok () ->
-          e.Engine.seed <- final_seed;
-          Ok (List.length records, damaged)
-      | Error _ as err -> err)
+      match groups with
+      | [] -> Ok (0, damaged)
+      | _ -> (
+          (* records are groups of ΔR ops in commit order; concatenating
+             them preserves the op sequence exactly, so one
+             Base_update.apply call reaches the same database — and
+             repairs the view once, instead of paying per-record
+             localization (the win that makes replay beat republication) *)
+          let batch = List.concat_map snd groups in
+          let final_seed =
+            List.fold_left (fun _ (s, _) -> s) e.Engine.seed groups
+          in
+          let applied =
+            if Group_update.is_empty batch then Ok ()
+            else
+              match Base_update.apply e batch with
+              | Ok _ -> Ok ()
+              | Error msg -> Error ("WAL replay failed to re-apply: " ^ msg)
+          in
+          match applied with
+          | Ok () ->
+              e.Engine.seed <- final_seed;
+              Ok (List.length groups, damaged)
+          | Error _ as err -> err))
 
 let finish t gen ~from_checkpoint (e : Engine.t) =
   match replay_wal t gen e with

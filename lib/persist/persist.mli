@@ -23,10 +23,39 @@ module Engine = Rxv_core.Engine
 
 type t
 
+type origin = {
+  o_client : string;  (** client id (opaque, client-chosen) *)
+  o_seq : int;  (** client-assigned request sequence number *)
+  o_commit : int;  (** server commit number the group landed as *)
+  o_reports : int;  (** how many per-update reports the group produced *)
+}
+(** provenance of one logged group, for exactly-once retry dedup: stored
+    {e inside} the group's WAL record so that any replayed log prefix
+    yields a dedup table consistent with the replayed database *)
+
+type session = {
+  sess_client : string;
+  sess_seq : int;
+  sess_commit : int;
+  sess_reports : int;
+  sess_delta : int;  (** ops in the committed group (for replay answers) *)
+}
+(** one dedup-table entry — the latest acknowledged request per client *)
+
+type record =
+  | Group of { seed : int; origin : origin option; group : Group_update.t }
+      (** a committed update group: post-commit WalkSAT seed, optional
+          client provenance, ΔR ops *)
+  | Sessions of { last_commit : int; sessions : session list }
+      (** dedup-table snapshot — first record of each generation's WAL,
+          carrying the table across checkpoint rotation *)
+
 val open_dir : ?sync:Wal.sync_policy -> string -> t
 (** open (creating if needed) a durability directory; the current
     generation is the newest checkpoint present, or 0. [sync] (default
-    [EveryN 64]) governs WAL appends. *)
+    [EveryN 64]) governs WAL appends. The current WAL is scanned
+    (best-effort) to seed {!recovered_sessions} and
+    {!recovered_last_commit}. *)
 
 val dir : t -> string
 val sync_policy : t -> Wal.sync_policy
@@ -51,10 +80,30 @@ val sync : t -> unit
 (** fsync the current WAL writer now (no-op when nothing is open) — the
     second half of the [deferred_sync] contract *)
 
-val checkpoint : t -> Engine.t -> int
+val set_origin : t -> origin option -> unit
+(** stage provenance for the {e next} appended record (the batcher sets
+    it immediately before applying a client-originated group). The staged
+    origin is consumed — successfully logged or discarded — by that one
+    append; it never leaks into a later record. *)
+
+val recovered_sessions : t -> session list
+(** the dedup table implied by the last {!recover}/{!open_dir} scan of
+    the current WAL: the newest [Sessions] snapshot overlaid with every
+    later record's origin *)
+
+val recovered_last_commit : t -> int
+(** highest commit number seen in that scan (0 when none) *)
+
+val checkpoint : ?sessions:session list * int -> t -> Engine.t -> int
 (** write a new-generation checkpoint atomically, rotate to a fresh WAL,
     delete superseded generations, reset the record counter; returns the
-    checkpoint size in bytes *)
+    checkpoint size in bytes.
+
+    [sessions] is the live dedup table and last commit number to carry
+    into the new generation (default: the values recovered at open). It
+    is appended to the new WAL and fsynced {e before} the rename that
+    makes the new checkpoint authoritative, closing the crash window in
+    which already-acknowledged requests could be re-accepted. *)
 
 type recovery_info = {
   r_generation : int;
@@ -86,8 +135,10 @@ val close : t -> unit
 
 (** {2 Record codec} — exposed for tests and crash-injection harnesses *)
 
-val encode_record : seed:int -> Group_update.t -> string
-val decode_record : string -> int * Group_update.t
+val encode_record : ?origin:origin -> seed:int -> Group_update.t -> string
+val encode_sessions_record : last_commit:int -> session list -> string
+
+val decode_record : string -> record
 (** @raise Codec.Error on malformed payload *)
 
 val wal_path : t -> int -> string

@@ -17,6 +17,8 @@ let pp_sync_policy ppf = function
   | EveryN n -> Fmt.pf ppf "every:%d" n
   | Never -> Fmt.string ppf "never"
 
+module Io = Rxv_fault.Io
+
 type writer = {
   w_path : string;
   oc : out_channel;
@@ -24,6 +26,9 @@ type writer = {
   mutable appended : int;
   mutable unsynced : int;
   mutable closed : bool;
+  mutable torn_at : int option;
+      (* a failed append left partial bytes at/after this offset; the
+         file tail is poison until {!repair} truncates back to it *)
 }
 
 let open_writer ?(sync = EveryN 64) path =
@@ -31,11 +36,30 @@ let open_writer ?(sync = EveryN 64) path =
     open_out_gen [ Open_wronly; Open_append; Open_creat; Open_binary ] 0o644
       path
   in
-  { w_path = path; oc; policy = sync; appended = 0; unsynced = 0; closed = false }
+  { w_path = path; oc; policy = sync; appended = 0; unsynced = 0;
+    closed = false; torn_at = None }
+
+(* A torn append must never be followed by a good record: recovery
+   truncates at the first damaged frame, so anything appended after the
+   tear — even if fully written and acknowledged — would be silently
+   dropped. Cut the file back to the pre-tear offset before any further
+   write or sync. *)
+let repair w =
+  match w.torn_at with
+  | None -> ()
+  | Some pos ->
+      (try flush w.oc with Sys_error _ -> ());
+      let fd = Unix.descr_of_out_channel w.oc in
+      Io.retry_eintr (fun () -> Unix.ftruncate fd pos);
+      seek_out w.oc pos;
+      w.torn_at <- None
+
+let torn w = w.torn_at <> None
 
 let fsync w =
+  repair w;
   flush w.oc;
-  Unix.fsync (Unix.descr_of_out_channel w.oc)
+  Io.fsync ~site:"wal.sync" (Unix.descr_of_out_channel w.oc)
 
 let sync w =
   if not w.closed then begin
@@ -45,7 +69,22 @@ let sync w =
 
 let append_nosync w payload =
   if w.closed then invalid_arg "Wal.append: writer closed";
-  Frame.to_channel w.oc payload;
+  repair w;
+  let start = pos_out w.oc in
+  (try
+     let b = Buffer.create (Frame.header_bytes + String.length payload) in
+     Frame.add b payload;
+     let framed = Buffer.contents b in
+     let full = String.length framed in
+     let k = Io.hit_write "wal.append" full in
+     output_substring w.oc framed 0 k;
+     if k < full then
+       (* the injected short write: the frame is torn exactly as a
+          crashed kernel would leave it *)
+       raise (Unix.Unix_error (Unix.EIO, "failpoint", "wal.append"))
+   with exn ->
+     w.torn_at <- Some start;
+     raise exn);
   w.appended <- w.appended + 1;
   w.unsynced <- w.unsynced + 1
 
@@ -62,6 +101,7 @@ let path w = w.w_path
 
 let close w =
   if not w.closed then begin
+    repair w;
     (match w.policy with
     | Always | EveryN _ -> fsync w
     | Never -> flush w.oc);

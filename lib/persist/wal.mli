@@ -39,6 +39,12 @@ val sync : writer -> unit
 (** flush application and OS buffers to the device now and reset the
     unsynced count *)
 
+val torn : writer -> bool
+(** [true] when the last append failed partway, leaving a torn frame at
+    the tail. The writer self-repairs — the next append, sync, or close
+    truncates back to the record boundary — so a caller only needs this
+    for observability. *)
+
 val records : writer -> int
 (** records appended through this writer *)
 

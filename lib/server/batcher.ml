@@ -2,15 +2,19 @@
 
 module Engine = Rxv_core.Engine
 module Xupdate = Rxv_core.Xupdate
+module Persist = Rxv_persist.Persist
+module Io = Rxv_fault.Io
 
 type outcome =
   | Committed of { seq : int; reports : int; delta_ops : int }
   | Rejected_at of int * Engine.rejection
   | Failed of string
+  | Sync_failed of string
 
 type job = {
   j_ops : Xupdate.t list;
   j_policy : Engine.policy;
+  j_origin : (string * int) option;
   j_m : Mutex.t;
   j_c : Condition.t;
   mutable j_result : outcome option;
@@ -21,6 +25,9 @@ type t = {
   lock : Rwlock.t;
   metrics : Metrics.t option;
   sync : unit -> unit;
+  dedup : Dedup.t option;
+  origin_hook : Persist.origin option -> unit;
+  on_io_error : string -> unit;
   queue_cap : int;
   batch_cap : int;
   q : job Queue.t;
@@ -50,28 +57,77 @@ let await job =
   Mutex.unlock job.j_m;
   r
 
-(* apply one job's group atomically; called with the write lock held *)
+let io_msg e fn arg = Printf.sprintf "%s(%s): %s" fn arg (Unix.error_message e)
+
+(* apply one fresh (non-duplicate) job's group; write lock held *)
+let really_apply t job =
+  (* stage provenance so the WAL record carries it — it must be set
+     before the apply, because the engine logs inside the commit *)
+  (match job.j_origin with
+  | Some (client, seq) ->
+      t.origin_hook
+        (Some
+           { Persist.o_client = client; o_seq = seq; o_commit = t.seq + 1;
+             o_reports = List.length job.j_ops })
+  | None -> ());
+  let outcome =
+    match Engine.apply_group ~policy:job.j_policy t.engine job.j_ops with
+    | Ok reports ->
+        t.seq <- t.seq + 1;
+        bump t "applied";
+        let reports_n = List.length reports in
+        let delta_ops =
+          List.fold_left
+            (fun acc (r : Engine.report) -> acc + List.length r.Engine.delta_r)
+            0 reports
+        in
+        (match (job.j_origin, t.dedup) with
+        | Some (client, seq), Some d ->
+            Dedup.record d ~client ~seq ~commit:t.seq ~reports:reports_n
+              ~delta:delta_ops
+        | _ -> ());
+        Committed { seq = t.seq; reports = reports_n; delta_ops }
+    | Error (i, rej) ->
+        bump t "rejected";
+        Rejected_at (i, rej)
+    | exception Unix.Unix_error (e, fn, arg) ->
+        (* an I/O failure inside the commit (WAL append): the engine
+           aborted the group, nothing was applied — retryable *)
+        bump t "apply_io_errors";
+        let msg = io_msg e fn arg in
+        t.on_io_error msg;
+        Sync_failed msg
+    | exception exn ->
+        bump t "apply_errors";
+        Failed (Printexc.to_string exn)
+  in
+  (* whatever happened, never let a staged origin leak into a later,
+     unrelated record (e.g. when the commit produced no WAL append) *)
+  t.origin_hook None;
+  outcome
+
+(* apply one job's group atomically; called with the write lock held.
+
+   Duplicates are resolved HERE, not in the connection handler, on
+   purpose: the cached answer is fulfilled only after this batch's sync,
+   and batches sync in order, so by then the original's WAL record —
+   appended in this or an earlier batch — is covered by a successful
+   fsync. Answering from the handler could acknowledge a commit whose
+   record is still in the OS buffer. *)
 let apply_job t job =
-  match Engine.apply_group ~policy:job.j_policy t.engine job.j_ops with
-  | Ok reports ->
-      t.seq <- t.seq + 1;
-      bump t "applied";
-      Committed
-        {
-          seq = t.seq;
-          reports = List.length reports;
-          delta_ops =
-            List.fold_left
-              (fun acc (r : Engine.report) ->
-                acc + List.length r.Engine.delta_r)
-              0 reports;
-        }
-  | Error (i, rej) ->
-      bump t "rejected";
-      Rejected_at (i, rej)
-  | exception exn ->
-      bump t "apply_errors";
-      Failed (Printexc.to_string exn)
+  match (job.j_origin, t.dedup) with
+  | Some (client, seq), Some d -> (
+      match Dedup.check d ~client ~seq with
+      | `Duplicate (commit, reports, delta_ops) ->
+          bump t "dedup_hits";
+          Committed { seq = commit; reports; delta_ops }
+      | `Stale ->
+          bump t "dedup_stale";
+          Failed
+            (Printf.sprintf "stale request %s#%d: a newer request was already \
+                             acknowledged" client seq)
+      | `Fresh -> really_apply t job)
+  | _ -> really_apply t job
 
 (* drain up to [batch_cap] jobs; blocks while the queue is empty *)
 let next_batch t =
@@ -88,33 +144,46 @@ let next_batch t =
   Mutex.unlock t.m;
   List.rev !batch
 
+let run_batch t batch =
+  (* apply the whole batch under one exclusive section … *)
+  let outcomes =
+    Rwlock.with_write t.lock (fun () -> List.map (apply_job t) batch)
+  in
+  (* … then sync once, outside the lock, so readers overlap the device
+     write; no job is acknowledged before its batch is on disk. A failed
+     sync must not kill the writer thread — every job in the batch gets
+     the retryable [Sync_failed] answer, the server degrades to
+     read-only, and the loop keeps serving (a later successful sync
+     restores service). *)
+  match t.sync () with
+  | () ->
+      bump t "batches";
+      bump_n t "batched_updates" (List.length batch);
+      List.iter2 fulfill batch outcomes
+  | exception exn ->
+      bump t "sync_failures";
+      let msg = "wal sync failed: " ^ Printexc.to_string exn in
+      t.on_io_error msg;
+      List.iter (fun j -> fulfill j (Sync_failed msg)) batch
+
 let writer_loop t =
   let rec loop () =
     match next_batch t with
     | [] -> if not t.stopping then loop () (* spurious wakeup *)
     | batch ->
-        (* apply the whole batch under one exclusive section … *)
-        let outcomes =
-          Rwlock.with_write t.lock (fun () -> List.map (apply_job t) batch)
-        in
-        (* … then sync once, outside the lock, so readers overlap the
-           device write; no job is acknowledged before its batch is on
-           disk *)
-        (try t.sync ()
-         with exn ->
-           (* a failed sync must not silently acknowledge durability *)
-           let msg = "wal sync failed: " ^ Printexc.to_string exn in
-           List.iter (fun j -> fulfill j (Failed msg)) batch;
-           raise exn);
-        bump t "batches";
-        bump_n t "batched_updates" (List.length batch);
-        List.iter2 fulfill batch outcomes;
+        (match Io.hit "batcher.drain" with
+        | () -> run_batch t batch
+        | exception Unix.Unix_error (e, fn, arg) ->
+            let msg = io_msg e fn arg in
+            t.on_io_error msg;
+            List.iter (fun j -> fulfill j (Sync_failed msg)) batch);
         loop ()
   in
   try loop () with _ when t.stopping -> ()
 
 let create ?(queue_cap = 128) ?(batch_cap = 64) ~lock ?metrics
-    ?(sync = fun () -> ()) engine =
+    ?(sync = fun () -> ()) ?dedup ?(origin_hook = fun _ -> ())
+    ?(on_io_error = fun _ -> ()) ?(initial_seq = 0) engine =
   if queue_cap < 1 || batch_cap < 1 then
     invalid_arg "Batcher.create: caps must be positive";
   let t =
@@ -123,12 +192,15 @@ let create ?(queue_cap = 128) ?(batch_cap = 64) ~lock ?metrics
       lock;
       metrics;
       sync;
+      dedup;
+      origin_hook;
+      on_io_error;
       queue_cap;
       batch_cap;
       q = Queue.create ();
       m = Mutex.create ();
       nonempty = Condition.create ();
-      seq = 0;
+      seq = initial_seq;
       stopping = false;
       writer = None;
     }
@@ -136,11 +208,12 @@ let create ?(queue_cap = 128) ?(batch_cap = 64) ~lock ?metrics
   t.writer <- Some (Thread.create writer_loop t);
   t
 
-let submit t ~policy ops =
+let submit ?origin t ~policy ops =
   let job =
     {
       j_ops = ops;
       j_policy = policy;
+      j_origin = origin;
       j_m = Mutex.create ();
       j_c = Condition.create ();
       j_result = None;
@@ -159,8 +232,8 @@ let submit t ~policy ops =
     `Overloaded
   end
 
-let submit_wait t ~policy ops =
-  match submit t ~policy ops with
+let submit_wait ?origin t ~policy ops =
+  match submit ?origin t ~policy ops with
   | `Overloaded -> `Overloaded
   | `Job j -> `Done (await j)
 

@@ -4,38 +4,88 @@ module Value = Rxv_relational.Value
 
 exception Disconnected of string
 
-type t = { fd : Unix.file_descr; mutable closed : bool }
+type t = {
+  fd : Unix.file_descr;
+  client_id : string;
+  mutable next_seq : int;
+  mutable closed : bool;
+}
 
-let connect ?(retries = 250) path =
+(* process-unique-enough client identity: pid, an in-process counter, and
+   the sub-second clock — distinct across the concurrent processes and
+   threads a chaos run spawns *)
+let id_counter = ref 0
+let id_mutex = Mutex.create ()
+
+let fresh_id () =
+  Mutex.lock id_mutex;
+  incr id_counter;
+  let n = !id_counter in
+  Mutex.unlock id_mutex;
+  let us = int_of_float (Unix.gettimeofday () *. 1e6) land 0xFFFFFF in
+  Printf.sprintf "c%d.%d.%06x" (Unix.getpid ()) n us
+
+(* capped exponential backoff between connection attempts: starts at 2 ms
+   and doubles to a 100 ms ceiling, so a client racing a starting server
+   connects quickly but a down server is not hammered *)
+let backoff_delay attempt =
+  let d = 0.002 *. (2. ** float_of_int (min attempt 6)) in
+  min d 0.1
+
+let connect_with ~retries ~retryable ~mk client_id =
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
    with Invalid_argument _ -> ());
-  let rec go n =
-    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-    match Unix.connect fd (Unix.ADDR_UNIX path) with
-    | () -> { fd; closed = false }
-    | exception
-        Unix.Unix_error ((Unix.ENOENT | Unix.ECONNREFUSED) as e, fn, arg) ->
+  let client_id =
+    match client_id with Some id -> id | None -> fresh_id ()
+  in
+  let rec go attempt =
+    let fd, addr = mk () in
+    match Unix.connect fd addr with
+    | () -> { fd; client_id; next_seq = 1; closed = false }
+    | exception Unix.Unix_error (e, fn, arg) when retryable e ->
         Unix.close fd;
-        if n <= 0 then raise (Unix.Unix_error (e, fn, arg))
+        if attempt >= retries then raise (Unix.Unix_error (e, fn, arg))
         else begin
-          Thread.delay 0.02;
-          go (n - 1)
+          Thread.delay (backoff_delay attempt);
+          go (attempt + 1)
         end
     | exception exn ->
         Unix.close fd;
         raise exn
   in
-  go retries
+  go 0
 
-let connect_tcp host port =
-  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
-   with Invalid_argument _ -> ());
-  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
-  (try Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port))
-   with exn ->
-     Unix.close fd;
-     raise exn);
-  { fd; closed = false }
+let set_rcv_timeout fd = function
+  | None -> ()
+  | Some s -> Unix.setsockopt_float fd Unix.SO_RCVTIMEO s
+
+let connect ?(retries = 60) ?client_id ?rcv_timeout path =
+  let t =
+    connect_with ~retries ~retryable:(function
+      | Unix.ENOENT | Unix.ECONNREFUSED -> true
+      | _ -> false)
+      ~mk:(fun () ->
+        (Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0, Unix.ADDR_UNIX path))
+      client_id
+  in
+  set_rcv_timeout t.fd rcv_timeout;
+  t
+
+let connect_tcp ?(retries = 60) ?client_id ?rcv_timeout host port =
+  let t =
+    connect_with ~retries ~retryable:(function
+      | Unix.ECONNREFUSED -> true
+      | _ -> false)
+      ~mk:(fun () ->
+        ( Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0,
+          Unix.ADDR_INET (Unix.inet_addr_of_string host, port) ))
+      client_id
+  in
+  set_rcv_timeout t.fd rcv_timeout;
+  t
+
+let client_id t = t.client_id
+let next_seq t = t.next_seq
 
 let close t =
   if not t.closed then begin
@@ -62,6 +112,10 @@ let request t req =
   | `Corrupt reason ->
       close t;
       raise (Disconnected ("corrupt response frame: " ^ reason))
+  (* a receive timeout (SO_RCVTIMEO) or a reset mid-reply surfaces here *)
+  | exception Unix.Unix_error (e, _, _) ->
+      close t;
+      raise (Disconnected (Unix.error_message e))
 
 let ping t =
   match request t Proto.Ping with
@@ -74,11 +128,25 @@ let query t src =
   | Proto.Error m -> Error m
   | r -> Error (Fmt.str "unexpected reply: %a" Proto.pp_response r)
 
-let update ?(policy = `Proceed) t ops =
-  match request t (Proto.Update { policy; ops }) with
+let update ?(policy = `Proceed) ?req_seq t ops =
+  let seq =
+    match req_seq with
+    | Some s ->
+        if s >= t.next_seq then t.next_seq <- s + 1;
+        s
+    | None ->
+        let s = t.next_seq in
+        t.next_seq <- s + 1;
+        s
+  in
+  match
+    request t
+      (Proto.Update { client = t.client_id; req_seq = seq; policy; ops })
+  with
   | Proto.Applied { seq; reports; _ } -> `Applied (seq, reports)
   | Proto.Rejected { index; reason } -> `Rejected (index, reason)
   | Proto.Overloaded -> `Overloaded
+  | Proto.Unavailable m -> `Unavailable m
   | Proto.Error m -> `Error m
   | r -> `Error (Fmt.str "unexpected reply: %a" Proto.pp_response r)
 

@@ -1,26 +1,46 @@
 (** Blocking client for the view-update service: one request in flight
-    per connection, framed over a Unix-domain or TCP socket. *)
+    per connection, framed over a Unix-domain or TCP socket.
+
+    Every client carries an identity ([client_id], generated unless
+    supplied) and a monotonically increasing request sequence number;
+    {!update} stamps both onto the wire so the server can deduplicate
+    retries (see {!Resilient} for the retrying wrapper). *)
 
 module Value = Rxv_relational.Value
 
 exception Disconnected of string
-(** the server closed the stream, or a frame failed its CRC *)
+(** the server closed the stream, a frame failed its CRC, or the socket
+    errored/timed out mid-request — the connection is unusable *)
 
 type t
 
-val connect : ?retries:int -> string -> t
-(** connect to a Unix-domain socket path, retrying (20 ms apart, default
-    [retries] 250, i.e. ≈5 s) while the path does not exist or refuses —
-    covers the race against a server still starting up.
+val fresh_id : unit -> string
+(** generate a process-unique client identity (pid, counter, clock) *)
+
+val connect :
+  ?retries:int -> ?client_id:string -> ?rcv_timeout:float -> string -> t
+(** connect to a Unix-domain socket path, retrying with capped
+    exponential backoff (2 ms doubling to 100 ms; default [retries] 60,
+    ≈5 s total) while the path does not exist or refuses — covers the
+    race against a server still starting up. [rcv_timeout] sets
+    [SO_RCVTIMEO]: a reply slower than this surfaces as {!Disconnected}.
     @raise Unix.Unix_error when retries are exhausted *)
 
-val connect_tcp : string -> int -> t
+val connect_tcp :
+  ?retries:int -> ?client_id:string -> ?rcv_timeout:float -> string -> int -> t
+(** like {!connect} for TCP; retries [ECONNREFUSED] with the same
+    backoff *)
+
+val client_id : t -> string
+
+val next_seq : t -> int
+(** the sequence number the next auto-numbered {!update} will use *)
 
 val close : t -> unit
 
 val request : t -> Proto.request -> Proto.response
 (** send one request and block for its response.
-    @raise Disconnected on EOF or transport corruption *)
+    @raise Disconnected on EOF, transport corruption, or socket error *)
 
 (** {2 Convenience wrappers} *)
 
@@ -32,22 +52,27 @@ val query : t -> string -> (int * (string * int) list, string) result
 
 val update :
   ?policy:Proto.policy ->
+  ?req_seq:int ->
   t ->
   Proto.op list ->
   [ `Applied of int * int  (** commit seq, reports *)
   | `Rejected of int * string
   | `Overloaded
+  | `Unavailable of string
   | `Error of string ]
-(** submit one atomic update group; [policy] defaults to [`Proceed] *)
+(** submit one atomic update group; [policy] defaults to [`Proceed].
+    [req_seq] overrides the auto-assigned sequence number — a retry of a
+    possibly-committed request must re-send the {e same} number to get
+    the server's deduplicated answer instead of a second application. *)
 
 val insert : ?policy:Proto.policy -> t -> etype:string -> attr:Value.t array
   -> into:string ->
   [ `Applied of int * int | `Rejected of int * string | `Overloaded
-  | `Error of string ]
+  | `Unavailable of string | `Error of string ]
 
 val delete : ?policy:Proto.policy -> t -> string ->
   [ `Applied of int * int | `Rejected of int * string | `Overloaded
-  | `Error of string ]
+  | `Unavailable of string | `Error of string ]
 
 val stats : t -> (Proto.server_stats, string) result
 val checkpoint : t -> (int * int, string) result

@@ -1,0 +1,64 @@
+(** Per-client exactly-once dedup table. *)
+
+module Persist = Rxv_persist.Persist
+
+type entry = {
+  mutable e_seq : int;
+  mutable e_commit : int;
+  mutable e_reports : int;
+  mutable e_delta : int;
+}
+
+type t = { cap : int; tbl : (string, entry) Hashtbl.t }
+
+let create ?(cap = 1024) () = { cap; tbl = Hashtbl.create 64 }
+let size t = Hashtbl.length t.tbl
+
+let check t ~client ~seq =
+  match Hashtbl.find_opt t.tbl client with
+  | None -> `Fresh
+  | Some e ->
+      if seq > e.e_seq then `Fresh
+      else if seq = e.e_seq then `Duplicate (e.e_commit, e.e_reports, e.e_delta)
+      else `Stale
+
+let evict_oldest t =
+  let victim =
+    Hashtbl.fold
+      (fun client e acc ->
+        match acc with
+        | Some (_, best) when best.e_commit <= e.e_commit -> acc
+        | _ -> Some (client, e))
+      t.tbl None
+  in
+  match victim with Some (client, _) -> Hashtbl.remove t.tbl client | None -> ()
+
+let record t ~client ~seq ~commit ~reports ~delta =
+  match Hashtbl.find_opt t.tbl client with
+  | Some e ->
+      e.e_seq <- seq;
+      e.e_commit <- commit;
+      e.e_reports <- reports;
+      e.e_delta <- delta
+  | None ->
+      if Hashtbl.length t.tbl >= t.cap then evict_oldest t;
+      Hashtbl.replace t.tbl client
+        { e_seq = seq; e_commit = commit; e_reports = reports; e_delta = delta }
+
+let snapshot t =
+  Hashtbl.fold
+    (fun client e acc ->
+      { Persist.sess_client = client; sess_seq = e.e_seq;
+        sess_commit = e.e_commit; sess_reports = e.e_reports;
+        sess_delta = e.e_delta }
+      :: acc)
+    t.tbl []
+
+let load t sessions =
+  Hashtbl.reset t.tbl;
+  List.iter
+    (fun (s : Persist.session) ->
+      Hashtbl.replace t.tbl s.Persist.sess_client
+        { e_seq = s.Persist.sess_seq; e_commit = s.Persist.sess_commit;
+          e_reports = s.Persist.sess_reports; e_delta = s.Persist.sess_delta })
+    sessions

@@ -1,0 +1,43 @@
+(** The exactly-once dedup table: one entry per client, remembering the
+    last acknowledged request and what it committed as.
+
+    The protocol is NFSv4-session-shaped: a client sends strictly
+    increasing [req_seq] numbers and retries a request with the {e same}
+    number, so the server only needs the latest entry per client — a
+    retry of anything older than the last acknowledged request can only
+    come from a broken client and is rejected as stale.
+
+    The table itself is not separately persisted; it is reconstructed
+    from the WAL (each committed group's record carries its origin, and
+    checkpoint rotation snapshots the whole table into the fresh log —
+    see {!Rxv_persist.Persist}). This module is the in-memory half. *)
+
+type t
+
+val create : ?cap:int -> unit -> t
+(** [cap] (default 1024) bounds the table; admitting a client beyond it
+    evicts the entry with the oldest commit number — a client silent for
+    that long has abandoned its retries *)
+
+val check :
+  t ->
+  client:string ->
+  seq:int ->
+  [ `Fresh | `Duplicate of int * int * int | `Stale ]
+(** classify a request: [`Fresh] (apply it), [`Duplicate (commit,
+    reports, delta_ops)] (already committed — re-acknowledge, don't
+    re-apply), [`Stale] (older than the last acknowledged request from
+    this client — reject) *)
+
+val record : t -> client:string -> seq:int -> commit:int -> reports:int ->
+  delta:int -> unit
+(** remember a freshly committed request, superseding the client's
+    previous entry *)
+
+val snapshot : t -> Rxv_persist.Persist.session list
+(** the whole table, for checkpoint-rotation persistence *)
+
+val load : t -> Rxv_persist.Persist.session list -> unit
+(** replace the table's contents with a recovered snapshot *)
+
+val size : t -> int

@@ -13,7 +13,7 @@ type op =
 type request =
   | Ping
   | Query of string
-  | Update of { policy : policy; ops : op list }
+  | Update of { client : string; req_seq : int; policy : policy; ops : op list }
   | Stats
   | Checkpoint
   | Shutdown
@@ -25,6 +25,7 @@ type server_stats = {
   st_l_size : int;
   st_occurrences : int;
   st_wal_records : int option;
+  st_health : string;
   st_counters : (string * int) list;
   st_latencies : Metrics.summary list;
 }
@@ -39,6 +40,7 @@ type response =
   | Checkpointed of { generation : int; bytes : int }
   | Bye
   | Error of string
+  | Unavailable of string
 
 let pp_op ppf = function
   | Delete p -> Fmt.pf ppf "delete %s" p
@@ -48,9 +50,12 @@ let pp_op ppf = function
 let pp_request ppf = function
   | Ping -> Fmt.string ppf "ping"
   | Query p -> Fmt.pf ppf "query %s" p
-  | Update { policy; ops } ->
-      Fmt.pf ppf "update[%s] {%a}"
+  | Update { client; req_seq; policy; ops } ->
+      Fmt.pf ppf "update[%s]%a {%a}"
         (match policy with `Abort -> "abort" | `Proceed -> "proceed")
+        (fun ppf () ->
+          if client <> "" then Fmt.pf ppf " %s#%d" client req_seq)
+        ()
         (Fmt.list ~sep:Fmt.semi pp_op) ops
   | Stats -> Fmt.string ppf "stats"
   | Checkpoint -> Fmt.string ppf "checkpoint"
@@ -70,6 +75,7 @@ let pp_response ppf = function
       Fmt.pf ppf "checkpointed gen=%d (%d bytes)" generation bytes
   | Bye -> Fmt.string ppf "bye"
   | Error m -> Fmt.pf ppf "error: %s" m
+  | Unavailable m -> Fmt.pf ppf "unavailable: %s" m
 
 (* ---- payload codec ---- *)
 
@@ -110,8 +116,10 @@ let encode_request r =
   | Query p ->
       Codec.u8 b 1;
       Codec.bytes_ b p
-  | Update { policy; ops } ->
+  | Update { client; req_seq; policy; ops } ->
       Codec.u8 b 2;
+      Codec.bytes_ b client;
+      Codec.varint b req_seq;
       enc_policy b policy;
       Codec.list_ enc_op b ops
   | Stats -> Codec.u8 b 3
@@ -129,9 +137,11 @@ let decode_request s =
     | 0 -> Ping
     | 1 -> Query (Codec.get_bytes c)
     | 2 ->
+        let client = Codec.get_bytes c in
+        let req_seq = Codec.get_varint c in
         let policy = dec_policy c in
         let ops = Codec.get_list dec_op c in
-        Update { policy; ops }
+        Update { client; req_seq; policy; ops }
     | 3 -> Stats
     | 4 -> Checkpoint
     | 5 -> Shutdown
@@ -203,6 +213,7 @@ let encode_response r =
       Codec.varint b st.st_l_size;
       Codec.varint b st.st_occurrences;
       Codec.option_ Codec.varint b st.st_wal_records;
+      Codec.bytes_ b st.st_health;
       Codec.list_ enc_counter b st.st_counters;
       Codec.list_ enc_summary b st.st_latencies
   | Checkpointed { generation; bytes } ->
@@ -212,6 +223,9 @@ let encode_response r =
   | Bye -> Codec.u8 b 7
   | Error m ->
       Codec.u8 b 8;
+      Codec.bytes_ b m
+  | Unavailable m ->
+      Codec.u8 b 9;
       Codec.bytes_ b m);
   Buffer.contents b
 
@@ -241,17 +255,19 @@ let decode_response s =
         let st_l_size = Codec.get_varint c in
         let st_occurrences = Codec.get_varint c in
         let st_wal_records = Codec.get_option Codec.get_varint c in
+        let st_health = Codec.get_bytes c in
         let st_counters = Codec.get_list dec_counter c in
         let st_latencies = Codec.get_list dec_summary c in
         Stats_reply
           { st_nodes; st_edges; st_m_size; st_l_size; st_occurrences;
-            st_wal_records; st_counters; st_latencies }
+            st_wal_records; st_health; st_counters; st_latencies }
     | 6 ->
         let generation = Codec.get_varint c in
         let bytes = Codec.get_varint c in
         Checkpointed { generation; bytes }
     | 7 -> Bye
     | 8 -> Error (Codec.get_bytes c)
+    | 9 -> Unavailable (Codec.get_bytes c)
     | n -> raise (Codec.Error (Printf.sprintf "bad response tag %d" n))
   in
   check_end c;
@@ -259,45 +275,52 @@ let decode_response s =
 
 (* ---- framed socket transport ---- *)
 
-let write_all fd s =
+module Io = Rxv_fault.Io
+
+(* [fp] names the failpoint site each syscall passes through; EINTR —
+   real or injected — is always resumed at the current offset *)
+let write_all ?fp fd s =
   let b = Bytes.unsafe_of_string s in
   let n = Bytes.length b in
   let rec go off =
     if off < n then
-      let k = Unix.write fd b off (n - off) in
-      go (off + k)
+      match Io.write ?site:fp fd b off (n - off) with
+      | k -> go (off + k)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
   in
   go 0
 
-let send fd payload =
+let send ?fp fd payload =
   let b = Buffer.create (String.length payload + Frame.header_bytes) in
   Frame.add b payload;
-  write_all fd (Buffer.contents b)
+  write_all ?fp fd (Buffer.contents b)
 
 (* read exactly [n] bytes; `Short when the stream ends first *)
-let read_exact fd n =
+let read_exact ?fp fd n =
   let b = Bytes.create n in
   let rec go off =
     if off = n then `Ok (Bytes.unsafe_to_string b)
     else
-      match Unix.read fd b off (n - off) with
+      match Io.read ?site:fp fd b off (n - off) with
       | 0 -> `Short off
       | k -> go (off + k)
       | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
   in
   go 0
 
-let recv fd =
-  match read_exact fd Frame.header_bytes with
+let recv ?fp fd =
+  match read_exact ?fp fd Frame.header_bytes with
   | `Short 0 -> `Eof
   | `Short _ -> `Corrupt "truncated frame header"
   | `Ok header -> (
       let len =
         Int32.to_int (String.get_int32_le header 0) land 0xFFFFFFFF
       in
-      if len > Frame.max_payload then `Corrupt "frame length out of range"
+      (* acceptance bound, not the 1 GiB writer cap: a hostile or
+         corrupted length must not drive an unbounded allocation *)
+      if len > Frame.max_accepted () then `Corrupt "frame length out of range"
       else
-        match read_exact fd len with
+        match read_exact ?fp fd len with
         | `Short _ -> `Corrupt "truncated frame body"
         | `Ok body -> (
             (* revalidate through the Frame reader: one CRC/shape oracle

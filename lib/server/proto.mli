@@ -23,9 +23,14 @@ type op =
 type request =
   | Ping
   | Query of string  (** XPath source *)
-  | Update of { policy : policy; ops : op list }
+  | Update of { client : string; req_seq : int; policy : policy; ops : op list }
       (** one atomic group: all ops commit (and become durable) together
-          or none do *)
+          or none do. [client]/[req_seq] identify the request for
+          exactly-once retry: a client that re-sends after a timeout or
+          reconnect uses the {e same} sequence number, and the server
+          answers an already-committed request from its dedup table
+          instead of re-applying it. [client = ""] opts out (no dedup,
+          at-most-once from the client's point of view). *)
   | Stats
   | Checkpoint
   | Shutdown
@@ -37,6 +42,9 @@ type server_stats = {
   st_l_size : int;
   st_occurrences : int;
   st_wal_records : int option;  (** [None] when the server has no WAL *)
+  st_health : string;
+      (** ["ok"], or ["degraded: <reason>"] while the server is in
+          read-only mode after a durability failure *)
   st_counters : (string * int) list;
   st_latencies : Metrics.summary list;
 }
@@ -56,6 +64,11 @@ type response =
   | Checkpointed of { generation : int; bytes : int }
   | Bye  (** shutdown acknowledged; the server is stopping *)
   | Error of string  (** request-level failure; the connection survives *)
+  | Unavailable of string
+      (** the server cannot guarantee durability right now (degraded
+          read-only mode, or the sync for this batch failed); the update
+          was {e not} acknowledged and is safe to retry — with the same
+          [req_seq] — once the server recovers *)
 
 val pp_request : Format.formatter -> request -> unit
 val pp_response : Format.formatter -> response -> unit
@@ -72,10 +85,15 @@ val decode_response : string -> response
 
 (** {2 Framed socket transport} *)
 
-val send : Unix.file_descr -> string -> unit
-(** frame the payload and write it whole *)
+val send : ?fp:string -> Unix.file_descr -> string -> unit
+(** frame the payload and write it whole, resuming over EINTR and short
+    writes. [fp] names the {!Rxv_fault} site every underlying [write]
+    passes through (e.g. ["srv.write"]). *)
 
-val recv : Unix.file_descr -> [ `Msg of string | `Eof | `Corrupt of string ]
-(** read exactly one framed message. [`Eof] is a clean close before a
-    frame starts; a truncated header/body or CRC mismatch is
-    [`Corrupt] — the stream is unusable from here and must be closed. *)
+val recv :
+  ?fp:string -> Unix.file_descr -> [ `Msg of string | `Eof | `Corrupt of string ]
+(** read exactly one framed message, resuming over EINTR. [`Eof] is a
+    clean close before a frame starts; a truncated header/body, a CRC
+    mismatch, or a declared length above {!Rxv_persist.Frame.max_accepted}
+    is [`Corrupt] — the stream is unusable from here and must be closed.
+    [fp] names the failpoint site for the underlying reads. *)

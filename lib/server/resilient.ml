@@ -1,0 +1,137 @@
+(** Retrying client wrapper: reconnects and re-sends with a stable
+    identity, so every retry of an update carries the same
+    [(client_id, req_seq)] and the server's dedup table guarantees
+    exactly-once application. *)
+
+module Rng = Rxv_sat.Rng
+
+type target = Unix_path of string | Tcp of string * int
+
+type t = {
+  target : target;
+  t_client_id : string;
+  timeout : float option;
+  max_attempts : int;
+  rng : Rng.t;
+  mutable conn : Client.t option;
+  mutable next_seq : int;
+  mutable n_reconnects : int;
+  mutable n_retries : int;
+  mutable closed : bool;
+}
+
+let create ?client_id ?(timeout = 5.0) ?(max_attempts = 12) ?(seed = 0) target
+    =
+  {
+    target;
+    t_client_id =
+      (match client_id with Some id -> id | None -> Client.fresh_id ());
+    timeout = (if timeout <= 0. then None else Some timeout);
+    max_attempts = max 1 max_attempts;
+    rng = Rng.create (0x5EED lxor seed);
+    conn = None;
+    next_seq = 1;
+    n_reconnects = 0;
+    n_retries = 0;
+    closed = false;
+  }
+
+let client_id t = t.t_client_id
+let reconnects t = t.n_reconnects
+let retries t = t.n_retries
+
+(* capped exponential backoff with multiplicative jitter: attempt [k]
+   sleeps in [half, full] of [2^k * 5 ms], capped at 250 ms — jitter
+   decorrelates a swarm of clients all retrying against the same
+   recovering server *)
+let backoff t k =
+  let full = min 0.25 (0.005 *. (2. ** float_of_int (min k 6))) in
+  let frac = 0.5 +. (0.5 *. Rng.float t.rng) in
+  Thread.delay (full *. frac)
+
+let drop_conn t =
+  (match t.conn with Some c -> Client.close c | None -> ());
+  t.conn <- None
+
+let conn t =
+  match t.conn with
+  | Some c -> c
+  | None ->
+      let c =
+        match t.target with
+        | Unix_path p ->
+            Client.connect ~client_id:t.t_client_id ?rcv_timeout:t.timeout p
+        | Tcp (host, port) ->
+            Client.connect_tcp ~client_id:t.t_client_id
+              ?rcv_timeout:t.timeout host port
+      in
+      t.n_reconnects <- t.n_reconnects + 1;
+      t.conn <- Some c;
+      c
+
+let close t =
+  t.closed <- true;
+  drop_conn t
+
+(* Run [f conn] with reconnect-and-retry. [f] must be safe to repeat —
+   updates are, because they always re-send the same req_seq. *)
+let with_retries t ~give_up f =
+  let rec go k last =
+    if t.closed then give_up "client closed"
+    else if k >= t.max_attempts then give_up last
+    else begin
+      if k > 0 then begin
+        t.n_retries <- t.n_retries + 1;
+        backoff t (k - 1)
+      end;
+      match f (conn t) with
+      | `Retry reason ->
+          drop_conn t;
+          go (k + 1) reason
+      | `Soft_retry reason ->
+          (* the connection is fine; the server just told us to back off *)
+          go (k + 1) reason
+      | `Done r -> r
+      | exception Client.Disconnected reason ->
+          drop_conn t;
+          go (k + 1) reason
+      | exception Unix.Unix_error (e, _, _) ->
+          drop_conn t;
+          go (k + 1) (Unix.error_message e)
+    end
+  in
+  go 0 "unattempted"
+
+let update ?(policy = `Proceed) t ops =
+  (* the sequence number is fixed ONCE per logical request; every wire
+     retry below re-sends it, which is what makes retry safe *)
+  let seq = t.next_seq in
+  t.next_seq <- seq + 1;
+  with_retries t
+    ~give_up:(fun last ->
+      `Error (Printf.sprintf "retries exhausted (%s)" last))
+    (fun c ->
+      match Client.update ~policy ~req_seq:seq c ops with
+      | `Applied _ as r -> `Done r
+      | `Rejected _ as r -> `Done r
+      | `Error _ as r -> `Done r
+      | `Overloaded -> `Soft_retry "overloaded"
+      | `Unavailable reason -> `Soft_retry ("unavailable: " ^ reason))
+
+let query t src =
+  with_retries t
+    ~give_up:(fun last ->
+      Error (Printf.sprintf "retries exhausted (%s)" last))
+    (fun c ->
+      match Client.query c src with
+      | Ok _ as r -> `Done r
+      | Error _ as r -> `Done r)
+
+let stats t =
+  with_retries t
+    ~give_up:(fun last ->
+      Error (Printf.sprintf "retries exhausted (%s)" last))
+    (fun c ->
+      match Client.stats c with
+      | Ok _ as r -> `Done r
+      | Error _ as r -> `Done r)

@@ -1,0 +1,57 @@
+(** The retrying client: exactly-once updates over an unreliable
+    connection.
+
+    A {!Resilient.t} owns a stable client identity and a monotonically
+    increasing request sequence. {!update} assigns its sequence number
+    {e once}, then re-sends the identical [(client_id, req_seq)] across
+    timeouts, resets, [Overloaded] backpressure, and [Unavailable]
+    degraded-mode answers — reconnecting as needed with capped,
+    jittered exponential backoff. Because the server deduplicates on
+    that pair (and persists the table in the WAL), an update the client
+    saw acknowledged was applied exactly once, and a retry of an
+    already-committed update returns the {e original} commit numbers
+    even across a server crash and recovery.
+
+    [Applied], [Rejected], and in-protocol [Error] answers are
+    definitive and end the retry loop. *)
+
+type target = Unix_path of string | Tcp of string * int
+
+type t
+
+val create :
+  ?client_id:string ->
+  ?timeout:float ->
+  ?max_attempts:int ->
+  ?seed:int ->
+  target ->
+  t
+(** [timeout] (default 5 s; [<= 0.] disables) is the per-request receive
+    timeout — a reply slower than this triggers reconnect-and-retry.
+    [max_attempts] (default 12) bounds attempts per request. [seed]
+    makes the backoff jitter reproducible. Connection is lazy: the
+    first request connects. *)
+
+val client_id : t -> string
+
+val update :
+  ?policy:Proto.policy ->
+  t ->
+  Proto.op list ->
+  [ `Applied of int * int
+  | `Rejected of int * string
+  | `Error of string ]
+(** submit one atomic group with at-most-[max_attempts] exactly-once
+    delivery; [`Error] covers both definitive server errors and retry
+    exhaustion *)
+
+val query : t -> string -> (int * (string * int) list, string) result
+val stats : t -> (Proto.server_stats, string) result
+
+val reconnects : t -> int
+(** connections established over this client's lifetime *)
+
+val retries : t -> int
+(** request attempts beyond the first, across all requests *)
+
+val close : t -> unit

@@ -9,6 +9,7 @@ module Atg = Rxv_atg.Atg
 module Value = Rxv_relational.Value
 module Persist = Rxv_persist.Persist
 module Codec = Rxv_persist.Codec
+module Io = Rxv_fault.Io
 
 let src = Logs.Src.create "rxv.server" ~doc:"view-update service"
 
@@ -16,9 +17,19 @@ module Log = (val Logs.src_log src : Logs.LOG)
 
 type address = Unix_sock of string | Tcp of string * int
 
-type config = { queue_cap : int; batch_cap : int; max_listed : int }
+type config = {
+  queue_cap : int;
+  batch_cap : int;
+  max_listed : int;
+  probe_interval : float;
+  max_sessions : int;
+}
 
-let default_config = { queue_cap = 128; batch_cap = 64; max_listed = 32 }
+let default_config =
+  { queue_cap = 128; batch_cap = 64; max_listed = 32; probe_interval = 0.25;
+    max_sessions = 1024 }
+
+type health = [ `Ok | `Degraded of string ]
 
 type t = {
   cfg : config;
@@ -27,11 +38,18 @@ type t = {
   lock : Rwlock.t;
   mtr : Metrics.t;
   batcher : Batcher.t;
+  dedup : Dedup.t;
   addr : address;
   listen_fd : Unix.file_descr;
   stop_rd : Unix.file_descr;  (* self-pipe: wakes the accept select *)
   stop_wr : Unix.file_descr;
   m : Mutex.t;
+  sync_m : Mutex.t;
+      (* serializes every Persist.sync/checkpoint: the batcher's
+         group-commit sync, the degraded-mode durability probe, and
+         checkpoint rotation all touch the same WAL writer *)
+  mutable health : health;
+  mutable last_probe : float;
   mutable stopping : bool;
   mutable conns : (int * Unix.file_descr) list;  (* live client fds *)
   mutable handlers : Thread.t list;
@@ -43,6 +61,66 @@ let engine t = t.eng
 let metrics t = t.mtr
 let address t = t.addr
 let batcher t = t.batcher
+let dedup t = t.dedup
+
+let health t =
+  Mutex.lock t.m;
+  let h = t.health in
+  Mutex.unlock t.m;
+  h
+
+let health_string t =
+  match health t with `Ok -> "ok" | `Degraded r -> "degraded: " ^ r
+
+(* ---- degraded read-only mode ---- *)
+
+let degrade t reason =
+  Mutex.lock t.m;
+  let first = t.health = `Ok in
+  if first then t.health <- `Degraded reason;
+  Mutex.unlock t.m;
+  if first then begin
+    Metrics.incr t.mtr "degraded_entries";
+    Log.err (fun m -> m "durability failure, entering read-only mode: %s" reason)
+  end
+
+(* While degraded, each write attempt may (rate-limited by
+   [probe_interval]) probe the device with a real WAL sync. The probe
+   runs under the exclusive lock AND the sync mutex so it cannot race
+   the batcher's appends or syncs. A success both proves the device
+   works again and makes every previously-buffered record durable — so
+   leaving degraded mode is itself the repair. *)
+let check_health t =
+  match health t with
+  | `Ok -> `Ok
+  | `Degraded reason -> (
+      match t.persist with
+      | None -> `Degraded reason
+      | Some p ->
+          let now = Unix.gettimeofday () in
+          Mutex.lock t.m;
+          let due = now -. t.last_probe >= t.cfg.probe_interval in
+          if due then t.last_probe <- now;
+          Mutex.unlock t.m;
+          if not due then `Degraded reason
+          else begin
+            Metrics.incr t.mtr "health_probes";
+            match
+              Rwlock.with_write t.lock (fun () ->
+                  Mutex.lock t.sync_m;
+                  Fun.protect
+                    ~finally:(fun () -> Mutex.unlock t.sync_m)
+                    (fun () -> Persist.sync p))
+            with
+            | () ->
+                Mutex.lock t.m;
+                t.health <- `Ok;
+                Mutex.unlock t.m;
+                Metrics.incr t.mtr "degraded_exits";
+                Log.info (fun m -> m "durability restored, accepting writes");
+                `Ok
+            | exception _ -> `Degraded reason
+          end)
 
 (* ---- connection bookkeeping ---- *)
 
@@ -93,19 +171,30 @@ let handle_query t src =
           Proto.Selected
             { count = List.length r.Dag_eval.selected; nodes })
 
-let handle_update t ~policy ops =
-  match ops_to_xupdates ops with
-  | Error msg -> Proto.Error msg
-  | Ok [] -> Proto.Error "empty update group"
-  | Ok us -> (
-      match Batcher.submit_wait t.batcher ~policy us with
-      | `Overloaded -> Proto.Overloaded
-      | `Done (Batcher.Committed { seq; reports; delta_ops }) ->
-          Proto.Applied { seq; reports; delta_ops }
-      | `Done (Batcher.Rejected_at (i, rej)) ->
-          Proto.Rejected
-            { index = i; reason = Fmt.str "%a" Engine.pp_rejection rej }
-      | `Done (Batcher.Failed msg) -> Proto.Error msg)
+let handle_update t ~client ~req_seq ~policy ops =
+  match check_health t with
+  | `Degraded reason ->
+      Metrics.incr t.mtr "unavailable";
+      Proto.Unavailable reason
+  | `Ok -> (
+      match ops_to_xupdates ops with
+      | Error msg -> Proto.Error msg
+      | Ok [] -> Proto.Error "empty update group"
+      | Ok us -> (
+          let origin = if client = "" then None else Some (client, req_seq) in
+          match Batcher.submit_wait ?origin t.batcher ~policy us with
+          | `Overloaded -> Proto.Overloaded
+          | `Done (Batcher.Committed { seq; reports; delta_ops }) ->
+              Proto.Applied { seq; reports; delta_ops }
+          | `Done (Batcher.Rejected_at (i, rej)) ->
+              Proto.Rejected
+                { index = i; reason = Fmt.str "%a" Engine.pp_rejection rej }
+          | `Done (Batcher.Failed msg) -> Proto.Error msg
+          | `Done (Batcher.Sync_failed msg) ->
+              (* on_io_error already degraded the server; tell the client
+                 the truth: not acknowledged, safe to retry *)
+              Metrics.incr t.mtr "unavailable";
+              Proto.Unavailable msg))
 
 let handle_stats t =
   Rwlock.with_read t.lock (fun () ->
@@ -119,6 +208,7 @@ let handle_stats t =
           st_l_size = st.Engine.l_size;
           st_occurrences = st.Engine.occurrences;
           st_wal_records = st.Engine.wal_records;
+          st_health = health_string t;
           st_counters = snap.Metrics.counters;
           st_latencies = snap.Metrics.latencies;
         })
@@ -126,10 +216,24 @@ let handle_stats t =
 let handle_checkpoint t =
   match t.persist with
   | None -> Proto.Error "server has no durability directory"
-  | Some p ->
-      Rwlock.with_write t.lock (fun () ->
-          let bytes = Persist.checkpoint p t.eng in
-          Proto.Checkpointed { generation = Persist.generation p; bytes })
+  | Some p -> (
+      let sessions = (Dedup.snapshot t.dedup, Batcher.seq t.batcher) in
+      match
+        Rwlock.with_write t.lock (fun () ->
+            Mutex.lock t.sync_m;
+            Fun.protect
+              ~finally:(fun () -> Mutex.unlock t.sync_m)
+              (fun () -> Persist.checkpoint ~sessions p t.eng))
+      with
+      | bytes ->
+          Proto.Checkpointed { generation = Persist.generation p; bytes }
+      | exception Unix.Unix_error (e, fn, arg) ->
+          let msg = Printf.sprintf "%s(%s): %s" fn arg (Unix.error_message e) in
+          degrade t ("checkpoint failed: " ^ msg);
+          Proto.Error ("checkpoint failed: " ^ msg)
+      | exception Sys_error msg ->
+          degrade t ("checkpoint failed: " ^ msg);
+          Proto.Error ("checkpoint failed: " ^ msg))
 
 let kind_of_request = function
   | Proto.Ping -> "ping"
@@ -139,11 +243,20 @@ let kind_of_request = function
   | Proto.Checkpoint -> "checkpoint"
   | Proto.Shutdown -> "shutdown"
 
-(* serve one connection until EOF, corruption, or shutdown *)
+(* serve one connection until EOF, corruption, socket death, or
+   shutdown. Any I/O failure here — EPIPE from a vanished peer,
+   ECONNRESET, an injected EIO — costs exactly this connection. *)
 let handler t fd conn_id =
   let stop_conn = ref false in
+  let conn_dead reason =
+    Metrics.incr t.mtr "conn_io_errors";
+    Log.info (fun m -> m "conn %d: %s" conn_id reason);
+    stop_conn := true
+  in
   while not !stop_conn do
-    match Proto.recv fd with
+    match Proto.recv ~fp:"srv.read" fd with
+    | exception Unix.Unix_error (e, _, _) ->
+        conn_dead ("read failed: " ^ Unix.error_message e)
     | `Eof -> stop_conn := true
     | `Corrupt reason ->
         (* transport-level damage: this stream has no recoverable
@@ -171,15 +284,17 @@ let handler t fd conn_id =
               match req with
               | Proto.Ping -> Proto.Pong
               | Proto.Query src -> handle_query t src
-              | Proto.Update { policy; ops } -> handle_update t ~policy ops
+              | Proto.Update { client; req_seq; policy; ops } ->
+                  handle_update t ~client ~req_seq ~policy ops
               | Proto.Stats -> handle_stats t
               | Proto.Checkpoint -> handle_checkpoint t
               | Proto.Shutdown -> Proto.Bye
             in
             Metrics.record t.mtr (kind_of_request req)
               (Unix.gettimeofday () -. t0);
-            (try Proto.send fd (Proto.encode_response resp)
-             with Unix.Unix_error _ -> stop_conn := true);
+            (try Proto.send ~fp:"srv.write" fd (Proto.encode_response resp)
+             with Unix.Unix_error (e, _, _) ->
+               conn_dead ("write failed: " ^ Unix.error_message e));
             if req = Proto.Shutdown then begin
               stop_conn := true;
               (* wake the accept loop; the caller of [wait] finishes the
@@ -203,7 +318,10 @@ let accept_loop t =
       | readable, _, _ ->
           if List.mem t.stop_rd readable then () (* stop requested *)
           else if List.mem t.listen_fd readable then begin
-            match Unix.accept t.listen_fd with
+            match
+              Io.hit "srv.accept";
+              Unix.accept t.listen_fd
+            with
             | fd, _ ->
                 Metrics.incr t.mtr "connections";
                 let id = register_conn t fd in
@@ -214,6 +332,13 @@ let accept_loop t =
                 loop ()
             | exception Unix.Unix_error ((Unix.ECONNABORTED | Unix.EINTR), _, _)
               ->
+                loop ()
+            | exception Unix.Unix_error (e, _, _) ->
+                (* EMFILE, ENFILE, injected EIO, …: losing one accept
+                   must not kill the listener — note it and go on *)
+                Metrics.incr t.mtr "accept_errors";
+                Log.warn (fun m -> m "accept: %s" (Unix.error_message e));
+                Thread.delay 0.01;
                 loop ()
           end
           else loop ()
@@ -248,6 +373,7 @@ let start ?(config = default_config) ?persist addr eng =
   let stop_rd, stop_wr = Unix.pipe () in
   let lock = Rwlock.create () in
   let mtr = Metrics.create () in
+  let sync_m = Mutex.create () in
   (match persist with
   | Some p -> Persist.attach ~deferred_sync:true p eng
   | None -> ());
@@ -255,13 +381,34 @@ let start ?(config = default_config) ?persist addr eng =
     match persist with
     | Some p ->
         fun () ->
-          Persist.sync p;
+          Mutex.lock sync_m;
+          Fun.protect
+            ~finally:(fun () -> Mutex.unlock sync_m)
+            (fun () -> Persist.sync p);
           Metrics.incr mtr "wal_syncs"
     | None -> fun () -> ()
   in
+  (* the server's dedup table and commit counter continue where the WAL
+     left off: a client retrying across our crash gets its original
+     answer, not a second application *)
+  let dedup = Dedup.create ~cap:config.max_sessions () in
+  let initial_seq =
+    match persist with
+    | Some p ->
+        Dedup.load dedup (Persist.recovered_sessions p);
+        Persist.recovered_last_commit p
+    | None -> 0
+  in
+  let origin_hook =
+    match persist with Some p -> Persist.set_origin p | None -> fun _ -> ()
+  in
+  (* the batcher reports durability failures before [t] exists *)
+  let degrade_cell = ref (fun (_ : string) -> ()) in
   let batcher =
     Batcher.create ~queue_cap:config.queue_cap ~batch_cap:config.batch_cap
-      ~lock ~metrics:mtr ~sync eng
+      ~lock ~metrics:mtr ~sync ~dedup ~origin_hook
+      ~on_io_error:(fun msg -> !degrade_cell msg)
+      ~initial_seq eng
   in
   let t =
     {
@@ -271,11 +418,15 @@ let start ?(config = default_config) ?persist addr eng =
       lock;
       mtr;
       batcher;
+      dedup;
       addr;
       listen_fd;
       stop_rd;
       stop_wr;
       m = Mutex.create ();
+      sync_m;
+      health = `Ok;
+      last_probe = 0.;
       stopping = false;
       conns = [];
       handlers = [];
@@ -283,6 +434,7 @@ let start ?(config = default_config) ?persist addr eng =
       accept_thread = None;
     }
   in
+  degrade_cell := degrade t;
   t.accept_thread <- Some (Thread.create accept_loop t);
   Log.info (fun m ->
       m "serving %s"

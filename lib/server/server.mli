@@ -8,11 +8,27 @@
       previous write batch is still in flight;
     - update groups are serialized through the batcher, which holds the
       exclusive side only while applying (never across the sync);
-    - checkpoints take the exclusive side directly.
+    - checkpoints and degraded-mode durability probes take the exclusive
+      side directly (plus the sync mutex shared with the batcher).
 
     Protocol-level failures (unparsable XPath, unknown element type) are
     [Error] replies on a healthy connection; transport-level corruption
-    (bad CRC, truncated frame) kills just that connection. *)
+    (bad CRC, truncated frame) or socket death (EPIPE, ECONNRESET,
+    injected EIO) kills just that connection.
+
+    {b Degraded read-only mode.} When durability fails — a WAL sync or
+    checkpoint raises — the server stops accepting writes ([Unavailable]
+    replies) but keeps serving queries and stats (which report the
+    condition via [st_health]). Each subsequent write attempt may probe
+    the device (rate-limited by [probe_interval]); the first successful
+    sync both proves the device recovered and flushes everything that
+    was buffered, so service resumes with nothing lost.
+
+    {b Exactly-once updates.} Updates carrying a client identity are
+    deduplicated against the {!Dedup} table (rebuilt from the WAL at
+    recovery, snapshotted into each new generation at checkpoint): a
+    retry of an acknowledged request returns the original answer instead
+    of applying twice. *)
 
 module Engine = Rxv_core.Engine
 module Persist = Rxv_persist.Persist
@@ -25,17 +41,25 @@ type config = {
   queue_cap : int;  (** pending update groups before [Overloaded] *)
   batch_cap : int;  (** commits amortized per WAL sync *)
   max_listed : int;  (** node ids listed in a query reply *)
+  probe_interval : float;
+      (** min seconds between degraded-mode durability probes *)
+  max_sessions : int;  (** dedup-table entries before eviction *)
 }
 
 val default_config : config
-(** [{ queue_cap = 128; batch_cap = 64; max_listed = 32 }] *)
+(** [{ queue_cap = 128; batch_cap = 64; max_listed = 32;
+      probe_interval = 0.25; max_sessions = 1024 }] *)
+
+type health = [ `Ok | `Degraded of string ]
 
 type t
 
 val start : ?config:config -> ?persist:Persist.t -> address -> Engine.t -> t
 (** bind, listen and serve. When [persist] is given the engine's WAL
-    hook is (re)attached in [deferred_sync] mode and the batcher syncs
-    it once per batch; without it updates are volatile.
+    hook is (re)attached in [deferred_sync] mode, the batcher syncs it
+    once per batch, and the dedup table / commit counter resume from the
+    recovered WAL state; without it updates are volatile (and dedup is
+    in-memory only).
     @raise Unix.Unix_error when binding fails *)
 
 val engine : t -> Engine.t
@@ -44,6 +68,13 @@ val address : t -> address
 
 val batcher : t -> Batcher.t
 (** the single-writer group-commit loop (e.g. for {!Batcher.seq}) *)
+
+val dedup : t -> Dedup.t
+(** the exactly-once session table *)
+
+val health : t -> health
+val health_string : t -> string
+(** ["ok"] or ["degraded: <reason>"] *)
 
 val initiate_stop : t -> unit
 (** ask the accept loop to wind down; returns immediately (safe to call

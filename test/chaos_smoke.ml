@@ -1,0 +1,194 @@
+(* CI chaos harness: drives the real binary through injected faults and
+   a mid-append crash, then proves the exactly-once contract end to end.
+
+   Usage: chaos_smoke.exe <path-to-rxv_cli.exe>
+
+   Phase A — fault soak: spawn `rxv serve` with failpoints armed (torn
+   WAL appends, interrupted reads and writes), hammer it with a swarm of
+   resilient clients, and require every request to end definitively and
+   the server to shut down cleanly.
+
+   Phase B — crash: restart with `wal.append:after=N:exit` armed so the
+   process _exit()s mid-append under load (SIGKILL as belt and braces),
+   recording every acknowledged update, then require
+   `rxv recover --wal DIR --check` to exit 0 on the torn directory.
+
+   Phase C — exactly-once audit: restart clean on the same directory and
+   require (a) every update acknowledged in phases A and B to be present
+   exactly once, (b) a re-send of the last acknowledged request — same
+   client id, same sequence number — to be re-acknowledged with the
+   original commit numbers instead of applied twice, and (c) fresh
+   updates to flow normally.
+
+   Exits 0 only if every step holds. *)
+
+module Proto = Rxv_server.Proto
+module Client = Rxv_server.Client
+module Resilient = Rxv_server.Resilient
+
+let fail fmt = Printf.ksprintf (fun m -> prerr_endline ("FAIL: " ^ m); exit 1) fmt
+
+let rec rm_rf path =
+  match Unix.lstat path with
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+  | { Unix.st_kind = Unix.S_DIR; _ } ->
+      Array.iter (fun n -> rm_rf (Filename.concat path n)) (Sys.readdir path);
+      Unix.rmdir path
+  | _ -> Sys.remove path
+
+let spawn cli args =
+  let argv = Array.of_list (cli :: args) in
+  Unix.create_process cli argv Unix.stdin Unix.stdout Unix.stderr
+
+let ins cno =
+  Proto.Insert
+    {
+      etype = "course";
+      attr = Rxv_workload.Registrar.course_attr cno "Chaos";
+      path = "//course[cno=CS240]/prereq";
+    }
+
+let count_of c cno =
+  match Client.query c (Printf.sprintf "//course[cno=%s]" cno) with
+  | Ok (n, _) -> n
+  | Error m -> fail "audit query %s: %s" cno m
+
+let () =
+  let cli =
+    if Array.length Sys.argv < 2 then fail "usage: chaos_smoke <rxv_cli.exe>"
+    else Sys.argv.(1)
+  in
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "rxv-chaos-%d" (Unix.getpid ()))
+  in
+  rm_rf dir;
+  Unix.mkdir dir 0o755;
+  let sock = Filename.concat dir "rxv.sock" in
+  let acked : string list ref = ref [] in
+
+  (* ---- phase A: resilient swarm against injected transport/WAL faults *)
+  let pid =
+    spawn cli
+      [
+        "serve"; "--socket"; sock; "--wal"; dir; "--sync"; "always";
+        "--failpoints";
+        "wal.append:p=0.04:short,srv.read:every=43:eintr,\
+         srv.write:every=47:eintr";
+        "--fp-seed"; "11";
+      ]
+  in
+  let am = Mutex.create () in
+  let swarm_fail = ref None in
+  let writer w () =
+    let r =
+      Resilient.create ~timeout:1.0 ~max_attempts:40 ~seed:w
+        (Resilient.Unix_path sock)
+    in
+    for i = 0 to 24 do
+      let cno = Printf.sprintf "KA%dR%d" w i in
+      match Resilient.update r [ ins cno ] with
+      | `Applied _ ->
+          Mutex.lock am;
+          acked := cno :: !acked;
+          Mutex.unlock am
+      | `Rejected (_, m) | `Error m ->
+          Mutex.lock am;
+          if !swarm_fail = None then
+            swarm_fail := Some (Printf.sprintf "writer %d %s: %s" w cno m);
+          Mutex.unlock am
+    done;
+    Resilient.close r
+  in
+  let threads = List.init 3 (fun w -> Thread.create (writer w) ()) in
+  List.iter Thread.join threads;
+  (match !swarm_fail with Some m -> fail "phase A: %s" m | None -> ());
+  if List.length !acked < 60 then
+    fail "phase A: only %d/75 acknowledged" (List.length !acked);
+  let c = Client.connect sock in
+  Client.shutdown c;
+  Client.close c;
+  (match Unix.waitpid [] pid with
+  | _, Unix.WEXITED 0 -> ()
+  | _, Unix.WEXITED n -> fail "phase A: server exited %d" n
+  | _, _ -> fail "phase A: server killed by signal");
+  Printf.printf "chaos phase A (fault soak, %d acked): OK\n%!"
+    (List.length !acked);
+
+  (* ---- phase B: the process dies mid-append under load ---- *)
+  let pid =
+    spawn cli
+      [
+        "serve"; "--socket"; sock; "--wal"; dir; "--sync"; "always";
+        "--failpoints"; "wal.append:after=35:exit";
+        "--fp-seed"; "1";
+      ]
+  in
+  let c = Client.connect ~client_id:"smokeB" sock in
+  let last_acked = ref None in
+  (try
+     for i = 0 to 199 do
+       let cno = Printf.sprintf "KB%d" i in
+       match Client.update c ~req_seq:(i + 1) [ ins cno ] with
+       | `Applied (seq, reports) ->
+           acked := cno :: !acked;
+           last_acked := Some (i + 1, cno, seq, reports)
+       | `Rejected (_, m) -> fail "phase B: %s rejected: %s" cno m
+       | `Error m -> fail "phase B: %s error: %s" cno m
+       | `Overloaded | `Unavailable _ -> Thread.delay 0.01
+     done;
+     fail "phase B: server survived 200 appends past wal.append:after=35"
+   with Client.Disconnected _ | Unix.Unix_error _ -> ());
+  Client.close c;
+  (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+  ignore (Unix.waitpid [] pid);
+  let rc =
+    match Unix.waitpid [] (spawn cli [ "recover"; "--wal"; dir; "--check" ]) with
+    | _, Unix.WEXITED n -> n
+    | _, _ -> 255
+  in
+  if rc <> 0 then fail "phase B: recover --check exited %d after crash" rc;
+  (match !last_acked with
+  | None -> fail "phase B: nothing was acknowledged before the crash"
+  | Some _ -> ());
+  Printf.printf "chaos phase B (crash mid-append + recover --check): OK\n%!";
+
+  (* ---- phase C: restart clean; audit the exactly-once contract ---- *)
+  let pid =
+    spawn cli [ "serve"; "--socket"; sock; "--wal"; dir; "--sync"; "always" ]
+  in
+  let c = Client.connect ~client_id:"smokeB" sock in
+  List.iter
+    (fun cno ->
+      match count_of c cno with
+      | 1 -> ()
+      | n -> fail "phase C: acked %s present %d times (want exactly 1)" cno n)
+    !acked;
+  (* a retry of the last pre-crash acknowledgement re-acknowledges with
+     the original commit numbers — the dedup table survived the crash *)
+  let last_seq, last_cno, orig_seq, orig_reports =
+    match !last_acked with Some x -> x | None -> assert false
+  in
+  (match Client.update c ~req_seq:last_seq [ ins last_cno ] with
+  | `Applied (seq, reports) ->
+      if (seq, reports) <> (orig_seq, orig_reports) then
+        fail "phase C: dedup replay answered (%d,%d), original was (%d,%d)"
+          seq reports orig_seq orig_reports
+  | _ -> fail "phase C: dedup replay of req %d not re-acknowledged" last_seq);
+  if count_of c last_cno <> 1 then
+    fail "phase C: dedup replay duplicated %s" last_cno;
+  (* fresh traffic flows normally after all of that *)
+  (match Client.update c ~req_seq:500 [ ins "KC0" ] with
+  | `Applied _ -> ()
+  | _ -> fail "phase C: fresh update failed");
+  if count_of c "KC0" <> 1 then fail "phase C: fresh update not visible";
+  Client.shutdown c;
+  Client.close c;
+  (match Unix.waitpid [] pid with
+  | _, Unix.WEXITED 0 -> ()
+  | _, _ -> fail "phase C: server did not shut down cleanly");
+  Printf.printf
+    "chaos phase C (exactly-once audit over %d acked updates): OK\n%!"
+    (List.length !acked);
+  rm_rf dir

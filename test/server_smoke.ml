@@ -70,7 +70,7 @@ let () =
   (match ins c "CS801" "Smoke Test I" with
   | `Applied (1, _) -> ()
   | `Applied (s, _) -> fail "expected commit seq 1, got %d" s
-  | `Rejected (_, m) | `Error m -> fail "insert: %s" m
+  | `Rejected (_, m) | `Error m | `Unavailable m -> fail "insert: %s" m
   | `Overloaded -> fail "insert: overloaded");
   (match Client.query c "//course" with
   | Ok (n, _) when n = before + 1 -> ()
@@ -107,7 +107,8 @@ let () =
   for i = 0 to 9 do
     match ins c (Printf.sprintf "CS81%d" i) "Smoke Test II" with
     | `Applied _ -> ()
-    | `Rejected (_, m) | `Error m -> fail "pass-2 insert %d: %s" i m
+    | `Rejected (_, m) | `Error m | `Unavailable m ->
+        fail "pass-2 insert %d: %s" i m
     | `Overloaded -> fail "pass-2 insert %d: overloaded" i
   done;
   Unix.kill pid Sys.sigkill;

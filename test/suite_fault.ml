@@ -1,0 +1,678 @@
+(* Tests for the fault-injection subsystem and everything it guards:
+   failpoint trigger/spec semantics, the I/O shim, EINTR resumption in
+   the transport and WAL, torn-append rollback + exactly-once retry,
+   degraded read-only mode with durability probing, dedup across
+   restart and checkpoint rotation, client-timeout retry, EPIPE
+   isolation, hostile frame lengths, and a chaos soak with a mid-soak
+   crash image whose recovery must byte-equal a committed-prefix
+   replay. *)
+
+module Database = Rxv_relational.Database
+module Engine = Rxv_core.Engine
+module Base_update = Rxv_core.Base_update
+module Xupdate = Rxv_core.Xupdate
+module XParser = Rxv_xpath.Parser
+module Registrar = Rxv_workload.Registrar
+module Codec = Rxv_persist.Codec
+module Frame = Rxv_persist.Frame
+module Wal = Rxv_persist.Wal
+module Persist = Rxv_persist.Persist
+module Failpoint = Rxv_fault.Failpoint
+module Io = Rxv_fault.Io
+module Proto = Rxv_server.Proto
+module Server = Rxv_server.Server
+module Client = Rxv_server.Client
+module Resilient = Rxv_server.Resilient
+module Metrics = Rxv_server.Metrics
+
+let check = Alcotest.(check bool)
+
+(* every test leaves the global registry clean, pass or fail *)
+let guarded f () =
+  Failpoint.disarm_all ();
+  Failpoint.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      Failpoint.disarm_all ();
+      Failpoint.set_enabled true)
+    f
+
+(* ---- scratch dirs and sockets ---- *)
+
+let counter = ref 0
+
+let rec rm_rf path =
+  match Unix.lstat path with
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+  | { Unix.st_kind = Unix.S_DIR; _ } ->
+      Array.iter (fun n -> rm_rf (Filename.concat path n)) (Sys.readdir path);
+      Unix.rmdir path
+  | _ -> Sys.remove path
+
+let with_dir f =
+  incr counter;
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "rxv-fault-test-%d-%d" (Unix.getpid ()) !counter)
+  in
+  rm_rf dir;
+  Unix.mkdir dir 0o755;
+  Fun.protect ~finally:(fun () -> rm_rf dir) (fun () -> f dir)
+
+let fresh_sock () =
+  incr counter;
+  Filename.concat
+    (Filename.get_temp_dir_name ())
+    (Printf.sprintf "rxv-f%d-%d.sock" (Unix.getpid ()) !counter)
+
+let ins cno title =
+  Proto.Insert
+    {
+      etype = "course";
+      attr = Registrar.course_attr cno title;
+      path = "//course[cno=CS240]/prereq";
+    }
+
+let xins cno title =
+  Xupdate.Insert
+    {
+      etype = "course";
+      attr = Registrar.course_attr cno title;
+      path = XParser.parse "//course[cno=CS240]/prereq";
+    }
+
+let db_bytes (db : Database.t) =
+  let b = Buffer.create 1024 in
+  Codec.database b db;
+  Buffer.contents b
+
+let count_of cno c =
+  match Client.query c (Printf.sprintf "//course[cno=%s]" cno) with
+  | Ok (n, _) -> n
+  | Error m -> Alcotest.failf "count query %s: %s" cno m
+
+(* ---- registry: trigger semantics ---- *)
+
+let test_triggers () =
+  check "unarmed site is silent" true (Failpoint.check "nope" = None);
+  Failpoint.arm ~site:"a" ~trigger:(Failpoint.Every 3) Failpoint.Eio;
+  let fires =
+    List.length
+      (List.filter
+         (fun x -> x <> None)
+         (List.init 9 (fun _ -> Failpoint.check "a")))
+  in
+  Alcotest.(check int) "every=3 fires on hits 3,6,9" 3 fires;
+  Alcotest.(check int) "hits counted" 9 (Failpoint.hits "a");
+  Alcotest.(check int) "fires counted" 3 (Failpoint.fired "a");
+  Failpoint.arm ~site:"b" ~trigger:Failpoint.Once Failpoint.Eintr;
+  check "once fires on the first hit" true (Failpoint.check "b" <> None);
+  check "once auto-disarms" true (Failpoint.check "b" = None);
+  check "once gone from the listing" true
+    (not (List.exists (fun (s, _, _) -> s = "b") (Failpoint.sites ())));
+  Failpoint.arm ~site:"c" ~trigger:(Failpoint.After 2) Failpoint.Drop;
+  check "after=2 dormant on hit 1" true (Failpoint.check "c" = None);
+  check "after=2 dormant on hit 2" true (Failpoint.check "c" = None);
+  check "after=2 fires on hit 3" true (Failpoint.check "c" <> None);
+  check "after=2 keeps firing" true (Failpoint.check "c" <> None);
+  (* master switch: armed sites lie dormant *)
+  Failpoint.set_enabled false;
+  check "disabled registry is silent" true (Failpoint.check "a" = None);
+  Failpoint.set_enabled true;
+  (* probabilistic triggers replay deterministically from one seed *)
+  let draw () =
+    Failpoint.disarm_all ();
+    Failpoint.seed 7;
+    Failpoint.arm ~site:"p" ~trigger:(Failpoint.Prob 0.5) Failpoint.Eio;
+    List.init 32 (fun _ -> Failpoint.check "p" <> None)
+  in
+  let s1 = draw () and s2 = draw () in
+  check "seeded Prob replays identically" true (s1 = s2);
+  check "Prob actually varies" true
+    (List.exists Fun.id s1 && List.exists (fun x -> not x) s1)
+
+let test_spec_parsing () =
+  (match
+     Failpoint.arm_spec
+       "wal.sync:p=0.05:eio, srv.read:every=97:eintr,x:once:delay=250,\
+        y:after=3:exit=7,z:always:short,w:always:drop"
+   with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "good spec rejected: %s" m);
+  Alcotest.(check int) "six sites armed" 6 (List.length (Failpoint.sites ()));
+  List.iter
+    (fun bad ->
+      match Failpoint.arm_spec bad with
+      | Error _ -> ()
+      | Ok () -> Alcotest.failf "bad spec accepted: %s" bad)
+    [
+      "foo";
+      "a:sometimes:eio";
+      "a:p=2:eio";
+      "a:every=0:eio";
+      "a:always:explode";
+      "a:always:exit=999";
+      ":always:eio";
+    ]
+
+let test_io_shim () =
+  let expect_err e site =
+    match Io.hit site with
+    | () -> Alcotest.failf "%s: no error raised" site
+    | exception Unix.Unix_error (e', _, s) ->
+        check (site ^ " errno") true (e' = e);
+        Alcotest.(check string) (site ^ " names the site") site s
+  in
+  Failpoint.arm ~site:"s" Failpoint.Eio;
+  expect_err Unix.EIO "s";
+  Failpoint.arm ~site:"s" Failpoint.Eintr;
+  expect_err Unix.EINTR "s";
+  Failpoint.arm ~site:"s" Failpoint.Drop;
+  expect_err Unix.EPIPE "s";
+  Failpoint.arm ~site:"s" Failpoint.Short_write;
+  let k = Io.hit_write "s" 10 in
+  check "short write is a proper prefix" true (k >= 1 && k < 10);
+  Failpoint.disarm "s";
+  Alcotest.(check int) "disarmed hit_write passes length through" 10
+    (Io.hit_write "s" 10);
+  (* retry_eintr resumes through an injected interruption *)
+  Failpoint.arm ~site:"r" ~trigger:Failpoint.Once Failpoint.Eintr;
+  let attempts = ref 0 in
+  let v =
+    Io.retry_eintr (fun () ->
+        incr attempts;
+        Io.hit "r";
+        42)
+  in
+  Alcotest.(check int) "retry_eintr resumed" 42 v;
+  Alcotest.(check int) "exactly one interruption" 2 !attempts;
+  (* delay stalls without failing *)
+  Failpoint.arm ~site:"d" Failpoint.(Delay 0.05);
+  let t0 = Unix.gettimeofday () in
+  Io.hit "d";
+  check "delay stalled the caller" true (Unix.gettimeofday () -. t0 >= 0.04)
+
+(* ---- EINTR resumption across the whole service stack ---- *)
+
+let test_eintr_resumption () =
+  with_dir (fun dir ->
+      let sock = fresh_sock () in
+      let e = Registrar.engine () in
+      let p = Persist.open_dir ~sync:Wal.Always dir in
+      let srv = Server.start ~persist:p (Server.Unix_sock sock) e in
+      (match
+         Failpoint.arm_spec
+           "srv.read:every=3:eintr,srv.write:every=3:eintr,\
+            srv.accept:every=2:eintr,wal.sync:every=2:eintr"
+       with
+      | Ok () -> ()
+      | Error m -> Alcotest.failf "spec: %s" m);
+      (* several fresh connections (accept runs the gauntlet too), each
+         doing a full ping/update/query round trip through interrupted
+         reads, writes, and WAL fsyncs *)
+      for i = 0 to 5 do
+        let c = Client.connect sock in
+        Client.ping c;
+        (match Client.update c [ ins (Printf.sprintf "CS97%d" i) "Eintr" ] with
+        | `Applied _ -> ()
+        | _ -> Alcotest.failf "update %d failed under EINTR" i);
+        Alcotest.(check int)
+          (Printf.sprintf "insert %d visible" i)
+          1
+          (count_of (Printf.sprintf "CS97%d" i) c);
+        Client.close c
+      done;
+      check "reads were interrupted" true (Failpoint.fired "srv.read" > 0);
+      check "writes were interrupted" true (Failpoint.fired "srv.write" > 0);
+      check "syncs were interrupted" true (Failpoint.fired "wal.sync" > 0);
+      Failpoint.disarm_all ();
+      let c = Client.connect sock in
+      Client.shutdown c;
+      Client.close c;
+      Server.wait srv;
+      Persist.close p;
+      check "consistent after interrupted run" true
+        (Engine.check_consistency e = Ok ()))
+
+(* ---- torn WAL append: group aborts, retry applies exactly once ---- *)
+
+let test_torn_append_rollback () =
+  with_dir (fun dir ->
+      let e = Registrar.engine () in
+      let p = Persist.open_dir ~sync:Wal.Always dir in
+      Persist.attach p e;
+      let before = db_bytes e.Engine.db in
+      Failpoint.arm ~site:"wal.append" ~trigger:Failpoint.Once
+        Failpoint.Short_write;
+      (match Engine.apply_group e [ xins "CS940" "Torn" ] with
+      | exception Unix.Unix_error (Unix.EIO, _, _) -> ()
+      | Ok _ -> Alcotest.fail "torn append was acknowledged"
+      | Error _ -> Alcotest.fail "expected an I/O failure, got a rejection");
+      check "group rolled back" true (db_bytes e.Engine.db = before);
+      check "engine consistent after rollback" true
+        (Engine.check_consistency e = Ok ());
+      Alcotest.(check int) "nothing counted as appended" 0
+        (Persist.records_since_checkpoint p);
+      (* the retry repairs the torn tail and lands exactly once *)
+      (match Engine.apply_group e [ xins "CS940" "Torn" ] with
+      | Ok _ -> ()
+      | Error (_, rej) -> Alcotest.failf "retry rejected: %a" Engine.pp_rejection rej);
+      Persist.close p;
+      let p2 = Persist.open_dir dir in
+      match Persist.recover p2 (Registrar.atg ()) ~init:Registrar.sample_db with
+      | Error m -> Alcotest.failf "recovery: %s" m
+      | Ok (e', info) ->
+          Alcotest.(check int) "exactly one group on disk" 1
+            info.Persist.r_replayed;
+          check "no damage left behind" true (not info.Persist.r_truncated);
+          check "recovered state matches" true
+            (db_bytes e'.Engine.db = db_bytes e.Engine.db))
+
+(* ---- degraded read-only mode ---- *)
+
+let test_degraded_mode () =
+  with_dir (fun dir ->
+      let sock = fresh_sock () in
+      let e = Registrar.engine () in
+      let p = Persist.open_dir ~sync:Wal.Always dir in
+      let srv =
+        Server.start
+          ~config:{ Server.default_config with probe_interval = 0.01 }
+          ~persist:p (Server.Unix_sock sock) e
+      in
+      let c = Client.connect ~client_id:"dmc" sock in
+      (match Client.update c ~req_seq:1 [ ins "CS945" "Healthy" ] with
+      | `Applied _ -> ()
+      | _ -> Alcotest.fail "healthy update failed");
+      (* the device starts eating fsyncs *)
+      Failpoint.arm ~site:"wal.sync" Failpoint.Eio;
+      (match Client.update c ~req_seq:2 [ ins "CS946" "Degraded" ] with
+      | `Unavailable _ -> ()
+      | `Applied _ -> Alcotest.fail "non-durable update was acknowledged"
+      | _ -> Alcotest.fail "expected Unavailable");
+      check "server reports degraded" true
+        (match Server.health srv with `Degraded _ -> true | `Ok -> false);
+      (* reads still work, and carry the condition *)
+      (match Client.query c "//course" with
+      | Ok (n, _) -> check "reads served while degraded" true (n > 0)
+      | Error m -> Alcotest.failf "degraded query: %s" m);
+      (match Client.stats c with
+      | Ok st ->
+          check "stats report degraded health" true
+            (String.length st.Proto.st_health >= 8
+            && String.sub st.Proto.st_health 0 8 = "degraded")
+      | Error m -> Alcotest.failf "degraded stats: %s" m);
+      (* while the fault persists, writes keep bouncing (the probe fails) *)
+      Thread.delay 0.02;
+      (match Client.update c ~req_seq:2 [ ins "CS946" "Degraded" ] with
+      | `Unavailable _ -> ()
+      | _ -> Alcotest.fail "still-degraded update should be Unavailable");
+      (* the device heals: the next write probes, recovers, applies *)
+      Failpoint.disarm_all ();
+      Thread.delay 0.02;
+      let first =
+        match Client.update c ~req_seq:2 [ ins "CS946" "Degraded" ] with
+        | `Applied (s, r) -> (s, r)
+        | _ -> Alcotest.fail "post-recovery retry not applied"
+      in
+      check "server healthy again" true (Server.health srv = `Ok);
+      check "degradation was counted" true
+        (Metrics.counter (Server.metrics srv) "degraded_entries" >= 1);
+      (* the retried request landed exactly once, and a re-retry gets the
+         same answer from the dedup table *)
+      Alcotest.(check int) "exactly one CS946" 1 (count_of "CS946" c);
+      (match Client.update c ~req_seq:2 [ ins "CS946" "Degraded" ] with
+      | `Applied (s, r) ->
+          check "duplicate re-acknowledged with original numbers" true
+            ((s, r) = first)
+      | _ -> Alcotest.fail "duplicate retry not re-acknowledged");
+      Alcotest.(check int) "still exactly one CS946" 1 (count_of "CS946" c);
+      Client.shutdown c;
+      Client.close c;
+      Server.wait srv;
+      Persist.close p;
+      check "consistent" true (Engine.check_consistency e = Ok ()))
+
+(* ---- dedup survives restart and checkpoint rotation ---- *)
+
+let test_dedup_across_restart () =
+  with_dir (fun dir ->
+      let sock = fresh_sock () in
+      let e = Registrar.engine () in
+      let p = Persist.open_dir ~sync:Wal.Always dir in
+      let srv = Server.start ~persist:p (Server.Unix_sock sock) e in
+      let c = Client.connect ~client_id:"rc9" sock in
+      (match Client.update c ~req_seq:1 [ ins "CS950" "Pre" ] with
+      | `Applied _ -> ()
+      | _ -> Alcotest.fail "first insert failed");
+      (* rotate generations mid-session: the dedup snapshot must ride the
+         checkpoint into the fresh WAL *)
+      (match Client.checkpoint c with
+      | Ok (gen, _) -> Alcotest.(check int) "generation bumped" 1 gen
+      | Error m -> Alcotest.failf "checkpoint: %s" m);
+      let acked =
+        match Client.update c ~req_seq:2 [ ins "CS951" "Post" ] with
+        | `Applied (s, r) -> (s, r)
+        | _ -> Alcotest.fail "second insert failed"
+      in
+      Client.shutdown c;
+      Client.close c;
+      Server.wait srv;
+      Persist.close p;
+      (* restart: recover the engine and the session table from disk *)
+      let p2 = Persist.open_dir ~sync:Wal.Always dir in
+      let e2 =
+        match
+          Persist.recover p2 (Registrar.atg ()) ~init:Registrar.sample_db
+        with
+        | Ok (e2, _) -> e2
+        | Error m -> Alcotest.failf "recovery: %s" m
+      in
+      check "session recovered from WAL" true
+        (List.exists
+           (fun s -> s.Persist.sess_client = "rc9" && s.Persist.sess_seq = 2)
+           (Persist.recovered_sessions p2));
+      let sock2 = fresh_sock () in
+      let srv2 = Server.start ~persist:p2 (Server.Unix_sock sock2) e2 in
+      let c2 = Client.connect ~client_id:"rc9" sock2 in
+      (* a retry of the last acknowledged request is NOT re-applied: the
+         recovered table answers with the original commit numbers *)
+      (match Client.update c2 ~req_seq:2 [ ins "CS951" "Post" ] with
+      | `Applied (s, r) ->
+          check "original answer across restart" true ((s, r) = acked)
+      | _ -> Alcotest.fail "retry after restart not re-acknowledged");
+      Alcotest.(check int) "exactly one CS951 after restart retry" 1
+        (count_of "CS951" c2);
+      (* anything older than the last ack is a broken client: rejected *)
+      (match Client.update c2 ~req_seq:1 [ ins "CS950" "Pre" ] with
+      | `Applied _ -> Alcotest.fail "stale request was applied"
+      | `Error _ | `Rejected _ -> ()
+      | _ -> Alcotest.fail "stale request: expected an error");
+      Alcotest.(check int) "exactly one CS950" 1 (count_of "CS950" c2);
+      (* fresh work continues the recovered commit counter *)
+      (match Client.update c2 ~req_seq:3 [ ins "CS952" "Fresh" ] with
+      | `Applied (s, _) ->
+          Alcotest.(check int) "commit counter resumed" (fst acked + 1) s
+      | _ -> Alcotest.fail "fresh update after restart failed");
+      Client.shutdown c2;
+      Client.close c2;
+      Server.wait srv2;
+      Persist.close p2)
+
+(* ---- a slow reply times the client out; the retry dedups ---- *)
+
+let test_timeout_retry_exactly_once () =
+  with_dir (fun dir ->
+      let sock = fresh_sock () in
+      let e = Registrar.engine () in
+      let p = Persist.open_dir ~sync:Wal.Always dir in
+      let srv = Server.start ~persist:p (Server.Unix_sock sock) e in
+      let r = Resilient.create ~timeout:0.15 ~max_attempts:8
+          (Resilient.Unix_path sock)
+      in
+      (match Resilient.query r "//course" with
+      | Ok _ -> ()
+      | Error m -> Alcotest.failf "warm-up query: %s" m);
+      (* the server commits, then stalls writing the acknowledgement
+         past the client's receive timeout *)
+      Failpoint.arm ~site:"srv.write" ~trigger:Failpoint.Once
+        Failpoint.(Delay 0.5);
+      (match Resilient.update r [ ins "CS960" "Timeout" ] with
+      | `Applied _ -> ()
+      | `Rejected (_, m) | `Error m -> Alcotest.failf "resilient update: %s" m);
+      check "the client actually timed out and retried" true
+        (Resilient.retries r >= 1);
+      check "the retry went over a fresh connection" true
+        (Resilient.reconnects r >= 2);
+      (match Resilient.query r "//course[cno=CS960]" with
+      | Ok (n, _) -> Alcotest.(check int) "applied exactly once" 1 n
+      | Error m -> Alcotest.failf "audit query: %s" m);
+      Resilient.close r;
+      Failpoint.disarm_all ();
+      let c = Client.connect sock in
+      Client.shutdown c;
+      Client.close c;
+      Server.wait srv;
+      Persist.close p)
+
+(* ---- a peer that dies mid-response kills only its connection ---- *)
+
+let test_epipe_isolated () =
+  let sock = fresh_sock () in
+  let e = Registrar.engine () in
+  let srv = Server.start (Server.Unix_sock sock) e in
+  (* stall the server's reply so the peer is provably gone when the
+     write happens: EPIPE/ECONNRESET with SIGPIPE ignored, not death *)
+  Failpoint.arm ~site:"srv.write" ~trigger:Failpoint.Once
+    Failpoint.(Delay 0.1);
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX sock);
+  let b = Buffer.create 64 in
+  Frame.add b (Proto.encode_request (Proto.Query "//course"));
+  let framed = Buffer.contents b in
+  ignore (Unix.write_substring fd framed 0 (String.length framed));
+  Unix.close fd;
+  Thread.delay 0.25;
+  Failpoint.disarm_all ();
+  (* the server survived and serves new connections *)
+  let c = Client.connect sock in
+  Client.ping c;
+  (match Client.update c [ ins "CS965" "Survivor" ] with
+  | `Applied _ -> ()
+  | _ -> Alcotest.fail "update after dead peer failed");
+  check "dead connection was counted" true
+    (Metrics.counter (Server.metrics srv) "conn_io_errors" >= 1);
+  Client.shutdown c;
+  Client.close c;
+  Server.wait srv;
+  check "consistent" true (Engine.check_consistency e = Ok ())
+
+(* ---- hostile frame lengths must not drive allocation ---- *)
+
+let test_hostile_frame_length () =
+  (* reader-side unit: a declared length above the limit is corruption,
+     before any allocation *)
+  let b = Buffer.create 256 in
+  Frame.add b (String.make 100 'x');
+  (match Frame.read_one ~limit:16 (Buffer.contents b) ~pos:0 with
+  | `Bad _ -> ()
+  | `Record _ -> Alcotest.fail "oversized frame accepted"
+  | `End -> Alcotest.fail "oversized frame skipped");
+  (* end to end: a header promising 512 MiB gets the connection dropped,
+     not a 512 MiB Bytes.create *)
+  let sock = fresh_sock () in
+  let e = Registrar.engine () in
+  let srv = Server.start (Server.Unix_sock sock) e in
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX sock);
+  let hdr = Bytes.create 12 in
+  Bytes.set_int32_le hdr 0 0x20000000l (* len = 512 MiB *);
+  Bytes.set_int32_le hdr 4 0xdeadbeefl (* crc: irrelevant *);
+  Bytes.blit_string "payload!" 0 hdr 8 4;
+  ignore (Unix.write fd hdr 0 12);
+  Unix.shutdown fd Unix.SHUTDOWN_SEND;
+  (match Proto.recv fd with
+  | `Msg payload -> (
+      match Proto.decode_response payload with
+      | Proto.Error _ -> ()
+      | r -> Alcotest.failf "expected Error, got %a" Proto.pp_response r)
+  | `Eof -> ()
+  | `Corrupt m -> Alcotest.failf "client saw corrupt reply: %s" m);
+  Unix.close fd;
+  let c = Client.connect sock in
+  Client.ping c;
+  Client.shutdown c;
+  Client.close c;
+  Server.wait srv
+
+(* ---- chaos soak: failpoints armed, crash image, exactly-once audit ---- *)
+
+let test_chaos_soak () =
+  with_dir (fun dir ->
+      with_dir (fun crash_dir ->
+          let sock = fresh_sock () in
+          let e = Registrar.engine () in
+          let p = Persist.open_dir ~sync:(Wal.EveryN 4) dir in
+          let srv =
+            Server.start
+              ~config:
+                {
+                  Server.default_config with
+                  queue_cap = 256;
+                  batch_cap = 8;
+                  probe_interval = 0.01;
+                }
+              ~persist:p (Server.Unix_sock sock) e
+          in
+          Failpoint.seed 42;
+          (match
+             Failpoint.arm_spec
+               "wal.sync:p=0.05:eio,srv.read:every=53:eintr,\
+                srv.write:every=61:eintr,batcher.drain:p=0.01:eio"
+           with
+          | Ok () -> ()
+          | Error m -> Alcotest.failf "spec: %s" m);
+          let n_writers = 4 and per_writer = 40 in
+          let am = Mutex.create () in
+          let acked = ref [] and gave_up = ref 0 in
+          let writer w () =
+            let r =
+              Resilient.create ~timeout:1.0 ~max_attempts:40 ~seed:w
+                (Resilient.Unix_path sock)
+            in
+            for i = 0 to per_writer - 1 do
+              let cno = Printf.sprintf "CF%dR%d" w i in
+              match Resilient.update r [ ins cno "Chaos" ] with
+              | `Applied _ ->
+                  Mutex.lock am;
+                  acked := cno :: !acked;
+                  Mutex.unlock am
+              | `Rejected (_, m) -> Alcotest.failf "writer %d rejected: %s" w m
+              | `Error _ ->
+                  Mutex.lock am;
+                  incr gave_up;
+                  Mutex.unlock am
+            done;
+            Resilient.close r
+          in
+          let threads =
+            List.init n_writers (fun w -> Thread.create (writer w) ())
+          in
+          (* mid-soak crash image: what kill -9 would leave on disk *)
+          Thread.delay 0.4;
+          Array.iter
+            (fun f ->
+              let ic = open_in_bin (Filename.concat dir f) in
+              let oc = open_out_bin (Filename.concat crash_dir f) in
+              let buf = Bytes.create 65536 in
+              let rec copy () =
+                match input ic buf 0 65536 with
+                | 0 -> ()
+                | k ->
+                    output oc buf 0 k;
+                    copy ()
+              in
+              copy ();
+              close_in ic;
+              close_out oc)
+            (Sys.readdir dir);
+          List.iter Thread.join threads;
+          Failpoint.disarm_all ();
+          check "most updates were acknowledged" true
+            (List.length !acked > n_writers * per_writer / 2);
+          (* heal: one more write forces the durability probe if the run
+             ended degraded *)
+          let rh = Resilient.create ~max_attempts:40 (Resilient.Unix_path sock) in
+          (match Resilient.update rh [ ins "CFFIN" "Heal" ] with
+          | `Applied _ -> ()
+          | _ -> Alcotest.fail "post-chaos heal update failed");
+          Resilient.close rh;
+          check "healthy after disarm" true (Server.health srv = `Ok);
+          let c = Client.connect sock in
+          Client.shutdown c;
+          Client.close c;
+          Server.wait srv;
+          Persist.sync p;
+          Persist.close p;
+          check "engine consistent after chaos" true
+            (Engine.check_consistency e = Ok ());
+          (* the live directory recovers to exactly the server's state *)
+          let pl = Persist.open_dir dir in
+          let el =
+            match
+              Persist.recover pl (Registrar.atg ()) ~init:Registrar.sample_db
+            with
+            | Ok (el, _) -> el
+            | Error m -> Alcotest.failf "live recovery: %s" m
+          in
+          check "live image consistent" true
+            (Engine.check_consistency el = Ok ());
+          check "live image byte-equal to server state" true
+            (db_bytes el.Engine.db = db_bytes e.Engine.db);
+          (* exactly-once audit over the recovered image: every
+             acknowledged insert is present exactly once *)
+          let sock2 = fresh_sock () in
+          let srv2 = Server.start (Server.Unix_sock sock2) el in
+          let c2 = Client.connect sock2 in
+          List.iteri
+            (fun i cno ->
+              if i < 64 then
+                Alcotest.(check int)
+                  (Printf.sprintf "acked %s exactly once" cno)
+                  1 (count_of cno c2))
+            !acked;
+          Client.shutdown c2;
+          Client.close c2;
+          Server.wait srv2;
+          (* the torn crash image recovers, and its recovery byte-equals
+             an independent replay of the committed prefix *)
+          let pc = Persist.open_dir crash_dir in
+          let ec =
+            match
+              Persist.recover pc (Registrar.atg ()) ~init:Registrar.sample_db
+            with
+            | Ok (ec, _) -> ec
+            | Error m -> Alcotest.failf "crash recovery: %s" m
+          in
+          check "crash image consistent" true
+            (Engine.check_consistency ec = Ok ());
+          let wal0 = Wal.read (Persist.wal_path pc 0) in
+          let em = Registrar.engine () in
+          List.iter
+            (fun payload ->
+              match Persist.decode_record payload with
+              | Persist.Group { group; _ } ->
+                  if group <> [] then (
+                    match Base_update.apply em group with
+                    | Ok _ -> ()
+                    | Error m -> Alcotest.failf "manual replay: %s" m)
+              | Persist.Sessions _ -> ())
+            wal0.Wal.records;
+          check "crash recovery ≡ committed-prefix replay" true
+            (db_bytes ec.Engine.db = db_bytes em.Engine.db);
+          Persist.close pc;
+          Persist.close pl))
+
+let tests =
+  [
+    Alcotest.test_case "trigger semantics" `Quick (guarded test_triggers);
+    Alcotest.test_case "spec parsing" `Quick (guarded test_spec_parsing);
+    Alcotest.test_case "io shim actions" `Quick (guarded test_io_shim);
+    Alcotest.test_case "EINTR resumed across the stack" `Quick
+      (guarded test_eintr_resumption);
+    Alcotest.test_case "torn append rolls back, retry exactly once" `Quick
+      (guarded test_torn_append_rollback);
+    Alcotest.test_case "degraded read-only mode" `Quick
+      (guarded test_degraded_mode);
+    Alcotest.test_case "dedup across restart and checkpoint" `Quick
+      (guarded test_dedup_across_restart);
+    Alcotest.test_case "client timeout retry is exactly-once" `Quick
+      (guarded test_timeout_retry_exactly_once);
+    Alcotest.test_case "EPIPE kills one connection only" `Quick
+      (guarded test_epipe_isolated);
+    Alcotest.test_case "hostile frame length rejected" `Quick
+      (guarded test_hostile_frame_length);
+    Alcotest.test_case "chaos soak + crash image + audit" `Slow
+      (guarded test_chaos_soak);
+  ]

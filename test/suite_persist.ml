@@ -338,9 +338,36 @@ let test_record_codec () =
     ]
   in
   let payload = Persist.encode_record ~seed:42 g in
-  let seed, g' = Persist.decode_record payload in
-  Alcotest.(check int) "seed" 42 seed;
-  check "group" true (g = g');
+  (match Persist.decode_record payload with
+  | Persist.Group { seed; origin; group } ->
+      Alcotest.(check int) "seed" 42 seed;
+      check "no origin" true (origin = None);
+      check "group" true (g = group)
+  | Persist.Sessions _ -> Alcotest.fail "group decoded as sessions");
+  (* with provenance *)
+  let o =
+    { Persist.o_client = "c42.1.abc"; o_seq = 7; o_commit = 19; o_reports = 2 }
+  in
+  (match Persist.decode_record (Persist.encode_record ~origin:o ~seed:3 g) with
+  | Persist.Group { origin = Some o'; _ } -> check "origin" true (o = o')
+  | _ -> Alcotest.fail "origin lost in round-trip");
+  (* sessions snapshot *)
+  let sessions =
+    [
+      { Persist.sess_client = "a"; sess_seq = 4; sess_commit = 9;
+        sess_reports = 1; sess_delta = 3 };
+      { Persist.sess_client = "b"; sess_seq = 1; sess_commit = 2;
+        sess_reports = 1; sess_delta = 1 };
+    ]
+  in
+  (match
+     Persist.decode_record
+       (Persist.encode_sessions_record ~last_commit:9 sessions)
+   with
+  | Persist.Sessions { last_commit; sessions = s' } ->
+      Alcotest.(check int) "last_commit" 9 last_commit;
+      check "sessions" true (sessions = s')
+  | Persist.Group _ -> Alcotest.fail "sessions decoded as group");
   match Persist.decode_record (payload ^ "\x00") with
   | exception Codec.Error _ -> ()
   | _ -> Alcotest.fail "trailing bytes accepted"

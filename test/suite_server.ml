@@ -77,6 +77,7 @@ let sample_stats =
     st_l_size = 12;
     st_occurrences = 19;
     st_wal_records = Some 3;
+    st_health = "ok";
     st_counters = [ ("applied", 5); ("requests", 9) ];
     st_latencies =
       [
@@ -98,6 +99,8 @@ let all_requests : Proto.request list =
     Proto.Query "//course[cno=CS320]/takenBy/student";
     Proto.Update
       {
+        client = "c12.3.0000ff";
+        req_seq = 41;
         policy = `Abort;
         ops =
           [
@@ -110,7 +113,9 @@ let all_requests : Proto.request list =
               };
           ];
       };
-    Proto.Update { policy = `Proceed; ops = [ Proto.Delete "//c" ] };
+    Proto.Update
+      { client = ""; req_seq = 0; policy = `Proceed;
+        ops = [ Proto.Delete "//c" ] };
     Proto.Stats;
     Proto.Checkpoint;
     Proto.Shutdown;
@@ -129,6 +134,9 @@ let all_responses : Proto.response list =
     Proto.Checkpointed { generation = 2; bytes = 4096 };
     Proto.Bye;
     Proto.Error "no such element type";
+    Proto.Unavailable "degraded: wal sync failed";
+    Proto.Stats_reply
+      { sample_stats with Proto.st_health = "degraded: ckpt.fsync: EIO" };
   ]
 
 let test_proto_roundtrip () =
@@ -303,7 +311,8 @@ let test_batcher_commits_in_order () =
         | `Done (Batcher.Committed { seq; _ }) -> seq
         | `Done (Batcher.Rejected_at (_, rej)) ->
             Alcotest.failf "rejected: %a" Engine.pp_rejection rej
-        | `Done (Batcher.Failed m) -> Alcotest.failf "failed: %s" m
+        | `Done (Batcher.Failed m | Batcher.Sync_failed m) ->
+            Alcotest.failf "failed: %s" m
         | `Overloaded -> Alcotest.fail "overloaded")
       outcomes
   in
@@ -641,7 +650,7 @@ let test_soak () =
               | `Applied _ -> count `A
               | `Rejected _ -> count `R
               | `Overloaded -> count `R
-              | `Error m -> Alcotest.failf "writer %d: %s" w m
+              | `Unavailable m | `Error m -> Alcotest.failf "writer %d: %s" w m
             done;
             Client.close c;
             Mutex.lock am;

@@ -24,4 +24,5 @@ let () =
       ("paper_examples", Suite_paper_examples.tests);
       ("engine", Suite_engine.tests);
       ("server", Suite_server.tests);
+      ("fault", Suite_fault.tests);
     ]

@@ -19,8 +19,9 @@ val read : ?site:string -> Unix.file_descr -> bytes -> int -> int -> int
     requested length instead of raising (short reads are legal). *)
 
 val write : ?site:string -> Unix.file_descr -> bytes -> int -> int -> int
-(** [Unix.write] behind the [site] failpoint; [Short_write] writes a
-    1-byte prefix — legal, maximally torn. *)
+(** [Unix.write] behind the [site] failpoint; [Short_write] writes only
+    a proper prefix (half of [len], at least one byte) — a legal, torn
+    write the caller's loop must notice and resume. *)
 
 val fsync : ?site:string -> Unix.file_descr -> unit
 (** [Unix.fsync] behind the [site] failpoint, retrying [EINTR] (real or

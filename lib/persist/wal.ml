@@ -127,7 +127,11 @@ let read path =
     { records = []; valid_len = 0; file_len = 0; damage = None }
   else begin
     let s = read_file path in
-    let scan = Frame.scan s in
+    (* trusted path: we wrote this file, so replay accepts anything the
+       writer could have produced ([max_payload]), not the hostile-peer
+       acceptance bound — a committed 100 MiB record must not be
+       classified as corruption and silently truncate the log *)
+    let scan = Frame.scan ~limit:Frame.max_payload s in
     {
       records = scan.Frame.payloads;
       valid_len = scan.Frame.valid_len;

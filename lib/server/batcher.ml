@@ -10,6 +10,7 @@ type outcome =
   | Rejected_at of int * Engine.rejection
   | Failed of string
   | Sync_failed of string
+  | Session_full
 
 type job = {
   j_ops : Xupdate.t list;
@@ -83,8 +84,10 @@ let really_apply t job =
         in
         (match (job.j_origin, t.dedup) with
         | Some (client, seq), Some d ->
-            Dedup.record d ~client ~seq ~commit:t.seq ~reports:reports_n
-              ~delta:delta_ops
+            if
+              Dedup.record d ~client ~seq ~commit:t.seq ~reports:reports_n
+                ~delta:delta_ops
+            then bump t "dedup_evictions"
         | _ -> ());
         Committed { seq = t.seq; reports = reports_n; delta_ops }
     | Error (i, rej) ->
@@ -126,7 +129,19 @@ let apply_job t job =
           Failed
             (Printf.sprintf "stale request %s#%d: a newer request was already \
                              acknowledged" client seq)
-      | `Fresh -> really_apply t job)
+      | `Fresh -> (
+          (* reserve dedup-table room BEFORE applying: once the group
+             commits its entry must go in, and evicting a live client's
+             entry to make space would quietly break that client's
+             exactly-once retries. No room → refuse, retryable. *)
+          match Dedup.admit d ~client with
+          | `Ok -> really_apply t job
+          | `Evicted _ ->
+              bump t "dedup_evictions";
+              really_apply t job
+          | `Full ->
+              bump t "dedup_full";
+              Session_full))
   | _ -> really_apply t job
 
 (* drain up to [batch_cap] jobs; blocks while the queue is empty *)

@@ -43,6 +43,11 @@ type outcome =
   | Sync_failed of string
       (** durability could not be guaranteed; nothing was acknowledged
           and the request is safe to retry with the same origin *)
+  | Session_full
+      (** the dedup table is at capacity with no evictable (aged-out)
+          entry, so a new client session cannot be admitted without
+          breaking another client's exactly-once guarantee; nothing was
+          applied — retry later with the same origin *)
 
 type job
 

@@ -7,11 +7,14 @@ type entry = {
   mutable e_commit : int;
   mutable e_reports : int;
   mutable e_delta : int;
+  mutable e_time : float;  (* last acknowledgment, for age-gated eviction *)
 }
 
-type t = { cap : int; tbl : (string, entry) Hashtbl.t }
+type t = { cap : int; min_age : float; tbl : (string, entry) Hashtbl.t }
 
-let create ?(cap = 1024) () = { cap; tbl = Hashtbl.create 64 }
+let create ?(cap = 1024) ?(min_age = 60.) () =
+  { cap; min_age; tbl = Hashtbl.create 64 }
+
 let size t = Hashtbl.length t.tbl
 
 let check t ~client ~seq =
@@ -22,28 +25,53 @@ let check t ~client ~seq =
       else if seq = e.e_seq then `Duplicate (e.e_commit, e.e_reports, e.e_delta)
       else `Stale
 
-let evict_oldest t =
-  let victim =
-    Hashtbl.fold
-      (fun client e acc ->
-        match acc with
-        | Some (_, best) when best.e_commit <= e.e_commit -> acc
-        | _ -> Some (client, e))
-      t.tbl None
-  in
-  match victim with Some (client, _) -> Hashtbl.remove t.tbl client | None -> ()
+(* the entry that has gone longest without an acknowledgment *)
+let oldest t =
+  Hashtbl.fold
+    (fun client e acc ->
+      match acc with
+      | Some (_, best) when best.e_time <= e.e_time -> acc
+      | _ -> Some (client, e))
+    t.tbl None
 
-let record t ~client ~seq ~commit ~reports ~delta =
+let admit ?(now = Unix.gettimeofday ()) t ~client =
+  if Hashtbl.mem t.tbl client || Hashtbl.length t.tbl < t.cap then `Ok
+  else
+    match oldest t with
+    | Some (victim, e) when now -. e.e_time >= t.min_age ->
+        (* silent for [min_age]: the client has abandoned its retries,
+           so dropping its entry cannot break an in-flight duplicate *)
+        Hashtbl.remove t.tbl victim;
+        `Evicted victim
+    | _ -> `Full
+
+let record ?(now = Unix.gettimeofday ()) t ~client ~seq ~commit ~reports ~delta
+    =
   match Hashtbl.find_opt t.tbl client with
   | Some e ->
       e.e_seq <- seq;
       e.e_commit <- commit;
       e.e_reports <- reports;
-      e.e_delta <- delta
+      e.e_delta <- delta;
+      e.e_time <- now;
+      false
   | None ->
-      if Hashtbl.length t.tbl >= t.cap then evict_oldest t;
+      (* the commit already happened, so the entry MUST go in; callers
+         gate admission with {!admit}, making eviction here a last
+         resort (reported so the caller can count it) *)
+      let evicted =
+        Hashtbl.length t.tbl >= t.cap
+        &&
+        match oldest t with
+        | Some (victim, _) ->
+            Hashtbl.remove t.tbl victim;
+            true
+        | None -> false
+      in
       Hashtbl.replace t.tbl client
-        { e_seq = seq; e_commit = commit; e_reports = reports; e_delta = delta }
+        { e_seq = seq; e_commit = commit; e_reports = reports;
+          e_delta = delta; e_time = now };
+      evicted
 
 let snapshot t =
   Hashtbl.fold
@@ -54,11 +82,12 @@ let snapshot t =
       :: acc)
     t.tbl []
 
-let load t sessions =
+let load ?(now = Unix.gettimeofday ()) t sessions =
   Hashtbl.reset t.tbl;
   List.iter
     (fun (s : Persist.session) ->
       Hashtbl.replace t.tbl s.Persist.sess_client
         { e_seq = s.Persist.sess_seq; e_commit = s.Persist.sess_commit;
-          e_reports = s.Persist.sess_reports; e_delta = s.Persist.sess_delta })
+          e_reports = s.Persist.sess_reports; e_delta = s.Persist.sess_delta;
+          e_time = now })
     sessions

@@ -7,6 +7,14 @@
     retry of anything older than the last acknowledged request can only
     come from a broken client and is rejected as stale.
 
+    The table is bounded by [cap], but a live client's entry is never
+    silently dropped to make room: {!admit} only evicts entries that
+    have been silent for at least [min_age] (a client that long past its
+    last acknowledgment has abandoned its retries) and otherwise refuses
+    the new session, which the server surfaces as a retryable
+    [Overloaded] — an exactly-once hole under load would be quiet;
+    backpressure is loud.
+
     The table itself is not separately persisted; it is reconstructed
     from the WAL (each committed group's record carries its origin, and
     checkpoint rotation snapshots the whole table into the fresh log —
@@ -14,10 +22,10 @@
 
 type t
 
-val create : ?cap:int -> unit -> t
-(** [cap] (default 1024) bounds the table; admitting a client beyond it
-    evicts the entry with the oldest commit number — a client silent for
-    that long has abandoned its retries *)
+val create : ?cap:int -> ?min_age:float -> unit -> t
+(** [cap] (default 1024) bounds the table; [min_age] (default 60 s) is
+    how long an entry must have gone unacknowledged before {!admit} may
+    evict it for a new client *)
 
 val check :
   t ->
@@ -29,15 +37,26 @@ val check :
     re-apply), [`Stale] (older than the last acknowledged request from
     this client — reject) *)
 
-val record : t -> client:string -> seq:int -> commit:int -> reports:int ->
-  delta:int -> unit
+val admit : ?now:float -> t -> client:string -> [ `Ok | `Evicted of string | `Full ]
+(** is there room to {!record} an entry for [client]? [`Ok] when the
+    client is already present or the table is under [cap]; [`Evicted
+    victim] when space was reclaimed from an entry silent for at least
+    [min_age]; [`Full] when every entry is recent — refuse the session
+    rather than open an exactly-once hole. Call before applying a fresh
+    request. *)
+
+val record : ?now:float -> t -> client:string -> seq:int -> commit:int ->
+  reports:int -> delta:int -> bool
 (** remember a freshly committed request, superseding the client's
-    previous entry *)
+    previous entry. Returns [true] in the last-resort case where an
+    unadmitted insert into a full table forced an eviction (callers that
+    gate with {!admit} never see it). *)
 
 val snapshot : t -> Rxv_persist.Persist.session list
 (** the whole table, for checkpoint-rotation persistence *)
 
-val load : t -> Rxv_persist.Persist.session list -> unit
-(** replace the table's contents with a recovered snapshot *)
+val load : ?now:float -> t -> Rxv_persist.Persist.session list -> unit
+(** replace the table's contents with a recovered snapshot; every
+    recovered entry is stamped as fresh at [now] *)
 
 val size : t -> int

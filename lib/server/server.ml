@@ -190,6 +190,10 @@ let handle_update t ~client ~req_seq ~policy ops =
               Proto.Rejected
                 { index = i; reason = Fmt.str "%a" Engine.pp_rejection rej }
           | `Done (Batcher.Failed msg) -> Proto.Error msg
+          | `Done Batcher.Session_full ->
+              (* dedup table full of recently-active clients: refuse the
+                 new session loudly rather than evict a live one *)
+              Proto.Overloaded
           | `Done (Batcher.Sync_failed msg) ->
               (* on_io_error already degraded the server; tell the client
                  the truth: not acknowledged, safe to retry *)
@@ -217,13 +221,22 @@ let handle_checkpoint t =
   match t.persist with
   | None -> Proto.Error "server has no durability directory"
   | Some p -> (
-      let sessions = (Dedup.snapshot t.dedup, Batcher.seq t.batcher) in
       match
         Rwlock.with_write t.lock (fun () ->
             Mutex.lock t.sync_m;
             Fun.protect
               ~finally:(fun () -> Mutex.unlock t.sync_m)
-              (fun () -> Persist.checkpoint ~sessions p t.eng))
+              (fun () ->
+                (* the dedup snapshot and commit counter must be read
+                   under the same exclusive section as the image: a batch
+                   committed between snapshot and checkpoint would be in
+                   the image but missing from the new WAL's sessions
+                   record, and its origin dies with the rotated-away old
+                   generation — a recovered retry would re-apply it *)
+                let sessions =
+                  (Dedup.snapshot t.dedup, Batcher.seq t.batcher)
+                in
+                Persist.checkpoint ~sessions p t.eng))
       with
       | bytes ->
           Proto.Checkpointed { generation = Persist.generation p; bytes }

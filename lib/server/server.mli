@@ -43,7 +43,9 @@ type config = {
   max_listed : int;  (** node ids listed in a query reply *)
   probe_interval : float;
       (** min seconds between degraded-mode durability probes *)
-  max_sessions : int;  (** dedup-table entries before eviction *)
+  max_sessions : int;
+      (** dedup-table capacity; beyond it new client sessions are
+          refused ([Overloaded]) unless an entry has aged out *)
 }
 
 val default_config : config

@@ -218,6 +218,28 @@ let test_wal_roundtrip () =
       check "missing file empty" true
         (r.Wal.records = [] && r.Wal.damage = None))
 
+(* replay is a trusted path: a committed record larger than the
+   hostile-peer acceptance bound must replay intact, not be classified
+   as corruption (which would silently truncate every later commit) *)
+let test_wal_replay_ignores_acceptance_bound () =
+  with_dir (fun dir ->
+      let path = Filename.concat dir "w.rxl" in
+      let big = String.make 4096 'B' in
+      let w = Wal.open_writer ~sync:Wal.Always path in
+      Wal.append w big;
+      Wal.append w "after";
+      Wal.close w;
+      let saved = Frame.max_accepted () in
+      Frame.set_max_accepted 1024;
+      Fun.protect
+        ~finally:(fun () -> Frame.set_max_accepted saved)
+        (fun () ->
+          let r = Wal.read path in
+          check "no damage despite tiny acceptance bound" true
+            (r.Wal.damage = None);
+          Alcotest.(check (list string)) "both records replayed"
+            [ big; "after" ] r.Wal.records))
+
 (* the append/sync split: append_nosync never syncs (whatever the
    policy), explicit sync resets the unsynced count, and the policy API
    is a thin wrapper over the same primitives *)
@@ -542,6 +564,8 @@ let tests =
     Alcotest.test_case "codec rejects garbage" `Quick test_codec_rejects_garbage;
     Alcotest.test_case "frame scan / torn / crc" `Quick test_frame_scan;
     Alcotest.test_case "wal round trip + truncate" `Quick test_wal_roundtrip;
+    Alcotest.test_case "wal replay ignores acceptance bound" `Quick
+      test_wal_replay_ignores_acceptance_bound;
     Alcotest.test_case "wal append/sync split" `Quick
       test_wal_append_sync_split;
     Alcotest.test_case "persist deferred sync" `Quick

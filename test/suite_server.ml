@@ -17,6 +17,7 @@ module Proto = Rxv_server.Proto
 module Rwlock = Rxv_server.Rwlock
 module Metrics = Rxv_server.Metrics
 module Batcher = Rxv_server.Batcher
+module Dedup = Rxv_server.Dedup
 module Server = Rxv_server.Server
 module Client = Rxv_server.Client
 
@@ -313,6 +314,7 @@ let test_batcher_commits_in_order () =
             Alcotest.failf "rejected: %a" Engine.pp_rejection rej
         | `Done (Batcher.Failed m | Batcher.Sync_failed m) ->
             Alcotest.failf "failed: %s" m
+        | `Done Batcher.Session_full -> Alcotest.fail "session table full"
         | `Overloaded -> Alcotest.fail "overloaded")
       outcomes
   in
@@ -349,6 +351,30 @@ let test_batcher_overload () =
   | _ -> Alcotest.fail "stalled jobs should commit after release");
   Batcher.stop b;
   check "consistent" true (Engine.check_consistency e = Ok ())
+
+(* a full dedup table refuses new sessions instead of silently evicting
+   a live client's entry (which would break its in-flight retries);
+   only entries silent past min_age may be reclaimed *)
+let test_dedup_admission () =
+  let d = Dedup.create ~cap:2 ~min_age:60. () in
+  let t0 = 1000. in
+  ignore (Dedup.record ~now:t0 d ~client:"a" ~seq:1 ~commit:1 ~reports:1
+            ~delta:1);
+  ignore (Dedup.record ~now:(t0 +. 30.) d ~client:"b" ~seq:1 ~commit:2
+            ~reports:1 ~delta:1);
+  check "existing client always admitted" true
+    (Dedup.admit ~now:(t0 +. 31.) d ~client:"a" = `Ok);
+  check "full of recent entries refuses" true
+    (Dedup.admit ~now:(t0 +. 31.) d ~client:"c" = `Full);
+  check "refused client applied nothing" true (Dedup.size d = 2);
+  (* client a falls silent past min_age: its slot is reclaimable *)
+  check "aged-out entry evicted for the newcomer" true
+    (Dedup.admit ~now:(t0 +. 61.) d ~client:"c" = `Evicted "a");
+  ignore (Dedup.record ~now:(t0 +. 61.) d ~client:"c" ~seq:1 ~commit:3
+            ~reports:1 ~delta:1);
+  check "b survived, a evicted" true
+    (Dedup.check d ~client:"b" ~seq:1 = `Duplicate (2, 1, 1)
+    && Dedup.check d ~client:"a" ~seq:1 = `Fresh)
 
 (* one WAL sync per drained batch, not per commit *)
 let test_batcher_group_commit_syncs () =
@@ -744,6 +770,8 @@ let tests =
     Alcotest.test_case "batcher commits in order" `Quick
       test_batcher_commits_in_order;
     Alcotest.test_case "batcher backpressure" `Quick test_batcher_overload;
+    Alcotest.test_case "dedup admission / age-gated eviction" `Quick
+      test_dedup_admission;
     Alcotest.test_case "batcher group-commit syncs" `Quick
       test_batcher_group_commit_syncs;
     Alcotest.test_case "scripted session" `Quick test_server_session;

@@ -1053,6 +1053,69 @@ let chaos () =
       Printf.sprintf "%.1f" (100. *. (armed_t -. base_t) /. base_t);
     ]
 
+(* ---------- xpath_cache: compiled-plan result cache effectiveness ----- *)
+
+(* minimum warm-vs-cold speedup seen across sizes; --check-cache-ratio
+   compares against it after all requested experiments ran *)
+let min_cache_speedup = ref infinity
+
+let xpath_cache () =
+  let reps = by_scale ~full:10 ~quick:5 ~smoke:3 in
+  header
+    (Printf.sprintf
+       "xpath_cache: query latency, cold vs warm (avg of %d reps) vs \
+        post-update revalidation" reps)
+    [
+      "|C|"; "queries"; "cold_ms"; "warm_ms"; "speedup"; "post_upd_ms";
+      "hits"; "misses"; "partials";
+    ];
+  List.iter
+    (fun n ->
+      let d, e = engine_for n in
+      (* repeated-query workload: the XPath targets of every deletion
+         class — the same shapes fig11a-c evaluate once per update, here
+         issued as reads so the second pass can be served from cache *)
+      let paths =
+        List.concat_map
+          (fun cls ->
+            List.filter_map
+              (function Xupdate.Delete p -> Some p | _ -> None)
+              (Updates.deletions e.Engine.store cls ~count:(ops_per_class ())
+                 ~seed:7))
+          [ Updates.W1; Updates.W2; Updates.W3 ]
+      in
+      let run () = List.iter (fun p -> ignore (Engine.query e p)) paths in
+      let (), cold = time run in
+      let warm_total = ref 0. in
+      for _ = 1 to reps do
+        let (), t = time run in
+        warm_total := !warm_total +. t
+      done;
+      let warm = max (!warm_total /. float_of_int reps) 1e-9 in
+      let speedup = cold /. warm in
+      min_cache_speedup := min !min_cache_speedup speedup;
+      (* one small committed insertion dirties a handful of rows; the
+         next pass revalidates incrementally rather than recomputing *)
+      (match
+         Updates.insertions d e.Engine.store Updates.W2 ~count:1 ~seed:11 ()
+       with
+      | u :: _ -> ignore (Engine.apply ~policy:`Proceed e u)
+      | [] -> ());
+      let (), post = time run in
+      let st = Engine.stats e in
+      row
+        [
+          string_of_int n;
+          string_of_int (List.length paths);
+          ms cold; ms warm;
+          Printf.sprintf "%.1fx" speedup;
+          ms post;
+          string_of_int st.Engine.cache_hits;
+          string_of_int st.Engine.cache_misses;
+          string_of_int st.Engine.cache_partials;
+        ])
+    (sizes ())
+
 (* ---------- Bechamel micro-suite: one Test.make per experiment ------- *)
 
 let bechamel_suite () =
@@ -1126,6 +1189,7 @@ let experiments : (string * (unit -> unit)) list =
     ("server", server_bench);
     ("ablations", ablations);
     ("chaos", chaos);
+    ("xpath_cache", xpath_cache);
     ("bechamel", bechamel_suite);
   ]
 
@@ -1137,14 +1201,16 @@ let all_names =
 let usage () =
   prerr_endline
     "usage: main.exe [--quick|--smoke] [--json FILE] \
+     [--check-cache-ratio R] \
      [all|fig10b|fig11a..fig11h|table1|transactions|recovery|server|\
-     ablations|chaos|bechamel]...";
+     ablations|chaos|xpath_cache|bechamel]...";
   exit 2
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let args = List.filter (fun a -> a <> "--") args in
   let json_path = ref None in
+  let cache_ratio = ref None in
   let names = ref [] in
   let rec parse = function
     | [] -> ()
@@ -1158,6 +1224,13 @@ let () =
         json_path := Some path;
         parse rest
     | [ "--json" ] -> usage ()
+    | "--check-cache-ratio" :: r :: rest -> (
+        match float_of_string_opt r with
+        | Some f when f > 0. ->
+            cache_ratio := Some f;
+            parse rest
+        | _ -> usage ())
+    | [ "--check-cache-ratio" ] -> usage ()
     | "all" :: rest ->
         names := !names @ all_names;
         parse rest
@@ -1171,4 +1244,20 @@ let () =
   List.iter
     (fun name -> run_experiment name (List.assoc name experiments))
     names;
-  Option.iter write_json !json_path
+  Option.iter write_json !json_path;
+  match !cache_ratio with
+  | None -> ()
+  | Some r when !min_cache_speedup = infinity ->
+      Printf.eprintf
+        "--check-cache-ratio %.1f given but xpath_cache did not run\n%!" r;
+      exit 1
+  | Some r when !min_cache_speedup < r ->
+      Printf.eprintf
+        "cache effectiveness check FAILED: min warm speedup %.1fx < \
+         required %.1fx\n%!"
+        !min_cache_speedup r;
+      exit 1
+  | Some r ->
+      Printf.printf "cache effectiveness check ok: min warm speedup %.1fx \
+                     >= %.1fx\n%!"
+        !min_cache_speedup r

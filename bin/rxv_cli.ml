@@ -162,6 +162,9 @@ let print_stats e =
   Fmt.pr "|L| (topo order)   %d@." st.Engine.l_size;
   Fmt.pr "shared instances   %.1f%%@." (100. *. st.Engine.sharing);
   Fmt.pr "open txn frames    %d@." st.Engine.txn_depth;
+  Fmt.pr "query cache        %d hits, %d misses, %d partial, %d evicted@."
+    st.Engine.cache_hits st.Engine.cache_misses st.Engine.cache_partials
+    st.Engine.cache_evictions;
   match st.Engine.wal_records with
   | Some k -> Fmt.pr "WAL records        %d since last checkpoint@." k
   | None -> ()

@@ -281,6 +281,12 @@ let apply (e : Engine.t) (delta_r : Group_update.t) : (report, string) result
       !work
   with
   | () ->
+      (* the repairs above went through Maintain directly, not through
+         Engine.apply, so the query cache saw none of them: dirty
+         everything (base updates are rare and batch-sized — precision
+         is not worth threading every touched set out of reconcile) *)
+      Eval_cache.invalidate_all e.Engine.cache
+        ~slot_capacity:(Store.slot_capacity store);
       (* direct base updates are durable too: log the committed ΔR, like
          Engine.apply does for view updates (never inside an open
          transaction frame — the enclosing commit logs the whole group) *)
@@ -309,4 +315,8 @@ let apply (e : Engine.t) (delta_r : Group_update.t) : (report, string) result
             ignore (reconcile_parent atg db store l m ~plans b_type sr pid))
         !work;
       ignore (Maintain.collect_garbage store l m);
+      (* the store was mutated and restored by re-reconciliation, and the
+         collector may have recycled slots: dirty everything here too *)
+      Eval_cache.invalidate_all e.Engine.cache
+        ~slot_capacity:(Store.slot_capacity store);
       Error "base update would make the view cyclic (rolled back)"

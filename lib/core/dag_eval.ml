@@ -27,14 +27,21 @@
 
     Value filters (p = "s") compare the XPath string value. Comparing
     every node's full text would be quadratic, so equality is decided by a
-    text-length DP with on-demand bounded materialization. *)
+    text-length DP with on-demand bounded materialization.
+
+    Paths execute as compiled {!Plan.t} opcodes, and the two passes are
+    decoupled through the {!tables} type so that {!Eval_cache} can keep
+    the bottom-up tables alive across queries: a cache hit replays only
+    the top-down refinement, and after an update only the dirty rows
+    (changed nodes and their ancestors) are recomputed with
+    {!revalidate}. *)
 
 module Store = Rxv_dag.Store
 module Topo = Rxv_dag.Topo
 module Reach = Rxv_dag.Reach
 module Bitset = Rxv_dag.Bitset
 module Ast = Rxv_xpath.Ast
-module Normal = Rxv_xpath.Normal
+module Plan = Rxv_xpath.Plan
 
 type result = {
   selected : int list;  (** r[[p]], as node ids *)
@@ -51,176 +58,148 @@ type result = {
           root); such selections cannot be deleted *)
 }
 
-(* ---- compiled filters ---- *)
-
-type target = T_exists | T_text_eq of string
-
-type cfilter =
-  | C_label of string
-  | C_and of cfilter * cfilter
-  | C_or of cfilter * cfilter
-  | C_not of cfilter
-  | C_path of int  (** index into the path-filter table *)
-
-type cstep =
-  | CS_filter of cfilter
-  | CS_label of string
-  | CS_wild
-  | CS_desc
-
-type pfilter = { csteps : cstep array; ptarget : target }
-
-type compiled = {
-  outer : cstep array;
-  pfilters : pfilter array;  (** sub-expression order: inner before outer *)
-}
-
-let compile (p : Ast.path) : compiled =
-  let pfs = ref [] in
-  let n_pf = ref 0 in
-  let add_pf pf =
-    pfs := pf :: !pfs;
-    let k = !n_pf in
-    incr n_pf;
-    k
-  in
-  let rec compile_filter (q : Ast.filter) : cfilter =
-    match q with
-    | Ast.Label_is a -> C_label a
-    | Ast.And (a, b) -> C_and (compile_filter a, compile_filter b)
-    | Ast.Or (a, b) -> C_or (compile_filter a, compile_filter b)
-    | Ast.Not a -> C_not (compile_filter a)
-    | Ast.Exists p ->
-        let steps = compile_steps (Normal.of_path p) in
-        C_path (add_pf { csteps = steps; ptarget = T_exists })
-    | Ast.Eq (p, s) ->
-        let steps = compile_steps (Normal.of_path p) in
-        C_path (add_pf { csteps = steps; ptarget = T_text_eq s })
-  and compile_steps (steps : Normal.t) : cstep array =
-    Array.of_list
-      (List.map
-         (function
-           | Normal.Filter q -> CS_filter (compile_filter q)
-           | Normal.Step_label a -> CS_label a
-           | Normal.Step_wild -> CS_wild
-           | Normal.Step_desc -> CS_desc)
-         steps)
-  in
-  let outer = compile_steps (Normal.of_path p) in
-  { outer; pfilters = Array.of_list (List.rev !pfs) }
-
 (* ---- text equality via length DP ---- *)
 
-type text_ctx = {
-  store : Store.t;
-  lens : (int, int) Hashtbl.t;
-}
-
-let rec text_len ctx id =
-  match Hashtbl.find_opt ctx.lens id with
+let rec text_len store lens id =
+  match Hashtbl.find_opt lens id with
   | Some l -> l
   | None ->
-      let n = Store.node ctx.store id in
+      let n = Store.node store id in
       let own =
         match n.Store.text with Some s -> String.length s | None -> 0
       in
       let l =
         List.fold_left
-          (fun acc c -> acc + text_len ctx c)
+          (fun acc c -> acc + text_len store lens c)
           own
-          (Store.children ctx.store id)
+          (Store.children store id)
       in
-      Hashtbl.replace ctx.lens id l;
+      Hashtbl.replace lens id l;
       l
 
-let text_eq ctx id s =
-  if text_len ctx id <> String.length s then false
+let text_eq store lens id s =
+  if text_len store lens id <> String.length s then false
   else begin
     let buf = Buffer.create (String.length s) in
     let rec go id =
-      let n = Store.node ctx.store id in
+      let n = Store.node store id in
       (match n.Store.text with
       | Some t -> Buffer.add_string buf t
       | None -> ());
-      List.iter go (Store.children ctx.store id)
+      List.iter go (Store.children store id)
     in
     go id;
     String.equal (Buffer.contents buf) s
   end
 
-(* ---- bottom-up pass ---- *)
+(* ---- bottom-up tables ---- *)
 
 (* sat.(k).(i) : per path-filter k and suffix start i, a bitset over node
-   slots; bit set ⟺ steps i..n of filter k are satisfiable at the node. *)
-type bu = {
+   slots; bit set ⟺ steps i..n of filter k are satisfiable at the node.
+   lens memoizes the text-length DP keyed by node id; entries for nodes
+   whose subtree text may have changed must be dropped before
+   [revalidate] (pure recomputation repopulates them on demand). *)
+type tables = {
   sat : Bitset.t array array;
-  ctx : text_ctx;
+  lens : (int, int) Hashtbl.t;
 }
 
-let filter_holds (bu : bu) store (q : cfilter) id : bool =
+let create_tables (p : Plan.t) =
+  {
+    sat =
+      Array.map
+        (fun pf ->
+          Array.init
+            (Array.length pf.Plan.steps + 1)
+            (fun _ -> Bitset.create ()))
+        p.Plan.pfilters;
+    lens = Hashtbl.create 256;
+  }
+
+let drop_text_len tb id = Hashtbl.remove tb.lens id
+let reset_text_len tb = Hashtbl.reset tb.lens
+
+let filter_holds (p : Plan.t) (tb : tables) store (q : Plan.filter) id : bool
+    =
   let rec go = function
-    | C_label a -> String.equal (Store.node store id).Store.etype a
-    | C_and (x, y) -> go x && go y
-    | C_or (x, y) -> go x || go y
-    | C_not x -> not (go x)
-    | C_path k ->
-        Bitset.get bu.sat.(k).(0) (Store.node store id).Store.slot
+    | Plan.F_label a ->
+        String.equal (Store.node store id).Store.etype p.Plan.labels.(a)
+    | Plan.F_and (x, y) -> go x && go y
+    | Plan.F_or (x, y) -> go x || go y
+    | Plan.F_not x -> not (go x)
+    | Plan.F_path k ->
+        Bitset.get tb.sat.(k).(0) (Store.node store id).Store.slot
   in
   go q
 
-let bottom_up (store : Store.t) (l : Topo.t) (c : compiled) : bu =
-  let ctx = { store; lens = Hashtbl.create 256 } in
-  let sat =
-    Array.map
-      (fun pf -> Array.init (Array.length pf.csteps + 1) (fun _ -> Bitset.create ()))
-      c.pfilters
-  in
-  let bu = { sat; ctx } in
+(* recompute all of one node's sat rows, absolutely: bits are cleared as
+   well as set, so the same code serves the initial fill (clears are
+   no-ops on fresh bitsets) and dirty-row revalidation after updates *)
+let recompute_node (p : Plan.t) (tb : tables) store v slot kids =
+  Array.iteri
+    (fun k pf ->
+      let steps = pf.Plan.steps in
+      let nsteps = Array.length steps in
+      for i = nsteps downto 0 do
+        let holds =
+          if i = nsteps then
+            match pf.Plan.target with
+            | Plan.T_exists -> true
+            | Plan.T_text_eq s -> text_eq store tb.lens v s
+          else
+            match steps.(i) with
+            | Plan.S_filter q ->
+                filter_holds p tb store q v
+                && Bitset.get tb.sat.(k).(i + 1) slot
+            | Plan.S_label a ->
+                let name = p.Plan.labels.(a) in
+                List.exists
+                  (fun u ->
+                    let nu = Store.node store u in
+                    String.equal nu.Store.etype name
+                    && Bitset.get tb.sat.(k).(i + 1) nu.Store.slot)
+                  kids
+            | Plan.S_wild ->
+                List.exists
+                  (fun u ->
+                    Bitset.get tb.sat.(k).(i + 1)
+                      (Store.node store u).Store.slot)
+                  kids
+            | Plan.S_desc ->
+                Bitset.get tb.sat.(k).(i + 1) slot
+                || List.exists
+                     (fun u ->
+                       Bitset.get tb.sat.(k).(i)
+                         (Store.node store u).Store.slot)
+                     kids
+        in
+        if holds then Bitset.set tb.sat.(k).(i) slot
+        else Bitset.clear tb.sat.(k).(i) slot
+      done)
+    p.Plan.pfilters
+
+let bottom_up (store : Store.t) (l : Topo.t) (p : Plan.t) (tb : tables) :
+    unit =
   Topo.iter
     (fun v ->
       let n = Store.node store v in
-      let slot = n.Store.slot in
-      let kids = Store.children store v in
-      Array.iteri
-        (fun k pf ->
-          let nsteps = Array.length pf.csteps in
-          for i = nsteps downto 0 do
-            let holds =
-              if i = nsteps then
-                match pf.ptarget with
-                | T_exists -> true
-                | T_text_eq s -> text_eq ctx v s
-              else
-                match pf.csteps.(i) with
-                | CS_filter q ->
-                    filter_holds bu store q v
-                    && Bitset.get sat.(k).(i + 1) slot
-                | CS_label a ->
-                    List.exists
-                      (fun u ->
-                        String.equal (Store.node store u).Store.etype a
-                        && Bitset.get sat.(k).(i + 1)
-                             (Store.node store u).Store.slot)
-                      kids
-                | CS_wild ->
-                    List.exists
-                      (fun u ->
-                        Bitset.get sat.(k).(i + 1)
-                          (Store.node store u).Store.slot)
-                      kids
-                | CS_desc ->
-                    Bitset.get sat.(k).(i + 1) slot
-                    || List.exists
-                         (fun u ->
-                           Bitset.get sat.(k).(i)
-                             (Store.node store u).Store.slot)
-                         kids
-            in
-            if holds then Bitset.set sat.(k).(i) slot
-          done)
-        c.pfilters)
-    l;
-  bu
+      recompute_node p tb store v n.Store.slot (Store.children store v))
+    l
+
+(* Recompute only the rows whose slot is in [dirty]. L is leaves-first,
+   so by the time a dirty node is recomputed every child's row — clean,
+   or dirty and already recomputed — is valid. Rows of clean nodes are
+   untouched: the dirty set must contain every node whose sat value can
+   have changed (the changed nodes and all their ancestors — a node's
+   value depends only on its descendants). *)
+let revalidate (store : Store.t) (l : Topo.t) (p : Plan.t) (tb : tables)
+    ~(dirty : Bitset.t) : unit =
+  Topo.iter
+    (fun v ->
+      let n = Store.node store v in
+      if Bitset.get dirty n.Store.slot then
+        recompute_node p tb store v n.Store.slot (Store.children store v))
+    l
 
 (* ---- top-down pass ---- *)
 
@@ -251,35 +230,36 @@ let slots_of m (s : IdSet.t) =
 let in_desc_or_self m (base : IdSet.t) base_bits id =
   IdSet.mem base id || Reach.anc_intersects m id base_bits
 
-let eval_compiled (store : Store.t) (l : Topo.t) (m : Reach.t) (c : compiled)
-    : result =
-  let bu = bottom_up store l c in
+let top_down (store : Store.t) (_l : Topo.t) (m : Reach.t) (p : Plan.t)
+    (tb : tables) : result =
   let root = Store.root store in
-  let nsteps = Array.length c.outer in
+  let nsteps = Array.length p.Plan.outer in
+  let outer = p.Plan.outer in
   (* forward frontiers; frontier.(i) = C_i *)
   let frontier = Array.init (nsteps + 1) (fun _ -> IdSet.create ()) in
   IdSet.add frontier.(0) root;
   for i = 0 to nsteps - 1 do
     let prev = frontier.(i) and next = frontier.(i + 1) in
-    match c.outer.(i) with
-    | CS_filter q ->
+    match outer.(i) with
+    | Plan.S_filter q ->
         IdSet.iter
-          (fun v -> if filter_holds bu store q v then IdSet.add next v)
+          (fun v -> if filter_holds p tb store q v then IdSet.add next v)
           prev
-    | CS_label a ->
+    | Plan.S_label a ->
+        let name = p.Plan.labels.(a) in
         IdSet.iter
           (fun v ->
             List.iter
               (fun u ->
-                if String.equal (Store.node store u).Store.etype a then
+                if String.equal (Store.node store u).Store.etype name then
                   IdSet.add next u)
               (Store.children store v))
           prev
-    | CS_wild ->
+    | Plan.S_wild ->
         IdSet.iter
           (fun v -> List.iter (IdSet.add next) (Store.children store v))
           prev
-    | CS_desc ->
+    | Plan.S_desc ->
         let rec go u =
           if not (IdSet.mem next u) then begin
             IdSet.add next u;
@@ -294,15 +274,15 @@ let eval_compiled (store : Store.t) (l : Topo.t) (m : Reach.t) (c : compiled)
   IdSet.iter (IdSet.add back.(nsteps)) frontier.(nsteps);
   for i = nsteps - 1 downto 0 do
     let bi1 = back.(i + 1) and bi = back.(i) in
-    match c.outer.(i) with
-    | CS_filter _ -> IdSet.iter (IdSet.add bi) bi1
-    | CS_label _ | CS_wild ->
+    match outer.(i) with
+    | Plan.S_filter _ -> IdSet.iter (IdSet.add bi) bi1
+    | Plan.S_label _ | Plan.S_wild ->
         IdSet.iter
           (fun w ->
             if List.exists (IdSet.mem bi1) (Store.children store w) then
               IdSet.add bi w)
           frontier.(i)
-    | CS_desc ->
+    | Plan.S_desc ->
         (* w ∈ B_i iff w is an ancestor-or-self of some node of B_{i+1}:
            OR the targets' ancestor rows into one slot set, then each
            membership test is a bit test *)
@@ -321,11 +301,11 @@ let eval_compiled (store : Store.t) (l : Topo.t) (m : Reach.t) (c : compiled)
   let i = ref nsteps in
   let continue = ref true in
   while !continue && !i >= 1 do
-    let step = c.outer.(!i - 1) in
+    let step = outer.(!i - 1) in
     let bprev = back.(!i - 1) in
     (match step with
-    | CS_filter _ -> decr i
-    | CS_label _ | CS_wild ->
+    | Plan.S_filter _ -> decr i
+    | Plan.S_label _ | Plan.S_wild ->
         IdSet.iter
           (fun v ->
             List.iter
@@ -334,7 +314,7 @@ let eval_compiled (store : Store.t) (l : Topo.t) (m : Reach.t) (c : compiled)
               (Store.parents store v))
           !active;
         continue := false
-    | CS_desc ->
+    | Plan.S_desc ->
         let bprev_bits = slots_of m bprev in
         IdSet.iter
           (fun v ->
@@ -345,7 +325,9 @@ let eval_compiled (store : Store.t) (l : Topo.t) (m : Reach.t) (c : compiled)
               (Store.parents store v))
           !active;
         let pass = IdSet.create () in
-        IdSet.iter (fun v -> if IdSet.mem bprev v then IdSet.add pass v) !active;
+        IdSet.iter
+          (fun v -> if IdSet.mem bprev v then IdSet.add pass v)
+          !active;
         active := pass;
         decr i);
     if IdSet.cardinal !active = 0 then continue := false
@@ -373,19 +355,20 @@ let eval_compiled (store : Store.t) (l : Topo.t) (m : Reach.t) (c : compiled)
     Hashtbl.iter
       (fun (u, _) j ->
         if j >= 1 then
-          match c.outer.(j - 1) with
-          | CS_desc ->
+          match outer.(j - 1) with
+          | Plan.S_desc ->
               (* u is a walk intermediate: its occurrences must be walk
                  occurrences — the desc machinery of step j itself *)
               IdSet.add needs.(j) u
-          | CS_label _ | CS_wild | CS_filter _ -> IdSet.add needs.(j - 1) u)
+          | Plan.S_label _ | Plan.S_wild | Plan.S_filter _ ->
+              IdSet.add needs.(j - 1) u)
       arrival;
     for j = nsteps downto 1 do
       let need = needs.(j) in
       if IdSet.cardinal need > 0 then
-        match c.outer.(j - 1) with
-        | CS_filter _ -> IdSet.iter (IdSet.add needs.(j - 1)) need
-        | CS_label _ | CS_wild ->
+        match outer.(j - 1) with
+        | Plan.S_filter _ -> IdSet.iter (IdSet.add needs.(j - 1)) need
+        | Plan.S_label _ | Plan.S_wild ->
             IdSet.iter
               (fun x ->
                 List.iter
@@ -395,7 +378,7 @@ let eval_compiled (store : Store.t) (l : Topo.t) (m : Reach.t) (c : compiled)
                     else IdSet.add side_delete w)
                   (Store.parents store x))
               need
-        | CS_desc ->
+        | Plan.S_desc ->
             (* walk upward through desc-or-self(B_{j-1}); the prefix may
                end at any walk node that is in B_{j-1} *)
             let bprev = back.(j - 1) in
@@ -445,8 +428,14 @@ let eval_compiled (store : Store.t) (l : Topo.t) (m : Reach.t) (c : compiled)
     zero_move_match = !zero_move;
   }
 
+let eval_plan (store : Store.t) (l : Topo.t) (m : Reach.t) (p : Plan.t) :
+    result =
+  let tb = create_tables p in
+  bottom_up store l p tb;
+  top_down store l m p tb
+
 (** [eval store l m p] evaluates the XPath [p] from the root of the view.
     See {!result}. *)
 let eval (store : Store.t) (l : Topo.t) (m : Reach.t) (p : Ast.path) : result
     =
-  eval_compiled store l m (compile p)
+  eval_plan store l m (Plan.compile p)

@@ -14,12 +14,19 @@
     The side-effect check is edge-granular and conservative: it may
     over-approximate on views where one node plays several distinct step
     roles, but it never misses a deviating occurrence entering the matched
-    region (property-tested soundness). *)
+    region (property-tested soundness).
+
+    Paths execute as compiled {!Plan.t} opcodes. The two passes are
+    exposed separately, with the bottom-up DP state reified as {!tables},
+    so {!Eval_cache} can keep tables alive across queries and repair only
+    the dirty rows after an update ({!revalidate}). [eval] remains the
+    one-shot entry point: compile, fill, refine. *)
 
 module Store = Rxv_dag.Store
 module Topo = Rxv_dag.Topo
 module Reach = Rxv_dag.Reach
 module Ast = Rxv_xpath.Ast
+module Plan = Rxv_xpath.Plan
 
 type result = {
   selected : int list;  (** r[[p]], as node ids *)
@@ -44,3 +51,38 @@ type result = {
 
 val eval : Store.t -> Topo.t -> Reach.t -> Ast.path -> result
 (** evaluate from the root of the view *)
+
+val eval_plan : Store.t -> Topo.t -> Reach.t -> Plan.t -> result
+(** as {!eval}, for an already-compiled plan *)
+
+(** {2 Decoupled passes — the cacheable DP state}
+
+    [tables] holds a plan's bottom-up state: the per-(filter, suffix)
+    satisfiability bitsets over node slots, plus the memoized text-length
+    DP. Fill with {!bottom_up}, answer with {!top_down}; after an update,
+    drop the text lengths of touched nodes ({!drop_text_len}) and repair
+    the rows of changed nodes and their ancestors with {!revalidate}. *)
+
+type tables
+
+val create_tables : Plan.t -> tables
+(** empty tables shaped for the plan's filter suffixes *)
+
+val bottom_up : Store.t -> Topo.t -> Plan.t -> tables -> unit
+(** full DP fill over L (leaves first) *)
+
+val revalidate : Store.t -> Topo.t -> Plan.t -> tables -> dirty:Rxv_dag.Bitset.t -> unit
+(** recompute only the rows whose slot is set in [dirty], in L order.
+    Sound iff [dirty] covers every node whose sat value may have changed:
+    the updated nodes and all their ancestors (a node's row depends only
+    on its descendants), plus any slot whose occupant was removed. *)
+
+val top_down : Store.t -> Topo.t -> Reach.t -> Plan.t -> tables -> result
+(** the top-down refinement, reading filled (or revalidated) tables *)
+
+val drop_text_len : tables -> int -> unit
+(** forget the memoized text length of one node (by id); call for every
+    node whose subtree text may have changed before {!revalidate} *)
+
+val reset_text_len : tables -> unit
+(** forget all memoized text lengths *)

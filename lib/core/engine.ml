@@ -45,6 +45,7 @@ type t = {
   mutable reach : Reach.t;
   mutable seed : int;  (** WalkSAT seed; bumped per insertion *)
   mutable wal : wal_hook option;
+  cache : Eval_cache.t;  (** compiled-plan result cache for the read path *)
 }
 
 type policy = [ `Abort | `Proceed ]
@@ -97,7 +98,7 @@ let create ?(seed = 20070415) (atg : Atg.t) (db : Database.t) : t =
   Log.info (fun m ->
       m "published %s: %d nodes, %d edges, |M|=%d" atg.Atg.name
         (Store.n_nodes store) (Store.n_edges store) (Reach.size reach));
-  { atg; db; store; topo; reach; seed; wal = None }
+  { atg; db; store; topo; reach; seed; wal = None; cache = Eval_cache.create () }
 
 (** [of_durable atg db store] assembles an engine from recovered
     components: L and M are rebuilt from the deserialized store, which
@@ -109,7 +110,7 @@ let of_durable ?(seed = 20070415) (atg : Atg.t) (db : Database.t)
   Log.info (fun m ->
       m "recovered %s: %d nodes, %d edges, |M|=%d" atg.Atg.name
         (Store.n_nodes store) (Store.n_edges store) (Reach.size reach));
-  { atg; db; store; topo; reach; seed; wal = None }
+  { atg; db; store; topo; reach; seed; wal = None; cache = Eval_cache.create () }
 
 let attach_wal (e : t) (hook : wal_hook) = e.wal <- Some hook
 let detach_wal (e : t) = e.wal <- None
@@ -135,6 +136,12 @@ let wal_log ?(depth = 0) (e : t) ~(seed_before : int)
 
 let now () = Unix.gettimeofday ()
 
+(* All engine-level XPath evaluation funnels through the cache. Inside a
+   transaction frame the cache declines to serve or store (see
+   Eval_cache), so the same call is a plain fresh eval there. *)
+let eval_path (e : t) path =
+  Eval_cache.query e.cache e.store e.topo e.reach path
+
 let no_timings = { t_eval = 0.; t_translate = 0.; t_maintain = 0. }
 
 let noop_report ?(selected = []) ?(side_effects = []) ?(timings = no_timings)
@@ -154,7 +161,7 @@ let apply_delete (e : t) ~(policy : policy) path :
   | Validate.Reject msg -> Error (Invalid msg)
   | Validate.Ok_types _ -> (
       let t0 = now () in
-      let ev = Dag_eval.eval e.store e.topo e.reach path in
+      let ev = eval_path e path in
       let t_eval = now () -. t0 in
       if ev.Dag_eval.side_effects_delete <> [] && policy = `Abort then
         Error (Side_effects ev.Dag_eval.side_effects_delete)
@@ -179,10 +186,19 @@ let apply_delete (e : t) ~(policy : policy) path :
                   delta_v;
                 let t_translate = now () -. t1 in
                 let t2 = now () in
-                let _stats =
+                let mst =
                   Maintain.on_delete e.store e.topo e.reach
                     ~targets:ev.Dag_eval.selected
                 in
+                (* stale DP rows: desc-or-self of the targets, the
+                   arrival parents (their children lists shrank), and the
+                   recycled slots of cascaded-away nodes *)
+                Eval_cache.invalidate e.cache ~store:e.store ~reach:e.reach
+                  ~touched:
+                    (List.rev_append
+                       (List.rev_map fst delta_v)
+                       mst.Maintain.touched)
+                  ~freed_slots:mst.Maintain.deleted_slots;
                 let t_maintain = now () -. t2 in
                 Ok
                   {
@@ -200,7 +216,7 @@ let apply_insert (e : t) ~(policy : policy) ~etype ~attr path :
   | Validate.Reject msg -> Error (Invalid msg)
   | Validate.Ok_types _ -> (
       let t0 = now () in
-      let ev = Dag_eval.eval e.store e.topo e.reach path in
+      let ev = eval_path e path in
       let t_eval = now () -. t0 in
       if ev.Dag_eval.side_effects <> [] && policy = `Abort then
         Error (Side_effects ev.Dag_eval.side_effects)
@@ -267,12 +283,15 @@ let apply_insert (e : t) ~(policy : policy) ~etype ~attr path :
                         provenances;
                       let t_translate = now () -. t1 in
                       let t2 = now () in
-                      let _stats =
+                      let mst =
                         Maintain.on_insert e.store e.topo e.reach
                           ~targets:ev.Dag_eval.selected
                           ~root_id:tr.Xupdate.subtree_root
                           ~new_nodes:tr.Xupdate.new_nodes
                       in
+                      Eval_cache.invalidate e.cache ~store:e.store
+                        ~reach:e.reach ~touched:mst.Maintain.touched
+                        ~freed_slots:[];
                       let t_maintain = now () -. t2 in
                       Ok
                         {
@@ -308,8 +327,8 @@ let apply ?(policy : policy = `Proceed) (e : t) (u : Xupdate.t) :
       Log.info (fun m -> m "%a: %a" Xupdate.pp u pp_rejection rej));
   result
 
-(** Evaluate an XPath query on the current view (read-only). *)
-let query (e : t) path = Dag_eval.eval e.store e.topo e.reach path
+(** Evaluate an XPath query on the current view (read-only, cached). *)
+let query (e : t) path = eval_path e path
 
 (** Materialize the current view as a tree. *)
 let to_tree ?max_nodes (e : t) = Store.to_tree ?max_nodes e.store
@@ -349,9 +368,14 @@ type stats = {
   txn_depth : int;  (** open transaction frames *)
   wal_records : int option;
       (** records since the last checkpoint; [None] without a WAL *)
+  cache_hits : int;  (** query cache: full hits *)
+  cache_misses : int;  (** query cache: cold fills *)
+  cache_partials : int;  (** query cache: partial revalidations *)
+  cache_evictions : int;  (** query cache: LRU drops *)
 }
 
 let stats (e : t) : stats =
+  let c = Eval_cache.counters e.cache in
   let occ = Store.occurrence_counts e.store in
   let total = Hashtbl.fold (fun _ c acc -> acc + c) occ 0 in
   let n = Store.n_nodes e.store in
@@ -381,13 +405,18 @@ let stats (e : t) : stats =
     txn_depth = Rxv_relational.Journal.depth (Database.journal e.db);
     wal_records =
       Option.map (fun h -> h.records_since_checkpoint ()) e.wal;
+    cache_hits = c.Eval_cache.hits;
+    cache_misses = c.Eval_cache.misses;
+    cache_partials = c.Eval_cache.partials;
+    cache_evictions = c.Eval_cache.evictions;
   }
 
 (** {2 Transactions}
 
-    One engine transaction is one undo-journal frame on each of the four
+    One engine transaction is one undo-journal frame on each of the five
     mutable components (the database's shared relation journal, the
-    store's, L's, and M's), plus the saved WalkSAT seed. Mutation entry
+    store's, L's, M's, and the query cache's dirty marks), plus the saved
+    WalkSAT seed. Mutation entry
     points record exact inverses at their sites, so {!txn_abort} replays
     O(Δ) inverse operations — not the O(view) deep copies the previous
     snapshot/restore implementation paid. [apply_group] and [dry_run]
@@ -402,18 +431,21 @@ module Txn = struct
     Store.begin_ e.store;
     Topo.begin_ e.topo;
     Reach.begin_ e.reach;
+    Eval_cache.begin_ e.cache;
     { t_seed = e.seed }
 
   let commit (e : t) (_ : handle) : unit =
+    Eval_cache.commit e.cache;
     Reach.commit e.reach;
     Topo.commit e.topo;
     Store.commit e.store;
     Database.commit e.db
 
-  (* The four journals are independent — no undo closure reaches across
+  (* The five journals are independent — no undo closure reaches across
      structures — so abort order is free; reverse of [begin_] for
      hygiene. *)
   let abort (e : t) (h : handle) : unit =
+    Eval_cache.abort e.cache;
     Reach.abort e.reach;
     Topo.abort e.topo;
     Store.abort e.store;

@@ -34,6 +34,9 @@ type t = {
   mutable reach : Reach.t;
   mutable seed : int;
   mutable wal : wal_hook option;
+  cache : Eval_cache.t;
+      (** compiled-plan result cache; all reads via {!query} go through
+          it, and every mutation path invalidates it incrementally *)
 }
 
 type policy = [ `Abort | `Proceed ]
@@ -89,7 +92,11 @@ val apply : ?policy:policy -> t -> Xupdate.t -> (report, rejection) result
     [`Proceed] *)
 
 val query : t -> Rxv_xpath.Ast.path -> Dag_eval.result
-(** read-only XPath evaluation on the current view *)
+(** read-only XPath evaluation on the current view, served through the
+    compiled-plan cache: repeated queries at an unchanged generation are
+    O(result), and after a small update only the dirty DP rows are
+    recomputed. Inside an open transaction frame the cache is bypassed
+    (fresh evaluation, nothing stored). *)
 
 val to_tree : ?max_nodes:int -> t -> Rxv_xml.Tree.t
 (** materialize the current (uncompressed) view *)
@@ -113,6 +120,10 @@ type stats = {
   wal_records : int option;
       (** WAL records appended since the last checkpoint; [None] when no
           WAL is attached *)
+  cache_hits : int;  (** query cache: full hits *)
+  cache_misses : int;  (** query cache: cold fills *)
+  cache_partials : int;  (** query cache: partial revalidations *)
+  cache_evictions : int;  (** query cache: LRU drops *)
 }
 
 val stats : t -> stats
@@ -120,7 +131,8 @@ val stats : t -> stats
 (** {2 Transactions}
 
     An engine transaction is one undo-journal frame on each mutable
-    component (database, store, L, M) plus the saved seed: every mutation
+    component (database, store, L, M, query-cache dirty marks) plus the
+    saved seed: every mutation
     entry point records its exact inverse, so rollback replays O(Δ)
     inverse operations instead of restoring O(view) deep copies.
     Transactions nest; each handle must be resolved exactly once, with
@@ -130,7 +142,7 @@ module Txn : sig
   type handle
 
   val begin_ : t -> handle
-  (** open a frame on all four components and save the seed — O(1) *)
+  (** open a frame on every component and save the seed — O(1) *)
 
   val commit : t -> handle -> unit
   (** keep the frame's effects, folding its undo entries into any

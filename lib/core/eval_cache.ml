@@ -1,0 +1,284 @@
+(** Generation-keyed incremental result cache (see eval_cache.mli).
+
+    Soundness argument, in terms of the invariants maintained:
+
+    - [entry.gen_valid = t.generation] and [Bitset.is_empty entry.dirty]
+      ⟹ [entry.tables] equals a fresh bottom-up fill and [entry.result]
+      equals a fresh eval, for the current store/L/M.
+    - Every structural mutation calls {!invalidate} (or
+      {!invalidate_all}) after maintenance, bumping the generation and
+      OR-ing the changed nodes' slots ∪ their ancestors' slots ∪ freed
+      slots into every entry's dirty set. A node's bottom-up value
+      depends only on its descendants, so rows outside the dirty set are
+      unchanged — {!Dag_eval.revalidate} over the dirty rows restores
+      the first invariant.
+    - While a journal frame is open, queries bypass the cache, so no
+      entry is ever created or revalidated against a state that an abort
+      can roll back; the only mid-frame mutations are [invalidate]'s,
+      which copy-on-write the dirty bitsets and journal the generation —
+      abort restores both exactly.
+    - Freed slots stay dirty until the next revalidation even if
+      re-occupied: the store recycles slots only for new nodes, and new
+      nodes are in the next update's touched set anyway.
+
+    The text-length memo needs no journaling: it is a pure function of
+    the current store, entries for touched ids are dropped eagerly, and
+    bypassed queries never populate it with rollback-able ids. *)
+
+module Store = Rxv_dag.Store
+module Topo = Rxv_dag.Topo
+module Reach = Rxv_dag.Reach
+module Bitset = Rxv_dag.Bitset
+module Ast = Rxv_xpath.Ast
+module Plan = Rxv_xpath.Plan
+module Journal = Rxv_relational.Journal
+
+type counters = {
+  hits : int;
+  misses : int;
+  partials : int;
+  evictions : int;
+  invalidations : int;
+}
+
+type entry = {
+  plan : Plan.t;
+  tables : Dag_eval.tables;
+  mutable gen_valid : int;
+  mutable dirty : Bitset.t;
+  mutable result : Dag_eval.result option;
+  mutable stamp : int;  (** LRU clock value of the last use *)
+}
+
+type t = {
+  mutable generation : int;
+  entries : (string, entry) Hashtbl.t;  (** keyed by Plan.key *)
+  plans : (Ast.path, Plan.t) Hashtbl.t;  (** structural compile memo *)
+  cap : int;
+  mutable tick : int;
+  mutable c_hits : int;
+  mutable c_misses : int;
+  mutable c_partials : int;
+  mutable c_evictions : int;
+  mutable c_invalidations : int;
+  journal : Journal.t;
+  (* per-frame set of entry keys whose dirty bitset was already
+     copy-on-written in that frame — same discipline as Reach *)
+  mutable touched : (string, unit) Hashtbl.t list;
+  lock : Mutex.t;
+}
+
+let default_cap = 64
+let plan_memo_cap = 1024
+
+let create ?(cap = default_cap) () =
+  {
+    generation = 0;
+    entries = Hashtbl.create 16;
+    plans = Hashtbl.create 64;
+    cap = max 1 cap;
+    tick = 0;
+    c_hits = 0;
+    c_misses = 0;
+    c_partials = 0;
+    c_evictions = 0;
+    c_invalidations = 0;
+    journal = Journal.create ();
+    touched = [];
+    lock = Mutex.create ();
+  }
+
+let generation t = t.generation
+let recording t = Journal.recording t.journal
+
+let counters t =
+  {
+    hits = t.c_hits;
+    misses = t.c_misses;
+    partials = t.c_partials;
+    evictions = t.c_evictions;
+    invalidations = t.c_invalidations;
+  }
+
+let with_lock t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+(* ---- transactions ---- *)
+
+let begin_ t =
+  with_lock t (fun () ->
+      Journal.begin_ t.journal;
+      t.touched <- Hashtbl.create 8 :: t.touched)
+
+let commit t =
+  with_lock t (fun () ->
+      Journal.commit t.journal;
+      match t.touched with
+      | top :: parent :: rest ->
+          Hashtbl.iter (fun k () -> Hashtbl.replace parent k ()) top;
+          t.touched <- parent :: rest
+      | [ _ ] | [] -> t.touched <- [])
+
+let abort t =
+  with_lock t (fun () ->
+      Journal.abort t.journal;
+      match t.touched with [] -> () | _ :: rest -> t.touched <- rest)
+
+(* ---- invalidation ---- *)
+
+let bump_generation t =
+  if Journal.recording t.journal then begin
+    let saved = t.generation in
+    Journal.record t.journal (fun () -> t.generation <- saved)
+  end;
+  t.generation <- t.generation + 1
+
+(* copy-on-write an entry's dirty bitset into the current frame, once *)
+let cow_dirty t e =
+  match t.touched with
+  | top :: _ when Journal.recording t.journal ->
+      let k = Plan.key e.plan in
+      if not (Hashtbl.mem top k) then begin
+        let saved = e.dirty in
+        Journal.record t.journal (fun () -> e.dirty <- saved);
+        e.dirty <- Bitset.copy saved;
+        Hashtbl.replace top k ()
+      end
+  | _ -> ()
+
+let invalidate t ~(store : Store.t) ~(reach : Reach.t) ~touched ~freed_slots
+    =
+  with_lock t (fun () ->
+      t.c_invalidations <- t.c_invalidations + 1;
+      bump_generation t;
+      if Hashtbl.length t.entries > 0 then begin
+        (* stale rows = touched nodes ∪ ancestors(touched) under the
+           post-update M, plus any slot a deleted node vacated *)
+        let bits = Bitset.create () in
+        List.iter
+          (fun id ->
+            if Store.mem_node store id then begin
+              Bitset.set bits (Reach.slot_of reach id);
+              Reach.union_row_into reach id ~dst:bits
+            end)
+          touched;
+        List.iter (fun s -> Bitset.set bits s) freed_slots;
+        Hashtbl.iter
+          (fun _ e ->
+            cow_dirty t e;
+            Bitset.union_into ~dst:e.dirty bits;
+            List.iter (Dag_eval.drop_text_len e.tables) touched)
+          t.entries
+      end)
+
+let invalidate_all t ~slot_capacity =
+  with_lock t (fun () ->
+      t.c_invalidations <- t.c_invalidations + 1;
+      bump_generation t;
+      if Hashtbl.length t.entries > 0 then begin
+        let bits = Bitset.create () in
+        for s = 0 to slot_capacity - 1 do
+          Bitset.set bits s
+        done;
+        Hashtbl.iter
+          (fun _ e ->
+            cow_dirty t e;
+            Bitset.union_into ~dst:e.dirty bits;
+            Dag_eval.reset_text_len e.tables)
+          t.entries
+      end)
+
+(* ---- lookup ---- *)
+
+let plan_of t path =
+  match Hashtbl.find_opt t.plans path with
+  | Some p -> p
+  | None ->
+      if Hashtbl.length t.plans >= plan_memo_cap then Hashtbl.reset t.plans;
+      let p = Plan.compile path in
+      Hashtbl.replace t.plans path p;
+      p
+
+let evict_if_full t =
+  if Hashtbl.length t.entries >= t.cap then begin
+    let victim =
+      Hashtbl.fold
+        (fun k e acc ->
+          match acc with
+          | Some (_, s) when s <= e.stamp -> acc
+          | _ -> Some (k, e.stamp))
+        t.entries None
+    in
+    match victim with
+    | Some (k, _) ->
+        Hashtbl.remove t.entries k;
+        t.c_evictions <- t.c_evictions + 1
+    | None -> ()
+  end
+
+let cached_result e =
+  (* the invariant guarantees [result] is populated whenever the entry is
+     current; re-deriving on a mismatch keeps this total *)
+  match e.result with Some r -> Some r | None -> None
+
+let query t store l m path =
+  if recording t then
+    (* a journal frame is open: evaluate fresh, touch nothing *)
+    Dag_eval.eval store l m path
+  else
+    with_lock t (fun () ->
+        let plan = plan_of t path in
+        t.tick <- t.tick + 1;
+        match Hashtbl.find_opt t.entries (Plan.key plan) with
+        | Some e -> (
+            e.stamp <- t.tick;
+            if e.gen_valid = t.generation then (
+              match cached_result e with
+              | Some r ->
+                  t.c_hits <- t.c_hits + 1;
+                  r
+              | None ->
+                  let r = Dag_eval.top_down store l m e.plan e.tables in
+                  e.result <- Some r;
+                  t.c_hits <- t.c_hits + 1;
+                  r)
+            else if Bitset.is_empty e.dirty then (
+              (* the generation moved but nothing this entry depends on
+                 changed (all observed mutations were rolled back or
+                 touched nothing): promote *)
+              e.gen_valid <- t.generation;
+              match cached_result e with
+              | Some r ->
+                  t.c_hits <- t.c_hits + 1;
+                  r
+              | None ->
+                  let r = Dag_eval.top_down store l m e.plan e.tables in
+                  e.result <- Some r;
+                  t.c_hits <- t.c_hits + 1;
+                  r)
+            else begin
+              t.c_partials <- t.c_partials + 1;
+              Dag_eval.revalidate store l e.plan e.tables ~dirty:e.dirty;
+              e.dirty <- Bitset.create ();
+              let r = Dag_eval.top_down store l m e.plan e.tables in
+              e.result <- Some r;
+              e.gen_valid <- t.generation;
+              r
+            end)
+        | None ->
+            t.c_misses <- t.c_misses + 1;
+            evict_if_full t;
+            let tables = Dag_eval.create_tables plan in
+            Dag_eval.bottom_up store l plan tables;
+            let r = Dag_eval.top_down store l m plan tables in
+            Hashtbl.replace t.entries (Plan.key plan)
+              {
+                plan;
+                tables;
+                gen_valid = t.generation;
+                dirty = Bitset.create ();
+                result = Some r;
+                stamp = t.tick;
+              };
+            r)

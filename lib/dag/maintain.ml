@@ -19,6 +19,10 @@ type insert_stats = {
   m_pairs_added : int;
   common_nodes : int;
   merged_nodes : int;
+  touched : int list;
+      (** nodes whose Δ(M,L) rows this update visited (subtree ∪ targets)
+          — the seed set for dirtying cached DP rows: every other node's
+          bottom-up value depends only on descendants outside this set *)
 }
 
 type delete_stats = {
@@ -26,6 +30,13 @@ type delete_stats = {
   cascade_edges : (int * int) list;
       (** Δ'V: edges of fully-deleted nodes, removed by the collector *)
   deleted_nodes : int list;
+  touched : int list;
+      (** desc-or-self of the targets (including the nodes then deleted)
+          — the seed set for dirtying cached DP rows *)
+  deleted_slots : int list;
+      (** store slots freed by [deleted_nodes], captured before removal:
+          the store recycles slots, so cached per-slot rows must be
+          dirtied even though the ids are gone *)
 }
 
 (* Descendants-or-self of [roots] via the (current) adjacency, as a set. *)
@@ -215,6 +226,7 @@ let on_insert (store : Store.t) (l : Topo.t) (m : Reach.t) ~targets ~root_id
     m_pairs_added = !pairs_added;
     common_nodes = List.length nc;
     merged_nodes = List.length !anchored;
+    touched = List.rev_append targets la_list;
   }
 
 (** Algorithm Δ(M,L)delete. [targets] is r[[p]]; the Ep(r) edges must
@@ -242,6 +254,7 @@ let on_delete (store : Store.t) (l : Topo.t) (m : Reach.t) ~targets :
   let pairs_removed = ref 0 in
   let cascade = ref [] in
   let deleted = ref [] in
+  let deleted_slots = ref [] in
   let root = Store.root store in
   List.iter
     (fun d ->
@@ -253,6 +266,7 @@ let on_delete (store : Store.t) (l : Topo.t) (m : Reach.t) ~targets :
         if pd = [] then begin
           Hashtbl.replace keep d false;
           deleted := d :: !deleted;
+          deleted_slots := (Store.node store d).Store.slot :: !deleted_slots;
           Topo.remove l d;
           List.iter
             (fun d' ->
@@ -272,6 +286,8 @@ let on_delete (store : Store.t) (l : Topo.t) (m : Reach.t) ~targets :
     m_pairs_removed = !pairs_removed;
     cascade_edges = List.rev !cascade;
     deleted_nodes = !deleted;
+    touched = lr;
+    deleted_slots = !deleted_slots;
   }
 
 (** Full recomputation of both structures — the baseline that Table 1

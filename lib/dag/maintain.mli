@@ -14,6 +14,10 @@ type insert_stats = {
   m_pairs_added : int;
   common_nodes : int;  (** |NC|: subtree nodes already present *)
   merged_nodes : int;  (** new nodes spliced into L *)
+  touched : int list;
+      (** nodes whose Δ(M,L) rows this update visited (subtree ∪ targets)
+          — the seed set for dirtying cached DP rows: every other node's
+          bottom-up value depends only on descendants outside this set *)
 }
 
 type delete_stats = {
@@ -21,6 +25,13 @@ type delete_stats = {
   cascade_edges : (int * int) list;
       (** Δ'V: edges of fully-deleted nodes, removed by the collector *)
   deleted_nodes : int list;
+  touched : int list;
+      (** desc-or-self of the targets (including the nodes then deleted)
+          — the seed set for dirtying cached DP rows *)
+  deleted_slots : int list;
+      (** store slots freed by [deleted_nodes], captured before removal:
+          the store recycles slots, so cached per-slot rows must be
+          dirtied even though the ids are gone *)
 }
 
 val on_insert :

@@ -213,7 +213,16 @@ let handle_stats t =
           st_occurrences = st.Engine.occurrences;
           st_wal_records = st.Engine.wal_records;
           st_health = health_string t;
-          st_counters = snap.Metrics.counters;
+          (* the query-cache counters ride in the generic counter list:
+             no wire-format change, old clients simply show extra rows *)
+          st_counters =
+            snap.Metrics.counters
+            @ [
+                ("cache_hits", st.Engine.cache_hits);
+                ("cache_misses", st.Engine.cache_misses);
+                ("cache_partials", st.Engine.cache_partials);
+                ("cache_evictions", st.Engine.cache_evictions);
+              ];
           st_latencies = snap.Metrics.latencies;
         })
 

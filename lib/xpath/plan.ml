@@ -1,0 +1,144 @@
+(** Compiled XPath plans: the deep normal form lowered to flat opcode
+    arrays (see plan.mli). Compilation runs {!Normal.of_path} recursively
+    — on the outer path and on every path embedded in a filter — so the
+    opcodes *are* the deep normal form and the serialized {!key} is
+    canonical for it: [Normal.equivalent p1 p2] implies equal keys. *)
+
+type target = T_exists | T_text_eq of string
+
+type filter =
+  | F_label of int
+  | F_and of filter * filter
+  | F_or of filter * filter
+  | F_not of filter
+  | F_path of int
+
+type step = S_filter of filter | S_label of int | S_wild | S_desc
+type pfilter = { steps : step array; target : target }
+
+type t = {
+  outer : step array;
+  pfilters : pfilter array;
+  labels : string array;
+  key : string;
+}
+
+(* ---- canonical key ----
+
+   Unambiguous flat serialization: every constructor gets a distinct
+   tag character, integers are ';'-terminated decimal, strings are
+   length-prefixed. Two compiled plans are structurally equal iff their
+   keys are equal (label ids are assigned in first-use order over the
+   normalized form, so equal deep forms intern identically). *)
+
+let add_int b i =
+  Buffer.add_string b (string_of_int i);
+  Buffer.add_char b ';'
+
+let add_str b s =
+  add_int b (String.length s);
+  Buffer.add_string b s
+
+let rec key_filter b = function
+  | F_label i ->
+      Buffer.add_char b 'l';
+      add_int b i
+  | F_and (x, y) ->
+      Buffer.add_char b '&';
+      key_filter b x;
+      key_filter b y
+  | F_or (x, y) ->
+      Buffer.add_char b '|';
+      key_filter b x;
+      key_filter b y
+  | F_not x ->
+      Buffer.add_char b '!';
+      key_filter b x
+  | F_path k ->
+      Buffer.add_char b 'p';
+      add_int b k
+
+let key_step b = function
+  | S_filter q ->
+      Buffer.add_char b 'F';
+      key_filter b q
+  | S_label i ->
+      Buffer.add_char b 'L';
+      add_int b i
+  | S_wild -> Buffer.add_char b 'W'
+  | S_desc -> Buffer.add_char b 'D'
+
+let make_key ~outer ~pfilters ~labels =
+  let b = Buffer.create 64 in
+  Array.iter (key_step b) outer;
+  Buffer.add_char b '#';
+  Array.iter
+    (fun pf ->
+      Array.iter (key_step b) pf.steps;
+      (match pf.target with
+      | T_exists -> Buffer.add_char b 'E'
+      | T_text_eq s ->
+          Buffer.add_char b '=';
+          add_str b s);
+      Buffer.add_char b '#')
+    pfilters;
+  Buffer.add_char b '@';
+  Array.iter (add_str b) labels;
+  Buffer.contents b
+
+(* ---- compilation ---- *)
+
+let compile (p : Ast.path) : t =
+  let ids = Hashtbl.create 8 in
+  let names = ref [] in
+  let n_labels = ref 0 in
+  let intern a =
+    match Hashtbl.find_opt ids a with
+    | Some i -> i
+    | None ->
+        let i = !n_labels in
+        incr n_labels;
+        Hashtbl.replace ids a i;
+        names := a :: !names;
+        i
+  in
+  let pfs = ref [] in
+  let n_pf = ref 0 in
+  (* sub-filters are appended before the filter that references them, so
+     the table comes out in sub-expression (inner-before-outer) order —
+     the order the bottom-up pass fills tables in *)
+  let add_pf pf =
+    let k = !n_pf in
+    incr n_pf;
+    pfs := pf :: !pfs;
+    k
+  in
+  let rec compile_filter = function
+    | Ast.Label_is a -> F_label (intern a)
+    | Ast.And (a, b) -> F_and (compile_filter a, compile_filter b)
+    | Ast.Or (a, b) -> F_or (compile_filter a, compile_filter b)
+    | Ast.Not a -> F_not (compile_filter a)
+    | Ast.Exists p ->
+        let steps = compile_steps (Normal.of_path p) in
+        F_path (add_pf { steps; target = T_exists })
+    | Ast.Eq (p, s) ->
+        let steps = compile_steps (Normal.of_path p) in
+        F_path (add_pf { steps; target = T_text_eq s })
+  and compile_steps steps =
+    Array.of_list
+      (List.map
+         (function
+           | Normal.Filter q -> S_filter (compile_filter q)
+           | Normal.Step_label a -> S_label (intern a)
+           | Normal.Step_wild -> S_wild
+           | Normal.Step_desc -> S_desc)
+         steps)
+  in
+  let outer = compile_steps (Normal.of_path p) in
+  let pfilters = Array.of_list (List.rev !pfs) in
+  let labels = Array.of_list (List.rev !names) in
+  { outer; pfilters; labels; key = make_key ~outer ~pfilters ~labels }
+
+let key t = t.key
+let label t i = t.labels.(i)
+let n_steps t = Array.length t.outer

@@ -1,0 +1,282 @@
+(* Compiled XPath plans and the generation-keyed result cache: canonical
+   plan keys, counter semantics, transactional invalidation, LRU bounds,
+   and the central equivalence property — cached evaluation must be
+   indistinguishable from a fresh Dag_eval.eval under arbitrary
+   interleavings of updates, queries, and aborted transactions. *)
+
+module Ast = Rxv_xpath.Ast
+module Normal = Rxv_xpath.Normal
+module Plan = Rxv_xpath.Plan
+module Parser = Rxv_xpath.Parser
+module Store = Rxv_dag.Store
+module Engine = Rxv_core.Engine
+module Dag_eval = Rxv_core.Dag_eval
+module Eval_cache = Rxv_core.Eval_cache
+module Xupdate = Rxv_core.Xupdate
+module Synth = Rxv_workload.Synth
+module Updates = Rxv_workload.Updates
+module Registrar = Rxv_workload.Registrar
+
+let check = Alcotest.(check bool)
+
+(* result equality up to list order: selected/types/edges/side-effect
+   sets are sets; only zero_move_match is positional *)
+let norm (r : Dag_eval.result) =
+  ( List.sort compare r.Dag_eval.selected,
+    List.sort compare r.Dag_eval.selected_types,
+    List.sort compare r.Dag_eval.arrival_edges,
+    List.sort compare r.Dag_eval.side_effects,
+    List.sort compare r.Dag_eval.side_effects_delete,
+    r.Dag_eval.zero_move_match )
+
+let fresh_eval (e : Engine.t) path =
+  Dag_eval.eval e.Engine.store e.Engine.topo e.Engine.reach path
+
+(* ---- plan keys ---- *)
+
+let key_of p = Plan.key (Plan.compile p)
+
+let test_plan_key_canonical () =
+  let a = Ast.Label "a" and b = Ast.Label "b" and c = Ast.Label "c" in
+  check "Seq is associative under normalization" true
+    (key_of (Ast.Seq (Ast.Seq (a, b), c)) = key_of (Ast.Seq (a, Ast.Seq (b, c))));
+  check "adjacent // coalesce" true
+    (key_of (Ast.Seq (Ast.Desc_or_self, Ast.Desc_or_self))
+    = key_of Ast.Desc_or_self);
+  check "adjacent filters merge" true
+    (key_of (Ast.Where (Ast.Where (a, Ast.Label_is "x"), Ast.Label_is "y"))
+    = key_of (Ast.Where (a, Ast.And (Ast.Label_is "x", Ast.Label_is "y"))));
+  check "label order matters" false (key_of (Ast.Seq (a, b)) = key_of (Ast.Seq (b, a)));
+  check "label name matters" false (key_of a = key_of b);
+  check "filter literal matters" false
+    (key_of (Ast.Where (a, Ast.Eq (b, "1")))
+    = key_of (Ast.Where (a, Ast.Eq (b, "2"))))
+
+let test_plan_key_iff_equivalent =
+  Helpers.qtest ~count:200 "plan key equal ⟺ deep-normal equivalent"
+    QCheck2.Gen.(
+      pair (Helpers.synth_path_gen ~max_key:30) (Helpers.synth_path_gen ~max_key:30))
+    (fun (p1, p2) -> Fmt.str "%a ~ %a" Ast.pp_path p1 Ast.pp_path p2)
+    (fun (p1, p2) -> Normal.equivalent p1 p2 = (key_of p1 = key_of p2))
+
+(* ---- counter semantics on a live engine ---- *)
+
+let parse = Parser.parse
+
+let test_counters () =
+  let e = Registrar.engine () in
+  let p = parse "//course" in
+  let r1 = Engine.query e p in
+  let st1 = Engine.stats e in
+  Alcotest.(check int) "cold query misses" 1 st1.Engine.cache_misses;
+  Alcotest.(check int) "cold query does not hit" 0 st1.Engine.cache_hits;
+  let r2 = Engine.query e p in
+  let st2 = Engine.stats e in
+  Alcotest.(check int) "warm query hits" 1 st2.Engine.cache_hits;
+  check "warm ≡ cold" true (norm r1 = norm r2);
+  check "warm ≡ fresh" true (norm r2 = norm (fresh_eval e p));
+  (* an equivalent spelling of the same path shares the entry *)
+  let p' = parse "//course[label()=course]" in
+  if Normal.equivalent p p' then
+    ignore (Engine.query e p');
+  (* a committed update dirties; the next query partially revalidates *)
+  (match
+     Engine.apply e
+       (Xupdate.Insert
+          {
+            etype = "course";
+            attr = Registrar.course_attr "CS210" "Systems";
+            path = parse "course[cno=CS650]/prereq";
+          })
+   with
+  | Ok _ -> ()
+  | Error rej -> Alcotest.failf "insert rejected: %a" Engine.pp_rejection rej);
+  let r3 = Engine.query e p in
+  let st3 = Engine.stats e in
+  Alcotest.(check int) "post-update query revalidates partially" 1
+    st3.Engine.cache_partials;
+  check "post-update ≡ fresh" true (norm r3 = norm (fresh_eval e p))
+
+let test_abort_restores () =
+  let e = Registrar.engine () in
+  let p = parse "//prereq/course" in
+  let before = Engine.query e p in
+  let st0 = Engine.stats e in
+  let h = Engine.Txn.begin_ e in
+  (match
+     Engine.apply e
+       (Xupdate.Insert
+          {
+            etype = "course";
+            attr = Registrar.course_attr "CS999" "Doomed";
+            path = parse "course[cno=CS650]/prereq";
+          })
+   with
+  | Ok _ -> ()
+  | Error rej -> Alcotest.failf "insert rejected: %a" Engine.pp_rejection rej);
+  (* mid-transaction reads bypass the cache and see the txn's state *)
+  let mid = Engine.query e p in
+  check "mid-txn read sees the insert" true
+    (List.length mid.Dag_eval.selected
+    > List.length before.Dag_eval.selected);
+  let st_mid = Engine.stats e in
+  Alcotest.(check int) "mid-txn reads don't touch hit counters"
+    st0.Engine.cache_hits st_mid.Engine.cache_hits;
+  Engine.Txn.abort e h;
+  (* generation and dirty marks restored: full hit, identical result *)
+  let after = Engine.query e p in
+  let st1 = Engine.stats e in
+  Alcotest.(check int) "post-abort query is a full hit"
+    (st0.Engine.cache_hits + 1) st1.Engine.cache_hits;
+  Alcotest.(check int) "post-abort query does not revalidate"
+    st0.Engine.cache_partials st1.Engine.cache_partials;
+  check "post-abort ≡ pre-txn" true (norm before = norm after);
+  check "post-abort ≡ fresh" true (norm after = norm (fresh_eval e p))
+
+let test_lru_eviction () =
+  let e = Registrar.engine () in
+  let c = Eval_cache.create ~cap:2 () in
+  let q path =
+    Eval_cache.query c e.Engine.store e.Engine.topo e.Engine.reach path
+  in
+  let p1 = parse "//course" and p2 = parse "//student" and p3 = parse "//prereq" in
+  List.iter
+    (fun p -> check "cached ≡ fresh" true (norm (q p) = norm (fresh_eval e p)))
+    [ p1; p2; p3 ];
+  let cnt = Eval_cache.counters c in
+  Alcotest.(check int) "third plan evicts the LRU entry" 1
+    cnt.Eval_cache.evictions;
+  (* p2/p3 survive; p1 was the victim *)
+  ignore (q p2);
+  ignore (q p3);
+  let cnt2 = Eval_cache.counters c in
+  Alcotest.(check int) "survivors hit" 2 cnt2.Eval_cache.hits;
+  ignore (q p1);
+  let cnt3 = Eval_cache.counters c in
+  Alcotest.(check int) "victim misses again" 4 cnt3.Eval_cache.misses
+
+(* ---- the equivalence property ---- *)
+
+type act =
+  | Ins of int
+  | Del of int
+  | Query of Ast.path
+  | Txn_abort of int
+  | Group_abort of int
+
+let pp_act ppf = function
+  | Ins s -> Fmt.pf ppf "ins:%d" s
+  | Del s -> Fmt.pf ppf "del:%d" s
+  | Query p -> Fmt.pf ppf "q(%a)" Ast.pp_path p
+  | Txn_abort s -> Fmt.pf ppf "txn-abort:%d" s
+  | Group_abort s -> Fmt.pf ppf "group-abort:%d" s
+
+let act_gen ~max_key =
+  QCheck2.Gen.(
+    frequency
+      [
+        (2, map (fun s -> Ins s) (int_range 0 9_999));
+        (2, map (fun s -> Del s) (int_range 0 9_999));
+        (4, map (fun p -> Query p) (Helpers.synth_path_gen ~max_key));
+        (1, map (fun s -> Txn_abort s) (int_range 0 9_999));
+        (1, map (fun s -> Group_abort s) (int_range 0 9_999));
+      ])
+
+let scenario_gen =
+  QCheck2.Gen.(
+    let* p = Helpers.small_dataset_gen in
+    let* acts = list_size (int_range 6 16) (act_gen ~max_key:(p.Synth.n + 5)) in
+    return (p, acts))
+
+let scenario_print (p, acts) =
+  Fmt.str "%s %a" (Helpers.params_print p) (Fmt.Dump.list pp_act) acts
+
+let cls_of s =
+  match s mod 3 with 0 -> Updates.W1 | 1 -> Updates.W2 | _ -> Updates.W3
+
+let one_insertion d (e : Engine.t) s =
+  match
+    Updates.insertions d e.Engine.store (cls_of s) ~count:1 ~seed:s
+      ~fresh:(s mod 2 = 0) ()
+  with
+  | u :: _ -> Some u
+  | [] -> None
+
+let one_deletion (e : Engine.t) s =
+  match Updates.deletions e.Engine.store (cls_of s) ~count:1 ~seed:s with
+  | u :: _ -> Some u
+  | [] -> None
+
+(* an update that always fails validation, to force a group rollback *)
+let bad_update =
+  Xupdate.Insert { etype = "zzz"; attr = [||]; path = Ast.Label "c" }
+
+let check_equiv (e : Engine.t) path =
+  let cached = Engine.query e path in
+  let reference = fresh_eval e path in
+  norm cached = norm reference
+  && norm (Engine.query e path) = norm reference
+
+let probes =
+  [
+    Ast.Seq (Ast.Desc_or_self, Ast.Label "c");
+    Ast.Seq (Ast.Label "c", Ast.Seq (Ast.Label "sub", Ast.Label "c"));
+    Ast.Seq
+      ( Ast.Desc_or_self,
+        Ast.Where (Ast.Label "c", Ast.Exists (Ast.Label "sub")) );
+  ]
+
+let run_scenario (p, acts) =
+  let d, e = Helpers.engine_of_params p in
+  let step = function
+    | Ins s -> (
+        match one_insertion d e s with
+        | Some u -> ignore (Engine.apply e u)
+        | None -> ())
+    | Del s -> (
+        match one_deletion e s with
+        | Some u -> ignore (Engine.apply e u)
+        | None -> ())
+    | Query path ->
+        if not (check_equiv e path) then
+          QCheck2.Test.fail_reportf "cached ≠ fresh for %a" Ast.pp_path path
+    | Txn_abort s ->
+        let h = Engine.Txn.begin_ e in
+        (match one_insertion d e s with
+        | Some u -> ignore (Engine.apply e u)
+        | None -> ());
+        (match one_deletion e (s + 1) with
+        | Some u -> ignore (Engine.apply e u)
+        | None -> ());
+        (* mid-txn reads must bypass the cache and still be correct *)
+        if not (check_equiv e (List.hd probes)) then
+          QCheck2.Test.fail_reportf "mid-txn cached ≠ fresh";
+        Engine.Txn.abort e h
+    | Group_abort s -> (
+        let us =
+          (match one_insertion d e s with Some u -> [ u ] | None -> [])
+          @ [ bad_update ]
+        in
+        match Engine.apply_group e us with
+        | Ok _ -> QCheck2.Test.fail_reportf "invalid group accepted"
+        | Error _ -> ())
+  in
+  List.iter step acts;
+  List.for_all (check_equiv e) probes
+
+let test_equivalence =
+  Helpers.qtest ~count:60
+    "cached ≡ fresh across update/query/abort interleavings" scenario_gen
+    scenario_print run_scenario
+
+let tests =
+  [
+    Alcotest.test_case "plan key canonicalization" `Quick
+      test_plan_key_canonical;
+    test_plan_key_iff_equivalent;
+    Alcotest.test_case "hit/miss/partial counters" `Quick test_counters;
+    Alcotest.test_case "abort restores generation and dirty marks" `Quick
+      test_abort_restores;
+    Alcotest.test_case "LRU eviction at capacity" `Quick test_lru_eviction;
+    test_equivalence;
+  ]

@@ -48,6 +48,9 @@ module Server = Rxv_server.Server
 module Client = Rxv_server.Client
 module Proto = Rxv_server.Proto
 module Metrics = Rxv_server.Metrics
+module Rwlock = Rxv_server.Rwlock
+module Batcher = Rxv_server.Batcher
+module Parser = Rxv_xpath.Parser
 
 let scale : [ `Full | `Quick | `Smoke ] ref = ref `Full
 
@@ -1116,6 +1119,156 @@ let xpath_cache () =
         ])
     (sizes ())
 
+(* ---------- snapshot_reads: MVCC reader throughput under writes ------ *)
+
+(* snapshot-vs-locked reader throughput ratio; --check-read-concurrency
+   compares against it after all requested experiments ran *)
+let min_read_concurrency = ref infinity
+
+(* One arm: a saturating writer swarm drives the batcher — the server's
+   single-writer loop, one exclusive rwlock section per batch — while
+   [n_readers] threads issue //course queries as fast as they can for
+   [duration] seconds. [`Locked] reads through the rwlock's shared side
+   (the pre-MVCC server read path, queued behind every write batch);
+   [`Snapshot] reads the batcher-published MVCC snapshot, taking no lock
+   at all. Same engine, same workload, same threads — the arms differ
+   only in how a read synchronizes with the writer. Each writer job is
+   an atomic group of [group] updates (the batcher's unit of commit), so
+   the exclusive sections do realistic amounts of view-maintenance work
+   rather than degenerating into uncontended microsecond blips. *)
+let read_concurrency_arm ~read_mode ~n_readers ~n_writers ~group ~duration =
+  let e = Registrar.engine () in
+  let lock = Rwlock.create () in
+  let published = ref (Engine.Snapshot.capture e) in
+  let batcher =
+    Batcher.create ~queue_cap:512 ~batch_cap:64 ~lock
+      ~publish:(fun () -> published := Engine.Snapshot.capture e)
+      e
+  in
+  let path = Parser.parse "//course" in
+  let ins_path = Parser.parse "//course[cno=CS240]/prereq" in
+  let stop = ref false in
+  let committed = ref 0 in
+  let cm = Mutex.create () in
+  let writer w () =
+    let mine = ref 0 in
+    let r = ref 0 in
+    let cno b k = Printf.sprintf "RW%dB%dK%d" w b k in
+    (* pipelined submission: keep the batcher's queue full so write
+       batches run back to back (a saturating writer), awaiting acks in
+       a sliding window instead of round-tripping per group *)
+    let outstanding = Queue.create () in
+    let drain_one () =
+      match Batcher.await (Queue.pop outstanding) with
+      | Batcher.Committed _ -> incr mine
+      | _ -> ()
+    in
+    while not !stop do
+      let i = !r in
+      incr r;
+      (* alternate a group of inserts with a group deleting the previous
+         group's courses, so the view stays the same size and per-group
+         apply cost is steady *)
+      let us =
+        if i land 1 = 0 then
+          List.init group (fun k ->
+              Xupdate.Insert
+                {
+                  etype = "course";
+                  attr = Registrar.course_attr (cno i k) "Bench";
+                  path = ins_path;
+                })
+        else
+          List.init group (fun k ->
+              Xupdate.Delete
+                (Parser.parse
+                   (Printf.sprintf "//course[cno=%s]" (cno (i - 1) k))))
+      in
+      let accepted = ref false in
+      while (not !accepted) && not !stop do
+        match Batcher.submit batcher ~policy:`Proceed us with
+        | `Job j ->
+            Queue.push j outstanding;
+            accepted := true
+        | `Overloaded ->
+            if Queue.is_empty outstanding then Thread.yield ()
+            else drain_one ()
+      done;
+      if Queue.length outstanding > 32 then drain_one ()
+    done;
+    while not (Queue.is_empty outstanding) do
+      drain_one ()
+    done;
+    Mutex.lock cm;
+    committed := !committed + !mine;
+    Mutex.unlock cm
+  in
+  let reads = ref 0 in
+  let rm = Mutex.create () in
+  let reader () =
+    let mine = ref 0 in
+    let t_end = now () +. duration in
+    while now () < t_end do
+      (match read_mode with
+      | `Snapshot -> ignore (Engine.Snapshot.query !published path)
+      | `Locked ->
+          Rwlock.with_read lock (fun () -> ignore (Engine.query e path)));
+      incr mine
+    done;
+    Mutex.lock rm;
+    reads := !reads + !mine;
+    Mutex.unlock rm
+  in
+  Gc.full_major ();
+  let writers = List.init n_writers (fun w -> Thread.create (writer w) ()) in
+  let readers = List.init n_readers (fun _ -> Thread.create reader ()) in
+  List.iter Thread.join readers;
+  stop := true;
+  List.iter Thread.join writers;
+  Batcher.stop batcher;
+  (match Engine.check_consistency e with
+  | Ok () -> ()
+  | Error m -> failwith ("snapshot_reads: engine inconsistent: " ^ m));
+  (!reads, !committed)
+
+let snapshot_reads () =
+  let n_readers = 4 and n_writers = 4 in
+  let group = by_scale ~full:24 ~quick:16 ~smoke:16 in
+  let duration = by_scale ~full:1.5 ~quick:0.6 ~smoke:0.5 in
+  let trials = by_scale ~full:3 ~quick:2 ~smoke:2 in
+  header
+    (Printf.sprintf
+       "snapshot_reads: reader throughput under a saturating write swarm, \
+        %d readers x %d writers x %d updates/group, %.2fs per trial, \
+        median of %d trials"
+       n_readers n_writers group duration trials)
+    [ "read_mode"; "trial"; "reads"; "reads_per_s"; "committed" ];
+  let run mode label =
+    let rates = ref [] in
+    for trial = 1 to trials do
+      let reads, comm =
+        read_concurrency_arm ~read_mode:mode ~n_readers ~n_writers ~group
+          ~duration
+      in
+      let rate = float_of_int reads /. duration in
+      rates := rate :: !rates;
+      row
+        [
+          label;
+          string_of_int trial;
+          string_of_int reads;
+          Printf.sprintf "%.0f" rate;
+          string_of_int comm;
+        ]
+    done;
+    List.nth (List.sort compare !rates) (trials / 2)
+  in
+  let locked = run `Locked "locked" in
+  let snapshot = run `Snapshot "snapshot" in
+  let ratio = snapshot /. Float.max locked 1e-9 in
+  min_read_concurrency := min !min_read_concurrency ratio;
+  row [ "speedup"; "-"; "-"; Printf.sprintf "%.1fx" ratio; "-" ]
+
 (* ---------- Bechamel micro-suite: one Test.make per experiment ------- *)
 
 let bechamel_suite () =
@@ -1190,6 +1343,7 @@ let experiments : (string * (unit -> unit)) list =
     ("ablations", ablations);
     ("chaos", chaos);
     ("xpath_cache", xpath_cache);
+    ("snapshot_reads", snapshot_reads);
     ("bechamel", bechamel_suite);
   ]
 
@@ -1201,9 +1355,9 @@ let all_names =
 let usage () =
   prerr_endline
     "usage: main.exe [--quick|--smoke] [--json FILE] \
-     [--check-cache-ratio R] \
+     [--check-cache-ratio R] [--check-read-concurrency R] \
      [all|fig10b|fig11a..fig11h|table1|transactions|recovery|server|\
-     ablations|chaos|xpath_cache|bechamel]...";
+     ablations|chaos|xpath_cache|snapshot_reads|bechamel]...";
   exit 2
 
 let () =
@@ -1211,6 +1365,7 @@ let () =
   let args = List.filter (fun a -> a <> "--") args in
   let json_path = ref None in
   let cache_ratio = ref None in
+  let read_conc = ref None in
   let names = ref [] in
   let rec parse = function
     | [] -> ()
@@ -1231,6 +1386,13 @@ let () =
             parse rest
         | _ -> usage ())
     | [ "--check-cache-ratio" ] -> usage ()
+    | "--check-read-concurrency" :: r :: rest -> (
+        match float_of_string_opt r with
+        | Some f when f > 0. ->
+            read_conc := Some f;
+            parse rest
+        | _ -> usage ())
+    | [ "--check-read-concurrency" ] -> usage ()
     | "all" :: rest ->
         names := !names @ all_names;
         parse rest
@@ -1245,6 +1407,24 @@ let () =
     (fun name -> run_experiment name (List.assoc name experiments))
     names;
   Option.iter write_json !json_path;
+  (match !read_conc with
+  | None -> ()
+  | Some r when !min_read_concurrency = infinity ->
+      Printf.eprintf
+        "--check-read-concurrency %.1f given but snapshot_reads did not run\n%!"
+        r;
+      exit 1
+  | Some r when !min_read_concurrency < r ->
+      Printf.eprintf
+        "read concurrency check FAILED: snapshot/locked reader throughput \
+         %.1fx < required %.1fx\n%!"
+        !min_read_concurrency r;
+      exit 1
+  | Some r ->
+      Printf.printf
+        "read concurrency check ok: snapshot/locked reader throughput %.1fx \
+         >= %.1fx\n%!"
+        !min_read_concurrency r);
   match !cache_ratio with
   | None -> ()
   | Some r when !min_cache_speedup = infinity ->

@@ -165,6 +165,8 @@ let print_stats e =
   Fmt.pr "query cache        %d hits, %d misses, %d partial, %d evicted@."
     st.Engine.cache_hits st.Engine.cache_misses st.Engine.cache_partials
     st.Engine.cache_evictions;
+  Fmt.pr "reads              %d live, %d snapshot@." st.Engine.live_reads
+    st.Engine.snapshot_reads;
   match st.Engine.wal_records with
   | Some k -> Fmt.pr "WAL records        %d since last checkpoint@." k
   | None -> ()

@@ -34,7 +34,14 @@
     the bottom-up tables alive across queries: a cache hit replays only
     the top-down refinement, and after an update only the dirty rows
     (changed nodes and their ancestors) are recomputed with
-    {!revalidate}. *)
+    {!revalidate}.
+
+    Both passes read the view through a {!src} record — a first-class
+    reader over (store, L, M). {!live_src} binds it to the mutable
+    structures; {!view_src} binds it to the frozen views of
+    {!Store.freeze}/{!Topo.freeze}/{!Reach.freeze}, which is how MVCC
+    snapshot reads evaluate against a committed generation while the
+    live engine keeps mutating. *)
 
 module Store = Rxv_dag.Store
 module Topo = Rxv_dag.Topo
@@ -58,35 +65,74 @@ type result = {
           root); such selections cannot be deleted *)
 }
 
+(* ---- the view reader ---- *)
+
+type src = {
+  s_node : int -> Store.node;
+  s_children : int -> int list;
+  s_parents : int -> int list;
+  s_root : unit -> int;
+  s_iter_topo : (int -> unit) -> unit;  (** forward L order: leaves first *)
+  s_slot_of : int -> int;
+  s_anc_intersects : int -> Bitset.t -> bool;  (** by node id *)
+  s_union_row_into : int -> dst:Bitset.t -> unit;  (** by node id *)
+}
+
+let live_src (store : Store.t) (l : Topo.t) (m : Reach.t) : src =
+  {
+    s_node = (fun id -> Store.node store id);
+    s_children = (fun id -> Store.children store id);
+    s_parents = (fun id -> Store.parents store id);
+    s_root = (fun () -> Store.root store);
+    s_iter_topo = (fun f -> Topo.iter f l);
+    s_slot_of = (fun id -> Reach.slot_of m id);
+    s_anc_intersects = (fun id bits -> Reach.anc_intersects m id bits);
+    s_union_row_into = (fun id ~dst -> Reach.union_row_into m id ~dst);
+  }
+
+let view_src (sv : Store.view) (tv : Topo.view) (rv : Reach.view) : src =
+  let slot_of id = (Store.view_node sv id).Store.slot in
+  {
+    s_node = (fun id -> Store.view_node sv id);
+    s_children = (fun id -> Store.view_children sv id);
+    s_parents = (fun id -> Store.view_parents sv id);
+    s_root = (fun () -> Store.view_root sv);
+    s_iter_topo = (fun f -> Topo.view_iter f tv);
+    s_slot_of = slot_of;
+    s_anc_intersects =
+      (fun id bits -> Reach.view_anc_intersects rv (slot_of id) bits);
+    s_union_row_into =
+      (fun id ~dst -> Reach.view_union_row_into rv (slot_of id) ~dst);
+  }
+
 (* ---- text equality via length DP ---- *)
 
-let rec text_len store lens id =
+let rec text_len src lens id =
   match Hashtbl.find_opt lens id with
   | Some l -> l
   | None ->
-      let n = Store.node store id in
+      let n = src.s_node id in
       let own =
         match n.Store.text with Some s -> String.length s | None -> 0
       in
       let l =
         List.fold_left
-          (fun acc c -> acc + text_len store lens c)
-          own
-          (Store.children store id)
+          (fun acc c -> acc + text_len src lens c)
+          own (src.s_children id)
       in
       Hashtbl.replace lens id l;
       l
 
-let text_eq store lens id s =
-  if text_len store lens id <> String.length s then false
+let text_eq src lens id s =
+  if text_len src lens id <> String.length s then false
   else begin
     let buf = Buffer.create (String.length s) in
     let rec go id =
-      let n = Store.node store id in
+      let n = src.s_node id in
       (match n.Store.text with
       | Some t -> Buffer.add_string buf t
       | None -> ());
-      List.iter go (Store.children store id)
+      List.iter go (src.s_children id)
     in
     go id;
     String.equal (Buffer.contents buf) s
@@ -119,23 +165,21 @@ let create_tables (p : Plan.t) =
 let drop_text_len tb id = Hashtbl.remove tb.lens id
 let reset_text_len tb = Hashtbl.reset tb.lens
 
-let filter_holds (p : Plan.t) (tb : tables) store (q : Plan.filter) id : bool
-    =
+let filter_holds (p : Plan.t) (tb : tables) src (q : Plan.filter) id : bool =
   let rec go = function
     | Plan.F_label a ->
-        String.equal (Store.node store id).Store.etype p.Plan.labels.(a)
+        String.equal (src.s_node id).Store.etype p.Plan.labels.(a)
     | Plan.F_and (x, y) -> go x && go y
     | Plan.F_or (x, y) -> go x || go y
     | Plan.F_not x -> not (go x)
-    | Plan.F_path k ->
-        Bitset.get tb.sat.(k).(0) (Store.node store id).Store.slot
+    | Plan.F_path k -> Bitset.get tb.sat.(k).(0) (src.s_node id).Store.slot
   in
   go q
 
 (* recompute all of one node's sat rows, absolutely: bits are cleared as
    well as set, so the same code serves the initial fill (clears are
    no-ops on fresh bitsets) and dirty-row revalidation after updates *)
-let recompute_node (p : Plan.t) (tb : tables) store v slot kids =
+let recompute_node (p : Plan.t) (tb : tables) src v slot kids =
   Array.iteri
     (fun k pf ->
       let steps = pf.Plan.steps in
@@ -145,32 +189,30 @@ let recompute_node (p : Plan.t) (tb : tables) store v slot kids =
           if i = nsteps then
             match pf.Plan.target with
             | Plan.T_exists -> true
-            | Plan.T_text_eq s -> text_eq store tb.lens v s
+            | Plan.T_text_eq s -> text_eq src tb.lens v s
           else
             match steps.(i) with
             | Plan.S_filter q ->
-                filter_holds p tb store q v
+                filter_holds p tb src q v
                 && Bitset.get tb.sat.(k).(i + 1) slot
             | Plan.S_label a ->
                 let name = p.Plan.labels.(a) in
                 List.exists
                   (fun u ->
-                    let nu = Store.node store u in
+                    let nu = src.s_node u in
                     String.equal nu.Store.etype name
                     && Bitset.get tb.sat.(k).(i + 1) nu.Store.slot)
                   kids
             | Plan.S_wild ->
                 List.exists
                   (fun u ->
-                    Bitset.get tb.sat.(k).(i + 1)
-                      (Store.node store u).Store.slot)
+                    Bitset.get tb.sat.(k).(i + 1) (src.s_node u).Store.slot)
                   kids
             | Plan.S_desc ->
                 Bitset.get tb.sat.(k).(i + 1) slot
                 || List.exists
                      (fun u ->
-                       Bitset.get tb.sat.(k).(i)
-                         (Store.node store u).Store.slot)
+                       Bitset.get tb.sat.(k).(i) (src.s_node u).Store.slot)
                      kids
         in
         if holds then Bitset.set tb.sat.(k).(i) slot
@@ -178,13 +220,10 @@ let recompute_node (p : Plan.t) (tb : tables) store v slot kids =
       done)
     p.Plan.pfilters
 
-let bottom_up (store : Store.t) (l : Topo.t) (p : Plan.t) (tb : tables) :
-    unit =
-  Topo.iter
-    (fun v ->
-      let n = Store.node store v in
-      recompute_node p tb store v n.Store.slot (Store.children store v))
-    l
+let bottom_up_src (src : src) (p : Plan.t) (tb : tables) : unit =
+  src.s_iter_topo (fun v ->
+      let n = src.s_node v in
+      recompute_node p tb src v n.Store.slot (src.s_children v))
 
 (* Recompute only the rows whose slot is in [dirty]. L is leaves-first,
    so by the time a dirty node is recomputed every child's row — clean,
@@ -192,14 +231,12 @@ let bottom_up (store : Store.t) (l : Topo.t) (p : Plan.t) (tb : tables) :
    untouched: the dirty set must contain every node whose sat value can
    have changed (the changed nodes and all their ancestors — a node's
    value depends only on its descendants). *)
-let revalidate (store : Store.t) (l : Topo.t) (p : Plan.t) (tb : tables)
+let revalidate_src (src : src) (p : Plan.t) (tb : tables)
     ~(dirty : Bitset.t) : unit =
-  Topo.iter
-    (fun v ->
-      let n = Store.node store v in
+  src.s_iter_topo (fun v ->
+      let n = src.s_node v in
       if Bitset.get dirty n.Store.slot then
-        recompute_node p tb store v n.Store.slot (Store.children store v))
-    l
+        recompute_node p tb src v n.Store.slot (src.s_children v))
 
 (* ---- top-down pass ---- *)
 
@@ -219,20 +256,19 @@ module IdSet = struct
 end
 
 (* the slot set of an id set — queries against M become word-wise *)
-let slots_of m (s : IdSet.t) =
+let slots_of src (s : IdSet.t) =
   let bits = Bitset.create () in
-  IdSet.iter (fun id -> Bitset.set bits (Reach.slot_of m id)) s;
+  IdSet.iter (fun id -> Bitset.set bits (src.s_slot_of id)) s;
   bits
 
 (* is [id] a member or descendant of [base]? [base_bits] is base's slot
    set (built once per fixed base): one word-wise intersection against
    [id]'s ancestor row *)
-let in_desc_or_self m (base : IdSet.t) base_bits id =
-  IdSet.mem base id || Reach.anc_intersects m id base_bits
+let in_desc_or_self src (base : IdSet.t) base_bits id =
+  IdSet.mem base id || src.s_anc_intersects id base_bits
 
-let top_down (store : Store.t) (_l : Topo.t) (m : Reach.t) (p : Plan.t)
-    (tb : tables) : result =
-  let root = Store.root store in
+let top_down_src (src : src) (p : Plan.t) (tb : tables) : result =
+  let root = src.s_root () in
   let nsteps = Array.length p.Plan.outer in
   let outer = p.Plan.outer in
   (* forward frontiers; frontier.(i) = C_i *)
@@ -243,7 +279,7 @@ let top_down (store : Store.t) (_l : Topo.t) (m : Reach.t) (p : Plan.t)
     match outer.(i) with
     | Plan.S_filter q ->
         IdSet.iter
-          (fun v -> if filter_holds p tb store q v then IdSet.add next v)
+          (fun v -> if filter_holds p tb src q v then IdSet.add next v)
           prev
     | Plan.S_label a ->
         let name = p.Plan.labels.(a) in
@@ -251,19 +287,19 @@ let top_down (store : Store.t) (_l : Topo.t) (m : Reach.t) (p : Plan.t)
           (fun v ->
             List.iter
               (fun u ->
-                if String.equal (Store.node store u).Store.etype name then
+                if String.equal (src.s_node u).Store.etype name then
                   IdSet.add next u)
-              (Store.children store v))
+              (src.s_children v))
           prev
     | Plan.S_wild ->
         IdSet.iter
-          (fun v -> List.iter (IdSet.add next) (Store.children store v))
+          (fun v -> List.iter (IdSet.add next) (src.s_children v))
           prev
     | Plan.S_desc ->
         let rec go u =
           if not (IdSet.mem next u) then begin
             IdSet.add next u;
-            List.iter go (Store.children store u)
+            List.iter go (src.s_children u)
           end
         in
         IdSet.iter go prev
@@ -279,18 +315,18 @@ let top_down (store : Store.t) (_l : Topo.t) (m : Reach.t) (p : Plan.t)
     | Plan.S_label _ | Plan.S_wild ->
         IdSet.iter
           (fun w ->
-            if List.exists (IdSet.mem bi1) (Store.children store w) then
+            if List.exists (IdSet.mem bi1) (src.s_children w) then
               IdSet.add bi w)
           frontier.(i)
     | Plan.S_desc ->
         (* w ∈ B_i iff w is an ancestor-or-self of some node of B_{i+1}:
            OR the targets' ancestor rows into one slot set, then each
            membership test is a bit test *)
-        let bits = slots_of m bi1 in
-        IdSet.iter (fun id -> Reach.union_row_into m id ~dst:bits) bi1;
+        let bits = slots_of src bi1 in
+        IdSet.iter (fun id -> src.s_union_row_into id ~dst:bits) bi1;
         IdSet.iter
           (fun w ->
-            if Bitset.get bits (Reach.slot_of m w) then IdSet.add bi w)
+            if Bitset.get bits (src.s_slot_of w) then IdSet.add bi w)
           frontier.(i)
   done;
   let selected = IdSet.to_list back.(nsteps) in
@@ -311,18 +347,18 @@ let top_down (store : Store.t) (_l : Topo.t) (m : Reach.t) (p : Plan.t)
             List.iter
               (fun u ->
                 if IdSet.mem bprev u then Hashtbl.replace arrival (u, v) !i)
-              (Store.parents store v))
+              (src.s_parents v))
           !active;
         continue := false
     | Plan.S_desc ->
-        let bprev_bits = slots_of m bprev in
+        let bprev_bits = slots_of src bprev in
         IdSet.iter
           (fun v ->
             List.iter
               (fun u ->
-                if in_desc_or_self m bprev bprev_bits u then
+                if in_desc_or_self src bprev bprev_bits u then
                   Hashtbl.replace arrival (u, v) !i)
-              (Store.parents store v))
+              (src.s_parents v))
           !active;
         let pass = IdSet.create () in
         IdSet.iter
@@ -376,13 +412,13 @@ let top_down (store : Store.t) (_l : Topo.t) (m : Reach.t) (p : Plan.t)
                     if IdSet.mem back.(j - 1) w then
                       IdSet.add needs.(j - 1) w
                     else IdSet.add side_delete w)
-                  (Store.parents store x))
+                  (src.s_parents x))
               need
         | Plan.S_desc ->
             (* walk upward through desc-or-self(B_{j-1}); the prefix may
                end at any walk node that is in B_{j-1} *)
             let bprev = back.(j - 1) in
-            let bprev_bits = slots_of m bprev in
+            let bprev_bits = slots_of src bprev in
             let visited = IdSet.create () in
             let queue = Queue.create () in
             IdSet.iter
@@ -396,14 +432,14 @@ let top_down (store : Store.t) (_l : Topo.t) (m : Reach.t) (p : Plan.t)
               if y_starts then IdSet.add needs.(j - 1) y;
               List.iter
                 (fun w ->
-                  if in_desc_or_self m bprev bprev_bits w then begin
+                  if in_desc_or_self src bprev bprev_bits w then begin
                     if not (IdSet.mem visited w) then begin
                       IdSet.add visited w;
                       Queue.add w queue
                     end
                   end
                   else if not y_starts then IdSet.add side_delete w)
-                (Store.parents store y)
+                (src.s_parents y)
             done
     done
   end;
@@ -416,26 +452,65 @@ let top_down (store : Store.t) (_l : Topo.t) (m : Reach.t) (p : Plan.t)
       List.iter
         (fun w ->
           if not (Hashtbl.mem arrival (w, v)) then IdSet.add side_insert w)
-        (Store.parents store v))
+        (src.s_parents v))
     selected;
   {
     selected;
     selected_types =
-      List.map (fun id -> ((Store.node store id).Store.etype, id)) selected;
+      List.map (fun id -> ((src.s_node id).Store.etype, id)) selected;
     arrival_edges = Hashtbl.fold (fun e _ acc -> e :: acc) arrival [];
     side_effects = IdSet.to_list side_insert;
     side_effects_delete = IdSet.to_list side_delete;
     zero_move_match = !zero_move;
   }
 
+let eval_plan_src (src : src) (p : Plan.t) : result =
+  let tb = create_tables p in
+  bottom_up_src src p tb;
+  top_down_src src p tb
+
+(** [eval_src src p] evaluates the XPath [p] from the root of the view
+    the reader is bound to. See {!result}. *)
+let eval_src (src : src) (p : Ast.path) : result =
+  eval_plan_src src (Plan.compile p)
+
+(* ---- wrappers over the live structures (the historical signatures) ----
+
+   The bottom-up pass never reads M, so its wrappers bind the reach
+   closures to a guard that would only fire on a programming error. *)
+
+let no_reach () = invalid_arg "Dag_eval: bottom-up pass must not read M"
+
+let bu_src (store : Store.t) (l : Topo.t) : src =
+  {
+    s_node = (fun id -> Store.node store id);
+    s_children = (fun id -> Store.children store id);
+    s_parents = (fun id -> Store.parents store id);
+    s_root = (fun () -> Store.root store);
+    s_iter_topo = (fun f -> Topo.iter f l);
+    s_slot_of = (fun _ -> no_reach ());
+    s_anc_intersects = (fun _ _ -> no_reach ());
+    s_union_row_into = (fun _ ~dst:_ -> no_reach ());
+  }
+
+let bottom_up (store : Store.t) (l : Topo.t) (p : Plan.t) (tb : tables) :
+    unit =
+  bottom_up_src (bu_src store l) p tb
+
+let revalidate (store : Store.t) (l : Topo.t) (p : Plan.t) (tb : tables)
+    ~(dirty : Bitset.t) : unit =
+  revalidate_src (bu_src store l) p tb ~dirty
+
+let top_down (store : Store.t) (l : Topo.t) (m : Reach.t) (p : Plan.t)
+    (tb : tables) : result =
+  top_down_src (live_src store l m) p tb
+
 let eval_plan (store : Store.t) (l : Topo.t) (m : Reach.t) (p : Plan.t) :
     result =
-  let tb = create_tables p in
-  bottom_up store l p tb;
-  top_down store l m p tb
+  eval_plan_src (live_src store l m) p
 
 (** [eval store l m p] evaluates the XPath [p] from the root of the view.
     See {!result}. *)
 let eval (store : Store.t) (l : Topo.t) (m : Reach.t) (p : Ast.path) : result
     =
-  eval_plan store l m (Plan.compile p)
+  eval_src (live_src store l m) p

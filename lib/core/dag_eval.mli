@@ -55,6 +55,23 @@ val eval : Store.t -> Topo.t -> Reach.t -> Ast.path -> result
 val eval_plan : Store.t -> Topo.t -> Reach.t -> Plan.t -> result
 (** as {!eval}, for an already-compiled plan *)
 
+(** {2 The view reader}
+
+    Both passes read (store, L, M) through a first-class {!src} record,
+    so the same evaluator runs against the live mutable structures
+    ({!live_src}) or against the frozen views captured by
+    {!Store.freeze}/{!Topo.freeze}/{!Reach.freeze} ({!view_src}) — the
+    MVCC snapshot read path. The three views must have been frozen at
+    the same quiescent instant. *)
+
+type src
+
+val live_src : Store.t -> Topo.t -> Reach.t -> src
+val view_src : Store.view -> Topo.view -> Reach.view -> src
+
+val eval_src : src -> Ast.path -> result
+val eval_plan_src : src -> Plan.t -> result
+
 (** {2 Decoupled passes — the cacheable DP state}
 
     [tables] holds a plan's bottom-up state: the per-(filter, suffix)
@@ -79,6 +96,10 @@ val revalidate : Store.t -> Topo.t -> Plan.t -> tables -> dirty:Rxv_dag.Bitset.t
 
 val top_down : Store.t -> Topo.t -> Reach.t -> Plan.t -> tables -> result
 (** the top-down refinement, reading filled (or revalidated) tables *)
+
+val bottom_up_src : src -> Plan.t -> tables -> unit
+val revalidate_src : src -> Plan.t -> tables -> dirty:Rxv_dag.Bitset.t -> unit
+val top_down_src : src -> Plan.t -> tables -> result
 
 val drop_text_len : tables -> int -> unit
 (** forget the memoized text length of one node (by id); call for every

@@ -46,6 +46,8 @@ type t = {
   mutable seed : int;  (** WalkSAT seed; bumped per insertion *)
   mutable wal : wal_hook option;
   cache : Eval_cache.t;  (** compiled-plan result cache for the read path *)
+  live_reads : int Atomic.t;  (** queries answered on the live structures *)
+  snapshot_reads : int Atomic.t;  (** queries answered on frozen views *)
 }
 
 type policy = [ `Abort | `Proceed ]
@@ -98,7 +100,18 @@ let create ?(seed = 20070415) (atg : Atg.t) (db : Database.t) : t =
   Log.info (fun m ->
       m "published %s: %d nodes, %d edges, |M|=%d" atg.Atg.name
         (Store.n_nodes store) (Store.n_edges store) (Reach.size reach));
-  { atg; db; store; topo; reach; seed; wal = None; cache = Eval_cache.create () }
+  {
+    atg;
+    db;
+    store;
+    topo;
+    reach;
+    seed;
+    wal = None;
+    cache = Eval_cache.create ();
+    live_reads = Atomic.make 0;
+    snapshot_reads = Atomic.make 0;
+  }
 
 (** [of_durable atg db store] assembles an engine from recovered
     components: L and M are rebuilt from the deserialized store, which
@@ -110,7 +123,18 @@ let of_durable ?(seed = 20070415) (atg : Atg.t) (db : Database.t)
   Log.info (fun m ->
       m "recovered %s: %d nodes, %d edges, |M|=%d" atg.Atg.name
         (Store.n_nodes store) (Store.n_edges store) (Reach.size reach));
-  { atg; db; store; topo; reach; seed; wal = None; cache = Eval_cache.create () }
+  {
+    atg;
+    db;
+    store;
+    topo;
+    reach;
+    seed;
+    wal = None;
+    cache = Eval_cache.create ();
+    live_reads = Atomic.make 0;
+    snapshot_reads = Atomic.make 0;
+  }
 
 let attach_wal (e : t) (hook : wal_hook) = e.wal <- Some hook
 let detach_wal (e : t) = e.wal <- None
@@ -328,7 +352,9 @@ let apply ?(policy : policy = `Proceed) (e : t) (u : Xupdate.t) :
   result
 
 (** Evaluate an XPath query on the current view (read-only, cached). *)
-let query (e : t) path = eval_path e path
+let query (e : t) path =
+  Atomic.incr e.live_reads;
+  eval_path e path
 
 (** Materialize the current view as a tree. *)
 let to_tree ?max_nodes (e : t) = Store.to_tree ?max_nodes e.store
@@ -372,6 +398,8 @@ type stats = {
   cache_misses : int;  (** query cache: cold fills *)
   cache_partials : int;  (** query cache: partial revalidations *)
   cache_evictions : int;  (** query cache: LRU drops *)
+  live_reads : int;  (** queries answered on the live structures *)
+  snapshot_reads : int;  (** queries answered on MVCC snapshots *)
 }
 
 let stats (e : t) : stats =
@@ -409,6 +437,8 @@ let stats (e : t) : stats =
     cache_misses = c.Eval_cache.misses;
     cache_partials = c.Eval_cache.partials;
     cache_evictions = c.Eval_cache.evictions;
+    live_reads = Atomic.get e.live_reads;
+    snapshot_reads = Atomic.get e.snapshot_reads;
   }
 
 (** {2 Transactions}
@@ -451,12 +481,154 @@ module Txn = struct
     Store.abort e.store;
     Database.abort e.db;
     e.seed <- h.t_seed
+
+  (* [mark]/[rollback_to]: the savepoint reading of the same frames —
+     the names the old [snapshot]/[restore] API should have had, freed
+     up now that "snapshot" means an MVCC read view ({!Snapshot}) *)
+  let mark = begin_
+  let rollback_to = abort
 end
 
 type snapshot = Txn.handle
 
-let snapshot (e : t) : snapshot = Txn.begin_ e
-let restore (e : t) (s : snapshot) : unit = Txn.abort e s
+let snapshot (e : t) : snapshot = Txn.mark e
+let restore (e : t) (s : snapshot) : unit = Txn.rollback_to e s
+
+(** {2 MVCC snapshots}
+
+    A snapshot is an immutable image of the committed engine state: the
+    frozen database, store, L and M views plus the cache generation they
+    correspond to. Capture is O(touched rows since the last capture) —
+    the persistent per-structure views share everything untouched — and
+    reads against a snapshot take no engine lock at all: the writer can
+    mutate (and even commit further generations) concurrently. *)
+
+module Snapshot = struct
+  type engine = t
+
+  type t = {
+    owner : engine;
+    db_view : Database.view;
+    store_view : Store.view;
+    topo_view : Topo.view;
+    reach_view : Reach.view;
+    src : Dag_eval.src;
+    generation : int;  (** cache generation the views were frozen at *)
+    cache_counters : Eval_cache.counters;  (** counters at capture *)
+    reads_at_capture : int * int;  (** (live, snapshot) read counters *)
+    wal_records : int option;  (** WAL backlog at capture *)
+    mutable stats_memo : stats option;
+    results : (Rxv_xpath.Ast.path, Dag_eval.result) Hashtbl.t;
+        (** per-snapshot result memo — sound because the views are
+            immutable, and the reason snapshot reads stay fast when the
+            writer has raced ahead of the pinned generation *)
+    rlock : Mutex.t;  (** guards [results] across reader threads *)
+  }
+
+  let capture (e : engine) : t =
+    if Rxv_relational.Journal.depth (Database.journal e.db) > 0 then
+      invalid_arg "Engine.Snapshot.capture: transaction frame open";
+    let db_view = Database.freeze e.db in
+    let store_view = Store.freeze e.store in
+    let topo_view = Topo.freeze e.topo in
+    let reach_view = Reach.freeze e.reach in
+    {
+      owner = e;
+      db_view;
+      store_view;
+      topo_view;
+      reach_view;
+      src = Dag_eval.view_src store_view topo_view reach_view;
+      generation = Eval_cache.generation e.cache;
+      cache_counters = Eval_cache.counters e.cache;
+      reads_at_capture =
+        (Atomic.get e.live_reads, Atomic.get e.snapshot_reads);
+      wal_records =
+        Option.map (fun h -> h.records_since_checkpoint ()) e.wal;
+      stats_memo = None;
+      results = Hashtbl.create 8;
+      rlock = Mutex.create ();
+    }
+
+  let generation (s : t) = s.generation
+  let database (s : t) = s.db_view
+
+  (** Evaluate an XPath query against the snapshot — no engine lock.
+      Repeat queries are answered from the snapshot's own memo (the
+      views are immutable, so a path's answer never changes — exactly
+      the caching a live read can never have); a path's first read goes
+      through the shared result cache pinned to the snapshot's
+      generation, which shares entries with the live path whenever the
+      snapshot is still the current generation. Two threads racing on a
+      path's first read may both evaluate it; they compute the same
+      immutable answer, so last-write-wins is harmless. *)
+  let query (s : t) path =
+    Atomic.incr s.owner.snapshot_reads;
+    Mutex.lock s.rlock;
+    match Hashtbl.find_opt s.results path with
+    | Some r ->
+        Mutex.unlock s.rlock;
+        r
+    | None ->
+        Mutex.unlock s.rlock;
+        let r =
+          Eval_cache.query_src s.owner.cache s.src ~generation:s.generation
+            path
+        in
+        Mutex.lock s.rlock;
+        Hashtbl.replace s.results path r;
+        Mutex.unlock s.rlock;
+        r
+
+  (** The engine statistics as of the capture instant: structural fields
+      are derived from the frozen views (lazily, memoized — capture
+      itself stays O(touched)), counter fields are the capture-time
+      values. Deterministic: every call on one snapshot returns the same
+      record, whatever the writer has done since. *)
+  let stats (s : t) : stats =
+    match s.stats_memo with
+    | Some st -> st
+    | None ->
+        let e = s.owner in
+        let occ = Store.view_occurrence_counts s.store_view in
+        let total = Hashtbl.fold (fun _ c acc -> acc + c) occ 0 in
+        let star_children =
+          List.sort_uniq compare (List.map snd (Atg.star_positions e.atg))
+        in
+        let shared, star_total =
+          Store.view_fold_nodes
+            (fun nd ((sh, tot) as acc) ->
+              if List.mem nd.Store.etype star_children then
+                ( (if Store.view_in_degree s.store_view nd.Store.id > 1 then
+                     sh + 1
+                   else sh),
+                  tot + 1 )
+              else acc)
+            s.store_view (0, 0)
+        in
+        let st =
+          {
+            n_nodes = Store.view_n_nodes s.store_view;
+            n_edges = Store.view_n_edges s.store_view;
+            m_size = Reach.view_size s.reach_view;
+            l_size = Topo.view_live_count s.topo_view;
+            occurrences = total;
+            sharing =
+              (if star_total = 0 then 0.
+               else float_of_int shared /. float_of_int star_total);
+            txn_depth = 0;
+            wal_records = s.wal_records;
+            cache_hits = s.cache_counters.Eval_cache.hits;
+            cache_misses = s.cache_counters.Eval_cache.misses;
+            cache_partials = s.cache_counters.Eval_cache.partials;
+            cache_evictions = s.cache_counters.Eval_cache.evictions;
+            live_reads = fst s.reads_at_capture;
+            snapshot_reads = snd s.reads_at_capture;
+          }
+        in
+        s.stats_memo <- Some st;
+        st
+end
 
 (** [apply_group e us] applies every update of [us] in order, atomically:
     if any is rejected (or raises), the engine is rolled back to its state

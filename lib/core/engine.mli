@@ -37,6 +37,11 @@ type t = {
   cache : Eval_cache.t;
       (** compiled-plan result cache; all reads via {!query} go through
           it, and every mutation path invalidates it incrementally *)
+  live_reads : int Atomic.t;
+      (** cumulative {!query} calls (answered on the live structures,
+          i.e. under whatever lock the caller holds) *)
+  snapshot_reads : int Atomic.t;
+      (** cumulative {!Snapshot.query} calls (lock-free MVCC reads) *)
 }
 
 type policy = [ `Abort | `Proceed ]
@@ -124,6 +129,8 @@ type stats = {
   cache_misses : int;  (** query cache: cold fills *)
   cache_partials : int;  (** query cache: partial revalidations *)
   cache_evictions : int;  (** query cache: LRU drops *)
+  live_reads : int;  (** queries answered on the live structures *)
+  snapshot_reads : int;  (** queries answered on MVCC snapshots *)
 }
 
 val stats : t -> stats
@@ -150,17 +157,66 @@ module Txn : sig
 
   val abort : t -> handle -> unit
   (** roll the engine back to the matching {!begin_}, in O(Δ) *)
+
+  val mark : t -> handle
+  (** savepoint reading of {!begin_} — the name the legacy
+      [Engine.snapshot] should have had *)
+
+  val rollback_to : t -> handle -> unit
+  (** alias for {!abort}, pairing with {!mark} *)
 end
 
 type snapshot = Txn.handle
 
 val snapshot : t -> snapshot
-(** legacy alias for {!Txn.begin_}: opens a journal frame (O(1), no deep
-    copy). Unlike the former deep snapshot, each snapshot must be
-    resolved exactly once — {!restore} it, or commit via {!Txn.commit}. *)
+  [@@deprecated "use Engine.Txn.mark — Engine.Snapshot now means an MVCC read view"]
+(** legacy alias for {!Txn.mark}: opens a journal frame (O(1), no deep
+    copy). Each handle must be resolved exactly once — {!restore} it, or
+    commit via {!Txn.commit}. *)
 
 val restore : t -> snapshot -> unit
-(** legacy alias for {!Txn.abort} *)
+  [@@deprecated "use Engine.Txn.rollback_to"]
+(** legacy alias for {!Txn.rollback_to} *)
+
+(** {2 MVCC snapshots}
+
+    An immutable image of the committed engine state — the frozen
+    database, store, L and M views plus the cache generation they belong
+    to. Capture costs O(rows touched since the previous capture): each
+    layer keeps a persistent committed view and patches only its dirty
+    keys, and the L and M arrays are shared copy-on-write. Reads against
+    a snapshot take {e no} engine lock: the writer may mutate, commit
+    and publish further generations concurrently, and the snapshot still
+    answers from its own generation. *)
+
+module Snapshot : sig
+  type engine := t
+  type t
+
+  val capture : engine -> t
+  (** freeze the committed state. Must be called with no transaction
+      frame open (the views would otherwise expose uncommitted rows);
+      @raise Invalid_argument if a frame is open. *)
+
+  val query : t -> Rxv_xpath.Ast.path -> Dag_eval.result
+  (** XPath evaluation pinned to the snapshot, without locking the
+      engine. Served through the shared result cache when the snapshot
+      is still the current generation (the steady state under a
+      publish-per-batch server); older snapshots are answered from the
+      frozen views directly. *)
+
+  val stats : t -> stats
+  (** the engine statistics as of the capture instant, derived from the
+      frozen views (computed lazily and memoized, so capture itself
+      stays O(touched)). Deterministic: repeated calls on one snapshot
+      always agree, whatever the writer did since. *)
+
+  val generation : t -> int
+  (** the cache/DAG generation the snapshot was frozen at *)
+
+  val database : t -> Database.view
+  (** the frozen base database the view was published from *)
+end
 
 val apply_group :
   ?policy:policy -> t -> Xupdate.t list -> (report list, int * rejection) result

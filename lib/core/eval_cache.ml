@@ -12,11 +12,15 @@
       depends only on its descendants, so rows outside the dirty set are
       unchanged — {!Dag_eval.revalidate} over the dirty rows restores
       the first invariant.
-    - While a journal frame is open, queries bypass the cache, so no
-      entry is ever created or revalidated against a state that an abort
-      can roll back; the only mid-frame mutations are [invalidate]'s,
-      which copy-on-write the dirty bitsets and journal the generation —
-      abort restores both exactly.
+    - While a journal frame is open, live queries bypass the cache, so
+      no entry is ever created or revalidated against a state that an
+      abort can roll back; the only mid-frame mutations are
+      [invalidate]'s, which copy-on-write the dirty bitsets and journal
+      the generation — abort restores both exactly. Generation-pinned
+      snapshot queries ({!query_src}) need no bypass: they evaluate
+      immutable frozen views of committed state, so any entry they
+      create, promote, or revalidate mid-frame describes the pinned
+      committed generation — true regardless of how the frame ends.
     - Freed slots stay dirty until the next revalidation even if
       re-occupied: the store recycles slots only for new nodes, and new
       nodes are in the next update's touched set anyway.
@@ -222,56 +226,83 @@ let cached_result e =
      current; re-deriving on a mismatch keeps this total *)
   match e.result with Some r -> Some r | None -> None
 
-let query t store l m path =
-  if recording t then
-    (* a journal frame is open: evaluate fresh, touch nothing *)
-    Dag_eval.eval store l m path
+(* serve (completing on demand) an entry whose tables/result are valid
+   at the requested generation; [src] must read that generation's state *)
+let serve t src e =
+  match cached_result e with
+  | Some r ->
+      t.c_hits <- t.c_hits + 1;
+      r
+  | None ->
+      let r = Dag_eval.top_down_src src e.plan e.tables in
+      e.result <- Some r;
+      t.c_hits <- t.c_hits + 1;
+      r
+
+(* [pin = None]: evaluate against the current generation — the live read
+   path. [pin = Some g]: an MVCC snapshot read; [src] reads the frozen
+   views of generation [g]. When [g] is still the current generation
+   (the common case — the server re-publishes a snapshot after every
+   batch) the snapshot query gets the cache's full benefit, including
+   partial revalidation: the views are byte-for-byte the generation's
+   state, so repairing the shared entry through them is sound even while
+   the live structures have moved on. A pinned read at an older
+   generation serves a cached result only if the entry is valid at
+   exactly that generation, and never mutates the entry past it;
+   otherwise it falls back to a fresh, uncached evaluation of the
+   views. *)
+let run_query t (src : Dag_eval.src) ~pin path =
+  if recording t && pin = None then
+    (* a journal frame is open and this is a LIVE read: evaluate fresh,
+       touch nothing — caching would capture half-applied state. Pinned
+       snapshot reads need no bypass: they evaluate immutable frozen
+       views of committed state, so if no invalidate has run yet in the
+       frame ([t.generation] still equals the pinned [g]) revalidating
+       an entry against the views leaves it truthfully clean-at-[g]
+       whether the frame commits or aborts, and once the generation
+       moves past [g] the pinned read can only serve an entry's
+       untouched generation-[g] memo or fall back to a fresh eval. *)
+    Dag_eval.eval_src src path
   else
     with_lock t (fun () ->
         let plan = plan_of t path in
         t.tick <- t.tick + 1;
+        let g = match pin with Some g -> g | None -> t.generation in
+        let current = g = t.generation in
         match Hashtbl.find_opt t.entries (Plan.key plan) with
-        | Some e -> (
+        | Some e when current ->
             e.stamp <- t.tick;
-            if e.gen_valid = t.generation then (
-              match cached_result e with
-              | Some r ->
-                  t.c_hits <- t.c_hits + 1;
-                  r
-              | None ->
-                  let r = Dag_eval.top_down store l m e.plan e.tables in
-                  e.result <- Some r;
-                  t.c_hits <- t.c_hits + 1;
-                  r)
-            else if Bitset.is_empty e.dirty then (
+            if e.gen_valid = t.generation then serve t src e
+            else if Bitset.is_empty e.dirty then begin
               (* the generation moved but nothing this entry depends on
                  changed (all observed mutations were rolled back or
                  touched nothing): promote *)
               e.gen_valid <- t.generation;
-              match cached_result e with
-              | Some r ->
-                  t.c_hits <- t.c_hits + 1;
-                  r
-              | None ->
-                  let r = Dag_eval.top_down store l m e.plan e.tables in
-                  e.result <- Some r;
-                  t.c_hits <- t.c_hits + 1;
-                  r)
+              serve t src e
+            end
             else begin
               t.c_partials <- t.c_partials + 1;
-              Dag_eval.revalidate store l e.plan e.tables ~dirty:e.dirty;
+              Dag_eval.revalidate_src src e.plan e.tables ~dirty:e.dirty;
               e.dirty <- Bitset.create ();
-              let r = Dag_eval.top_down store l m e.plan e.tables in
+              let r = Dag_eval.top_down_src src e.plan e.tables in
               e.result <- Some r;
               e.gen_valid <- t.generation;
               r
-            end)
-        | None ->
+            end
+        | Some e when e.gen_valid = g ->
+            (* pinned to the exact generation the entry is valid at *)
+            e.stamp <- t.tick;
+            serve t src e
+        | Some _ ->
+            (* pinned to a generation the entry has left behind *)
+            t.c_misses <- t.c_misses + 1;
+            Dag_eval.eval_plan_src src plan
+        | None when current ->
             t.c_misses <- t.c_misses + 1;
             evict_if_full t;
             let tables = Dag_eval.create_tables plan in
-            Dag_eval.bottom_up store l plan tables;
-            let r = Dag_eval.top_down store l m plan tables in
+            Dag_eval.bottom_up_src src plan tables;
+            let r = Dag_eval.top_down_src src plan tables in
             Hashtbl.replace t.entries (Plan.key plan)
               {
                 plan;
@@ -281,4 +312,15 @@ let query t store l m path =
                 result = Some r;
                 stamp = t.tick;
               };
-            r)
+            r
+        | None ->
+            t.c_misses <- t.c_misses + 1;
+            Dag_eval.eval_plan_src src plan)
+
+let query t store l m path =
+  run_query t (Dag_eval.live_src store l m) ~pin:None path
+
+(** [query_src t src ~generation path]: an MVCC snapshot read — see
+    {!run_query}. *)
+let query_src t (src : Dag_eval.src) ~generation path =
+  run_query t src ~pin:(Some generation) path

@@ -48,6 +48,16 @@ val query : t -> Store.t -> Topo.t -> Reach.t -> Ast.path -> Dag_eval.result
     cold plan. Falls back to a fresh, uncached {!Dag_eval.eval} while a
     transaction frame is open. *)
 
+val query_src : t -> Dag_eval.src -> generation:int -> Ast.path -> Dag_eval.result
+(** MVCC snapshot read: evaluate through [src] (the frozen views of
+    [generation]) without any lock on the live structures. When
+    [generation] is still current the read shares the cache's full
+    machinery — hit, promote, even partial revalidation — because the
+    views equal the live state at that generation. Pinned to an older
+    generation, it serves a cached result only if the entry is valid at
+    exactly that generation and otherwise evaluates the views fresh,
+    never mutating an entry backwards. *)
+
 val invalidate :
   t -> store:Store.t -> reach:Reach.t -> touched:int list ->
   freed_slots:int list -> unit

@@ -40,10 +40,28 @@ type t = {
   mutable touched : (int, unit) Hashtbl.t list;
       (** per-frame set of slots already COW'd, innermost first — a stack
           parallel to the journal's frames *)
+  mutable arr_shared : bool;
+      (** the row array object is referenced by a frozen view; the next
+          in-place write must copy the (pointer) array first *)
+  mutable ever_frozen : bool;
+      (** no freeze has happened yet ⇒ no view can alias any row, so
+          in-place mutation needs no view copies at all *)
+  privatized : (int, unit) Hashtbl.t;
+      (** slots whose row object was created (or copied) since the last
+          freeze — private to the live matrix, safe to mutate in place *)
 }
 
 let create (store : Store.t) : t =
-  { store; anc = [||]; desc = None; journal = Journal.create (); touched = [] }
+  {
+    store;
+    anc = [||];
+    desc = None;
+    journal = Journal.create ();
+    touched = [];
+    arr_shared = false;
+    ever_frozen = false;
+    privatized = Hashtbl.create 64;
+  }
 
 let invalidate m = m.desc <- None
 
@@ -70,10 +88,20 @@ let abort m =
 
 let recording m = Journal.recording m.journal
 
+(* Lazy copy-on-write of the row (pointer) array against frozen views:
+   one shallow copy on the first write after a freeze. Cells still alias
+   the view's row objects — per-row privatization below handles those. *)
+let unshare_arr m =
+  if m.arr_shared then begin
+    m.anc <- Array.copy m.anc;
+    m.arr_shared <- false
+  end
+
 (* Grow the row array to cover [slot]; every cell owns its bitset. The
    object swap is journaled so undo closures recorded earlier (which
    write through [m.anc] at replay time) find the object they captured
-   against restored first, by LIFO. *)
+   against restored first, by LIFO. The fresh array is private by
+   construction; the undo restores the old sharing flag with it. *)
 let ensure_slot m slot =
   let n = Array.length m.anc in
   if slot >= n then begin
@@ -82,34 +110,59 @@ let ensure_slot m slot =
     let anc =
       Array.init n' (fun i -> if i < n then m.anc.(i) else Sparse.create ())
     in
-    if recording m then Journal.record m.journal (fun () -> m.anc <- old);
-    m.anc <- anc
+    if recording m then begin
+      let old_shared = m.arr_shared in
+      Journal.record m.journal (fun () ->
+          m.anc <- old;
+          m.arr_shared <- old_shared)
+    end;
+    m.anc <- anc;
+    m.arr_shared <- false
   end
 
-(* Copy-on-write for in-place row mutation: the first touch of a row in
-   the innermost frame records "put the original bitset object back" and
-   swaps in a private copy; later touches in the same frame mutate the
-   copy freely. Abort is then O(touched rows), not O(M). *)
+(* Copy-on-write for in-place row mutation, against two kinds of alias:
+   the first touch of a row in the innermost frame records "put the
+   original bitset object back" and swaps in a private copy (abort is
+   then O(touched rows), not O(M)); and the first touch since a freeze
+   swaps in a private copy so the frozen view keeps the original. A
+   journal rollback reinstates the pre-frame object, so it also clears
+   the privatized mark it had installed. *)
 let cow m sd =
-  match m.touched with
-  | top :: _ when recording m && not (Hashtbl.mem top sd) ->
-      let saved = m.anc.(sd) in
-      Journal.record m.journal (fun () -> m.anc.(sd) <- saved);
-      m.anc.(sd) <- Sparse.copy saved;
-      Hashtbl.replace top sd ()
-  | _ -> ()
+  unshare_arr m;
+  let saved = m.anc.(sd) in
+  let journal_fresh =
+    match m.touched with
+    | top :: _ when recording m && not (Hashtbl.mem top sd) ->
+        let was_priv = Hashtbl.mem m.privatized sd in
+        Journal.record m.journal (fun () ->
+            m.anc.(sd) <- saved;
+            if not was_priv then Hashtbl.remove m.privatized sd);
+        Hashtbl.replace top sd ();
+        true
+    | _ -> false
+  in
+  let view_fresh = m.ever_frozen && not (Hashtbl.mem m.privatized sd) in
+  if journal_fresh || view_fresh then begin
+    m.anc.(sd) <- Sparse.copy saved;
+    Hashtbl.replace m.privatized sd ()
+  end
 
-(* Replace-style mutation: the old row object survives untouched, so
-   recording its restoration needs no copy at all. Marks the row touched
-   — the replacement object is private, in-place mutators may hit it
-   directly. *)
+(* Replace-style mutation: the old row object survives untouched (frozen
+   views keep it), so recording its restoration needs no copy at all.
+   Marks the row touched and privatized — the replacement object is
+   fresh, in-place mutators may hit it directly. *)
 let save_row m sd =
-  match m.touched with
+  unshare_arr m;
+  (match m.touched with
   | top :: _ when recording m && not (Hashtbl.mem top sd) ->
       let saved = m.anc.(sd) in
-      Journal.record m.journal (fun () -> m.anc.(sd) <- saved);
+      let was_priv = Hashtbl.mem m.privatized sd in
+      Journal.record m.journal (fun () ->
+          m.anc.(sd) <- saved;
+          if not was_priv then Hashtbl.remove m.privatized sd);
       Hashtbl.replace top sd ()
-  | _ -> ()
+  | _ -> ());
+  Hashtbl.replace m.privatized sd ()
 
 let slot_of m id = (Store.node m.store id).Store.slot
 
@@ -321,4 +374,39 @@ let copy ~(store : Store.t) (m : t) : t =
     desc = None;
     journal = Journal.create ();
     touched = [];
+    arr_shared = false;
+    ever_frozen = false;
+    privatized = Hashtbl.create 64;
   }
+
+(** {2 Frozen views (MVCC snapshot reads)}
+
+    Freezing is O(1): it captures the row-array object and flags both
+    the array and (by resetting the privatized set) every row as shared.
+    The live matrix then pays one shallow pointer-array copy on its
+    first in-place write after the freeze, plus one row copy per row it
+    actually touches — O(touched rows) per writer batch, never a deep
+    copy of M. Views address rows by slot; pair them with the
+    {!Store.view} frozen in the same quiescent instant for the slot↔id
+    mapping. Capture with no transaction frame open. *)
+
+type view = { rv_anc : Sparse.t array }
+
+let freeze m =
+  m.arr_shared <- true;
+  m.ever_frozen <- true;
+  Hashtbl.reset m.privatized;
+  { rv_anc = m.anc }
+
+(** [view_anc_intersects v s bits]: does anc(slot s) meet the dense slot
+    set [bits]? *)
+let view_anc_intersects v s (bits : Bitset.t) =
+  s < Array.length v.rv_anc && Sparse.inter_dense v.rv_anc.(s) bits
+
+(** [view_union_row_into v s ~dst]: dst ∪= anc(slot s), word-wise. *)
+let view_union_row_into v s ~(dst : Bitset.t) =
+  if s < Array.length v.rv_anc then Sparse.union_into_dense ~dst v.rv_anc.(s)
+
+(** Total number of (anc, desc) pairs in the view — |M| at capture. *)
+let view_size v =
+  Array.fold_left (fun acc r -> acc + Sparse.pop_count r) 0 v.rv_anc

@@ -91,3 +91,24 @@ val equal : t -> t -> Store.t -> bool
 val copy : store:Store.t -> t -> t
 (** deep copy (per-row word-array blits) bound to the given — typically
     freshly copied — store; {!Store.copy} preserves slot assignments *)
+
+(** {2 Frozen views} *)
+
+type view
+(** an immutable image of M, addressed by slot. Freezing is O(1); the
+    live matrix then pays one shallow pointer-array copy on its first
+    write plus one row copy per row actually touched — O(touched rows)
+    per writer batch. Pair with the {!Store.view} frozen at the same
+    quiescent instant for the slot↔id mapping. *)
+
+val freeze : t -> view
+(** capture with no transaction frame open to get committed state *)
+
+val view_anc_intersects : view -> int -> Bitset.t -> bool
+(** does anc(slot) meet the given dense slot set? *)
+
+val view_union_row_into : view -> int -> dst:Bitset.t -> unit
+(** dst ∪= anc(slot), word-wise *)
+
+val view_size : view -> int
+(** |M| at capture, by popcount *)

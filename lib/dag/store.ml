@@ -36,6 +36,8 @@ type edge_info = {
           of each. Empty for structural (seq/alt/pcdata) edges. *)
 }
 
+module Imap = Map.Make (Int)
+
 type t = {
   mutable next_id : int;
   mutable next_slot : int;
@@ -51,6 +53,13 @@ type t = {
   journal : Journal.t;
       (** undo journal for transactional mutation; every mutation entry
           point records its exact inverse while a frame is open *)
+  mutable c_nodes : node Imap.t;
+      (** persistent image of [nodes] as of the last {!freeze} *)
+  mutable c_children : int list Imap.t;
+  mutable c_parents : int list Imap.t;
+  dirty : (int, unit) Hashtbl.t;
+      (** node ids whose record/adjacency possibly changed since the last
+          {!freeze}; a superset is harmless *)
 }
 
 exception Dag_error of string
@@ -71,7 +80,13 @@ let create () =
     edges = Hashtbl.create 4096;
     root = -1;
     journal = Journal.create ();
+    c_nodes = Imap.empty;
+    c_children = Imap.empty;
+    c_parents = Imap.empty;
+    dirty = Hashtbl.create 1024;
   }
+
+let mark_dirty t id = Hashtbl.replace t.dirty id ()
 
 let journal t = t.journal
 let begin_ t = Journal.begin_ t.journal
@@ -113,6 +128,7 @@ let gen_id t etype (attr : Tuple.t) ?text () =
             s
       in
       let n = { id; etype; attr; text; slot } in
+      mark_dirty t id;
       Hashtbl.replace t.ids key id;
       Hashtbl.replace t.nodes id n;
       Hashtbl.replace t.slot_ids slot id;
@@ -191,6 +207,8 @@ let rec add_edge t u v ~provenance =
   | None -> (
       ignore (node t u);
       ignore (node t v);
+      mark_dirty t u;
+      mark_dirty t v;
       Hashtbl.replace t.edges (u, v)
         { provenance = Option.to_list provenance };
       (* the child is appended at the rightmost position, so the plain
@@ -215,6 +233,8 @@ and remove_edge t u v =
   | None -> false
   | Some info ->
       Hashtbl.remove t.edges (u, v);
+      mark_dirty t u;
+      mark_dirty t v;
       (* inverse: reinstate the edge_info object and splice [v] back at
          its old position among [u]'s children (plain [add_edge] would
          append, losing document order) *)
@@ -265,6 +285,7 @@ let remove_node t id =
   if children t id <> [] || parents t id <> [] then
     dag_error "remove_node %d: node still has edges" id;
   let key = (n.etype, Tuple.to_list n.attr) in
+  mark_dirty t id;
   Hashtbl.remove t.nodes id;
   Hashtbl.remove t.ids key;
   Hashtbl.remove t.children id;
@@ -375,13 +396,11 @@ let reachable_from_root t =
   if t.root >= 0 then go t.root;
   seen
 
-(** Number of occurrences of each node in the uncompressed tree — used by
-    the sharing statistics of Fig. 10(b). Counts are capped at
-    [max_int/2] to avoid overflow on pathological DAGs. *)
-let occurrence_counts t =
-  (* occurrences(v) = Σ occurrences(parent), root = 1: a top-down
-     accumulation in parents-before-children order. *)
-  let counts = Hashtbl.create (n_nodes t) in
+(* occurrences(v) = Σ occurrences(parent), root = 1: a top-down
+   accumulation in parents-before-children order. Generic over the
+   children accessor so live stores and frozen views share the code. *)
+let occ_counts ~root ~children ~size =
+  let counts = Hashtbl.create size in
   let bump id k =
     let prev = Option.value ~default:0 (Hashtbl.find_opt counts id) in
     let v = prev + k in
@@ -389,23 +408,102 @@ let occurrence_counts t =
   in
   (* process in a topological order: parents before children *)
   let order = ref [] in
-  let seen = Hashtbl.create (n_nodes t) in
+  let seen = Hashtbl.create size in
   let rec dfs id =
     if not (Hashtbl.mem seen id) then begin
       Hashtbl.replace seen id ();
-      List.iter dfs (children t id);
+      List.iter dfs (children id);
       order := id :: !order
     end
   in
-  if t.root >= 0 then dfs t.root;
+  if root >= 0 then dfs root;
   (* !order is now parents-before-children *)
-  if t.root >= 0 then bump t.root 1;
+  if root >= 0 then bump root 1;
   List.iter
     (fun id ->
       let c = Option.value ~default:0 (Hashtbl.find_opt counts id) in
-      if c > 0 then List.iter (fun ch -> bump ch c) (children t id))
+      if c > 0 then List.iter (fun ch -> bump ch c) (children id))
     !order;
   counts
+
+(** Number of occurrences of each node in the uncompressed tree — used by
+    the sharing statistics of Fig. 10(b). Counts are capped at
+    [max_int/2] to avoid overflow on pathological DAGs. *)
+let occurrence_counts t =
+  occ_counts ~root:t.root ~children:(children t) ~size:(n_nodes t)
+
+(** {2 Frozen views (MVCC snapshot reads)}
+
+    A view is an immutable image of the node table, adjacency, and root
+    over persistent maps. Freezing patches the previous image with the
+    entries of every node id touched since the last freeze, so the cost
+    is O(touched · log n) and untouched structure (including the node
+    records and children lists themselves) is shared with the live
+    store and all earlier views. *)
+
+type view = {
+  v_nodes : node Imap.t;
+  v_children : int list Imap.t;
+  v_parents : int list Imap.t;
+  v_root : int;
+  v_n_edges : int;
+  v_slot_capacity : int;
+}
+
+let freeze t =
+  Hashtbl.iter
+    (fun id () ->
+      match Hashtbl.find_opt t.nodes id with
+      | Some n ->
+          t.c_nodes <- Imap.add id n t.c_nodes;
+          (match Hashtbl.find_opt t.children id with
+          | Some l when !l <> [] -> t.c_children <- Imap.add id !l t.c_children
+          | Some _ | None -> t.c_children <- Imap.remove id t.c_children);
+          (match Hashtbl.find_opt t.parents id with
+          | Some tbl when Hashtbl.length tbl > 0 ->
+              t.c_parents <-
+                Imap.add id
+                  (Hashtbl.fold (fun p () acc -> p :: acc) tbl [])
+                  t.c_parents
+          | Some _ | None -> t.c_parents <- Imap.remove id t.c_parents)
+      | None ->
+          t.c_nodes <- Imap.remove id t.c_nodes;
+          t.c_children <- Imap.remove id t.c_children;
+          t.c_parents <- Imap.remove id t.c_parents)
+    t.dirty;
+  Hashtbl.reset t.dirty;
+  {
+    v_nodes = t.c_nodes;
+    v_children = t.c_children;
+    v_parents = t.c_parents;
+    v_root = t.root;
+    v_n_edges = Hashtbl.length t.edges;
+    v_slot_capacity = t.next_slot;
+  }
+
+let view_node v id =
+  match Imap.find_opt id v.v_nodes with
+  | Some n -> n
+  | None -> dag_error "view: unknown node id %d" id
+
+let view_mem_node v id = Imap.mem id v.v_nodes
+
+let view_children v id =
+  Option.value ~default:[] (Imap.find_opt id v.v_children)
+
+let view_parents v id = Option.value ~default:[] (Imap.find_opt id v.v_parents)
+let view_in_degree v id = List.length (view_parents v id)
+
+let view_root v =
+  if v.v_root < 0 then dag_error "store view has no root" else v.v_root
+
+let view_n_nodes v = Imap.cardinal v.v_nodes
+let view_n_edges v = v.v_n_edges
+let view_slot_capacity v = v.v_slot_capacity
+let view_fold_nodes f v acc = Imap.fold (fun _ n acc -> f n acc) v.v_nodes acc
+
+let view_occurrence_counts v =
+  occ_counts ~root:v.v_root ~children:(view_children v) ~size:(view_n_nodes v)
 
 (** {2 Durability}
 
@@ -494,8 +592,15 @@ let of_persisted (p : persisted) =
       edges = Hashtbl.create n_edges;
       root = -1;
       journal = Journal.create ();
+      c_nodes = Imap.empty;
+      c_children = Imap.empty;
+      c_parents = Imap.empty;
+      dirty = Hashtbl.create n_nodes;
     }
   in
+  (* the committed image starts empty; every loaded node is dirty so the
+     first freeze rebuilds it *)
+  List.iter (fun pn -> mark_dirty t pn.pn_id) p.p_nodes;
   t.next_id <- p.p_next_id;
   t.next_slot <- p.p_next_slot;
   t.free_slots <- p.p_free_slots;
@@ -579,6 +684,8 @@ let of_persisted (p : persisted) =
 (** Deep copy — snapshot support for transactional update groups. *)
 let copy t =
   let copy_tbl tbl = Hashtbl.copy tbl in
+  let dirty = Hashtbl.create (max 16 (Hashtbl.length t.nodes)) in
+  Hashtbl.iter (fun id _ -> Hashtbl.replace dirty id ()) t.nodes;
   {
     next_id = t.next_id;
     next_slot = t.next_slot;
@@ -606,4 +713,8 @@ let copy t =
        e);
     root = t.root;
     journal = Journal.create ();
+    c_nodes = Imap.empty;
+    c_children = Imap.empty;
+    c_parents = Imap.empty;
+    dirty;
   }

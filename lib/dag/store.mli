@@ -122,6 +122,45 @@ val occurrence_counts : t -> (int, int) Hashtbl.t
 val copy : t -> t
 (** deep copy — snapshot support for transactional update groups *)
 
+(** {2 Frozen views}
+
+    A {!view} is an immutable image of the node table, adjacency, and
+    root. Freezing costs O(ids touched since the last freeze); node
+    records and children lists are shared with the live store, never
+    copied, so a view stays valid (and cheap) while the store keeps
+    mutating. Capture with no transaction frame open to get committed
+    state. *)
+
+type view
+
+val freeze : t -> view
+
+val view_node : view -> int -> node
+(** @raise Dag_error for ids unknown to the view. *)
+
+val view_mem_node : view -> int -> bool
+
+val view_children : view -> int -> int list
+(** ordered (document order) *)
+
+val view_parents : view -> int -> int list
+val view_in_degree : view -> int -> int
+
+val view_root : view -> int
+(** @raise Dag_error when the view has no root. *)
+
+val view_n_nodes : view -> int
+val view_n_edges : view -> int
+
+val view_slot_capacity : view -> int
+(** the live store's slot capacity at freeze time — bitsets sized
+    against it cover every node of the view *)
+
+val view_fold_nodes : (node -> 'a -> 'a) -> view -> 'a -> 'a
+
+val view_occurrence_counts : view -> (int, int) Hashtbl.t
+(** {!occurrence_counts} computed from the view *)
+
 (** {2 Durability}
 
     A [persisted] value is the store's complete state as plain data —

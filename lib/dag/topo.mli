@@ -67,3 +67,17 @@ val pp : Format.formatter -> t -> unit
 
 val copy : t -> t
 (** deep copy — used by test oracles; the copy gets a fresh journal *)
+
+(** {2 Frozen views} *)
+
+type view
+(** an immutable image of the order. Freezing is O(1) — the next
+    in-place mutation of the live order pays one shallow array copy
+    (lazy copy-on-write), later ones are free. *)
+
+val freeze : t -> view
+
+val view_iter : (int -> unit) -> view -> unit
+(** forward: leaves first *)
+
+val view_live_count : view -> int

@@ -29,6 +29,10 @@ type t = {
   dedup : Dedup.t option;
   origin_hook : Persist.origin option -> unit;
   on_io_error : string -> unit;
+  publish : unit -> unit;
+      (* fired inside the exclusive section after each batch is applied,
+         while no transaction frame is open — the server's hook for
+         capturing and publishing a fresh MVCC snapshot *)
   queue_cap : int;
   batch_cap : int;
   q : job Queue.t;
@@ -162,7 +166,13 @@ let next_batch t =
 let run_batch t batch =
   (* apply the whole batch under one exclusive section … *)
   let outcomes =
-    Rwlock.with_write t.lock (fun () -> List.map (apply_job t) batch)
+    Rwlock.with_write t.lock (fun () ->
+        let outcomes = List.map (apply_job t) batch in
+        (* capture the committed state before the lock drops: snapshot
+           readers then always see either the previous batch whole or
+           this one whole, never a prefix *)
+        t.publish ();
+        outcomes)
   in
   (* … then sync once, outside the lock, so readers overlap the device
      write; no job is acknowledged before its batch is on disk. A failed
@@ -198,7 +208,8 @@ let writer_loop t =
 
 let create ?(queue_cap = 128) ?(batch_cap = 64) ~lock ?metrics
     ?(sync = fun () -> ()) ?dedup ?(origin_hook = fun _ -> ())
-    ?(on_io_error = fun _ -> ()) ?(initial_seq = 0) engine =
+    ?(on_io_error = fun _ -> ()) ?(publish = fun () -> ())
+    ?(initial_seq = 0) engine =
   if queue_cap < 1 || batch_cap < 1 then
     invalid_arg "Batcher.create: caps must be positive";
   let t =
@@ -210,6 +221,7 @@ let create ?(queue_cap = 128) ?(batch_cap = 64) ~lock ?metrics
       dedup;
       origin_hook;
       on_io_error;
+      publish;
       queue_cap;
       batch_cap;
       q = Queue.create ();

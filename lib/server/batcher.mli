@@ -62,6 +62,7 @@ val create :
   ?dedup:Dedup.t ->
   ?origin_hook:(Persist.origin option -> unit) ->
   ?on_io_error:(string -> unit) ->
+  ?publish:(unit -> unit) ->
   ?initial_seq:int ->
   Engine.t ->
   t
@@ -72,10 +73,14 @@ val create :
     attached in [deferred_sync] mode. [dedup] enables exactly-once
     handling of jobs that carry an origin; [origin_hook] (typically
     [Persist.set_origin]) stages each fresh job's provenance for its WAL
-    record; [on_io_error] fires on any durability failure;
-    [initial_seq] seeds the commit counter (recovery passes the last
-    recovered commit number so the sequence continues across restarts —
-    dedup entries reference these numbers). *)
+    record; [on_io_error] fires on any durability failure; [publish]
+    (default no-op) fires at the end of each batch's exclusive section,
+    with every group committed or rolled back and no frame open — the
+    server hooks [Engine.Snapshot.capture] here to publish a fresh MVCC
+    read view per batch; [initial_seq] seeds the commit counter
+    (recovery passes the last recovered commit number so the sequence
+    continues across restarts — dedup entries reference these
+    numbers). *)
 
 val submit :
   ?origin:string * int ->

@@ -24,6 +24,7 @@ type server_stats = {
   st_m_size : int;
   st_l_size : int;
   st_occurrences : int;
+  st_generation : int;
   st_wal_records : int option;
   st_health : string;
   st_counters : (string * int) list;
@@ -212,6 +213,7 @@ let encode_response r =
       Codec.varint b st.st_m_size;
       Codec.varint b st.st_l_size;
       Codec.varint b st.st_occurrences;
+      Codec.varint b st.st_generation;
       Codec.option_ Codec.varint b st.st_wal_records;
       Codec.bytes_ b st.st_health;
       Codec.list_ enc_counter b st.st_counters;
@@ -254,13 +256,15 @@ let decode_response s =
         let st_m_size = Codec.get_varint c in
         let st_l_size = Codec.get_varint c in
         let st_occurrences = Codec.get_varint c in
+        let st_generation = Codec.get_varint c in
         let st_wal_records = Codec.get_option Codec.get_varint c in
         let st_health = Codec.get_bytes c in
         let st_counters = Codec.get_list dec_counter c in
         let st_latencies = Codec.get_list dec_summary c in
         Stats_reply
           { st_nodes; st_edges; st_m_size; st_l_size; st_occurrences;
-            st_wal_records; st_health; st_counters; st_latencies }
+            st_generation; st_wal_records; st_health; st_counters;
+            st_latencies }
     | 6 ->
         let generation = Codec.get_varint c in
         let bytes = Codec.get_varint c in

@@ -41,6 +41,10 @@ type server_stats = {
   st_m_size : int;
   st_l_size : int;
   st_occurrences : int;
+  st_generation : int;
+      (** the MVCC generation the reply describes: the published
+          snapshot's under snapshot reads, the live cache generation
+          under locked reads *)
   st_wal_records : int option;  (** [None] when the server has no WAL *)
   st_health : string;
       (** ["ok"], or ["degraded: <reason>"] while the server is in

@@ -4,7 +4,7 @@ type t = {
   m : Mutex.t;
   can_read : Condition.t;
   can_write : Condition.t;
-  mutable readers : int;  (* holders in shared mode *)
+  readers : int Atomic.t;  (* holders in shared mode *)
   mutable writer : bool;  (* a holder in exclusive mode *)
   mutable waiting_writers : int;
   mutable waiting_readers : int;
@@ -13,6 +13,8 @@ type t = {
          queued during the phase may enter even though another writer is
          already waiting; each entry consumes one token, so the next
          write phase starts only after that cohort has been served *)
+  read_acquisitions : int Atomic.t;
+      (* cumulative shared-mode acquisitions, for stats *)
 }
 
 let create () =
@@ -20,11 +22,12 @@ let create () =
     m = Mutex.create ();
     can_read = Condition.create ();
     can_write = Condition.create ();
-    readers = 0;
+    readers = Atomic.make 0;
     writer = false;
     waiting_writers = 0;
     waiting_readers = 0;
     reader_tokens = 0;
+    read_acquisitions = Atomic.make 0;
   }
 
 let read_lock t =
@@ -35,19 +38,20 @@ let read_lock t =
     t.waiting_readers <- t.waiting_readers - 1
   done;
   if t.reader_tokens > 0 then t.reader_tokens <- t.reader_tokens - 1;
-  t.readers <- t.readers + 1;
+  Atomic.incr t.readers;
+  Atomic.incr t.read_acquisitions;
   Mutex.unlock t.m
 
 let read_unlock t =
   Mutex.lock t.m;
-  t.readers <- t.readers - 1;
-  if t.readers = 0 then Condition.signal t.can_write;
+  Atomic.decr t.readers;
+  if Atomic.get t.readers = 0 then Condition.signal t.can_write;
   Mutex.unlock t.m
 
 let write_lock t =
   Mutex.lock t.m;
   t.waiting_writers <- t.waiting_writers + 1;
-  while t.writer || t.readers > 0 || t.reader_tokens > 0 do
+  while t.writer || Atomic.get t.readers > 0 || t.reader_tokens > 0 do
     Condition.wait t.can_write t.m
   done;
   t.waiting_writers <- t.waiting_writers - 1;
@@ -71,4 +75,5 @@ let with_write t f =
   write_lock t;
   Fun.protect ~finally:(fun () -> write_unlock t) f
 
-let readers t = t.readers
+let readers t = Atomic.get t.readers
+let read_acquisitions t = Atomic.get t.read_acquisitions

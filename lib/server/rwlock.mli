@@ -28,4 +28,12 @@ val with_write : t -> (unit -> 'a) -> 'a
 (** run [f] holding the lock exclusively; always released *)
 
 val readers : t -> int
-(** readers currently holding the lock (a racy snapshot, for stats) *)
+(** readers currently holding the lock. Backed by an [Atomic.t], so a
+    stats thread reading it without the internal mutex sees an exact
+    (if instantly stale) count — not the torn value the old plain-field
+    "racy snapshot" could return. *)
+
+val read_acquisitions : t -> int
+(** cumulative shared-mode acquisitions since {!create} — the
+    denominator for lock-contention stats (how many reads paid for the
+    lock at all, versus the engine's lock-free snapshot reads) *)

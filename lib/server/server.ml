@@ -17,17 +17,20 @@ module Log = (val Logs.src_log src : Logs.LOG)
 
 type address = Unix_sock of string | Tcp of string * int
 
+type read_mode = [ `Locked | `Snapshot ]
+
 type config = {
   queue_cap : int;
   batch_cap : int;
   max_listed : int;
   probe_interval : float;
   max_sessions : int;
+  read_mode : read_mode;
 }
 
 let default_config =
   { queue_cap = 128; batch_cap = 64; max_listed = 32; probe_interval = 0.25;
-    max_sessions = 1024 }
+    max_sessions = 1024; read_mode = `Snapshot }
 
 type health = [ `Ok | `Degraded of string ]
 
@@ -55,6 +58,10 @@ type t = {
   mutable handlers : Thread.t list;
   mutable conn_ids : int;
   mutable accept_thread : Thread.t option;
+  mutable published : Engine.Snapshot.t;
+      (* the latest committed MVCC snapshot; replaced by the batcher at
+         the end of every write batch (a single pointer store), read by
+         query/stats handlers without touching the rwlock *)
 }
 
 let engine t = t.eng
@@ -158,18 +165,26 @@ let rec ops_to_xupdates = function
       Result.bind (op_to_xupdate op) (fun u ->
           Result.map (fun us -> u :: us) (ops_to_xupdates rest))
 
+let selected_of t (r : Dag_eval.result) =
+  let nodes =
+    List.filteri (fun i _ -> i < t.cfg.max_listed) r.Dag_eval.selected_types
+  in
+  Proto.Selected { count = List.length r.Dag_eval.selected; nodes }
+
 let handle_query t src =
   match parse_path src with
   | Error msg -> Proto.Error msg
-  | Ok path ->
-      Rwlock.with_read t.lock (fun () ->
-          let r = Engine.query t.eng path in
-          let nodes =
-            List.filteri (fun i _ -> i < t.cfg.max_listed)
-              r.Dag_eval.selected_types
-          in
-          Proto.Selected
-            { count = List.length r.Dag_eval.selected; nodes })
+  | Ok path -> (
+      match t.cfg.read_mode with
+      | `Snapshot ->
+          (* lock-free: answer from the last published snapshot — never
+             blocks behind the batcher's exclusive section *)
+          Metrics.incr t.mtr "snapshot_queries";
+          selected_of t (Engine.Snapshot.query t.published path)
+      | `Locked ->
+          Metrics.incr t.mtr "locked_queries";
+          Rwlock.with_read t.lock (fun () ->
+              selected_of t (Engine.query t.eng path)))
 
 let handle_update t ~client ~req_seq ~policy ops =
   match check_health t with
@@ -200,31 +215,50 @@ let handle_update t ~client ~req_seq ~policy ops =
               Metrics.incr t.mtr "unavailable";
               Proto.Unavailable msg))
 
+let stats_reply t (st : Engine.stats) ~generation =
+  let snap = Metrics.snapshot t.mtr in
+  Proto.Stats_reply
+    {
+      Proto.st_nodes = st.Engine.n_nodes;
+      st_edges = st.Engine.n_edges;
+      st_m_size = st.Engine.m_size;
+      st_l_size = st.Engine.l_size;
+      st_occurrences = st.Engine.occurrences;
+      st_generation = generation;
+      st_wal_records = st.Engine.wal_records;
+      st_health = health_string t;
+      (* the query-cache and read-path counters ride in the generic
+         counter list: no wire-format change, old clients simply show
+         extra rows. The read counters are atomics, read live in either
+         mode. *)
+      st_counters =
+        snap.Metrics.counters
+        @ [
+            ("cache_hits", st.Engine.cache_hits);
+            ("cache_misses", st.Engine.cache_misses);
+            ("cache_partials", st.Engine.cache_partials);
+            ("cache_evictions", st.Engine.cache_evictions);
+            ("live_reads", Atomic.get t.eng.Engine.live_reads);
+            ("snapshot_reads", Atomic.get t.eng.Engine.snapshot_reads);
+            ("lock_read_acquisitions", Rwlock.read_acquisitions t.lock);
+          ];
+      st_latencies = snap.Metrics.latencies;
+    }
+
 let handle_stats t =
-  Rwlock.with_read t.lock (fun () ->
-      let st = Engine.stats t.eng in
-      let snap = Metrics.snapshot t.mtr in
-      Proto.Stats_reply
-        {
-          Proto.st_nodes = st.Engine.n_nodes;
-          st_edges = st.Engine.n_edges;
-          st_m_size = st.Engine.m_size;
-          st_l_size = st.Engine.l_size;
-          st_occurrences = st.Engine.occurrences;
-          st_wal_records = st.Engine.wal_records;
-          st_health = health_string t;
-          (* the query-cache counters ride in the generic counter list:
-             no wire-format change, old clients simply show extra rows *)
-          st_counters =
-            snap.Metrics.counters
-            @ [
-                ("cache_hits", st.Engine.cache_hits);
-                ("cache_misses", st.Engine.cache_misses);
-                ("cache_partials", st.Engine.cache_partials);
-                ("cache_evictions", st.Engine.cache_evictions);
-              ];
-          st_latencies = snap.Metrics.latencies;
-        })
+  match t.cfg.read_mode with
+  | `Snapshot ->
+      (* lock-free: structural fields describe the published snapshot *)
+      let s = t.published in
+      Metrics.incr t.mtr "snapshot_stats";
+      stats_reply t
+        (Engine.Snapshot.stats s)
+        ~generation:(Engine.Snapshot.generation s)
+  | `Locked ->
+      Rwlock.with_read t.lock (fun () ->
+          stats_reply t (Engine.stats t.eng)
+            ~generation:
+              (Rxv_core.Eval_cache.generation t.eng.Engine.cache))
 
 let handle_checkpoint t =
   match t.persist with
@@ -424,12 +458,15 @@ let start ?(config = default_config) ?persist addr eng =
   let origin_hook =
     match persist with Some p -> Persist.set_origin p | None -> fun _ -> ()
   in
-  (* the batcher reports durability failures before [t] exists *)
+  (* the batcher reports durability failures and publishes snapshots
+     before [t] exists *)
   let degrade_cell = ref (fun (_ : string) -> ()) in
+  let publish_cell = ref (fun () -> ()) in
   let batcher =
     Batcher.create ~queue_cap:config.queue_cap ~batch_cap:config.batch_cap
       ~lock ~metrics:mtr ~sync ~dedup ~origin_hook
       ~on_io_error:(fun msg -> !degrade_cell msg)
+      ~publish:(fun () -> !publish_cell ())
       ~initial_seq eng
   in
   let t =
@@ -454,9 +491,14 @@ let start ?(config = default_config) ?persist addr eng =
       handlers = [];
       conn_ids = 0;
       accept_thread = None;
+      published = Engine.Snapshot.capture eng;
     }
   in
   degrade_cell := degrade t;
+  publish_cell :=
+    (fun () ->
+      t.published <- Engine.Snapshot.capture eng;
+      Metrics.incr mtr "snapshots_published");
   t.accept_thread <- Some (Thread.create accept_loop t);
   Log.info (fun m ->
       m "serving %s"

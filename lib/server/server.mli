@@ -3,9 +3,11 @@
     One listening socket (Unix-domain or TCP), one handler thread per
     connection, one {!Batcher} writer thread. Locking discipline:
 
-    - queries and stats take the {!Rwlock} in shared mode — any number
-      run concurrently, including while the batcher's WAL sync for the
-      previous write batch is still in flight;
+    - queries and stats are, by default ([`Snapshot] read mode), served
+      from the latest MVCC snapshot the batcher published at the end of
+      its last write batch — no lock at all, so readers never block
+      behind the writer's exclusive section (in [`Locked] mode they take
+      the {!Rwlock} in shared mode instead, as before);
     - update groups are serialized through the batcher, which holds the
       exclusive side only while applying (never across the sync);
     - checkpoints and degraded-mode durability probes take the exclusive
@@ -37,6 +39,14 @@ type address =
   | Unix_sock of string  (** filesystem path *)
   | Tcp of string * int  (** bind address, port *)
 
+type read_mode =
+  [ `Locked  (** queries/stats take the rwlock's shared side *)
+  | `Snapshot
+    (** queries/stats answer from the batcher-published MVCC snapshot,
+        taking no lock at all — a reader never waits behind the writer's
+        exclusive section, and the writer never waits behind a long
+        read *) ]
+
 type config = {
   queue_cap : int;  (** pending update groups before [Overloaded] *)
   batch_cap : int;  (** commits amortized per WAL sync *)
@@ -46,11 +56,13 @@ type config = {
   max_sessions : int;
       (** dedup-table capacity; beyond it new client sessions are
           refused ([Overloaded]) unless an entry has aged out *)
+  read_mode : read_mode;  (** how queries and stats are served *)
 }
 
 val default_config : config
 (** [{ queue_cap = 128; batch_cap = 64; max_listed = 32;
-      probe_interval = 0.25; max_sessions = 1024 }] *)
+      probe_interval = 0.25; max_sessions = 1024;
+      read_mode = `Snapshot }] *)
 
 type health = [ `Ok | `Degraded of string ]
 

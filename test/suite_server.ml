@@ -77,6 +77,7 @@ let sample_stats =
     st_m_size = 40;
     st_l_size = 12;
     st_occurrences = 19;
+    st_generation = 6;
     st_wal_records = Some 3;
     st_health = "ok";
     st_counters = [ ("applied", 5); ("requests", 9) ];

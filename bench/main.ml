@@ -50,6 +50,7 @@ module Proto = Rxv_server.Proto
 module Metrics = Rxv_server.Metrics
 module Rwlock = Rxv_server.Rwlock
 module Batcher = Rxv_server.Batcher
+module Follower = Rxv_replica.Follower
 module Parser = Rxv_xpath.Parser
 
 let scale : [ `Full | `Quick | `Smoke ] ref = ref `Full
@@ -1269,6 +1270,152 @@ let snapshot_reads () =
   min_read_concurrency := min !min_read_concurrency ratio;
   row [ "speedup"; "-"; "-"; Printf.sprintf "%.1fx" ratio; "-" ]
 
+(* ---------- replication: follower catch-up and read scale-out -------- *)
+
+(* aggregate follower read capacity scaling from 1 to 2 followers;
+   --check-replica-scale compares against it after all requested
+   experiments ran *)
+let min_replica_scale = ref infinity
+
+(* One topology: a durable primary plus [n_followers] WAL-streaming
+   replica servers, all in-process over Unix-domain sockets. The writer
+   commits [commits] single-insert groups, we time the slowest
+   follower's convergence (catch-up), then measure each follower's read
+   service rate with a dedicated client. The bench host is a single-core
+   box, so per-follower rates are measured {e sequentially} and summed
+   into an aggregate capacity — the quantity that grows with replica
+   count when each replica owns a core or machine; measuring them
+   concurrently here would benchmark the scheduler, not the system. *)
+let replication_arm ~n_followers ~commits ~duration ~trials =
+  let dir = fresh_dir () in
+  let p = Persist.open_dir dir in
+  let e =
+    match Persist.recover p (Registrar.atg ()) ~init:Registrar.sample_db with
+    | Ok (e, _) -> e
+    | Error m -> failwith ("replication: recovery: " ^ m)
+  in
+  let psock = Filename.concat dir "p.sock" in
+  let psrv = Server.start ~persist:p (Server.Unix_sock psock) e in
+  let mk_follower i =
+    let rsock = Filename.concat dir (Printf.sprintf "r%d.sock" i) in
+    let rsrv =
+      Server.start
+        ~config:{ Server.default_config with Server.role = `Replica }
+        (Server.Unix_sock rsock) (Registrar.engine ())
+    in
+    let f =
+      Follower.start ~wait_ms:50
+        ~name:(Printf.sprintf "r%d" i)
+        ~primary:(Server.Unix_sock psock) ~init:Registrar.sample_db
+        ~seed:20070415 rsrv
+    in
+    (rsock, rsrv, f)
+  in
+  let followers = List.init n_followers mk_follower in
+  let c = Client.connect psock in
+  let last = ref 0 in
+  let t0 = now () in
+  for k = 1 to commits do
+    match
+      Client.update c
+        [
+          Proto.Insert
+            {
+              etype = "course";
+              attr =
+                Registrar.course_attr (Printf.sprintf "BR%06d" k) "Bench";
+              path = "//course[cno=CS240]/prereq";
+            };
+        ]
+    with
+    | `Applied (seq, _) -> last := seq
+    | _ -> failwith "replication: write failed"
+  done;
+  let commit_rate = float_of_int commits /. (now () -. t0) in
+  Client.close c;
+  let t1 = now () in
+  let deadline = t1 +. 60. in
+  List.iter
+    (fun (_, _, f) ->
+      while Follower.after f < !last && now () < deadline do
+        Thread.delay 0.002
+      done;
+      if Follower.after f < !last then
+        failwith "replication: follower did not converge")
+    followers;
+  let t_catchup = now () -. t1 in
+  let rates =
+    List.map
+      (fun (rsock, _, _) ->
+        (* median of [trials] timed windows, with a full major GC before
+           each follower, so leftover garbage from the commit phase does
+           not get charged to whichever follower is sampled first *)
+        Gc.full_major ();
+        let samples =
+          List.init trials (fun _ ->
+              let rc = Client.connect rsock in
+              let reads = ref 0 in
+              let t_end = now () +. duration in
+              while now () < t_end do
+                match Client.query rc "//course" with
+                | Ok _ -> incr reads
+                | Error m -> failwith ("replication: replica read: " ^ m)
+              done;
+              Client.close rc;
+              float_of_int !reads /. duration)
+        in
+        List.nth (List.sort compare samples) (trials / 2))
+      followers
+  in
+  List.iter
+    (fun (_, rsrv, f) ->
+      Follower.stop f;
+      Server.stop rsrv)
+    followers;
+  Server.stop psrv;
+  Persist.close p;
+  rm_rf dir;
+  (commit_rate, t_catchup, rates)
+
+let replication () =
+  let commits = by_scale ~full:400 ~quick:120 ~smoke:40 in
+  let duration = by_scale ~full:1.0 ~quick:0.5 ~smoke:0.3 in
+  let trials = by_scale ~full:3 ~quick:3 ~smoke:2 in
+  let counts = by_scale ~full:[ 1; 2; 4 ] ~quick:[ 1; 2; 4 ] ~smoke:[ 1; 2 ] in
+  header
+    (Printf.sprintf
+       "replication: %d commits streamed to each topology; catch-up to \
+        convergence; then read sampling per follower, median of %d x %.2fs \
+        windows (sequential per-follower capacity, summed as aggregate)"
+       commits trials duration)
+    [ "followers"; "commit_rate"; "catchup_s"; "aggregate_reads_s";
+      "per_follower" ];
+  let base = ref None in
+  List.iter
+    (fun k ->
+      let commit_rate, catchup, rates =
+        replication_arm ~n_followers:k ~commits ~duration ~trials
+      in
+      let agg = List.fold_left ( +. ) 0. rates in
+      if !base = None then base := Some agg;
+      row
+        [
+          string_of_int k;
+          Printf.sprintf "%.0f" commit_rate;
+          Printf.sprintf "%.3f" catchup;
+          Printf.sprintf "%.0f" agg;
+          String.concat "+"
+            (List.map (fun r -> Printf.sprintf "%.0f" r) rates);
+        ];
+      if k = 2 then
+        match !base with
+        | Some b when b > 0. ->
+            let ratio = agg /. b in
+            min_replica_scale := min !min_replica_scale ratio;
+            row [ "scale_1to2"; "-"; "-"; Printf.sprintf "%.2fx" ratio; "-" ]
+        | _ -> ())
+    counts
+
 (* ---------- Bechamel micro-suite: one Test.make per experiment ------- *)
 
 let bechamel_suite () =
@@ -1344,6 +1491,7 @@ let experiments : (string * (unit -> unit)) list =
     ("chaos", chaos);
     ("xpath_cache", xpath_cache);
     ("snapshot_reads", snapshot_reads);
+    ("replication", replication);
     ("bechamel", bechamel_suite);
   ]
 
@@ -1356,8 +1504,9 @@ let usage () =
   prerr_endline
     "usage: main.exe [--quick|--smoke] [--json FILE] \
      [--check-cache-ratio R] [--check-read-concurrency R] \
+     [--check-replica-scale R] \
      [all|fig10b|fig11a..fig11h|table1|transactions|recovery|server|\
-     ablations|chaos|xpath_cache|snapshot_reads|bechamel]...";
+     ablations|chaos|xpath_cache|snapshot_reads|replication|bechamel]...";
   exit 2
 
 let () =
@@ -1366,6 +1515,7 @@ let () =
   let json_path = ref None in
   let cache_ratio = ref None in
   let read_conc = ref None in
+  let replica_scale = ref None in
   let names = ref [] in
   let rec parse = function
     | [] -> ()
@@ -1393,6 +1543,13 @@ let () =
             parse rest
         | _ -> usage ())
     | [ "--check-read-concurrency" ] -> usage ()
+    | "--check-replica-scale" :: r :: rest -> (
+        match float_of_string_opt r with
+        | Some f when f > 0. ->
+            replica_scale := Some f;
+            parse rest
+        | _ -> usage ())
+    | [ "--check-replica-scale" ] -> usage ()
     | "all" :: rest ->
         names := !names @ all_names;
         parse rest
@@ -1425,6 +1582,23 @@ let () =
         "read concurrency check ok: snapshot/locked reader throughput %.1fx \
          >= %.1fx\n%!"
         !min_read_concurrency r);
+  (match !replica_scale with
+  | None -> ()
+  | Some r when !min_replica_scale = infinity ->
+      Printf.eprintf
+        "--check-replica-scale %.1f given but replication did not run\n%!" r;
+      exit 1
+  | Some r when !min_replica_scale < r ->
+      Printf.eprintf
+        "replica scale check FAILED: aggregate follower read capacity \
+         %.2fx < required %.1fx going 1 -> 2 followers\n%!"
+        !min_replica_scale r;
+      exit 1
+  | Some r ->
+      Printf.printf
+        "replica scale check ok: aggregate follower read capacity %.2fx \
+         >= %.1fx going 1 -> 2 followers\n%!"
+        !min_replica_scale r);
   match !cache_ratio with
   | None -> ()
   | Some r when !min_cache_speedup = infinity ->

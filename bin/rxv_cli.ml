@@ -458,10 +458,23 @@ let recover_cmd =
 
 (* --- serve --- *)
 
+(* ADDR for --replica-of: HOST:PORT when the suffix parses as a port,
+   otherwise a Unix-domain socket path *)
+let parse_peer s =
+  let module Server = Rxv_server.Server in
+  match String.rindex_opt s ':' with
+  | Some i -> (
+      match int_of_string_opt (String.sub s (i + 1) (String.length s - i - 1))
+      with
+      | Some port when port > 0 -> Server.Tcp (String.sub s 0 i, port)
+      | _ -> Server.Unix_sock s)
+  | None -> Server.Unix_sock s
+
 let serve_cmd =
   let run scenario n seed data wal sync socket tcp queue batch failpoints
-      fp_seed =
+      fp_seed replica_of follower_name =
     let module Server = Rxv_server.Server in
+    let module Follower = Rxv_replica.Follower in
     let module Failpoint = Rxv_fault.Failpoint in
     let addr =
       match (socket, tcp) with
@@ -493,24 +506,49 @@ let serve_cmd =
     | None, None ->
         Fmt.epr "serve requires exactly one of --socket PATH or --tcp PORT@.";
         2
+    | Some _, None when replica_of <> None && wal <> None ->
+        (* the stream is re-applied, not re-logged: a replica that also
+           logged would diverge from the primary's WAL positions *)
+        Fmt.epr "--replica-of runs volatile; it cannot combine with --wal@.";
+        2
     | Some addr, None -> (
         (* unlike [with_engine], recovery here must NOT attach the WAL
            hook: the server attaches it in deferred-sync mode so the
            batcher can pay one fsync per drained batch *)
         let finish_engine e persist =
+          let role = if replica_of = None then `Primary else `Replica in
           let config =
             {
               Server.default_config with
               queue_cap = queue;
               batch_cap = batch;
+              role;
             }
           in
           let srv = Server.start ~config ?persist addr e in
-          Fmt.pr "serving %s (queue=%d batch=%d); send a Shutdown request \
-                  to stop@."
+          let follower =
+            Option.map
+              (fun primary ->
+                let name =
+                  match follower_name with
+                  | Some n -> n
+                  | None ->
+                      Printf.sprintf "%s-%d" (Unix.gethostname ())
+                        (Unix.getpid ())
+                in
+                Fmt.pr "replicating from %s as %S@." primary name;
+                Follower.start ~fp_prefix:"repl" ~name
+                  ~primary:(parse_peer primary)
+                  ~init:(fun () -> init_db scenario n seed data)
+                  ~seed srv)
+              replica_of
+          in
+          Fmt.pr "serving %s (%s, queue=%d batch=%d); send a Shutdown \
+                  request to stop@."
             (match addr with
             | Server.Unix_sock p -> "unix:" ^ p
             | Server.Tcp (h, p) -> Printf.sprintf "tcp:%s:%d" h p)
+            (match role with `Primary -> "primary" | `Replica -> "replica")
             queue batch;
           (* also stop cleanly on SIGTERM/SIGINT *)
           let on_signal _ = Server.initiate_stop srv in
@@ -519,9 +557,15 @@ let serve_cmd =
           (try Sys.set_signal Sys.sigint (Sys.Signal_handle on_signal)
            with Invalid_argument _ -> ());
           Server.wait srv;
+          Option.iter Follower.stop follower;
           Option.iter Persist.close persist;
-          Fmt.pr "server stopped; %d update group(s) committed@."
-            (Rxv_server.Batcher.seq (Server.batcher srv));
+          (match follower with
+          | Some f ->
+              Fmt.pr "server stopped; replicated through commit %d@."
+                (Follower.after f)
+          | None ->
+              Fmt.pr "server stopped; %d update group(s) committed@."
+                (Rxv_server.Batcher.seq (Server.batcher srv)));
           0
         in
         match wal with
@@ -590,15 +634,140 @@ let serve_cmd =
       & info [ "fp-seed" ] ~docv:"N"
           ~doc:"Seed for the failpoint trigger RNG (deterministic chaos).")
   in
+  let replica_of =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "replica-of" ] ~docv:"ADDR"
+          ~doc:"Run as a read-only replica of the primary at ADDR (a \
+                Unix-domain socket path, or HOST:PORT): stream its \
+                committed WAL, apply it locally, serve reads from the \
+                replicated state, refuse writes. The primary must serve \
+                with $(b,--wal). The scenario flags must match the \
+                primary's.")
+  in
+  let follower_name =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "name" ] ~docv:"NAME"
+          ~doc:"Follower identity reported to the primary (shown by \
+                $(b,rxv replicas); default: host-pid).")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:"Run the view-update service: concurrent XPath reads, \
              single-writer group-commit updates with backpressure, and a \
-             CRC-framed wire protocol (see also $(b,stress --server)).")
+             CRC-framed wire protocol — as the write primary or, with \
+             $(b,--replica-of), a WAL-streaming read replica (see also \
+             $(b,stress --server)).")
     Term.(
       const (fun () -> run) $ setup_logs $ scenario_arg $ size_arg $ seed_arg
       $ data_arg $ wal_arg $ sync_arg $ socket $ tcp $ queue $ batch
-      $ failpoints $ fp_seed)
+      $ failpoints $ fp_seed $ replica_of $ follower_name)
+
+(* --- replicas --- *)
+
+let replicas_cmd =
+  let run socket tcp =
+    let module Client = Rxv_server.Client in
+    let module Proto = Rxv_server.Proto in
+    let connect () =
+      match (socket, tcp) with
+      | Some path, None -> Some (Client.connect ~retries:3 path)
+      | None, Some port -> Some (Client.connect_tcp ~retries:3 "127.0.0.1" port)
+      | None, None | Some _, Some _ -> None
+    in
+    match connect () with
+    | None ->
+        Fmt.epr
+          "replicas requires exactly one of --socket PATH or --tcp PORT@.";
+        2
+    | exception Unix.Unix_error (e, _, _) ->
+        Fmt.epr "cannot reach server: %s@." (Unix.error_message e);
+        1
+    | Some c -> (
+        Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+        match Client.stats c with
+        | Error m ->
+            Fmt.epr "stats failed: %s@." m;
+            1
+        | Ok st ->
+            let gauge k = List.assoc_opt k st.Proto.st_gauges in
+            (match (gauge "repl_seq", gauge "repl_head") with
+            | Some seq, Some head ->
+                Fmt.pr "primary: commit %d, durable head %d@." seq head
+            | _ -> (
+                (* a replica reports its own stream position instead *)
+                match (gauge "repl_after", gauge "repl_lag") with
+                | Some after, Some lag ->
+                    Fmt.pr "replica: applied commit %d, lag %d@." after lag
+                | _ ->
+                    Fmt.pr "no replication state (volatile server?)@."));
+            (* rows keyed repl_follower_<name>_<field> *)
+            let prefix = "repl_follower_" in
+            let plen = String.length prefix in
+            let rows = Hashtbl.create 8 in
+            let order = ref [] in
+            List.iter
+              (fun (k, v) ->
+                if String.length k > plen && String.sub k 0 plen = prefix then
+                  let rest = String.sub k plen (String.length k - plen) in
+                  match String.rindex_opt rest '_' with
+                  | None -> ()
+                  | Some i ->
+                      let name = String.sub rest 0 i in
+                      let field =
+                        String.sub rest (i + 1) (String.length rest - i - 1)
+                      in
+                      if not (Hashtbl.mem rows name) then begin
+                        Hashtbl.add rows name (Hashtbl.create 4);
+                        order := name :: !order
+                      end;
+                      Hashtbl.replace (Hashtbl.find rows name) field v)
+              st.Proto.st_gauges;
+            (match List.rev !order with
+            | [] -> Fmt.pr "no followers registered@."
+            | names ->
+                Fmt.pr "%-20s %10s %8s %10s %8s@." "FOLLOWER" "AFTER" "LAG"
+                  "CONNECTED" "RESETS";
+                List.iter
+                  (fun name ->
+                    let fields = Hashtbl.find rows name in
+                    let get f =
+                      match Hashtbl.find_opt fields f with
+                      | Some v -> string_of_int v
+                      | None -> "-"
+                    in
+                    Fmt.pr "%-20s %10s %8s %10s %8s@." name (get "after")
+                      (get "lag")
+                      (match Hashtbl.find_opt fields "connected" with
+                      | Some 1 -> "yes"
+                      | Some _ -> "no"
+                      | None -> "-")
+                      (get "resets"))
+                  names);
+            0)
+  in
+  let socket =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:"Ask the server on the Unix-domain socket at PATH.")
+  in
+  let tcp =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "tcp" ] ~docv:"PORT" ~doc:"Ask the server on 127.0.0.1:PORT.")
+  in
+  Cmd.v
+    (Cmd.info "replicas"
+       ~doc:"Show a running server's replication state: its commit/durable \
+             positions and, on a primary, each registered follower's \
+             position, lag, connection state and reset count.")
+    Term.(const (fun () -> run) $ setup_logs $ socket $ tcp)
 
 let () =
   let info =
@@ -610,4 +779,5 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [ show_cmd; stats_cmd; export_cmd; query_cmd; delete_cmd;
-            insert_cmd; checkpoint_cmd; recover_cmd; serve_cmd ]))
+            insert_cmd; checkpoint_cmd; recover_cmd; serve_cmd;
+            replicas_cmd ]))

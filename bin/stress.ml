@@ -21,7 +21,16 @@
    with failpoints armed (`rxv serve --failpoints ...`). After the run
    it audits that every acknowledged insert is present exactly once —
 
-     dune exec bin/stress.exe -- --chaos /tmp/rxv.sock [clients] [reqs] *)
+     dune exec bin/stress.exe -- --chaos /tmp/rxv.sock [clients] [reqs]
+
+   Replica mode: with --replicas the swarm exercises a replication
+   topology — one writer committing to the primary while reader threads
+   fan queries across the replicas through the routing client
+   (read-your-writes pins), then audits convergence: every replica must
+   catch up to the writer's last commit and answer a pinned read —
+
+     dune exec bin/stress.exe -- \
+       --replicas /tmp/p.sock /tmp/r1.sock,/tmp/r2.sock [readers] [reads] *)
 
 module Engine = Rxv_core.Engine
 module Base_update = Rxv_core.Base_update
@@ -309,7 +318,159 @@ let chaos_mode sock n_clients per_client =
     !retries (List.length !acked) !dupes !missing;
   if !dupes > 0 || !missing > 0 then exit 1
 
+(* ---- replica mode: read swarm over replicas while a writer commits ---- *)
+
+let replica_mode psock rsocks n_readers per_reader =
+  let t0 = Unix.gettimeofday () in
+  let stop = ref false in
+  let last_commit = ref 0 in
+  let m = Mutex.create () in
+  let protect f =
+    Mutex.lock m;
+    let r = f () in
+    Mutex.unlock m;
+    r
+  in
+  let writer =
+    Thread.create
+      (fun () ->
+        let c = Resilient.create ~seed:99 (Resilient.Unix_path psock) in
+        let r = ref 0 in
+        while not !stop do
+          incr r;
+          let cno = Printf.sprintf "RP%06d" !r in
+          (match
+             Resilient.update c
+               [
+                 Proto.Insert
+                   {
+                     etype = "course";
+                     attr = Rxv_workload.Registrar.course_attr cno "Replica";
+                     path = "//course[cno=CS240]/prereq";
+                   };
+               ]
+           with
+          | `Applied (seq, _) -> protect (fun () -> last_commit := seq)
+          | `Rejected _ | `Error _ -> ());
+          Thread.delay 0.002
+        done;
+        Resilient.close c)
+      ()
+  in
+  let reads = ref 0
+  and stale = ref 0
+  and replica_served = ref 0
+  and primary_served = ref 0
+  and redirected = ref 0 in
+  let reader w () =
+    let router =
+      Resilient.Router.create ~seed:w ~wait_ms:5000
+        ~primary:(Resilient.Unix_path psock)
+        (List.map (fun s -> Resilient.Unix_path s) rsocks)
+    in
+    let before = ref (-1) in
+    for r = 1 to per_reader do
+      (* every 25th iteration: write through the router, then check the
+         very next routed read includes it (the pin's guarantee) *)
+      if r mod 25 = 0 then begin
+        (match Resilient.Router.query router "//course" with
+        | Ok (n, _) -> before := n
+        | Error _ -> before := -1);
+        let cno = Printf.sprintf "RW%dI%d" w r in
+        match
+          Resilient.Router.update router
+            [
+              Proto.Insert
+                {
+                  etype = "course";
+                  attr = Rxv_workload.Registrar.course_attr cno "Pinned";
+                  path = "//course[cno=CS240]/prereq";
+                };
+            ]
+        with
+        | `Applied _ -> (
+            match Resilient.Router.query router "//course" with
+            | Ok (n, _) ->
+                protect (fun () ->
+                    incr reads;
+                    if !before >= 0 && n <= !before then incr stale)
+            | Error msg ->
+                Printf.eprintf "reader %d: pinned read failed: %s\n%!" w msg;
+                exit 1)
+        | `Rejected _ | `Error _ -> ()
+      end
+      else
+        match Resilient.Router.query router "//course" with
+        | Ok _ -> protect (fun () -> incr reads)
+        | Error msg ->
+            Printf.eprintf "reader %d: routed read failed: %s\n%!" w msg;
+            exit 1
+    done;
+    protect (fun () ->
+        replica_served := !replica_served + Resilient.Router.reads_replica router;
+        primary_served := !primary_served + Resilient.Router.reads_primary router;
+        redirected := !redirected + Resilient.Router.redirects router);
+    Resilient.Router.close router
+  in
+  let threads = List.init n_readers (fun w -> Thread.create (reader w) ()) in
+  List.iter Thread.join threads;
+  stop := true;
+  Thread.join writer;
+  (* convergence audit: every replica must catch up to the writer's last
+     acknowledged commit and answer a read pinned there *)
+  let behind = ref 0 in
+  List.iter
+    (fun sock ->
+      let c = Client.connect sock in
+      (match Client.query_at c ~min_seq:!last_commit ~wait_ms:15000 "//course"
+       with
+      | Ok _ -> ()
+      | Error (`Behind msg) ->
+          Printf.eprintf "replica %s did not converge: %s\n%!" sock msg;
+          incr behind
+      | Error (`Err msg) ->
+          Printf.eprintf "replica %s: %s\n%!" sock msg;
+          incr behind);
+      Client.close c)
+    rsocks;
+  (* surface the primary's view of its followers *)
+  let c = Client.connect psock in
+  (match Client.stats c with
+  | Ok st ->
+      List.iter
+        (fun (k, v) ->
+          if String.length k >= 5 && String.sub k 0 5 = "repl_" then
+            Printf.printf "  %-32s %d\n" k v)
+        st.Proto.st_gauges
+  | Error _ -> ());
+  Client.close c;
+  let dt = Unix.gettimeofday () -. t0 in
+  Printf.printf
+    "replica swarm %s: %d routed reads from %d readers over %d replica(s) \
+     in %.1fs (%.0f reads/s) — %d replica-served, %d primary-served, %d \
+     redirects, %d stale pinned reads, %d unconverged; writer reached \
+     commit %d\n%!"
+    (if !stale = 0 && !behind = 0 then "OK" else "FAILED")
+    !reads n_readers (List.length rsocks) dt
+    (float_of_int !reads /. dt)
+    !replica_served !primary_served !redirected !stale !behind !last_commit;
+  if !stale > 0 || !behind > 0 then exit 1
+
 let () =
+  if Array.length Sys.argv > 3 && Sys.argv.(1) = "--replicas" then begin
+    let psock = Sys.argv.(2) in
+    let rsocks =
+      List.filter (fun s -> s <> "") (String.split_on_char ',' Sys.argv.(3))
+    in
+    let n_readers =
+      if Array.length Sys.argv > 4 then int_of_string Sys.argv.(4) else 4
+    in
+    let per_reader =
+      if Array.length Sys.argv > 5 then int_of_string Sys.argv.(5) else 200
+    in
+    replica_mode psock rsocks n_readers per_reader;
+    exit 0
+  end;
   if Array.length Sys.argv > 2 && Sys.argv.(1) = "--chaos" then begin
     let sock = Sys.argv.(2) in
     let n_clients =

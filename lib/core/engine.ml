@@ -450,8 +450,7 @@ let stats (e : t) : stats =
     points record exact inverses at their sites, so {!txn_abort} replays
     O(Δ) inverse operations — not the O(view) deep copies the previous
     snapshot/restore implementation paid. [apply_group] and [dry_run]
-    run on top; the legacy {!snapshot}/{!restore} API is a thin wrapper
-    over the same frames. *)
+    run on top of the same frames. *)
 
 module Txn = struct
   type handle = { t_seed : int }
@@ -489,10 +488,27 @@ module Txn = struct
   let rollback_to = abort
 end
 
-type snapshot = Txn.handle
-
-let snapshot (e : t) : snapshot = Txn.mark e
-let restore (e : t) (s : snapshot) : unit = Txn.rollback_to e s
+(** [reset_from e db store seed] installs recovered state into a live
+    engine in place — the replication follower's checkpoint-install path.
+    Mirrors {!of_durable} (rebuild L and M from the store rather than
+    republishing) but keeps the engine identity, so callers holding [e]
+    behind a lock see the new state on their next access. The query
+    cache is conservatively flushed: nothing computed against the old
+    state may survive. Must not be called with a transaction frame
+    open. *)
+let reset_from (e : t) (db : Database.t) (store : Store.t) ~(seed : int) :
+    unit =
+  if Rxv_relational.Journal.depth (Database.journal e.db) > 0 then
+    invalid_arg "Engine.reset_from: transaction frame open";
+  e.db <- db;
+  e.store <- store;
+  e.topo <- Topo.of_store store;
+  e.reach <- Reach.compute store e.topo;
+  e.seed <- seed;
+  Eval_cache.invalidate_all e.cache ~slot_capacity:(Store.slot_capacity store);
+  Log.info (fun m ->
+      m "reset %s: %d nodes, %d edges, |M|=%d" e.atg.Atg.name
+        (Store.n_nodes store) (Store.n_edges store) (Reach.size e.reach))
 
 (** {2 MVCC snapshots}
 

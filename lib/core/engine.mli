@@ -166,17 +166,14 @@ module Txn : sig
   (** alias for {!abort}, pairing with {!mark} *)
 end
 
-type snapshot = Txn.handle
-
-val snapshot : t -> snapshot
-  [@@deprecated "use Engine.Txn.mark — Engine.Snapshot now means an MVCC read view"]
-(** legacy alias for {!Txn.mark}: opens a journal frame (O(1), no deep
-    copy). Each handle must be resolved exactly once — {!restore} it, or
-    commit via {!Txn.commit}. *)
-
-val restore : t -> snapshot -> unit
-  [@@deprecated "use Engine.Txn.rollback_to"]
-(** legacy alias for {!Txn.rollback_to} *)
+val reset_from : t -> Database.t -> Store.t -> seed:int -> unit
+(** install recovered state (a shipped checkpoint) into a live engine in
+    place: set the database and DAG store, rebuild L and M from the
+    store (as {!of_durable} does), adopt [seed], and conservatively
+    flush the query cache. The engine identity is preserved, so callers
+    holding it behind a lock observe the new state on their next access
+    — the replication follower's checkpoint-install path.
+    @raise Invalid_argument if a transaction frame is open. *)
 
 (** {2 MVCC snapshots}
 

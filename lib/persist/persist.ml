@@ -25,6 +25,11 @@ type record =
   | Group of { seed : int; origin : origin option; group : Group_update.t }
   | Sessions of { last_commit : int; sessions : session list }
 
+type tap = {
+  on_group : string -> unit;
+  on_rotate : generation:int -> base:int -> unit;
+}
+
 type t = {
   t_dir : string;
   t_sync : Wal.sync_policy;
@@ -34,6 +39,8 @@ type t = {
   mutable pending_origin : origin option;
   mutable recovered_sessions : session list;
   mutable recovered_last_commit : int;
+  mutable recovered_base : int;
+  mutable tap : tap option;
 }
 
 let checkpoint_file gen = Printf.sprintf "checkpoint-%09d.rxc" gen
@@ -154,25 +161,39 @@ let decode_record payload =
   r
 
 (* Replay a decoded record sequence into the dedup state it implies: the
-   latest [Sessions] snapshot, overlaid by every subsequent origin. *)
+   latest [Sessions] snapshot, overlaid by every subsequent origin. Also
+   derives the commit numbering: [base] is the generation's starting
+   commit number (the [last_commit] carried by the head-of-WAL [Sessions]
+   snapshot — group records never precede one within a file), and the
+   final commit number is [max (origin commits) (base + groups seen since
+   the snapshot)]. The second arm makes the numbering robust for
+   origin-less groups (direct engine appends carry no provenance): every
+   committed group is exactly one record, so counting records recovers
+   the commit sequence — the invariant replication positions rely on. *)
 let fold_sessions records =
   let tbl = Hashtbl.create 16 in
   let last = ref 0 in
+  let base = ref 0 in
+  let since = ref 0 in
   List.iter
     (function
       | Sessions { last_commit; sessions } ->
           Hashtbl.reset tbl;
           List.iter (fun s -> Hashtbl.replace tbl s.sess_client s) sessions;
-          if last_commit > !last then last := last_commit
+          if last_commit > !last then last := last_commit;
+          if last_commit > !base then base := last_commit;
+          since := 0
       | Group { origin = Some o; group; _ } ->
           Hashtbl.replace tbl o.o_client
             { sess_client = o.o_client; sess_seq = o.o_seq;
               sess_commit = o.o_commit; sess_reports = o.o_reports;
               sess_delta = List.length group };
-          if o.o_commit > !last then last := o.o_commit
-      | Group { origin = None; _ } -> ())
+          if o.o_commit > !last then last := o.o_commit;
+          incr since
+      | Group { origin = None; _ } -> incr since)
     records;
-  (Hashtbl.fold (fun _ s acc -> s :: acc) tbl [], !last)
+  let last = max !last (!base + !since) in
+  (Hashtbl.fold (fun _ s acc -> s :: acc) tbl [], last, !base)
 
 let is_group = function Group _ -> true | Sessions _ -> false
 
@@ -184,7 +205,8 @@ let open_dir ?(sync = Wal.EveryN 64) dir =
   let t =
     { t_dir = dir; t_sync = sync; generation; writer = None;
       records_since_ckpt = 0; pending_origin = None;
-      recovered_sessions = []; recovered_last_commit = 0 }
+      recovered_sessions = []; recovered_last_commit = 0;
+      recovered_base = 0; tap = None }
   in
   let replay = Wal.read (wal_path t generation) in
   let decoded =
@@ -196,9 +218,10 @@ let open_dir ?(sync = Wal.EveryN 64) dir =
       replay.Wal.records
   in
   t.records_since_ckpt <- List.length (List.filter is_group decoded);
-  let sessions, last_commit = fold_sessions decoded in
+  let sessions, last_commit, base = fold_sessions decoded in
   t.recovered_sessions <- sessions;
   t.recovered_last_commit <- last_commit;
+  t.recovered_base <- base;
   t
 
 let dir t = t.t_dir
@@ -208,6 +231,8 @@ let records_since_checkpoint t = t.records_since_ckpt
 let set_origin t o = t.pending_origin <- o
 let recovered_sessions t = t.recovered_sessions
 let recovered_last_commit t = t.recovered_last_commit
+let recovered_base t = t.recovered_base
+let set_tap t tap = t.tap <- tap
 
 (* {2 Logging} *)
 
@@ -227,15 +252,27 @@ let take_origin t =
   t.pending_origin <- None;
   o
 
+(* fired after a group record reaches the writer, with the exact encoded
+   payload — the replication feed's entry point. The sessions record
+   written at rotation goes directly to the new writer and is *not* a
+   group, so the tap sees one call per committed group, in commit
+   order. *)
+let tap_group t payload =
+  match t.tap with Some tap -> tap.on_group payload | None -> ()
+
 let append t ~seed group =
   let origin = take_origin t in
-  Wal.append (current_writer t) (encode_record ?origin ~seed group);
-  t.records_since_ckpt <- t.records_since_ckpt + 1
+  let payload = encode_record ?origin ~seed group in
+  Wal.append (current_writer t) payload;
+  t.records_since_ckpt <- t.records_since_ckpt + 1;
+  tap_group t payload
 
 let append_nosync t ~seed group =
   let origin = take_origin t in
-  Wal.append_nosync (current_writer t) (encode_record ?origin ~seed group);
-  t.records_since_ckpt <- t.records_since_ckpt + 1
+  let payload = encode_record ?origin ~seed group in
+  Wal.append_nosync (current_writer t) payload;
+  t.records_since_ckpt <- t.records_since_ckpt + 1;
+  tap_group t payload
 
 let sync t = match t.writer with Some w -> Wal.sync w | None -> ()
 
@@ -310,12 +347,16 @@ let checkpoint ?sessions t (e : Engine.t) =
   t.records_since_ckpt <- 0;
   t.recovered_sessions <- sess;
   t.recovered_last_commit <- last_commit;
+  t.recovered_base <- last_commit;
   (* drop superseded generations (their WALs replay only onto their own
      checkpoint, which the new image replaces) *)
   for g = 0 to old_gen do
     remove_if_exists (checkpoint_path t g);
     remove_if_exists (wal_path t g)
   done;
+  (match t.tap with
+  | Some tap -> tap.on_rotate ~generation:gen' ~base:last_commit
+  | None -> ());
   bytes
 
 (* {2 Recovery} *)
@@ -349,9 +390,10 @@ let replay_wal t gen (e : Engine.t) =
   match decode_all 0 [] replay.Wal.records with
   | Error _ as err -> err
   | Ok records -> (
-      let sessions, last_commit = fold_sessions records in
+      let sessions, last_commit, base = fold_sessions records in
       t.recovered_sessions <- sessions;
       t.recovered_last_commit <- last_commit;
+      t.recovered_base <- base;
       let groups =
         List.filter_map
           (function
@@ -435,6 +477,60 @@ let recover ?seed t (atg : Atg.t) ~init =
 let close t =
   (match t.writer with Some w -> Wal.close w | None -> ());
   t.writer <- None
+
+(* {2 Replication support} *)
+
+(* Read the current generation's WAL from disk and return the encoded
+   group payloads for commits [after+1 .. after+max]. The generation's
+   base commit number is re-derived from the head-of-WAL [Sessions]
+   snapshot(s) rather than trusted from [t] — the file is the authority,
+   and a stray snapshot from a failed checkpoint attempt just raises the
+   base to the latest value (group records never precede the snapshots
+   within one file). Racing the live writer is safe: unsynced appends
+   are either invisible (still buffered) or land as whole frames after
+   the prefix we read; a torn tail frame fails its CRC and is dropped by
+   [Wal.read]. Callers bound [max] by their durable watermark so no
+   unacknowledged record is ever served. *)
+let read_group_tail t ~after ~max:max_n =
+  let replay = Wal.read (wal_path t t.generation) in
+  let base, rev_groups =
+    List.fold_left
+      (fun (base, groups) payload ->
+        match decode_record payload with
+        | Sessions { last_commit; _ } when groups = [] ->
+            (Stdlib.max base last_commit, groups)
+        | Sessions _ -> (base, groups)
+        | Group _ -> (base, payload :: groups)
+        | exception Codec.Error _ -> (base, groups))
+      (0, []) replay.Wal.records
+  in
+  if after < base then Error (`Reset base)
+  else begin
+    let rec slice i n = function
+      | _ when n = 0 -> []
+      | [] -> []
+      | p :: rest ->
+          if i > 0 then slice (i - 1) n rest else p :: slice 0 (n - 1) rest
+    in
+    Ok (slice (after - base) max_n (List.rev rev_groups))
+  end
+
+(* Raw bytes of the current generation's checkpoint image, for shipping
+   to a bootstrapping follower. [None] at generation 0 (no image exists:
+   a follower re-initializes deterministically and replays from commit
+   0). Callers serialize against {!checkpoint} (which deletes superseded
+   images) — the server's sync mutex does exactly that. *)
+let checkpoint_blob t =
+  if t.generation = 0 then None
+  else begin
+    let path = checkpoint_path t t.generation in
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        let n = in_channel_length ic in
+        Some (t.generation, t.recovered_base, really_input_string ic n))
+  end
 
 let wal_path = wal_path
 let checkpoint_path = checkpoint_path

@@ -92,7 +92,31 @@ val recovered_sessions : t -> session list
     later record's origin *)
 
 val recovered_last_commit : t -> int
-(** highest commit number seen in that scan (0 when none) *)
+(** highest commit number implied by that scan (0 when none): the
+    maximum of the origin-carried commit numbers and [recovered_base +
+    group records since the snapshot] — the record-counting arm numbers
+    origin-less groups too, which is what makes replication positions
+    (one commit = one record) survive restarts *)
+
+val recovered_base : t -> int
+(** the current generation's starting commit number — the [last_commit]
+    of the head-of-WAL [Sessions] snapshot (0 for generation 0). The
+    k-th group record of the generation's WAL is commit [base + k]. *)
+
+type tap = {
+  on_group : string -> unit;
+      (** one call per appended group record, in commit order, with the
+          exact encoded payload — what a replication feed streams *)
+  on_rotate : generation:int -> base:int -> unit;
+      (** fired after {!checkpoint} rotates to a new generation whose
+          WAL starts at commit number [base] *)
+}
+(** observer of the durable record stream (replication feed hook) *)
+
+val set_tap : t -> tap option -> unit
+(** install or clear the stream observer; callbacks run on the
+    appending thread (the batcher's exclusive section) and must be
+    cheap and non-raising *)
 
 val checkpoint : ?sessions:session list * int -> t -> Engine.t -> int
 (** write a new-generation checkpoint atomically, rotate to a fresh WAL,
@@ -132,6 +156,25 @@ val recover :
 val close : t -> unit
 (** sync and close the current WAL writer, detaching nothing — call
     {!Engine.detach_wal} separately if the engine outlives the log *)
+
+(** {2 Replication support} *)
+
+val read_group_tail :
+  t -> after:int -> max:int -> (string list, [ `Reset of int ]) result
+(** encoded group payloads for commits [after+1 .. after+max], read back
+    from the current generation's WAL file (the catch-up path when a
+    follower has fallen behind the in-memory feed). The generation base
+    is re-derived from the head-of-WAL [Sessions] snapshot; [Error
+    (`Reset base)] when [after < base] — the caller must ship the
+    checkpoint instead. Bound [max] by the durable watermark: records
+    not yet fsynced must not be served. *)
+
+val checkpoint_blob : t -> (int * int * string) option
+(** [(generation, base, bytes)] of the current checkpoint image file,
+    for shipping to a bootstrapping follower — [None] at generation 0
+    (followers re-initialize deterministically and replay from commit
+    0). Serialize calls against {!checkpoint}, which deletes superseded
+    images. *)
 
 (** {2 Record codec} — exposed for tests and crash-injection harnesses *)
 

@@ -1,0 +1,295 @@
+(** The follower replication loop: pull committed WAL records from the
+    primary, re-apply them through the recovery replay path, publish. *)
+
+module Server = Rxv_server.Server
+module Client = Rxv_server.Client
+module Metrics = Rxv_server.Metrics
+module Engine = Rxv_core.Engine
+module Base_update = Rxv_core.Base_update
+module Persist = Rxv_persist.Persist
+module Checkpoint = Rxv_persist.Checkpoint
+module Codec = Rxv_persist.Codec
+module Database = Rxv_relational.Database
+module Group_update = Rxv_relational.Group_update
+module Atg = Rxv_atg.Atg
+
+let src =
+  Logs.Src.create "rxv.replica" ~doc:"WAL-streaming replication follower"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type t = {
+  server : Server.t;
+  name : string;
+  primary : Server.address;
+  init : unit -> Database.t;
+  seed0 : int;
+  pull_max : int;
+  wait_ms : int;
+  fp_prefix : string option;
+  mutable conn : Client.t option;
+  mutable after_ : int;
+  mutable head_ : int;
+  mutable n_resets : int;
+  mutable n_reconnects : int;
+  mutable err : string option;
+  mutable stopping : bool;
+  mutable thread : Thread.t option;
+}
+
+let after t = t.after_
+let head_seen t = t.head_
+let lag t = Stdlib.max 0 (t.head_ - t.after_)
+let resets t = t.n_resets
+let reconnects t = t.n_reconnects
+let last_error t = t.err
+
+let publish_gauges t =
+  let mx = Server.metrics t.server in
+  Metrics.set_gauge mx "repl_after" t.after_;
+  Metrics.set_gauge mx "repl_head_seen" t.head_;
+  Metrics.set_gauge mx "repl_lag" (lag t);
+  Metrics.set_gauge mx "repl_resets" t.n_resets;
+  Metrics.set_gauge mx "repl_reconnects" t.n_reconnects
+
+(* interruptible sleep: wakes within 50 ms of [stop] *)
+let nap t total =
+  let rec go left =
+    if (not t.stopping) && left > 0. then begin
+      Thread.delay (Stdlib.min 0.05 left);
+      go (left -. 0.05)
+    end
+  in
+  go total
+
+(* the stream's receive timeout must outlast the server-side long-poll,
+   or every caught-up pull would look like a dead connection *)
+let rcv_timeout t = (float_of_int t.wait_ms /. 1000.) +. 1.0
+
+(* [Client.connect]'s internal backoff cannot observe [stopping], so keep
+   its retry budget short and loop in [run] instead *)
+let connect t =
+  let c =
+    match t.primary with
+    | Server.Unix_sock path ->
+        Client.connect ~retries:10 ~rcv_timeout:(rcv_timeout t)
+          ?fp_prefix:t.fp_prefix path
+    | Server.Tcp (host, port) ->
+        Client.connect_tcp ~retries:10 ~rcv_timeout:(rcv_timeout t)
+          ?fp_prefix:t.fp_prefix host port
+  in
+  t.conn <- Some c;
+  t.n_reconnects <- t.n_reconnects + 1;
+  c
+
+(* re-run the deterministic generation-0 publication: where a pull from
+   commit 0 lands when the primary has never checkpointed, and the
+   fallback when this follower's state has diverged *)
+let install_fresh t =
+  let e = Server.engine t.server in
+  let db = t.init () in
+  let store = Rxv_atg.Publish.publish e.Engine.atg db in
+  Server.exclusive t.server (fun () ->
+      Engine.reset_from e db store ~seed:t.seed0);
+  t.after_ <- 0;
+  t.n_resets <- t.n_resets + 1;
+  Server.publish_applied t.server ~seq:0
+
+let install_ckpt t ~base bytes =
+  let tmp = Filename.temp_file "rxv-follower" ".rxc" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove tmp with Sys_error _ -> ())
+    (fun () ->
+      let oc = open_out_bin tmp in
+      output_string oc bytes;
+      close_out oc;
+      match Checkpoint.read tmp with
+      | Error msg -> Error ("shipped checkpoint unreadable: " ^ msg)
+      | Ok (meta, db, store) ->
+          let e = Server.engine t.server in
+          if meta.Checkpoint.atg_name <> e.Engine.atg.Atg.name then
+            Error
+              (Fmt.str "checkpoint ATG %S does not match follower ATG %S"
+                 meta.Checkpoint.atg_name e.Engine.atg.Atg.name)
+          else begin
+            Server.exclusive t.server (fun () ->
+                Engine.reset_from e db store ~seed:meta.Checkpoint.seed);
+            t.after_ <- base;
+            t.n_resets <- t.n_resets + 1;
+            Server.publish_applied t.server ~seq:base;
+            Ok ()
+          end)
+
+let handle_reset t ~generation ~base ckpt =
+  match ckpt with
+  | None ->
+      Log.info (fun m ->
+          m "%s: reset to generation %d: fresh initial publication" t.name
+            generation);
+      install_fresh t;
+      t.err <- None
+  | Some bytes -> (
+      match install_ckpt t ~base bytes with
+      | Ok () ->
+          Log.info (fun m ->
+              m "%s: installed checkpoint generation %d (base commit %d, %d \
+                 bytes)"
+                t.name generation base (String.length bytes));
+          t.err <- None
+      | Error msg ->
+          t.err <- Some msg;
+          Log.err (fun m -> m "%s: %s" t.name msg);
+          nap t 0.2)
+
+(* decode a pulled batch, apply it atomically under the exclusive side,
+   adopt the final record's seed, publish. One record = one commit, so
+   the position advances by the record count. *)
+let apply_records t records =
+  match
+    List.filter_map
+      (fun payload ->
+        match Persist.decode_record payload with
+        | Persist.Group { seed; group; _ } -> Some (seed, group)
+        | Persist.Sessions _ -> None)
+      records
+  with
+  | exception Codec.Error msg ->
+      Error ("undecodable replicated record: " ^ msg)
+  | [] -> Ok ()
+  | groups -> (
+      let e = Server.engine t.server in
+      let batch = List.concat_map snd groups in
+      let final_seed =
+        List.fold_left (fun _ (s, _) -> s) e.Engine.seed groups
+      in
+      let applied =
+        Server.exclusive t.server (fun () ->
+            let r =
+              if Group_update.is_empty batch then Ok ()
+              else
+                match Base_update.apply e batch with
+                | Ok _ -> Ok ()
+                | Error msg -> Error msg
+            in
+            (match r with
+            | Ok () -> e.Engine.seed <- final_seed
+            | Error _ -> ());
+            r)
+      in
+      match applied with
+      | Ok () ->
+          t.after_ <- t.after_ + List.length groups;
+          Server.publish_applied t.server ~seq:t.after_;
+          Ok ()
+      | Error msg -> Error msg)
+
+let rec stream t c =
+  if not t.stopping then
+    match
+      Client.repl_pull c ~follower:t.name ~after:t.after_ ~max:t.pull_max
+        ~wait_ms:t.wait_ms
+    with
+    | Ok (`Frames (head, records)) ->
+        t.head_ <- head;
+        t.err <- None;
+        (if records <> [] then
+           match apply_records t records with
+           | Ok () -> ()
+           | Error msg ->
+               (* divergence: this record will never re-apply here, so
+                  re-pulling it is a livelock. Re-initialize and pull
+                  from commit 0 — the primary answers with a checkpoint
+                  reset (or re-streams the whole generation-0 log). *)
+               t.err <- Some msg;
+               Log.err (fun m ->
+                   m "%s: apply failed at commit %d (%s); re-initializing"
+                     t.name (t.after_ + 1) msg);
+               install_fresh t);
+        publish_gauges t;
+        stream t c
+    | Ok (`Reset (generation, base, ckpt)) ->
+        handle_reset t ~generation ~base ckpt;
+        publish_gauges t;
+        stream t c
+    | Error msg ->
+        (* in-protocol refusal — e.g. a primary with no durability
+           directory. Keep probing: the operator may restart it durable. *)
+        t.err <- Some msg;
+        publish_gauges t;
+        Log.warn (fun m -> m "%s: primary refused pull: %s" t.name msg);
+        nap t 0.5;
+        stream t c
+
+let drop_conn t =
+  (match t.conn with Some c -> Client.close c | None -> ());
+  t.conn <- None
+
+let run t =
+  while not t.stopping do
+    match
+      let c = connect t in
+      (match Client.repl_hello c ~follower:t.name ~after:t.after_ with
+      | Ok (`Frames (head, _)) ->
+          t.head_ <- head;
+          t.err <- None
+      | Ok (`Reset (generation, base, ckpt)) ->
+          handle_reset t ~generation ~base ckpt
+      | Error msg ->
+          t.err <- Some msg;
+          Log.warn (fun m -> m "%s: primary refused hello: %s" t.name msg);
+          nap t 0.5);
+      publish_gauges t;
+      stream t c;
+      drop_conn t
+    with
+    | () -> ()
+    | exception Client.Disconnected reason ->
+        drop_conn t;
+        if not t.stopping then begin
+          t.err <- Some reason;
+          publish_gauges t;
+          Log.info (fun m ->
+              m "%s: stream to primary lost (%s); reconnecting" t.name reason);
+          nap t 0.1
+        end
+    | exception Unix.Unix_error (e, _, _) ->
+        drop_conn t;
+        if not t.stopping then begin
+          t.err <- Some (Unix.error_message e);
+          publish_gauges t;
+          nap t 0.2
+        end
+  done;
+  drop_conn t
+
+let start ?(pull_max = 512) ?(wait_ms = 200) ?fp_prefix ~name ~primary ~init
+    ~seed server =
+  let t =
+    {
+      server;
+      name;
+      primary;
+      init;
+      seed0 = seed;
+      pull_max = Stdlib.max 1 pull_max;
+      wait_ms = Stdlib.max 0 wait_ms;
+      fp_prefix;
+      conn = None;
+      after_ = Server.applied_seq server;
+      head_ = 0;
+      n_resets = 0;
+      n_reconnects = 0;
+      err = None;
+      stopping = false;
+      thread = None;
+    }
+  in
+  publish_gauges t;
+  t.thread <- Some (Thread.create run t);
+  t
+
+let stop t =
+  t.stopping <- true;
+  (match t.thread with Some th -> Thread.join th | None -> ());
+  t.thread <- None;
+  drop_conn t

@@ -1,0 +1,76 @@
+(** The follower half of WAL-streaming replication.
+
+    A follower is a read-only {!Rxv_server.Server} (role [`Replica])
+    whose state advances only by pulling the primary's committed WAL
+    records over the wire and re-applying them through the same replay
+    path recovery uses — so the follower's database is byte-equal to the
+    primary's committed (durable) prefix at every published point.
+
+    The state machine, driven by one background thread:
+
+    - {b hello} — register with the primary and learn its durable head;
+    - {b tail-stream} — [Repl_pull] batches of encoded group records
+      (each one committed update group), decode, concatenate, apply
+      under the server's exclusive side ({!Rxv_core.Base_update.apply}
+      repairs the view incrementally), adopt the last record's WalkSAT
+      seed, and publish a fresh MVCC snapshot gating reads up to the new
+      commit number;
+    - {b reset} — when the pull position predates the primary's horizon
+      (its WAL rotated), install the shipped checkpoint image in place
+      ({!Rxv_core.Engine.reset_from}) — or, before any checkpoint
+      exists, re-run the deterministic generation-0 publication — and
+      resume tailing from the image's base commit.
+
+    Each pull doubles as a progress acknowledgement, so the primary's
+    per-follower lag gauges need no separate ACK traffic. Transport
+    failures reconnect with the client's capped backoff; an apply
+    failure (divergence — a record that no longer re-applies) falls back
+    to a full re-initialization from commit 0, which the primary
+    answers with a checkpoint reset. *)
+
+module Server = Rxv_server.Server
+module Database = Rxv_relational.Database
+
+type t
+
+val start :
+  ?pull_max:int ->
+  ?wait_ms:int ->
+  ?fp_prefix:string ->
+  name:string ->
+  primary:Server.address ->
+  init:(unit -> Database.t) ->
+  seed:int ->
+  Server.t ->
+  t
+(** spawn the replication loop feeding [server] (which must run with
+    role [`Replica] and the {e same} ATG and generation-0 [init]/[seed]
+    as the primary — checkpoint installs verify the ATG name).
+
+    [pull_max] (default 512) records per pull; [wait_ms] (default 200)
+    long-poll when caught up — also bounds {!stop} latency. [fp_prefix]
+    routes the stream socket's I/O through {!Rxv_fault} sites
+    ([<prefix>.read]/[<prefix>.write]). [name] identifies this follower
+    in the primary's gauges. *)
+
+val after : t -> int
+(** last commit number applied and published *)
+
+val head_seen : t -> int
+(** the primary's durable head as of the last reply (0 before hello) *)
+
+val lag : t -> int
+(** [max 0 (head_seen - after)] *)
+
+val resets : t -> int
+(** checkpoint installs / re-initializations performed *)
+
+val reconnects : t -> int
+(** stream connections established over the follower's lifetime *)
+
+val last_error : t -> string option
+(** most recent stream error (cleared by the next successful pull) *)
+
+val stop : t -> unit
+(** signal the loop, join the thread, close the stream connection. The
+    server keeps serving (stale) reads; stop it separately. *)

@@ -7,6 +7,8 @@ exception Disconnected of string
 type t = {
   fd : Unix.file_descr;
   client_id : string;
+  fp_read : string option;  (* failpoint sites this connection's I/O *)
+  fp_write : string option;  (* passes through, e.g. "repl.read" *)
   mutable next_seq : int;
   mutable closed : bool;
 }
@@ -32,16 +34,19 @@ let backoff_delay attempt =
   let d = 0.002 *. (2. ** float_of_int (min attempt 6)) in
   min d 0.1
 
-let connect_with ~retries ~retryable ~mk client_id =
+let connect_with ~retries ~retryable ~mk ~fp_prefix client_id =
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
    with Invalid_argument _ -> ());
   let client_id =
     match client_id with Some id -> id | None -> fresh_id ()
   in
+  let fp suffix = Option.map (fun p -> p ^ suffix) fp_prefix in
   let rec go attempt =
     let fd, addr = mk () in
     match Unix.connect fd addr with
-    | () -> { fd; client_id; next_seq = 1; closed = false }
+    | () ->
+        { fd; client_id; fp_read = fp ".read"; fp_write = fp ".write";
+          next_seq = 1; closed = false }
     | exception Unix.Unix_error (e, fn, arg) when retryable e ->
         Unix.close fd;
         if attempt >= retries then raise (Unix.Unix_error (e, fn, arg))
@@ -59,19 +64,19 @@ let set_rcv_timeout fd = function
   | None -> ()
   | Some s -> Unix.setsockopt_float fd Unix.SO_RCVTIMEO s
 
-let connect ?(retries = 60) ?client_id ?rcv_timeout path =
+let connect ?(retries = 60) ?client_id ?rcv_timeout ?fp_prefix path =
   let t =
     connect_with ~retries ~retryable:(function
       | Unix.ENOENT | Unix.ECONNREFUSED -> true
       | _ -> false)
       ~mk:(fun () ->
         (Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0, Unix.ADDR_UNIX path))
-      client_id
+      ~fp_prefix client_id
   in
   set_rcv_timeout t.fd rcv_timeout;
   t
 
-let connect_tcp ?(retries = 60) ?client_id ?rcv_timeout host port =
+let connect_tcp ?(retries = 60) ?client_id ?rcv_timeout ?fp_prefix host port =
   let t =
     connect_with ~retries ~retryable:(function
       | Unix.ECONNREFUSED -> true
@@ -79,7 +84,7 @@ let connect_tcp ?(retries = 60) ?client_id ?rcv_timeout host port =
       ~mk:(fun () ->
         ( Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0,
           Unix.ADDR_INET (Unix.inet_addr_of_string host, port) ))
-      client_id
+      ~fp_prefix client_id
   in
   set_rcv_timeout t.fd rcv_timeout;
   t
@@ -95,11 +100,11 @@ let close t =
 
 let request t req =
   if t.closed then raise (Disconnected "connection closed");
-  (try Proto.send t.fd (Proto.encode_request req)
+  (try Proto.send ?fp:t.fp_write t.fd (Proto.encode_request req)
    with Unix.Unix_error (e, _, _) ->
      close t;
      raise (Disconnected (Unix.error_message e)));
-  match Proto.recv t.fd with
+  match Proto.recv ?fp:t.fp_read t.fd with
   | `Msg payload -> (
       match Proto.decode_response payload with
       | r -> r
@@ -154,6 +159,33 @@ let insert ?policy t ~etype ~attr ~into =
   update ?policy t [ Proto.Insert { etype; attr; path = into } ]
 
 let delete ?policy t path = update ?policy t [ Proto.Delete path ]
+
+let query_at t ~min_seq ~wait_ms src =
+  match request t (Proto.Query_at { path = src; min_seq; wait_ms }) with
+  | Proto.Selected { count; nodes } -> Ok (count, nodes)
+  | Proto.Unavailable m -> Error (`Behind m)
+  | Proto.Error m -> Error (`Err m)
+  | r -> Error (`Err (Fmt.str "unexpected reply: %a" Proto.pp_response r))
+
+(* ---- replication stream (follower side) ---- *)
+
+type repl_reply =
+  [ `Frames of int * string list  (** durable head, encoded records *)
+  | `Reset of int * int * string option
+    (** generation, base, checkpoint image *) ]
+
+let repl_reply = function
+  | Proto.Repl_frames { head; records; _ } -> Ok (`Frames (head, records))
+  | Proto.Repl_reset { generation; base; ckpt } ->
+      Ok (`Reset (generation, base, ckpt))
+  | Proto.Error m -> Error m
+  | r -> Error (Fmt.str "unexpected reply: %a" Proto.pp_response r)
+
+let repl_hello t ~follower ~after =
+  repl_reply (request t (Proto.Repl_hello { follower; after }))
+
+let repl_pull t ~follower ~after ~max ~wait_ms =
+  repl_reply (request t (Proto.Repl_pull { follower; after; max; wait_ms }))
 
 let stats t =
   match request t Proto.Stats with

@@ -18,16 +18,21 @@ val fresh_id : unit -> string
 (** generate a process-unique client identity (pid, counter, clock) *)
 
 val connect :
-  ?retries:int -> ?client_id:string -> ?rcv_timeout:float -> string -> t
+  ?retries:int -> ?client_id:string -> ?rcv_timeout:float ->
+  ?fp_prefix:string -> string -> t
 (** connect to a Unix-domain socket path, retrying with capped
     exponential backoff (2 ms doubling to 100 ms; default [retries] 60,
     ≈5 s total) while the path does not exist or refuses — covers the
     race against a server still starting up. [rcv_timeout] sets
     [SO_RCVTIMEO]: a reply slower than this surfaces as {!Disconnected}.
+    [fp_prefix] names the {!Rxv_fault} sites this connection's socket
+    I/O passes through ([<prefix>.read]/[<prefix>.write]) — e.g.
+    ["repl"] for a replication stream under fault injection.
     @raise Unix.Unix_error when retries are exhausted *)
 
 val connect_tcp :
-  ?retries:int -> ?client_id:string -> ?rcv_timeout:float -> string -> int -> t
+  ?retries:int -> ?client_id:string -> ?rcv_timeout:float ->
+  ?fp_prefix:string -> string -> int -> t
 (** like {!connect} for TCP; retries [ECONNREFUSED] with the same
     backoff *)
 
@@ -73,6 +78,36 @@ val insert : ?policy:Proto.policy -> t -> etype:string -> attr:Value.t array
 val delete : ?policy:Proto.policy -> t -> string ->
   [ `Applied of int * int | `Rejected of int * string | `Overloaded
   | `Unavailable of string | `Error of string ]
+
+val query_at :
+  t -> min_seq:int -> wait_ms:int -> string ->
+  ( int * (string * int) list,
+    [ `Behind of string | `Err of string ] ) result
+(** bounded-staleness read: answered only from a state covering commit
+    [min_seq]. [`Behind] — the replica could not catch up within
+    [wait_ms]; route the read to the primary (or another replica). *)
+
+(** {2 Replication stream (follower side)} *)
+
+type repl_reply =
+  [ `Frames of int * string list
+    (** primary's durable head, encoded WAL group records (decode with
+        {!Rxv_persist.Persist.decode_record}) *)
+  | `Reset of int * int * string option
+    (** generation, base commit, raw checkpoint image ([None]:
+        re-initialize from the deterministic initial publication) *) ]
+
+val repl_hello :
+  t -> follower:string -> after:int -> (repl_reply, string) result
+(** register with the primary and learn its durable head (an empty
+    [`Frames]) — or that [after] predates its horizon ([`Reset]) *)
+
+val repl_pull :
+  t -> follower:string -> after:int -> max:int -> wait_ms:int ->
+  (repl_reply, string) result
+(** pull up to [max] records for commits [after+1 ..]; long-polls up to
+    [wait_ms] when caught up. [Error] carries the primary's in-protocol
+    refusal (e.g. it has no durability directory). *)
 
 val stats : t -> (Proto.server_stats, string) result
 val checkpoint : t -> (int * int, string) result

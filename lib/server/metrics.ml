@@ -12,11 +12,13 @@ type hist = {
 type t = {
   m : Mutex.t;
   counters : (string, int ref) Hashtbl.t;
+  gauges : (string, int ref) Hashtbl.t;
   hists : (string, hist) Hashtbl.t;
 }
 
 let create () =
-  { m = Mutex.create (); counters = Hashtbl.create 16; hists = Hashtbl.create 8 }
+  { m = Mutex.create (); counters = Hashtbl.create 16;
+    gauges = Hashtbl.create 8; hists = Hashtbl.create 8 }
 
 let locked t f =
   Mutex.lock t.m;
@@ -33,6 +35,25 @@ let incr t name = add t name 1
 let counter t name =
   locked t (fun () ->
       match Hashtbl.find_opt t.counters name with Some r -> !r | None -> 0)
+
+(* Gauges: last-write-wins instantaneous values (replication lag,
+   connection state). Kept apart from the monotonic counters so a
+   repeated [set_gauge] is idempotent and a stale gauge can be dropped
+   wholesale. *)
+
+let set_gauge t name v =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.gauges name with
+      | Some r -> r := v
+      | None -> Hashtbl.replace t.gauges name (ref v))
+
+let clear_gauge t name = locked t (fun () -> Hashtbl.remove t.gauges name)
+
+let gauge t name =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.gauges name with
+      | Some r -> Some !r
+      | None -> None)
 
 (* index of the highest set bit, i.e. ⌊log2 us⌋; 0 for us <= 1 *)
 let bucket_of_us us =
@@ -103,6 +124,7 @@ let pp_summary ppf s =
 
 type snapshot = {
   counters : (string * int) list;
+  gauges : (string * int) list;
   latencies : summary list;
 }
 
@@ -111,6 +133,9 @@ let snapshot t =
       {
         counters =
           Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t.counters []
+          |> List.sort compare;
+        gauges =
+          Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t.gauges []
           |> List.sort compare;
         latencies =
           Hashtbl.fold (fun k h acc -> summarize k h :: acc) t.hists []

@@ -22,6 +22,18 @@ val add : t -> string -> int -> unit
 val counter : t -> string -> int
 (** current value; 0 for a counter never touched *)
 
+(** {2 Gauges}
+
+    Last-write-wins instantaneous values — replication lag, per-follower
+    connection state — kept apart from the monotonic counters so
+    repeated sets are idempotent and stale entries can be removed. *)
+
+val set_gauge : t -> string -> int -> unit
+val clear_gauge : t -> string -> unit
+
+val gauge : t -> string -> int option
+(** current value; [None] for a gauge never set (or cleared) *)
+
 (** {2 Latency histograms} *)
 
 val record : t -> string -> float -> unit
@@ -45,6 +57,7 @@ val pp_summary : Format.formatter -> summary -> unit
 
 type snapshot = {
   counters : (string * int) list;  (** sorted by name *)
+  gauges : (string * int) list;  (** sorted by name *)
   latencies : summary list;  (** sorted by kind *)
 }
 

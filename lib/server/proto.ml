@@ -17,6 +17,9 @@ type request =
   | Stats
   | Checkpoint
   | Shutdown
+  | Repl_hello of { follower : string; after : int }
+  | Repl_pull of { follower : string; after : int; max : int; wait_ms : int }
+  | Query_at of { path : string; min_seq : int; wait_ms : int }
 
 type server_stats = {
   st_nodes : int;
@@ -28,6 +31,7 @@ type server_stats = {
   st_wal_records : int option;
   st_health : string;
   st_counters : (string * int) list;
+  st_gauges : (string * int) list;
   st_latencies : Metrics.summary list;
 }
 
@@ -42,6 +46,8 @@ type response =
   | Bye
   | Error of string
   | Unavailable of string
+  | Repl_frames of { after : int; head : int; records : string list }
+  | Repl_reset of { generation : int; base : int; ckpt : string option }
 
 let pp_op ppf = function
   | Delete p -> Fmt.pf ppf "delete %s" p
@@ -61,6 +67,13 @@ let pp_request ppf = function
   | Stats -> Fmt.string ppf "stats"
   | Checkpoint -> Fmt.string ppf "checkpoint"
   | Shutdown -> Fmt.string ppf "shutdown"
+  | Repl_hello { follower; after } ->
+      Fmt.pf ppf "repl-hello %s after=%d" follower after
+  | Repl_pull { follower; after; max; wait_ms } ->
+      Fmt.pf ppf "repl-pull %s after=%d max=%d wait=%dms" follower after max
+        wait_ms
+  | Query_at { path; min_seq; wait_ms } ->
+      Fmt.pf ppf "query@%d %s (wait=%dms)" min_seq path wait_ms
 
 let pp_response ppf = function
   | Pong -> Fmt.string ppf "pong"
@@ -77,6 +90,14 @@ let pp_response ppf = function
   | Bye -> Fmt.string ppf "bye"
   | Error m -> Fmt.pf ppf "error: %s" m
   | Unavailable m -> Fmt.pf ppf "unavailable: %s" m
+  | Repl_frames { after; head; records } ->
+      Fmt.pf ppf "repl-frames after=%d head=%d (%d records)" after head
+        (List.length records)
+  | Repl_reset { generation; base; ckpt } ->
+      Fmt.pf ppf "repl-reset gen=%d base=%d (%s)" generation base
+        (match ckpt with
+        | Some c -> Printf.sprintf "%d-byte checkpoint" (String.length c)
+        | None -> "fresh init")
 
 (* ---- payload codec ---- *)
 
@@ -125,7 +146,22 @@ let encode_request r =
       Codec.list_ enc_op b ops
   | Stats -> Codec.u8 b 3
   | Checkpoint -> Codec.u8 b 4
-  | Shutdown -> Codec.u8 b 5);
+  | Shutdown -> Codec.u8 b 5
+  | Repl_hello { follower; after } ->
+      Codec.u8 b 6;
+      Codec.bytes_ b follower;
+      Codec.varint b after
+  | Repl_pull { follower; after; max; wait_ms } ->
+      Codec.u8 b 7;
+      Codec.bytes_ b follower;
+      Codec.varint b after;
+      Codec.varint b max;
+      Codec.varint b wait_ms
+  | Query_at { path; min_seq; wait_ms } ->
+      Codec.u8 b 8;
+      Codec.bytes_ b path;
+      Codec.varint b min_seq;
+      Codec.varint b wait_ms);
   Buffer.contents b
 
 let check_end c =
@@ -146,6 +182,21 @@ let decode_request s =
     | 3 -> Stats
     | 4 -> Checkpoint
     | 5 -> Shutdown
+    | 6 ->
+        let follower = Codec.get_bytes c in
+        let after = Codec.get_varint c in
+        Repl_hello { follower; after }
+    | 7 ->
+        let follower = Codec.get_bytes c in
+        let after = Codec.get_varint c in
+        let max = Codec.get_varint c in
+        let wait_ms = Codec.get_varint c in
+        Repl_pull { follower; after; max; wait_ms }
+    | 8 ->
+        let path = Codec.get_bytes c in
+        let min_seq = Codec.get_varint c in
+        let wait_ms = Codec.get_varint c in
+        Query_at { path; min_seq; wait_ms }
     | n -> raise (Codec.Error (Printf.sprintf "bad request tag %d" n))
   in
   check_end c;
@@ -217,6 +268,7 @@ let encode_response r =
       Codec.option_ Codec.varint b st.st_wal_records;
       Codec.bytes_ b st.st_health;
       Codec.list_ enc_counter b st.st_counters;
+      Codec.list_ enc_counter b st.st_gauges;
       Codec.list_ enc_summary b st.st_latencies
   | Checkpointed { generation; bytes } ->
       Codec.u8 b 6;
@@ -228,7 +280,17 @@ let encode_response r =
       Codec.bytes_ b m
   | Unavailable m ->
       Codec.u8 b 9;
-      Codec.bytes_ b m);
+      Codec.bytes_ b m
+  | Repl_frames { after; head; records } ->
+      Codec.u8 b 10;
+      Codec.varint b after;
+      Codec.varint b head;
+      Codec.list_ Codec.bytes_ b records
+  | Repl_reset { generation; base; ckpt } ->
+      Codec.u8 b 11;
+      Codec.varint b generation;
+      Codec.varint b base;
+      Codec.option_ Codec.bytes_ b ckpt);
   Buffer.contents b
 
 let decode_response s =
@@ -260,11 +322,12 @@ let decode_response s =
         let st_wal_records = Codec.get_option Codec.get_varint c in
         let st_health = Codec.get_bytes c in
         let st_counters = Codec.get_list dec_counter c in
+        let st_gauges = Codec.get_list dec_counter c in
         let st_latencies = Codec.get_list dec_summary c in
         Stats_reply
           { st_nodes; st_edges; st_m_size; st_l_size; st_occurrences;
             st_generation; st_wal_records; st_health; st_counters;
-            st_latencies }
+            st_gauges; st_latencies }
     | 6 ->
         let generation = Codec.get_varint c in
         let bytes = Codec.get_varint c in
@@ -272,6 +335,16 @@ let decode_response s =
     | 7 -> Bye
     | 8 -> Error (Codec.get_bytes c)
     | 9 -> Unavailable (Codec.get_bytes c)
+    | 10 ->
+        let after = Codec.get_varint c in
+        let head = Codec.get_varint c in
+        let records = Codec.get_list Codec.get_bytes c in
+        Repl_frames { after; head; records }
+    | 11 ->
+        let generation = Codec.get_varint c in
+        let base = Codec.get_varint c in
+        let ckpt = Codec.get_option Codec.get_bytes c in
+        Repl_reset { generation; base; ckpt }
     | n -> raise (Codec.Error (Printf.sprintf "bad response tag %d" n))
   in
   check_end c;

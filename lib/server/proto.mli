@@ -34,6 +34,24 @@ type request =
   | Stats
   | Checkpoint
   | Shutdown
+  | Repl_hello of { follower : string; after : int }
+      (** a follower introduces itself: [follower] is its name (for the
+          primary's lag registry) and [after] the last commit number it
+          has applied. Answered with an empty {!Repl_frames} (telling the
+          follower the primary's durable head) or a {!Repl_reset} when
+          the position predates what the primary can still stream. *)
+  | Repl_pull of { follower : string; after : int; max : int; wait_ms : int }
+      (** stream request: up to [max] committed group records for commit
+          numbers [after+1 ..]. When the follower is caught up the
+          primary parks the request for up to [wait_ms] before answering
+          an empty {!Repl_frames} — long-polling, so a steady state
+          stream needs no extra channel. Each pull doubles as the
+          follower's progress acknowledgement. *)
+  | Query_at of { path : string; min_seq : int; wait_ms : int }
+      (** bounded-staleness read: answer only from a state that includes
+          commit [min_seq], waiting up to [wait_ms] for it; otherwise
+          reply [Unavailable] so the client can redirect to the
+          primary. [min_seq = 0] is a plain query. *)
 
 type server_stats = {
   st_nodes : int;
@@ -50,6 +68,9 @@ type server_stats = {
       (** ["ok"], or ["degraded: <reason>"] while the server is in
           read-only mode after a durability failure *)
   st_counters : (string * int) list;
+  st_gauges : (string * int) list;
+      (** instantaneous values: replication positions, per-follower lag
+          and connection state (see {!Metrics.set_gauge}) *)
   st_latencies : Metrics.summary list;
 }
 
@@ -73,6 +94,20 @@ type response =
           read-only mode, or the sync for this batch failed); the update
           was {e not} acknowledged and is safe to retry — with the same
           [req_seq] — once the server recovers *)
+  | Repl_frames of { after : int; head : int; records : string list }
+      (** answer to {!Repl_hello}/{!Repl_pull}: the encoded WAL group
+          records for commits [after+1 .. after+|records|] — byte-equal
+          to what the primary logged, decoded with
+          {!Rxv_persist.Persist.decode_record} — plus [head], the
+          primary's durable commit watermark (records beyond the last
+          fsync are never streamed). [records = []] with [head > after]
+          means "pull again"; with [head = after], "caught up". *)
+  | Repl_reset of { generation : int; base : int; ckpt : string option }
+      (** the follower's position predates the primary's stream horizon:
+          reinstall from [ckpt] (the raw checkpoint image of
+          [generation], whose WAL starts at commit [base]) — or, when
+          [ckpt = None] (generation 0), from the deterministic initial
+          publication — then pull again from [base]. *)
 
 val pp_request : Format.formatter -> request -> unit
 val pp_response : Format.formatter -> response -> unit

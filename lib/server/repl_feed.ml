@@ -1,0 +1,169 @@
+(** The primary's replication feed: an in-memory window over the durable
+    record stream, plus the per-follower progress registry.
+
+    One entry per committed group, numbered by commit sequence (the
+    batcher's [seq] — one committed group is exactly one WAL record, so
+    record counting and commit numbering coincide, see
+    {!Rxv_persist.Persist.recovered_last_commit}). The window holds the
+    most recent [cap] encoded payloads; followers inside it are served
+    from memory, followers between the current generation's base and the
+    window are served from the WAL file on disk, and followers older
+    than the generation base get a checkpoint reset. Nothing beyond
+    [head] — the durable watermark, advanced after each WAL sync — is
+    ever served: a follower must never apply a record the primary could
+    still lose. *)
+
+type follower = {
+  mutable f_after : int;  (** last commit number the follower reported *)
+  mutable f_last_seen : float;
+  mutable f_pulls : int;
+  mutable f_resets : int;
+}
+
+type t = {
+  m : Mutex.t;
+  cap : int;
+  mutable generation : int;
+  mutable gen_base : int;  (** commit number at the generation's start *)
+  mutable buf_base : int;  (** commit number of the first buffered record *)
+  buf : string Queue.t;  (** encoded group payloads, oldest first *)
+  mutable seq : int;  (** last appended commit number *)
+  mutable head : int;  (** durable watermark: last fsynced commit *)
+  mutable stopping : bool;
+  followers : (string, follower) Hashtbl.t;
+}
+
+let create ?(cap = 1024) ~generation ~base ~last () =
+  {
+    m = Mutex.create ();
+    cap = max 1 cap;
+    generation;
+    gen_base = base;
+    buf_base = last;
+    buf = Queue.create ();
+    seq = last;
+    head = last;
+    stopping = false;
+    followers = Hashtbl.create 8;
+  }
+
+let locked t f =
+  Mutex.lock t.m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.m) f
+
+let append t payload =
+  locked t (fun () ->
+      t.seq <- t.seq + 1;
+      Queue.push payload t.buf;
+      if Queue.length t.buf > t.cap then begin
+        ignore (Queue.pop t.buf);
+        t.buf_base <- t.buf_base + 1
+      end)
+
+(* checkpoint rotation: the superseded WAL (synced by the rotation
+   itself) is gone from disk, so everything appended so far is durable;
+   buffered records stay servable from memory even though they now
+   predate the generation base *)
+let rotate t ~generation ~base =
+  locked t (fun () ->
+      t.generation <- generation;
+      t.gen_base <- base;
+      t.head <- t.seq)
+
+let durable t = locked t (fun () -> t.head <- t.seq)
+let stop t = locked t (fun () -> t.stopping <- true)
+let head t = locked t (fun () -> t.head)
+let seq t = locked t (fun () -> t.seq)
+
+let note t ~follower ~after =
+  match Hashtbl.find_opt t.followers follower with
+  | Some f ->
+      f.f_after <- after;
+      f.f_last_seen <- Unix.gettimeofday ();
+      f.f_pulls <- f.f_pulls + 1;
+      f
+  | None ->
+      let f =
+        { f_after = after; f_last_seen = Unix.gettimeofday (); f_pulls = 1;
+          f_resets = 0 }
+      in
+      Hashtbl.replace t.followers follower f;
+      f
+
+(* slice [n] buffered records starting [skip] records into the window *)
+let slice t ~skip ~n =
+  let i = ref 0 and out = ref [] in
+  Queue.iter
+    (fun p ->
+      if !i >= skip && !i < skip + n then out := p :: !out;
+      incr i)
+    t.buf;
+  List.rev !out
+
+let poll_interval = 0.002
+
+let pull t ~follower ~after ~max:max_n ~wait_ms =
+  let deadline = Unix.gettimeofday () +. (float_of_int wait_ms /. 1000.) in
+  let rec attempt () =
+    let verdict =
+      locked t (fun () ->
+          let f = note t ~follower ~after in
+          if t.stopping then `Frames (t.head, [])
+          else if after < t.gen_base && after < t.buf_base then begin
+            f.f_resets <- f.f_resets + 1;
+            `Reset
+          end
+          else if after < t.buf_base then
+            (* between the generation base and the memory window: serve
+               from the WAL file, capped at the durable watermark *)
+            if t.head > after then `Disk (min max_n (t.head - after))
+            else `Wait
+          else begin
+            let avail = t.head - after in
+            if avail <= 0 then `Wait
+            else
+              let n = min max_n avail in
+              `Frames (t.head, slice t ~skip:(after - t.buf_base) ~n)
+          end)
+    in
+    match verdict with
+    | `Wait when wait_ms > 0 && Unix.gettimeofday () < deadline ->
+        (* no timed condition wait in the stdlib threads library: a
+           short-interval poll bounds added latency at ~2ms without
+           holding the feed lock across the wait *)
+        Thread.delay poll_interval;
+        attempt ()
+    | `Wait -> `Frames (locked t (fun () -> t.head), [])
+    | (`Frames _ | `Reset | `Disk _) as v -> v
+  in
+  attempt ()
+
+type follower_stats = {
+  fs_name : string;
+  fs_after : int;
+  fs_lag : int;
+  fs_connected : bool;
+  fs_pulls : int;
+  fs_resets : int;
+}
+
+(* a follower long-polls at least once per [wait_ms] (default well under
+   a second), so a few seconds of silence means the connection is gone *)
+let connected_window = 3.0
+
+let followers t =
+  let now = Unix.gettimeofday () in
+  locked t (fun () ->
+      Hashtbl.fold
+        (fun name f acc ->
+          {
+            fs_name = name;
+            fs_after = f.f_after;
+            fs_lag = max 0 (t.seq - f.f_after);
+            fs_connected = now -. f.f_last_seen < connected_window;
+            fs_pulls = f.f_pulls;
+            fs_resets = f.f_resets;
+          }
+          :: acc)
+        t.followers []
+      |> List.sort compare)

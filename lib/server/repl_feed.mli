@@ -1,0 +1,68 @@
+(** The primary's replication feed: a bounded in-memory window over the
+    durable WAL record stream, the durable watermark, and the
+    per-follower progress registry.
+
+    Commit numbering is the batcher's sequence: one committed group is
+    one WAL record is one feed entry. A puller inside the window is
+    served from memory; between the current generation's base and the
+    window, from the WAL file (the caller performs the disk read);
+    before the generation base, it needs a checkpoint reset. Records
+    past [head] — the last WAL sync — are never served, so a follower
+    cannot apply state the primary could still lose. *)
+
+type t
+
+val create : ?cap:int -> generation:int -> base:int -> last:int -> unit -> t
+(** [cap] (default 1024) bounds the in-memory window. [generation]/
+    [base] describe the current WAL generation ({!Rxv_persist.Persist.generation},
+    [recovered_base]); [last] is the recovered last commit number — the
+    stream starts there, with an empty window (older records are on
+    disk). *)
+
+val append : t -> string -> unit
+(** one committed group's encoded record payload, in commit order — the
+    {!Rxv_persist.Persist.tap} [on_group] hook. Not yet servable: the
+    record becomes visible to pullers at the next {!durable}. *)
+
+val rotate : t -> generation:int -> base:int -> unit
+(** checkpoint rotation — the [on_rotate] hook. Everything appended so
+    far became durable (rotation syncs the old WAL before deleting it),
+    so the watermark advances; buffered records stay servable from
+    memory even though they predate the new generation. *)
+
+val durable : t -> unit
+(** advance the watermark to the last appended record — call after every
+    successful WAL sync *)
+
+val stop : t -> unit
+(** unblock current and future long-polls (they answer empty) *)
+
+val head : t -> int
+val seq : t -> int
+
+val pull :
+  t ->
+  follower:string ->
+  after:int ->
+  max:int ->
+  wait_ms:int ->
+  [ `Frames of int * string list | `Reset | `Disk of int ]
+(** serve one follower pull, recording its progress ([after]) in the
+    registry. [`Frames (head, records)] — records for commits [after+1
+    ..], possibly empty (caught up; an empty answer is returned after
+    long-polling up to [wait_ms] for new durable records). [`Disk n] —
+    the caller must read up to [n] records from the current WAL file
+    ({!Rxv_persist.Persist.read_group_tail}). [`Reset] — the position
+    predates the generation base: ship the checkpoint. *)
+
+type follower_stats = {
+  fs_name : string;
+  fs_after : int;  (** last reported position *)
+  fs_lag : int;  (** primary seq minus position *)
+  fs_connected : bool;  (** pulled within the last few seconds *)
+  fs_pulls : int;
+  fs_resets : int;  (** checkpoint resets served *)
+}
+
+val followers : t -> follower_stats list
+(** registry snapshot, sorted by name *)

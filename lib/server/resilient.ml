@@ -135,3 +135,86 @@ let stats t =
       match Client.stats c with
       | Ok _ as r -> `Done r
       | Error _ as r -> `Done r)
+
+let query_at t ~min_seq ~wait_ms src =
+  with_retries t
+    ~give_up:(fun last ->
+      Error (`Err (Printf.sprintf "retries exhausted (%s)" last)))
+    (fun c ->
+      match Client.query_at c ~min_seq ~wait_ms src with
+      | Ok _ as r -> `Done r
+      (* [`Behind] is definitive FOR THIS SERVER — retrying the same
+         lagging replica would just burn the wait budget again; the
+         router redirects instead *)
+      | Error (`Behind _) as r -> `Done r
+      | Error (`Err _) as r -> `Done r)
+
+module Router = struct
+  type conn = t
+
+  type nonrec t = {
+    primary : conn;
+    replicas : conn array;
+    wait_ms : int;
+    mutable pin : int;
+    mutable rr : int;
+    mutable n_replica : int;
+    mutable n_primary : int;
+    mutable n_redirects : int;
+  }
+
+  let create ?client_id ?timeout ?max_attempts ?(seed = 0) ?(wait_ms = 200)
+      ~primary replicas =
+    let mk i target =
+      create ?client_id ?timeout ?max_attempts ~seed:(seed + i) target
+    in
+    {
+      primary = mk 0 primary;
+      replicas = Array.of_list (List.mapi (fun i r -> mk (i + 1) r) replicas);
+      wait_ms;
+      pin = 0;
+      rr = 0;
+      n_replica = 0;
+      n_primary = 0;
+      n_redirects = 0;
+    }
+
+  let pin t = t.pin
+  let reads_replica t = t.n_replica
+  let reads_primary t = t.n_primary
+  let redirects t = t.n_redirects
+
+  let update ?policy t ops =
+    let r = update ?policy t.primary ops in
+    (* read-your-writes: every later routed read must cover this commit *)
+    (match r with
+    | `Applied (seq, _) -> if seq > t.pin then t.pin <- seq
+    | `Rejected _ | `Error _ -> ());
+    r
+
+  let query t src =
+    let n = Array.length t.replicas in
+    let rec go k =
+      if k >= n then begin
+        (* every replica was behind (or errored): the primary's published
+           snapshot always covers its own commits, so it is never stale *)
+        if n > 0 then t.n_redirects <- t.n_redirects + 1;
+        t.n_primary <- t.n_primary + 1;
+        query t.primary src
+      end
+      else begin
+        let i = (t.rr + k) mod n in
+        match query_at t.replicas.(i) ~min_seq:t.pin ~wait_ms:t.wait_ms src with
+        | Ok _ as r ->
+            t.rr <- (i + 1) mod n;
+            t.n_replica <- t.n_replica + 1;
+            r
+        | Error (`Behind _) | Error (`Err _) -> go (k + 1)
+      end
+    in
+    go 0
+
+  let close t =
+    close t.primary;
+    Array.iter close t.replicas
+end

@@ -48,6 +48,66 @@ val update :
 val query : t -> string -> (int * (string * int) list, string) result
 val stats : t -> (Proto.server_stats, string) result
 
+val query_at :
+  t -> min_seq:int -> wait_ms:int -> string ->
+  ( int * (string * int) list,
+    [ `Behind of string | `Err of string ] ) result
+(** like {!Client.query_at} with reconnect-and-retry for transport
+    failures only; [`Behind] (the server cannot cover commit [min_seq]
+    within [wait_ms]) is definitive for this server and is NOT retried
+    here — redirect to another replica or the primary (see {!Router}) *)
+
+(** Topology-aware routing: writes to the primary, reads fanned across
+    read-only replicas with bounded staleness.
+
+    The router keeps a {e pin} — the highest commit number any of its
+    own updates was acknowledged at — and asks every routed read to
+    cover it ({!Client.query_at}), so a client always reads its own
+    writes. A replica that cannot catch up within [wait_ms] answers
+    [`Behind] and the read moves on round-robin, falling back to the
+    primary (whose published snapshot always covers its own commits). *)
+module Router : sig
+  type t
+
+  val create :
+    ?client_id:string ->
+    ?timeout:float ->
+    ?max_attempts:int ->
+    ?seed:int ->
+    ?wait_ms:int ->
+    primary:target ->
+    target list ->
+    t
+  (** [create ~primary replicas]. [wait_ms] (default 200) is how long a
+      lagging replica may block catching up to the pin before the read
+      is redirected. Other options as {!create}, applied to every
+      underlying connection. *)
+
+  val update :
+    ?policy:Proto.policy ->
+    t ->
+    Proto.op list ->
+    [ `Applied of int * int
+    | `Rejected of int * string
+    | `Error of string ]
+  (** exactly-once to the primary; on [`Applied] advances the pin *)
+
+  val query : t -> string -> (int * (string * int) list, string) result
+  (** round-robin across replicas at the current pin, primary fallback *)
+
+  val pin : t -> int
+  (** the commit number every routed read is guaranteed to cover *)
+
+  val reads_replica : t -> int
+  val reads_primary : t -> int
+
+  val redirects : t -> int
+  (** reads where every replica was behind/unreachable and the primary
+      answered *)
+
+  val close : t -> unit
+end
+
 val reconnects : t -> int
 (** connections established over this client's lifetime *)
 

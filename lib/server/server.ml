@@ -18,6 +18,7 @@ module Log = (val Logs.src_log src : Logs.LOG)
 type address = Unix_sock of string | Tcp of string * int
 
 type read_mode = [ `Locked | `Snapshot ]
+type role = [ `Primary | `Replica ]
 
 type config = {
   queue_cap : int;
@@ -26,11 +27,16 @@ type config = {
   probe_interval : float;
   max_sessions : int;
   read_mode : read_mode;
+  role : role;
 }
 
 let default_config =
   { queue_cap = 128; batch_cap = 64; max_listed = 32; probe_interval = 0.25;
-    max_sessions = 1024; read_mode = `Snapshot }
+    max_sessions = 1024; read_mode = `Snapshot; role = `Primary }
+
+(* bound on records per Repl_frames reply, whatever the puller asks
+   for: keeps one reply's memory and frame size proportionate *)
+let max_pull_records = 4096
 
 type health = [ `Ok | `Degraded of string ]
 
@@ -62,6 +68,14 @@ type t = {
       (* the latest committed MVCC snapshot; replaced by the batcher at
          the end of every write batch (a single pointer store), read by
          query/stats handlers without touching the rwlock *)
+  mutable applied_seq : int;
+      (* commit number the published snapshot covers: the read gate for
+         Query_at. On a primary the batcher advances it at publish; on a
+         replica the follower loop does, through publish_applied. *)
+  feed : Repl_feed.t option;
+      (* the replication feed — present iff the server persists (the
+         WAL is the stream's unit of truth; a volatile server has
+         nothing durable to replicate) *)
 }
 
 let engine t = t.eng
@@ -69,6 +83,21 @@ let metrics t = t.mtr
 let address t = t.addr
 let batcher t = t.batcher
 let dedup t = t.dedup
+let feed t = t.feed
+let applied_seq t = t.applied_seq
+
+(* the follower's apply path: run [f] holding the engine's exclusive
+   side — exactly the section the batcher applies batches under *)
+let exclusive t f = Rwlock.with_write t.lock f
+
+(* the follower's publish path: freeze the state just applied and open
+   the read gate up to [seq] — the replica-side mirror of the batcher's
+   per-batch publish. Call outside the exclusive section, with no frame
+   open. *)
+let publish_applied t ~seq =
+  t.published <- Engine.Snapshot.capture t.eng;
+  t.applied_seq <- seq;
+  Metrics.incr t.mtr "snapshots_published"
 
 let health t =
   Mutex.lock t.m;
@@ -123,6 +152,7 @@ let check_health t =
                 Mutex.lock t.m;
                 t.health <- `Ok;
                 Mutex.unlock t.m;
+                Option.iter Repl_feed.durable t.feed;
                 Metrics.incr t.mtr "degraded_exits";
                 Log.info (fun m -> m "durability restored, accepting writes");
                 `Ok
@@ -187,6 +217,12 @@ let handle_query t src =
               selected_of t (Engine.query t.eng path)))
 
 let handle_update t ~client ~req_seq ~policy ops =
+  if t.cfg.role = `Replica then
+    (* a definitive refusal, not a retryable Unavailable: retrying here
+       can never succeed — the client must route the write to the
+       primary *)
+    Proto.Error "read-only replica: send updates to the primary"
+  else
   match check_health t with
   | `Degraded reason ->
       Metrics.incr t.mtr "unavailable";
@@ -215,7 +251,31 @@ let handle_update t ~client ~req_seq ~policy ops =
               Metrics.incr t.mtr "unavailable";
               Proto.Unavailable msg))
 
+(* refresh the replication gauges just before a stats snapshot: the
+   stream positions and per-follower lag/connection state, next to the
+   latency histograms (ROADMAP: observable replication). Follower-side
+   gauges (repl_after, repl_lag, …) are set by the follower loop. *)
+let refresh_repl_gauges t =
+  match t.feed with
+  | None -> ()
+  | Some feed ->
+      Metrics.set_gauge t.mtr "repl_seq" (Repl_feed.seq feed);
+      Metrics.set_gauge t.mtr "repl_head" (Repl_feed.head feed);
+      List.iter
+        (fun fs ->
+          let g suffix v =
+            Metrics.set_gauge t.mtr
+              ("repl_follower_" ^ fs.Repl_feed.fs_name ^ "_" ^ suffix)
+              v
+          in
+          g "after" fs.Repl_feed.fs_after;
+          g "lag" fs.Repl_feed.fs_lag;
+          g "connected" (if fs.Repl_feed.fs_connected then 1 else 0);
+          g "resets" fs.Repl_feed.fs_resets)
+        (Repl_feed.followers feed)
+
 let stats_reply t (st : Engine.stats) ~generation =
+  refresh_repl_gauges t;
   let snap = Metrics.snapshot t.mtr in
   Proto.Stats_reply
     {
@@ -242,6 +302,7 @@ let stats_reply t (st : Engine.stats) ~generation =
             ("snapshot_reads", Atomic.get t.eng.Engine.snapshot_reads);
             ("lock_read_acquisitions", Rwlock.read_acquisitions t.lock);
           ];
+      st_gauges = snap.Metrics.gauges;
       st_latencies = snap.Metrics.latencies;
     }
 
@@ -291,6 +352,71 @@ let handle_checkpoint t =
           degrade t ("checkpoint failed: " ^ msg);
           Proto.Error ("checkpoint failed: " ^ msg))
 
+(* ---- replication stream (primary side) ---- *)
+
+(* ship the current checkpoint image. Under the sync mutex: checkpoint
+   rotation (which deletes superseded images) holds it too, so the file
+   we read is never unlinked mid-read. *)
+let reset_reply t p =
+  Mutex.lock t.sync_m;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.sync_m)
+    (fun () ->
+      Metrics.incr t.mtr "repl_resets_served";
+      match Persist.checkpoint_blob p with
+      | Some (generation, base, bytes) ->
+          Proto.Repl_reset { generation; base; ckpt = Some bytes }
+      | None ->
+          (* generation 0: no image exists — the follower re-initializes
+             from the deterministic initial publication and replays from
+             commit 0 *)
+          Proto.Repl_reset { generation = 0; base = 0; ckpt = None }
+      | exception (Sys_error msg | Failure msg) ->
+          Proto.Error ("checkpoint unreadable: " ^ msg))
+
+let handle_pull t ~follower ~after ~max:max_n ~wait_ms =
+  match (t.feed, t.persist) with
+  | None, _ | _, None ->
+      Proto.Error "replication unavailable: server has no durability directory"
+  | Some feed, Some p -> (
+      let max_n = min (max 0 max_n) max_pull_records in
+      match Repl_feed.pull feed ~follower ~after ~max:max_n ~wait_ms with
+      | `Frames (head, records) ->
+          Metrics.add t.mtr "repl_records_streamed" (List.length records);
+          Proto.Repl_frames { after; head; records }
+      | `Reset -> reset_reply t p
+      | `Disk n -> (
+          match Persist.read_group_tail p ~after ~max:n with
+          | Ok records ->
+              Metrics.add t.mtr "repl_records_streamed" (List.length records);
+              Metrics.incr t.mtr "repl_disk_reads";
+              Proto.Repl_frames { after; head = Repl_feed.head feed; records }
+          | Error (`Reset _) ->
+              (* rotation raced the pull; the checkpoint is newer anyway *)
+              reset_reply t p))
+
+(* bounded-staleness read: wait (poll, like the feed's long-poll) until
+   the published snapshot covers [min_seq], then answer from it *)
+let handle_query_at t ~path ~min_seq ~wait_ms =
+  let deadline = Unix.gettimeofday () +. (float_of_int wait_ms /. 1000.) in
+  let rec await () =
+    if t.applied_seq >= min_seq then handle_query t path
+    else begin
+      let stop = Mutex.lock t.m; let s = t.stopping in Mutex.unlock t.m; s in
+      if stop || Unix.gettimeofday () >= deadline then begin
+        Metrics.incr t.mtr "stale_read_redirects";
+        Proto.Unavailable
+          (Printf.sprintf "replica behind: have commit %d, need %d"
+             t.applied_seq min_seq)
+      end
+      else begin
+        Thread.delay 0.002;
+        await ()
+      end
+    end
+  in
+  await ()
+
 let kind_of_request = function
   | Proto.Ping -> "ping"
   | Proto.Query _ -> "query"
@@ -298,6 +424,9 @@ let kind_of_request = function
   | Proto.Stats -> "stats"
   | Proto.Checkpoint -> "checkpoint"
   | Proto.Shutdown -> "shutdown"
+  | Proto.Repl_hello _ -> "repl_hello"
+  | Proto.Repl_pull _ -> "repl_pull"
+  | Proto.Query_at _ -> "query_at"
 
 (* serve one connection until EOF, corruption, socket death, or
    shutdown. Any I/O failure here — EPIPE from a vanished peer,
@@ -345,6 +474,13 @@ let handler t fd conn_id =
               | Proto.Stats -> handle_stats t
               | Proto.Checkpoint -> handle_checkpoint t
               | Proto.Shutdown -> Proto.Bye
+              | Proto.Repl_hello { follower; after } ->
+                  (* registration + head probe: a zero-record pull *)
+                  handle_pull t ~follower ~after ~max:0 ~wait_ms:0
+              | Proto.Repl_pull { follower; after; max; wait_ms } ->
+                  handle_pull t ~follower ~after ~max ~wait_ms
+              | Proto.Query_at { path; min_seq; wait_ms } ->
+                  handle_query_at t ~path ~min_seq ~wait_ms
             in
             Metrics.record t.mtr (kind_of_request req)
               (Unix.gettimeofday () -. t0);
@@ -433,6 +569,28 @@ let start ?(config = default_config) ?persist addr eng =
   (match persist with
   | Some p -> Persist.attach ~deferred_sync:true p eng
   | None -> ());
+  (* the replication feed shadows the WAL: the persist tap appends each
+     committed record (inside the batcher's exclusive section, so in
+     commit order), and every successful sync advances the durable
+     watermark pullers are allowed to see *)
+  let feed =
+    match persist with
+    | Some p ->
+        let f =
+          Repl_feed.create ~generation:(Persist.generation p)
+            ~base:(Persist.recovered_base p)
+            ~last:(Persist.recovered_last_commit p) ()
+        in
+        Persist.set_tap p
+          (Some
+             {
+               Persist.on_group = Repl_feed.append f;
+               on_rotate =
+                 (fun ~generation ~base -> Repl_feed.rotate f ~generation ~base);
+             });
+        Some f
+    | None -> None
+  in
   let sync =
     match persist with
     | Some p ->
@@ -441,7 +599,8 @@ let start ?(config = default_config) ?persist addr eng =
           Fun.protect
             ~finally:(fun () -> Mutex.unlock sync_m)
             (fun () -> Persist.sync p);
-          Metrics.incr mtr "wal_syncs"
+          Metrics.incr mtr "wal_syncs";
+          Option.iter Repl_feed.durable feed
     | None -> fun () -> ()
   in
   (* the server's dedup table and commit counter continue where the WAL
@@ -492,12 +651,17 @@ let start ?(config = default_config) ?persist addr eng =
       conn_ids = 0;
       accept_thread = None;
       published = Engine.Snapshot.capture eng;
+      applied_seq = initial_seq;
+      feed;
     }
   in
   degrade_cell := degrade t;
   publish_cell :=
     (fun () ->
       t.published <- Engine.Snapshot.capture eng;
+      (* runs inside the batch's exclusive section: the batcher's seq is
+         exactly the last commit the fresh snapshot covers *)
+      t.applied_seq <- Batcher.seq t.batcher;
       Metrics.incr mtr "snapshots_published");
   t.accept_thread <- Some (Thread.create accept_loop t);
   Log.info (fun m ->
@@ -520,6 +684,8 @@ let wait t =
       Thread.join th;
       t.accept_thread <- None
   | None -> ());
+  (* unpark handlers long-polling the feed or a Query_at gate *)
+  Option.iter Repl_feed.stop t.feed;
   (* wake handlers blocked in read: shutdown (not close) interrupts a
      blocked reader with EOF on every platform we target *)
   Mutex.lock t.m;

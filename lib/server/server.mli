@@ -47,6 +47,13 @@ type read_mode =
         exclusive section, and the writer never waits behind a long
         read *) ]
 
+type role =
+  [ `Primary  (** accepts updates; streams its WAL to pulling followers *)
+  | `Replica
+    (** read-only: updates get a definitive [Error] (route to the
+        primary); the state advances only through the follower loop's
+        {!exclusive}/{!publish_applied} *) ]
+
 type config = {
   queue_cap : int;  (** pending update groups before [Overloaded] *)
   batch_cap : int;  (** commits amortized per WAL sync *)
@@ -57,12 +64,13 @@ type config = {
       (** dedup-table capacity; beyond it new client sessions are
           refused ([Overloaded]) unless an entry has aged out *)
   read_mode : read_mode;  (** how queries and stats are served *)
+  role : role;
 }
 
 val default_config : config
 (** [{ queue_cap = 128; batch_cap = 64; max_listed = 32;
       probe_interval = 0.25; max_sessions = 1024;
-      read_mode = `Snapshot }] *)
+      read_mode = `Snapshot; role = `Primary }] *)
 
 type health = [ `Ok | `Degraded of string ]
 
@@ -85,6 +93,26 @@ val batcher : t -> Batcher.t
 
 val dedup : t -> Dedup.t
 (** the exactly-once session table *)
+
+val feed : t -> Repl_feed.t option
+(** the replication feed — present iff the server persists; the WAL is
+    the stream's unit of truth, so a volatile server streams nothing *)
+
+val applied_seq : t -> int
+(** the commit number the published snapshot covers — on a primary the
+    batcher's sequence at the last publish, on a replica the follower's
+    last {!publish_applied} *)
+
+val exclusive : t -> (unit -> 'a) -> 'a
+(** run [f] holding the engine's exclusive (writer) side — the follower
+    loop's apply section, same lock as the batcher's batches *)
+
+val publish_applied : t -> seq:int -> unit
+(** freeze the current committed state as the published MVCC snapshot
+    and open the {!Rxv_server.Proto.request.Query_at} read gate up to
+    commit [seq] — the replica-side mirror of the batcher's per-batch
+    publish. Call outside {!exclusive}, with no transaction frame
+    open. *)
 
 val health : t -> health
 val health_string : t -> string

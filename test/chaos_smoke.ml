@@ -20,6 +20,15 @@
    original commit numbers instead of applied twice, and (c) fresh
    updates to flow normally.
 
+   Phase D — replication: restart the primary on the same directory,
+   attach a `serve --replica-of` follower process whose stream runs
+   under armed repl.read/repl.write failpoints, SIGKILL the follower
+   mid-stream, keep committing while it is down, restart it, and
+   require (a) the rejoined follower to converge on the full history,
+   (b) reads pinned at the last acknowledged commit to see every
+   phase-D update exactly once — pinned reads are never stale — and
+   (c) both processes to shut down cleanly.
+
    Exits 0 only if every step holds. *)
 
 module Proto = Rxv_server.Proto
@@ -191,4 +200,84 @@ let () =
   Printf.printf
     "chaos phase C (exactly-once audit over %d acked updates): OK\n%!"
     (List.length !acked);
+
+  (* ---- phase D: SIGKILL a streaming follower, rejoin, never-stale ---- *)
+  let ppid =
+    spawn cli [ "serve"; "--socket"; sock; "--wal"; dir; "--sync"; "always" ]
+  in
+  let rsock = Filename.concat dir "replica.sock" in
+  let spawn_follower () =
+    spawn cli
+      [
+        "serve"; "--socket"; rsock; "--replica-of"; sock; "--name"; "chaos";
+        "--failpoints";
+        "repl.read:every=31:eintr,repl.write:every=29:eintr";
+        "--fp-seed"; "7";
+      ]
+  in
+  let fpid = ref (spawn_follower ()) in
+  let c = Client.connect sock in
+  let last = ref 0 in
+  let commit i =
+    let cno = Printf.sprintf "KD%d" i in
+    match Client.update c [ ins cno ] with
+    | `Applied (seq, _) -> last := seq
+    | _ -> fail "phase D: commit %s not acknowledged" cno
+  in
+  for i = 0 to 19 do commit i done;
+  (* prove the follower is attached and streaming: a read pinned at the
+     current commit must be served from its own socket *)
+  let rc = Client.connect rsock in
+  (match Client.query_at rc ~min_seq:!last ~wait_ms:15_000 "//course" with
+  | Ok _ -> ()
+  | Error (`Behind m) | Error (`Err m) ->
+      fail "phase D: follower never caught up before the kill: %s" m);
+  Client.close rc;
+  (* a burst it is actively streaming, then the kill lands mid-stream *)
+  for i = 20 to 29 do commit i done;
+  Unix.kill !fpid Sys.sigkill;
+  ignore (Unix.waitpid [] !fpid);
+  for i = 30 to 39 do commit i done;
+  fpid := spawn_follower ();
+  for i = 40 to 59 do commit i done;
+  let rc = Client.connect rsock in
+  (match Client.query_at rc ~min_seq:!last ~wait_ms:30_000 "//course" with
+  | Ok _ -> ()
+  | Error (`Behind m) | Error (`Err m) ->
+      fail "phase D: restarted follower did not converge: %s" m);
+  (* pinned reads are never stale: every phase-D commit acknowledged by
+     the primary — including those made while the follower was dead —
+     is visible exactly once at a read pinned past it *)
+  for i = 0 to 59 do
+    let cno = Printf.sprintf "KD%d" i in
+    match
+      Client.query_at rc ~min_seq:!last ~wait_ms:5_000
+        (Printf.sprintf "//course[cno=%s]" cno)
+    with
+    | Ok (1, _) -> ()
+    | Ok (n, _) -> fail "phase D: pinned read saw %s %d times (want 1)" cno n
+    | Error (`Behind m) | Error (`Err m) ->
+        fail "phase D: pinned read of %s: %s" cno m
+  done;
+  (match Client.stats rc with
+  | Ok st -> (
+      match List.assoc_opt "repl_after" st.Proto.st_gauges with
+      | Some a when a >= !last -> ()
+      | Some a -> fail "phase D: repl_after %d < last commit %d" a !last
+      | None -> fail "phase D: follower reports no repl_after gauge")
+  | Error m -> fail "phase D: follower stats: %s" m);
+  Client.shutdown rc;
+  Client.close rc;
+  (match Unix.waitpid [] !fpid with
+  | _, Unix.WEXITED 0 -> ()
+  | _, _ -> fail "phase D: follower did not shut down cleanly");
+  Client.shutdown c;
+  Client.close c;
+  (match Unix.waitpid [] ppid with
+  | _, Unix.WEXITED 0 -> ()
+  | _, _ -> fail "phase D: primary did not shut down cleanly");
+  Printf.printf
+    "chaos phase D (follower SIGKILL mid-stream + rejoin through commit \
+     %d): OK\n%!"
+    !last;
   rm_rf dir

@@ -1,0 +1,377 @@
+(* End-to-end tests for WAL-streaming replication: primary → follower
+   tail-streaming with byte-equal convergence, bounded-staleness reads
+   (Query_at), checkpoint bootstrap for a follower joining past the
+   primary's WAL horizon, router read-your-writes, and a QCheck property
+   that any interleaving of commits, follower kill/rejoin, checkpoint
+   rotation and primary restart converges to a byte-equal database. *)
+
+module Database = Rxv_relational.Database
+module Engine = Rxv_core.Engine
+module Registrar = Rxv_workload.Registrar
+module Codec = Rxv_persist.Codec
+module Persist = Rxv_persist.Persist
+module Proto = Rxv_server.Proto
+module Server = Rxv_server.Server
+module Client = Rxv_server.Client
+module Resilient = Rxv_server.Resilient
+module Follower = Rxv_replica.Follower
+
+let check = Alcotest.(check bool)
+
+(* ---- scratch dirs, sockets, polling ---- *)
+
+let counter = ref 0
+
+let rec rm_rf path =
+  match Unix.lstat path with
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+  | { Unix.st_kind = Unix.S_DIR; _ } ->
+      Array.iter (fun n -> rm_rf (Filename.concat path n)) (Sys.readdir path);
+      Unix.rmdir path
+  | _ -> Sys.remove path
+
+let with_dir f =
+  incr counter;
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "rxv-repl-test-%d-%d" (Unix.getpid ()) !counter)
+  in
+  rm_rf dir;
+  Unix.mkdir dir 0o755;
+  Fun.protect ~finally:(fun () -> rm_rf dir) (fun () -> f dir)
+
+let fresh_sock () =
+  incr counter;
+  Filename.concat
+    (Filename.get_temp_dir_name ())
+    (Printf.sprintf "rxv-rp%d-%d.sock" (Unix.getpid ()) !counter)
+
+let await ?(timeout = 10.) f =
+  let t0 = Unix.gettimeofday () in
+  let rec go () =
+    if f () then true
+    else if Unix.gettimeofday () -. t0 > timeout then false
+    else begin
+      Thread.delay 0.005;
+      go ()
+    end
+  in
+  go ()
+
+(* unique course numbers so inserts never collide on the key *)
+let cno_counter = ref 0
+
+let fresh_ins () =
+  incr cno_counter;
+  Proto.Insert
+    {
+      etype = "course";
+      attr =
+        Registrar.course_attr
+          (Printf.sprintf "CS5%04d" !cno_counter)
+          "Replicated";
+      path = "//course[cno=CS240]/prereq";
+    }
+
+(* ---- topology helpers ---- *)
+
+let seed = 20070415 (* the engine's default WalkSAT seed *)
+
+let start_primary dir sock =
+  let p = Persist.open_dir dir in
+  match Persist.recover p (Registrar.atg ()) ~init:Registrar.sample_db with
+  | Error m -> Alcotest.failf "primary recovery: %s" m
+  | Ok (e, _info) -> (p, Server.start ~persist:p (Server.Unix_sock sock) e)
+
+let start_replica_server () =
+  let sock = fresh_sock () in
+  let config = { Server.default_config with Server.role = `Replica } in
+  (Server.start ~config (Server.Unix_sock sock) (Registrar.engine ()), sock)
+
+let start_follower ?(wait_ms = 100) ~name rsrv psock =
+  Follower.start ~wait_ms ~name ~primary:(Server.Unix_sock psock)
+    ~init:Registrar.sample_db ~seed rsrv
+
+let enc_db db =
+  let b = Buffer.create 8192 in
+  Codec.database b db;
+  Buffer.contents b
+
+let db_of srv = (Server.engine srv).Engine.db
+
+let apply_n c n last =
+  for _ = 1 to n do
+    match Client.update c [ fresh_ins () ] with
+    | `Applied (seq, _) -> last := seq
+    | `Rejected (_, m) -> Alcotest.failf "rejected: %s" m
+    | `Overloaded -> Alcotest.fail "overloaded"
+    | `Unavailable m -> Alcotest.failf "unavailable: %s" m
+    | `Error m -> Alcotest.failf "error: %s" m
+  done
+
+(* ---- tail streaming, read service, write rejection ---- *)
+
+let test_stream_basic () =
+  with_dir @@ fun dir ->
+  let psock = fresh_sock () in
+  let _p, psrv = start_primary dir psock in
+  let rsrv, rsock = start_replica_server () in
+  let f = start_follower ~name:"r1" rsrv psock in
+  Fun.protect
+    ~finally:(fun () ->
+      Follower.stop f;
+      Server.stop rsrv;
+      Server.stop psrv)
+  @@ fun () ->
+  let c = Client.connect psock in
+  let last = ref 0 in
+  apply_n c 10 last;
+  Client.close c;
+  check "follower converged" true
+    (await (fun () -> Follower.after f >= !last));
+  check "database byte-equal" true
+    (String.equal (enc_db (db_of psrv)) (enc_db (db_of rsrv)));
+  let rc = Client.connect rsock in
+  Fun.protect ~finally:(fun () -> Client.close rc) @@ fun () ->
+  (match Client.query rc "//course" with
+  | Ok (n, _) -> check "replica serves reads" true (n > 0)
+  | Error m -> Alcotest.failf "replica query: %s" m);
+  (* a replica's refusal is a definitive protocol error, not a
+     retryable Unavailable — routers must redirect, not spin *)
+  match Client.update rc [ fresh_ins () ] with
+  | `Error _ -> ()
+  | _ -> Alcotest.fail "replica accepted a write"
+
+(* ---- bounded-staleness reads ---- *)
+
+let test_query_at_bounds () =
+  with_dir @@ fun dir ->
+  let psock = fresh_sock () in
+  let _p, psrv = start_primary dir psock in
+  let rsrv, rsock = start_replica_server () in
+  let f = start_follower ~name:"r1" rsrv psock in
+  Fun.protect
+    ~finally:(fun () ->
+      Follower.stop f;
+      Server.stop rsrv;
+      Server.stop psrv)
+  @@ fun () ->
+  let c = Client.connect psock in
+  let last = ref 0 in
+  apply_n c 5 last;
+  Client.close c;
+  let rc = Client.connect rsock in
+  Fun.protect ~finally:(fun () -> Client.close rc) @@ fun () ->
+  (* a pinned read at the primary's head waits for catch-up, then
+     answers *)
+  (match Client.query_at rc ~min_seq:!last ~wait_ms:5000 "//course" with
+  | Ok (n, _) -> check "pinned read answered" true (n > 0)
+  | Error (`Behind m) -> Alcotest.failf "pinned read stale: %s" m
+  | Error (`Err m) -> Alcotest.failf "pinned read error: %s" m);
+  check "gate is at least the pin" true (Server.applied_seq rsrv >= !last);
+  (* a pin beyond anything committed must come back Behind, not block
+     forever and not answer stale *)
+  match Client.query_at rc ~min_seq:(!last + 100) ~wait_ms:50 "//course" with
+  | Error (`Behind _) -> ()
+  | Ok _ -> Alcotest.fail "future pin answered stale"
+  | Error (`Err m) -> Alcotest.failf "future pin error: %s" m
+
+(* ---- checkpoint bootstrap: joining past the WAL horizon ---- *)
+
+let test_checkpoint_bootstrap () =
+  with_dir @@ fun dir ->
+  let psock = fresh_sock () in
+  let p0, psrv0 = start_primary dir psock in
+  let c = Client.connect psock in
+  let last = ref 0 in
+  apply_n c 6 last;
+  (match Client.checkpoint c with
+  | Ok (generation, _) -> check "rotated" true (generation >= 1)
+  | Error m -> Alcotest.failf "checkpoint: %s" m);
+  Client.close c;
+  (* restart the primary: the new feed starts at the rotated
+     generation's base, so a from-scratch follower must bootstrap via
+     the shipped checkpoint, not the log *)
+  Server.stop psrv0;
+  Persist.close p0;
+  let _p, psrv = start_primary dir psock in
+  let c = Client.connect psock in
+  apply_n c 3 last;
+  Client.close c;
+  let rsrv, _rsock = start_replica_server () in
+  let f = start_follower ~name:"boot" rsrv psock in
+  Fun.protect
+    ~finally:(fun () ->
+      Follower.stop f;
+      Server.stop rsrv;
+      Server.stop psrv)
+  @@ fun () ->
+  check "bootstrapped follower converged" true
+    (await (fun () -> Follower.after f >= !last));
+  check "joined via checkpoint reset" true (Follower.resets f >= 1);
+  check "database byte-equal after bootstrap" true
+    (String.equal (enc_db (db_of psrv)) (enc_db (db_of rsrv)))
+
+(* ---- volatile primary refuses replication in-protocol ---- *)
+
+let test_volatile_primary_refuses () =
+  let sock = fresh_sock () in
+  let srv = Server.start (Server.Unix_sock sock) (Registrar.engine ()) in
+  Fun.protect ~finally:(fun () -> Server.stop srv) @@ fun () ->
+  let c = Client.connect sock in
+  Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+  match Client.repl_hello c ~follower:"r1" ~after:0 with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "volatile server accepted a replication hello"
+
+(* ---- router: writes to primary, reads see own writes ---- *)
+
+let test_router_read_own_writes () =
+  with_dir @@ fun dir ->
+  let psock = fresh_sock () in
+  let _p, psrv = start_primary dir psock in
+  let rsrv1, rsock1 = start_replica_server () in
+  let rsrv2, rsock2 = start_replica_server () in
+  let f1 = start_follower ~wait_ms:50 ~name:"r1" rsrv1 psock in
+  let f2 = start_follower ~wait_ms:50 ~name:"r2" rsrv2 psock in
+  let router =
+    Resilient.Router.create ~wait_ms:5000
+      ~primary:(Resilient.Unix_path psock)
+      [ Resilient.Unix_path rsock1; Resilient.Unix_path rsock2 ]
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Resilient.Router.close router;
+      Follower.stop f1;
+      Follower.stop f2;
+      Server.stop rsrv1;
+      Server.stop rsrv2;
+      Server.stop psrv)
+  @@ fun () ->
+  let prev = ref 0 in
+  for _ = 1 to 6 do
+    (match Resilient.Router.update router [ fresh_ins () ] with
+    | `Applied _ -> ()
+    | `Rejected (_, m) -> Alcotest.failf "rejected: %s" m
+    | `Error m -> Alcotest.failf "error: %s" m);
+    (* immediately after the ack, a routed read must already include the
+       write — the pin forces the serving replica up to the commit *)
+    match Resilient.Router.query router "//course" with
+    | Error m -> Alcotest.failf "routed query: %s" m
+    | Ok (n, _) ->
+        check "read includes own write" true (n > !prev);
+        prev := n
+  done;
+  check "replicas served reads" true (Resilient.Router.reads_replica router > 0);
+  check "pin advanced" true (Resilient.Router.pin router > 0)
+
+(* ---- QCheck: interleavings of commits, kill, rejoin, rotation,
+   primary restart all converge byte-equal ---- *)
+
+type ev = Commit of int | Kill | Restart | Ckpt | Bounce
+
+let pp_ev = function
+  | Commit n -> Printf.sprintf "commit%d" n
+  | Kill -> "kill"
+  | Restart -> "restart"
+  | Ckpt -> "ckpt"
+  | Bounce -> "bounce"
+
+let ev_gen =
+  QCheck.Gen.(
+    frequency
+      [
+        (6, map (fun n -> Commit (1 + (n mod 3))) small_nat);
+        (2, return Kill);
+        (2, return Restart);
+        (2, return Ckpt);
+        (1, return Bounce);
+      ])
+
+let events_arb =
+  QCheck.make
+    ~print:(fun evs -> String.concat " " (List.map pp_ev evs))
+    QCheck.Gen.(list_size (int_range 4 12) ev_gen)
+
+let test_convergence =
+  QCheck.Test.make ~count:8 ~name:"replication convergence under interleavings"
+    events_arb
+    (fun evs ->
+      with_dir @@ fun dir ->
+      let psock = fresh_sock () in
+      let p, psrv = start_primary dir psock in
+      let pstate = ref (p, psrv) in
+      let rsrv, _rsock = start_replica_server () in
+      let f = ref (Some (start_follower ~wait_ms:50 ~name:"q" rsrv psock)) in
+      let writer = Resilient.create (Resilient.Unix_path psock) in
+      let last = ref 0 in
+      let stop_follower () =
+        match !f with
+        | Some fo ->
+            Follower.stop fo;
+            f := None
+        | None -> ()
+      in
+      let run_ev = function
+        | Commit k -> (
+            for _ = 1 to k do
+              match Resilient.update writer [ fresh_ins () ] with
+              | `Applied (seq, _) -> last := seq
+              | `Rejected (_, m) -> Alcotest.failf "rejected: %s" m
+              | `Error m -> Alcotest.failf "write failed: %s" m
+            done)
+        | Kill -> stop_follower ()
+        | Restart ->
+            if !f = None then
+              f := Some (start_follower ~wait_ms:50 ~name:"q" rsrv psock)
+        | Ckpt -> (
+            let c = Client.connect psock in
+            Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+            match Client.checkpoint c with
+            | Ok _ -> ()
+            | Error m -> Alcotest.failf "checkpoint: %s" m)
+        | Bounce ->
+            let p, psrv = !pstate in
+            Server.stop psrv;
+            Persist.close p;
+            pstate := start_primary dir psock
+      in
+      Fun.protect
+        ~finally:(fun () ->
+          Resilient.close writer;
+          stop_follower ();
+          Server.stop rsrv;
+          let p, psrv = !pstate in
+          Server.stop psrv;
+          Persist.close p)
+        (fun () ->
+          List.iter run_ev evs;
+          if !f = None then
+            f := Some (start_follower ~wait_ms:50 ~name:"q" rsrv psock);
+          let fo = Option.get !f in
+          let converged = await ~timeout:20. (fun () -> Follower.after fo >= !last) in
+          let _, psrv = !pstate in
+          let equal =
+            String.equal (enc_db (db_of psrv)) (enc_db (db_of rsrv))
+          in
+          if not converged then
+            QCheck.Test.fail_reportf "follower stuck at %d < %d (last: %s)"
+              (Follower.after fo) !last
+              (match Follower.last_error fo with Some e -> e | None -> "-");
+          if not equal then QCheck.Test.fail_report "databases differ";
+          true))
+
+let tests =
+  [
+    Alcotest.test_case "tail-stream, serve, reject writes" `Quick
+      test_stream_basic;
+    Alcotest.test_case "bounded-staleness reads" `Quick test_query_at_bounds;
+    Alcotest.test_case "checkpoint bootstrap past horizon" `Quick
+      test_checkpoint_bootstrap;
+    Alcotest.test_case "volatile primary refuses stream" `Quick
+      test_volatile_primary_refuses;
+    Alcotest.test_case "router read-your-writes" `Quick
+      test_router_read_own_writes;
+    QCheck_alcotest.to_alcotest test_convergence;
+  ]

@@ -81,6 +81,7 @@ let sample_stats =
     st_wal_records = Some 3;
     st_health = "ok";
     st_counters = [ ("applied", 5); ("requests", 9) ];
+    st_gauges = [ ("repl_follower_a_lag", 2); ("repl_head", 7) ];
     st_latencies =
       [
         {
@@ -121,6 +122,13 @@ let all_requests : Proto.request list =
     Proto.Stats;
     Proto.Checkpoint;
     Proto.Shutdown;
+    Proto.Repl_hello { follower = "r1"; after = 0 };
+    Proto.Repl_hello { follower = ""; after = 173 };
+    Proto.Repl_pull { follower = "r1"; after = 41; max = 512; wait_ms = 200 };
+    Proto.Repl_pull { follower = "x"; after = 0; max = 0; wait_ms = 0 };
+    Proto.Query_at
+      { path = "//course[cno=CS320]"; min_seq = 9; wait_ms = 250 };
+    Proto.Query_at { path = "//c"; min_seq = 0; wait_ms = 0 };
   ]
 
 let all_responses : Proto.response list =
@@ -139,6 +147,11 @@ let all_responses : Proto.response list =
     Proto.Unavailable "degraded: wal sync failed";
     Proto.Stats_reply
       { sample_stats with Proto.st_health = "degraded: ckpt.fsync: EIO" };
+    Proto.Stats_reply { sample_stats with Proto.st_gauges = [] };
+    Proto.Repl_frames { after = 41; head = 44; records = [ "\x00rec"; "" ] };
+    Proto.Repl_frames { after = 0; head = 0; records = [] };
+    Proto.Repl_reset { generation = 3; base = 120; ckpt = Some "\x01img\xFF" };
+    Proto.Repl_reset { generation = 0; base = 0; ckpt = None };
   ]
 
 let test_proto_roundtrip () =
@@ -164,6 +177,69 @@ let test_proto_rejects_garbage () =
   match Proto.decode_request (Proto.encode_request Proto.Ping ^ "x") with
   | exception Codec.Error _ -> ()
   | _ -> Alcotest.fail "trailing bytes accepted"
+
+(* every strict prefix of a replication message must be detected as
+   damage (Codec.Error), and no byte corruption may escape as any other
+   exception — the per-connection isolation guarantee rests on the
+   decoder failing only through the channel the handler catches *)
+let is_repl_request = function
+  | Proto.Repl_hello _ | Proto.Repl_pull _ | Proto.Query_at _ -> true
+  | _ -> false
+
+let is_repl_response = function
+  | Proto.Repl_frames _ | Proto.Repl_reset _ -> true
+  | _ -> false
+
+let test_repl_proto_truncation () =
+  List.iter
+    (fun r ->
+      let s = Proto.encode_request r in
+      for i = 0 to String.length s - 1 do
+        match Proto.decode_request (String.sub s 0 i) with
+        | exception Codec.Error _ -> ()
+        | _ ->
+            Alcotest.failf "truncated prefix %d/%d of %a decoded" i
+              (String.length s) Proto.pp_request r
+      done)
+    (List.filter is_repl_request all_requests);
+  List.iter
+    (fun r ->
+      let s = Proto.encode_response r in
+      for i = 0 to String.length s - 1 do
+        match Proto.decode_response (String.sub s 0 i) with
+        | exception Codec.Error _ -> ()
+        | _ ->
+            Alcotest.failf "truncated prefix %d/%d of %a decoded" i
+              (String.length s) Proto.pp_response r
+      done)
+    (List.filter is_repl_response all_responses)
+
+let test_repl_proto_bitflip_safety () =
+  let flip s i =
+    let b = Bytes.of_string s in
+    Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0x80));
+    Bytes.to_string b
+  in
+  List.iter
+    (fun r ->
+      let s = Proto.encode_request r in
+      String.iteri
+        (fun i _ ->
+          match Proto.decode_request (flip s i) with
+          | _ -> ()
+          | exception Codec.Error _ -> ())
+        s)
+    (List.filter is_repl_request all_requests);
+  List.iter
+    (fun r ->
+      let s = Proto.encode_response r in
+      String.iteri
+        (fun i _ ->
+          match Proto.decode_response (flip s i) with
+          | _ -> ()
+          | exception Codec.Error _ -> ())
+        s)
+    (List.filter is_repl_response all_responses)
 
 (* ---- rwlock ---- *)
 
@@ -759,6 +835,10 @@ let tests =
   [
     Alcotest.test_case "proto round trips" `Quick test_proto_roundtrip;
     Alcotest.test_case "proto rejects garbage" `Quick test_proto_rejects_garbage;
+    Alcotest.test_case "replication messages reject truncation" `Quick
+      test_repl_proto_truncation;
+    Alcotest.test_case "replication messages corrupt-safe" `Quick
+      test_repl_proto_bitflip_safety;
     Alcotest.test_case "rwlock writer exclusion" `Quick
       test_rwlock_writer_exclusion;
     Alcotest.test_case "rwlock readers share" `Quick test_rwlock_readers_share;

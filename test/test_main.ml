@@ -26,5 +26,6 @@ let () =
       ("paper_examples", Suite_paper_examples.tests);
       ("engine", Suite_engine.tests);
       ("server", Suite_server.tests);
+      ("replica", Suite_replica.tests);
       ("fault", Suite_fault.tests);
     ]

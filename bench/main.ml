@@ -1120,6 +1120,81 @@ let xpath_cache () =
         ])
     (sizes ())
 
+(* ---------- translate: insertion translation, cold vs cached ---------- *)
+
+(* minimum cold vs skeleton-warm translate speedup across sizes;
+   --check-translate-speedup compares against it after all requested
+   experiments ran *)
+let min_translate_speedup = ref infinity
+
+(* Three arms replay identical W2 insertion workloads on identical
+   engines; they differ only in what survives between operations:
+   - cold: the engine's translation cache is cleared and every secondary
+     relation index dropped before each op — the pre-cache behavior,
+     paying skeleton construction, gen_A materialization and index
+     builds every time;
+   - skeleton: warm-start state (stored CNF + model) is forgotten before
+     each op but structural skeletons, gen_A row sets and indexes stay;
+   - warm: nothing is dropped — steady-state production behavior, with
+     warm-started WalkSAT and identical-CNF model reuse on top. *)
+let translate_bench () =
+  (* smoke keeps a high op count: the warm arms total ~1ms at |C|=300,
+     so the speedup ratio needs enough ops to amortize scheduler noise
+     when runtest runs this concurrently with the test suites *)
+  let nops = by_scale ~full:30 ~quick:12 ~smoke:30 in
+  header
+    (Printf.sprintf
+       "translate: insertion ΔV→ΔR translation, cold vs skeleton-warm vs \
+        warm-started (%d W2 insertions)"
+       nops)
+    [
+      "|C|"; "cold_ms"; "skeleton_ms"; "warm_ms"; "cold/skel"; "skel/warm";
+      "skel_hits"; "warm_starts";
+    ];
+  List.iter
+    (fun n ->
+      let arm prep =
+        let d, e = engine_for n in
+        let us =
+          Updates.insertions d e.Engine.store Updates.W2 ~count:nops ~seed:7 ()
+        in
+        let total = ref 0. in
+        List.iter
+          (fun u ->
+            prep e;
+            match Engine.apply ~policy:`Proceed e u with
+            | Ok r -> total := !total +. r.Engine.timings.Engine.t_translate
+            | Error _ -> ())
+          us;
+        (!total, Engine.stats e)
+      in
+      let drop_relation_indexes e =
+        Database.iter_relations
+          (fun _ r -> Relation.drop_indexes r)
+          e.Engine.db
+      in
+      let cold, _ =
+        arm (fun e ->
+            Rxv_core.Vinsert.clear_cache e.Engine.sat;
+            drop_relation_indexes e)
+      in
+      let skel, _ = arm (fun e -> Rxv_core.Vinsert.drop_warm e.Engine.sat) in
+      let warm, wst = arm (fun _ -> ()) in
+      let s1 = cold /. max skel 1e-9 in
+      let s2 = skel /. max warm 1e-9 in
+      min_translate_speedup := min !min_translate_speedup s1;
+      row
+        [
+          string_of_int n; ms cold; ms skel; ms warm;
+          Printf.sprintf "%.1fx" s1;
+          Printf.sprintf "%.2fx" s2;
+          string_of_int wst.Engine.sat_skeleton_hits;
+          string_of_int wst.Engine.sat_warm_starts;
+        ])
+    (by_scale
+       ~full:[ 10_000; 100_000 ]
+       ~quick:[ 1_000; 3_000 ] ~smoke:[ 300 ])
+
 (* ---------- snapshot_reads: MVCC reader throughput under writes ------ *)
 
 (* snapshot-vs-locked reader throughput ratio; --check-read-concurrency
@@ -1490,6 +1565,7 @@ let experiments : (string * (unit -> unit)) list =
     ("ablations", ablations);
     ("chaos", chaos);
     ("xpath_cache", xpath_cache);
+    ("translate", translate_bench);
     ("snapshot_reads", snapshot_reads);
     ("replication", replication);
     ("bechamel", bechamel_suite);
@@ -1504,9 +1580,10 @@ let usage () =
   prerr_endline
     "usage: main.exe [--quick|--smoke] [--json FILE] \
      [--check-cache-ratio R] [--check-read-concurrency R] \
-     [--check-replica-scale R] \
+     [--check-replica-scale R] [--check-translate-speedup R] \
      [all|fig10b|fig11a..fig11h|table1|transactions|recovery|server|\
-     ablations|chaos|xpath_cache|snapshot_reads|replication|bechamel]...";
+     ablations|chaos|xpath_cache|translate|snapshot_reads|replication|\
+     bechamel]...";
   exit 2
 
 let () =
@@ -1516,6 +1593,7 @@ let () =
   let cache_ratio = ref None in
   let read_conc = ref None in
   let replica_scale = ref None in
+  let translate_speedup = ref None in
   let names = ref [] in
   let rec parse = function
     | [] -> ()
@@ -1550,6 +1628,13 @@ let () =
             parse rest
         | _ -> usage ())
     | [ "--check-replica-scale" ] -> usage ()
+    | "--check-translate-speedup" :: r :: rest -> (
+        match float_of_string_opt r with
+        | Some f when f > 0. ->
+            translate_speedup := Some f;
+            parse rest
+        | _ -> usage ())
+    | [ "--check-translate-speedup" ] -> usage ()
     | "all" :: rest ->
         names := !names @ all_names;
         parse rest
@@ -1599,6 +1684,23 @@ let () =
         "replica scale check ok: aggregate follower read capacity %.2fx \
          >= %.1fx going 1 -> 2 followers\n%!"
         !min_replica_scale r);
+  (match !translate_speedup with
+  | None -> ()
+  | Some r when !min_translate_speedup = infinity ->
+      Printf.eprintf
+        "--check-translate-speedup %.1f given but translate did not run\n%!" r;
+      exit 1
+  | Some r when !min_translate_speedup < r ->
+      Printf.eprintf
+        "translate cache check FAILED: cold/skeleton-warm translation \
+         speedup %.1fx < required %.1fx\n%!"
+        !min_translate_speedup r;
+      exit 1
+  | Some r ->
+      Printf.printf
+        "translate cache check ok: cold/skeleton-warm translation speedup \
+         %.1fx >= %.1fx\n%!"
+        !min_translate_speedup r);
   match !cache_ratio with
   | None -> ()
   | Some r when !min_cache_speedup = infinity ->

@@ -167,6 +167,10 @@ let print_stats e =
     st.Engine.cache_evictions;
   Fmt.pr "reads              %d live, %d snapshot@." st.Engine.live_reads
     st.Engine.snapshot_reads;
+  Fmt.pr "sat skeletons      %d hits, %d misses@." st.Engine.sat_skeleton_hits
+    st.Engine.sat_skeleton_misses;
+  Fmt.pr "sat solving        %d warm starts, %d learned kept@."
+    st.Engine.sat_warm_starts st.Engine.sat_learned_kept;
   match st.Engine.wal_records with
   | Some k -> Fmt.pr "WAL records        %d since last checkpoint@." k
   | None -> ()

@@ -97,21 +97,26 @@ let expand_children (atg : Atg.t) (star_eval : star_eval) etype
           (b, battr, Some row))
         (star_eval etype sr attr)
 
-(* Expand every unexpanded node reachable from the work list. *)
-let expand_from (atg : Atg.t) (star_eval : star_eval) (store : Store.t)
+(* Expand every unexpanded node reachable from the work list.
+   [is_expanded] marks nodes expanded before this call without
+   materializing them in [expanded] — publish_subtree passes an id
+   watermark so it never touches the O(|view|) pre-existing portion. *)
+let expand_from ?(is_expanded = fun _ -> false) (atg : Atg.t)
+    (star_eval : star_eval) (store : Store.t)
     (expanded : (int, unit) Hashtbl.t) (work : int list) =
+  let seen id = is_expanded id || Hashtbl.mem expanded id in
   let queue = Queue.create () in
   List.iter (fun id -> Queue.add id queue) work;
   while not (Queue.is_empty queue) do
     let id = Queue.pop queue in
-    if not (Hashtbl.mem expanded id) then begin
+    if not (seen id) then begin
       Hashtbl.replace expanded id ();
       let n = Store.node store id in
       List.iter
         (fun (b, battr, provenance) ->
           let cid = intern atg store b battr in
           Store.add_edge store id cid ~provenance;
-          if not (Hashtbl.mem expanded cid) then Queue.add cid queue)
+          if not (seen cid) then Queue.add cid queue)
         (expand_children atg star_eval n.Store.etype n.Store.attr)
     end
   done
@@ -168,18 +173,13 @@ let publish_subtree (atg : Atg.t) (db : Database.t) (store : Store.t)
     Atg.atg_error "ATG %s: attribute does not match $%s's type" atg.Atg.name
       etype;
   let first_new_id = Store.next_id store in
-  let pre_existing = Store.find_id store etype attr in
   let root_id = intern atg store etype attr in
   let expanded = Hashtbl.create 64 in
-  (* pre-existing nodes are already fully expanded: mark every node that
-     predates this call, except the subtree root if it is new *)
-  Store.iter_nodes
-    (fun n -> if n.Store.id < first_new_id then Hashtbl.replace expanded n.Store.id ())
-    store;
-  (match pre_existing with
-  | Some _ -> ()
-  | None -> Hashtbl.remove expanded root_id);
-  expand_from atg (per_call_star_eval db) store expanded [ root_id ];
+  (* pre-existing nodes are already fully expanded; an id below the
+     watermark predates this call (a pre-existing root is covered too:
+     nothing below it needs expanding) *)
+  expand_from atg (per_call_star_eval db) store expanded [ root_id ]
+    ~is_expanded:(fun id -> id < first_new_id);
   (* collect NA = desc-or-self of the subtree root *)
   let na = Hashtbl.create 64 in
   let rec go id =

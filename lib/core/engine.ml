@@ -46,6 +46,9 @@ type t = {
   mutable seed : int;  (** WalkSAT seed; bumped per insertion *)
   mutable wal : wal_hook option;
   cache : Eval_cache.t;  (** compiled-plan result cache for the read path *)
+  sat : Vinsert.cache;
+      (** incremental insertion-translation state: structural CNF
+          skeletons, gen_A row sets and warm-start models *)
   live_reads : int Atomic.t;  (** queries answered on the live structures *)
   snapshot_reads : int Atomic.t;  (** queries answered on frozen views *)
 }
@@ -71,6 +74,10 @@ type report = {
   timings : timings;
   sat_vars : int;
   sat_clauses : int;
+  sat_encode_ms : float;  (** insertion: template + side-effect encoding *)
+  sat_solve_ms : float;  (** insertion: SAT search + canonicalization *)
+  sat_skeleton_hit : bool;
+      (** insertion: the structural plan came from the engine cache *)
 }
 
 let log_src = Logs.Src.create "rxv.engine" ~doc:"XML view update engine"
@@ -109,6 +116,7 @@ let create ?(seed = 20070415) (atg : Atg.t) (db : Database.t) : t =
     seed;
     wal = None;
     cache = Eval_cache.create ();
+    sat = Vinsert.create_cache ();
     live_reads = Atomic.make 0;
     snapshot_reads = Atomic.make 0;
   }
@@ -132,6 +140,7 @@ let of_durable ?(seed = 20070415) (atg : Atg.t) (db : Database.t)
     seed;
     wal = None;
     cache = Eval_cache.create ();
+    sat = Vinsert.create_cache ();
     live_reads = Atomic.make 0;
     snapshot_reads = Atomic.make 0;
   }
@@ -177,6 +186,9 @@ let noop_report ?(selected = []) ?(side_effects = []) ?(timings = no_timings)
     timings;
     sat_vars = 0;
     sat_clauses = 0;
+    sat_encode_ms = 0.;
+    sat_solve_ms = 0.;
+    sat_skeleton_hit = false;
   }
 
 let apply_delete (e : t) ~(policy : policy) path :
@@ -232,6 +244,9 @@ let apply_delete (e : t) ~(policy : policy) path :
                     timings = { t_eval; t_translate; t_maintain };
                     sat_vars = 0;
                     sat_clauses = 0;
+                    sat_encode_ms = 0.;
+                    sat_solve_ms = 0.;
+                    sat_skeleton_hit = false;
                   }))
 
 let apply_insert (e : t) ~(policy : policy) ~etype ~attr path :
@@ -267,14 +282,23 @@ let apply_insert (e : t) ~(policy : policy) ~etype ~attr path :
               e.seed <- e.seed + 1;
               match
                 Vinsert.translate e.atg e.db e.store
-                  ~connect_edges:tr.Xupdate.connect_edges ~seed:e.seed ()
+                  ~connect_edges:tr.Xupdate.connect_edges ~seed:e.seed
+                  ~cache:e.sat ()
               with
               | Vinsert.Rejected msg ->
                   Xupdate.rollback_subtree e.store
                     ~new_nodes:tr.Xupdate.new_nodes;
                   Error (Untranslatable msg)
               | Vinsert.Translated
-                  { delta_r; provenances; sat_vars; sat_clauses } -> (
+                  {
+                    delta_r;
+                    provenances;
+                    sat_vars;
+                    sat_clauses;
+                    encode_ms;
+                    solve_ms;
+                    skeleton_hit;
+                  } -> (
                   match Group_update.apply e.db delta_r with
                   | exception Group_update.Apply_error msg ->
                       Xupdate.rollback_subtree e.store
@@ -325,6 +349,9 @@ let apply_insert (e : t) ~(policy : policy) ~etype ~attr path :
                           timings = { t_eval; t_translate; t_maintain };
                           sat_vars;
                           sat_clauses;
+                          sat_encode_ms = encode_ms;
+                          sat_solve_ms = solve_ms;
+                          sat_skeleton_hit = skeleton_hit;
                         })
             end)
       end)
@@ -400,10 +427,16 @@ type stats = {
   cache_evictions : int;  (** query cache: LRU drops *)
   live_reads : int;  (** queries answered on the live structures *)
   snapshot_reads : int;  (** queries answered on MVCC snapshots *)
+  sat_skeleton_hits : int;
+      (** insertion translations served by a cached CNF skeleton *)
+  sat_skeleton_misses : int;  (** translations that built a skeleton *)
+  sat_learned_kept : int;  (** CDCL learned clauses retained *)
+  sat_warm_starts : int;  (** solves answered from a previous model *)
 }
 
 let stats (e : t) : stats =
   let c = Eval_cache.counters e.cache in
+  let sc = Vinsert.counters e.sat in
   let occ = Store.occurrence_counts e.store in
   let total = Hashtbl.fold (fun _ c acc -> acc + c) occ 0 in
   let n = Store.n_nodes e.store in
@@ -439,6 +472,10 @@ let stats (e : t) : stats =
     cache_evictions = c.Eval_cache.evictions;
     live_reads = Atomic.get e.live_reads;
     snapshot_reads = Atomic.get e.snapshot_reads;
+    sat_skeleton_hits = sc.Vinsert.skeleton_hits;
+    sat_skeleton_misses = sc.Vinsert.skeleton_misses;
+    sat_learned_kept = sc.Vinsert.learned_kept;
+    sat_warm_starts = sc.Vinsert.warm_starts;
   }
 
 (** {2 Transactions}
@@ -506,6 +543,8 @@ let reset_from (e : t) (db : Database.t) (store : Store.t) ~(seed : int) :
   e.reach <- Reach.compute store e.topo;
   e.seed <- seed;
   Eval_cache.invalidate_all e.cache ~slot_capacity:(Store.slot_capacity store);
+  (* skeletons reference registries of the replaced store *)
+  Vinsert.clear_cache e.sat;
   Log.info (fun m ->
       m "reset %s: %d nodes, %d edges, |M|=%d" e.atg.Atg.name
         (Store.n_nodes store) (Store.n_edges store) (Reach.size e.reach))
@@ -531,6 +570,7 @@ module Snapshot = struct
     src : Dag_eval.src;
     generation : int;  (** cache generation the views were frozen at *)
     cache_counters : Eval_cache.counters;  (** counters at capture *)
+    sat_counters : Vinsert.counters;  (** translation counters at capture *)
     reads_at_capture : int * int;  (** (live, snapshot) read counters *)
     wal_records : int option;  (** WAL backlog at capture *)
     mutable stats_memo : stats option;
@@ -557,6 +597,7 @@ module Snapshot = struct
       src = Dag_eval.view_src store_view topo_view reach_view;
       generation = Eval_cache.generation e.cache;
       cache_counters = Eval_cache.counters e.cache;
+      sat_counters = Vinsert.counters e.sat;
       reads_at_capture =
         (Atomic.get e.live_reads, Atomic.get e.snapshot_reads);
       wal_records =
@@ -640,6 +681,10 @@ module Snapshot = struct
             cache_evictions = s.cache_counters.Eval_cache.evictions;
             live_reads = fst s.reads_at_capture;
             snapshot_reads = snd s.reads_at_capture;
+            sat_skeleton_hits = s.sat_counters.Vinsert.skeleton_hits;
+            sat_skeleton_misses = s.sat_counters.Vinsert.skeleton_misses;
+            sat_learned_kept = s.sat_counters.Vinsert.learned_kept;
+            sat_warm_starts = s.sat_counters.Vinsert.warm_starts;
           }
         in
         s.stats_memo <- Some st;

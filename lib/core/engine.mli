@@ -37,6 +37,10 @@ type t = {
   cache : Eval_cache.t;
       (** compiled-plan result cache; all reads via {!query} go through
           it, and every mutation path invalidates it incrementally *)
+  sat : Vinsert.cache;
+      (** incremental insertion-translation state (structural CNF
+          skeletons, gen_A row sets, warm-start models) — purely an
+          accelerator, dropped wholesale by {!reset_from} *)
   live_reads : int Atomic.t;
       (** cumulative {!query} calls (answered on the live structures,
           i.e. under whatever lock the caller holds) *)
@@ -68,6 +72,11 @@ type report = {
   timings : timings;
   sat_vars : int;
   sat_clauses : int;
+  sat_encode_ms : float;
+      (** insertion: template derivation + side-effect encoding *)
+  sat_solve_ms : float;  (** insertion: SAT search + canonicalization *)
+  sat_skeleton_hit : bool;
+      (** insertion: the structural plan came from the engine cache *)
 }
 
 val pp_rejection : Format.formatter -> rejection -> unit
@@ -131,6 +140,12 @@ type stats = {
   cache_evictions : int;  (** query cache: LRU drops *)
   live_reads : int;  (** queries answered on the live structures *)
   snapshot_reads : int;  (** queries answered on MVCC snapshots *)
+  sat_skeleton_hits : int;
+      (** insertion translations served by a cached CNF skeleton *)
+  sat_skeleton_misses : int;  (** translations that built a skeleton *)
+  sat_learned_kept : int;
+      (** CDCL learned clauses retained across canonicalization probes *)
+  sat_warm_starts : int;  (** solves answered from a previous model *)
 }
 
 val stats : t -> stats

@@ -25,10 +25,24 @@
        finite-domain condition → add ¬φ to the SAT instance (case (c));
        any freshenable variable involved → condition dropped (case (b)).
 
-    3. {b Solve & instantiate.} WalkSAT [30], cross-checked by DPLL when it
-       gives up, yields the finite-domain values; freshenable variables get
-       surrogates outside the active domain; ΔR and the provenance rows of
-       the new edges fall out by substitution. *)
+    3. {b Solve & instantiate.} WalkSAT [30] — warm-started from the last
+       successful assignment when a cache is supplied — with the
+       incremental CDCL core {!Rxv_sat.Inc} as the complete fallback,
+       yields the finite-domain values; the witness is then canonicalized
+       to the lexicographically minimal model by CDCL assumption probes,
+       so the outcome is independent of which solver found it (and of any
+       cached warm state). Freshenable variables get surrogates outside
+       the active domain; ΔR and the provenance rows of the new edges
+       fall out by substitution.
+
+    {b Skeleton caching.} The expensive structural work — the augmented
+    "+gen" queries per U/A choice, the per-registry gen_A row sets with
+    their join indexes, and the solved model — depends only on the ATG
+    production set and which relations carry templates, not on the
+    concrete update. A {!cache} (one per engine) keys that skeleton on
+    the sorted template-relation signature and revalidates gen_A rows by
+    {!Store.gen_view} stamps, so steady-state translations rebuild only
+    the per-update template/clause layer. *)
 
 module Store = Rxv_dag.Store
 module Value = Rxv_relational.Value
@@ -41,7 +55,7 @@ module Group_update = Rxv_relational.Group_update
 module Atg = Rxv_atg.Atg
 module Cnf = Rxv_sat.Cnf
 module Walksat = Rxv_sat.Walksat
-module Dpll = Rxv_sat.Dpll
+module Inc = Rxv_sat.Inc
 
 type outcome =
   | Translated of {
@@ -50,12 +64,17 @@ type outcome =
           (** ground derivation rows to append to edge provenance *)
       sat_vars : int;
       sat_clauses : int;
+      encode_ms : float;
+      solve_ms : float;
+      skeleton_hit : bool;
     }
   | Rejected of string
 
 exception Reject_exn of string
 
 let rejectf fmt = Fmt.kstr (fun s -> raise (Reject_exn s)) fmt
+
+let now_ms () = Unix.gettimeofday () *. 1000.0
 
 (* ---------- variable store with union-find and bindings ---------- *)
 
@@ -144,18 +163,13 @@ end
 
 type freshener = { mutable counter : int; mutable int_base : int }
 
+(* O(#relations): every relation maintains its own Int watermark *)
 let make_freshener (db : Database.t) =
   let max_int_seen = ref 0 in
   Database.iter_relations
     (fun _ rel ->
-      Rxv_relational.Relation.iter
-        (fun t ->
-          Array.iter
-            (function
-              | Value.Int i when i > !max_int_seen -> max_int_seen := i
-              | _ -> ())
-            t)
-        rel)
+      let c = Rxv_relational.Relation.int_ceiling rel in
+      if c > !max_int_seen then max_int_seen := c)
     db;
   { counter = 0; int_base = !max_int_seen + 1_000_000 }
 
@@ -289,15 +303,298 @@ let derive_templates (schema : Schema.db) (vars : Vars.t) (q : Spj.t)
       (rname, row))
     q.Spj.from
 
+(* ---------- skeleton cache ---------- *)
+
+(* One U/A source combination of one star rule, with the augmented
+   "+gen" query prebuilt — per-update work is only source construction. *)
+type choice_plan = {
+  cp_from : (string * string) list;
+      (** U aliases first, then A and $gen in greedy connected join order *)
+  cp_u : string list;  (** aliases evaluated as template rows *)
+  cp_q : Spj.t;
+}
+
+type rule_plan = {
+  rp_a : string;
+  rp_b : string;
+  rp_sr : Atg.star_rule;
+  rp_nparams : int;
+  rp_schema : Schema.db;  (** rule schema augmented with $gen *)
+  rp_choices : choice_plan list;
+}
+
+(* The structural skeleton for one template-relation signature: the rule
+   plans, plus the last successfully solved CNF and its canonical model
+   (the warm-start state — valid for reuse only when the next instance's
+   CNF is literally identical, which isomorphic updates produce because
+   CNF variables are interned by name). *)
+type skeleton = {
+  sk_rules : rule_plan list;
+  mutable sk_cnf : (int * Cnf.clause array) option;
+  mutable sk_model : Cnf.assignment option;
+}
+
+(* Incrementally maintained gen_A pseudo-relation rows (ascending node
+   id), revalidated against {!Store.gen_view} stamps: same version ⇒
+   reuse as is; same reset ⇒ append the new suffix; else rebuild. *)
+type gen_entry = {
+  mutable ge_version : int;
+  mutable ge_reset : int;
+  mutable ge_count : int;
+  ge_ix : Symbolic.indexed;
+}
+
+type counters = {
+  skeleton_hits : int;
+  skeleton_misses : int;
+  learned_kept : int;
+  warm_starts : int;
+}
+
+type cache = {
+  mutable c_atg : Atg.t option;  (** a different ATG drops everything *)
+  c_skeletons : (string list, skeleton) Hashtbl.t;
+  c_gens : (string, gen_entry) Hashtbl.t;
+  mutable c_hits : int;
+  mutable c_misses : int;
+  mutable c_learned : int;
+  mutable c_warm : int;
+}
+
+let create_cache () =
+  {
+    c_atg = None;
+    c_skeletons = Hashtbl.create 8;
+    c_gens = Hashtbl.create 8;
+    c_hits = 0;
+    c_misses = 0;
+    c_learned = 0;
+    c_warm = 0;
+  }
+
+let clear_cache c =
+  c.c_atg <- None;
+  Hashtbl.reset c.c_skeletons;
+  Hashtbl.reset c.c_gens
+
+let drop_warm c =
+  Hashtbl.iter
+    (fun _ sk ->
+      sk.sk_cnf <- None;
+      sk.sk_model <- None)
+    c.c_skeletons
+
+let counters c =
+  {
+    skeleton_hits = c.c_hits;
+    skeleton_misses = c.c_misses;
+    learned_kept = c.c_learned;
+    warm_starts = c.c_warm;
+  }
+
+(* Build the rule plans for the current template signature. Everything
+   here depends only on the ATG and on *which* relations have templates,
+   so the result is cacheable across updates. *)
+let build_skeleton (atg : Atg.t) (schema : Schema.db)
+    ~(has_templates : string -> bool) : skeleton =
+  let plan_rule (a_type, b_type, (sr : Atg.star_rule)) =
+    let q = sr.Atg.query in
+    let tpos = List.filter (fun (_, rname) -> has_templates rname) q.Spj.from in
+    if tpos = [] then None
+    else begin
+      let param_tys = Atg.attr_tys atg a_type in
+      let nparams = Array.length param_tys in
+      (* pseudo-relation for gen_A; zero-arity parents (the root) get a
+         single dummy column so the relation stays well-formed *)
+      let gwidth = max 1 nparams in
+      let gen_col i =
+        if nparams = 0 then Schema.attr "p0" Value.TInt
+        else Schema.attr (Printf.sprintf "p%d" i) param_tys.(i)
+      in
+      let gen_rel =
+        Schema.relation "$gen"
+          (List.init gwidth gen_col)
+          ~key:(List.init gwidth (fun i -> Printf.sprintf "p%d" i))
+      in
+      let schema' = Schema.db (gen_rel :: schema.Schema.relations) in
+      let rewrite_op = function
+        | Spj.Param k -> Spj.Col ("$gen", Printf.sprintf "p%d" k)
+        | op -> op
+      in
+      (* enumerate U/A choices over template-capable positions *)
+      let choices =
+        let rec go = function
+          | [] -> [ [] ]
+          | (alias, _) :: rest ->
+              let sub = go rest in
+              List.concat_map
+                (fun c -> [ (alias, `U) :: c; (alias, `A) :: c ])
+                sub
+        in
+        List.filter
+          (fun c -> List.exists (fun (_, x) -> x = `U) c)
+          (go tpos)
+      in
+      let plan_choice choice =
+        (* the augmented, reordered query: U positions first, then gen,
+           then the rest *)
+        let is_u alias =
+          match List.assoc_opt alias choice with Some `U -> true | _ -> false
+        in
+        let u_from, a_from =
+          List.partition (fun (alias, _) -> is_u alias) q.Spj.from
+        in
+        let where_rw =
+          List.map
+            (fun (Spj.Eq (a, b)) -> Spj.Eq (rewrite_op a, rewrite_op b))
+            q.Spj.where
+        in
+        (* Greedy connected join order: template positions (small) first,
+           then repeatedly any position reachable from the placed prefix
+           through an equality predicate, so Symbolic.run can hash-probe
+           it instead of scanning. In particular gen_A — O(|view|) rows —
+           is only enumerated when some choice genuinely leaves the
+           parent attribute unconstrained. *)
+        let from' =
+          let connects placed alias =
+            List.exists
+              (fun (Spj.Eq (a, b)) ->
+                match (a, b) with
+                | Spj.Col (x, _), Spj.Col (y, _) ->
+                    (x = alias && List.mem y placed)
+                    || (y = alias && List.mem x placed)
+                | _ -> false)
+              where_rw
+          in
+          let rec order placed acc = function
+            | [] -> List.rev acc
+            | remaining ->
+                let pick, rest =
+                  match
+                    List.partition
+                      (fun (alias, _) -> connects placed alias)
+                      remaining
+                  with
+                  | p :: ps, rest -> (p, ps @ rest)
+                  | [], p :: rest -> (p, rest)
+                  | [], [] -> assert false
+                in
+                order (fst pick :: placed) (pick :: acc) rest
+          in
+          order
+            (List.map fst u_from)
+            (List.rev u_from)
+            (a_from @ [ ("$gen", "$gen") ])
+        in
+        let select' =
+          List.init nparams (fun i ->
+              let n = Printf.sprintf "p%d" i in
+              (Printf.sprintf "$%s" n, Spj.Col ("$gen", n)))
+          @ List.map (fun (n, op) -> (n, rewrite_op op)) q.Spj.select
+        in
+        let where' = where_rw in
+        let q' =
+          Spj.make ~name:(q.Spj.qname ^ "+gen") ~from:from' ~where:where'
+            ~select:select'
+        in
+        { cp_from = from'; cp_u = List.map fst u_from; cp_q = q' }
+      in
+      Some
+        {
+          rp_a = a_type;
+          rp_b = b_type;
+          rp_sr = sr;
+          rp_nparams = nparams;
+          rp_schema = schema';
+          rp_choices = List.map plan_choice choices;
+        }
+    end
+  in
+  { sk_rules = List.filter_map plan_rule (Atg.star_rules atg);
+    sk_cnf = None;
+    sk_model = None }
+
+(* gen_A rows as a symbolic source, reusing (and extending) the cached
+   indexed row set when the registry stamps allow *)
+let gen_source cache store a_type nparams =
+  if nparams = 0 then
+    (* all zero-arity parents coincide; one dummy row suffices *)
+    (if Store.gen_cardinal store a_type = 0 then Symbolic.Rows []
+     else Symbolic.Rows [ [| Symbolic.Known (Value.Int 0) |] ])
+  else begin
+    let gv = Store.gen_view store a_type in
+    let ge =
+      match Hashtbl.find_opt cache.c_gens a_type with
+      | Some ge -> ge
+      | None ->
+          let ge =
+            { ge_version = 0; ge_reset = gv.Store.gv_reset; ge_count = 0;
+              ge_ix = Symbolic.indexed_create () }
+          in
+          Hashtbl.replace cache.c_gens a_type ge;
+          ge
+    in
+    if ge.ge_version <> gv.Store.gv_version then begin
+      if ge.ge_reset <> gv.Store.gv_reset then begin
+        Symbolic.indexed_clear ge.ge_ix;
+        ge.ge_count <- 0;
+        ge.ge_reset <- gv.Store.gv_reset
+      end;
+      for i = ge.ge_count to gv.Store.gv_len - 1 do
+        Symbolic.indexed_append ge.ge_ix
+          (Symbolic.of_tuple (Store.node store gv.Store.gv_ids.(i)).Store.attr)
+      done;
+      ge.ge_count <- gv.Store.gv_len;
+      ge.ge_version <- gv.Store.gv_version
+    end;
+    Symbolic.Indexed ge.ge_ix
+  end
+
+(* ---------- canonical models ---------- *)
+
+(* Lexicographically minimal model (ascending variable index, false
+   preferred) of [cnf], reached from any satisfying [witness] by CDCL
+   assumption probes: fix variables left to right, testing with ¬v under
+   the fixed prefix whenever the running model has v true. The result
+   depends only on the formula — not on the witness, the solver that
+   produced it, or any warm-start state — which is what makes cached and
+   cold translations byte-identical. *)
+let canonical_model (inc : Inc.t) nv (witness : Cnf.assignment) :
+    Cnf.assignment =
+  let m = ref witness in
+  let fixed = ref [] in
+  (* reversed prefix of decided literals *)
+  for v = 1 to nv do
+    if v < Array.length !m && !m.(v) then begin
+      match Inc.solve ~assumptions:(List.rev ((-v) :: !fixed)) inc with
+      | Inc.Sat m' ->
+          m := m';
+          fixed := -v :: !fixed
+      | Inc.Unsat -> fixed := v :: !fixed
+    end
+    else fixed := -v :: !fixed
+  done;
+  let out = Array.make (nv + 1) false in
+  List.iter (fun l -> if l > 0 then out.(l) <- true) !fixed;
+  out
+
 (* ---------- the translation ---------- *)
 
 let translate (atg : Atg.t) (db : Database.t) (store : Store.t)
-    ~(connect_edges : (int * int) list) ?(seed = 42) () : outcome =
+    ~(connect_edges : (int * int) list) ?(seed = 42) ?cache
+    ?(warm_start = true) () : outcome =
+  let cache = match cache with Some c -> c | None -> create_cache () in
+  (match cache.c_atg with
+  | Some a when a != atg -> clear_cache cache
+  | _ -> ());
+  cache.c_atg <- Some atg;
   try
     if connect_edges = [] then
       Translated
-        { delta_r = []; provenances = []; sat_vars = 0; sat_clauses = 0 }
+        { delta_r = []; provenances = []; sat_vars = 0; sat_clauses = 0;
+          encode_ms = 0.; solve_ms = 0.; skeleton_hit = false }
     else begin
+      let t_start = now_ms () in
       let schema = atg.Atg.schema in
       let vars = Vars.create () in
       let freshener = make_freshener db in
@@ -388,189 +685,133 @@ let translate (atg : Atg.t) (db : Database.t) (store : Store.t)
         pool;
       let connect_set = Hashtbl.create 16 in
       List.iter (fun e -> Hashtbl.replace connect_set e ()) connect_edges;
+      (* -- skeleton: fetch or build the structural plan -- *)
+      let sk_key =
+        List.sort compare
+          (Hashtbl.fold (fun k _ acc -> k :: acc) templates_by_rel [])
+      in
+      let skeleton_hit, sk =
+        match Hashtbl.find_opt cache.c_skeletons sk_key with
+        | Some sk ->
+            cache.c_hits <- cache.c_hits + 1;
+            (true, sk)
+        | None ->
+            cache.c_misses <- cache.c_misses + 1;
+            let sk =
+              build_skeleton atg schema
+                ~has_templates:(Hashtbl.mem templates_by_rel)
+            in
+            Hashtbl.replace cache.c_skeletons sk_key sk;
+            (false, sk)
+      in
       (* -- step 2: side-effect scan over all edge views -- *)
       let cnf = Cnf.create () in
       let clauses = ref [] in
       (* pending ¬φ clauses, as constraint lists *)
       let intended_rows : ((int * int) * Symbolic.srow) list ref = ref [] in
       let freshenable x = Value.finite_domain (Vars.ty vars x) = None in
-      let scan_rule (a_type : string) (b_type : string) (sr : Atg.star_rule) =
-        let q = sr.Atg.query in
-        let param_tys = Atg.attr_tys atg a_type in
-        let nparams = Array.length param_tys in
-        (* pseudo-relation for gen_A; zero-arity parents (the root) get a
-           single dummy column so the relation stays well-formed *)
-        let gwidth = max 1 nparams in
-        let gen_col i =
-          if nparams = 0 then Schema.attr "p0" Value.TInt
-          else Schema.attr (Printf.sprintf "p%d" i) param_tys.(i)
-        in
-        let gen_rel =
-          Schema.relation "$gen"
-            (List.init gwidth gen_col)
-            ~key:(List.init gwidth (fun i -> Printf.sprintf "p%d" i))
-        in
-        let schema' = Schema.db (gen_rel :: schema.Schema.relations) in
-        let rewrite_op = function
-          | Spj.Param k -> Spj.Col ("$gen", Printf.sprintf "p%d" k)
-          | op -> op
-        in
-        let gen_attrs =
-          if nparams = 0 then
-            (* all zero-arity parents coincide; one dummy row suffices *)
-            if Store.gen_ids store a_type = [] then []
-            else [ [| Symbolic.Known (Value.Int 0) |] ]
-          else
-            List.map
-              (fun id -> Symbolic.of_tuple (Store.node store id).Store.attr)
-              (Store.gen_ids store a_type)
-        in
-        (* positions that can be U (have templates) *)
-        let tpos =
-          List.filter
-            (fun (_, rname) -> Hashtbl.mem templates_by_rel rname)
-            q.Spj.from
-        in
-        if tpos <> [] then begin
-          (* enumerate U/A choices over template-capable positions *)
-          let choices =
-            let rec go = function
-              | [] -> [ [] ]
-              | (alias, _) :: rest ->
-                  let sub = go rest in
-                  List.concat_map
-                    (fun c -> [ (alias, `U) :: c; (alias, `A) :: c ])
-                    sub
+      let scan_rule (rp : rule_plan) =
+        let a_type = rp.rp_a and b_type = rp.rp_b and sr = rp.rp_sr in
+        let nparams = rp.rp_nparams in
+        let gen_src = gen_source cache store a_type nparams in
+        List.iter
+          (fun cp ->
+            let source_of (alias, rname) =
+              if alias = "$gen" then gen_src
+              else if List.mem alias cp.cp_u then
+                Symbolic.Rows
+                  (List.map
+                     (fun t -> Array.map (Vars.resolve vars) t.fields)
+                     (Hashtbl.find templates_by_rel rname))
+              else
+                Symbolic.Concrete (Database.relation db rname, fun _ -> true)
             in
-            List.filter
-              (fun c -> List.exists (fun (_, x) -> x = `U) c)
-              (go tpos)
-          in
-          List.iter
-            (fun choice ->
-              (* build the augmented, reordered query: U positions first,
-                 then gen, then the rest *)
-              let is_u alias =
-                match List.assoc_opt alias choice with
-                | Some `U -> true
-                | _ -> false
-              in
-              let u_from, a_from =
-                List.partition (fun (alias, _) -> is_u alias) q.Spj.from
-              in
-              let from' = u_from @ [ ("$gen", "$gen") ] @ a_from in
-              let select' =
-                List.init nparams (fun i ->
-                    let n = Printf.sprintf "p%d" i in
-                    (Printf.sprintf "$%s" n, Spj.Col ("$gen", n)))
-                @ List.map (fun (n, op) -> (n, rewrite_op op)) q.Spj.select
-              in
-              let where' =
-                List.map
-                  (fun (Spj.Eq (a, b)) -> Spj.Eq (rewrite_op a, rewrite_op b))
-                  q.Spj.where
-              in
-              let q' =
-                Spj.make ~name:(q.Spj.qname ^ "+gen") ~from:from'
-                  ~where:where' ~select:select'
-              in
-              let source_of (alias, rname) =
-                if alias = "$gen" then Symbolic.Rows gen_attrs
-                else if is_u alias then
-                  Symbolic.Rows
-                    (List.map
-                       (fun t -> Array.map (Vars.resolve vars) t.fields)
-                       (Hashtbl.find templates_by_rel rname))
-                else
-                  Symbolic.Concrete (Database.relation db rname, fun _ -> true)
-              in
-              let sources = Array.of_list (List.map source_of from') in
-              let rows = Symbolic.run schema' q' sources in
-              List.iter
-                (fun { Symbolic.row; constraints } ->
-                  (* resolve through current bindings *)
-                  let row = Array.map (Vars.resolve vars) row in
+            let sources = Array.of_list (List.map source_of cp.cp_from) in
+            let rows = Symbolic.run rp.rp_schema cp.cp_q sources in
+            List.iter
+              (fun { Symbolic.row; constraints } ->
+                (* resolve through current bindings *)
+                let row = Array.map (Vars.resolve vars) row in
+                let constraints =
+                  List.filter_map
+                    (fun (Symbolic.Ceq (x, y)) ->
+                      match (Vars.resolve vars x, Vars.resolve vars y) with
+                      | Symbolic.Known a, Symbolic.Known b ->
+                          if Value.equal a b then None
+                          else Some (`False : [ `False | `C of Symbolic.constr ])
+                      | x', y' -> Some (`C (Symbolic.Ceq (x', y'))))
+                    constraints
+                in
+                if not (List.mem `False constraints) then begin
                   let constraints =
                     List.filter_map
-                      (fun (Symbolic.Ceq (x, y)) ->
-                        match (Vars.resolve vars x, Vars.resolve vars y) with
-                        | Symbolic.Known a, Symbolic.Known b ->
-                            if Value.equal a b then None
-                            else Some (`False : [ `False | `C of Symbolic.constr ])
-                        | x', y' -> Some (`C (Symbolic.Ceq (x', y'))))
+                      (function `C c -> Some c | `False -> None)
                       constraints
                   in
-                  if not (List.mem `False constraints) then begin
-                    let constraints =
-                      List.filter_map
-                        (function `C c -> Some c | `False -> None)
-                        constraints
-                    in
-                    (* the row's identity: parent attr ++ child prefix *)
-                    let parent_attr = Array.sub row 0 nparams in
-                    let child_attr =
-                      Array.sub row nparams sr.Atg.attr_width
-                    in
-                    let ground_tuple arr =
-                      let ok = Array.for_all (function Symbolic.Known _ -> true | _ -> false) arr in
-                      if ok then
-                        Some (Array.map (function Symbolic.Known v -> v | _ -> assert false) arr)
-                      else None
-                    in
-                    let intended =
-                      match (ground_tuple parent_attr, ground_tuple child_attr) with
-                      | Some pa, Some ca -> (
-                          match
-                            ( Store.find_id store a_type pa,
-                              Store.find_id store b_type ca )
-                          with
-                          | Some pid, Some cid ->
-                              if
-                                Store.mem_edge store pid cid
-                                || Hashtbl.mem connect_set (pid, cid)
-                              then Some (pid, cid)
-                              else None
-                          | _ -> None)
-                      | _ -> None
-                    in
-                    match intended with
-                    | Some edge ->
-                        if constraints = [] then begin
-                          (* a definite new derivation of an intended edge *)
-                          let full =
-                            Array.sub row nparams (Array.length row - nparams)
-                          in
-                          intended_rows := (edge, full) :: !intended_rows
-                        end
-                        (* conditional derivations of intended edges impose
-                           nothing; if the condition ends up true the
-                           derivation is harmless *)
-                    | None -> (
-                        (* side-effect row *)
-                        match constraints with
-                        | [] ->
-                            rejectf
-                              "insertion has a certain side effect on \
-                               edge_%s_%s"
-                              a_type b_type
-                        | cs ->
+                  (* the row's identity: parent attr ++ child prefix *)
+                  let parent_attr = Array.sub row 0 nparams in
+                  let child_attr =
+                    Array.sub row nparams sr.Atg.attr_width
+                  in
+                  let ground_tuple arr =
+                    let ok = Array.for_all (function Symbolic.Known _ -> true | _ -> false) arr in
+                    if ok then
+                      Some (Array.map (function Symbolic.Known v -> v | _ -> assert false) arr)
+                    else None
+                  in
+                  let intended =
+                    match (ground_tuple parent_attr, ground_tuple child_attr) with
+                    | Some pa, Some ca -> (
+                        match
+                          ( Store.find_id store a_type pa,
+                            Store.find_id store b_type ca )
+                        with
+                        | Some pid, Some cid ->
                             if
-                              List.exists
-                                (fun (Symbolic.Ceq (x, y)) ->
-                                  let fv = function
-                                    | Symbolic.Var v -> freshenable v
-                                    | Symbolic.Known _ -> false
-                                  in
-                                  fv x || fv y)
-                                cs
-                            then () (* case (b): freshening falsifies φ *)
-                            else clauses := cs :: !clauses)
-                  end)
-                rows)
-            choices
-        end
+                              Store.mem_edge store pid cid
+                              || Hashtbl.mem connect_set (pid, cid)
+                            then Some (pid, cid)
+                            else None
+                        | _ -> None)
+                    | _ -> None
+                  in
+                  match intended with
+                  | Some edge ->
+                      if constraints = [] then begin
+                        (* a definite new derivation of an intended edge *)
+                        let full =
+                          Array.sub row nparams (Array.length row - nparams)
+                        in
+                        intended_rows := (edge, full) :: !intended_rows
+                      end
+                      (* conditional derivations of intended edges impose
+                         nothing; if the condition ends up true the
+                         derivation is harmless *)
+                  | None -> (
+                      (* side-effect row *)
+                      match constraints with
+                      | [] ->
+                          rejectf
+                            "insertion has a certain side effect on \
+                             edge_%s_%s"
+                            a_type b_type
+                      | cs ->
+                          if
+                            List.exists
+                              (fun (Symbolic.Ceq (x, y)) ->
+                                let fv = function
+                                  | Symbolic.Var v -> freshenable v
+                                  | Symbolic.Known _ -> false
+                                in
+                                fv x || fv y)
+                              cs
+                          then () (* case (b): freshening falsifies φ *)
+                          else clauses := cs :: !clauses)
+                end)
+              rows)
+          rp.rp_choices
       in
-      List.iter (fun (a, b, sr) -> scan_rule a b sr) (Atg.star_rules atg);
+      List.iter scan_rule sk.sk_rules;
       (* -- step 3: SAT over finite-domain variables -- *)
       let prop_of_eq : (int * Value.t, int) Hashtbl.t = Hashtbl.create 16 in
       let domain_vars : (int, unit) Hashtbl.t = Hashtbl.create 16 in
@@ -637,17 +878,66 @@ let translate (atg : Atg.t) (db : Database.t) (store : Store.t)
               Cnf.exactly_one cnf (List.map (lit_var_eq_value x) dom)
           | None -> ())
         domain_vars;
+      let t_solve = now_ms () in
+      (* -- solve: identical-CNF reuse → warm / cold WalkSAT → complete
+         CDCL — any witness is then canonicalized, so every path yields
+         the same model -- *)
+      let nv = Cnf.nvars cnf in
       let model =
-        if Cnf.nclauses cnf = 0 then Some (Array.make (Cnf.nvars cnf + 1) false)
-        else
-          match Walksat.solve_result ~seed cnf with
-          | Walksat.Sat a -> Some a
-          | Walksat.Unknown -> (
-              (* complete fallback: decide the instance exactly *)
-              match Dpll.solve cnf with
-              | Dpll.Sat a -> Some a
-              | Dpll.Unsat -> None)
+        if Cnf.nclauses cnf = 0 then Some (Array.make (nv + 1) false)
+        else begin
+          let cnf_key = (nv, Cnf.clauses cnf) in
+          let identical =
+            match (sk.sk_cnf, sk.sk_model) with
+            | Some k, (Some _ as m) when warm_start && k = cnf_key -> m
+            | _ -> None
+          in
+          match identical with
+          | Some _ as m ->
+              (* same formula as the previous solve for this skeleton:
+                 the stored canonical model is the answer, no search *)
+              cache.c_warm <- cache.c_warm + 1;
+              m
+          | None ->
+              let witness =
+                let warm =
+                  match sk.sk_model with
+                  | Some prev when warm_start -> (
+                      match Walksat.solve_result ~seed ~init:prev cnf with
+                      | Walksat.Sat a ->
+                          cache.c_warm <- cache.c_warm + 1;
+                          Some a
+                      | Walksat.Unknown -> None)
+                  | _ -> None
+                in
+                match warm with
+                | Some a -> Some a
+                | None -> (
+                    match Walksat.solve_result ~seed cnf with
+                    | Walksat.Sat a -> Some a
+                    | Walksat.Unknown -> None)
+              in
+              let inc = Inc.create () in
+              Inc.add_cnf inc cnf;
+              let model =
+                match witness with
+                | Some w -> Some (canonical_model inc nv w)
+                | None -> (
+                    (* complete fallback: decide the instance exactly *)
+                    match Inc.solve inc with
+                    | Inc.Sat w -> Some (canonical_model inc nv w)
+                    | Inc.Unsat -> None)
+              in
+              cache.c_learned <- cache.c_learned + Inc.n_learned inc;
+              (match model with
+              | Some m ->
+                  sk.sk_cnf <- Some cnf_key;
+                  sk.sk_model <- Some m
+              | None -> ());
+              model
+        end
       in
+      let t_solved = now_ms () in
       match model with
       | None -> Rejected "no side-effect-free instantiation exists (SAT unsat)"
       | Some model ->
@@ -704,6 +994,9 @@ let translate (atg : Atg.t) (db : Database.t) (store : Store.t)
               provenances;
               sat_vars = Cnf.nvars cnf;
               sat_clauses = Cnf.nclauses cnf;
+              encode_ms = t_solve -. t_start;
+              solve_ms = t_solved -. t_solve;
+              skeleton_hit;
             }
     end
   with Reject_exn msg -> Rejected msg

@@ -40,6 +40,11 @@ type t = {
   dirty : (Value.t list, unit) Hashtbl.t;
       (** keys possibly changed since the last {!freeze}; a superset is
           harmless (the patch rewrites them with their current value) *)
+  mutable int_max : int;
+      (** watermark over every [Value.Int] field of every row (0 when
+          none), kept current by insert and invalidated by a delete that
+          removes the maximum — {!int_ceiling} rescans lazily *)
+  mutable int_max_valid : bool;
 }
 
 exception Key_violation of string
@@ -54,6 +59,8 @@ let create schema =
     journal = None;
     committed = Kmap.empty;
     dirty = Hashtbl.create 64;
+    int_max = 0;
+    int_max_valid = true;
   }
 
 let set_journal r j = r.journal <- Some j
@@ -74,6 +81,23 @@ let mem r t =
   | None -> false
 
 let project cols (t : Tuple.t) = List.map (fun c -> t.(c)) cols
+
+let tuple_int_max (t : Tuple.t) =
+  Array.fold_left
+    (fun m v -> match v with Value.Int i when i > m -> i | _ -> m)
+    0 t
+
+(** [int_ceiling r] is the largest [Value.Int] appearing in any field of
+    any row (0 when there is none). Maintained as a watermark so callers
+    that need fresh integer values outside the relation's range (the
+    insertion translator's variable freshener) pay O(1) per query instead
+    of a full scan. *)
+let int_ceiling r =
+  if not r.int_max_valid then begin
+    r.int_max <- Hashtbl.fold (fun _ t m -> max m (tuple_int_max t)) r.rows 0;
+    r.int_max_valid <- true
+  end;
+  r.int_max
 
 let index_add idx cols t =
   let k = project cols t in
@@ -125,6 +149,9 @@ let rec insert r t =
       Hashtbl.replace r.rows key t;
       Hashtbl.replace r.dirty key ();
       Hashtbl.iter (fun cols idx -> index_add idx cols t) r.indexes;
+      (if r.int_max_valid then
+         let m = tuple_int_max t in
+         if m > r.int_max then r.int_max <- m);
       record r (fun () -> ignore (delete_key r key))
   | Some t' when Tuple.equal t t' -> ()
   | Some _ ->
@@ -142,6 +169,8 @@ and delete_key r key =
       Hashtbl.remove r.rows key;
       Hashtbl.replace r.dirty key ();
       Hashtbl.iter (fun cols idx -> index_remove idx cols t) r.indexes;
+      (if r.int_max_valid && r.int_max > 0 && tuple_int_max t = r.int_max then
+         r.int_max_valid <- false);
       record r (fun () -> insert r t);
       true
 
@@ -169,7 +198,14 @@ let copy r =
     journal = None;
     committed = Kmap.empty;
     dirty;
+    int_max = 0;
+    int_max_valid = false;
   }
+
+(** [drop_indexes r] discards every secondary index (they rebuild on
+    demand) — lets benchmarks measure genuinely cold probe paths and
+    callers reclaim memory after a bulk load. *)
+let drop_indexes r = Hashtbl.reset r.indexes
 
 (* ---- frozen views (MVCC snapshot reads) ---- *)
 

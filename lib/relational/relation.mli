@@ -82,6 +82,16 @@ val index_on : t -> int list -> (Value.t list, Tuple.t list) Hashtbl.t
     first request, then maintained incrementally under inserts and
     deletes. The returned table is live — treat it as read-only. *)
 
+val drop_indexes : t -> unit
+(** discard every secondary index (they rebuild on demand) — for cold
+    benchmark arms and memory reclamation after bulk loads *)
+
+val int_ceiling : t -> int
+(** the largest [Value.Int] in any field of any row, 0 when none.
+    Maintained as an O(1) watermark (a delete removing the maximum
+    triggers one lazy rescan) — serves fresh-value allocation without a
+    per-call full scan. *)
+
 val select_eq : t -> int -> Value.t -> Tuple.t list
 (** linear scan on one column; repeated lookups should use
     {!index_on} *)

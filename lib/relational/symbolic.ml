@@ -20,14 +20,80 @@ type constr = Ceq of sval * sval
 
 type result_row = { row : srow; constraints : constr list }
 
-(** A symbolic source for one FROM position: either a concrete relation with
-    a row filter (so [I_i \ X_i] needs no copying), or an explicit list of
-    symbolic rows (the tuple-template sets [U_i], or [X_i ∩ I_i]). *)
+exception Symbolic_error of string
+
+let symbolic_error fmt = Fmt.kstr (fun s -> raise (Symbolic_error s)) fmt
+
+(** A persistent, append-only collection of ground symbolic rows carrying
+    its own per-column-set hash indexes, so a caller that evaluates many
+    queries against a slowly growing row set (the insertion translator's
+    gen_A pseudo-relations) amortizes index construction across calls
+    instead of rebuilding per {!run}. *)
+type indexed = {
+  mutable ix_rows : srow array;  (** live prefix [0, ix_len) *)
+  mutable ix_len : int;
+  ix_indexes : (int list, (Value.t list, srow list) Hashtbl.t) Hashtbl.t;
+}
+
+(** A symbolic source for one FROM position: a concrete relation with a
+    row filter (so [I_i \ X_i] needs no copying), an explicit list of
+    symbolic rows (the tuple-template sets [U_i], or [X_i ∩ I_i]), or a
+    reusable pre-indexed ground row set. *)
 type source =
   | Concrete of Relation.t * (Tuple.t -> bool)
   | Rows of srow list
+  | Indexed of indexed
 
 let of_tuple (t : Tuple.t) : srow = Array.map (fun v -> Known v) t
+
+let indexed_create () =
+  { ix_rows = [||]; ix_len = 0; ix_indexes = Hashtbl.create 4 }
+
+let indexed_length ix = ix.ix_len
+
+let indexed_clear ix =
+  ix.ix_rows <- [||];
+  ix.ix_len <- 0;
+  Hashtbl.reset ix.ix_indexes
+
+let ix_key cols (row : srow) =
+  List.map
+    (fun c ->
+      match row.(c) with
+      | Known v -> v
+      | Var x -> symbolic_error "Indexed source: variable ?%d in row" x)
+    cols
+
+let indexed_append ix (row : srow) =
+  if ix.ix_len = Array.length ix.ix_rows then begin
+    let a = Array.make (max 16 (2 * ix.ix_len)) [||] in
+    Array.blit ix.ix_rows 0 a 0 ix.ix_len;
+    ix.ix_rows <- a
+  end;
+  ix.ix_rows.(ix.ix_len) <- row;
+  ix.ix_len <- ix.ix_len + 1;
+  (* keep every materialized index current; buckets hold newest first,
+     matching a fresh build (which scans in order and prepends) *)
+  Hashtbl.iter
+    (fun cols idx ->
+      let k = ix_key cols row in
+      let prev = Option.value ~default:[] (Hashtbl.find_opt idx k) in
+      Hashtbl.replace idx k (row :: prev))
+    ix.ix_indexes
+
+let indexed_index ix cols =
+  match Hashtbl.find_opt ix.ix_indexes cols with
+  | Some idx -> idx
+  | None ->
+      let idx = Hashtbl.create (max 16 ix.ix_len) in
+      for i = 0 to ix.ix_len - 1 do
+        let row = ix.ix_rows.(i) in
+        let k = ix_key cols row in
+        let prev = Option.value ~default:[] (Hashtbl.find_opt idx k) in
+        Hashtbl.replace idx k (row :: prev)
+      done;
+      Hashtbl.replace ix.ix_indexes cols idx;
+      idx
 
 let sval_equal a b =
   match (a, b) with
@@ -49,17 +115,13 @@ let constr_equal (Ceq (a, b)) (Ceq (c, d)) =
 
 let add_constr c cs = if List.exists (constr_equal c) cs then cs else c :: cs
 
-exception Symbolic_error of string
-
-let symbolic_error fmt = Fmt.kstr (fun s -> raise (Symbolic_error s)) fmt
-
-let source_length = function
-  | Concrete (r, _) -> Relation.cardinal r
-  | Rows rows -> List.length rows
-
 let iter_source f = function
   | Concrete (r, keep) -> Relation.iter (fun t -> if keep t then f (of_tuple t)) r
   | Rows rows -> List.iter f rows
+  | Indexed ix ->
+      for i = 0 to ix.ix_len - 1 do
+        f ix.ix_rows.(i)
+      done
 
 (** [run db q ~params sources] evaluates [q] with FROM position [i] ranging
     over [sources.(i)]. [params] are ground. Returns every produced view row
@@ -123,34 +185,65 @@ let run (db : Schema.db) (q : Spj.t) ?(params = [||]) (sources : source array)
     | _ -> None
   in
   let results = ref [] in
-  (* Hash index over one source on ground columns; symbolic rows with a
-     variable in an indexed column are kept aside for residual scanning. *)
+  (* Per-position join access paths, as (lookup, residual): symbolic rows
+     with a variable in an indexed column are kept aside for residual
+     scanning. Concrete relations probe their own persistent
+     {!Relation.index_on} (built once, maintained across updates) and
+     [Indexed] sources their own carried indexes, so repeated runs pay no
+     per-call index construction; only [Rows] sources — small template
+     sets — build a throwaway table here. *)
   let index_cache = Hashtbl.create 4 in
   let build_index i cols =
     match Hashtbl.find_opt index_cache (i, cols) with
     | Some x -> x
     | None ->
-        let idx = Hashtbl.create (max 16 (source_length sources.(i))) in
-        let residual = ref [] in
-        iter_source
-          (fun row ->
-            let ground = ref true in
-            let key =
-              List.map
-                (fun c ->
-                  match row.(c) with
-                  | Known v -> v
-                  | Var _ ->
-                      ground := false;
-                      Value.Null)
-                cols
-            in
-            if !ground then
-              let prev = Option.value ~default:[] (Hashtbl.find_opt idx key) in
-              Hashtbl.replace idx key (row :: prev)
-            else residual := row :: !residual)
-          sources.(i);
-        let x = (idx, !residual) in
+        let x =
+          match sources.(i) with
+          | Concrete (r, keep) ->
+              let idx = Relation.index_on r cols in
+              let lookup key =
+                match Hashtbl.find_opt idx key with
+                | None -> []
+                | Some ts ->
+                    List.filter_map
+                      (fun t -> if keep t then Some (of_tuple t) else None)
+                      ts
+              in
+              (lookup, [])
+          | Indexed ix ->
+              let idx = indexed_index ix cols in
+              let lookup key =
+                Option.value ~default:[] (Hashtbl.find_opt idx key)
+              in
+              (lookup, [])
+          | Rows rows ->
+              let idx = Hashtbl.create (max 16 (List.length rows)) in
+              let residual = ref [] in
+              List.iter
+                (fun row ->
+                  let ground = ref true in
+                  let key =
+                    List.map
+                      (fun c ->
+                        match row.(c) with
+                        | Known v -> v
+                        | Var _ ->
+                            ground := false;
+                            Value.Null)
+                      cols
+                  in
+                  if !ground then
+                    let prev =
+                      Option.value ~default:[] (Hashtbl.find_opt idx key)
+                    in
+                    Hashtbl.replace idx key (row :: prev)
+                  else residual := row :: !residual)
+                rows;
+              let lookup key =
+                Option.value ~default:[] (Hashtbl.find_opt idx key)
+              in
+              (lookup, !residual)
+        in
         Hashtbl.replace index_cache (i, cols) x;
         x
   in
@@ -223,10 +316,8 @@ let run (db : Schema.db) (q : Spj.t) ?(params = [||]) (sources : source array)
           else begin
             let cols = List.map fst hashable in
             let key = List.map snd hashable in
-            let idx, residual = build_index i cols in
-            (match Hashtbl.find_opt idx key with
-            | None -> ()
-            | Some rows -> List.iter (fun row -> try_row_f row cs) rows);
+            let lookup, residual = build_index i cols in
+            List.iter (fun row -> try_row_f row cs) (lookup key);
             (* Symbolic rows bypass the hash; re-check the hashed equalities
                as symbolic constraints. *)
             List.iter

@@ -9,9 +9,12 @@
 type result =
   | Sat of Cnf.assignment
   | Unsat
+  | Unknown
+
+exception Budget
 
 (* Clauses as literal lists; assignment as a partial map. *)
-let solve (f : Cnf.t) : result =
+let solve ?max_conflicts (f : Cnf.t) : result =
   let nv = Cnf.nvars f in
   let clauses = Array.to_list (Cnf.clauses f) in
   let clauses = List.map Array.to_list clauses in
@@ -58,9 +61,18 @@ let solve (f : Cnf.t) : result =
     done;
     !pures
   in
+  let conflicts = ref 0 in
+  let bump_conflict () =
+    incr conflicts;
+    match max_conflicts with
+    | Some b when !conflicts > b -> raise Budget
+    | _ -> ()
+  in
   let rec go cls =
     match simplify cls with
-    | None -> false
+    | None ->
+        bump_conflict ();
+        false
     | Some [] -> true
     | Some cls -> (
         match pure_literals cls with
@@ -88,13 +100,14 @@ let solve (f : Cnf.t) : result =
                 end
             | _ -> assert false))
   in
-  if go clauses then begin
-    let a = Array.make (nv + 1) false in
-    for v = 1 to nv do
-      a.(v) <- values.(v) = 1
-    done;
-    Sat a
-  end
-  else Unsat
+  match go clauses with
+  | true ->
+      let a = Array.make (nv + 1) false in
+      for v = 1 to nv do
+        a.(v) <- values.(v) = 1
+      done;
+      Sat a
+  | false -> Unsat
+  | exception Budget -> Unknown
 
-let is_satisfiable f = match solve f with Sat _ -> true | Unsat -> false
+let is_satisfiable f = match solve f with Sat _ -> true | Unsat | Unknown -> false

@@ -1,11 +1,16 @@
 (** A small complete SAT solver (DPLL with unit propagation and
-    pure-literal elimination). Cross-checks WalkSAT and the insertion
-    encoding in tests, and decides small instances exactly when WalkSAT
-    gives up. Not meant for large formulas. *)
+    pure-literal elimination). Cross-checks WalkSAT, {!Inc} and the
+    insertion encoding in tests, and decides small instances exactly.
+    Not meant for large formulas. *)
 
 type result =
   | Sat of Cnf.assignment
   | Unsat
+  | Unknown  (** [?max_conflicts] budget exhausted before a verdict *)
 
-val solve : Cnf.t -> result
+val solve : ?max_conflicts:int -> Cnf.t -> result
+(** [max_conflicts] bounds the number of backtracking conflicts explored
+    before giving up with [Unknown], so adversarial instances cannot
+    hang a caller; omit it for an exact (complete) run *)
+
 val is_satisfiable : Cnf.t -> bool

@@ -1,0 +1,474 @@
+(* Incremental CDCL solver: two watched literals, VSIDS-style
+   activities with phase saving, first-UIP learning, geometric
+   restarts, assumption literals, and push/pop clause scopes.
+
+   Literals are encoded as in Cnf (+v / -v, variables from 1); watch
+   lists are indexed by literal code 2v (positive) / 2v+1 (negative).
+   Every solve starts from an empty trail and re-propagates the unit
+   clauses — with pop able to retract reason clauses, persistent
+   level-0 state would need reference counting for no measurable win
+   at the instance sizes the translator produces. *)
+
+type clause = { lits : int array; learned : bool }
+
+type scope_mark = {
+  m_nclauses : int;
+  m_nunits : int;
+  m_unsat : bool;
+}
+
+type t = {
+  mutable clauses : clause array;       (* live prefix [0, nclauses) *)
+  mutable nclauses : int;
+  mutable units : int array;            (* unit clauses, live prefix [0, nunits) *)
+  mutable nunits : int;
+  mutable nvars : int;
+  (* per-variable state, indexed by variable, slot 0 unused *)
+  mutable values : int array;           (* -1 unassigned / 0 false / 1 true *)
+  mutable level : int array;
+  mutable reason : int array;           (* clause index, or -1 *)
+  mutable activity : float array;
+  mutable phase : bool array;           (* saved polarity, starts false *)
+  mutable seen : bool array;            (* scratch for conflict analysis *)
+  (* per-literal-code watch lists *)
+  mutable watches : int list array;
+  (* trail *)
+  mutable trail : int array;
+  mutable trail_n : int;
+  mutable trail_lim : int array;        (* decision-level boundaries *)
+  mutable nlevels : int;
+  mutable qhead : int;
+  (* heuristics *)
+  mutable var_inc : float;
+  (* scopes *)
+  mutable marks : scope_mark list;
+  mutable unsat : bool;                 (* empty clause in current scope *)
+  (* counters *)
+  mutable conflicts : int;
+  mutable learned_live : int;
+}
+
+type result = Sat of Cnf.assignment | Unsat
+
+let var_decay = 1.0 /. 0.95
+let rescale_limit = 1e100
+
+let create () =
+  {
+    clauses = Array.make 16 { lits = [||]; learned = false };
+    nclauses = 0;
+    units = Array.make 8 0;
+    nunits = 0;
+    nvars = 0;
+    values = Array.make 1 (-1);
+    level = Array.make 1 0;
+    reason = Array.make 1 (-1);
+    activity = Array.make 1 0.0;
+    phase = Array.make 1 false;
+    seen = Array.make 1 false;
+    watches = Array.make 2 [];
+    trail = Array.make 16 0;
+    trail_n = 0;
+    trail_lim = Array.make 16 0;
+    nlevels = 0;
+    qhead = 0;
+    var_inc = 1.0;
+    marks = [];
+    unsat = false;
+    conflicts = 0;
+    learned_live = 0;
+  }
+
+let nvars t = t.nvars
+let n_conflicts t = t.conflicts
+let n_learned t = t.learned_live
+
+let grow_int a n fill =
+  let a' = Array.make n fill in
+  Array.blit a 0 a' 0 (Array.length a);
+  a'
+
+let ensure_nvars t n =
+  if n > t.nvars then begin
+    let cap = Array.length t.values in
+    if n + 1 > cap then begin
+      let cap' = max (n + 1) (2 * cap) in
+      t.values <- grow_int t.values cap' (-1);
+      t.level <- grow_int t.level cap' 0;
+      t.reason <- grow_int t.reason cap' (-1);
+      let act = Array.make cap' 0.0 in
+      Array.blit t.activity 0 act 0 (Array.length t.activity);
+      t.activity <- act;
+      let ph = Array.make cap' false in
+      Array.blit t.phase 0 ph 0 (Array.length t.phase);
+      t.phase <- ph;
+      let sn = Array.make cap' false in
+      Array.blit t.seen 0 sn 0 (Array.length t.seen);
+      t.seen <- sn;
+      let w = Array.make (2 * cap') [] in
+      Array.blit t.watches 0 w 0 (Array.length t.watches);
+      t.watches <- w
+    end;
+    (* mark freshly visible variables unassigned *)
+    for v = t.nvars + 1 to n do
+      t.values.(v) <- -1;
+      t.reason.(v) <- -1
+    done;
+    t.nvars <- n
+  end
+
+let code l = if l > 0 then 2 * l else (-2 * l) + 1
+
+(* value of a literal under the current assignment: -1 / 0 / 1 *)
+let lit_value t l =
+  let v = t.values.(abs l) in
+  if v < 0 then -1 else if l > 0 then v else 1 - v
+
+let watch t l ci = t.watches.(code l) <- ci :: t.watches.(code l)
+
+let push_clause t c =
+  if t.nclauses = Array.length t.clauses then begin
+    let a = Array.make (2 * t.nclauses) c in
+    Array.blit t.clauses 0 a 0 t.nclauses;
+    t.clauses <- a
+  end;
+  t.clauses.(t.nclauses) <- c;
+  t.nclauses <- t.nclauses + 1;
+  t.nclauses - 1
+
+let attach t ci =
+  let c = t.clauses.(ci) in
+  watch t c.lits.(0) ci;
+  watch t c.lits.(1) ci
+
+let add_clause_arr t lits learned =
+  Array.iter (fun l -> ensure_nvars t (abs l)) lits;
+  if Array.length lits = 0 then t.unsat <- true
+  else if Array.length lits = 1 then begin
+    if t.nunits = Array.length t.units then
+      t.units <- grow_int t.units (2 * t.nunits) 0;
+    t.units.(t.nunits) <- lits.(0);
+    t.nunits <- t.nunits + 1
+  end
+  else begin
+    let ci = push_clause t { lits; learned } in
+    attach t ci;
+    if learned then t.learned_live <- t.learned_live + 1
+  end
+
+let add_clause t lits =
+  let lits = List.sort_uniq compare lits in
+  let tautological =
+    List.exists (fun l -> l < 0 && List.mem (-l) lits) lits
+  in
+  if not tautological then
+    add_clause_arr t (Array.of_list lits) false
+
+let add_cnf t f =
+  ensure_nvars t (Cnf.nvars f);
+  Array.iter (fun cl -> add_clause_arr t (Array.copy cl) false) (Cnf.clauses f)
+
+(* ---- trail ---------------------------------------------------------- *)
+
+let enqueue t l reason_ci =
+  let v = abs l in
+  t.values.(v) <- (if l > 0 then 1 else 0);
+  t.level.(v) <- t.nlevels;
+  t.reason.(v) <- reason_ci;
+  t.phase.(v) <- l > 0;
+  if t.trail_n = Array.length t.trail then
+    t.trail <- grow_int t.trail (2 * t.trail_n) 0;
+  t.trail.(t.trail_n) <- l;
+  t.trail_n <- t.trail_n + 1
+
+let new_level t =
+  if t.nlevels = Array.length t.trail_lim then
+    t.trail_lim <- grow_int t.trail_lim (2 * t.nlevels) 0;
+  t.trail_lim.(t.nlevels) <- t.trail_n;
+  t.nlevels <- t.nlevels + 1
+
+(* undo the trail down to decision level [lvl], keeping levels 0..lvl —
+   in particular level-0 facts (propagated units) survive a restart's
+   backtrack to 0, which only discards decisions *)
+let backtrack t lvl =
+  if t.nlevels > lvl then begin
+    let keep = t.trail_lim.(lvl) in
+    for i = t.trail_n - 1 downto keep do
+      let v = abs t.trail.(i) in
+      t.values.(v) <- -1;
+      t.reason.(v) <- -1
+    done;
+    t.trail_n <- keep;
+    t.qhead <- min t.qhead keep;
+    t.nlevels <- lvl
+  end
+
+(* ---- propagation ---------------------------------------------------- *)
+
+(* returns the index of a conflicting clause, or -1 *)
+let propagate t =
+  let conflict = ref (-1) in
+  while !conflict < 0 && t.qhead < t.trail_n do
+    let p = t.trail.(t.qhead) in
+    t.qhead <- t.qhead + 1;
+    let false_lit = -p in
+    let ws = t.watches.(code false_lit) in
+    t.watches.(code false_lit) <- [];
+    let rec go = function
+      | [] -> ()
+      | ci :: rest when !conflict >= 0 ->
+          (* conflict already found: keep remaining watchers in place *)
+          t.watches.(code false_lit) <- ci :: t.watches.(code false_lit);
+          go rest
+      | ci :: rest ->
+          let c = t.clauses.(ci) in
+          let lits = c.lits in
+          (* normalize so the false literal sits in slot 1 *)
+          if lits.(0) = false_lit then begin
+            lits.(0) <- lits.(1);
+            lits.(1) <- false_lit
+          end;
+          let first = lits.(0) in
+          if lit_value t first = 1 then begin
+            (* satisfied: keep watching false_lit *)
+            t.watches.(code false_lit) <- ci :: t.watches.(code false_lit);
+            go rest
+          end
+          else begin
+            (* look for a non-false literal to watch instead *)
+            let n = Array.length lits in
+            let k = ref 2 in
+            while !k < n && lit_value t lits.(!k) = 0 do incr k done;
+            if !k < n then begin
+              lits.(1) <- lits.(!k);
+              lits.(!k) <- false_lit;
+              watch t lits.(1) ci;
+              go rest
+            end
+            else begin
+              (* unit or conflicting *)
+              t.watches.(code false_lit) <- ci :: t.watches.(code false_lit);
+              if lit_value t first = 0 then begin
+                conflict := ci;
+                go rest
+              end
+              else begin
+                enqueue t first ci;
+                go rest
+              end
+            end
+          end
+    in
+    go ws
+  done;
+  !conflict
+
+(* ---- heuristics ----------------------------------------------------- *)
+
+let bump t v =
+  t.activity.(v) <- t.activity.(v) +. t.var_inc;
+  if t.activity.(v) > rescale_limit then begin
+    for i = 1 to t.nvars do
+      t.activity.(i) <- t.activity.(i) *. 1e-100
+    done;
+    t.var_inc <- t.var_inc *. 1e-100
+  end
+
+let decay t = t.var_inc <- t.var_inc *. var_decay
+
+(* unassigned variable with the highest activity; ties break toward the
+   smallest index, which combined with the all-false initial phase gives
+   deterministic searches *)
+let pick_branch_var t =
+  let best = ref 0 and best_act = ref neg_infinity in
+  for v = 1 to t.nvars do
+    if t.values.(v) < 0 && t.activity.(v) > !best_act then begin
+      best := v;
+      best_act := t.activity.(v)
+    end
+  done;
+  !best
+
+(* ---- conflict analysis (first UIP) --------------------------------- *)
+
+let analyze t confl =
+  t.conflicts <- t.conflicts + 1;
+  let learnt = ref [] in
+  let counter = ref 0 in
+  let p = ref 0 in
+  let confl = ref confl in
+  let idx = ref (t.trail_n - 1) in
+  let continue = ref true in
+  while !continue do
+    let c = t.clauses.(!confl) in
+    Array.iter
+      (fun q ->
+        if q <> !p then begin
+          let v = abs q in
+          if (not t.seen.(v)) && t.level.(v) > 0 then begin
+            t.seen.(v) <- true;
+            bump t v;
+            if t.level.(v) >= t.nlevels then incr counter
+            else learnt := q :: !learnt
+          end
+        end)
+      c.lits;
+    (* find the next marked literal on the trail *)
+    while not t.seen.(abs t.trail.(!idx)) do decr idx done;
+    p := t.trail.(!idx);
+    t.seen.(abs !p) <- false;
+    decr counter;
+    if !counter = 0 then continue := false
+    else begin
+      confl := t.reason.(abs !p);
+      decr idx
+    end
+  done;
+  let learnt = -(!p) :: !learnt in
+  List.iter (fun q -> t.seen.(abs q) <- false) learnt;
+  (* backjump level = max level among the non-asserting literals *)
+  let btlevel =
+    List.fold_left
+      (fun acc q -> if q = -(!p) then acc else max acc (t.level.(abs q)))
+      0 learnt
+  in
+  (Array.of_list learnt, btlevel)
+
+(* ---- search --------------------------------------------------------- *)
+
+exception Found_unsat
+
+let restart_first = 100
+let restart_inc = 1.5
+
+let solve ?(assumptions = []) t =
+  if t.unsat then Unsat
+  else begin
+    List.iter (fun l -> ensure_nvars t (abs l)) assumptions;
+    let assumptions = Array.of_list assumptions in
+    backtrack t 0;
+    (* full reset: re-propagate units each call (pop may retract them) *)
+    t.trail_n <- 0;
+    t.qhead <- 0;
+    for v = 1 to t.nvars do
+      t.values.(v) <- -1;
+      t.reason.(v) <- -1
+    done;
+    try
+      for i = 0 to t.nunits - 1 do
+        let l = t.units.(i) in
+        match lit_value t l with
+        | 1 -> ()
+        | 0 -> raise Found_unsat
+        | _ ->
+            enqueue t l (-1);
+            if propagate t >= 0 then raise Found_unsat
+      done;
+      if propagate t >= 0 then raise Found_unsat;
+      let restart_budget = ref (float_of_int restart_first) in
+      let conflicts_here = ref 0 in
+      let result = ref None in
+      while !result = None do
+        let confl = propagate t in
+        if confl >= 0 then begin
+          if t.nlevels = 0 then raise Found_unsat;
+          incr conflicts_here;
+          let learnt, btlevel = analyze t confl in
+          backtrack t btlevel;
+          if Array.length learnt = 1 then begin
+            (* asserting unit: keep it for future calls too *)
+            if t.nunits = Array.length t.units then
+              t.units <- grow_int t.units (2 * max 1 t.nunits) 0;
+            t.units.(t.nunits) <- learnt.(0);
+            t.nunits <- t.nunits + 1;
+            enqueue t learnt.(0) (-1)
+          end
+          else begin
+            let ci = push_clause t { lits = learnt; learned = true } in
+            (* slot 1 must hold a literal of the backjump level so the
+               watch invariant holds after the assertion below *)
+            let n = Array.length learnt in
+            let sw = ref 1 in
+            for k = 2 to n - 1 do
+              if t.level.(abs learnt.(k)) > t.level.(abs learnt.(!sw)) then
+                sw := k
+            done;
+            if !sw <> 1 then begin
+              let tmp = learnt.(1) in
+              learnt.(1) <- learnt.(!sw);
+              learnt.(!sw) <- tmp
+            end;
+            attach t ci;
+            t.learned_live <- t.learned_live + 1;
+            enqueue t learnt.(0) ci
+          end;
+          decay t
+        end
+        else if !conflicts_here >= int_of_float !restart_budget then begin
+          (* restart: keep learned clauses, drop the partial assignment
+             (assumption levels are re-decided by the loop below) *)
+          conflicts_here := 0;
+          restart_budget := !restart_budget *. restart_inc;
+          backtrack t 0
+        end
+        else if t.nlevels < Array.length assumptions then begin
+          (* re-establish the next assumption *)
+          let l = assumptions.(t.nlevels) in
+          match lit_value t l with
+          | 1 -> new_level t (* already holds: empty decision level *)
+          | 0 -> result := Some Unsat
+          | _ ->
+              new_level t;
+              enqueue t l (-1)
+        end
+        else begin
+          match pick_branch_var t with
+          | 0 ->
+              (* total assignment *)
+              let m = Array.make (t.nvars + 1) false in
+              for v = 1 to t.nvars do
+                m.(v) <- t.values.(v) = 1
+              done;
+              result := Some (Sat m)
+          | v ->
+              new_level t;
+              enqueue t (if t.phase.(v) then v else -v) (-1)
+        end
+      done;
+      backtrack t 0;
+      match !result with Some r -> r | None -> assert false
+    with Found_unsat ->
+      backtrack t 0;
+      Unsat
+  end
+
+(* ---- scopes --------------------------------------------------------- *)
+
+let push t =
+  t.marks <-
+    { m_nclauses = t.nclauses; m_nunits = t.nunits; m_unsat = t.unsat }
+    :: t.marks
+
+let pop t =
+  match t.marks with
+  | [] -> invalid_arg "Inc.pop: no open scope"
+  | m :: rest ->
+      t.marks <- rest;
+      backtrack t 0;
+      (* clauses (original and learned) added in the scope go away;
+         learned clauses may depend on scope clauses, so both must *)
+      if t.nclauses > m.m_nclauses then begin
+        for ci = m.m_nclauses to t.nclauses - 1 do
+          if t.clauses.(ci).learned then
+            t.learned_live <- t.learned_live - 1
+        done;
+        for i = 0 to Array.length t.watches - 1 do
+          match t.watches.(i) with
+          | [] -> ()
+          | ws ->
+              t.watches.(i) <- List.filter (fun ci -> ci < m.m_nclauses) ws
+        done;
+        t.nclauses <- m.m_nclauses
+      end;
+      t.nunits <- m.m_nunits;
+      t.unsat <- m.m_unsat

@@ -301,6 +301,10 @@ let stats_reply t (st : Engine.stats) ~generation =
             ("live_reads", Atomic.get t.eng.Engine.live_reads);
             ("snapshot_reads", Atomic.get t.eng.Engine.snapshot_reads);
             ("lock_read_acquisitions", Rwlock.read_acquisitions t.lock);
+            ("sat_skeleton_hits", st.Engine.sat_skeleton_hits);
+            ("sat_skeleton_misses", st.Engine.sat_skeleton_misses);
+            ("sat_learned_kept", st.Engine.sat_learned_kept);
+            ("sat_warm_starts", st.Engine.sat_warm_starts);
           ];
       st_gauges = snap.Metrics.gauges;
       st_latencies = snap.Metrics.latencies;

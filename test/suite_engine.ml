@@ -229,6 +229,82 @@ let test_synth_roundtrip () =
       | Error r -> Alcotest.failf "rejection: %a" Engine.pp_rejection r)
     ins
 
+(* --- skeleton-cached translation ≡ cold translation --- *)
+
+(* Apply [u] to both engines; the outcomes must agree exactly (same ΔR
+   or both rejected). The engines then stay in lock-step, so one
+   workload stream generated from [ea]'s store drives both. *)
+let apply_both ea eb u =
+  match
+    (Engine.apply ~policy:`Proceed ea u, Engine.apply ~policy:`Proceed eb u)
+  with
+  | Ok a, Ok b -> check "same ΔR" true (a.Engine.delta_r = b.Engine.delta_r)
+  | Error _, Error _ -> ()
+  | Ok _, Error r -> Alcotest.failf "cold rejected, cached ok: %a" Engine.pp_rejection r
+  | Error r, Ok _ -> Alcotest.failf "cached rejected, cold ok: %a" Engine.pp_rejection r
+
+let all_provenances store =
+  let acc = ref [] in
+  Store.iter_edges
+    (fun u v info -> acc := ((u, v), List.sort compare info.Store.provenance) :: !acc)
+    store;
+  List.sort compare !acc
+
+let test_cached_eq_cold () =
+  let params = Synth.default_params ~seed:21 50 in
+  let da = Synth.generate params and db_ = Synth.generate params in
+  let ea = Engine.create (Synth.atg ()) da.Synth.db in
+  let eb = Engine.create (Synth.atg ()) db_.Synth.db in
+  (* 60 random insert workloads: ea keeps its cache warm across all of
+     them, eb is forced cold before every single translation *)
+  for round = 1 to 20 do
+    let ins =
+      Updates.insertions da ea.Engine.store Updates.W2 ~count:3
+        ~seed:(100 + round) ()
+    in
+    List.iter
+      (fun u ->
+        Rxv_core.Vinsert.clear_cache eb.Engine.sat;
+        apply_both ea eb u)
+      ins
+  done;
+  (* the cached engine really did reuse skeletons *)
+  let st = Engine.stats ea in
+  check "skeletons reused" true (st.Engine.sat_skeleton_hits > 0);
+  check "cold engine never hit" true
+    ((Engine.stats eb).Engine.sat_skeleton_hits = 0);
+  assert_consistent ea;
+  assert_consistent eb;
+  check "final views equal" true
+    (Tree.equal_canonical (Engine.to_tree ea) (Engine.to_tree eb));
+  check "edge provenances equal" true
+    (all_provenances ea.Engine.store = all_provenances eb.Engine.store)
+
+(* --- warm-started solving is deterministic under fixed seeds --- *)
+
+let test_warm_determinism () =
+  let params = Synth.default_params ~seed:31 40 in
+  let d1 = Synth.generate params and d2 = Synth.generate params in
+  let e1 = Engine.create (Synth.atg ()) d1.Synth.db in
+  let e2 = Engine.create (Synth.atg ()) d2.Synth.db in
+  for round = 1 to 5 do
+    let ins =
+      Updates.insertions d1 e1.Engine.store Updates.W2 ~count:4
+        ~seed:(200 + round) ()
+    in
+    List.iter (fun u -> apply_both e1 e2 u) ins
+  done;
+  check "identical final views" true
+    (Tree.equal_canonical (Engine.to_tree e1) (Engine.to_tree e2));
+  check "identical provenances" true
+    (all_provenances e1.Engine.store = all_provenances e2.Engine.store);
+  let s1 = Engine.stats e1 and s2 = Engine.stats e2 in
+  check_int "same warm starts" s1.Engine.sat_warm_starts
+    s2.Engine.sat_warm_starts;
+  check_int "same skeleton hits" s1.Engine.sat_skeleton_hits
+    s2.Engine.sat_skeleton_hits;
+  assert_consistent e1
+
 let tests =
   [
     Alcotest.test_case "publish registrar" `Quick test_publish_registrar;
@@ -245,4 +321,7 @@ let tests =
     Alcotest.test_case "cyclic insertion rejected" `Quick
       test_cyclic_insert_rejected;
     Alcotest.test_case "synthetic round-trips" `Quick test_synth_roundtrip;
+    Alcotest.test_case "skeleton-cached ≡ cold translation" `Quick
+      test_cached_eq_cold;
+    Alcotest.test_case "warm-start determinism" `Quick test_warm_determinism;
   ]

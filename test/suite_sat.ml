@@ -4,6 +4,7 @@
 module Cnf = Rxv_sat.Cnf
 module Walksat = Rxv_sat.Walksat
 module Dpll = Rxv_sat.Dpll
+module Inc = Rxv_sat.Inc
 module Rng = Rxv_sat.Rng
 
 let check = Alcotest.(check bool)
@@ -55,6 +56,7 @@ let test_exactly_one () =
   Cnf.exactly_one f vars;
   match Dpll.solve f with
   | Dpll.Unsat -> Alcotest.fail "exactly-one unsat"
+  | Dpll.Unknown -> Alcotest.fail "unbudgeted DPLL gave up"
   | Dpll.Sat a ->
       let count = List.length (List.filter (fun v -> a.(v)) vars) in
       Alcotest.(check int) "exactly one true" 1 count
@@ -152,7 +154,8 @@ let dpll_complete =
       let expect = brute_force_sat f in
       match Dpll.solve f with
       | Dpll.Sat a -> expect && Cnf.satisfies a f
-      | Dpll.Unsat -> not expect)
+      | Dpll.Unsat -> not expect
+      | Dpll.Unknown -> false (* never without a conflict budget *))
 
 (* walksat never claims SAT wrongly *)
 let walksat_sound =
@@ -176,10 +179,169 @@ let test_unsat_detected () =
   Cnf.add_clause f [ -x ];
   (match Dpll.solve f with
   | Dpll.Unsat -> ()
+  | Dpll.Unknown -> Alcotest.fail "unbudgeted DPLL gave up"
   | Dpll.Sat _ -> Alcotest.fail "x ∧ ¬x satisfiable?");
   match Walksat.solve_result ~max_flips:500 ~max_restarts:2 f with
   | Walksat.Unknown -> ()
   | Walksat.Sat _ -> Alcotest.fail "walksat claimed unsat formula"
+
+(* --- budgeted DPLL --- *)
+
+let test_dpll_budget () =
+  (* with a zero conflict budget the solver must either finish without
+     backtracking or give up — never claim Unsat *)
+  let f, _ = planted_3sat ~nvars:40 ~nclauses:160 ~seed:3 in
+  (match Dpll.solve ~max_conflicts:0 f with
+  | Dpll.Unsat -> Alcotest.fail "budgeted run claimed a planted formula unsat"
+  | Dpll.Sat a -> check "budgeted model satisfies" true (Cnf.satisfies a f)
+  | Dpll.Unknown -> ());
+  (* a generous budget must not change the answer *)
+  match Dpll.solve ~max_conflicts:1_000_000 f with
+  | Dpll.Sat a -> check "solved within budget" true (Cnf.satisfies a f)
+  | Dpll.Unsat | Dpll.Unknown -> Alcotest.fail "planted formula not solved"
+
+(* --- incremental CDCL: agreement with DPLL / brute force --- *)
+
+let lit_holds a l =
+  if l > 0 then l < Array.length a && a.(l)
+  else not (-l < Array.length a && a.(-l))
+
+let inc_matches_dpll =
+  Helpers.qtest ~count:80 "Inc (CDCL) agrees with brute force"
+    QCheck2.Gen.(
+      let* nvars = int_range 2 10 in
+      let* nclauses = int_range 1 25 in
+      let* seed = int_range 0 100000 in
+      return (nvars, nclauses, seed))
+    (fun (a, b, c) -> Printf.sprintf "nv=%d nc=%d seed=%d" a b c)
+    (fun (nvars, nclauses, seed) ->
+      let f = random_cnf ~nvars ~nclauses ~seed in
+      let expect = brute_force_sat f in
+      let inc = Inc.create () in
+      Inc.add_cnf inc f;
+      match Inc.solve inc with
+      | Inc.Sat a ->
+          expect && Cnf.satisfies a f
+          &&
+          (* learned state must not corrupt a repeat solve *)
+          (match Inc.solve inc with
+          | Inc.Sat a' -> Cnf.satisfies a' f
+          | Inc.Unsat -> false)
+      | Inc.Unsat -> not expect)
+
+let inc_assumptions =
+  Helpers.qtest ~count:80 "Inc under assumptions ≡ DPLL with unit clauses"
+    QCheck2.Gen.(
+      let* nvars = int_range 2 10 in
+      let* nclauses = int_range 1 25 in
+      let* nassume = int_range 1 4 in
+      let* seed = int_range 0 100000 in
+      return (nvars, nclauses, nassume, seed))
+    (fun (a, b, n, c) -> Printf.sprintf "nv=%d nc=%d na=%d seed=%d" a b n c)
+    (fun (nvars, nclauses, nassume, seed) ->
+      let f = random_cnf ~nvars ~nclauses ~seed in
+      let rng = Rng.create (seed + 7) in
+      let assumptions =
+        List.init nassume (fun _ ->
+            let v = 1 + Rng.int rng nvars in
+            if Rng.bool rng then v else -v)
+      in
+      let inc = Inc.create () in
+      Inc.add_cnf inc f;
+      (* reference: the same formula with the assumptions as units *)
+      let reference =
+        let f2 = random_cnf ~nvars ~nclauses ~seed in
+        try
+          List.iter (fun l -> Cnf.add_clause f2 [ l ]) assumptions;
+          Dpll.solve f2
+        with Cnf.Trivial_conflict -> Dpll.Unsat
+      in
+      let r1 = Inc.solve ~assumptions inc in
+      (* solving under assumptions must not poison later calls: the
+         unconstrained answer afterwards still matches brute force *)
+      let unconstrained_ok =
+        match Inc.solve inc with
+        | Inc.Sat a -> brute_force_sat f && Cnf.satisfies a f
+        | Inc.Unsat -> not (brute_force_sat f)
+      in
+      unconstrained_ok
+      &&
+      match (r1, reference) with
+      | Inc.Sat a, Dpll.Sat _ ->
+          Cnf.satisfies a f && List.for_all (lit_holds a) assumptions
+      | Inc.Unsat, Dpll.Unsat -> true
+      | Inc.Sat _, (Dpll.Unsat | Dpll.Unknown) | Inc.Unsat, (Dpll.Sat _ | Dpll.Unknown)
+        -> false)
+
+let inc_push_pop =
+  Helpers.qtest ~count:60 "Inc push/pop retracts scoped clauses exactly"
+    QCheck2.Gen.(
+      let* nvars = int_range 2 8 in
+      let* nc1 = int_range 1 12 in
+      let* nc2 = int_range 1 12 in
+      let* seed = int_range 0 100000 in
+      return (nvars, nc1, nc2, seed))
+    (fun (a, b, c, d) -> Printf.sprintf "nv=%d nc1=%d nc2=%d seed=%d" a b c d)
+    (fun (nvars, nc1, nc2, seed) ->
+      let f1 = random_cnf ~nvars ~nclauses:nc1 ~seed in
+      let rng = Rng.create (seed + 13) in
+      let extra =
+        List.init nc2 (fun _ ->
+            let width = 1 + Rng.int rng 3 in
+            List.init width (fun _ ->
+                let v = 1 + Rng.int rng nvars in
+                if Rng.bool rng then v else -v))
+      in
+      let sat1 = brute_force_sat f1 in
+      let sat2 =
+        let f2 = random_cnf ~nvars ~nclauses:nc1 ~seed in
+        try
+          List.iter (fun c -> Cnf.add_clause f2 c) extra;
+          brute_force_sat f2
+        with Cnf.Trivial_conflict -> false
+      in
+      let inc = Inc.create () in
+      Inc.add_cnf inc f1;
+      let agree1 r =
+        match r with
+        | Inc.Sat a -> sat1 && Cnf.satisfies a f1
+        | Inc.Unsat -> not sat1
+      in
+      let agree2 r =
+        match r with
+        | Inc.Sat a ->
+            sat2 && Cnf.satisfies a f1
+            && List.for_all (fun c -> List.exists (lit_holds a) c) extra
+        | Inc.Unsat -> not sat2
+      in
+      let r0 = Inc.solve inc in
+      Inc.push inc;
+      List.iter (fun c -> Inc.add_clause inc c) extra;
+      let r1 = Inc.solve inc in
+      Inc.pop inc;
+      let r2 = Inc.solve inc in
+      agree1 r0 && agree2 r1 && agree1 r2)
+
+(* --- warm-started WalkSAT --- *)
+
+let test_walksat_warm () =
+  let f, planted = planted_3sat ~nvars:30 ~nclauses:90 ~seed:5 in
+  (* seeding with a model solves without search *)
+  (match Walksat.solve_result ~seed:11 ~max_flips:1 ~init:planted f with
+  | Walksat.Sat a -> check "warm model satisfies" true (Cnf.satisfies a f)
+  | Walksat.Unknown -> Alcotest.fail "warm start from a model failed");
+  (* fixed seed + same init ⇒ identical outcome *)
+  let r1 = Walksat.solve_result ~seed:11 ~init:planted f in
+  let r2 = Walksat.solve_result ~seed:11 ~init:planted f in
+  (match (r1, r2) with
+  | Walksat.Sat a, Walksat.Sat b ->
+      check "deterministic under fixed seed" true (a = b)
+  | _ -> Alcotest.fail "expected sat");
+  (* a bad init must not trap the solver: later restarts randomize *)
+  let bad = Array.make 31 false in
+  match Walksat.solve_result ~seed:12 ~init:bad f with
+  | Walksat.Sat a -> check "recovered from bad init" true (Cnf.satisfies a f)
+  | Walksat.Unknown -> Alcotest.fail "stuck on bad warm start"
 
 let tests =
   [
@@ -190,4 +352,9 @@ let tests =
     dpll_complete;
     walksat_sound;
     Alcotest.test_case "unsat detected" `Quick test_unsat_detected;
+    Alcotest.test_case "dpll conflict budget" `Quick test_dpll_budget;
+    inc_matches_dpll;
+    inc_assumptions;
+    inc_push_pop;
+    Alcotest.test_case "walksat warm start" `Quick test_walksat_warm;
   ]

@@ -80,7 +80,15 @@ let sample_stats =
     st_generation = 6;
     st_wal_records = Some 3;
     st_health = "ok";
-    st_counters = [ ("applied", 5); ("requests", 9) ];
+    st_counters =
+      [
+        ("applied", 5);
+        ("requests", 9);
+        ("sat_skeleton_hits", 4);
+        ("sat_skeleton_misses", 2);
+        ("sat_learned_kept", 11);
+        ("sat_warm_starts", 3);
+      ];
     st_gauges = [ ("repl_follower_a_lag", 2); ("repl_head", 7) ];
     st_latencies =
       [
@@ -529,6 +537,13 @@ let test_server_session () =
           check "wal attached" true (st.Proto.st_wal_records = Some 1);
           check "requests counted" true
             (List.assoc "requests" st.Proto.st_counters >= 4);
+          (* the insertion-translator counters ride the generic list;
+             the session above applied at least one insertion, so a
+             skeleton was built *)
+          check "sat skeleton counters present" true
+            (List.assoc "sat_skeleton_misses" st.Proto.st_counters >= 1);
+          check "sat warm counter present" true
+            (List.mem_assoc "sat_warm_starts" st.Proto.st_counters);
           check "update latency histogram present" true
             (List.exists
                (fun s -> s.Metrics.s_kind = "update")

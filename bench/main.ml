@@ -781,7 +781,7 @@ let recovery_vs_republish () =
                     (fun pl ->
                       match Persist.decode_record pl with
                       | Persist.Group { group; _ } -> group
-                      | Persist.Sessions _ -> [])
+                      | Persist.Sessions _ | Persist.Epoch _ -> [])
                     (Wal.read (Persist.wal_path p2 gen)).Wal.records
                 in
                 Group_update.apply db batch;
@@ -919,6 +919,7 @@ let server_arm ~batch_cap ~n_writers ~per_writer =
       | `Overloaded | `Rejected _ -> ()
       | `Unavailable msg -> failwith ("server bench unavailable: " ^ msg)
       | `Error msg -> failwith ("server bench update: " ^ msg)
+      | `Fenced (e, _) -> failwith (Printf.sprintf "server bench fenced: %d" e)
     done;
     Client.close c;
     Mutex.lock cm;
@@ -1491,6 +1492,195 @@ let replication () =
         | _ -> ())
     counts
 
+(* ---------- failover: write-unavailability window (MTTR) ------------- *)
+
+(* worst MTTR over all measured view sizes; --check-failover-mttr S
+   compares against it after all requested experiments ran *)
+let max_failover_mttr = ref neg_infinity
+
+(* Operator-driven promotion under routed load: a durable primary and a
+   durable standby over a registrar view bulk-loaded to |C| courses, a
+   router committing through the pair, then the primary is stopped, the
+   standby promoted, and the SAME router's next write must land on the
+   new primary. window_ms is what that client experiences — from the
+   instant the primary stops to the first acknowledgement under the new
+   epoch. Because the probe is a real write, the window necessarily
+   contains one full write service (at |C| = 100K a single-row write
+   costs ~1 s in ΔV→ΔR translation alone, failover or not), so MTTR —
+   the unavailability failover *added* — is the window net of the
+   probe's steady-state service time, measured in the same run as the
+   median of identical writes on the new primary (write_ms);
+   promote_ms isolates the promotion step (boundary capture, durable
+   epoch record, batcher re-seat) inside the window. *)
+let failover_bench () =
+  let module Resilient = Rxv_server.Resilient in
+  let module Database = Rxv_relational.Database in
+  let module Value = Rxv_relational.Value in
+  let sizes =
+    by_scale ~full:[ 10_000; 100_000 ] ~quick:[ 3_000 ] ~smoke:[ 300 ]
+  in
+  (* warm commits establish replication, warm the router and leave the
+     insert path's eval tables one-mutation-stale (so steady-state
+     writes partially revalidate instead of re-running the full DP);
+     the first commit still pays one cold eval at |C|, so keep the
+     count modest — MTTR does not depend on it *)
+  let commits = by_scale ~full:60 ~quick:60 ~smoke:20 in
+  header
+    (Printf.sprintf
+       "failover: operator promotion under routed load (%d warm commits); \
+        window = primary stop -> first ack on the new primary; MTTR = \
+        window net of the probe's steady-state service time (write_ms, \
+        the in-run median of identical writes on the new primary)"
+       commits)
+    [
+      "courses";
+      "commit_rate";
+      "promote_ms";
+      "write_ms";
+      "window_ms";
+      "mttr_ms";
+      "boundary";
+      "epoch";
+    ];
+  List.iter
+    (fun n ->
+      let init () =
+        let db = Registrar.sample_db () in
+        for k = 1 to n do
+          Database.insert db "course"
+            [|
+              Value.str (Printf.sprintf "B%06d" k);
+              Value.str "Bulk";
+              Value.str "CS";
+            |]
+        done;
+        db
+      in
+      let open_node ~role dir =
+        let p = Persist.open_dir dir in
+        match Persist.recover p (Registrar.atg ()) ~init with
+        | Error m -> failwith ("failover: recovery: " ^ m)
+        | Ok (e, _) ->
+            let config = { Server.default_config with Server.role } in
+            let sock = Filename.concat dir "node.sock" in
+            (p, Server.start ~config ~persist:p (Server.Unix_sock sock) e, sock)
+      in
+      let dir1 = fresh_dir () and dir2 = fresh_dir () in
+      let p1, psrv, psock = open_node ~role:`Primary dir1 in
+      let p2, ssrv, ssock = open_node ~role:`Replica dir2 in
+      let f =
+        Follower.start ~wait_ms:20 ~persist:p2 ~name:"standby"
+          ~primary:(Server.Unix_sock psock) ~init ~seed:20070415 ssrv
+      in
+      let router =
+        Resilient.Router.create ~timeout:1.0 ~wait_ms:5000
+          ~failover_timeout:30.
+          ~primary:(Resilient.Unix_path psock)
+          [ Resilient.Unix_path ssock ]
+      in
+      let write k =
+        match
+          Resilient.Router.update router
+            [
+              Proto.Insert
+                {
+                  etype = "course";
+                  attr =
+                    Registrar.course_attr (Printf.sprintf "FV%06d" k) "Bench";
+                  path = "//course[cno=CS240]/prereq";
+                };
+            ]
+        with
+        | `Applied (seq, _) -> seq
+        | `Rejected (_, m) -> failwith ("failover: rejected: " ^ m)
+        | `Error m -> failwith ("failover: write failed: " ^ m)
+      in
+      let t0 = now () in
+      let last = ref 0 in
+      for k = 1 to commits do
+        last := write k
+      done;
+      let commit_rate = float_of_int commits /. (now () -. t0) in
+      (* promote only a caught-up standby: the operator's rule, and the
+         precondition for a loss-free window measurement *)
+      let deadline = now () +. 60. in
+      while Follower.after f < !last && now () < deadline do
+        Thread.delay 0.002
+      done;
+      if Follower.after f < !last then
+        failwith "failover: standby did not converge before the kill";
+      (* a production standby serves reads continuously, so its compiled
+         XPath plans and eval tables are warm at the current generation;
+         one pinned read of the probe's target path models that. The
+         probe itself is a single-row delete of a sentinel course: its
+         target eval is served from the warm cache (the first op of a
+         group evaluates before the frame mutates — see Eval_cache) and
+         its ΔR translation is provenance-driven (no SAT skeleton to
+         build cold), so MTTR measures the failover window itself, not
+         a cold O(|C|) evaluation or a cold translation at |C| *)
+      let probe_path = "//course[cno=FV000001]" in
+      (let rc = Client.connect ssock in
+       (match Client.query_at rc ~min_seq:!last ~wait_ms:30_000 probe_path with
+       | Ok _ -> ()
+       | Error (`Behind m) | Error (`Err m) ->
+           failwith ("failover: standby warm read: " ^ m));
+       Client.close rc);
+      let t_kill = now () in
+      Server.stop psrv;
+      Persist.close p1;
+      let t_promote = now () in
+      let epoch, boundary = Server.promote ssrv in
+      let promote_s = now () -. t_promote in
+      (match Resilient.Router.update router [ Proto.Delete probe_path ] with
+      | `Applied _ -> ()
+      | `Rejected (_, m) -> failwith ("failover: probe rejected: " ^ m)
+      | `Error m -> failwith ("failover: probe failed: " ^ m));
+      let window = now () -. t_kill in
+      (* the probe is a real write, so the window necessarily contains
+         one full write service (eval + ΔV→ΔR translation + commit) —
+         time that same op shape in steady state on the new primary and
+         net it out: unavailability is what failover *added*, not what
+         a single-row write costs at |C| anyway *)
+      let write_s =
+        let rc = Client.connect ssock in
+        let samples =
+          List.filter_map
+            (fun k ->
+              let p = Printf.sprintf "//course[cno=FV%06d]" k in
+              match Client.query rc p with
+              | Error _ -> None
+              | Ok _ -> (
+                  let t0 = now () in
+                  match Client.update rc [ Proto.Delete p ] with
+                  | `Applied _ -> Some (now () -. t0)
+                  | _ -> None))
+            [ 2; 3; 4 ]
+        in
+        Client.close rc;
+        match List.sort compare samples with
+        | [] -> 0.
+        | l -> List.nth l (List.length l / 2)
+      in
+      let mttr = Float.max 0. (window -. write_s) in
+      max_failover_mttr := Float.max !max_failover_mttr mttr;
+      row
+        [
+          string_of_int n;
+          Printf.sprintf "%.0f" commit_rate;
+          ms promote_s;
+          ms write_s;
+          ms window;
+          ms mttr;
+          string_of_int boundary;
+          string_of_int epoch;
+        ];
+      Resilient.Router.close router;
+      Server.stop ssrv;
+      Persist.close p2;
+      rm_rf dir1;
+      rm_rf dir2)
+    sizes
+
 (* ---------- Bechamel micro-suite: one Test.make per experiment ------- *)
 
 let bechamel_suite () =
@@ -1568,6 +1758,7 @@ let experiments : (string * (unit -> unit)) list =
     ("translate", translate_bench);
     ("snapshot_reads", snapshot_reads);
     ("replication", replication);
+    ("failover", failover_bench);
     ("bechamel", bechamel_suite);
   ]
 
@@ -1581,9 +1772,10 @@ let usage () =
     "usage: main.exe [--quick|--smoke] [--json FILE] \
      [--check-cache-ratio R] [--check-read-concurrency R] \
      [--check-replica-scale R] [--check-translate-speedup R] \
+     [--check-failover-mttr SECONDS] \
      [all|fig10b|fig11a..fig11h|table1|transactions|recovery|server|\
      ablations|chaos|xpath_cache|translate|snapshot_reads|replication|\
-     bechamel]...";
+     failover|bechamel]...";
   exit 2
 
 let () =
@@ -1594,6 +1786,7 @@ let () =
   let read_conc = ref None in
   let replica_scale = ref None in
   let translate_speedup = ref None in
+  let failover_mttr = ref None in
   let names = ref [] in
   let rec parse = function
     | [] -> ()
@@ -1635,6 +1828,13 @@ let () =
             parse rest
         | _ -> usage ())
     | [ "--check-translate-speedup" ] -> usage ()
+    | "--check-failover-mttr" :: r :: rest -> (
+        match float_of_string_opt r with
+        | Some s when s > 0. ->
+            failover_mttr := Some s;
+            parse rest
+        | _ -> usage ())
+    | [ "--check-failover-mttr" ] -> usage ()
     | "all" :: rest ->
         names := !names @ all_names;
         parse rest
@@ -1684,6 +1884,24 @@ let () =
         "replica scale check ok: aggregate follower read capacity %.2fx \
          >= %.1fx going 1 -> 2 followers\n%!"
         !min_replica_scale r);
+  (match !failover_mttr with
+  | None -> ()
+  | Some s when !max_failover_mttr = neg_infinity ->
+      Printf.eprintf
+        "--check-failover-mttr %.2f given but failover did not run\n%!" s;
+      exit 1
+  | Some s when !max_failover_mttr > s ->
+      Printf.eprintf
+        "failover MTTR check FAILED: worst net write-unavailability \
+         (window minus steady-state write service) %.0f ms > allowed \
+         %.0f ms\n%!"
+        (!max_failover_mttr *. 1000.) (s *. 1000.);
+      exit 1
+  | Some s ->
+      Printf.printf
+        "failover MTTR check ok: worst net write-unavailability (window \
+         minus steady-state write service) %.0f ms <= %.0f ms\n%!"
+        (!max_failover_mttr *. 1000.) (s *. 1000.));
   (match !translate_speedup with
   | None -> ()
   | Some r when !min_translate_speedup = infinity ->

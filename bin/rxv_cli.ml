@@ -476,7 +476,7 @@ let parse_peer s =
 
 let serve_cmd =
   let run scenario n seed data wal sync socket tcp queue batch failpoints
-      fp_seed replica_of follower_name =
+      fp_seed replica_of follower_name auto_promote peers =
     let module Server = Rxv_server.Server in
     let module Follower = Rxv_replica.Follower in
     let module Failpoint = Rxv_fault.Failpoint in
@@ -510,11 +510,6 @@ let serve_cmd =
     | None, None ->
         Fmt.epr "serve requires exactly one of --socket PATH or --tcp PORT@.";
         2
-    | Some _, None when replica_of <> None && wal <> None ->
-        (* the stream is re-applied, not re-logged: a replica that also
-           logged would diverge from the primary's WAL positions *)
-        Fmt.epr "--replica-of runs volatile; it cannot combine with --wal@.";
-        2
     | Some addr, None -> (
         (* unlike [with_engine], recovery here must NOT attach the WAL
            hook: the server attaches it in deferred-sync mode so the
@@ -540,8 +535,22 @@ let serve_cmd =
                       Printf.sprintf "%s-%d" (Unix.gethostname ())
                         (Unix.getpid ())
                 in
-                Fmt.pr "replicating from %s as %S@." primary name;
-                Follower.start ~fp_prefix:"repl" ~name
+                Fmt.pr "replicating from %s as %S%s@." primary name
+                  (if persist = None then "" else " (durable)");
+                let peers =
+                  List.map
+                    (fun s ->
+                      match String.index_opt s '=' with
+                      | Some i ->
+                          ( String.sub s 0 i,
+                            parse_peer
+                              (String.sub s (i + 1) (String.length s - i - 1))
+                          )
+                      | None -> (s, parse_peer s))
+                    peers
+                in
+                Follower.start ~fp_prefix:"repl" ?persist ?auto_promote ~peers
+                  ~name
                   ~primary:(parse_peer primary)
                   ~init:(fun () -> init_db scenario n seed data)
                   ~seed srv)
@@ -646,9 +655,31 @@ let serve_cmd =
           ~doc:"Run as a read-only replica of the primary at ADDR (a \
                 Unix-domain socket path, or HOST:PORT): stream its \
                 committed WAL, apply it locally, serve reads from the \
-                replicated state, refuse writes. The primary must serve \
-                with $(b,--wal). The scenario flags must match the \
-                primary's.")
+                replicated state, refuse writes (answering Fenced with \
+                the primary's address). The primary must serve with \
+                $(b,--wal). With a local $(b,--wal) DIR the replica also \
+                mirrors the stream verbatim to its own log, making it \
+                promotable ($(b,rxv promote)). The scenario flags must \
+                match the primary's.")
+  in
+  let auto_promote =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "auto-promote" ] ~docv:"SECS"
+          ~doc:"Failover election (replicas only): when the primary has \
+                been unreachable for SECS seconds, probe the $(b,--peer) \
+                replicas and self-promote unless one of them has applied \
+                more commits (ties break by $(b,--name)).")
+  in
+  let peers =
+    Arg.(
+      value
+      & opt_all string []
+      & info [ "peer" ] ~docv:"[NAME=]ADDR"
+          ~doc:"Another replica's client address for the $(b,--auto-promote) \
+                election; repeatable. NAME should match that replica's \
+                $(b,--name) so ties break consistently.")
   in
   let follower_name =
     Arg.(
@@ -668,7 +699,61 @@ let serve_cmd =
     Term.(
       const (fun () -> run) $ setup_logs $ scenario_arg $ size_arg $ seed_arg
       $ data_arg $ wal_arg $ sync_arg $ socket $ tcp $ queue $ batch
-      $ failpoints $ fp_seed $ replica_of $ follower_name)
+      $ failpoints $ fp_seed $ replica_of $ follower_name $ auto_promote
+      $ peers)
+
+(* --- promote --- *)
+
+let promote_cmd =
+  let run socket tcp =
+    let module Client = Rxv_server.Client in
+    let connect () =
+      match (socket, tcp) with
+      | Some path, None -> Some (Client.connect ~retries:3 path)
+      | None, Some port -> Some (Client.connect_tcp ~retries:3 "127.0.0.1" port)
+      | None, None | Some _, Some _ -> None
+    in
+    match connect () with
+    | None ->
+        Fmt.epr "promote requires exactly one of --socket PATH or --tcp PORT@.";
+        2
+    | exception Unix.Unix_error (e, _, _) ->
+        Fmt.epr "cannot reach replica: %s@." (Unix.error_message e);
+        1
+    | Some c -> (
+        Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+        match Client.promote c with
+        | Ok (epoch, seq) ->
+            Fmt.pr
+              "promoted: primary for epoch %d; first new commit will be %d@."
+              epoch (seq + 1);
+            0
+        | Error m ->
+            Fmt.epr "promotion refused: %s@." m;
+            1)
+  in
+  let socket =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:"The replica's Unix-domain socket.")
+  in
+  let tcp =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "tcp" ] ~docv:"PORT" ~doc:"The replica at 127.0.0.1:PORT.")
+  in
+  Cmd.v
+    (Cmd.info "promote"
+       ~doc:"Failover: make the addressed replica the new primary. Its \
+             follower loop stops, the replication epoch is bumped and \
+             durably logged, and it starts accepting writes; the deposed \
+             primary is fenced off by the epoch stamp and rejoins as a \
+             follower (truncating any unreplicated suffix). Promote the \
+             most-caught-up replica — see $(b,rxv replicas).")
+    Term.(const (fun () -> run) $ setup_logs $ socket $ tcp)
 
 (* --- replicas --- *)
 
@@ -698,14 +783,21 @@ let replicas_cmd =
             1
         | Ok st ->
             let gauge k = List.assoc_opt k st.Proto.st_gauges in
+            let epoch_sfx =
+              match gauge "epoch" with
+              | Some e -> Printf.sprintf ", epoch %d" e
+              | None -> ""
+            in
             (match (gauge "repl_seq", gauge "repl_head") with
             | Some seq, Some head ->
-                Fmt.pr "primary: commit %d, durable head %d@." seq head
+                Fmt.pr "primary: commit %d, durable head %d%s@." seq head
+                  epoch_sfx
             | _ -> (
                 (* a replica reports its own stream position instead *)
                 match (gauge "repl_after", gauge "repl_lag") with
                 | Some after, Some lag ->
-                    Fmt.pr "replica: applied commit %d, lag %d@." after lag
+                    Fmt.pr "replica: applied commit %d, lag %d%s@." after lag
+                      epoch_sfx
                 | _ ->
                     Fmt.pr "no replication state (volatile server?)@."));
             (* rows keyed repl_follower_<name>_<field> *)
@@ -733,8 +825,8 @@ let replicas_cmd =
             (match List.rev !order with
             | [] -> Fmt.pr "no followers registered@."
             | names ->
-                Fmt.pr "%-20s %10s %8s %10s %8s@." "FOLLOWER" "AFTER" "LAG"
-                  "CONNECTED" "RESETS";
+                Fmt.pr "%-20s %10s %8s %7s %10s %8s@." "FOLLOWER" "AFTER"
+                  "LAG" "EPOCH" "CONNECTED" "RESETS";
                 List.iter
                   (fun name ->
                     let fields = Hashtbl.find rows name in
@@ -743,8 +835,8 @@ let replicas_cmd =
                       | Some v -> string_of_int v
                       | None -> "-"
                     in
-                    Fmt.pr "%-20s %10s %8s %10s %8s@." name (get "after")
-                      (get "lag")
+                    Fmt.pr "%-20s %10s %8s %7s %10s %8s@." name (get "after")
+                      (get "lag") (get "epoch")
                       (match Hashtbl.find_opt fields "connected" with
                       | Some 1 -> "yes"
                       | Some _ -> "no"
@@ -784,4 +876,4 @@ let () =
        (Cmd.group info
           [ show_cmd; stats_cmd; export_cmd; query_cmd; delete_cmd;
             insert_cmd; checkpoint_cmd; recover_cmd; serve_cmd;
-            replicas_cmd ]))
+            promote_cmd; replicas_cmd ]))

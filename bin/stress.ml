@@ -30,7 +30,19 @@
    catch up to the writer's last commit and answer a pinned read —
 
      dune exec bin/stress.exe -- \
-       --replicas /tmp/p.sock /tmp/r1.sock,/tmp/r2.sock [readers] [reads] *)
+       --replicas /tmp/p.sock /tmp/r1.sock,/tmp/r2.sock [readers] [reads]
+
+   Failover mode: with --failover the process hosts its own two-node
+   cluster (durable primary + durable standby, both in scratch
+   directories) and drives a routed write swarm THROUGH repeated
+   failovers: the controller stops the primary mid-swarm, promotes the
+   standby, and rejoins the deposed node as the new standby, ping-pong,
+   while every writer keeps its router and client identity. Afterwards
+   it audits that no acknowledged insert appears twice anywhere, that
+   fresh writes flow, and that both nodes converge to BYTE-IDENTICAL
+   databases —
+
+     dune exec bin/stress.exe -- --failover [writers] [reqs] [failovers] *)
 
 module Engine = Rxv_core.Engine
 module Base_update = Rxv_core.Base_update
@@ -190,6 +202,9 @@ let client_mode sock n_clients per_client =
             exit 1
         | `Error msg ->
             Printf.eprintf "client %d: update error: %s\n%!" w msg;
+            exit 1
+        | `Fenced (e, _) ->
+            Printf.eprintf "client %d: fenced at epoch %d\n%!" w e;
             exit 1
     done;
     Client.close c
@@ -456,7 +471,241 @@ let replica_mode psock rsocks n_readers per_reader =
     !replica_served !primary_served !redirected !stale !behind !last_commit;
   if !stale > 0 || !behind > 0 then exit 1
 
+(* ---- failover mode: routed write swarm through repeated promotions ---- *)
+
+module Server = Rxv_server.Server
+module Persist = Rxv_persist.Persist
+module Codec = Rxv_persist.Codec
+module Follower = Rxv_replica.Follower
+module Registrar = Rxv_workload.Registrar
+
+let failover_mode n_writers per_writer n_failovers =
+  let t0 = Unix.gettimeofday () in
+  let tmp = Filename.get_temp_dir_name () in
+  let scratch name =
+    let d = Filename.concat tmp (Printf.sprintf "rxv-fo-%d-%s" (Unix.getpid ()) name) in
+    let rec rm_rf path =
+      match Unix.lstat path with
+      | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+      | { Unix.st_kind = Unix.S_DIR; _ } ->
+          Array.iter (fun n -> rm_rf (Filename.concat path n)) (Sys.readdir path);
+          Unix.rmdir path
+      | _ -> Sys.remove path
+    in
+    rm_rf d;
+    Unix.mkdir d 0o755;
+    (d, fun () -> rm_rf d)
+  in
+  let dir1, clean1 = scratch "a" and dir2, clean2 = scratch "b" in
+  let sock1 = Filename.concat dir1 "node.sock"
+  and sock2 = Filename.concat dir2 "node.sock" in
+  let die fmt =
+    Printf.ksprintf
+      (fun m ->
+        Printf.eprintf "failover swarm FAILED: %s\n%!" m;
+        exit 1)
+      fmt
+  in
+  let open_node ~role ~dir ~sock ~follow =
+    let p = Persist.open_dir dir in
+    match Persist.recover p (Registrar.atg ()) ~init:Registrar.sample_db with
+    | Error m -> die "recovery of %s: %s" dir m
+    | Ok (e, _) ->
+        let config = { Server.default_config with Server.role } in
+        let srv = Server.start ~config ~persist:p (Server.Unix_sock sock) e in
+        let f =
+          match follow with
+          | None -> None
+          | Some upstream ->
+              Some
+                (Follower.start ~wait_ms:50 ~persist:p ~name:"standby"
+                   ~primary:(Server.Unix_sock upstream)
+                   ~init:Registrar.sample_db ~seed:20070415 srv)
+        in
+        (p, srv, f)
+  in
+  let prim = ref (open_node ~role:`Primary ~dir:dir1 ~sock:sock1 ~follow:None) in
+  let stand =
+    ref (open_node ~role:`Replica ~dir:dir2 ~sock:sock2 ~follow:(Some sock1))
+  in
+  let prim_sock = ref sock1 and stand_sock = ref sock2 in
+  let prim_dir = ref dir1 and stand_dir = ref dir2 in
+  let m = Mutex.create () in
+  let protect f =
+    Mutex.lock m;
+    let r = f () in
+    Mutex.unlock m;
+    r
+  in
+  let acked : string list ref = ref [] in
+  let n_acked () = protect (fun () -> List.length !acked) in
+  let failovers_done = ref 0 in
+  let writer w () =
+    let router =
+      Resilient.Router.create ~seed:w ~timeout:1.0 ~wait_ms:5000
+        ~failover_timeout:60.
+        ~primary:(Resilient.Unix_path sock1)
+        [ Resilient.Unix_path sock2 ]
+    in
+    for r = 0 to per_writer - 1 do
+      let cno = Printf.sprintf "FO%dR%d" w r in
+      match
+        Resilient.Router.update router
+          [
+            Proto.Insert
+              {
+                etype = "course";
+                attr = Registrar.course_attr cno "Failover";
+                path = "//course[cno=CS240]/prereq";
+              };
+          ]
+      with
+      | `Applied _ -> protect (fun () -> acked := cno :: !acked)
+      | `Rejected (_, msg) -> die "writer %d: %s rejected: %s" w cno msg
+      | `Error msg -> die "writer %d: %s gave up: %s" w cno msg
+    done;
+    Resilient.Router.close router
+  in
+  let expected = n_writers * per_writer in
+  let controller () =
+    for k = 1 to n_failovers do
+      (* let the swarm make progress between promotions *)
+      let gate = k * expected / (n_failovers + 1) in
+      while n_acked () < gate do
+        Thread.delay 0.005
+      done;
+      (* promote only a standby that has heard the current epoch — the
+         operator's "most-caught-up follower" rule *)
+      let _, _, fo = !stand in
+      (match fo with
+      | Some f ->
+          let deadline = Unix.gettimeofday () +. 30. in
+          while Follower.epoch f < k - 1 && Unix.gettimeofday () < deadline do
+            Thread.delay 0.005
+          done;
+          if Follower.epoch f < k - 1 then
+            die "failover %d: standby never heard epoch %d" k (k - 1)
+      | None -> die "failover %d: standby has no follower" k);
+      (* the primary dies mid-swarm; acks past the replication boundary
+         may be lost, which the audit below tolerates (never duplicates) *)
+      let p, srv, _ = !prim in
+      Server.stop srv;
+      Persist.close p;
+      let _, ssrv, _ = !stand in
+      let epoch, boundary = Server.promote ssrv in
+      if epoch <> k then die "failover %d: promotion yielded epoch %d" k epoch;
+      ignore boundary;
+      (* the deposed node rejoins as the new standby, repairing any
+         diverged suffix against the new primary's boundary *)
+      let fresh =
+        open_node ~role:`Replica ~dir:!prim_dir ~sock:!prim_sock
+          ~follow:(Some !stand_sock)
+      in
+      prim := !stand;
+      stand := fresh;
+      let s = !prim_sock in
+      prim_sock := !stand_sock;
+      stand_sock := s;
+      let d = !prim_dir in
+      prim_dir := !stand_dir;
+      stand_dir := d;
+      incr failovers_done
+    done
+  in
+  let cthread = Thread.create controller () in
+  let threads = List.init n_writers (fun w -> Thread.create (writer w) ()) in
+  List.iter Thread.join threads;
+  Thread.join cthread;
+  (* fresh post-failover traffic must flow *)
+  let router =
+    Resilient.Router.create ~timeout:1.0 ~wait_ms:5000 ~failover_timeout:30.
+      ~primary:(Resilient.Unix_path !prim_sock)
+      [ Resilient.Unix_path !stand_sock ]
+  in
+  for r = 0 to 4 do
+    let cno = Printf.sprintf "FOPOST%d" r in
+    match
+      Resilient.Router.update router
+        [
+          Proto.Insert
+            {
+              etype = "course";
+              attr = Registrar.course_attr cno "Failover";
+              path = "//course[cno=CS240]/prereq";
+            };
+        ]
+    with
+    | `Applied _ -> protect (fun () -> acked := cno :: !acked)
+    | `Rejected (_, msg) | `Error msg -> die "post-failover %s: %s" cno msg
+  done;
+  Resilient.Router.close router;
+  (* convergence, then the byte-for-byte audit *)
+  let _, psrv, _ = !prim and _, ssrv, sfo = !stand in
+  (match sfo with
+  | Some f ->
+      let deadline = Unix.gettimeofday () +. 60. in
+      let target () = Server.applied_seq psrv in
+      while Follower.after f < target () && Unix.gettimeofday () < deadline do
+        Thread.delay 0.01
+      done;
+      if Follower.after f < target () then
+        die "standby stuck at %d, primary at %d" (Follower.after f) (target ())
+  | None -> die "no standby follower at the end");
+  let enc srv =
+    let b = Buffer.create 65536 in
+    Codec.database b (Server.engine srv).Rxv_core.Engine.db;
+    Buffer.contents b
+  in
+  let bytes_equal = String.equal (enc psrv) (enc ssrv) in
+  if not bytes_equal then die "databases diverged after %d failovers" !failovers_done;
+  let c = Client.connect !prim_sock in
+  let dupes = ref 0 and lost = ref 0 in
+  List.iter
+    (fun cno ->
+      match Client.query c (Printf.sprintf "//course[cno=%s]" cno) with
+      | Ok (0, _) -> incr lost (* acked past a replication boundary *)
+      | Ok (1, _) -> ()
+      | Ok (n, _) ->
+          Printf.eprintf "EXACTLY-ONCE VIOLATION: %s appears %d times\n%!" cno n;
+          incr dupes
+      | Error msg -> die "audit query %s: %s" cno msg)
+    !acked;
+  Client.close c;
+  let cleanup () =
+    let close_node (p, srv, f) =
+      (match f with Some f -> Follower.stop f | None -> ());
+      Server.stop srv;
+      Persist.close p
+    in
+    close_node !stand;
+    close_node !prim;
+    clean1 ();
+    clean2 ()
+  in
+  cleanup ();
+  let dt = Unix.gettimeofday () -. t0 in
+  Printf.printf
+    "failover swarm %s: %d acked inserts from %d writers through %d \
+     failover(s) in %.1fs — %d dupes, %d lost at a replication boundary \
+     (allowed), byte-for-byte equal: %b\n%!"
+    (if !dupes = 0 then "OK" else "FAILED")
+    (List.length !acked) n_writers !failovers_done dt !dupes !lost bytes_equal;
+  if !dupes > 0 then exit 1
+
 let () =
+  if Array.length Sys.argv > 1 && Sys.argv.(1) = "--failover" then begin
+    let n_writers =
+      if Array.length Sys.argv > 2 then int_of_string Sys.argv.(2) else 4
+    in
+    let per_writer =
+      if Array.length Sys.argv > 3 then int_of_string Sys.argv.(3) else 100
+    in
+    let n_failovers =
+      if Array.length Sys.argv > 4 then int_of_string Sys.argv.(4) else 2
+    in
+    failover_mode n_writers per_writer n_failovers;
+    exit 0
+  end;
   if Array.length Sys.argv > 3 && Sys.argv.(1) = "--replicas" then begin
     let psock = Sys.argv.(2) in
     let rsocks =

@@ -169,9 +169,11 @@ let wal_log ?(depth = 0) (e : t) ~(seed_before : int)
 
 let now () = Unix.gettimeofday ()
 
-(* All engine-level XPath evaluation funnels through the cache. Inside a
-   transaction frame the cache declines to serve or store (see
-   Eval_cache), so the same call is a plain fresh eval there. *)
+(* All engine-level XPath evaluation funnels through the cache. Once a
+   transaction frame has mutated state the cache declines to serve or
+   store (see Eval_cache), so the same call is a plain fresh eval there;
+   the first update of a group evaluates before any mutation and keeps
+   the cache's full benefit — warm tables, partial revalidation. *)
 let eval_path (e : t) path =
   Eval_cache.query e.cache e.store e.topo e.reach path
 

@@ -12,12 +12,22 @@
       depends only on its descendants, so rows outside the dirty set are
       unchanged — {!Dag_eval.revalidate} over the dirty rows restores
       the first invariant.
-    - While a journal frame is open, live queries bypass the cache, so
-      no entry is ever created or revalidated against a state that an
+    - While a journal frame is open {e and has already invalidated}
+      ([frame_clean = false]), live queries bypass the cache, so no
+      entry is ever created or revalidated against a state that an
       abort can roll back; the only mid-frame mutations are
       [invalidate]'s, which copy-on-write the dirty bitsets and journal
-      the generation — abort restores both exactly. Generation-pinned
-      snapshot queries ({!query_src}) need no bypass: they evaluate
+      the generation — abort restores both exactly. Before the frame's
+      first invalidation the open frame has mutated nothing: the live
+      state still {e is} the committed generation, so serving, filling,
+      promoting, or revalidating an entry describes committed state and
+      stays truthful whether the frame commits or aborts (an abort
+      merely returns to the very state the entry was repaired against,
+      and the generation itself has not moved). This is what lets the
+      first update of a group reuse tables warmed by earlier reads — or
+      left one-mutation-stale by the previous group — instead of paying
+      a full O(|p|·|V|) DP per write. Generation-pinned snapshot
+      queries ({!query_src}) need no bypass at all: they evaluate
       immutable frozen views of committed state, so any entry they
       create, promote, or revalidate mid-frame describes the pinned
       committed generation — true regardless of how the frame ends.
@@ -69,6 +79,11 @@ type t = {
   (* per-frame set of entry keys whose dirty bitset was already
      copy-on-written in that frame — same discipline as Reach *)
   mutable touched : (string, unit) Hashtbl.t list;
+  (* true while an open frame stack has not yet invalidated: the live
+     state still equals the committed generation, so live queries may
+     use the cache (see the soundness argument above). Meaningless when
+     no frame is open. *)
+  mutable frame_clean : bool;
   lock : Mutex.t;
 }
 
@@ -89,6 +104,7 @@ let create ?(cap = default_cap) () =
     c_invalidations = 0;
     journal = Journal.create ();
     touched = [];
+    frame_clean = false;
     lock = Mutex.create ();
   }
 
@@ -112,6 +128,11 @@ let with_lock t f =
 
 let begin_ t =
   with_lock t (fun () ->
+      (* opening the outermost frame: nothing has mutated yet. A nested
+         frame inherits the parent's cleanliness — and never restores
+         it, so a dirty inner abort conservatively keeps the stack
+         dirty. *)
+      if not (Journal.recording t.journal) then t.frame_clean <- true;
       Journal.begin_ t.journal;
       t.touched <- Hashtbl.create 8 :: t.touched)
 
@@ -132,6 +153,7 @@ let abort t =
 (* ---- invalidation ---- *)
 
 let bump_generation t =
+  t.frame_clean <- false;
   if Journal.recording t.journal then begin
     let saved = t.generation in
     Journal.record t.journal (fun () -> t.generation <- saved)
@@ -252,13 +274,17 @@ let serve t src e =
    otherwise it falls back to a fresh, uncached evaluation of the
    views. *)
 let run_query t (src : Dag_eval.src) ~pin path =
-  if recording t && pin = None then
-    (* a journal frame is open and this is a LIVE read: evaluate fresh,
-       touch nothing — caching would capture half-applied state. Pinned
-       snapshot reads need no bypass: they evaluate immutable frozen
-       views of committed state, so if no invalidate has run yet in the
-       frame ([t.generation] still equals the pinned [g]) revalidating
-       an entry against the views leaves it truthfully clean-at-[g]
+  if recording t && (not t.frame_clean) && pin = None then
+    (* a journal frame is open AND has already mutated state, and this
+       is a LIVE read: evaluate fresh, touch nothing — caching would
+       capture half-applied state. While the frame is still clean the
+       live state equals the committed generation, so the cache path
+       below is sound (this is how the first update of a group reuses
+       warm tables — see the header). Pinned snapshot reads need no
+       bypass either way: they evaluate immutable frozen views of
+       committed state, so if no invalidate has run yet in the frame
+       ([t.generation] still equals the pinned [g]) revalidating an
+       entry against the views leaves it truthfully clean-at-[g]
        whether the frame commits or aborts, and once the generation
        moves past [g] the pinned read can only serve an entry's
        untouched generation-[g] memo or fall back to a fresh eval. *)

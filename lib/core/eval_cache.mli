@@ -13,16 +13,22 @@
     undo-journal discipline as the store and M — {!begin_}/{!commit}/
     {!abort} bracket a frame; [invalidate] copy-on-writes each entry's
     dirty bitset into the journal, so an abort restores exactly the
-    pre-frame marks. While a frame is open ({!recording}) queries bypass
-    the cache entirely — no entry is ever stamped with a generation that
-    an abort could resurrect for a different state, which is what makes
-    generation restore sound.
+    pre-frame marks. While a frame is open ({!recording}) {e and has
+    already invalidated}, queries bypass the cache entirely — no entry
+    is ever stamped with a generation that an abort could resurrect for
+    a different state, which is what makes generation restore sound.
+    Before the frame's first invalidation nothing has mutated — the live
+    state still is the committed generation — so queries keep the
+    cache's full benefit; in particular the first update of a group
+    ([Engine.apply_group], hence every server-side write) evaluates its
+    target path through warm tables instead of a cold full DP.
 
     Thread safety: one internal mutex serializes queries and
     invalidations, so concurrent server readers (under the batch-fair
     rwlock's shared side) can share one cache. Eviction is LRU, bounded
-    by [cap], and only runs outside transaction frames (entries inserted
-    mid-frame would need journaling; bypass makes that moot). *)
+    by [cap]; an entry inserted or evicted in a clean frame needs no
+    journaling — it describes committed state that an abort cannot
+    change, and a lost entry is just a later miss. *)
 
 module Store = Rxv_dag.Store
 module Topo = Rxv_dag.Topo
@@ -46,7 +52,8 @@ val query : t -> Store.t -> Topo.t -> Reach.t -> Ast.path -> Dag_eval.result
 (** evaluate through the cache. Full hit when the entry is current;
     partial revalidation when only some rows are dirty; full fill on a
     cold plan. Falls back to a fresh, uncached {!Dag_eval.eval} while a
-    transaction frame is open. *)
+    transaction frame is open and has already invalidated (a still-clean
+    frame reads committed state, so it keeps the cache). *)
 
 val query_src : t -> Dag_eval.src -> generation:int -> Ast.path -> Dag_eval.result
 (** MVCC snapshot read: evaluate through [src] (the frozen views of
@@ -81,7 +88,8 @@ val abort : t -> unit
     matching {!begin_} *)
 
 val recording : t -> bool
-(** is a transaction frame open? (queries bypass the cache then) *)
+(** is a transaction frame open? (queries bypass the cache once the
+    frame has invalidated) *)
 
 val generation : t -> int
 val counters : t -> counters

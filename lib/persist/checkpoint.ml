@@ -4,21 +4,42 @@
 module Database = Rxv_relational.Database
 module Store = Rxv_dag.Store
 
-type meta = { atg_name : string; seed : int; generation : int }
+type meta = {
+  atg_name : string;
+  seed : int;
+  generation : int;
+  epoch : int;
+  boundaries : (int * int) list;
+}
 
 let magic = "RXVC"
-let version = 1
+let version = 2
 
 let encode_meta b (m : meta) =
   Codec.bytes_ b m.atg_name;
   Codec.varint b m.seed;
-  Codec.varint b m.generation
+  Codec.varint b m.generation;
+  Codec.varint b m.epoch;
+  Codec.list_
+    (fun b (e, c) ->
+      Codec.varint b e;
+      Codec.varint b c)
+    b m.boundaries
 
 let decode_meta c =
   let atg_name = Codec.get_bytes c in
   let seed = Codec.get_varint c in
   let generation = Codec.get_varint c in
-  { atg_name; seed; generation }
+  let epoch = Codec.get_varint c in
+  let boundaries =
+    Codec.get_list
+      (fun c ->
+        let e = Codec.get_varint c in
+        let b = Codec.get_varint c in
+        (e, b))
+      c
+  in
+  { atg_name; seed; generation; epoch; boundaries }
 
 let fsync_dir dir =
   (* persist the rename itself; directories cannot be fsynced on some

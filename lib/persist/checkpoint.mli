@@ -24,6 +24,12 @@ type meta = {
           name guards against loading a checkpoint into the wrong one *)
   seed : int;  (** WalkSAT seed at checkpoint time *)
   generation : int;
+  epoch : int;  (** replication epoch (term) at checkpoint time *)
+  boundaries : (int * int) list;
+      (** epoch-transition history as [(epoch, start_commit)] pairs,
+          ascending — carried in the image because checkpoint rotation
+          deletes the WAL that recorded the transitions, and a rejoining
+          ex-primary needs the boundary to know where to truncate *)
 }
 
 val write :

@@ -22,12 +22,19 @@ type session = {
 }
 
 type record =
-  | Group of { seed : int; origin : origin option; group : Group_update.t }
+  | Group of {
+      seed : int;
+      epoch : int;
+      origin : origin option;
+      group : Group_update.t;
+    }
   | Sessions of { last_commit : int; sessions : session list }
+  | Epoch of { epoch : int; boundary : int }
 
 type tap = {
   on_group : string -> unit;
   on_rotate : generation:int -> base:int -> unit;
+  on_reset : generation:int -> base:int -> unit;
 }
 
 type t = {
@@ -40,6 +47,8 @@ type t = {
   mutable recovered_sessions : session list;
   mutable recovered_last_commit : int;
   mutable recovered_base : int;
+  mutable epoch : int;
+  mutable boundaries : (int * int) list;
   mutable tap : tap option;
 }
 
@@ -85,11 +94,13 @@ let rec mkdir_p dir =
 
 let tag_group = 0
 let tag_sessions = 1
+let tag_epoch = 2
 
-let encode_record ?origin ~seed (g : Group_update.t) =
+let encode_record ?origin ?(epoch = 0) ~seed (g : Group_update.t) =
   let b = Buffer.create 128 in
   Codec.varint b tag_group;
   Codec.varint b seed;
+  Codec.varint b epoch;
   (match origin with
   | None -> Codec.varint b 0
   | Some o ->
@@ -116,12 +127,25 @@ let encode_sessions_record ~last_commit sessions =
     sessions;
   Buffer.contents b
 
+(* an epoch transition: the promotion fence. [boundary] is the last
+   commit of the previous epoch — everything beyond it on a deposed
+   primary's log is an unreplicated suffix that divergence repair must
+   truncate. Durably appended {e before} the promoted node accepts its
+   first write. *)
+let encode_epoch_record ~epoch ~boundary =
+  let b = Buffer.create 8 in
+  Codec.varint b tag_epoch;
+  Codec.varint b epoch;
+  Codec.varint b boundary;
+  Buffer.contents b
+
 let decode_record payload =
   let c = Codec.cursor payload in
   let tag = Codec.get_varint c in
   let r =
     if tag = tag_group then begin
       let seed = Codec.get_varint c in
+      let epoch = Codec.get_varint c in
       let origin =
         match Codec.get_varint c with
         | 0 -> None
@@ -134,7 +158,7 @@ let decode_record payload =
         | n -> raise (Codec.Error (Printf.sprintf "bad origin marker %d" n))
       in
       let group = Codec.get_group c in
-      Group { seed; origin; group }
+      Group { seed; epoch; origin; group }
     end
     else if tag = tag_sessions then begin
       let last_commit = Codec.get_varint c in
@@ -154,6 +178,11 @@ let decode_record payload =
       in
       Sessions { last_commit; sessions = go n [] }
     end
+    else if tag = tag_epoch then begin
+      let epoch = Codec.get_varint c in
+      let boundary = Codec.get_varint c in
+      Epoch { epoch; boundary }
+    end
     else raise (Codec.Error (Printf.sprintf "unknown WAL record tag %d" tag))
   in
   if not (Codec.at_end c) then
@@ -170,11 +199,21 @@ let decode_record payload =
    origin-less groups (direct engine appends carry no provenance): every
    committed group is exactly one record, so counting records recovers
    the commit sequence — the invariant replication positions rely on. *)
+type scan = {
+  sc_sessions : session list;
+  sc_last : int;
+  sc_base : int;
+  sc_epoch : int;  (** highest epoch stamped on any record *)
+  sc_boundaries : (int * int) list;  (** epoch transitions, in log order *)
+}
+
 let fold_sessions records =
   let tbl = Hashtbl.create 16 in
   let last = ref 0 in
   let base = ref 0 in
   let since = ref 0 in
+  let ep = ref 0 in
+  let bounds = ref [] in
   List.iter
     (function
       | Sessions { last_commit; sessions } ->
@@ -183,19 +222,62 @@ let fold_sessions records =
           if last_commit > !last then last := last_commit;
           if last_commit > !base then base := last_commit;
           since := 0
-      | Group { origin = Some o; group; _ } ->
+      | Group { origin = Some o; group; epoch; _ } ->
           Hashtbl.replace tbl o.o_client
             { sess_client = o.o_client; sess_seq = o.o_seq;
               sess_commit = o.o_commit; sess_reports = o.o_reports;
               sess_delta = List.length group };
           if o.o_commit > !last then last := o.o_commit;
+          if epoch > !ep then ep := epoch;
           incr since
-      | Group { origin = None; _ } -> incr since)
+      | Group { origin = None; epoch; _ } ->
+          if epoch > !ep then ep := epoch;
+          incr since
+      | Epoch { epoch; boundary } ->
+          if epoch > !ep then ep := epoch;
+          bounds := (epoch, boundary) :: !bounds)
     records;
   let last = max !last (!base + !since) in
-  (Hashtbl.fold (fun _ s acc -> s :: acc) tbl [], last, !base)
+  {
+    sc_sessions = Hashtbl.fold (fun _ s acc -> s :: acc) tbl [];
+    sc_last = last;
+    sc_base = !base;
+    sc_epoch = !ep;
+    sc_boundaries = List.rev !bounds;
+  }
 
-let is_group = function Group _ -> true | Sessions _ -> false
+let is_group = function Group _ -> true | Sessions _ | Epoch _ -> false
+
+(* merge transition histories (image-carried and WAL-scanned), keeping
+   one boundary per epoch, ascending *)
+let merge_boundaries a b =
+  List.sort_uniq compare (a @ b)
+
+(* re-derive the recovered_* state (and epoch lineage) from the current
+   generation's files: the WAL scan, overlaid on whatever epoch history
+   the checkpoint image carries *)
+let rescan t =
+  let meta_epoch, meta_bounds =
+    match Checkpoint.read_meta (checkpoint_path t t.generation) with
+    | Ok m -> (m.Checkpoint.epoch, m.Checkpoint.boundaries)
+    | Error _ -> (0, [])
+  in
+  let replay = Wal.read (wal_path t t.generation) in
+  let decoded =
+    List.filter_map
+      (fun p ->
+        match decode_record p with
+        | r -> Some r
+        | exception Codec.Error _ -> None)
+      replay.Wal.records
+  in
+  t.records_since_ckpt <- List.length (List.filter is_group decoded);
+  let sc = fold_sessions decoded in
+  t.recovered_sessions <- sc.sc_sessions;
+  t.recovered_last_commit <- sc.sc_last;
+  t.recovered_base <- sc.sc_base;
+  t.epoch <- max meta_epoch sc.sc_epoch;
+  t.boundaries <- merge_boundaries meta_bounds sc.sc_boundaries
 
 let open_dir ?(sync = Wal.EveryN 64) dir =
   mkdir_p dir;
@@ -206,22 +288,9 @@ let open_dir ?(sync = Wal.EveryN 64) dir =
     { t_dir = dir; t_sync = sync; generation; writer = None;
       records_since_ckpt = 0; pending_origin = None;
       recovered_sessions = []; recovered_last_commit = 0;
-      recovered_base = 0; tap = None }
+      recovered_base = 0; epoch = 0; boundaries = []; tap = None }
   in
-  let replay = Wal.read (wal_path t generation) in
-  let decoded =
-    List.filter_map
-      (fun p ->
-        match decode_record p with
-        | r -> Some r
-        | exception Codec.Error _ -> None)
-      replay.Wal.records
-  in
-  t.records_since_ckpt <- List.length (List.filter is_group decoded);
-  let sessions, last_commit, base = fold_sessions decoded in
-  t.recovered_sessions <- sessions;
-  t.recovered_last_commit <- last_commit;
-  t.recovered_base <- base;
+  rescan t;
   t
 
 let dir t = t.t_dir
@@ -232,7 +301,20 @@ let set_origin t o = t.pending_origin <- o
 let recovered_sessions t = t.recovered_sessions
 let recovered_last_commit t = t.recovered_last_commit
 let recovered_base t = t.recovered_base
+let epoch t = t.epoch
+let boundaries t = t.boundaries
 let set_tap t tap = t.tap <- tap
+
+(* the last commit of the epoch a requester at [for_epoch] shares with
+   this log: the start-commit of the earliest transition beyond it.
+   [None] when the requester is current (no fence); [Some 0] when the
+   requester predates every boundary we still know about (full resync). *)
+let boundary_for t ~for_epoch =
+  if for_epoch >= t.epoch then None
+  else
+    match List.find_opt (fun (e, _) -> e > for_epoch) t.boundaries with
+    | Some (_, b) -> Some b
+    | None -> Some 0
 
 (* {2 Logging} *)
 
@@ -262,17 +344,40 @@ let tap_group t payload =
 
 let append t ~seed group =
   let origin = take_origin t in
-  let payload = encode_record ?origin ~seed group in
+  let payload = encode_record ?origin ~epoch:t.epoch ~seed group in
   Wal.append (current_writer t) payload;
   t.records_since_ckpt <- t.records_since_ckpt + 1;
   tap_group t payload
 
 let append_nosync t ~seed group =
   let origin = take_origin t in
-  let payload = encode_record ?origin ~seed group in
+  let payload = encode_record ?origin ~epoch:t.epoch ~seed group in
   Wal.append_nosync (current_writer t) payload;
   t.records_since_ckpt <- t.records_since_ckpt + 1;
   tap_group t payload
+
+(* a durable follower's apply path: log the replicated record byte for
+   byte (preserving the primary's seed, epoch and origin stamps, so
+   commit numbering and the dedup lineage survive a promotion), buffered
+   until an explicit {!sync} like the group-commit path *)
+let append_raw t payload =
+  Wal.append_nosync (current_writer t) payload;
+  match decode_record payload with
+  | Group { epoch; _ } ->
+      t.records_since_ckpt <- t.records_since_ckpt + 1;
+      if epoch > t.epoch then t.epoch <- epoch;
+      tap_group t payload
+  | Sessions _ | Epoch _ -> ()
+  | exception Codec.Error _ -> ()
+
+(* the promotion fence: durably record the transition before the caller
+   accepts its first write at the new epoch *)
+let append_epoch t ~epoch ~boundary =
+  let w = current_writer t in
+  Wal.append_nosync w (encode_epoch_record ~epoch ~boundary);
+  Wal.sync w;
+  t.epoch <- epoch;
+  t.boundaries <- merge_boundaries t.boundaries [ (epoch, boundary) ]
 
 let sync t = match t.writer with Some w -> Wal.sync w | None -> ()
 
@@ -326,7 +431,9 @@ let checkpoint ?sessions t (e : Engine.t) =
         ~path:(checkpoint_path t gen')
         { Checkpoint.atg_name = e.Engine.atg.Atg.name;
           seed = e.Engine.seed;
-          generation = gen' }
+          generation = gen';
+          epoch = t.epoch;
+          boundaries = t.boundaries }
         e.Engine.db e.Engine.store
     with
     | bytes -> bytes
@@ -390,15 +497,17 @@ let replay_wal t gen (e : Engine.t) =
   match decode_all 0 [] replay.Wal.records with
   | Error _ as err -> err
   | Ok records -> (
-      let sessions, last_commit, base = fold_sessions records in
-      t.recovered_sessions <- sessions;
-      t.recovered_last_commit <- last_commit;
-      t.recovered_base <- base;
+      let sc = fold_sessions records in
+      t.recovered_sessions <- sc.sc_sessions;
+      t.recovered_last_commit <- sc.sc_last;
+      t.recovered_base <- sc.sc_base;
+      t.epoch <- max t.epoch sc.sc_epoch;
+      t.boundaries <- merge_boundaries t.boundaries sc.sc_boundaries;
       let groups =
         List.filter_map
           (function
             | Group { seed; group; _ } -> Some (seed, group)
-            | Sessions _ -> None)
+            | Sessions _ | Epoch _ -> None)
           records
       in
       match groups with
@@ -466,11 +575,15 @@ let recover ?seed t (atg : Atg.t) ~init =
                        "%s was taken for ATG %S, not %S"
                        (checkpoint_file gen) meta.Checkpoint.atg_name
                        atg.Atg.name)
-                else
+                else begin
+                  t.epoch <- max t.epoch meta.Checkpoint.epoch;
+                  t.boundaries <-
+                    merge_boundaries t.boundaries meta.Checkpoint.boundaries;
                   let e =
                     Engine.of_durable ~seed:meta.Checkpoint.seed atg db store
                   in
-                  finish t gen ~from_checkpoint:true e)
+                  finish t gen ~from_checkpoint:true e
+                end)
       in
       try_gens [] gens
 
@@ -499,7 +612,7 @@ let read_group_tail t ~after ~max:max_n =
         match decode_record payload with
         | Sessions { last_commit; _ } when groups = [] ->
             (Stdlib.max base last_commit, groups)
-        | Sessions _ -> (base, groups)
+        | Sessions _ | Epoch _ -> (base, groups)
         | Group _ -> (base, payload :: groups)
         | exception Codec.Error _ -> (base, groups))
       (0, []) replay.Wal.records
@@ -531,6 +644,134 @@ let checkpoint_blob t =
         let n = in_channel_length ic in
         Some (t.generation, t.recovered_base, really_input_string ic n))
   end
+
+(* Divergence repair: physically truncate the current generation's WAL
+   so no group record beyond commit number [commit] survives — the same
+   prefix-truncation move as torn-tail repair, applied at a commit
+   boundary instead of a damage boundary. A deposed primary calls this
+   with the new primary's epoch boundary before re-entering as a
+   follower; the discarded suffix is exactly the set of commits it acked
+   locally but never replicated. Returns the number of commits
+   discarded. *)
+let discard_after t ~commit =
+  (match t.writer with Some w -> ( try Wal.close w with _ -> ()) | None -> ());
+  t.writer <- None;
+  let before = t.recovered_last_commit in
+  let path = wal_path t t.generation in
+  (match
+     if Sys.file_exists path then
+       let ic = open_in_bin path in
+       Fun.protect
+         ~finally:(fun () -> close_in_noerr ic)
+         (fun () -> Some (really_input_string ic (in_channel_length ic)))
+     else None
+   with
+  | None -> ()
+  | Some s ->
+      let rec walk pos base groups keep =
+        match Frame.read_one s ~pos with
+        | `End | `Bad _ -> keep
+        | `Record (payload, next) -> (
+            match decode_record payload with
+            | Sessions { last_commit; _ } when groups = 0 ->
+                walk next (Stdlib.max base last_commit) groups next
+            | Sessions _ | Epoch _ -> walk next base groups next
+            | Group _ ->
+                if base + groups + 1 <= commit then
+                  walk next base (groups + 1) next
+                else keep
+            | exception Codec.Error _ -> keep)
+      in
+      let keep = walk 0 0 0 0 in
+      if keep < String.length s then begin
+        Unix.truncate path keep;
+        let fd = Unix.openfile path [ Unix.O_WRONLY ] 0o644 in
+        (try Unix.fsync fd with Unix.Unix_error _ -> ());
+        Unix.close fd
+      end);
+  rescan t;
+  (* truncation replaces history, it does not extend it: a shadowing
+     replication feed must drop its window of now-discarded records and
+     restart at the surviving tail *)
+  (match t.tap with
+  | Some tap ->
+      tap.on_reset ~generation:t.generation ~base:t.recovered_last_commit
+  | None -> ());
+  Stdlib.max 0 (before - t.recovered_last_commit)
+
+let remove_other_generations t ~keep =
+  Sys.readdir t.t_dir
+  |> Array.iter (fun name ->
+         let gen =
+           match parse_gen ~prefix:"checkpoint-" ~suffix:".rxc" name with
+           | Some g -> Some g
+           | None -> parse_gen ~prefix:"wal-" ~suffix:".rxl" name
+         in
+         match gen with
+         | Some g when g <> keep ->
+             remove_if_exists (Filename.concat t.t_dir name)
+         | _ -> ())
+
+(* A durable follower adopting a shipped checkpoint: install the image
+   as this directory's recovery root, start a fresh WAL for its
+   generation seeded with the primary's session snapshot (so the dedup
+   lineage survives a later promotion), and drop every other
+   generation. *)
+let install_checkpoint t ~generation ~base ~sessions bytes =
+  (match t.writer with Some w -> ( try Wal.close w with _ -> ()) | None -> ());
+  t.writer <- None;
+  let path = checkpoint_path t generation in
+  let tmp = path ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  (try
+     output_string oc bytes;
+     flush oc;
+     (try Unix.fsync (Unix.descr_of_out_channel oc)
+      with Unix.Unix_error _ -> ());
+     close_out oc;
+     Sys.rename tmp path
+   with e ->
+     close_out_noerr oc;
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e);
+  (* a stale log from this directory's previous life must not replay on
+     top of the adopted image *)
+  remove_if_exists (wal_path t generation);
+  let w = Wal.open_writer ~sync:t.t_sync (wal_path t generation) in
+  if sessions <> [] || base > 0 then
+    Wal.append_nosync w (encode_sessions_record ~last_commit:base sessions);
+  Wal.sync w;
+  t.writer <- Some w;
+  t.generation <- generation;
+  remove_other_generations t ~keep:generation;
+  t.records_since_ckpt <- 0;
+  t.recovered_sessions <- sessions;
+  t.recovered_last_commit <- base;
+  t.recovered_base <- base;
+  (match Checkpoint.read_meta path with
+  | Ok m ->
+      t.epoch <- max t.epoch m.Checkpoint.epoch;
+      t.boundaries <- merge_boundaries t.boundaries m.Checkpoint.boundaries
+  | Error _ -> ());
+  match t.tap with
+  | Some tap -> tap.on_reset ~generation ~base
+  | None -> ()
+
+(* back to generation 0 with nothing logged: the durable mirror of a
+   follower's fresh-init reset (the whole stream will be re-pulled and
+   re-appended) *)
+let reset_empty t =
+  (match t.writer with Some w -> ( try Wal.close w with _ -> ()) | None -> ());
+  t.writer <- None;
+  remove_other_generations t ~keep:(-1);
+  t.generation <- 0;
+  t.records_since_ckpt <- 0;
+  t.recovered_sessions <- [];
+  t.recovered_last_commit <- 0;
+  t.recovered_base <- 0;
+  match t.tap with
+  | Some tap -> tap.on_reset ~generation:0 ~base:0
+  | None -> ()
 
 let wal_path = wal_path
 let checkpoint_path = checkpoint_path

@@ -43,12 +43,22 @@ type session = {
 (** one dedup-table entry — the latest acknowledged request per client *)
 
 type record =
-  | Group of { seed : int; origin : origin option; group : Group_update.t }
-      (** a committed update group: post-commit WalkSAT seed, optional
-          client provenance, ΔR ops *)
+  | Group of {
+      seed : int;
+      epoch : int;
+      origin : origin option;
+      group : Group_update.t;
+    }
+      (** a committed update group: post-commit WalkSAT seed, the
+          replication epoch it committed under, optional client
+          provenance, ΔR ops *)
   | Sessions of { last_commit : int; sessions : session list }
       (** dedup-table snapshot — first record of each generation's WAL,
           carrying the table across checkpoint rotation *)
+  | Epoch of { epoch : int; boundary : int }
+      (** an epoch transition (promotion fence): [boundary] is the last
+          commit of the previous epoch; any local commit beyond it on a
+          deposed primary is an unreplicated suffix to truncate *)
 
 val open_dir : ?sync:Wal.sync_policy -> string -> t
 (** open (creating if needed) a durability directory; the current
@@ -103,6 +113,23 @@ val recovered_base : t -> int
     of the head-of-WAL [Sessions] snapshot (0 for generation 0). The
     k-th group record of the generation's WAL is commit [base + k]. *)
 
+val epoch : t -> int
+(** the replication epoch this directory's history has reached: the
+    maximum over the checkpoint header, logged transition records, and
+    the epoch stamps on replicated group records *)
+
+val boundaries : t -> (int * int) list
+(** the known epoch-transition history, [(epoch, start_commit)]
+    ascending — from logged {!record.Epoch} records merged with the
+    checkpoint header's carried copy *)
+
+val boundary_for : t -> for_epoch:int -> int option
+(** the last commit a peer stuck at [for_epoch] provably shares with
+    this history: the boundary of the earliest recorded transition
+    beyond its epoch. [None] when the peer is current (nothing to
+    fence); [Some 0] when its epoch predates every boundary still known
+    (only a full resync is safe). *)
+
 type tap = {
   on_group : string -> unit;
       (** one call per appended group record, in commit order, with the
@@ -110,6 +137,11 @@ type tap = {
   on_rotate : generation:int -> base:int -> unit;
       (** fired after {!checkpoint} rotates to a new generation whose
           WAL starts at commit number [base] *)
+  on_reset : generation:int -> base:int -> unit;
+      (** fired when the directory's history is {e replaced} rather than
+          extended — {!install_checkpoint} or {!reset_empty} on a
+          durable follower — so a shadowing feed can discard its window
+          and restart at [base] *)
 }
 (** observer of the durable record stream (replication feed hook) *)
 
@@ -176,10 +208,47 @@ val checkpoint_blob : t -> (int * int * string) option
     0). Serialize calls against {!checkpoint}, which deletes superseded
     images. *)
 
+val append_raw : t -> string -> unit
+(** append one already-encoded record verbatim (buffered; pair with
+    {!sync}) — the durable follower's apply path. The primary's seed,
+    epoch and origin stamps are preserved byte for byte, so the
+    follower's log is promotable: commit numbering and the dedup
+    lineage carry over unchanged. Non-group payloads are ignored. *)
+
+val append_epoch : t -> epoch:int -> boundary:int -> unit
+(** durably log an epoch transition (appended and fsynced immediately)
+    and adopt [epoch] for subsequently appended records — the promotion
+    fence; call {e before} accepting the first write of the new epoch *)
+
+val discard_after : t -> commit:int -> int
+(** truncate the current generation's WAL at the commit boundary: every
+    group record numbered beyond [commit] (and anything after it) is
+    physically discarded, via the same prefix-truncation move as
+    torn-tail repair. The divergence-repair step of a deposed primary
+    rejoining as a follower. Closes the current writer; returns the
+    number of commits discarded. *)
+
+val install_checkpoint :
+  t -> generation:int -> base:int -> sessions:session list -> string -> unit
+(** adopt a primary-shipped checkpoint image as this directory's
+    recovery root: write it (atomically) as [generation]'s checkpoint,
+    start a fresh WAL seeded with a [sessions] snapshot at commit
+    [base], and delete every other generation. Fires the tap's
+    [on_reset]. *)
+
+val reset_empty : t -> unit
+(** drop every generation and return to an empty generation-0 directory
+    (the durable mirror of a follower's fresh-init reset); known epoch
+    history is kept in memory. Fires the tap's [on_reset]. *)
+
 (** {2 Record codec} — exposed for tests and crash-injection harnesses *)
 
-val encode_record : ?origin:origin -> seed:int -> Group_update.t -> string
+val encode_record :
+  ?origin:origin -> ?epoch:int -> seed:int -> Group_update.t -> string
+(** [epoch] defaults to 0 (the pre-failover era) *)
+
 val encode_sessions_record : last_commit:int -> session list -> string
+val encode_epoch_record : epoch:int -> boundary:int -> string
 
 val decode_record : string -> record
 (** @raise Codec.Error on malformed payload *)

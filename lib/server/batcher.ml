@@ -266,6 +266,12 @@ let submit_wait ?origin t ~policy ops =
 
 let seq t = t.seq
 
+(* promotion: adopt the follower's applied position as the commit
+   counter. The write lock guarantees no batch is mid-apply — on a
+   replica being promoted the queue is empty anyway (writes were
+   refused), so this is a plain counter store *)
+let set_seq t seq = Rwlock.with_write t.lock (fun () -> t.seq <- seq)
+
 let stop t =
   Mutex.lock t.m;
   t.stopping <- true;

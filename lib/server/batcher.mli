@@ -105,6 +105,12 @@ val submit_wait :
 val seq : t -> int
 (** commit number of the latest committed group *)
 
+val set_seq : t -> int -> unit
+(** reseed the commit counter (under the exclusive lock, so never while
+    a batch is mid-apply) — the promotion path adopts the follower
+    loop's applied position so the new primary's first commit continues
+    the replicated numbering *)
+
 val stop : t -> unit
 (** drain every accepted job, sync, and join the writer thread;
     idempotent. Jobs submitted after [stop] begins are [`Overloaded]. *)

@@ -34,7 +34,19 @@ let backoff_delay attempt =
   let d = 0.002 *. (2. ** float_of_int (min attempt 6)) in
   min d 0.1
 
-let connect_with ~retries ~retryable ~mk ~fp_prefix client_id =
+(* sleep [total] in small slices so [should_stop] is observed within
+   ~10 ms — a follower shutting down must not sit out a whole backoff *)
+let interruptible_delay ~should_stop total =
+  let slice = 0.01 in
+  let rec go left =
+    if left > 0. && not (should_stop ()) then begin
+      Thread.delay (Stdlib.min slice left);
+      go (left -. slice)
+    end
+  in
+  go total
+
+let connect_with ~retries ~retryable ~should_stop ~mk ~fp_prefix client_id =
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
    with Invalid_argument _ -> ());
   let client_id =
@@ -42,6 +54,7 @@ let connect_with ~retries ~retryable ~mk ~fp_prefix client_id =
   in
   let fp suffix = Option.map (fun p -> p ^ suffix) fp_prefix in
   let rec go attempt =
+    if should_stop () then raise (Disconnected "connect aborted: stopping");
     let fd, addr = mk () in
     match Unix.connect fd addr with
     | () ->
@@ -51,7 +64,7 @@ let connect_with ~retries ~retryable ~mk ~fp_prefix client_id =
         Unix.close fd;
         if attempt >= retries then raise (Unix.Unix_error (e, fn, arg))
         else begin
-          Thread.delay (backoff_delay attempt);
+          interruptible_delay ~should_stop (backoff_delay attempt);
           go (attempt + 1)
         end
     | exception exn ->
@@ -64,11 +77,13 @@ let set_rcv_timeout fd = function
   | None -> ()
   | Some s -> Unix.setsockopt_float fd Unix.SO_RCVTIMEO s
 
-let connect ?(retries = 60) ?client_id ?rcv_timeout ?fp_prefix path =
+let connect ?(retries = 60) ?client_id ?rcv_timeout ?fp_prefix
+    ?(should_stop = fun () -> false) path =
   let t =
     connect_with ~retries ~retryable:(function
       | Unix.ENOENT | Unix.ECONNREFUSED -> true
       | _ -> false)
+      ~should_stop
       ~mk:(fun () ->
         (Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0, Unix.ADDR_UNIX path))
       ~fp_prefix client_id
@@ -76,11 +91,13 @@ let connect ?(retries = 60) ?client_id ?rcv_timeout ?fp_prefix path =
   set_rcv_timeout t.fd rcv_timeout;
   t
 
-let connect_tcp ?(retries = 60) ?client_id ?rcv_timeout ?fp_prefix host port =
+let connect_tcp ?(retries = 60) ?client_id ?rcv_timeout ?fp_prefix
+    ?(should_stop = fun () -> false) host port =
   let t =
     connect_with ~retries ~retryable:(function
       | Unix.ECONNREFUSED -> true
       | _ -> false)
+      ~should_stop
       ~mk:(fun () ->
         ( Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0,
           Unix.ADDR_INET (Unix.inet_addr_of_string host, port) ))
@@ -133,7 +150,7 @@ let query t src =
   | Proto.Error m -> Error m
   | r -> Error (Fmt.str "unexpected reply: %a" Proto.pp_response r)
 
-let update ?(policy = `Proceed) ?req_seq t ops =
+let update ?(policy = `Proceed) ?req_seq ?(epoch = 0) t ops =
   let seq =
     match req_seq with
     | Some s ->
@@ -146,12 +163,13 @@ let update ?(policy = `Proceed) ?req_seq t ops =
   in
   match
     request t
-      (Proto.Update { client = t.client_id; req_seq = seq; policy; ops })
+      (Proto.Update { client = t.client_id; req_seq = seq; epoch; policy; ops })
   with
   | Proto.Applied { seq; reports; _ } -> `Applied (seq, reports)
   | Proto.Rejected { index; reason } -> `Rejected (index, reason)
   | Proto.Overloaded -> `Overloaded
   | Proto.Unavailable m -> `Unavailable m
+  | Proto.Fenced { epoch; leader } -> `Fenced (epoch, leader)
   | Proto.Error m -> `Error m
   | r -> `Error (Fmt.str "unexpected reply: %a" Proto.pp_response r)
 
@@ -167,25 +185,54 @@ let query_at t ~min_seq ~wait_ms src =
   | Proto.Error m -> Error (`Err m)
   | r -> Error (`Err (Fmt.str "unexpected reply: %a" Proto.pp_response r))
 
-(* ---- replication stream (follower side) ---- *)
-
-type repl_reply =
-  [ `Frames of int * string list  (** durable head, encoded records *)
-  | `Reset of int * int * string option
-    (** generation, base, checkpoint image *) ]
-
-let repl_reply = function
-  | Proto.Repl_frames { head; records; _ } -> Ok (`Frames (head, records))
-  | Proto.Repl_reset { generation; base; ckpt } ->
-      Ok (`Reset (generation, base, ckpt))
+let promote t =
+  match request t Proto.Promote with
+  | Proto.Promoted { epoch; seq } -> Ok (epoch, seq)
   | Proto.Error m -> Error m
   | r -> Error (Fmt.str "unexpected reply: %a" Proto.pp_response r)
 
-let repl_hello t ~follower ~after =
-  repl_reply (request t (Proto.Repl_hello { follower; after }))
+(* ---- replication stream (follower side) ---- *)
 
-let repl_pull t ~follower ~after ~max ~wait_ms =
-  repl_reply (request t (Proto.Repl_pull { follower; after; max; wait_ms }))
+type frames = {
+  fr_head : int;  (** primary's durable commit watermark *)
+  fr_records : string list;  (** encoded WAL group records *)
+  fr_epoch : int;  (** primary's current epoch *)
+  fr_boundary : int option;
+      (** divergence boundary, present when our epoch was stale *)
+}
+
+type reset = {
+  rs_generation : int;
+  rs_base : int;
+  rs_ckpt : string option;  (** [None]: fresh deterministic init *)
+  rs_epoch : int;
+  rs_sessions : string option;  (** encoded dedup snapshot *)
+}
+
+type repl_reply =
+  [ `Frames of frames | `Reset of reset | `Fenced of int * string ]
+
+let repl_reply = function
+  | Proto.Repl_frames { head; records; epoch; boundary; _ } ->
+      Ok
+        (`Frames
+           { fr_head = head; fr_records = records; fr_epoch = epoch;
+             fr_boundary = boundary })
+  | Proto.Repl_reset { generation; base; ckpt; epoch; sessions } ->
+      Ok
+        (`Reset
+           { rs_generation = generation; rs_base = base; rs_ckpt = ckpt;
+             rs_epoch = epoch; rs_sessions = sessions })
+  | Proto.Fenced { epoch; leader } -> Ok (`Fenced (epoch, leader))
+  | Proto.Error m -> Error m
+  | r -> Error (Fmt.str "unexpected reply: %a" Proto.pp_response r)
+
+let repl_hello t ~follower ~after ~epoch =
+  repl_reply (request t (Proto.Repl_hello { follower; after; epoch }))
+
+let repl_pull t ~follower ~after ~max ~wait_ms ~epoch =
+  repl_reply
+    (request t (Proto.Repl_pull { follower; after; max; wait_ms; epoch }))
 
 let stats t =
   match request t Proto.Stats with

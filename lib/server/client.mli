@@ -19,7 +19,7 @@ val fresh_id : unit -> string
 
 val connect :
   ?retries:int -> ?client_id:string -> ?rcv_timeout:float ->
-  ?fp_prefix:string -> string -> t
+  ?fp_prefix:string -> ?should_stop:(unit -> bool) -> string -> t
 (** connect to a Unix-domain socket path, retrying with capped
     exponential backoff (2 ms doubling to 100 ms; default [retries] 60,
     ≈5 s total) while the path does not exist or refuses — covers the
@@ -28,11 +28,15 @@ val connect :
     [fp_prefix] names the {!Rxv_fault} sites this connection's socket
     I/O passes through ([<prefix>.read]/[<prefix>.write]) — e.g.
     ["repl"] for a replication stream under fault injection.
+    [should_stop] is polled (every ~10 ms) during the inter-attempt
+    backoff and before each attempt: when it turns true the connect
+    aborts with {!Disconnected} instead of sleeping out its retry
+    budget — a stopping follower must not block on a dead primary.
     @raise Unix.Unix_error when retries are exhausted *)
 
 val connect_tcp :
   ?retries:int -> ?client_id:string -> ?rcv_timeout:float ->
-  ?fp_prefix:string -> string -> int -> t
+  ?fp_prefix:string -> ?should_stop:(unit -> bool) -> string -> int -> t
 (** like {!connect} for TCP; retries [ECONNREFUSED] with the same
     backoff *)
 
@@ -58,26 +62,32 @@ val query : t -> string -> (int * (string * int) list, string) result
 val update :
   ?policy:Proto.policy ->
   ?req_seq:int ->
+  ?epoch:int ->
   t ->
   Proto.op list ->
   [ `Applied of int * int  (** commit seq, reports *)
   | `Rejected of int * string
   | `Overloaded
   | `Unavailable of string
+  | `Fenced of int * string  (** server's epoch, leader address hint *)
   | `Error of string ]
 (** submit one atomic update group; [policy] defaults to [`Proceed].
     [req_seq] overrides the auto-assigned sequence number — a retry of a
     possibly-committed request must re-send the {e same} number to get
-    the server's deduplicated answer instead of a second application. *)
+    the server's deduplicated answer instead of a second application.
+    [epoch] (default 0 = not participating) is the highest replication
+    epoch this client has witnessed: a write stamped with it can never
+    be acknowledged by a deposed primary — the zombie answers [`Fenced]
+    and demotes itself instead. *)
 
 val insert : ?policy:Proto.policy -> t -> etype:string -> attr:Value.t array
   -> into:string ->
   [ `Applied of int * int | `Rejected of int * string | `Overloaded
-  | `Unavailable of string | `Error of string ]
+  | `Unavailable of string | `Fenced of int * string | `Error of string ]
 
 val delete : ?policy:Proto.policy -> t -> string ->
   [ `Applied of int * int | `Rejected of int * string | `Overloaded
-  | `Unavailable of string | `Error of string ]
+  | `Unavailable of string | `Fenced of int * string | `Error of string ]
 
 val query_at :
   t -> min_seq:int -> wait_ms:int -> string ->
@@ -87,27 +97,57 @@ val query_at :
     [min_seq]. [`Behind] — the replica could not catch up within
     [wait_ms]; route the read to the primary (or another replica). *)
 
+val promote : t -> (int * int, string) result
+(** ask the server to become the primary; [Ok (epoch, seq)] — its first
+    commit of the new epoch will be [seq + 1]. Idempotent against a node
+    that is already primary. *)
+
 (** {2 Replication stream (follower side)} *)
 
+type frames = {
+  fr_head : int;  (** primary's durable commit watermark *)
+  fr_records : string list;
+      (** encoded WAL group records (decode with
+          {!Rxv_persist.Persist.decode_record}) *)
+  fr_epoch : int;  (** primary's current epoch *)
+  fr_boundary : int option;
+      (** when our reported epoch was stale: the last commit our history
+          provably shares with the primary — a position beyond it is a
+          diverged suffix that must be truncated before applying *)
+}
+
+type reset = {
+  rs_generation : int;
+  rs_base : int;
+  rs_ckpt : string option;
+      (** raw checkpoint image ([None]: re-initialize from the
+          deterministic initial publication) *)
+  rs_epoch : int;
+  rs_sessions : string option;
+      (** primary's encoded dedup snapshot, to load alongside the image
+          so exactly-once retries survive a later promotion *)
+}
+
 type repl_reply =
-  [ `Frames of int * string list
-    (** primary's durable head, encoded WAL group records (decode with
-        {!Rxv_persist.Persist.decode_record}) *)
-  | `Reset of int * int * string option
-    (** generation, base commit, raw checkpoint image ([None]:
-        re-initialize from the deterministic initial publication) *) ]
+  [ `Frames of frames
+  | `Reset of reset
+  | `Fenced of int * string
+    (** the contacted node is itself fenced (its epoch, leader hint) —
+        find the current primary *) ]
 
 val repl_hello :
-  t -> follower:string -> after:int -> (repl_reply, string) result
+  t -> follower:string -> after:int -> epoch:int -> (repl_reply, string) result
 (** register with the primary and learn its durable head (an empty
     [`Frames]) — or that [after] predates its horizon ([`Reset]) *)
 
 val repl_pull :
-  t -> follower:string -> after:int -> max:int -> wait_ms:int ->
+  t -> follower:string -> after:int -> max:int -> wait_ms:int -> epoch:int ->
   (repl_reply, string) result
 (** pull up to [max] records for commits [after+1 ..]; long-polls up to
-    [wait_ms] when caught up. [Error] carries the primary's in-protocol
-    refusal (e.g. it has no durability directory). *)
+    [wait_ms] when caught up. [epoch] is the follower's highest
+    witnessed epoch — the primary uses it to decide whether a divergence
+    boundary must accompany the frames. [Error] carries the primary's
+    in-protocol refusal (e.g. it has no durability directory). *)
 
 val stats : t -> (Proto.server_stats, string) result
 val checkpoint : t -> (int * int, string) result

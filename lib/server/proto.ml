@@ -13,13 +13,26 @@ type op =
 type request =
   | Ping
   | Query of string
-  | Update of { client : string; req_seq : int; policy : policy; ops : op list }
+  | Update of {
+      client : string;
+      req_seq : int;
+      epoch : int;
+      policy : policy;
+      ops : op list;
+    }
   | Stats
   | Checkpoint
   | Shutdown
-  | Repl_hello of { follower : string; after : int }
-  | Repl_pull of { follower : string; after : int; max : int; wait_ms : int }
+  | Repl_hello of { follower : string; after : int; epoch : int }
+  | Repl_pull of {
+      follower : string;
+      after : int;
+      max : int;
+      wait_ms : int;
+      epoch : int;
+    }
   | Query_at of { path : string; min_seq : int; wait_ms : int }
+  | Promote
 
 type server_stats = {
   st_nodes : int;
@@ -46,8 +59,22 @@ type response =
   | Bye
   | Error of string
   | Unavailable of string
-  | Repl_frames of { after : int; head : int; records : string list }
-  | Repl_reset of { generation : int; base : int; ckpt : string option }
+  | Repl_frames of {
+      after : int;
+      head : int;
+      records : string list;
+      epoch : int;
+      boundary : int option;
+    }
+  | Repl_reset of {
+      generation : int;
+      base : int;
+      ckpt : string option;
+      epoch : int;
+      sessions : string option;
+    }
+  | Fenced of { epoch : int; leader : string }
+  | Promoted of { epoch : int; seq : int }
 
 let pp_op ppf = function
   | Delete p -> Fmt.pf ppf "delete %s" p
@@ -57,23 +84,26 @@ let pp_op ppf = function
 let pp_request ppf = function
   | Ping -> Fmt.string ppf "ping"
   | Query p -> Fmt.pf ppf "query %s" p
-  | Update { client; req_seq; policy; ops } ->
-      Fmt.pf ppf "update[%s]%a {%a}"
+  | Update { client; req_seq; epoch; policy; ops } ->
+      Fmt.pf ppf "update[%s]%a%a {%a}"
         (match policy with `Abort -> "abort" | `Proceed -> "proceed")
         (fun ppf () ->
           if client <> "" then Fmt.pf ppf " %s#%d" client req_seq)
+        ()
+        (fun ppf () -> if epoch > 0 then Fmt.pf ppf " e%d" epoch)
         ()
         (Fmt.list ~sep:Fmt.semi pp_op) ops
   | Stats -> Fmt.string ppf "stats"
   | Checkpoint -> Fmt.string ppf "checkpoint"
   | Shutdown -> Fmt.string ppf "shutdown"
-  | Repl_hello { follower; after } ->
-      Fmt.pf ppf "repl-hello %s after=%d" follower after
-  | Repl_pull { follower; after; max; wait_ms } ->
-      Fmt.pf ppf "repl-pull %s after=%d max=%d wait=%dms" follower after max
-        wait_ms
+  | Repl_hello { follower; after; epoch } ->
+      Fmt.pf ppf "repl-hello %s after=%d e%d" follower after epoch
+  | Repl_pull { follower; after; max; wait_ms; epoch } ->
+      Fmt.pf ppf "repl-pull %s after=%d max=%d wait=%dms e%d" follower after
+        max wait_ms epoch
   | Query_at { path; min_seq; wait_ms } ->
       Fmt.pf ppf "query@%d %s (wait=%dms)" min_seq path wait_ms
+  | Promote -> Fmt.string ppf "promote"
 
 let pp_response ppf = function
   | Pong -> Fmt.string ppf "pong"
@@ -90,14 +120,23 @@ let pp_response ppf = function
   | Bye -> Fmt.string ppf "bye"
   | Error m -> Fmt.pf ppf "error: %s" m
   | Unavailable m -> Fmt.pf ppf "unavailable: %s" m
-  | Repl_frames { after; head; records } ->
-      Fmt.pf ppf "repl-frames after=%d head=%d (%d records)" after head
-        (List.length records)
-  | Repl_reset { generation; base; ckpt } ->
-      Fmt.pf ppf "repl-reset gen=%d base=%d (%s)" generation base
+  | Repl_frames { after; head; records; epoch; boundary } ->
+      Fmt.pf ppf "repl-frames after=%d head=%d e%d%a (%d records)" after head
+        epoch
+        (fun ppf -> function
+          | Some b -> Fmt.pf ppf " boundary=%d" b
+          | None -> ())
+        boundary (List.length records)
+  | Repl_reset { generation; base; ckpt; epoch; _ } ->
+      Fmt.pf ppf "repl-reset gen=%d base=%d e%d (%s)" generation base epoch
         (match ckpt with
         | Some c -> Printf.sprintf "%d-byte checkpoint" (String.length c)
         | None -> "fresh init")
+  | Fenced { epoch; leader } ->
+      Fmt.pf ppf "fenced: epoch %d%s" epoch
+        (if leader = "" then "" else " (leader " ^ leader ^ ")")
+  | Promoted { epoch; seq } ->
+      Fmt.pf ppf "promoted: epoch %d at commit %d" epoch seq
 
 (* ---- payload codec ---- *)
 
@@ -138,30 +177,34 @@ let encode_request r =
   | Query p ->
       Codec.u8 b 1;
       Codec.bytes_ b p
-  | Update { client; req_seq; policy; ops } ->
+  | Update { client; req_seq; epoch; policy; ops } ->
       Codec.u8 b 2;
       Codec.bytes_ b client;
       Codec.varint b req_seq;
+      Codec.varint b epoch;
       enc_policy b policy;
       Codec.list_ enc_op b ops
   | Stats -> Codec.u8 b 3
   | Checkpoint -> Codec.u8 b 4
   | Shutdown -> Codec.u8 b 5
-  | Repl_hello { follower; after } ->
+  | Repl_hello { follower; after; epoch } ->
       Codec.u8 b 6;
       Codec.bytes_ b follower;
-      Codec.varint b after
-  | Repl_pull { follower; after; max; wait_ms } ->
+      Codec.varint b after;
+      Codec.varint b epoch
+  | Repl_pull { follower; after; max; wait_ms; epoch } ->
       Codec.u8 b 7;
       Codec.bytes_ b follower;
       Codec.varint b after;
       Codec.varint b max;
-      Codec.varint b wait_ms
+      Codec.varint b wait_ms;
+      Codec.varint b epoch
   | Query_at { path; min_seq; wait_ms } ->
       Codec.u8 b 8;
       Codec.bytes_ b path;
       Codec.varint b min_seq;
-      Codec.varint b wait_ms);
+      Codec.varint b wait_ms
+  | Promote -> Codec.u8 b 9);
   Buffer.contents b
 
 let check_end c =
@@ -176,27 +219,31 @@ let decode_request s =
     | 2 ->
         let client = Codec.get_bytes c in
         let req_seq = Codec.get_varint c in
+        let epoch = Codec.get_varint c in
         let policy = dec_policy c in
         let ops = Codec.get_list dec_op c in
-        Update { client; req_seq; policy; ops }
+        Update { client; req_seq; epoch; policy; ops }
     | 3 -> Stats
     | 4 -> Checkpoint
     | 5 -> Shutdown
     | 6 ->
         let follower = Codec.get_bytes c in
         let after = Codec.get_varint c in
-        Repl_hello { follower; after }
+        let epoch = Codec.get_varint c in
+        Repl_hello { follower; after; epoch }
     | 7 ->
         let follower = Codec.get_bytes c in
         let after = Codec.get_varint c in
         let max = Codec.get_varint c in
         let wait_ms = Codec.get_varint c in
-        Repl_pull { follower; after; max; wait_ms }
+        let epoch = Codec.get_varint c in
+        Repl_pull { follower; after; max; wait_ms; epoch }
     | 8 ->
         let path = Codec.get_bytes c in
         let min_seq = Codec.get_varint c in
         let wait_ms = Codec.get_varint c in
         Query_at { path; min_seq; wait_ms }
+    | 9 -> Promote
     | n -> raise (Codec.Error (Printf.sprintf "bad request tag %d" n))
   in
   check_end c;
@@ -281,16 +328,28 @@ let encode_response r =
   | Unavailable m ->
       Codec.u8 b 9;
       Codec.bytes_ b m
-  | Repl_frames { after; head; records } ->
+  | Repl_frames { after; head; records; epoch; boundary } ->
       Codec.u8 b 10;
       Codec.varint b after;
       Codec.varint b head;
-      Codec.list_ Codec.bytes_ b records
-  | Repl_reset { generation; base; ckpt } ->
+      Codec.list_ Codec.bytes_ b records;
+      Codec.varint b epoch;
+      Codec.option_ Codec.varint b boundary
+  | Repl_reset { generation; base; ckpt; epoch; sessions } ->
       Codec.u8 b 11;
       Codec.varint b generation;
       Codec.varint b base;
-      Codec.option_ Codec.bytes_ b ckpt);
+      Codec.option_ Codec.bytes_ b ckpt;
+      Codec.varint b epoch;
+      Codec.option_ Codec.bytes_ b sessions
+  | Fenced { epoch; leader } ->
+      Codec.u8 b 12;
+      Codec.varint b epoch;
+      Codec.bytes_ b leader
+  | Promoted { epoch; seq } ->
+      Codec.u8 b 13;
+      Codec.varint b epoch;
+      Codec.varint b seq);
   Buffer.contents b
 
 let decode_response s =
@@ -339,12 +398,24 @@ let decode_response s =
         let after = Codec.get_varint c in
         let head = Codec.get_varint c in
         let records = Codec.get_list Codec.get_bytes c in
-        Repl_frames { after; head; records }
+        let epoch = Codec.get_varint c in
+        let boundary = Codec.get_option Codec.get_varint c in
+        Repl_frames { after; head; records; epoch; boundary }
     | 11 ->
         let generation = Codec.get_varint c in
         let base = Codec.get_varint c in
         let ckpt = Codec.get_option Codec.get_bytes c in
-        Repl_reset { generation; base; ckpt }
+        let epoch = Codec.get_varint c in
+        let sessions = Codec.get_option Codec.get_bytes c in
+        Repl_reset { generation; base; ckpt; epoch; sessions }
+    | 12 ->
+        let epoch = Codec.get_varint c in
+        let leader = Codec.get_bytes c in
+        Fenced { epoch; leader }
+    | 13 ->
+        let epoch = Codec.get_varint c in
+        let seq = Codec.get_varint c in
+        Promoted { epoch; seq }
     | n -> raise (Codec.Error (Printf.sprintf "bad response tag %d" n))
   in
   check_end c;

@@ -15,6 +15,7 @@
 
 type follower = {
   mutable f_after : int;  (** last commit number the follower reported *)
+  mutable f_epoch : int;  (** highest epoch the follower reported *)
   mutable f_last_seen : float;
   mutable f_pulls : int;
   mutable f_resets : int;
@@ -70,22 +71,35 @@ let rotate t ~generation ~base =
       t.gen_base <- base;
       t.head <- t.seq)
 
+(* the follower-side mirror of rotation: the durable history was
+   *replaced* (checkpoint install or fresh reset), so the window is
+   meaningless — drop it and restart the numbering at [base] *)
+let reset t ~generation ~base =
+  locked t (fun () ->
+      t.generation <- generation;
+      t.gen_base <- base;
+      Queue.clear t.buf;
+      t.buf_base <- base;
+      t.seq <- base;
+      t.head <- base)
+
 let durable t = locked t (fun () -> t.head <- t.seq)
 let stop t = locked t (fun () -> t.stopping <- true)
 let head t = locked t (fun () -> t.head)
 let seq t = locked t (fun () -> t.seq)
 
-let note t ~follower ~after =
+let note t ~follower ~after ~epoch =
   match Hashtbl.find_opt t.followers follower with
   | Some f ->
       f.f_after <- after;
+      if epoch > f.f_epoch then f.f_epoch <- epoch;
       f.f_last_seen <- Unix.gettimeofday ();
       f.f_pulls <- f.f_pulls + 1;
       f
   | None ->
       let f =
-        { f_after = after; f_last_seen = Unix.gettimeofday (); f_pulls = 1;
-          f_resets = 0 }
+        { f_after = after; f_epoch = epoch;
+          f_last_seen = Unix.gettimeofday (); f_pulls = 1; f_resets = 0 }
       in
       Hashtbl.replace t.followers follower f;
       f
@@ -102,12 +116,12 @@ let slice t ~skip ~n =
 
 let poll_interval = 0.002
 
-let pull t ~follower ~after ~max:max_n ~wait_ms =
+let pull ?(epoch = 0) t ~follower ~after ~max:max_n ~wait_ms =
   let deadline = Unix.gettimeofday () +. (float_of_int wait_ms /. 1000.) in
   let rec attempt () =
     let verdict =
       locked t (fun () ->
-          let f = note t ~follower ~after in
+          let f = note t ~follower ~after ~epoch in
           if t.stopping then `Frames (t.head, [])
           else if after < t.gen_base && after < t.buf_base then begin
             f.f_resets <- f.f_resets + 1;
@@ -141,6 +155,7 @@ let pull t ~follower ~after ~max:max_n ~wait_ms =
 type follower_stats = {
   fs_name : string;
   fs_after : int;
+  fs_epoch : int;
   fs_lag : int;
   fs_connected : bool;
   fs_pulls : int;
@@ -159,6 +174,7 @@ let followers t =
           {
             fs_name = name;
             fs_after = f.f_after;
+            fs_epoch = f.f_epoch;
             fs_lag = max 0 (t.seq - f.f_after);
             fs_connected = now -. f.f_last_seen < connected_window;
             fs_pulls = f.f_pulls;

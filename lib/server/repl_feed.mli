@@ -30,6 +30,11 @@ val rotate : t -> generation:int -> base:int -> unit
     so the watermark advances; buffered records stay servable from
     memory even though they predate the new generation. *)
 
+val reset : t -> generation:int -> base:int -> unit
+(** the [on_reset] hook (durable follower adopting a shipped checkpoint
+    or re-initializing): the history was replaced, so the window is
+    dropped and the stream restarts at commit [base] *)
+
 val durable : t -> unit
 (** advance the watermark to the last appended record — call after every
     successful WAL sync *)
@@ -41,14 +46,15 @@ val head : t -> int
 val seq : t -> int
 
 val pull :
+  ?epoch:int ->
   t ->
   follower:string ->
   after:int ->
   max:int ->
   wait_ms:int ->
   [ `Frames of int * string list | `Reset | `Disk of int ]
-(** serve one follower pull, recording its progress ([after]) in the
-    registry. [`Frames (head, records)] — records for commits [after+1
+(** serve one follower pull, recording its progress ([after]) and
+    highest witnessed epoch (default 0) in the registry. [`Frames (head, records)] — records for commits [after+1
     ..], possibly empty (caught up; an empty answer is returned after
     long-polling up to [wait_ms] for new durable records). [`Disk n] —
     the caller must read up to [n] records from the current WAL file
@@ -58,6 +64,7 @@ val pull :
 type follower_stats = {
   fs_name : string;
   fs_after : int;  (** last reported position *)
+  fs_epoch : int;  (** highest epoch the follower reported *)
   fs_lag : int;  (** primary seq minus position *)
   fs_connected : bool;  (** pulled within the last few seconds *)
   fs_pulls : int;

@@ -12,6 +12,7 @@ type t = {
   t_client_id : string;
   timeout : float option;
   max_attempts : int;
+  connect_retries : int;
   rng : Rng.t;
   mutable conn : Client.t option;
   mutable next_seq : int;
@@ -20,14 +21,15 @@ type t = {
   mutable closed : bool;
 }
 
-let create ?client_id ?(timeout = 5.0) ?(max_attempts = 12) ?(seed = 0) target
-    =
+let create ?client_id ?(timeout = 5.0) ?(max_attempts = 12)
+    ?(connect_retries = 60) ?(seed = 0) target =
   {
     target;
     t_client_id =
       (match client_id with Some id -> id | None -> Client.fresh_id ());
     timeout = (if timeout <= 0. then None else Some timeout);
     max_attempts = max 1 max_attempts;
+    connect_retries = max 0 connect_retries;
     rng = Rng.create (0x5EED lxor seed);
     conn = None;
     next_seq = 1;
@@ -60,10 +62,11 @@ let conn t =
       let c =
         match t.target with
         | Unix_path p ->
-            Client.connect ~client_id:t.t_client_id ?rcv_timeout:t.timeout p
+            Client.connect ~retries:t.connect_retries
+              ~client_id:t.t_client_id ?rcv_timeout:t.timeout p
         | Tcp (host, port) ->
-            Client.connect_tcp ~client_id:t.t_client_id
-              ?rcv_timeout:t.timeout host port
+            Client.connect_tcp ~retries:t.connect_retries
+              ~client_id:t.t_client_id ?rcv_timeout:t.timeout host port
       in
       t.n_reconnects <- t.n_reconnects + 1;
       t.conn <- Some c;
@@ -102,21 +105,36 @@ let with_retries t ~give_up f =
   in
   go 0 "unattempted"
 
+(* One wire-retried update with a {e caller-owned} sequence number: the
+   router re-sends an in-flight write against successive candidates
+   after a failover under the same [(client_id, req_seq)], so whichever
+   primary (old or new) committed it first, the dedup table answers the
+   rest — exactly-once across promotion. [`Fenced] is definitive for
+   this node: retrying it can never succeed at our epoch. *)
+let update_as ?(policy = `Proceed) ?(epoch = 0) ~req_seq t ops =
+  with_retries t
+    ~give_up:(fun last ->
+      `Error (Printf.sprintf "retries exhausted (%s)" last))
+    (fun c ->
+      match Client.update ~policy ~req_seq ~epoch c ops with
+      | `Applied _ as r -> `Done r
+      | `Rejected _ as r -> `Done r
+      | `Error _ as r -> `Done r
+      | `Fenced _ as r -> `Done r
+      | `Overloaded -> `Soft_retry "overloaded"
+      | `Unavailable reason -> `Soft_retry ("unavailable: " ^ reason))
+
 let update ?(policy = `Proceed) t ops =
   (* the sequence number is fixed ONCE per logical request; every wire
      retry below re-sends it, which is what makes retry safe *)
   let seq = t.next_seq in
   t.next_seq <- seq + 1;
-  with_retries t
-    ~give_up:(fun last ->
-      `Error (Printf.sprintf "retries exhausted (%s)" last))
-    (fun c ->
-      match Client.update ~policy ~req_seq:seq c ops with
-      | `Applied _ as r -> `Done r
-      | `Rejected _ as r -> `Done r
-      | `Error _ as r -> `Done r
-      | `Overloaded -> `Soft_retry "overloaded"
-      | `Unavailable reason -> `Soft_retry ("unavailable: " ^ reason))
+  match update_as ~policy ~req_seq:seq t ops with
+  | (`Applied _ | `Rejected _ | `Error _) as r -> r
+  | `Fenced (e, leader) ->
+      `Error
+        (Printf.sprintf "fenced: a newer primary exists (epoch %d%s)" e
+           (if leader = "" then "" else ", at " ^ leader))
 
 let query t src =
   with_retries t
@@ -152,69 +170,218 @@ let query_at t ~min_seq ~wait_ms src =
 module Router = struct
   type conn = t
 
+  let target_name = function
+    | Unix_path p -> "unix:" ^ p
+    | Tcp (h, p) -> Printf.sprintf "tcp:%s:%d" h p
+
   type nonrec t = {
-    primary : conn;
-    replicas : conn array;
+    candidates : conn array;
+        (* every node of the cluster, [0] the configured primary; any of
+           them may be (or become) the primary, all share one client
+           identity so dedup state is portable across failover *)
+    names : string array;  (* target_name per candidate, for leader hints *)
     wait_ms : int;
+    failover_timeout : float;
+    mutable primary_ix : int;  (* candidate currently believed primary *)
+    mutable epoch_seen : int;  (* highest epoch witnessed, stamps writes *)
+    mutable next_seq : int;  (* router-owned request sequence *)
     mutable pin : int;
     mutable rr : int;
     mutable n_replica : int;
     mutable n_primary : int;
     mutable n_redirects : int;
+    mutable n_failovers : int;
+    alive : bool array;  (* per-candidate read-path health *)
+    fails : int array;  (* consecutive transport failures *)
+    probe_at : float array;  (* when a dead candidate may be probed *)
   }
 
   let create ?client_id ?timeout ?max_attempts ?(seed = 0) ?(wait_ms = 200)
-      ~primary replicas =
-    let mk i target =
-      create ?client_id ?timeout ?max_attempts ~seed:(seed + i) target
+      ?(failover_timeout = 10.) ~primary replicas =
+    (* ONE identity across every candidate: a write re-sent to the
+       promoted primary after a failover must dedup against what the old
+       primary may already have committed and replicated *)
+    let client_id =
+      match client_id with Some id -> id | None -> Client.fresh_id ()
     in
+    (* short per-candidate budgets: the failover sweep below is the real
+       retry policy, and a dead candidate must cost milliseconds *)
+    let max_attempts = Option.value max_attempts ~default:2 in
+    let targets = Array.of_list (primary :: replicas) in
+    let n = Array.length targets in
     {
-      primary = mk 0 primary;
-      replicas = Array.of_list (List.mapi (fun i r -> mk (i + 1) r) replicas);
+      candidates =
+        Array.mapi
+          (fun i tg ->
+            create ~client_id ?timeout ~max_attempts ~connect_retries:3
+              ~seed:(seed + i) tg)
+          targets;
+      names = Array.map target_name targets;
       wait_ms;
+      failover_timeout;
+      primary_ix = 0;
+      epoch_seen = 0;
+      next_seq = 1;
       pin = 0;
       rr = 0;
       n_replica = 0;
       n_primary = 0;
       n_redirects = 0;
+      n_failovers = 0;
+      alive = Array.make n true;
+      fails = Array.make n 0;
+      probe_at = Array.make n 0.;
     }
 
   let pin t = t.pin
   let reads_replica t = t.n_replica
   let reads_primary t = t.n_primary
   let redirects t = t.n_redirects
+  let failovers t = t.n_failovers
+  let epoch_seen t = t.epoch_seen
+  let primary_index t = t.primary_ix
+
+  (* ---- per-candidate read health ---- *)
+
+  (* doubling probe backoff, 50 ms to a 2 s ceiling: a dead replica is
+     skipped by routed reads, but probed again on this timer so it
+     rejoins the rotation when it comes back *)
+  let probe_backoff k =
+    Stdlib.min 2.0 (0.05 *. (2. ** float_of_int (Stdlib.min k 5)))
+
+  let mark_dead t i =
+    t.alive.(i) <- false;
+    t.fails.(i) <- t.fails.(i) + 1;
+    t.probe_at.(i) <- Unix.gettimeofday () +. probe_backoff t.fails.(i)
+
+  let mark_alive t i =
+    t.alive.(i) <- true;
+    t.fails.(i) <- 0
+
+  let dead_replicas t =
+    let n = ref 0 in
+    Array.iteri
+      (fun i a -> if (not a) && i <> t.primary_ix then incr n)
+      t.alive;
+    !n
+
+  (* ---- failover ---- *)
+
+  (* the Applied reply carries no epoch, so after adopting a new primary
+     ask its stats gauges once — future writes stamped with that epoch
+     can never be acknowledged by the deposed one *)
+  let probe_epoch t i =
+    match stats t.candidates.(i) with
+    | Ok st -> (
+        match List.assoc_opt "epoch" st.Proto.st_gauges with
+        | Some e when e > t.epoch_seen -> t.epoch_seen <- e
+        | _ -> ())
+    | Error _ -> ()
+
+  let ix_of_leader t leader =
+    if leader = "" then None
+    else
+      let found = ref None in
+      Array.iteri
+        (fun i n -> if !found = None && n = leader then found := Some i)
+        t.names;
+      !found
+
+  let adopt_primary t i =
+    if i <> t.primary_ix then begin
+      t.primary_ix <- i;
+      t.n_failovers <- t.n_failovers + 1;
+      probe_epoch t i
+    end
 
   let update ?policy t ops =
-    let r = update ?policy t.primary ops in
-    (* read-your-writes: every later routed read must cover this commit *)
-    (match r with
-    | `Applied (seq, _) -> if seq > t.pin then t.pin <- seq
-    | `Rejected _ | `Error _ -> ());
-    r
+    (* one sequence number per logical request, owned by the router and
+       re-sent verbatim to every candidate tried — see [update_as] *)
+    let seq = t.next_seq in
+    t.next_seq <- seq + 1;
+    let n = Array.length t.candidates in
+    let deadline = Unix.gettimeofday () +. t.failover_timeout in
+    let pace tried =
+      (* finished a full sweep without a writable primary: breathe so a
+         promotion in progress can land instead of being hammered *)
+      if tried > 0 && tried mod n = 0 then Thread.delay 0.01
+    in
+    let rec go i tried last =
+      if tried > 0 && Unix.gettimeofday () > deadline then
+        `Error (Printf.sprintf "failover: no writable primary (%s)" last)
+      else
+        match
+          update_as ?policy ~epoch:t.epoch_seen ~req_seq:seq t.candidates.(i)
+            ops
+        with
+        | (`Applied _ | `Rejected _) as r ->
+            adopt_primary t i;
+            mark_alive t i;
+            (match r with
+            | `Applied (s, _) -> if s > t.pin then t.pin <- s
+            | _ -> ());
+            r
+        | `Fenced (e, leader) ->
+            if e > t.epoch_seen then begin
+              (* OUR stamp was stale, not necessarily the node: adopt the
+                 epoch and retry the same candidate once at it — it may
+                 be the real primary fencing an out-of-date router *)
+              t.epoch_seen <- e;
+              go i tried (Printf.sprintf "fenced (epoch %d)" e)
+            end
+            else begin
+              let next =
+                match ix_of_leader t leader with
+                | Some j when j <> i -> j
+                | _ -> (i + 1) mod n
+              in
+              pace (tried + 1);
+              go next (tried + 1) (Printf.sprintf "fenced (epoch %d)" e)
+            end
+        | `Error reason ->
+            mark_dead t i;
+            pace (tried + 1);
+            go ((i + 1) mod n) (tried + 1) reason
+    in
+    go t.primary_ix 0 "unattempted"
 
   let query t src =
-    let n = Array.length t.replicas in
-    let rec go k =
-      if k >= n then begin
-        (* every replica was behind (or errored): the primary's published
-           snapshot always covers its own commits, so it is never stale *)
-        if n > 0 then t.n_redirects <- t.n_redirects + 1;
-        t.n_primary <- t.n_primary + 1;
-        query t.primary src
-      end
-      else begin
-        let i = (t.rr + k) mod n in
-        match query_at t.replicas.(i) ~min_seq:t.pin ~wait_ms:t.wait_ms src with
-        | Ok _ as r ->
-            t.rr <- (i + 1) mod n;
-            t.n_replica <- t.n_replica + 1;
-            r
-        | Error (`Behind _) | Error (`Err _) -> go (k + 1)
-      end
+    let n = Array.length t.candidates in
+    let now = Unix.gettimeofday () in
+    (* candidates other than the current primary, in round-robin order,
+       live ones (or dead ones whose probe timer expired) only *)
+    let order =
+      List.init n (fun k -> (t.rr + k) mod n)
+      |> List.filter (fun i ->
+             i <> t.primary_ix
+             && (t.alive.(i) || now >= t.probe_at.(i)))
     in
-    go 0
+    let rec go = function
+      | [] ->
+          (* every replica was behind, dead, or errored: the primary's
+             published snapshot always covers its own commits, so it is
+             never stale *)
+          if n > 1 then t.n_redirects <- t.n_redirects + 1;
+          t.n_primary <- t.n_primary + 1;
+          query t.candidates.(t.primary_ix) src
+      | i :: rest -> (
+          match
+            query_at t.candidates.(i) ~min_seq:t.pin ~wait_ms:t.wait_ms src
+          with
+          | Ok _ as r ->
+              mark_alive t i;
+              t.rr <- (i + 1) mod n;
+              t.n_replica <- t.n_replica + 1;
+              r
+          | Error (`Behind _) ->
+              (* reachable, just lagging: healthy for liveness purposes *)
+              mark_alive t i;
+              go rest
+          | Error (`Err _) ->
+              mark_dead t i;
+              go rest)
+    in
+    go order
 
-  let close t =
-    close t.primary;
-    Array.iter close t.replicas
+  let close t = Array.iter close t.candidates
 end

@@ -23,14 +23,18 @@ val create :
   ?client_id:string ->
   ?timeout:float ->
   ?max_attempts:int ->
+  ?connect_retries:int ->
   ?seed:int ->
   target ->
   t
 (** [timeout] (default 5 s; [<= 0.] disables) is the per-request receive
     timeout — a reply slower than this triggers reconnect-and-retry.
-    [max_attempts] (default 12) bounds attempts per request. [seed]
-    makes the backoff jitter reproducible. Connection is lazy: the
-    first request connects. *)
+    [max_attempts] (default 12) bounds attempts per request.
+    [connect_retries] (default 60, ≈5 s of backoff) bounds each
+    reconnect's attempts — the {!Router} uses a small value so a dead
+    candidate costs milliseconds, not seconds. [seed] makes the backoff
+    jitter reproducible. Connection is lazy: the first request
+    connects. *)
 
 val client_id : t -> string
 
@@ -43,7 +47,25 @@ val update :
   | `Error of string ]
 (** submit one atomic group with at-most-[max_attempts] exactly-once
     delivery; [`Error] covers both definitive server errors and retry
-    exhaustion *)
+    exhaustion (including a [Fenced] refusal — use the {!Router} to
+    follow the new primary instead) *)
+
+val update_as :
+  ?policy:Proto.policy ->
+  ?epoch:int ->
+  req_seq:int ->
+  t ->
+  Proto.op list ->
+  [ `Applied of int * int
+  | `Rejected of int * string
+  | `Fenced of int * string
+  | `Error of string ]
+(** like {!update} with a {e caller-owned} sequence number and epoch
+    stamp: the {!Router} re-sends an in-flight write to successive
+    candidates after a failover under the same [(client_id, req_seq)],
+    so whichever primary committed it first, the dedup table answers
+    every other attempt — exactly-once across promotion. [`Fenced
+    (epoch, leader_hint)] is definitive {e for this node}. *)
 
 val query : t -> string -> (int * (string * int) list, string) result
 val stats : t -> (Proto.server_stats, string) result
@@ -75,13 +97,19 @@ module Router : sig
     ?max_attempts:int ->
     ?seed:int ->
     ?wait_ms:int ->
+    ?failover_timeout:float ->
     primary:target ->
     target list ->
     t
-  (** [create ~primary replicas]. [wait_ms] (default 200) is how long a
-      lagging replica may block catching up to the pin before the read
-      is redirected. Other options as {!create}, applied to every
-      underlying connection. *)
+  (** [create ~primary replicas]. Every node is a {e candidate}: any of
+      them may be promoted, and the router follows. All underlying
+      connections share one client identity (so exactly-once state is
+      portable across candidates); [max_attempts] defaults to 2 here —
+      the failover sweep, not per-connection retry, is the policy.
+      [wait_ms] (default 200) is how long a lagging replica may block
+      catching up to the pin before a read is redirected.
+      [failover_timeout] (default 10 s) bounds one write's search for a
+      writable primary. *)
 
   val update :
     ?policy:Proto.policy ->
@@ -90,10 +118,21 @@ module Router : sig
     [ `Applied of int * int
     | `Rejected of int * string
     | `Error of string ]
-  (** exactly-once to the primary; on [`Applied] advances the pin *)
+  (** exactly-once to the current primary, {e surviving failover}: on a
+      [Fenced] refusal or transport death the same [(client_id,
+      req_seq)] is re-sent around the candidate ring (following the
+      refusal's leader hint when it names a known candidate) until a
+      node accepts the write or [failover_timeout] passes. A fenced
+      reply carrying a newer epoch is adopted and stamped onto every
+      subsequent write, so the deposed primary can never acknowledge
+      one. On [`Applied] advances the pin. *)
 
   val query : t -> string -> (int * (string * int) list, string) result
-  (** round-robin across replicas at the current pin, primary fallback *)
+  (** round-robin across live non-primary candidates at the current pin,
+      primary fallback. A candidate that fails at the transport level is
+      marked dead and skipped; dead candidates are re-probed on a
+      doubling backoff (50 ms → 2 s) and rejoin the rotation on the
+      first success. *)
 
   val pin : t -> int
   (** the commit number every routed read is guaranteed to cover *)
@@ -104,6 +143,20 @@ module Router : sig
   val redirects : t -> int
   (** reads where every replica was behind/unreachable and the primary
       answered *)
+
+  val failovers : t -> int
+  (** times the router switched which candidate it treats as primary *)
+
+  val epoch_seen : t -> int
+  (** highest cluster epoch witnessed (via [Fenced] refusals and
+      post-failover stats probes) — stamped onto every write *)
+
+  val primary_index : t -> int
+  (** index (into [primary :: replicas]) of the current believed primary *)
+
+  val dead_replicas : t -> int
+  (** candidates currently marked dead on the read path (excluding the
+      one treated as primary) *)
 
   val close : t -> unit
 end

@@ -59,6 +59,19 @@ type t = {
          checkpoint rotation all touch the same WAL writer *)
   mutable health : health;
   mutable last_probe : float;
+  mutable role : role;
+      (* starts as [cfg.role]; promotion flips a replica to primary,
+         and a fenced (deposed) primary demotes itself to replica *)
+  mutable epoch_ : int;
+      (* highest replication epoch this node has witnessed — stamped
+         into every reply that carries one, compared against every
+         request that does *)
+  mutable leader_hint : string;
+      (* best-known primary address for Fenced redirects ("" unknown) *)
+  mutable promote_hook : (unit -> unit) option;
+      (* runs first in [promote]: stops the follower loop so the
+         applied position freezes before the epoch boundary is read *)
+  promote_m : Mutex.t;  (* serializes promotions *)
   mutable stopping : bool;
   mutable conns : (int * Unix.file_descr) list;  (* live client fds *)
   mutable handlers : Thread.t list;
@@ -85,6 +98,36 @@ let batcher t = t.batcher
 let dedup t = t.dedup
 let feed t = t.feed
 let applied_seq t = t.applied_seq
+
+let role t =
+  Mutex.lock t.m;
+  let r = t.role in
+  Mutex.unlock t.m;
+  r
+
+let epoch t =
+  Mutex.lock t.m;
+  let e = t.epoch_ in
+  Mutex.unlock t.m;
+  e
+
+let note_epoch t e =
+  Mutex.lock t.m;
+  if e > t.epoch_ then t.epoch_ <- e;
+  Mutex.unlock t.m
+
+let leader_hint t =
+  Mutex.lock t.m;
+  let l = t.leader_hint in
+  Mutex.unlock t.m;
+  l
+
+let set_leader_hint t hint =
+  Mutex.lock t.m;
+  t.leader_hint <- hint;
+  Mutex.unlock t.m
+
+let set_promote_hook t hook = t.promote_hook <- Some hook
 
 (* the follower's apply path: run [f] holding the engine's exclusive
    side — exactly the section the batcher applies batches under *)
@@ -174,6 +217,59 @@ let forget_conn t id =
   t.conns <- List.filter (fun (i, _) -> i <> id) t.conns;
   Mutex.unlock t.m
 
+(* ---- epoch fencing ---- *)
+
+(* A request carrying a {e higher} epoch than ours proves a newer
+   primary exists: adopt the epoch, and if this node still believes it
+   is the primary it has been deposed — demote on the spot, {e before}
+   the refusal goes out, so a zombie primary can never again acknowledge
+   a write or feed a follower. Applies to every epoch-stamped request:
+   the server cannot serve anything meaningful at an epoch it has never
+   witnessed. *)
+let fence_ahead t ~epoch:req_epoch =
+  Mutex.lock t.m;
+  let verdict =
+    if req_epoch > t.epoch_ then begin
+      t.epoch_ <- req_epoch;
+      if t.role = `Primary then begin
+        t.role <- `Replica;
+        `Deposed
+      end
+      else `Refuse
+    end
+    else `Pass
+  in
+  let e = t.epoch_ and leader = t.leader_hint in
+  Mutex.unlock t.m;
+  match verdict with
+  | `Pass -> None
+  | `Deposed ->
+      Metrics.incr t.mtr "demotions";
+      Log.warn (fun m ->
+          m "deposed: request carried epoch %d, ours was stale; demoting to \
+             read-only replica" req_epoch);
+      Some (Proto.Fenced { epoch = e; leader })
+  | `Refuse ->
+      Metrics.incr t.mtr "fenced";
+      Some (Proto.Fenced { epoch = e; leader })
+
+(* A {e write} carrying a lower nonzero epoch comes through a client
+   fenced off by a promotion we already witnessed: refuse definitively
+   (the client must learn the new epoch and primary first). Pulls are
+   deliberately NOT fenced this way — a stale-epoch follower is exactly
+   the one that needs to catch up, and it gets its divergence boundary
+   alongside the frames instead. [epoch = 0] opts out entirely. *)
+let fence_stale t ~epoch:req_epoch =
+  Mutex.lock t.m;
+  let stale = req_epoch > 0 && req_epoch < t.epoch_ in
+  let e = t.epoch_ and leader = t.leader_hint in
+  Mutex.unlock t.m;
+  if stale then begin
+    Metrics.incr t.mtr "fenced";
+    Some (Proto.Fenced { epoch = e; leader })
+  end
+  else None
+
 (* ---- request dispatch ---- *)
 
 let parse_path src =
@@ -216,12 +312,21 @@ let handle_query t src =
           Rwlock.with_read t.lock (fun () ->
               selected_of t (Engine.query t.eng path)))
 
-let handle_update t ~client ~req_seq ~policy ops =
-  if t.cfg.role = `Replica then
+let handle_update t ~client ~req_seq ~epoch:req_epoch ~policy ops =
+  match
+    match fence_ahead t ~epoch:req_epoch with
+    | Some _ as r -> r
+    | None -> fence_stale t ~epoch:req_epoch
+  with
+  | Some refusal -> refusal
+  | None ->
+  if role t = `Replica then begin
     (* a definitive refusal, not a retryable Unavailable: retrying here
        can never succeed — the client must route the write to the
-       primary *)
-    Proto.Error "read-only replica: send updates to the primary"
+       primary (the reply names it when known) *)
+    Metrics.incr t.mtr "fenced";
+    Proto.Fenced { epoch = epoch t; leader = leader_hint t }
+  end
   else
   match check_health t with
   | `Degraded reason ->
@@ -256,6 +361,9 @@ let handle_update t ~client ~req_seq ~policy ops =
    latency histograms (ROADMAP: observable replication). Follower-side
    gauges (repl_after, repl_lag, …) are set by the follower loop. *)
 let refresh_repl_gauges t =
+  Metrics.set_gauge t.mtr "epoch" (epoch t);
+  Metrics.set_gauge t.mtr "role"
+    (match role t with `Primary -> 1 | `Replica -> 0);
   match t.feed with
   | None -> ()
   | Some feed ->
@@ -269,6 +377,7 @@ let refresh_repl_gauges t =
               v
           in
           g "after" fs.Repl_feed.fs_after;
+          g "epoch" fs.Repl_feed.fs_epoch;
           g "lag" fs.Repl_feed.fs_lag;
           g "connected" (if fs.Repl_feed.fs_connected then 1 else 0);
           g "resets" fs.Repl_feed.fs_resets)
@@ -342,7 +451,11 @@ let handle_checkpoint t =
                    record, and its origin dies with the rotated-away old
                    generation — a recovered retry would re-apply it *)
                 let sessions =
-                  (Dedup.snapshot t.dedup, Batcher.seq t.batcher)
+                  (* on a replica the batcher's counter is frozen at its
+                     recovery value; the follower loop advances
+                     [applied_seq] instead — take whichever is ahead *)
+                  ( Dedup.snapshot t.dedup,
+                    Stdlib.max (Batcher.seq t.batcher) t.applied_seq )
                 in
                 Persist.checkpoint ~sessions p t.eng))
       with
@@ -367,37 +480,71 @@ let reset_reply t p =
     ~finally:(fun () -> Mutex.unlock t.sync_m)
     (fun () ->
       Metrics.incr t.mtr "repl_resets_served";
+      let epoch = epoch t in
       match Persist.checkpoint_blob p with
       | Some (generation, base, bytes) ->
-          Proto.Repl_reset { generation; base; ckpt = Some bytes }
+          (* ship the dedup table alongside the image: the recovered
+             session set references commits the image already covers, so
+             a follower promoted later still answers retries of requests
+             acknowledged before this checkpoint *)
+          let sessions =
+            Some
+              (Persist.encode_sessions_record
+                 ~last_commit:(Persist.recovered_base p)
+                 (Persist.recovered_sessions p))
+          in
+          Proto.Repl_reset
+            { generation; base; ckpt = Some bytes; epoch; sessions }
       | None ->
           (* generation 0: no image exists — the follower re-initializes
              from the deterministic initial publication and replays from
              commit 0 *)
-          Proto.Repl_reset { generation = 0; base = 0; ckpt = None }
+          Proto.Repl_reset
+            { generation = 0; base = 0; ckpt = None; epoch; sessions = None }
       | exception (Sys_error msg | Failure msg) ->
           Proto.Error ("checkpoint unreadable: " ^ msg))
 
-let handle_pull t ~follower ~after ~max:max_n ~wait_ms =
-  match (t.feed, t.persist) with
-  | None, _ | _, None ->
-      Proto.Error "replication unavailable: server has no durability directory"
-  | Some feed, Some p -> (
-      let max_n = min (max 0 max_n) max_pull_records in
-      match Repl_feed.pull feed ~follower ~after ~max:max_n ~wait_ms with
-      | `Frames (head, records) ->
-          Metrics.add t.mtr "repl_records_streamed" (List.length records);
-          Proto.Repl_frames { after; head; records }
-      | `Reset -> reset_reply t p
-      | `Disk n -> (
-          match Persist.read_group_tail p ~after ~max:n with
-          | Ok records ->
+let handle_pull t ~follower ~after ~epoch:req_epoch ~max:max_n ~wait_ms =
+  match fence_ahead t ~epoch:req_epoch with
+  | Some refusal -> refusal
+  | None -> (
+      match (t.feed, t.persist) with
+      | None, _ | _, None ->
+          Proto.Error
+            "replication unavailable: server has no durability directory"
+      | Some feed, Some p -> (
+          let my_epoch = epoch t in
+          (* a stale-epoch puller gets its divergence boundary alongside
+             the frames: the last commit its history provably shares
+             with ours — it must repair before applying anything *)
+          let boundary =
+            if req_epoch >= my_epoch then None
+            else Persist.boundary_for p ~for_epoch:req_epoch
+          in
+          let frames ~head records =
+            Proto.Repl_frames
+              { after; head; records; epoch = my_epoch; boundary }
+          in
+          let max_n = min (max 0 max_n) max_pull_records in
+          match
+            Repl_feed.pull ~epoch:req_epoch feed ~follower ~after ~max:max_n
+              ~wait_ms
+          with
+          | `Frames (head, records) ->
               Metrics.add t.mtr "repl_records_streamed" (List.length records);
-              Metrics.incr t.mtr "repl_disk_reads";
-              Proto.Repl_frames { after; head = Repl_feed.head feed; records }
-          | Error (`Reset _) ->
-              (* rotation raced the pull; the checkpoint is newer anyway *)
-              reset_reply t p))
+              frames ~head records
+          | `Reset -> reset_reply t p
+          | `Disk n -> (
+              match Persist.read_group_tail p ~after ~max:n with
+              | Ok records ->
+                  Metrics.add t.mtr "repl_records_streamed"
+                    (List.length records);
+                  Metrics.incr t.mtr "repl_disk_reads";
+                  frames ~head:(Repl_feed.head feed) records
+              | Error (`Reset _) ->
+                  (* rotation raced the pull; the checkpoint is newer
+                     anyway *)
+                  reset_reply t p)))
 
 (* bounded-staleness read: wait (poll, like the feed's long-poll) until
    the published snapshot covers [min_seq], then answer from it *)
@@ -421,6 +568,67 @@ let handle_query_at t ~path ~min_seq ~wait_ms =
   in
   await ()
 
+(* make everything appended so far durable and advance the feed's
+   watermark — the batcher's per-batch sync, callable by the durable
+   follower loop after each raw-appended batch *)
+let sync_persist t =
+  match t.persist with
+  | None -> ()
+  | Some p ->
+      Mutex.lock t.sync_m;
+      Fun.protect
+        ~finally:(fun () -> Mutex.unlock t.sync_m)
+        (fun () -> Persist.sync p);
+      Metrics.incr t.mtr "wal_syncs";
+      Option.iter Repl_feed.durable t.feed
+
+(* ---- failover: promotion ---- *)
+
+let promote t =
+  Mutex.lock t.promote_m;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.promote_m)
+    (fun () ->
+      if role t = `Primary then ((* idempotent *) epoch t, Batcher.seq t.batcher)
+      else begin
+        (* 1. stop applying replicated records: the hook joins the
+           follower loop, freezing [applied_seq] as the last commit of
+           the old epoch *)
+        (match t.promote_hook with Some h -> h () | None -> ());
+        let boundary = t.applied_seq in
+        Mutex.lock t.m;
+        t.epoch_ <- t.epoch_ + 1;
+        let new_epoch = t.epoch_ in
+        Mutex.unlock t.m;
+        (* 2. durably record the transition BEFORE the first write of
+           the new epoch can be accepted: a crash right after recovers a
+           node that still knows it owns [new_epoch], and a deposed
+           ex-primary rejoining later finds the truncation boundary *)
+        (match t.persist with
+        | Some p ->
+            Mutex.lock t.sync_m;
+            Fun.protect
+              ~finally:(fun () -> Mutex.unlock t.sync_m)
+              (fun () ->
+                Persist.append_epoch p ~epoch:new_epoch ~boundary;
+                (* a follower runs without the engine WAL hook (it logs
+                   the primary's bytes verbatim instead); from here on
+                   this node's own commits must be logged *)
+                Persist.attach ~deferred_sync:true p t.eng)
+        | None -> ());
+        (* 3. continue the replicated commit numbering *)
+        Batcher.set_seq t.batcher boundary;
+        Mutex.lock t.m;
+        t.role <- `Primary;
+        t.leader_hint <- "";
+        Mutex.unlock t.m;
+        Metrics.incr t.mtr "promotions";
+        Log.info (fun m ->
+            m "promoted to primary: epoch %d, first commit will be %d"
+              new_epoch (boundary + 1));
+        (new_epoch, boundary)
+      end)
+
 let kind_of_request = function
   | Proto.Ping -> "ping"
   | Proto.Query _ -> "query"
@@ -431,6 +639,7 @@ let kind_of_request = function
   | Proto.Repl_hello _ -> "repl_hello"
   | Proto.Repl_pull _ -> "repl_pull"
   | Proto.Query_at _ -> "query_at"
+  | Proto.Promote -> "promote"
 
 (* serve one connection until EOF, corruption, socket death, or
    shutdown. Any I/O failure here — EPIPE from a vanished peer,
@@ -473,18 +682,21 @@ let handler t fd conn_id =
               match req with
               | Proto.Ping -> Proto.Pong
               | Proto.Query src -> handle_query t src
-              | Proto.Update { client; req_seq; policy; ops } ->
-                  handle_update t ~client ~req_seq ~policy ops
+              | Proto.Update { client; req_seq; epoch; policy; ops } ->
+                  handle_update t ~client ~req_seq ~epoch ~policy ops
               | Proto.Stats -> handle_stats t
               | Proto.Checkpoint -> handle_checkpoint t
               | Proto.Shutdown -> Proto.Bye
-              | Proto.Repl_hello { follower; after } ->
+              | Proto.Repl_hello { follower; after; epoch } ->
                   (* registration + head probe: a zero-record pull *)
-                  handle_pull t ~follower ~after ~max:0 ~wait_ms:0
-              | Proto.Repl_pull { follower; after; max; wait_ms } ->
-                  handle_pull t ~follower ~after ~max ~wait_ms
+                  handle_pull t ~follower ~after ~epoch ~max:0 ~wait_ms:0
+              | Proto.Repl_pull { follower; after; max; wait_ms; epoch } ->
+                  handle_pull t ~follower ~after ~epoch ~max ~wait_ms
               | Proto.Query_at { path; min_seq; wait_ms } ->
                   handle_query_at t ~path ~min_seq ~wait_ms
+              | Proto.Promote ->
+                  let epoch, seq = promote t in
+                  Proto.Promoted { epoch; seq }
             in
             Metrics.record t.mtr (kind_of_request req)
               (Unix.gettimeofday () -. t0);
@@ -571,7 +783,14 @@ let start ?(config = default_config) ?persist addr eng =
   let mtr = Metrics.create () in
   let sync_m = Mutex.create () in
   (match persist with
-  | Some p -> Persist.attach ~deferred_sync:true p eng
+  | Some p when config.role = `Primary ->
+      Persist.attach ~deferred_sync:true p eng
+  | Some _ ->
+      (* a durable replica logs the primary's records verbatim
+         (Persist.append_raw) through its follower loop; the engine hook
+         would re-encode them with local stamps, so it stays detached
+         until promotion *)
+      ()
   | None -> ());
   (* the replication feed shadows the WAL: the persist tap appends each
      committed record (inside the batcher's exclusive section, so in
@@ -591,6 +810,8 @@ let start ?(config = default_config) ?persist addr eng =
                Persist.on_group = Repl_feed.append f;
                on_rotate =
                  (fun ~generation ~base -> Repl_feed.rotate f ~generation ~base);
+               on_reset =
+                 (fun ~generation ~base -> Repl_feed.reset f ~generation ~base);
              });
         Some f
     | None -> None
@@ -649,6 +870,11 @@ let start ?(config = default_config) ?persist addr eng =
       sync_m;
       health = `Ok;
       last_probe = 0.;
+      role = config.role;
+      epoch_ = (match persist with Some p -> Persist.epoch p | None -> 0);
+      leader_hint = "";
+      promote_hook = None;
+      promote_m = Mutex.create ();
       stopping = false;
       conns = [];
       handlers = [];

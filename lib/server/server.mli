@@ -50,9 +50,11 @@ type read_mode =
 type role =
   [ `Primary  (** accepts updates; streams its WAL to pulling followers *)
   | `Replica
-    (** read-only: updates get a definitive [Error] (route to the
+    (** read-only: updates get a definitive [Fenced] (route to the
         primary); the state advances only through the follower loop's
-        {!exclusive}/{!publish_applied} *) ]
+        {!exclusive}/{!publish_applied}. [config.role] is only the
+        {e starting} role — {!promote} turns a replica into the
+        primary, and a deposed primary demotes itself when fenced. *) ]
 
 type config = {
   queue_cap : int;  (** pending update groups before [Overloaded] *)
@@ -81,7 +83,10 @@ val start : ?config:config -> ?persist:Persist.t -> address -> Engine.t -> t
     hook is (re)attached in [deferred_sync] mode, the batcher syncs it
     once per batch, and the dedup table / commit counter resume from the
     recovered WAL state; without it updates are volatile (and dedup is
-    in-memory only).
+    in-memory only). On a [`Replica] the engine hook stays detached —
+    the durable follower loop logs the primary's records verbatim
+    ({!Persist.append_raw}) so its log is byte-identical and therefore
+    promotable; {!promote} attaches the hook.
     @raise Unix.Unix_error when binding fails *)
 
 val engine : t -> Engine.t
@@ -97,6 +102,42 @@ val dedup : t -> Dedup.t
 val feed : t -> Repl_feed.t option
 (** the replication feed — present iff the server persists; the WAL is
     the stream's unit of truth, so a volatile server streams nothing *)
+
+val role : t -> role
+(** the node's {e current} role (may differ from [config.role] after a
+    promotion or a fencing demotion) *)
+
+val epoch : t -> int
+(** highest replication epoch this node has witnessed *)
+
+val note_epoch : t -> int -> unit
+(** adopt a higher witnessed epoch (no-op when not higher) — the
+    follower loop's hook when the primary's replies carry a newer one *)
+
+val leader_hint : t -> string
+val set_leader_hint : t -> string -> unit
+(** best-known primary address, included in [Fenced] refusals so a
+    fenced client can redirect (["unix:<path>"] / ["tcp:<host>:<port>"];
+    [""] unknown) *)
+
+val set_promote_hook : t -> (unit -> unit) -> unit
+(** installed by the follower runtime: {!promote} calls it first to stop
+    the replication loop, freezing the applied position before the epoch
+    boundary is read *)
+
+val promote : t -> int * int
+(** make this node the primary: stop the follower loop (promote hook),
+    bump the epoch, durably log the transition ({!Persist.append_epoch})
+    {e before} any write of the new epoch can be accepted, adopt the
+    applied position as the commit counter, and flip the role. Returns
+    [(epoch, boundary)] — the first commit of the new epoch is
+    [boundary + 1]. Idempotent on a node that is already primary. *)
+
+val sync_persist : t -> unit
+(** fsync the WAL (under the server's sync discipline) and advance the
+    replication feed's durable watermark — the durable follower loop
+    calls this after each raw-appended batch, mirroring the batcher's
+    per-batch sync *)
 
 val applied_seq : t -> int
 (** the commit number the published snapshot covers — on a primary the

@@ -29,6 +29,19 @@
    phase-D update exactly once — pinned reads are never stale — and
    (c) both processes to shut down cleanly.
 
+   Phase E — failover: restart the primary armed to _exit() mid-append
+   again, attach a DURABLE standby (`--replica-of` with its own --wal)
+   whose stream runs under repl.* failpoints, let the primary die
+   mid-batch, promote the standby with `rxv promote`, and require
+   (a) a retry of the last pre-crash acknowledgement — same client id
+   and sequence number — to land exactly once on the new primary,
+   (b) post-failover epoch-stamped writes to flow, (c) a zombie restart
+   of the deposed primary to be Fenced by the first epoch-stamped
+   request it sees, (d) the deposed primary to rejoin as a follower,
+   truncate its unreplicated suffix at the epoch boundary, and converge
+   byte-agreeing counts with the new primary — no acknowledged update
+   ever present twice on either node.
+
    Exits 0 only if every step holds. *)
 
 module Proto = Rxv_server.Proto
@@ -145,6 +158,7 @@ let () =
            last_acked := Some (i + 1, cno, seq, reports)
        | `Rejected (_, m) -> fail "phase B: %s rejected: %s" cno m
        | `Error m -> fail "phase B: %s error: %s" cno m
+       | `Fenced (e, _) -> fail "phase B: %s fenced at epoch %d" cno e
        | `Overloaded | `Unavailable _ -> Thread.delay 0.01
      done;
      fail "phase B: server survived 200 appends past wal.append:after=35"
@@ -280,4 +294,170 @@ let () =
     "chaos phase D (follower SIGKILL mid-stream + rejoin through commit \
      %d): OK\n%!"
     !last;
+
+  (* ---- phase E: the PRIMARY dies mid-batch; promote the standby;
+     fence the zombie; rejoin and repair the deposed primary ---- *)
+  let dir2 = dir ^ "-standby" in
+  rm_rf dir2;
+  Unix.mkdir dir2 0o755;
+  let ppid =
+    spawn cli
+      [
+        "serve"; "--socket"; sock; "--wal"; dir; "--sync"; "always";
+        "--failpoints"; "wal.append:after=30:exit";
+        "--fp-seed"; "5";
+      ]
+  in
+  let fpid =
+    spawn cli
+      [
+        "serve"; "--socket"; rsock; "--replica-of"; sock; "--wal"; dir2;
+        "--sync"; "always"; "--name"; "standby";
+        "--failpoints";
+        "repl.read:every=31:eintr,repl.write:every=29:eintr";
+        "--fp-seed"; "7";
+      ]
+  in
+  let c = Client.connect ~client_id:"smokeE" sock in
+  let eacked : (string * int) list ref = ref [] in
+  let elast = ref None in
+  (* a prefix the standby provably replicated before the crash window *)
+  (try
+     for i = 0 to 9 do
+       let cno = Printf.sprintf "KE%d" i in
+       match Client.update c ~req_seq:(i + 1) [ ins cno ] with
+       | `Applied (seq, _) ->
+           eacked := (cno, i + 1) :: !eacked;
+           elast := Some (cno, i + 1, seq)
+       | _ -> fail "phase E: prefix commit %s not acknowledged" cno
+     done
+   with Client.Disconnected _ ->
+     fail "phase E: primary died before the replicated prefix");
+  let rc = Client.connect rsock in
+  (match
+     Client.query_at rc ~min_seq:(match !elast with
+       | Some (_, _, s) -> s | None -> 0)
+       ~wait_ms:30_000 "//course"
+   with
+  | Ok _ -> ()
+  | Error (`Behind m) | Error (`Err m) ->
+      fail "phase E: standby never attached: %s" m);
+  Client.close rc;
+  (* now the batch the crash lands in: acknowledgements past the
+     replication boundary may be LOST on failover — the audit below
+     requires only that nothing acknowledged ever appears twice *)
+  (try
+     for i = 10 to 199 do
+       let cno = Printf.sprintf "KE%d" i in
+       match Client.update c ~req_seq:(i + 1) [ ins cno ] with
+       | `Applied (seq, _) ->
+           eacked := (cno, i + 1) :: !eacked;
+           elast := Some (cno, i + 1, seq)
+       | `Rejected (_, m) -> fail "phase E: %s rejected: %s" cno m
+       | `Error m -> fail "phase E: %s error: %s" cno m
+       | `Fenced (e, _) -> fail "phase E: %s fenced at epoch %d" cno e
+       | `Overloaded | `Unavailable _ -> Thread.delay 0.01
+     done;
+     fail "phase E: primary survived 200 appends past wal.append:after=30"
+   with Client.Disconnected _ | Unix.Unix_error _ -> ());
+  Client.close c;
+  (try Unix.kill ppid Sys.sigkill with Unix.Unix_error _ -> ());
+  ignore (Unix.waitpid [] ppid);
+  (* operator failover: promote the standby *)
+  (match Unix.waitpid [] (spawn cli [ "promote"; "--socket"; rsock ]) with
+  | _, Unix.WEXITED 0 -> ()
+  | _, Unix.WEXITED n -> fail "phase E: rxv promote exited %d" n
+  | _, _ -> fail "phase E: rxv promote killed by signal");
+  let last_cno, last_req, _ =
+    match !elast with Some x -> x | None -> assert false
+  in
+  (* exactly-once across the promotion: the retry either replays from
+     the replicated dedup lineage or applies fresh past the boundary —
+     both leave exactly one copy *)
+  let c = Client.connect ~client_id:"smokeE" rsock in
+  (match Client.update c ~req_seq:last_req [ ins last_cno ] with
+  | `Applied _ -> ()
+  | _ -> fail "phase E: retry of req %d refused by the new primary" last_req);
+  if count_of c last_cno <> 1 then
+    fail "phase E: retried %s present %d times" last_cno (count_of c last_cno);
+  (* post-failover traffic, stamped with the new epoch *)
+  let post = ref [] in
+  let elast2 = ref 0 in
+  for i = 0 to 9 do
+    let cno = Printf.sprintf "KEP%d" i in
+    match Client.update c ~req_seq:(last_req + 1 + i) ~epoch:1 [ ins cno ] with
+    | `Applied (seq, _) ->
+        post := cno :: !post;
+        elast2 := seq
+    | `Fenced (e, _) -> fail "phase E: epoch-1 write fenced at epoch %d" e
+    | _ -> fail "phase E: post-failover %s not acknowledged" cno
+  done;
+  (* a zombie: the deposed primary restarts on its old directory still
+     believing it leads; the first epoch-stamped request must fence it *)
+  let zpid =
+    spawn cli [ "serve"; "--socket"; sock; "--wal"; dir; "--sync"; "always" ]
+  in
+  let zc = Client.connect sock in
+  (match Client.update zc ~epoch:1 [ ins "KEZOMBIE" ] with
+  | `Fenced (1, _) -> ()
+  | `Fenced (e, _) -> fail "phase E: zombie fenced at epoch %d (want 1)" e
+  | `Applied _ -> fail "phase E: zombie acknowledged an epoch-1 write"
+  | _ -> fail "phase E: zombie gave a non-Fenced refusal");
+  Client.shutdown zc;
+  Client.close zc;
+  (match Unix.waitpid [] zpid with
+  | _, Unix.WEXITED 0 -> ()
+  | _, _ -> fail "phase E: fenced zombie did not shut down cleanly");
+  (* rejoin: the deposed primary comes back as a follower of the new
+     primary; its unreplicated suffix is truncated at the epoch
+     boundary and it converges on the epoch-1 history *)
+  let jpid =
+    spawn cli
+      [
+        "serve"; "--socket"; sock; "--replica-of"; rsock; "--wal"; dir;
+        "--sync"; "always"; "--name"; "old-primary";
+      ]
+  in
+  let jc = Client.connect sock in
+  (match Client.query_at jc ~min_seq:!elast2 ~wait_ms:30_000 "//course" with
+  | Ok _ -> ()
+  | Error (`Behind m) | Error (`Err m) ->
+      fail "phase E: deposed primary did not converge after rejoin: %s" m);
+  (* audit: both nodes agree on every phase-E course, nothing appears
+     twice anywhere, and everything acknowledged after the failover —
+     plus the retried request — is present exactly once *)
+  let audit cno ~want_exact =
+    let np = count_of c cno in
+    let nj =
+      match
+        Client.query_at jc ~min_seq:!elast2 ~wait_ms:5_000
+          (Printf.sprintf "//course[cno=%s]" cno)
+      with
+      | Ok (n, _) -> n
+      | Error (`Behind m) | Error (`Err m) ->
+          fail "phase E: pinned audit read of %s: %s" cno m
+    in
+    if np <> nj then
+      fail "phase E: %s present %d times on primary, %d on follower" cno np nj;
+    if np > 1 then fail "phase E: %s present %d times (want at most 1)" cno np;
+    if want_exact && np <> 1 then
+      fail "phase E: %s lost (want exactly 1 copy)" cno
+  in
+  List.iter (fun (cno, req) -> audit cno ~want_exact:(req = last_req)) !eacked;
+  List.iter (fun cno -> audit cno ~want_exact:true) !post;
+  Client.shutdown jc;
+  Client.close jc;
+  (match Unix.waitpid [] jpid with
+  | _, Unix.WEXITED 0 -> ()
+  | _, _ -> fail "phase E: rejoined follower did not shut down cleanly");
+  Client.shutdown c;
+  Client.close c;
+  (match Unix.waitpid [] fpid with
+  | _, Unix.WEXITED 0 -> ()
+  | _, _ -> fail "phase E: promoted primary did not shut down cleanly");
+  Printf.printf
+    "chaos phase E (primary SIGKILL mid-batch, promote, fence zombie, \
+     rejoin + repair, %d pre-crash / %d post-failover acks audited): OK\n%!"
+    (List.length !eacked) (List.length !post);
+  rm_rf dir2;
   rm_rf dir

@@ -71,6 +71,7 @@ let () =
   | `Applied (1, _) -> ()
   | `Applied (s, _) -> fail "expected commit seq 1, got %d" s
   | `Rejected (_, m) | `Error m | `Unavailable m -> fail "insert: %s" m
+  | `Fenced (e, _) -> fail "insert: fenced at epoch %d" e
   | `Overloaded -> fail "insert: overloaded");
   (match Client.query c "//course" with
   | Ok (n, _) when n = before + 1 -> ()
@@ -110,6 +111,7 @@ let () =
     | `Rejected (_, m) | `Error m | `Unavailable m ->
         fail "pass-2 insert %d: %s" i m
     | `Overloaded -> fail "pass-2 insert %d: overloaded" i
+    | `Fenced (e, _) -> fail "pass-2 insert %d: fenced at epoch %d" i e
   done;
   Unix.kill pid Sys.sigkill;
   ignore (Unix.waitpid [] pid);

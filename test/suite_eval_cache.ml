@@ -226,6 +226,57 @@ let probes =
         Ast.Where (Ast.Label "c", Ast.Exists (Ast.Label "sub")) );
   ]
 
+(* The first update of a group evaluates before the frame mutates
+   anything, so it is served from the warm cache; from the second op on
+   the frame is dirty and evals bypass. An aborted group restores the
+   entry exactly. This is the mechanism that keeps server-side write
+   latency (and the failover MTTR probe) off the cold O(|p|·|V|) DP. *)
+let test_group_first_op_cache () =
+  let e = Registrar.engine () in
+  let p1 = parse "course[cno=CS650]/prereq" in
+  let p2 = parse "course[cno=CS240]/prereq" in
+  ignore (Engine.query e p1);
+  ignore (Engine.query e p2);
+  let ins cno path =
+    Xupdate.Insert
+      { etype = "course"; attr = Registrar.course_attr cno "New"; path }
+  in
+  let st0 = Engine.stats e in
+  (match Engine.apply_group e [ ins "CS901" p1; ins "CS902" p2 ] with
+  | Ok _ -> ()
+  | Error (i, rej) ->
+      Alcotest.failf "group rejected at %d: %a" i Engine.pp_rejection rej);
+  let st1 = Engine.stats e in
+  Alcotest.(check int) "first op served from the warm cache"
+    (st0.Engine.cache_hits + 1) st1.Engine.cache_hits;
+  Alcotest.(check int) "second op bypasses (frame already dirty)"
+    st0.Engine.cache_misses st1.Engine.cache_misses;
+  (* the previous group left p1's entry one-mutation-stale: the next
+     group's first op repairs just the dirty rows instead of refilling *)
+  let st2 = Engine.stats e in
+  (match Engine.apply_group e [ ins "CS903" p1 ] with
+  | Ok _ -> ()
+  | Error (_, rej) ->
+      Alcotest.failf "second group rejected: %a" Engine.pp_rejection rej);
+  let st3 = Engine.stats e in
+  Alcotest.(check int) "consecutive write revalidates partially"
+    (st2.Engine.cache_partials + 1) st3.Engine.cache_partials;
+  List.iter
+    (fun p -> check "post-group cached ≡ fresh" true (check_equiv e p))
+    [ p1; p2; parse "//course" ];
+  (* an aborted group restores the served entry exactly *)
+  let before = Engine.query e p1 in
+  let st4 = Engine.stats e in
+  (match Engine.apply_group e [ ins "CS904" p1; bad_update ] with
+  | Ok _ -> Alcotest.fail "invalid group accepted"
+  | Error _ -> ());
+  let after = Engine.query e p1 in
+  let st5 = Engine.stats e in
+  check "post-abort ≡ pre-group" true (norm before = norm after);
+  check "post-abort ≡ fresh" true (norm after = norm (fresh_eval e p1));
+  Alcotest.(check int) "post-abort query needs no revalidation"
+    st4.Engine.cache_partials st5.Engine.cache_partials
+
 let run_scenario (p, acts) =
   let d, e = Helpers.engine_of_params p in
   let step = function
@@ -277,6 +328,8 @@ let tests =
     Alcotest.test_case "hit/miss/partial counters" `Quick test_counters;
     Alcotest.test_case "abort restores generation and dirty marks" `Quick
       test_abort_restores;
+    Alcotest.test_case "group first op served from warm cache" `Quick
+      test_group_first_op_cache;
     Alcotest.test_case "LRU eviction at capacity" `Quick test_lru_eviction;
     test_equivalence;
   ]

@@ -647,7 +647,7 @@ let test_chaos_soak () =
                     match Base_update.apply em group with
                     | Ok _ -> ()
                     | Error m -> Alcotest.failf "manual replay: %s" m)
-              | Persist.Sessions _ -> ())
+              | Persist.Sessions _ | Persist.Epoch _ -> ())
             wal0.Wal.records;
           check "crash recovery ≡ committed-prefix replay" true
             (db_bytes ec.Engine.db = db_bytes em.Engine.db);

@@ -299,7 +299,13 @@ let test_checkpoint_roundtrip () =
       let e = Registrar.engine ~seed:11 () in
       let path = Filename.concat dir "c.rxc" in
       let meta =
-        { Checkpoint.atg_name = "registrar"; seed = 11; generation = 3 }
+        {
+          Checkpoint.atg_name = "registrar";
+          seed = 11;
+          generation = 3;
+          epoch = 2;
+          boundaries = [ (1, 0); (2, 7) ];
+        }
       in
       let bytes = Checkpoint.write ~path meta e.Engine.db e.Engine.store in
       Alcotest.(check int) "size reported" bytes
@@ -328,7 +334,15 @@ let test_checkpoint_corruption () =
   with_dir (fun dir ->
       let e = Registrar.engine () in
       let path = Filename.concat dir "c.rxc" in
-      let meta = { Checkpoint.atg_name = "registrar"; seed = 0; generation = 1 } in
+      let meta =
+        {
+          Checkpoint.atg_name = "registrar";
+          seed = 0;
+          generation = 1;
+          epoch = 0;
+          boundaries = [];
+        }
+      in
       ignore (Checkpoint.write ~path meta e.Engine.db e.Engine.store);
       let img = read_file path in
       (* flip a payload byte: CRC must catch it *)
@@ -361,11 +375,13 @@ let test_record_codec () =
   in
   let payload = Persist.encode_record ~seed:42 g in
   (match Persist.decode_record payload with
-  | Persist.Group { seed; origin; group } ->
+  | Persist.Group { seed; epoch; origin; group } ->
       Alcotest.(check int) "seed" 42 seed;
+      Alcotest.(check int) "default epoch" 0 epoch;
       check "no origin" true (origin = None);
       check "group" true (g = group)
-  | Persist.Sessions _ -> Alcotest.fail "group decoded as sessions");
+  | Persist.Sessions _ | Persist.Epoch _ ->
+      Alcotest.fail "group decoded as another record");
   (* with provenance *)
   let o =
     { Persist.o_client = "c42.1.abc"; o_seq = 7; o_commit = 19; o_reports = 2 }
@@ -389,7 +405,21 @@ let test_record_codec () =
   | Persist.Sessions { last_commit; sessions = s' } ->
       Alcotest.(check int) "last_commit" 9 last_commit;
       check "sessions" true (sessions = s')
-  | Persist.Group _ -> Alcotest.fail "sessions decoded as group");
+  | Persist.Group _ | Persist.Epoch _ ->
+      Alcotest.fail "sessions decoded as another record");
+  (* epoch transition *)
+  (match
+     Persist.decode_record (Persist.encode_epoch_record ~epoch:5 ~boundary:88)
+   with
+  | Persist.Epoch { epoch; boundary } ->
+      Alcotest.(check int) "epoch" 5 epoch;
+      Alcotest.(check int) "boundary" 88 boundary
+  | Persist.Group _ | Persist.Sessions _ ->
+      Alcotest.fail "epoch decoded as another record");
+  (* a stamped group round-trips its epoch *)
+  (match Persist.decode_record (Persist.encode_record ~epoch:5 ~seed:1 g) with
+  | Persist.Group { epoch; _ } -> Alcotest.(check int) "stamped epoch" 5 epoch
+  | _ -> Alcotest.fail "stamped group lost");
   match Persist.decode_record (payload ^ "\x00") with
   | exception Codec.Error _ -> ()
   | _ -> Alcotest.fail "trailing bytes accepted"

@@ -112,6 +112,7 @@ let all_requests : Proto.request list =
       {
         client = "c12.3.0000ff";
         req_seq = 41;
+        epoch = 3;
         policy = `Abort;
         ops =
           [
@@ -125,18 +126,21 @@ let all_requests : Proto.request list =
           ];
       };
     Proto.Update
-      { client = ""; req_seq = 0; policy = `Proceed;
+      { client = ""; req_seq = 0; epoch = 0; policy = `Proceed;
         ops = [ Proto.Delete "//c" ] };
     Proto.Stats;
     Proto.Checkpoint;
     Proto.Shutdown;
-    Proto.Repl_hello { follower = "r1"; after = 0 };
-    Proto.Repl_hello { follower = ""; after = 173 };
-    Proto.Repl_pull { follower = "r1"; after = 41; max = 512; wait_ms = 200 };
-    Proto.Repl_pull { follower = "x"; after = 0; max = 0; wait_ms = 0 };
+    Proto.Repl_hello { follower = "r1"; after = 0; epoch = 0 };
+    Proto.Repl_hello { follower = ""; after = 173; epoch = 7 };
+    Proto.Repl_pull
+      { follower = "r1"; after = 41; max = 512; wait_ms = 200; epoch = 2 };
+    Proto.Repl_pull
+      { follower = "x"; after = 0; max = 0; wait_ms = 0; epoch = 0 };
     Proto.Query_at
       { path = "//course[cno=CS320]"; min_seq = 9; wait_ms = 250 };
     Proto.Query_at { path = "//c"; min_seq = 0; wait_ms = 0 };
+    Proto.Promote;
   ]
 
 let all_responses : Proto.response list =
@@ -156,10 +160,31 @@ let all_responses : Proto.response list =
     Proto.Stats_reply
       { sample_stats with Proto.st_health = "degraded: ckpt.fsync: EIO" };
     Proto.Stats_reply { sample_stats with Proto.st_gauges = [] };
-    Proto.Repl_frames { after = 41; head = 44; records = [ "\x00rec"; "" ] };
-    Proto.Repl_frames { after = 0; head = 0; records = [] };
-    Proto.Repl_reset { generation = 3; base = 120; ckpt = Some "\x01img\xFF" };
-    Proto.Repl_reset { generation = 0; base = 0; ckpt = None };
+    Proto.Repl_frames
+      {
+        after = 41;
+        head = 44;
+        records = [ "\x00rec"; "" ];
+        epoch = 2;
+        boundary = Some 40;
+      };
+    Proto.Repl_frames
+      { after = 0; head = 0; records = []; epoch = 0; boundary = None };
+    Proto.Repl_frames
+      { after = 7; head = 7; records = []; epoch = 5; boundary = Some 0 };
+    Proto.Repl_reset
+      {
+        generation = 3;
+        base = 120;
+        ckpt = Some "\x01img\xFF";
+        epoch = 1;
+        sessions = Some "\x02sess";
+      };
+    Proto.Repl_reset
+      { generation = 0; base = 0; ckpt = None; epoch = 0; sessions = None };
+    Proto.Fenced { epoch = 4; leader = "unix:/tmp/rxv.sock" };
+    Proto.Fenced { epoch = 1; leader = "" };
+    Proto.Promoted { epoch = 2; seq = 117 };
   ]
 
 let test_proto_roundtrip () =
@@ -769,6 +794,7 @@ let test_soak () =
               | `Rejected _ -> count `R
               | `Overloaded -> count `R
               | `Unavailable m | `Error m -> Alcotest.failf "writer %d: %s" w m
+              | `Fenced (e, _) -> Alcotest.failf "writer %d: fenced at %d" w e
             done;
             Client.close c;
             Mutex.lock am;
